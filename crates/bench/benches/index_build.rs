@@ -1,0 +1,32 @@
+//! Offline index-construction cost (Fig. 13a): BFS Sharing world sampling
+//! vs ProbTree FWD decomposition + pre-computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use relcomp_core::bfs_sharing::BfsSharingIndex;
+use relcomp_core::probtree::ProbTreeIndex;
+use relcomp_ugraph::Dataset;
+use std::sync::Arc;
+
+fn bench_index_build(c: &mut Criterion) {
+    let graph = Arc::new(Dataset::LastFm.generate_with_scale(0.2, 42));
+
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    for l in [250usize, 1000] {
+        group.bench_function(BenchmarkId::new("bfs_sharing", l), |b| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(3);
+                BfsSharingIndex::build(&graph, l, &mut rng).size_bytes()
+            })
+        });
+    }
+    group.bench_function("probtree_fwd_w2", |b| {
+        b.iter(|| ProbTreeIndex::build(Arc::clone(&graph)).size_bytes())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_build);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Per-sample cost of each estimator (the paper's "time per sample"
+//! column of Tables 9-14), measured with Criterion on the LastFM analog.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use relcomp_core::{build_estimator, EstimatorKind, SuiteParams};
+use relcomp_eval::Workload;
+use relcomp_ugraph::Dataset;
+use std::sync::Arc;
+
+fn bench_per_sample(c: &mut Criterion) {
+    let graph = Arc::new(Dataset::LastFm.generate_with_scale(0.2, 42));
+    let workload = Workload::generate(&graph, 4, 2, 7);
+    let params = SuiteParams { bfs_sharing_worlds: 300, ..Default::default() };
+    let k = 250;
+
+    let mut group = c.benchmark_group("per_sample_k250");
+    group.sample_size(10);
+    for kind in EstimatorKind::PAPER_SIX {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut est = build_estimator(kind, Arc::clone(&graph), params, &mut rng);
+        group.bench_function(BenchmarkId::from_parameter(kind.display_name()), |b| {
+            b.iter(|| {
+                let mut total = 0.0;
+                for &(s, t) in &workload.pairs {
+                    total += est.estimate(s, t, k, &mut rng).reliability;
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_per_sample);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Regenerates the bounds-quality extension experiment. Usage: `ext_bounds [quick|paper] [--seed N]`.
+fn main() {
+    let cli = relcomp_bench::cli();
+    let report = relcomp_eval::experiments::ext_bounds::run(cli.profile, cli.seed);
+    relcomp_bench::emit("ext_bounds", &report);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the top-k reliable targets extension experiment. Usage: `ext_topk [quick|paper] [--seed N]`.
+fn main() {
+    let cli = relcomp_bench::cli();
+    let report = relcomp_eval::experiments::ext_topk::run(cli.profile, cli.seed);
+    relcomp_bench::emit("ext_topk", &report);
+}

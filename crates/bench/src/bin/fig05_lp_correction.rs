@@ -1,0 +1,6 @@
+//! Regenerates Figure 5 (LP vs LP+ correction) of the paper. Usage: `fig05_lp_correction [quick|paper] [--seed N]`.
+fn main() {
+    let cli = relcomp_bench::cli();
+    let report = relcomp_eval::experiments::fig05_lp_correction::run(cli.profile, cli.seed);
+    relcomp_bench::emit("fig05_lp_correction", &report);
+}

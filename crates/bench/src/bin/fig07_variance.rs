@@ -1,0 +1,6 @@
+//! Regenerates Figure 7a-f (estimator variance and convergence) of the paper. Usage: `fig07_variance [quick|paper] [--seed N]`.
+fn main() {
+    let cli = relcomp_bench::cli();
+    let report = relcomp_eval::experiments::fig07_variance::run(cli.profile, cli.seed);
+    relcomp_bench::emit("fig07_variance", &report);
+}

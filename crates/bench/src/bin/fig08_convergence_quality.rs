@@ -1,0 +1,6 @@
+//! Regenerates Figure 8 (estimate quality at convergence) of the paper. Usage: `fig08_convergence_quality [quick|paper] [--seed N]`.
+fn main() {
+    let cli = relcomp_bench::cli();
+    let report = relcomp_eval::experiments::fig08_quality::run(cli.profile, cli.seed);
+    relcomp_bench::emit("fig08_convergence_quality", &report);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figures 9-11 (error/time/memory trade-off) of the paper. Usage: `fig09_11_tradeoff [quick|paper] [--seed N]`.
+fn main() {
+    let cli = relcomp_bench::cli();
+    let report = relcomp_eval::experiments::fig09_11_tradeoff::run(cli.profile, cli.seed);
+    relcomp_bench::emit("fig09_11_tradeoff", &report);
+}

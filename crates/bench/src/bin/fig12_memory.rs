@@ -1,0 +1,6 @@
+//! Regenerates Figure 12 (online memory usage) of the paper. Usage: `fig12_memory [quick|paper] [--seed N]`.
+fn main() {
+    let cli = relcomp_bench::cli();
+    let report = relcomp_eval::experiments::fig12_memory::run(cli.profile, cli.seed);
+    relcomp_bench::emit("fig12_memory", &report);
+}

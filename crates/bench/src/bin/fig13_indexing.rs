@@ -1,0 +1,6 @@
+//! Regenerates Figure 13a-c (index build/size/load) of the paper. Usage: `fig13_indexing [quick|paper] [--seed N]`.
+fn main() {
+    let cli = relcomp_bench::cli();
+    let report = relcomp_eval::experiments::fig13_indexing::run(cli.profile, cli.seed);
+    relcomp_bench::emit("fig13_indexing", &report);
+}

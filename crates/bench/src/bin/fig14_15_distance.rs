@@ -1,0 +1,6 @@
+//! Regenerates Figures 14-15 (s-t distance sensitivity) of the paper. Usage: `fig14_15_distance [quick|paper] [--seed N]`.
+fn main() {
+    let cli = relcomp_bench::cli();
+    let report = relcomp_eval::experiments::fig14_15_distance::run(cli.profile, cli.seed);
+    relcomp_bench::emit("fig14_15_distance", &report);
+}

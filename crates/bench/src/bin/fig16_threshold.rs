@@ -1,0 +1,6 @@
+//! Regenerates Figure 16 (recursive threshold sensitivity) of the paper. Usage: `fig16_threshold [quick|paper] [--seed N]`.
+fn main() {
+    let cli = relcomp_bench::cli();
+    let report = relcomp_eval::experiments::fig16_threshold::run(cli.profile, cli.seed);
+    relcomp_bench::emit("fig16_threshold", &report);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 17 (RSS stratum-count sensitivity) of the paper. Usage: `fig17_stratum [quick|paper] [--seed N]`.
+fn main() {
+    let cli = relcomp_bench::cli();
+    let report = relcomp_eval::experiments::fig17_stratum::run(cli.profile, cli.seed);
+    relcomp_bench::emit("fig17_stratum", &report);
+}

@@ -1,0 +1,37 @@
+//! Regenerates every table and figure of the paper in one pass.
+//! Usage: `run_all [quick|paper] [--seed N]`.
+//!
+//! Order follows the paper's Section 3. Each report is printed and
+//! mirrored under `results/`.
+
+use relcomp_eval::experiments as exp;
+use relcomp_eval::RunProfile;
+
+fn main() {
+    let cli = relcomp_bench::cli();
+    let (profile, seed) = (cli.profile, cli.seed);
+    let jobs: Vec<(&str, fn(RunProfile, u64) -> String)> = vec![
+        ("table02_datasets", exp::table02_datasets::run),
+        ("fig05_lp_correction", exp::fig05_lp_correction::run),
+        ("fig07_variance", exp::fig07_variance::run),
+        ("fig08_convergence_quality", exp::fig08_quality::run),
+        ("fig09_11_tradeoff", exp::fig09_11_tradeoff::run),
+        ("tables03_08_accuracy", exp::tables03_08_accuracy::run),
+        ("tables09_14_runtime", exp::tables09_14_runtime::run),
+        ("fig12_memory", exp::fig12_memory::run),
+        ("fig13_indexing", exp::fig13_indexing::run),
+        ("table15_index_update", exp::table15_index_update::run),
+        ("table16_probtree_coupling", exp::table16_coupling::run),
+        ("fig14_15_distance", exp::fig14_15_distance::run),
+        ("fig16_threshold", exp::fig16_threshold::run),
+        ("fig17_stratum", exp::fig17_stratum::run),
+        ("table17_summary", exp::table17_summary::run),
+    ];
+    for (name, job) in jobs {
+        eprintln!(">>> running {name} ...");
+        let start = std::time::Instant::now();
+        let report = job(profile, seed);
+        relcomp_bench::emit(name, &report);
+        eprintln!("<<< {name} finished in {:.1}s", start.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 2 (dataset properties) of the paper. Usage: `table02_datasets [quick|paper] [--seed N]`.
+fn main() {
+    let cli = relcomp_bench::cli();
+    let report = relcomp_eval::experiments::table02_datasets::run(cli.profile, cli.seed);
+    relcomp_bench::emit("table02_datasets", &report);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 15 (BFS Sharing index update cost) of the paper. Usage: `table15_index_update [quick|paper] [--seed N]`.
+fn main() {
+    let cli = relcomp_bench::cli();
+    let report = relcomp_eval::experiments::table15_index_update::run(cli.profile, cli.seed);
+    relcomp_bench::emit("table15_index_update", &report);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 16 (ProbTree coupled with efficient estimators) of the paper. Usage: `table16_probtree_coupling [quick|paper] [--seed N]`.
+fn main() {
+    let cli = relcomp_bench::cli();
+    let report = relcomp_eval::experiments::table16_coupling::run(cli.profile, cli.seed);
+    relcomp_bench::emit("table16_probtree_coupling", &report);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 17 + Figure 18 (summary and recommendation) of the paper. Usage: `table17_summary [quick|paper] [--seed N]`.
+fn main() {
+    let cli = relcomp_bench::cli();
+    let report = relcomp_eval::experiments::table17_summary::run(cli.profile, cli.seed);
+    relcomp_bench::emit("table17_summary", &report);
+}

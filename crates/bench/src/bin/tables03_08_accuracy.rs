@@ -1,0 +1,6 @@
+//! Regenerates Tables 3-8 (relative error) of the paper. Usage: `tables03_08_accuracy [quick|paper] [--seed N]`.
+fn main() {
+    let cli = relcomp_bench::cli();
+    let report = relcomp_eval::experiments::tables03_08_accuracy::run(cli.profile, cli.seed);
+    relcomp_bench::emit("tables03_08_accuracy", &report);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Tables 9-14 (running time) of the paper. Usage: `tables09_14_runtime [quick|paper] [--seed N]`.
+fn main() {
+    let cli = relcomp_bench::cli();
+    let report = relcomp_eval::experiments::tables09_14_runtime::run(cli.profile, cli.seed);
+    relcomp_bench::emit("tables09_14_runtime", &report);
+}

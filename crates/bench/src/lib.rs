@@ -1,0 +1,104 @@
+//! Shared plumbing for the experiment binaries: CLI parsing and report
+//! emission.
+//!
+//! Every binary accepts the same arguments:
+//!
+//! ```text
+//! <binary> [quick|paper] [--seed N]
+//! ```
+//!
+//! `quick` (default) runs reduced workloads that finish in seconds to
+//! minutes; `paper` uses the paper's workload sizes (§3.1.3). Reports are
+//! printed to stdout and mirrored under `results/`.
+
+#![warn(missing_docs)]
+
+use relcomp_eval::RunProfile;
+use std::path::PathBuf;
+
+/// Parsed common CLI options.
+#[derive(Clone, Copy, Debug)]
+pub struct Cli {
+    /// Selected run profile.
+    pub profile: RunProfile,
+    /// Master seed (default 42).
+    pub seed: u64,
+}
+
+/// Parse `std::env::args` into [`Cli`]; exits with usage on bad input.
+pub fn cli() -> Cli {
+    parse_args(std::env::args().skip(1).collect()).unwrap_or_else(|msg| {
+        eprintln!("{msg}");
+        eprintln!("usage: <binary> [quick|paper] [--seed N]");
+        std::process::exit(2);
+    })
+}
+
+/// Testable argument parser behind [`cli`].
+pub fn parse_args(args: Vec<String>) -> Result<Cli, String> {
+    let mut profile = RunProfile::Quick;
+    let mut seed = 42u64;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let v = it.next().ok_or("--seed requires a value")?;
+                seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
+            }
+            other => {
+                profile = RunProfile::parse(other)
+                    .ok_or_else(|| format!("unknown argument: {other}"))?;
+            }
+        }
+    }
+    Ok(Cli { profile, seed })
+}
+
+/// Print a report and mirror it to `results/<name>.txt`.
+pub fn emit(name: &str, report: &str) {
+    println!("{report}");
+    let dir = results_dir();
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join(format!("{name}.txt"));
+        if let Err(e) = std::fs::write(&path, report) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            eprintln!("[saved {}]", path.display());
+        }
+    }
+}
+
+/// `results/` at the workspace root (falls back to CWD).
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; the workspace root is two up.
+    match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(dir) => PathBuf::from(dir).join("../..").join("results"),
+        Err(_) => PathBuf::from("results"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_args() {
+        let c = parse_args(vec![]).unwrap();
+        assert_eq!(c.profile, RunProfile::Quick);
+        assert_eq!(c.seed, 42);
+    }
+
+    #[test]
+    fn parses_profile_and_seed() {
+        let c = parse_args(vec!["paper".into(), "--seed".into(), "7".into()]).unwrap();
+        assert_eq!(c.profile, RunProfile::Paper);
+        assert_eq!(c.seed, 7);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_args(vec!["bogus".into()]).is_err());
+        assert!(parse_args(vec!["--seed".into()]).is_err());
+        assert!(parse_args(vec!["--seed".into(), "x".into()]).is_err());
+    }
+}

@@ -1,0 +1,369 @@
+//! BFS Sharing: offline possible-world index + shared online BFS
+//! (§2.3, Algorithms 2–3 of the paper).
+//!
+//! Offline, `L` possible worlds are sampled and stored compactly: each edge
+//! carries an `L`-bit vector whose i-th bit says whether the edge exists in
+//! world `i` (Fig. 3 of the paper). Online, a single BFS-ordered fixpoint
+//! propagates per-node reachability bit vectors `I_v` — equivalent to `K`
+//! parallel BFS traversals, 64 worlds per machine word.
+//!
+//! Two paper-documented properties are deliberately preserved:
+//!
+//! * **No early termination.** Cascading updates (Algorithm 3) mean the
+//!   traversal cannot stop when `t` is first reached, which is why BFS
+//!   Sharing is often *slower* than plain MC despite the offline sampling.
+//! * **O(K(m+n)) online complexity, not K-independent.** The original
+//!   ICDM'15 paper claimed query time independent of `K`; the comparison
+//!   paper corrects this (each node/edge can be revisited up to `K` times
+//!   through cascading updates). Our fixpoint exhibits the same behavior.
+//!
+//! Between successive queries the index must be **re-sampled** to keep
+//! queries independent (Table 15 measures this per-query refresh cost);
+//! see [`Estimator::refresh`].
+
+use crate::estimator::{validate_query, Estimate, Estimator};
+use crate::memory::MemoryTracker;
+use rand::RngCore;
+use relcomp_ugraph::{EdgeId, NodeId, UncertainGraph};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The offline bit-vector index: `L` pre-sampled worlds, one bit-slice per
+/// edge.
+pub struct BfsSharingIndex {
+    /// Number of pre-sampled worlds (the paper uses a safe bound L = 1500).
+    l: usize,
+    /// Words per edge slice.
+    words_per_edge: usize,
+    /// Flattened `m * words_per_edge` matrix.
+    bits: Vec<u64>,
+}
+
+impl BfsSharingIndex {
+    /// Sample `l` worlds of `graph` into a fresh index.
+    pub fn build(graph: &UncertainGraph, l: usize, rng: &mut dyn RngCore) -> Self {
+        assert!(l > 0, "index must cover at least one world");
+        let words_per_edge = l.div_ceil(64);
+        let mut index = BfsSharingIndex {
+            l,
+            words_per_edge,
+            bits: vec![0u64; graph.num_edges() * words_per_edge],
+        };
+        index.resample(graph, rng);
+        index
+    }
+
+    /// Re-draw every edge's world bits (per-query refresh, Table 15).
+    ///
+    /// Uses geometric skipping: instead of `L` Bernoulli draws per edge,
+    /// jump directly between set bits (expected work `L * p(e)` — the same
+    /// trick Lazy Propagation applies online). Statistically identical to
+    /// per-world sampling.
+    pub fn resample(&mut self, graph: &UncertainGraph, rng: &mut dyn RngCore) {
+        assert_eq!(
+            self.bits.len(),
+            graph.num_edges() * self.words_per_edge,
+            "index was built for a different graph"
+        );
+        self.bits.fill(0);
+        for (e, _, _, p) in graph.edges() {
+            let p = p.value();
+            let base = e.index() * self.words_per_edge;
+            let mut i = crate::sampler::geometric(rng, p) as usize;
+            while i < self.l {
+                self.bits[base + i / 64] |= 1 << (i % 64);
+                i += 1 + crate::sampler::geometric(rng, p) as usize;
+            }
+        }
+    }
+
+    /// Bit-slice of edge `e`.
+    #[inline]
+    pub fn edge_words(&self, e: EdgeId) -> &[u64] {
+        let base = e.index() * self.words_per_edge;
+        &self.bits[base..base + self.words_per_edge]
+    }
+
+    /// Number of pre-sampled worlds `L`.
+    pub fn num_worlds(&self) -> usize {
+        self.l
+    }
+
+    /// Index size in bytes (what must be loaded in memory for queries).
+    pub fn size_bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+}
+
+/// The BFS-Sharing estimator: index + shared-BFS query.
+pub struct BfsSharing {
+    graph: Arc<UncertainGraph>,
+    index: BfsSharingIndex,
+    build_time: Duration,
+    /// Per-node reachability vectors, allocated once and reused.
+    node_bits: Vec<u64>,
+    node_epoch: Vec<u32>,
+    epoch: u32,
+}
+
+impl BfsSharing {
+    /// Build the index with the paper's safe bound `L = 1500`.
+    pub const DEFAULT_WORLDS: usize = 1500;
+
+    /// Build an estimator with `l` pre-sampled worlds.
+    pub fn new(graph: Arc<UncertainGraph>, l: usize, rng: &mut dyn RngCore) -> Self {
+        let start = Instant::now();
+        let index = BfsSharingIndex::build(&graph, l, rng);
+        let build_time = start.elapsed();
+        let n = graph.num_nodes();
+        let wpe = index.words_per_edge;
+        BfsSharing {
+            graph,
+            index,
+            build_time,
+            node_bits: vec![0u64; n * wpe],
+            node_epoch: vec![0; n],
+            epoch: 0,
+        }
+    }
+
+    /// Time spent building (sampling) the index.
+    pub fn index_build_time(&self) -> Duration {
+        self.build_time
+    }
+
+    /// The underlying index.
+    pub fn index(&self) -> &BfsSharingIndex {
+        &self.index
+    }
+}
+
+impl Estimator for BfsSharing {
+    fn name(&self) -> &'static str {
+        "BFS Sharing"
+    }
+
+    fn estimate(
+        &mut self,
+        s: NodeId,
+        t: NodeId,
+        k: usize,
+        rng: &mut dyn RngCore,
+    ) -> Estimate {
+        let _ = rng; // all randomness is in the pre-built index
+        validate_query(&self.graph, s, t);
+        assert!(
+            k <= self.index.l,
+            "requested K = {k} samples but the index holds only L = {} worlds",
+            self.index.l
+        );
+        assert!(k > 0, "sample count must be positive");
+        let start = Instant::now();
+        let mut mem = MemoryTracker::new();
+        // The loaded edge index plus the online node vectors (the paper's
+        // corrected accounting: O(Km) index + O(Kn) node bit vectors).
+        mem.baseline(self.index.size_bytes());
+        mem.alloc(self.node_bits.len() * 8 + self.node_epoch.len() * 4);
+
+        let words = k.div_ceil(64);
+        let wpe = self.index.words_per_edge;
+        let last_mask: u64 = if k % 64 == 0 { !0 } else { (1u64 << (k % 64)) - 1 };
+
+        // Lazy per-query reset of node vectors via epochs.
+        self.epoch = self.epoch.wrapping_add(1).max(1);
+        let epoch = self.epoch;
+
+        if s == t {
+            return Estimate {
+                reliability: 1.0,
+                samples: k,
+                elapsed: start.elapsed(),
+                aux_bytes: mem.peak(),
+            };
+        }
+
+        // I_s = [1 1 ... 1] (masked to K bits).
+        {
+            let base = s.index() * wpe;
+            for w in 0..words {
+                self.node_bits[base + w] = if w + 1 == words { last_mask } else { !0 };
+            }
+            self.node_epoch[s.index()] = epoch;
+        }
+
+        // Worklist fixpoint: when I_v gains bits, re-examine v's out-edges.
+        // This subsumes Algorithm 3's cascading updates.
+        let mut queue: VecDeque<NodeId> = VecDeque::new();
+        queue.push_back(s);
+        let mut in_queue = vec![false; self.graph.num_nodes()];
+        in_queue[s.index()] = true;
+        mem.alloc(in_queue.len());
+
+        while let Some(v) = queue.pop_front() {
+            in_queue[v.index()] = false;
+            let v_base = v.index() * wpe;
+            for (e, w) in self.graph.out_edges(v) {
+                let w_base = w.index() * wpe;
+                if self.node_epoch[w.index()] != epoch {
+                    self.node_bits[w_base..w_base + words].fill(0);
+                    self.node_epoch[w.index()] = epoch;
+                }
+                let edge_words = self.index.edge_words(e);
+                let mut changed = false;
+                for i in 0..words {
+                    let add = self.node_bits[v_base + i] & edge_words[i];
+                    let cur = self.node_bits[w_base + i];
+                    let new = cur | add;
+                    if new != cur {
+                        self.node_bits[w_base + i] = new;
+                        changed = true;
+                    }
+                }
+                if changed && !in_queue[w.index()] {
+                    in_queue[w.index()] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+
+        let reliability = if self.node_epoch[t.index()] == epoch {
+            let t_base = t.index() * wpe;
+            let ones: u32 =
+                self.node_bits[t_base..t_base + words].iter().map(|w| w.count_ones()).sum();
+            ones as f64 / k as f64
+        } else {
+            0.0
+        };
+
+        Estimate { reliability, samples: k, elapsed: start.elapsed(), aux_bytes: mem.peak() }
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.index.size_bytes() + self.node_bits.len() * 8 + self.node_epoch.len() * 4
+    }
+
+    /// Re-sample the edge index so the next query sees fresh worlds
+    /// (required for inter-query independence; Table 15).
+    fn refresh(&mut self, rng: &mut dyn RngCore) {
+        self.index.resample(&self.graph, rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_reliability;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use relcomp_ugraph::GraphBuilder;
+
+    fn diamond() -> Arc<UncertainGraph> {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+        b.add_edge(NodeId(0), NodeId(2), 0.6).unwrap();
+        b.add_edge(NodeId(1), NodeId(3), 0.7).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), 0.4).unwrap();
+        Arc::new(b.build())
+    }
+
+    #[test]
+    fn converges_to_exact() {
+        let g = diamond();
+        let exact = exact_reliability(&g, NodeId(0), NodeId(3));
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let mut bs = BfsSharing::new(Arc::clone(&g), 60_000, &mut rng);
+        let est = bs.estimate(NodeId(0), NodeId(3), 60_000, &mut rng);
+        assert!((est.reliability - exact).abs() < 0.01, "{} vs {exact}", est.reliability);
+    }
+
+    #[test]
+    fn handles_cycles_with_cascading_updates() {
+        // 0 -> 1 -> 2 -> 1 (cycle) and 2 -> 3: the BFS-order dependence the
+        // cascading-update machinery exists for.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1), 0.9).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 0.9).unwrap();
+        b.add_edge(NodeId(2), NodeId(1), 0.9).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), 0.9).unwrap();
+        let g = Arc::new(b.build());
+        let exact = exact_reliability(&g, NodeId(0), NodeId(3));
+        let mut rng = ChaCha8Rng::seed_from_u64(32);
+        let mut bs = BfsSharing::new(Arc::clone(&g), 40_000, &mut rng);
+        let est = bs.estimate(NodeId(0), NodeId(3), 40_000, &mut rng);
+        assert!((est.reliability - exact).abs() < 0.01, "{} vs {exact}", est.reliability);
+    }
+
+    #[test]
+    fn k_larger_than_l_is_rejected() {
+        let g = diamond();
+        let mut rng = ChaCha8Rng::seed_from_u64(33);
+        let mut bs = BfsSharing::new(g, 100, &mut rng);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            bs.estimate(NodeId(0), NodeId(3), 200, &mut rng)
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn k_smaller_than_l_uses_prefix_of_worlds() {
+        let g = diamond();
+        let exact = exact_reliability(&g, NodeId(0), NodeId(3));
+        let mut rng = ChaCha8Rng::seed_from_u64(34);
+        let mut bs = BfsSharing::new(Arc::clone(&g), 70_000, &mut rng);
+        let est = bs.estimate(NodeId(0), NodeId(3), 65_000, &mut rng);
+        assert!((est.reliability - exact).abs() < 0.02);
+    }
+
+    #[test]
+    fn refresh_changes_worlds() {
+        let g = diamond();
+        let mut rng = ChaCha8Rng::seed_from_u64(35);
+        let mut bs = BfsSharing::new(Arc::clone(&g), 256, &mut rng);
+        let before = bs.index.bits.clone();
+        bs.refresh(&mut rng);
+        assert_ne!(before, bs.index.bits);
+    }
+
+    #[test]
+    fn unreachable_target_zero() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 0.9).unwrap();
+        let g = Arc::new(b.build());
+        let mut rng = ChaCha8Rng::seed_from_u64(36);
+        let mut bs = BfsSharing::new(g, 128, &mut rng);
+        assert_eq!(bs.estimate(NodeId(0), NodeId(2), 128, &mut rng).reliability, 0.0);
+    }
+
+    #[test]
+    fn s_equals_t_is_one() {
+        let g = diamond();
+        let mut rng = ChaCha8Rng::seed_from_u64(37);
+        let mut bs = BfsSharing::new(g, 64, &mut rng);
+        assert_eq!(bs.estimate(NodeId(1), NodeId(1), 64, &mut rng).reliability, 1.0);
+    }
+
+    #[test]
+    fn index_size_scales_with_l_and_m() {
+        let g = diamond();
+        let mut rng = ChaCha8Rng::seed_from_u64(38);
+        let small = BfsSharing::new(Arc::clone(&g), 64, &mut rng);
+        let large = BfsSharing::new(g, 6400, &mut rng);
+        assert!(large.index().size_bytes() >= 100 * small.index().size_bytes() / 2);
+        assert!(small.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn estimates_match_index_bits_exactly_for_single_edge() {
+        // For a single-edge graph, reliability must equal popcount/K of
+        // that edge's slice.
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(1), 0.37).unwrap();
+        let g = Arc::new(b.build());
+        let mut rng = ChaCha8Rng::seed_from_u64(39);
+        let mut bs = BfsSharing::new(Arc::clone(&g), 1000, &mut rng);
+        let ones: u32 = bs.index().edge_words(EdgeId(0)).iter().map(|w| w.count_ones()).sum();
+        let est = bs.estimate(NodeId(0), NodeId(1), 1000, &mut rng);
+        assert!((est.reliability - ones as f64 / 1000.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,162 @@
+//! Distance-constrained reachability: `R_d(s, t)` — the probability that
+//! `t` is reachable from `s` within at most `d` hops.
+//!
+//! This is the query Recursive Sampling (RHH) was *originally* proposed
+//! for (Jin et al., PVLDB'11); the comparison paper adapts it to the
+//! unconstrained s-t query (§2.4: "we adapted the proposed approach to
+//! compute the s-t reliability without any distance constraint"). Here we
+//! keep the original query too, with two estimators:
+//!
+//! * [`mc_distance_constrained`] — depth-limited lazy-sampling MC;
+//! * [`exact_distance_constrained`] — enumeration oracle for tests.
+//!
+//! `R_d` is monotone in `d` and converges to plain `R(s, t)` once `d`
+//! reaches the number of nodes (any simple path fits).
+
+use crate::sampler::coin;
+use rand::RngCore;
+use relcomp_ugraph::possible_world::enumerate_worlds;
+use relcomp_ugraph::{NodeId, UncertainGraph};
+
+/// Depth-limited BFS in one sampled world: is `t` within `d` hops of `s`,
+/// where `edge_exists` decides per-edge presence?
+fn bounded_bfs<F>(
+    graph: &UncertainGraph,
+    s: NodeId,
+    t: NodeId,
+    d: usize,
+    mut edge_exists: F,
+) -> bool
+where
+    F: FnMut(relcomp_ugraph::EdgeId) -> bool,
+{
+    if s == t {
+        return true;
+    }
+    let n = graph.num_nodes();
+    let mut depth: Vec<Option<u32>> = vec![None; n];
+    depth[s.index()] = Some(0);
+    let mut frontier = vec![s];
+    let mut next = Vec::new();
+    let mut h = 0usize;
+    while !frontier.is_empty() && h < d {
+        h += 1;
+        for &v in &frontier {
+            for (e, w) in graph.out_edges(v) {
+                if depth[w.index()].is_none() && edge_exists(e) {
+                    if w == t {
+                        return true;
+                    }
+                    depth[w.index()] = Some(h as u32);
+                    next.push(w);
+                }
+            }
+        }
+        std::mem::swap(&mut frontier, &mut next);
+        next.clear();
+    }
+    false
+}
+
+/// MC estimate of `R_d(s, t)` with `k` samples (lazy edge instantiation,
+/// early termination — Algorithm 1 with a depth cap).
+pub fn mc_distance_constrained(
+    graph: &UncertainGraph,
+    s: NodeId,
+    t: NodeId,
+    d: usize,
+    k: usize,
+    rng: &mut dyn RngCore,
+) -> f64 {
+    assert!(graph.contains_node(s) && graph.contains_node(t), "query nodes out of range");
+    assert!(k > 0, "sample count must be positive");
+    let mut hits = 0usize;
+    for _ in 0..k {
+        if bounded_bfs(graph, s, t, d, |e| coin(rng, graph.prob(e).value())) {
+            hits += 1;
+        }
+    }
+    hits as f64 / k as f64
+}
+
+/// Exact `R_d(s, t)` by world enumeration (test oracle, `m <= 26`).
+pub fn exact_distance_constrained(
+    graph: &UncertainGraph,
+    s: NodeId,
+    t: NodeId,
+    d: usize,
+) -> f64 {
+    assert!(graph.contains_node(s) && graph.contains_node(t), "query nodes out of range");
+    if s == t {
+        return 1.0;
+    }
+    let mut total = 0.0;
+    for world in enumerate_worlds(graph) {
+        if bounded_bfs(graph, s, t, d, |e| world.contains(e)) {
+            total += world.probability(graph);
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_reliability;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use relcomp_ugraph::GraphBuilder;
+
+    /// Direct edge 0 -> 2 (0.2) and two-hop detour 0 -> 1 -> 2 (0.9 each).
+    fn detour() -> UncertainGraph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(2), 0.2).unwrap();
+        b.add_edge(NodeId(0), NodeId(1), 0.9).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 0.9).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn exact_d1_counts_only_the_direct_edge() {
+        let g = detour();
+        let r1 = exact_distance_constrained(&g, NodeId(0), NodeId(2), 1);
+        assert!((r1 - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_d2_equals_unconstrained_here() {
+        let g = detour();
+        let r2 = exact_distance_constrained(&g, NodeId(0), NodeId(2), 2);
+        let r = exact_reliability(&g, NodeId(0), NodeId(2));
+        assert!((r2 - r).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_in_distance() {
+        let g = detour();
+        let mut prev = 0.0;
+        for d in 0..4 {
+            let r = exact_distance_constrained(&g, NodeId(0), NodeId(2), d);
+            assert!(r >= prev - 1e-12, "d={d}: {r} < {prev}");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn mc_tracks_exact() {
+        let g = detour();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for d in [1usize, 2] {
+            let exact = exact_distance_constrained(&g, NodeId(0), NodeId(2), d);
+            let mc = mc_distance_constrained(&g, NodeId(0), NodeId(2), d, 40_000, &mut rng);
+            assert!((mc - exact).abs() < 0.01, "d={d}: mc {mc} vs exact {exact}");
+        }
+    }
+
+    #[test]
+    fn d_zero_only_reaches_self() {
+        let g = detour();
+        assert_eq!(exact_distance_constrained(&g, NodeId(0), NodeId(2), 0), 0.0);
+        assert_eq!(exact_distance_constrained(&g, NodeId(1), NodeId(1), 0), 1.0);
+    }
+}

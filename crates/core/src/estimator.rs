@@ -1,0 +1,107 @@
+//! The common estimator interface all six algorithms implement.
+//!
+//! The paper's central methodological complaint is that prior comparisons
+//! used *different frameworks, datasets, and metrics*. This trait is the
+//! "common system and code base": every estimator answers the same query
+//! through the same API and reports the same measurements (estimate,
+//! samples used, wall time, auxiliary memory).
+
+use rand::RngCore;
+use relcomp_ugraph::{NodeId, UncertainGraph};
+use std::time::Duration;
+
+/// Result of one s-t reliability estimation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Estimate {
+    /// Estimated reliability `R(s, t)` in `[0, 1]`.
+    pub reliability: f64,
+    /// Number of samples `K` actually consumed.
+    pub samples: usize,
+    /// Wall-clock time of the estimation call.
+    pub elapsed: Duration,
+    /// Peak *auxiliary* bytes used during the call (everything beyond the
+    /// input graph and any pre-built index — see [`Estimator::resident_bytes`]
+    /// for the latter). Analytic accounting; see `memory` module.
+    pub aux_bytes: usize,
+}
+
+impl Estimate {
+    /// Sanity-check the estimate invariants (used by tests and the
+    /// evaluation harness's debug assertions).
+    pub fn is_valid(&self) -> bool {
+        (0.0..=1.0).contains(&self.reliability) && self.reliability.is_finite()
+    }
+}
+
+/// An s-t reliability estimator over one fixed uncertain graph.
+///
+/// Implementations are constructed *for a graph* (index-based methods build
+/// their index at construction) and may keep reusable workspaces between
+/// queries — the paper measures online query cost excluding one-off
+/// allocation noise.
+pub trait Estimator {
+    /// Estimator name as printed in the paper's tables (e.g. `"MC"`,
+    /// `"BFS Sharing"`, `"ProbTree"`, `"LP+"`, `"RHH"`, `"RSS"`).
+    fn name(&self) -> &'static str;
+
+    /// Estimate `R(s, t)` using (up to) `k` samples.
+    ///
+    /// # Panics
+    /// Implementations panic if `s` or `t` are out of range for the graph
+    /// they were built over.
+    fn estimate(
+        &mut self,
+        s: NodeId,
+        t: NodeId,
+        k: usize,
+        rng: &mut dyn RngCore,
+    ) -> Estimate;
+
+    /// Bytes held *between* queries: pre-built indexes plus long-lived
+    /// workspaces. The input graph itself is excluded (all estimators share
+    /// it). Default: 0 (pure sampling methods).
+    fn resident_bytes(&self) -> usize {
+        0
+    }
+
+    /// Refresh per-query state so successive queries are independent.
+    ///
+    /// Only BFS-Sharing needs this (its index *is* the sample set, so it
+    /// must be re-drawn between queries — Table 15 of the paper measures
+    /// exactly this cost). Default: no-op.
+    fn refresh(&mut self, _rng: &mut dyn RngCore) {}
+}
+
+/// Validate a query against the graph, panicking with a clear message.
+pub(crate) fn validate_query(graph: &UncertainGraph, s: NodeId, t: NodeId) {
+    assert!(
+        graph.contains_node(s),
+        "source node {s} out of range (graph has {} nodes)",
+        graph.num_nodes()
+    );
+    assert!(
+        graph.contains_node(t),
+        "target node {t} out of range (graph has {} nodes)",
+        graph.num_nodes()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimate_validity_bounds() {
+        let ok = Estimate {
+            reliability: 0.5,
+            samples: 10,
+            elapsed: Duration::ZERO,
+            aux_bytes: 0,
+        };
+        assert!(ok.is_valid());
+        let bad = Estimate { reliability: 1.5, ..ok };
+        assert!(!bad.is_valid());
+        let nan = Estimate { reliability: f64::NAN, ..ok };
+        assert!(!nan.is_valid());
+    }
+}

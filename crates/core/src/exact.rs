@@ -1,0 +1,95 @@
+//! Exact s-t reliability by possible-world enumeration (Eq. 2).
+//!
+//! `#P`-hard in general, so this is a *test oracle*: every estimator in the
+//! crate is validated against it on small random graphs. Refuses graphs
+//! with more than 26 edges.
+
+use relcomp_ugraph::{NodeId, UncertainGraph};
+use relcomp_ugraph::possible_world::enumerate_worlds;
+use relcomp_ugraph::traversal::{bfs_reaches, BfsWorkspace};
+
+/// Compute `R(s, t)` exactly by summing `Pr(G)` over all worlds where `t`
+/// is reachable from `s`.
+///
+/// # Panics
+/// Panics if the graph has more than 26 edges (enumeration is `2^m`).
+pub fn exact_reliability(graph: &UncertainGraph, s: NodeId, t: NodeId) -> f64 {
+    assert!(graph.contains_node(s) && graph.contains_node(t), "query nodes out of range");
+    if s == t {
+        return 1.0;
+    }
+    let mut ws = BfsWorkspace::new(graph.num_nodes());
+    let mut total = 0.0;
+    for world in enumerate_worlds(graph) {
+        if bfs_reaches(graph, s, t, &mut ws, |e| world.contains(e)) {
+            total += world.probability(graph);
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relcomp_ugraph::GraphBuilder;
+
+    #[test]
+    fn series_chain_is_product() {
+        // 0 -> 1 -> 2 with p = 0.5, 0.4  =>  R = 0.2
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 0.4).unwrap();
+        let g = b.build();
+        assert!((exact_reliability(&g, NodeId(0), NodeId(2)) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_edges_via_two_paths() {
+        // 0 -> 1 -> 3 and 0 -> 2 -> 3, all p = 0.5.
+        // Each path works w.p. 0.25; R = 1 - (1 - 0.25)^2 = 0.4375.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+        b.add_edge(NodeId(1), NodeId(3), 0.5).unwrap();
+        b.add_edge(NodeId(0), NodeId(2), 0.5).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), 0.5).unwrap();
+        let g = b.build();
+        assert!((exact_reliability(&g, NodeId(0), NodeId(3)) - 0.4375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn s_equals_t_is_one() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(1), 0.1).unwrap();
+        let g = b.build();
+        assert_eq!(exact_reliability(&g, NodeId(1), NodeId(1)), 1.0);
+    }
+
+    #[test]
+    fn unreachable_is_zero() {
+        // Edge points the wrong way.
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(1), NodeId(0), 0.9).unwrap();
+        let g = b.build();
+        assert_eq!(exact_reliability(&g, NodeId(0), NodeId(1)), 0.0);
+    }
+
+    #[test]
+    fn certain_edge_is_one() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        let g = b.build();
+        assert!((exact_reliability(&g, NodeId(0), NodeId(1)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bridge_example_from_paper_figure6_subpath() {
+        // Triangle: 0 -> 1 (0.5), 0 -> 2 (0.5), 2 -> 1 (0.5).
+        // R(0,1) = 1 - (1-0.5)(1-0.25) = 0.625
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+        b.add_edge(NodeId(0), NodeId(2), 0.5).unwrap();
+        b.add_edge(NodeId(2), NodeId(1), 0.5).unwrap();
+        let g = b.build();
+        assert!((exact_reliability(&g, NodeId(0), NodeId(1)) - 0.625).abs() < 1e-12);
+    }
+}

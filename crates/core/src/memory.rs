@@ -1,0 +1,93 @@
+//! Analytic memory accounting.
+//!
+//! The paper highlights that *none* of the original studies reported online
+//! memory usage, and that it varies by orders of magnitude (Fig. 12:
+//! MC < LP+ < ProbTree < BFS Sharing < RHH ≈ RSS). Rather than sampling
+//! process RSS (noisy, allocator-dependent, and impossible to attribute to
+//! a single estimator when several share a process), each estimator *tracks
+//! the bytes of every auxiliary structure it creates* and reports the peak.
+//! This is deterministic, attributable, and reproduces exactly the
+//! structural differences the paper's Fig. 12 is about.
+
+/// Tracks current and peak auxiliary bytes during one estimation call.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MemoryTracker {
+    current: usize,
+    peak: usize,
+}
+
+impl MemoryTracker {
+    /// Fresh tracker with zero usage.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an allocation of `bytes`.
+    #[inline]
+    pub fn alloc(&mut self, bytes: usize) {
+        self.current += bytes;
+        if self.current > self.peak {
+            self.peak = self.current;
+        }
+    }
+
+    /// Record a deallocation of `bytes` (saturating).
+    #[inline]
+    pub fn free(&mut self, bytes: usize) {
+        self.current = self.current.saturating_sub(bytes);
+    }
+
+    /// Set a baseline that persists for the whole call (e.g. a loaded
+    /// index): counted into both current and peak.
+    pub fn baseline(&mut self, bytes: usize) {
+        self.alloc(bytes);
+    }
+
+    /// Current live bytes.
+    pub fn current(&self) -> usize {
+        self.current
+    }
+
+    /// Peak bytes observed.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+}
+
+/// Bytes of a `Vec<T>`'s heap buffer given its capacity.
+#[inline]
+pub fn vec_bytes<T>(capacity: usize) -> usize {
+    capacity * std::mem::size_of::<T>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut m = MemoryTracker::new();
+        m.alloc(100);
+        m.alloc(50);
+        assert_eq!(m.peak(), 150);
+        m.free(120);
+        assert_eq!(m.current(), 30);
+        assert_eq!(m.peak(), 150);
+        m.alloc(200);
+        assert_eq!(m.peak(), 230);
+    }
+
+    #[test]
+    fn free_saturates() {
+        let mut m = MemoryTracker::new();
+        m.alloc(10);
+        m.free(100);
+        assert_eq!(m.current(), 0);
+    }
+
+    #[test]
+    fn vec_bytes_uses_element_size() {
+        assert_eq!(vec_bytes::<u64>(4), 32);
+        assert_eq!(vec_bytes::<u8>(10), 10);
+    }
+}

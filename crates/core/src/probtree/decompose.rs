@@ -1,0 +1,480 @@
+//! FWD (fixed-width, w = 2) tree decomposition and query-graph extraction.
+//!
+//! See the parent module docs for the algorithm overview. All edges stay
+//! *directed* throughout: the decomposition works on the undirected
+//! skeleton (which pairs of nodes are adjacent), but bags store directed
+//! probabilistic edges and pre-compute directed boundary-pair
+//! reliabilities.
+
+use relcomp_ugraph::{DuplicatePolicy, GraphBuilder, NodeId, Probability, UncertainGraph};
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, HashMap, HashSet};
+use std::sync::Arc;
+
+/// A directed probabilistic edge inside the index (bag or root content).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DirEdge {
+    /// Source node (original graph id).
+    pub from: NodeId,
+    /// Target node (original graph id).
+    pub to: NodeId,
+    /// Existence probability.
+    pub prob: f64,
+}
+
+/// One element of a bag's (or the root's) content.
+#[derive(Clone, Copy, Debug)]
+enum Entry {
+    /// An original edge of the input graph.
+    Raw(DirEdge),
+    /// A collapsed child bag, standing for its pre-computed boundary-pair
+    /// virtual edges.
+    Child(usize),
+}
+
+/// A decomposition bag: a covered node, its boundary (1 or 2 nodes), the
+/// absorbed content, and the upward virtual edges.
+struct Bag {
+    covered: NodeId,
+    boundary: Vec<NodeId>,
+    entries: Vec<Entry>,
+    /// Virtual directed edges between boundary nodes, pre-computed bottom-up
+    /// (empty for single-boundary bags).
+    up_edges: Vec<DirEdge>,
+    /// Parent bag, or `None` if the bag hangs off the root.
+    parent: Option<usize>,
+}
+
+/// Summary statistics of a built index (Fig. 13 reporting).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DecompositionStats {
+    /// Number of bags created.
+    pub num_bags: usize,
+    /// Nodes left uncovered (living in the root).
+    pub root_nodes: usize,
+    /// Entries (raw + collapsed children) in the root.
+    pub root_entries: usize,
+    /// Maximum bag-to-root chain length.
+    pub height: usize,
+}
+
+/// The built FWD ProbTree index.
+pub struct ProbTreeIndex {
+    graph: Arc<UncertainGraph>,
+    bags: Vec<Bag>,
+    /// For each node: the bag covering it, if any.
+    covered_in: Vec<Option<u32>>,
+    root_entries: Vec<Entry>,
+}
+
+/// Result of query-graph extraction: a relabeled small uncertain graph and
+/// the query endpoints within it.
+pub struct QueryExtraction {
+    /// The equivalent (for this query) smaller graph `G(q)`.
+    pub graph: UncertainGraph,
+    /// `s` relabeled into `graph`.
+    pub s: NodeId,
+    /// `t` relabeled into `graph`.
+    pub t: NodeId,
+}
+
+impl ProbTreeIndex {
+    /// Build the index over `graph` with width 2 (Algorithm 7).
+    pub fn build(graph: Arc<UncertainGraph>) -> Self {
+        const W: usize = 2;
+        let n = graph.num_nodes();
+
+        // Undirected skeleton + pair store of directed content.
+        let mut adj: Vec<BTreeSet<NodeId>> = vec![BTreeSet::new(); n];
+        let mut store: HashMap<(u32, u32), Vec<Entry>> = HashMap::new();
+        for (_, u, v, p) in graph.edges() {
+            adj[u.index()].insert(v);
+            adj[v.index()].insert(u);
+            store
+                .entry(pair_key(u, v))
+                .or_default()
+                .push(Entry::Raw(DirEdge { from: u, to: v, prob: p.value() }));
+        }
+
+        let mut bags: Vec<Bag> = Vec::new();
+        let mut covered_in: Vec<Option<u32>> = vec![None; n];
+        let mut removed = vec![false; n];
+        // Pendant (single-boundary) bags hang off their boundary *node*:
+        // they carry no transit connectivity (no up_edges), but must be
+        // absorbed by whichever bag later covers that node — or by the
+        // root — so that queries inside them can expand outward.
+        let mut node_children: Vec<Vec<usize>> = vec![Vec::new(); n];
+
+        // Min-degree-first candidate heap with lazy revalidation, matching
+        // the paper's "for d = 1 to w" preference for low-degree nodes.
+        let mut heap: BinaryHeap<Reverse<(usize, u32)>> = BinaryHeap::new();
+        for v in 0..n {
+            let d = adj[v].len();
+            if (1..=W).contains(&d) {
+                heap.push(Reverse((d, v as u32)));
+            }
+        }
+
+        while let Some(Reverse((d, v))) = heap.pop() {
+            let vi = v as usize;
+            if removed[vi] {
+                continue;
+            }
+            let cur = adj[vi].len();
+            if cur == 0 || cur > W {
+                continue;
+            }
+            if cur != d {
+                heap.push(Reverse((cur, v)));
+                continue;
+            }
+            let v_node = NodeId(v);
+            let boundary: Vec<NodeId> = adj[vi].iter().copied().collect();
+            let bag_id = bags.len();
+
+            // Absorb every stored pair among {v} ∪ boundary.
+            let mut entries = Vec::new();
+            let mut bag_pairs: Vec<(NodeId, NodeId)> =
+                boundary.iter().map(|&b| (v_node, b)).collect();
+            if boundary.len() == 2 {
+                bag_pairs.push((boundary[0], boundary[1]));
+            }
+            for &(a, b) in &bag_pairs {
+                if let Some(content) = store.remove(&pair_key(a, b)) {
+                    for entry in content {
+                        if let Entry::Child(c) = entry {
+                            bags[c].parent = Some(bag_id);
+                        }
+                        entries.push(entry);
+                    }
+                }
+            }
+            // Absorb pendant bags hanging off the covered node.
+            for c in node_children[vi].drain(..) {
+                bags[c].parent = Some(bag_id);
+                entries.push(Entry::Child(c));
+            }
+
+            // Remove v from the skeleton.
+            for &b in &boundary {
+                adj[b.index()].remove(&v_node);
+            }
+            adj[vi].clear();
+            removed[vi] = true;
+            covered_in[vi] = Some(bag_id as u32);
+
+            // Re-connect the boundary pair with a placeholder carrying this
+            // bag's future virtual edges.
+            match boundary.len() {
+                2 => {
+                    let (a, b) = (boundary[0], boundary[1]);
+                    adj[a.index()].insert(b);
+                    adj[b.index()].insert(a);
+                    store.entry(pair_key(a, b)).or_default().push(Entry::Child(bag_id));
+                }
+                1 => {
+                    node_children[boundary[0].index()].push(bag_id);
+                }
+                _ => unreachable!("width-2 bags have 1 or 2 boundary nodes"),
+            }
+
+            // Boundary degrees changed: re-seed candidates.
+            for &b in &boundary {
+                let db = adj[b.index()].len();
+                if (1..=W).contains(&db) {
+                    heap.push(Reverse((db, b.0)));
+                }
+            }
+
+            bags.push(Bag {
+                covered: v_node,
+                boundary,
+                entries,
+                up_edges: Vec::new(),
+                parent: None,
+            });
+        }
+
+        // Whatever remains lives in the root.
+        let mut root_entries: Vec<Entry> = Vec::new();
+        let mut remaining: Vec<((u32, u32), Vec<Entry>)> = store.into_iter().collect();
+        remaining.sort_unstable_by_key(|&(k, _)| k);
+        for (_, content) in remaining {
+            root_entries.extend(content);
+        }
+        // Pendant bags whose anchor node was never covered hang off the
+        // root directly.
+        for children in &mut node_children {
+            for c in children.drain(..) {
+                root_entries.push(Entry::Child(c));
+            }
+        }
+
+        let mut index = ProbTreeIndex { graph, bags, covered_in, root_entries };
+        index.precompute_up_edges();
+        index
+    }
+
+    /// Bottom-up pre-computation of boundary-pair reliabilities
+    /// (Algorithm 7 lines 26-31, with the O(w^2) reliability-only
+    /// aggregation). Bags are processed in creation order, which is a
+    /// valid bottom-up order: a bag's children are always created earlier.
+    fn precompute_up_edges(&mut self) {
+        for i in 0..self.bags.len() {
+            if self.bags[i].boundary.len() != 2 {
+                continue;
+            }
+            let (a, b) = (self.bags[i].boundary[0], self.bags[i].boundary[1]);
+            let v = self.bags[i].covered;
+            let mut up = Vec::with_capacity(2);
+            for (x, y) in [(a, b), (b, a)] {
+                let direct = self.combined_prob(i, x, y);
+                let via = self.combined_prob(i, x, v) * self.combined_prob(i, v, y);
+                let p = 1.0 - (1.0 - direct) * (1.0 - via);
+                if p > 0.0 {
+                    up.push(DirEdge { from: x, to: y, prob: p.min(1.0) });
+                }
+            }
+            self.bags[i].up_edges = up;
+        }
+    }
+
+    /// Probability that `from` reaches `to` through bag `i`'s content
+    /// restricted to the direct pair (raw parallel edges + collapsed
+    /// children), combined independently.
+    fn combined_prob(&self, bag: usize, from: NodeId, to: NodeId) -> f64 {
+        let mut fail = 1.0;
+        for entry in &self.bags[bag].entries {
+            match *entry {
+                Entry::Raw(e) => {
+                    if e.from == from && e.to == to {
+                        fail *= 1.0 - e.prob;
+                    }
+                }
+                Entry::Child(c) => {
+                    for e in &self.bags[c].up_edges {
+                        if e.from == from && e.to == to {
+                            fail *= 1.0 - e.prob;
+                        }
+                    }
+                }
+            }
+        }
+        1.0 - fail
+    }
+
+    /// The input graph this index was built over.
+    pub fn graph(&self) -> &Arc<UncertainGraph> {
+        &self.graph
+    }
+
+    /// Decomposition statistics (Fig. 13 reporting).
+    pub fn stats(&self) -> DecompositionStats {
+        let mut height = 0usize;
+        for i in 0..self.bags.len() {
+            let mut h = 1usize;
+            let mut cur = self.bags[i].parent;
+            while let Some(p) = cur {
+                h += 1;
+                cur = self.bags[p].parent;
+            }
+            height = height.max(h);
+        }
+        DecompositionStats {
+            num_bags: self.bags.len(),
+            root_nodes: self.covered_in.iter().filter(|c| c.is_none()).count(),
+            root_entries: self.root_entries.len(),
+            height,
+        }
+    }
+
+    /// Index size in bytes (Fig. 13b): bag metadata, entries, virtual
+    /// edges, and the covered-node lookup.
+    pub fn size_bytes(&self) -> usize {
+        let entry = std::mem::size_of::<Entry>();
+        let dir = std::mem::size_of::<DirEdge>();
+        let mut total = self.covered_in.len() * 5 + self.root_entries.len() * entry;
+        for bag in &self.bags {
+            total += 32 // covered/parent/headers
+                + bag.boundary.len() * 4
+                + bag.entries.len() * entry
+                + bag.up_edges.len() * dir;
+        }
+        total
+    }
+
+    /// Extract the equivalent query graph for `(s, t)` (Algorithm 8):
+    /// expand the bags covering `s` and `t` along their root paths,
+    /// substitute pre-computed virtual edges for every other collapsed
+    /// subtree, and relabel into a dense small graph.
+    pub fn extract_query_graph(&self, s: NodeId, t: NodeId) -> QueryExtraction {
+        // Bags to expand: root paths of the bags covering s and t.
+        let mut expanded: HashSet<usize> = HashSet::new();
+        for x in [s, t] {
+            let mut cur = self.covered_in[x.index()].map(|b| b as usize);
+            while let Some(b) = cur {
+                if !expanded.insert(b) {
+                    break; // shared ancestry already walked
+                }
+                cur = self.bags[b].parent;
+            }
+        }
+
+        let mut edges: Vec<DirEdge> = Vec::new();
+        let mut stack: Vec<&Entry> = self.root_entries.iter().collect();
+        while let Some(entry) = stack.pop() {
+            match *entry {
+                Entry::Raw(e) => edges.push(e),
+                Entry::Child(c) => {
+                    if expanded.contains(&c) {
+                        stack.extend(self.bags[c].entries.iter());
+                    } else {
+                        edges.extend(self.bags[c].up_edges.iter().copied());
+                    }
+                }
+            }
+        }
+
+        // Relabel into a dense node space.
+        let mut relabel: HashMap<NodeId, u32> = HashMap::new();
+        let fresh = |relabel: &mut HashMap<NodeId, u32>, v: NodeId| -> u32 {
+            let next = relabel.len() as u32;
+            *relabel.entry(v).or_insert(next)
+        };
+        let qs = fresh(&mut relabel, s);
+        let qt = fresh(&mut relabel, t);
+        for e in &edges {
+            fresh(&mut relabel, e.from);
+            fresh(&mut relabel, e.to);
+        }
+
+        let mut builder = GraphBuilder::new(relabel.len())
+            .with_edge_capacity(edges.len())
+            .duplicate_policy(DuplicatePolicy::CombineOr)
+            .allow_self_loops(true);
+        for e in &edges {
+            builder
+                .add_edge_prob(
+                    NodeId(relabel[&e.from]),
+                    NodeId(relabel[&e.to]),
+                    Probability::clamped(e.prob),
+                )
+                .expect("relabeled nodes are in range");
+        }
+        QueryExtraction { graph: builder.build(), s: NodeId(qs), t: NodeId(qt) }
+    }
+}
+
+#[inline]
+fn pair_key(a: NodeId, b: NodeId) -> (u32, u32) {
+    if a.0 <= b.0 {
+        (a.0, b.0)
+    } else {
+        (b.0, a.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relcomp_ugraph::GraphBuilder;
+
+    fn chain(n: usize, p: f64) -> Arc<UncertainGraph> {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n - 1 {
+            b.add_edge(NodeId(i as u32), NodeId(i as u32 + 1), p).unwrap();
+        }
+        Arc::new(b.build())
+    }
+
+    #[test]
+    fn chain_decomposes_fully() {
+        // Every node of a path has degree <= 2, so almost everything is
+        // covered and the root is tiny.
+        let g = chain(10, 0.5);
+        let idx = ProbTreeIndex::build(g);
+        let stats = idx.stats();
+        assert!(stats.num_bags >= 8, "bags {}", stats.num_bags);
+        assert!(stats.root_nodes <= 2, "root nodes {}", stats.root_nodes);
+    }
+
+    #[test]
+    fn chain_virtual_edge_is_product() {
+        // Collapsing the middle of a directed chain must yield the product
+        // probability end-to-end.
+        let g = chain(5, 0.5);
+        let idx = ProbTreeIndex::build(Arc::clone(&g));
+        let q = idx.extract_query_graph(NodeId(0), NodeId(4));
+        // The extraction is equivalent: exact reliability of extraction
+        // must be 0.5^4 = 0.0625.
+        let exact = crate::exact::exact_reliability(&q.graph, q.s, q.t);
+        assert!((exact - 0.0625).abs() < 1e-9, "exact {exact}");
+    }
+
+    #[test]
+    fn query_graph_prunes_irrelevant_branches() {
+        // Lollipop: a 6-node dense core (degree 5 each — never decomposed)
+        // with a 30-node pendant path hanging off node 0. A core-to-core
+        // query must not drag the pendant path into the query graph.
+        let n = 36;
+        let mut b = GraphBuilder::new(n);
+        for u in 0..6u32 {
+            for v in (u + 1)..6u32 {
+                b.add_bidirected(NodeId(u), NodeId(v), 0.5).unwrap();
+            }
+        }
+        b.add_bidirected(NodeId(0), NodeId(6), 0.5).unwrap();
+        for i in 6..(n as u32 - 1) {
+            b.add_bidirected(NodeId(i), NodeId(i + 1), 0.5).unwrap();
+        }
+        let g = Arc::new(b.build());
+        let idx = ProbTreeIndex::build(Arc::clone(&g));
+        let q = idx.extract_query_graph(NodeId(1), NodeId(4));
+        assert!(q.graph.num_nodes() <= 8, "nodes {}", q.graph.num_nodes());
+        // And a query into the pendant tail expands only that branch.
+        let q2 = idx.extract_query_graph(NodeId(1), NodeId(35));
+        assert!(q2.graph.num_nodes() >= 30, "nodes {}", q2.graph.num_nodes());
+    }
+
+    #[test]
+    fn star_center_stays_meaningful() {
+        // High-degree hub: leaves are covered, hub remains in root.
+        let mut b = GraphBuilder::new(6);
+        for leaf in 1..6u32 {
+            b.add_bidirected(NodeId(0), NodeId(leaf), 0.5).unwrap();
+        }
+        let g = Arc::new(b.build());
+        let idx = ProbTreeIndex::build(Arc::clone(&g));
+        let q = idx.extract_query_graph(NodeId(1), NodeId(2));
+        let exact = crate::exact::exact_reliability(&q.graph, q.s, q.t);
+        // 1 -> 0 -> 2 both 0.5: 0.25.
+        assert!((exact - 0.25).abs() < 1e-9, "exact {exact}");
+    }
+
+    #[test]
+    fn stats_and_size_are_consistent() {
+        let g = chain(20, 0.5);
+        let idx = ProbTreeIndex::build(g);
+        let stats = idx.stats();
+        assert!(stats.height >= 1);
+        assert!(idx.size_bytes() > 0);
+        assert_eq!(
+            stats.root_nodes + stats.num_bags,
+            20,
+            "every node is either covered by exactly one bag or in the root"
+        );
+    }
+
+    #[test]
+    fn isolated_endpoint_query_extracts() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+        let g = Arc::new(b.build());
+        let idx = ProbTreeIndex::build(g);
+        let q = idx.extract_query_graph(NodeId(2), NodeId(0));
+        assert!(q.graph.contains_node(q.s));
+        assert!(q.graph.contains_node(q.t));
+        let exact = crate::exact::exact_reliability(&q.graph, q.s, q.t);
+        assert_eq!(exact, 0.0);
+    }
+}

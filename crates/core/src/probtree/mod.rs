@@ -1,0 +1,302 @@
+//! ProbTree indexing (§2.7, Algorithms 7–8 of the paper; originally Maniu,
+//! Cheng & Senellart, TODS'17), FWD (fixed-width) variant with `w = 2`.
+//!
+//! ## Index construction (Algorithm 7)
+//!
+//! 1. **Fixed-width tree decomposition** over the undirected skeleton of
+//!    the graph: repeatedly pick a node with (undirected) degree at most
+//!    `w`, move it and all its incident probabilistic edges into a new
+//!    *bag*, and re-connect its neighbors with a placeholder pair that the
+//!    bag will later fill with pre-computed reliabilities.
+//! 2. **Tree building**: a bag's parent is the bag (or the root) that later
+//!    absorbs its placeholder pair.
+//! 3. **Bottom-up pre-computation**: for each bag with covered node `v` and
+//!    boundary nodes `{a, b}`, the upward virtual edge probability is
+//!    `p(a->b) = 1 - (1 - p_direct(a->b)) * (1 - p(a->v) * p(v->b))` — the
+//!    paper's reliability-only O(w^2) shortcut ("Our adaptation in
+//!    complexity"), replacing the original's full distance distributions.
+//!
+//! With `w <= 2` every removed subtree touches at most two boundary nodes,
+//! all combined edge sets are disjoint, and the index is **lossless**: the
+//! query graph's s-t reliability distribution equals the original's.
+//!
+//! ## Query answering (Algorithm 8)
+//!
+//! Bags covering `s` or `t` are expanded along their root paths: an
+//! expanded bag contributes its own edges (recursively expanding on-path
+//! children, substituting the pre-computed virtual edges for off-path
+//! children), everything else stays collapsed. MC sampling (or any coupled
+//! estimator, §3.8) then runs on the much smaller query graph.
+
+mod decompose;
+
+pub use decompose::{DecompositionStats, ProbTreeIndex};
+
+use crate::estimator::{validate_query, Estimate, Estimator};
+use crate::memory::MemoryTracker;
+use crate::recursive::{RecursiveSampling, RecursiveStratified};
+use crate::lazy::LazyPropagation;
+use crate::mc::McSampling;
+use rand::RngCore;
+use relcomp_ugraph::{NodeId, UncertainGraph};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Which estimator runs on the extracted query graph (§3.8, Table 16).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InnerEstimator {
+    /// Plain MC — what the original ProbTree paper used.
+    Mc,
+    /// Corrected lazy propagation.
+    LpPlus,
+    /// Recursive sampling.
+    Rhh,
+    /// Recursive stratified sampling.
+    Rss,
+}
+
+impl InnerEstimator {
+    fn label(self) -> &'static str {
+        match self {
+            InnerEstimator::Mc => "ProbTree",
+            InnerEstimator::LpPlus => "ProbTree+LP+",
+            InnerEstimator::Rhh => "ProbTree+RHH",
+            InnerEstimator::Rss => "ProbTree+RSS",
+        }
+    }
+}
+
+/// ProbTree estimator: FWD index + per-query graph extraction + inner
+/// estimator.
+pub struct ProbTree {
+    index: ProbTreeIndex,
+    inner: InnerEstimator,
+    build_time: Duration,
+}
+
+impl ProbTree {
+    /// The lossless fixed width used throughout the paper.
+    pub const WIDTH: usize = 2;
+
+    /// Build the FWD index (w = 2) and answer queries with plain MC.
+    pub fn new(graph: Arc<UncertainGraph>) -> Self {
+        Self::with_inner(graph, InnerEstimator::Mc)
+    }
+
+    /// Build the FWD index with a coupled inner estimator (§3.8).
+    pub fn with_inner(graph: Arc<UncertainGraph>, inner: InnerEstimator) -> Self {
+        let start = Instant::now();
+        let index = ProbTreeIndex::build(graph);
+        let build_time = start.elapsed();
+        ProbTree { index, inner, build_time }
+    }
+
+    /// Offline index construction time (Fig. 13a).
+    pub fn index_build_time(&self) -> Duration {
+        self.build_time
+    }
+
+    /// The underlying index.
+    pub fn index(&self) -> &ProbTreeIndex {
+        &self.index
+    }
+}
+
+impl Estimator for ProbTree {
+    fn name(&self) -> &'static str {
+        self.inner.label()
+    }
+
+    fn estimate(
+        &mut self,
+        s: NodeId,
+        t: NodeId,
+        k: usize,
+        rng: &mut dyn RngCore,
+    ) -> Estimate {
+        validate_query(self.index.graph(), s, t);
+        assert!(k > 0, "sample count must be positive");
+        let start = Instant::now();
+        let mut mem = MemoryTracker::new();
+        mem.baseline(self.index.size_bytes());
+
+        if s == t {
+            return Estimate {
+                reliability: 1.0,
+                samples: k,
+                elapsed: start.elapsed(),
+                aux_bytes: mem.peak(),
+            };
+        }
+
+        // Extract the equivalent query graph G(q).
+        let extraction = self.index.extract_query_graph(s, t);
+        mem.alloc(extraction.graph.resident_bytes());
+
+        let qgraph = Arc::new(extraction.graph);
+        let (qs, qt) = (extraction.s, extraction.t);
+        let inner_est = match self.inner {
+            InnerEstimator::Mc => {
+                McSampling::new(Arc::clone(&qgraph)).estimate(qs, qt, k, rng)
+            }
+            InnerEstimator::LpPlus => {
+                LazyPropagation::corrected(Arc::clone(&qgraph)).estimate(qs, qt, k, rng)
+            }
+            InnerEstimator::Rhh => {
+                RecursiveSampling::new(Arc::clone(&qgraph)).estimate(qs, qt, k, rng)
+            }
+            InnerEstimator::Rss => {
+                RecursiveStratified::new(Arc::clone(&qgraph)).estimate(qs, qt, k, rng)
+            }
+        };
+        mem.alloc(inner_est.aux_bytes);
+
+        Estimate {
+            reliability: inner_est.reliability,
+            samples: k,
+            elapsed: start.elapsed(),
+            aux_bytes: mem.peak(),
+        }
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.index.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_reliability;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use relcomp_ugraph::generators::erdos_renyi;
+    use relcomp_ugraph::probmodel::{Direction, ProbModel};
+    use relcomp_ugraph::GraphBuilder;
+
+    /// The paper's Figure 6 example graph (7 nodes, w=2 decomposition).
+    fn figure6_graph() -> Arc<UncertainGraph> {
+        // Undirected probabilistic edges from Fig. 6(a); we model each as
+        // bidirected with the same probability.
+        let mut b = GraphBuilder::new(7);
+        let edges = [
+            (0u32, 1u32, 0.5),
+            (0, 2, 0.75),
+            (0, 4, 0.75),
+            (0, 6, 0.15),
+            (1, 2, 0.75),
+            (1, 5, 0.75),
+            (1, 6, 0.5),
+            (2, 6, 0.2),
+            (3, 4, 0.5),
+            (4, 6, 0.25),
+            (5, 6, 0.5),
+        ];
+        for (u, v, p) in edges {
+            b.add_bidirected(NodeId(u), NodeId(v), p).unwrap();
+        }
+        Arc::new(b.build())
+    }
+
+    #[test]
+    fn paper_example2_aggregation() {
+        // Bag (D) of Example 2: reliability from node 6 to node 1 is
+        // 1 - (1 - 0.75)(1 - 0.5 * 0.5) = 0.8125. Exercised through the
+        // Probability helper the index uses.
+        let direct = 0.75f64;
+        let via = 0.5 * 0.5;
+        assert!((1.0 - (1.0 - direct) * (1.0 - via) - 0.8125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probtree_matches_exact_on_figure6() {
+        let g = figure6_graph();
+        let mut rng = ChaCha8Rng::seed_from_u64(61);
+        let mut pt = ProbTree::new(Arc::clone(&g));
+        for (s, t) in [(1u32, 2u32), (3, 5), (0, 3), (6, 4)] {
+            let exact = exact_reliability(&g, NodeId(s), NodeId(t));
+            let est = pt.estimate(NodeId(s), NodeId(t), 60_000, &mut rng);
+            assert!(
+                (est.reliability - exact).abs() < 0.012,
+                "query {s}->{t}: probtree {} vs exact {exact}",
+                est.reliability
+            );
+        }
+    }
+
+    #[test]
+    fn probtree_matches_exact_on_random_graphs() {
+        // Losslessness check across random sparse digraphs.
+        for seed in 0..6u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let pairs = erdos_renyi(10, 12, &mut rng);
+            let g = Arc::new(ProbModel::UniformChoice { choices: vec![0.3, 0.6, 0.9] }.apply(
+                10,
+                &pairs,
+                Direction::RandomOriented,
+                &mut rng,
+            ));
+            if g.num_edges() > 24 {
+                continue; // exact oracle bound
+            }
+            let exact = exact_reliability(&g, NodeId(0), NodeId(9));
+            let mut pt = ProbTree::new(Arc::clone(&g));
+            let est = pt.estimate(NodeId(0), NodeId(9), 60_000, &mut rng);
+            assert!(
+                (est.reliability - exact).abs() < 0.015,
+                "seed {seed}: probtree {} vs exact {exact}",
+                est.reliability
+            );
+        }
+    }
+
+    #[test]
+    fn coupled_estimators_agree_with_exact() {
+        let g = figure6_graph();
+        let exact = exact_reliability(&g, NodeId(3), NodeId(5));
+        for inner in [InnerEstimator::LpPlus, InnerEstimator::Rhh, InnerEstimator::Rss] {
+            let mut rng = ChaCha8Rng::seed_from_u64(62);
+            let mut pt = ProbTree::with_inner(Arc::clone(&g), inner);
+            // Recursive inner estimators: average over repeats.
+            let reps = 40;
+            let sum: f64 = (0..reps)
+                .map(|_| pt.estimate(NodeId(3), NodeId(5), 4000, &mut rng).reliability)
+                .sum();
+            let mean = sum / reps as f64;
+            assert!(
+                (mean - exact).abs() < 0.02,
+                "{}: {mean} vs exact {exact}",
+                pt.name()
+            );
+        }
+    }
+
+    #[test]
+    fn names_match_table16() {
+        let g = figure6_graph();
+        assert_eq!(ProbTree::new(Arc::clone(&g)).name(), "ProbTree");
+        assert_eq!(
+            ProbTree::with_inner(Arc::clone(&g), InnerEstimator::Rss).name(),
+            "ProbTree+RSS"
+        );
+    }
+
+    #[test]
+    fn s_equals_t() {
+        let g = figure6_graph();
+        let mut rng = ChaCha8Rng::seed_from_u64(63);
+        let mut pt = ProbTree::new(g);
+        assert_eq!(pt.estimate(NodeId(2), NodeId(2), 10, &mut rng).reliability, 1.0);
+    }
+
+    #[test]
+    fn disconnected_pair_is_zero() {
+        let mut b = GraphBuilder::new(4);
+        b.add_bidirected(NodeId(0), NodeId(1), 0.9).unwrap();
+        b.add_bidirected(NodeId(2), NodeId(3), 0.9).unwrap();
+        let g = Arc::new(b.build());
+        let mut rng = ChaCha8Rng::seed_from_u64(64);
+        let mut pt = ProbTree::new(g);
+        assert_eq!(pt.estimate(NodeId(0), NodeId(3), 2000, &mut rng).reliability, 0.0);
+    }
+}

@@ -1,0 +1,288 @@
+//! Recursive Stratified Sampling, "RSS" (§2.5, Algorithm 5 and Table 1 of
+//! the paper; originally Li et al., TKDE'16).
+//!
+//! RSS generalizes RHH from one pivot edge to `r` of them: BFS from `s`
+//! selects `r` undetermined edges `T = {e_1 .. e_r}`, and the probability
+//! space is split into `r + 1` disjoint strata (Table 1):
+//!
+//! * stratum `0`   — all of `T` absent;
+//! * stratum `i`   — `e_1 .. e_{i-1}` absent, `e_i` present, the rest
+//!   undetermined.
+//!
+//! Each stratum gets a sample budget proportional to its probability
+//! `pi_i` (Eq. 10) and is estimated recursively on the simplified graph;
+//! the final estimate is `sum_i pi_i * mu_i`. RHH is the special case
+//! `r = 1` (§3.2 point 1).
+
+use crate::estimator::{validate_query, Estimate, Estimator};
+use crate::memory::MemoryTracker;
+use crate::recursive::state::RecState;
+use rand::RngCore;
+use relcomp_ugraph::{EdgeId, NodeId, UncertainGraph};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Recursive stratified sampling estimator (RSS).
+pub struct RecursiveStratified {
+    graph: Arc<UncertainGraph>,
+    /// Conditional-MC fallback budget (paper default 5; Fig. 16 sweeps it).
+    threshold: usize,
+    /// Number of pivot edges per level (paper default 50; Fig. 17 sweeps
+    /// it).
+    r: usize,
+}
+
+impl RecursiveStratified {
+    /// Paper defaults (§3.1.3).
+    pub const DEFAULT_THRESHOLD: usize = 5;
+    /// Paper default stratum count `r` (§3.1.3, recommended in [28]).
+    pub const DEFAULT_R: usize = 50;
+
+    /// Create with paper-default parameters.
+    pub fn new(graph: Arc<UncertainGraph>) -> Self {
+        Self::with_params(graph, Self::DEFAULT_THRESHOLD, Self::DEFAULT_R)
+    }
+
+    /// Create with explicit threshold and stratum count.
+    pub fn with_params(graph: Arc<UncertainGraph>, threshold: usize, r: usize) -> Self {
+        assert!(threshold >= 1, "threshold must be >= 1");
+        assert!(r >= 1, "stratum parameter r must be >= 1");
+        RecursiveStratified { graph, threshold, r }
+    }
+
+    /// The stratum parameter `r` in use.
+    pub fn stratum_r(&self) -> usize {
+        self.r
+    }
+
+    /// The fallback threshold in use.
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    fn recurse(
+        &self,
+        st: &mut RecState<'_>,
+        k: usize,
+        rng: &mut dyn RngCore,
+        mem: &mut MemoryTracker,
+    ) -> f64 {
+        let frame_bytes = st.memory_model_bytes();
+        mem.alloc(frame_bytes);
+
+        let result = (|| {
+            if st.t_reached() {
+                return 1.0;
+            }
+            // Prune branches whose exclusions already cut off t — the
+            // "simplify graph" effect of Alg. 5 line 12.
+            if !st.t_possibly_reachable() {
+                return 0.0;
+            }
+            if k < self.threshold || st.undetermined_count() < self.r {
+                return st.mc_conditional(k.max(1), rng);
+            }
+            let selected = st.select_edges_bfs(self.r);
+            if selected.is_empty() {
+                // No undetermined edge reachable from s: reliability is
+                // fully determined by E1 (and t is not reached).
+                return 0.0;
+            }
+
+            let mut estimate = 0.0;
+            // Stratum 0: all selected edges absent.
+            // Stratum i (1-based): e_1..e_{i-1} absent, e_i present.
+            for i in 0..=selected.len() {
+                let (pi, fixes) = stratum(st, &selected, i);
+                if pi <= 0.0 {
+                    continue;
+                }
+                let ki = ((k as f64 * pi).round() as usize).max(1);
+                let mut undos = Vec::with_capacity(fixes.len());
+                for &(e, present) in &fixes {
+                    undos.push(if present { st.include(e) } else { st.exclude(e) });
+                }
+                let mu = self.recurse(st, ki, rng, mem);
+                for undo in undos.into_iter().rev() {
+                    st.undo(undo);
+                }
+                estimate += pi * mu;
+            }
+            estimate
+        })();
+
+        mem.free(frame_bytes);
+        result
+    }
+}
+
+/// Stratum `i`'s probability (Eq. 10) and the edge fixes it implies.
+fn stratum(
+    st: &RecState<'_>,
+    selected: &[EdgeId],
+    i: usize,
+) -> (f64, Vec<(EdgeId, bool)>) {
+    let mut pi = 1.0;
+    let mut fixes = Vec::new();
+    if i == 0 {
+        for &e in selected {
+            pi *= 1.0 - st.prob(e);
+            fixes.push((e, false));
+        }
+    } else {
+        for &e in &selected[..i - 1] {
+            pi *= 1.0 - st.prob(e);
+            fixes.push((e, false));
+        }
+        let e = selected[i - 1];
+        pi *= st.prob(e);
+        fixes.push((e, true));
+    }
+    (pi, fixes)
+}
+
+impl Estimator for RecursiveStratified {
+    fn name(&self) -> &'static str {
+        "RSS"
+    }
+
+    fn estimate(
+        &mut self,
+        s: NodeId,
+        t: NodeId,
+        k: usize,
+        rng: &mut dyn RngCore,
+    ) -> Estimate {
+        validate_query(&self.graph, s, t);
+        assert!(k > 0, "sample count must be positive");
+        let start = Instant::now();
+        let mut mem = MemoryTracker::new();
+
+        let mut st = RecState::new(&self.graph, s, t);
+        mem.baseline(st.base_bytes());
+
+        let reliability = if s == t { 1.0 } else { self.recurse(&mut st, k, rng, &mut mem) };
+
+        Estimate {
+            reliability: reliability.clamp(0.0, 1.0),
+            samples: k,
+            elapsed: start.elapsed(),
+            aux_bytes: mem.peak(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_reliability;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use relcomp_ugraph::GraphBuilder;
+
+    fn diamond() -> Arc<UncertainGraph> {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+        b.add_edge(NodeId(0), NodeId(2), 0.6).unwrap();
+        b.add_edge(NodeId(1), NodeId(3), 0.7).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), 0.4).unwrap();
+        Arc::new(b.build())
+    }
+
+    #[test]
+    fn stratum_probabilities_partition_to_one() {
+        let g = diamond();
+        let st = RecState::new(&g, NodeId(0), NodeId(3));
+        let selected: Vec<EdgeId> = g.edges().map(|(e, _, _, _)| e).collect();
+        let total: f64 = (0..=selected.len()).map(|i| stratum(&st, &selected, i).0).sum();
+        assert!((total - 1.0).abs() < 1e-12, "total {total}");
+    }
+
+    #[test]
+    fn stratum_design_matches_table1() {
+        let g = diamond();
+        let st = RecState::new(&g, NodeId(0), NodeId(3));
+        let selected: Vec<EdgeId> = g.edges().map(|(e, _, _, _)| e).collect();
+        // Stratum 0: every selected edge fixed absent.
+        let (_, fixes0) = stratum(&st, &selected, 0);
+        assert!(fixes0.iter().all(|&(_, present)| !present));
+        assert_eq!(fixes0.len(), 4);
+        // Stratum 2: e1 absent, e2 present, the rest (e3, e4) untouched.
+        let (_, fixes2) = stratum(&st, &selected, 2);
+        assert_eq!(fixes2.len(), 2);
+        assert_eq!(fixes2[0], (selected[0], false));
+        assert_eq!(fixes2[1], (selected[1], true));
+    }
+
+    #[test]
+    fn converges_to_exact_on_diamond() {
+        let g = diamond();
+        let exact = exact_reliability(&g, NodeId(0), NodeId(3));
+        let mut rss = RecursiveStratified::with_params(Arc::clone(&g), 5, 3);
+        let mut rng = ChaCha8Rng::seed_from_u64(51);
+        let reps = 200;
+        let sum: f64 = (0..reps)
+            .map(|_| rss.estimate(NodeId(0), NodeId(3), 2000, &mut rng).reliability)
+            .sum();
+        let mean = sum / reps as f64;
+        assert!((mean - exact).abs() < 0.01, "{mean} vs {exact}");
+    }
+
+    #[test]
+    fn variance_below_mc_at_equal_k() {
+        let g = diamond();
+        let mut rss = RecursiveStratified::with_params(Arc::clone(&g), 5, 3);
+        let mut mc = crate::mc::McSampling::new(Arc::clone(&g));
+        let mut rng = ChaCha8Rng::seed_from_u64(52);
+        let reps = 300;
+        let k = 200;
+        let var = |xs: &[f64]| {
+            let m = xs.iter().sum::<f64>() / xs.len() as f64;
+            xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64
+        };
+        let rss_runs: Vec<f64> = (0..reps)
+            .map(|_| rss.estimate(NodeId(0), NodeId(3), k, &mut rng).reliability)
+            .collect();
+        let mc_runs: Vec<f64> = (0..reps)
+            .map(|_| mc.estimate(NodeId(0), NodeId(3), k, &mut rng).reliability)
+            .collect();
+        assert!(
+            var(&rss_runs) < var(&mc_runs),
+            "rss var {} vs mc var {}",
+            var(&rss_runs),
+            var(&mc_runs)
+        );
+    }
+
+    #[test]
+    fn unreachable_is_zero_and_path_is_one() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        let g = Arc::new(b.build());
+        let mut rss = RecursiveStratified::new(Arc::clone(&g));
+        let mut rng = ChaCha8Rng::seed_from_u64(53);
+        assert_eq!(rss.estimate(NodeId(0), NodeId(1), 500, &mut rng).reliability, 1.0);
+        assert_eq!(rss.estimate(NodeId(0), NodeId(2), 500, &mut rng).reliability, 0.0);
+    }
+
+    #[test]
+    fn small_r_equals_rhh_shape() {
+        // r = 1 makes RSS structurally RHH (the paper notes RHH is the
+        // r = 1 special case); both should agree with exact.
+        let g = diamond();
+        let exact = exact_reliability(&g, NodeId(0), NodeId(3));
+        let mut rss = RecursiveStratified::with_params(Arc::clone(&g), 5, 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(54);
+        let reps = 200;
+        let sum: f64 = (0..reps)
+            .map(|_| rss.estimate(NodeId(0), NodeId(3), 1000, &mut rng).reliability)
+            .sum();
+        assert!((sum / reps as f64 - exact).abs() < 0.015);
+    }
+
+    #[test]
+    #[should_panic(expected = "stratum parameter")]
+    fn zero_r_rejected() {
+        let _ = RecursiveStratified::with_params(diamond(), 5, 0);
+    }
+}

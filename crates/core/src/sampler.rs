@@ -1,0 +1,76 @@
+//! Random-variate helpers shared by the samplers.
+
+use rand::Rng;
+
+/// Bernoulli trial with probability `p`.
+#[inline]
+pub fn coin<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    rng.gen::<f64>() < p
+}
+
+/// Geometric variate: the number of *failures* before the first success of
+/// a Bernoulli(p) process — i.e. `P(X = k) = (1-p)^k p` for `k >= 0`.
+///
+/// This is the distribution Lazy Propagation (§2.6) attaches to each edge:
+/// `X(nbr)` counts how many future probes of the edge will fail before it
+/// exists again. `p = 1` always yields 0.
+#[inline]
+pub fn geometric<R: Rng + ?Sized>(rng: &mut R, p: f64) -> u64 {
+    debug_assert!(p > 0.0 && p <= 1.0, "geometric parameter out of range: {p}");
+    if p >= 1.0 {
+        return 0;
+    }
+    // Inverse-CDF: X = floor(ln(U) / ln(1-p)) with U ~ Uniform(0, 1].
+    let u: f64 = 1.0 - rng.gen::<f64>(); // in (0, 1]
+    let x = (u.ln() / (1.0 - p).ln()).floor();
+    // Guard against numeric blow-up for tiny p.
+    if x.is_finite() && x >= 0.0 {
+        x as u64
+    } else {
+        u64::MAX / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn geometric_of_certain_edge_is_zero() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert_eq!(geometric(&mut rng, 1.0), 0);
+        }
+    }
+
+    #[test]
+    fn geometric_mean_matches_theory() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let p = 0.25;
+        let n = 200_000;
+        let sum: u64 = (0..n).map(|_| geometric(&mut rng, p)).sum();
+        let mean = sum as f64 / n as f64;
+        let expect = (1.0 - p) / p; // 3.0
+        assert!((mean - expect).abs() < 0.05, "mean {mean} vs {expect}");
+    }
+
+    #[test]
+    fn geometric_zero_probability_mass_at_zero_is_p() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let p = 0.7;
+        let n = 100_000;
+        let zeros = (0..n).filter(|_| geometric(&mut rng, p) == 0).count();
+        let freq = zeros as f64 / n as f64;
+        assert!((freq - p).abs() < 0.01, "freq {freq}");
+    }
+
+    #[test]
+    fn coin_matches_probability() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| coin(&mut rng, 0.3)).count();
+        let freq = hits as f64 / 100_000.0;
+        assert!((freq - 0.3).abs() < 0.01);
+    }
+}

@@ -1,0 +1,205 @@
+//! Uniform construction of the paper's estimator line-up.
+//!
+//! The evaluation harness compares the six estimators of §2 (plus the
+//! buggy LP for Fig. 5 and the ProbTree couplings of §3.8) over identical
+//! workloads. [`EstimatorKind`] enumerates them; [`build_estimator`]
+//! instantiates any of them over a shared graph with the paper's default
+//! parameters (overridable through [`SuiteParams`]).
+
+use crate::bfs_sharing::BfsSharing;
+use crate::estimator::Estimator;
+use crate::lazy::LazyPropagation;
+use crate::mc::McSampling;
+use crate::probtree::{InnerEstimator, ProbTree};
+use crate::recursive::{RecursiveSampling, RecursiveStratified};
+use rand::RngCore;
+use relcomp_ugraph::UncertainGraph;
+use std::sync::Arc;
+
+/// Every estimator the paper evaluates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EstimatorKind {
+    /// Monte Carlo sampling (§2.2).
+    Mc,
+    /// BFS-Sharing index (§2.3).
+    BfsSharing,
+    /// ProbTree index with MC at the root (§2.7).
+    ProbTree,
+    /// Corrected lazy propagation (§2.6).
+    LpPlus,
+    /// Original (buggy) lazy propagation — Fig. 5 only.
+    LpOriginal,
+    /// Recursive sampling (§2.4).
+    Rhh,
+    /// Recursive stratified sampling (§2.5).
+    Rss,
+    /// ProbTree coupled with LP+ (§3.8).
+    ProbTreeLpPlus,
+    /// ProbTree coupled with RHH (§3.8).
+    ProbTreeRhh,
+    /// ProbTree coupled with RSS (§3.8).
+    ProbTreeRss,
+}
+
+impl EstimatorKind {
+    /// The six headline estimators, in the paper's table order.
+    pub const PAPER_SIX: [EstimatorKind; 6] = [
+        EstimatorKind::Mc,
+        EstimatorKind::BfsSharing,
+        EstimatorKind::ProbTree,
+        EstimatorKind::LpPlus,
+        EstimatorKind::Rhh,
+        EstimatorKind::Rss,
+    ];
+
+    /// Display name matching the paper's tables.
+    pub fn display_name(self) -> &'static str {
+        match self {
+            EstimatorKind::Mc => "MC",
+            EstimatorKind::BfsSharing => "BFS Sharing",
+            EstimatorKind::ProbTree => "ProbTree",
+            EstimatorKind::LpPlus => "LP+",
+            EstimatorKind::LpOriginal => "LP",
+            EstimatorKind::Rhh => "RHH",
+            EstimatorKind::Rss => "RSS",
+            EstimatorKind::ProbTreeLpPlus => "ProbTree+LP+",
+            EstimatorKind::ProbTreeRhh => "ProbTree+RHH",
+            EstimatorKind::ProbTreeRss => "ProbTree+RSS",
+        }
+    }
+
+    /// Whether this estimator requires an offline index.
+    pub fn is_indexed(self) -> bool {
+        matches!(
+            self,
+            EstimatorKind::BfsSharing
+                | EstimatorKind::ProbTree
+                | EstimatorKind::ProbTreeLpPlus
+                | EstimatorKind::ProbTreeRhh
+                | EstimatorKind::ProbTreeRss
+        )
+    }
+}
+
+/// Tunable parameters with the paper's defaults (§3.1.3).
+#[derive(Clone, Copy, Debug)]
+pub struct SuiteParams {
+    /// BFS-Sharing pre-sampled world count (paper: L = 1500 safe bound).
+    pub bfs_sharing_worlds: usize,
+    /// Recursive-method MC fallback threshold (paper: 5).
+    pub recursive_threshold: usize,
+    /// RSS stratum parameter r (paper: 50).
+    pub rss_r: usize,
+}
+
+impl Default for SuiteParams {
+    fn default() -> Self {
+        SuiteParams {
+            bfs_sharing_worlds: BfsSharing::DEFAULT_WORLDS,
+            recursive_threshold: RecursiveSampling::DEFAULT_THRESHOLD,
+            rss_r: RecursiveStratified::DEFAULT_R,
+        }
+    }
+}
+
+/// Instantiate `kind` over `graph` with `params`. The RNG is used only by
+/// index-building estimators (BFS-Sharing world sampling).
+pub fn build_estimator(
+    kind: EstimatorKind,
+    graph: Arc<UncertainGraph>,
+    params: SuiteParams,
+    rng: &mut dyn RngCore,
+) -> Box<dyn Estimator> {
+    match kind {
+        EstimatorKind::Mc => Box::new(McSampling::new(graph)),
+        EstimatorKind::BfsSharing => {
+            Box::new(BfsSharing::new(graph, params.bfs_sharing_worlds, rng))
+        }
+        EstimatorKind::ProbTree => Box::new(ProbTree::new(graph)),
+        EstimatorKind::LpPlus => Box::new(LazyPropagation::corrected(graph)),
+        EstimatorKind::LpOriginal => Box::new(LazyPropagation::original(graph)),
+        EstimatorKind::Rhh => {
+            Box::new(RecursiveSampling::with_threshold(graph, params.recursive_threshold))
+        }
+        EstimatorKind::Rss => Box::new(RecursiveStratified::with_params(
+            graph,
+            params.recursive_threshold,
+            params.rss_r,
+        )),
+        EstimatorKind::ProbTreeLpPlus => {
+            Box::new(ProbTree::with_inner(graph, InnerEstimator::LpPlus))
+        }
+        EstimatorKind::ProbTreeRhh => {
+            Box::new(ProbTree::with_inner(graph, InnerEstimator::Rhh))
+        }
+        EstimatorKind::ProbTreeRss => {
+            Box::new(ProbTree::with_inner(graph, InnerEstimator::Rss))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_reliability;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use relcomp_ugraph::{GraphBuilder, NodeId};
+
+    fn diamond() -> Arc<UncertainGraph> {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+        b.add_edge(NodeId(0), NodeId(2), 0.6).unwrap();
+        b.add_edge(NodeId(1), NodeId(3), 0.7).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), 0.4).unwrap();
+        Arc::new(b.build())
+    }
+
+    #[test]
+    fn all_kinds_build_and_estimate() {
+        let g = diamond();
+        let exact = exact_reliability(&g, NodeId(0), NodeId(3));
+        let mut rng = ChaCha8Rng::seed_from_u64(71);
+        let params = SuiteParams { bfs_sharing_worlds: 20_000, ..Default::default() };
+        for kind in [
+            EstimatorKind::Mc,
+            EstimatorKind::BfsSharing,
+            EstimatorKind::ProbTree,
+            EstimatorKind::LpPlus,
+            EstimatorKind::Rhh,
+            EstimatorKind::Rss,
+            EstimatorKind::ProbTreeLpPlus,
+            EstimatorKind::ProbTreeRhh,
+            EstimatorKind::ProbTreeRss,
+        ] {
+            let mut est = build_estimator(kind, Arc::clone(&g), params, &mut rng);
+            assert_eq!(est.name(), kind.display_name());
+            // Recursive methods need averaging; use repeated medium-K runs.
+            let reps = 30;
+            let sum: f64 = (0..reps)
+                .map(|_| est.estimate(NodeId(0), NodeId(3), 5000, &mut rng).reliability)
+                .sum();
+            let mean = sum / reps as f64;
+            assert!(
+                (mean - exact).abs() < 0.03,
+                "{}: {mean} vs exact {exact}",
+                kind.display_name()
+            );
+        }
+    }
+
+    #[test]
+    fn paper_six_has_expected_members() {
+        let names: Vec<_> =
+            EstimatorKind::PAPER_SIX.iter().map(|k| k.display_name()).collect();
+        assert_eq!(names, vec!["MC", "BFS Sharing", "ProbTree", "LP+", "RHH", "RSS"]);
+    }
+
+    #[test]
+    fn indexed_flags() {
+        assert!(EstimatorKind::BfsSharing.is_indexed());
+        assert!(EstimatorKind::ProbTree.is_indexed());
+        assert!(!EstimatorKind::Mc.is_indexed());
+        assert!(!EstimatorKind::Rss.is_indexed());
+    }
+}

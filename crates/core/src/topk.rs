@@ -1,0 +1,218 @@
+//! Top-k reliability search: find the `k` nodes with the highest
+//! reliability from a source `s`.
+//!
+//! This is the query BFS Sharing was originally designed for (Zhu et
+//! al., ICDM'15 — §2.3 of the paper notes the s-t adaptation). The index
+//! answers it almost for free: one shared-BFS pass computes `I_v` for
+//! *every* reached node, and the answer is the k largest popcounts. A
+//! plain-MC variant is provided as the unindexed baseline.
+
+use crate::bfs_sharing::BfsSharingIndex;
+use crate::sampler::coin;
+use rand::RngCore;
+use relcomp_ugraph::traversal::VisitSet;
+use relcomp_ugraph::{NodeId, UncertainGraph};
+use std::collections::VecDeque;
+
+/// A node with its estimated reliability from the query source.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TargetScore {
+    /// The target node.
+    pub node: NodeId,
+    /// Estimated `R(s, node)`.
+    pub reliability: f64,
+}
+
+/// Top-k reliable targets via the BFS-Sharing index: one fixpoint pass
+/// over `worlds <= L` pre-sampled worlds, then rank popcounts.
+///
+/// `s` itself is excluded from the result (its reliability is trivially 1).
+pub fn top_k_targets_indexed(
+    graph: &UncertainGraph,
+    index: &BfsSharingIndex,
+    s: NodeId,
+    k: usize,
+    worlds: usize,
+) -> Vec<TargetScore> {
+    assert!(graph.contains_node(s), "source out of range");
+    assert!(
+        worlds <= index.num_worlds(),
+        "requested {worlds} worlds but index holds {}",
+        index.num_worlds()
+    );
+    assert!(worlds > 0, "need at least one world");
+    let n = graph.num_nodes();
+    let words = worlds.div_ceil(64);
+    let last_mask: u64 = if worlds % 64 == 0 { !0 } else { (1u64 << (worlds % 64)) - 1 };
+
+    let mut bits: Vec<u64> = vec![0; n * words];
+    let mut touched = vec![false; n];
+    for w in 0..words {
+        bits[s.index() * words + w] = if w + 1 == words { last_mask } else { !0 };
+    }
+    touched[s.index()] = true;
+
+    let mut queue = VecDeque::new();
+    let mut in_queue = vec![false; n];
+    queue.push_back(s);
+    in_queue[s.index()] = true;
+    while let Some(v) = queue.pop_front() {
+        in_queue[v.index()] = false;
+        for (e, w) in graph.out_edges(v) {
+            let edge_words = index.edge_words(e);
+            let mut changed = false;
+            for i in 0..words {
+                let add = bits[v.index() * words + i] & edge_words[i];
+                let cur = bits[w.index() * words + i];
+                if cur | add != cur {
+                    bits[w.index() * words + i] = cur | add;
+                    changed = true;
+                }
+            }
+            if changed {
+                touched[w.index()] = true;
+                if !in_queue[w.index()] {
+                    in_queue[w.index()] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+
+    let mut scores: Vec<TargetScore> = (0..n)
+        .filter(|&i| touched[i] && i != s.index())
+        .map(|i| {
+            let ones: u32 =
+                bits[i * words..(i + 1) * words].iter().map(|w| w.count_ones()).sum();
+            TargetScore {
+                node: NodeId::from_index(i),
+                reliability: ones as f64 / worlds as f64,
+            }
+        })
+        .collect();
+    scores.sort_by(|a, b| {
+        b.reliability
+            .partial_cmp(&a.reliability)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.node.cmp(&b.node))
+    });
+    scores.truncate(k);
+    scores
+}
+
+/// Top-k reliable targets via plain MC: sample `samples` worlds, count
+/// per-node reachability with a lazily-sampled BFS per world.
+pub fn top_k_targets_mc(
+    graph: &UncertainGraph,
+    s: NodeId,
+    k: usize,
+    samples: usize,
+    rng: &mut dyn RngCore,
+) -> Vec<TargetScore> {
+    assert!(graph.contains_node(s), "source out of range");
+    assert!(samples > 0, "need at least one sample");
+    let n = graph.num_nodes();
+    let mut hits = vec![0u32; n];
+    let mut visited = VisitSet::new(n);
+    let mut queue = VecDeque::new();
+    for _ in 0..samples {
+        visited.reset();
+        visited.insert(s);
+        queue.clear();
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            for (e, w) in graph.out_edges(v) {
+                if !visited.contains(w) && coin(rng, graph.prob(e).value()) {
+                    visited.insert(w);
+                    hits[w.index()] += 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    let mut scores: Vec<TargetScore> = (0..n)
+        .filter(|&i| hits[i] > 0)
+        .map(|i| TargetScore {
+            node: NodeId::from_index(i),
+            reliability: hits[i] as f64 / samples as f64,
+        })
+        .collect();
+    scores.sort_by(|a, b| {
+        b.reliability
+            .partial_cmp(&a.reliability)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.node.cmp(&b.node))
+    });
+    scores.truncate(k);
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use relcomp_ugraph::GraphBuilder;
+
+    /// s -> a (0.9), s -> b (0.5), a -> c (0.9): expected ranking
+    /// a (0.9), c (0.81), b (0.5).
+    fn star() -> UncertainGraph {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1), 0.9).unwrap();
+        b.add_edge(NodeId(0), NodeId(2), 0.5).unwrap();
+        b.add_edge(NodeId(1), NodeId(3), 0.9).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn indexed_ranking_matches_truth() {
+        let g = star();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let index = BfsSharingIndex::build(&g, 40_000, &mut rng);
+        let top = top_k_targets_indexed(&g, &index, NodeId(0), 3, 40_000);
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[0].node, NodeId(1));
+        assert_eq!(top[1].node, NodeId(3));
+        assert_eq!(top[2].node, NodeId(2));
+        assert!((top[0].reliability - 0.9).abs() < 0.01);
+        assert!((top[1].reliability - 0.81).abs() < 0.01);
+        assert!((top[2].reliability - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn mc_ranking_matches_indexed() {
+        let g = star();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let top = top_k_targets_mc(&g, NodeId(0), 3, 40_000, &mut rng);
+        assert_eq!(top[0].node, NodeId(1));
+        assert_eq!(top[1].node, NodeId(3));
+        assert_eq!(top[2].node, NodeId(2));
+    }
+
+    #[test]
+    fn k_larger_than_reachable_truncates() {
+        let g = star();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let top = top_k_targets_mc(&g, NodeId(1), 10, 500, &mut rng);
+        assert_eq!(top.len(), 1); // only node 3 reachable from 1
+        assert_eq!(top[0].node, NodeId(3));
+    }
+
+    #[test]
+    fn source_is_excluded() {
+        let g = star();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let index = BfsSharingIndex::build(&g, 1000, &mut rng);
+        let top = top_k_targets_indexed(&g, &index, NodeId(0), 10, 1000);
+        assert!(top.iter().all(|ts| ts.node != NodeId(0)));
+    }
+
+    #[test]
+    fn prefix_worlds_supported() {
+        let g = star();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let index = BfsSharingIndex::build(&g, 1000, &mut rng);
+        let top = top_k_targets_indexed(&g, &index, NodeId(0), 1, 700);
+        assert_eq!(top[0].node, NodeId(1));
+    }
+}

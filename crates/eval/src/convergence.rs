@@ -1,0 +1,285 @@
+//! The paper's convergence protocol (§3.1.3-3.1.4).
+//!
+//! For a given estimator and dataset, start at `K = 250` and step by 250.
+//! At each `K`, query every s-t pair `T` times; compute the average
+//! variance `V_K` (Eq. 12) and average reliability `R_K` (Eq. 13); declare
+//! convergence when the index of dispersion `rho_K = V_K / R_K` drops
+//! below `0.001`. The paper's headline finding is that the convergent `K`
+//! differs per estimator *and* per dataset, so no single fixed `K` is a
+//! fair comparison point.
+
+use crate::metrics::{
+    average_reliability, average_variance, dispersion, KMetrics, PairRuns,
+};
+use crate::workload::Workload;
+use rand::RngCore;
+use relcomp_core::Estimator;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Convergence-sweep configuration (paper defaults, scaled-down repeats).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ConvergenceConfig {
+    /// Initial sample count (paper: 250).
+    pub k_start: usize,
+    /// Step (paper: 250).
+    pub k_step: usize,
+    /// Hard cap on K (the paper observed convergence by 1750 everywhere;
+    /// the cap guards against non-converging configurations).
+    pub k_max: usize,
+    /// Repetitions `T` per (pair, K) (paper: 100; our default: 30 — see
+    /// DESIGN.md substitutions).
+    pub repeats: usize,
+    /// Dispersion threshold (paper: 0.001).
+    pub rho_threshold: f64,
+}
+
+impl Default for ConvergenceConfig {
+    fn default() -> Self {
+        ConvergenceConfig {
+            k_start: 250,
+            k_step: 250,
+            k_max: 2000,
+            repeats: 30,
+            rho_threshold: 1e-3,
+        }
+    }
+}
+
+/// Measurements at one value of `K`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct KPoint {
+    /// Aggregate metrics.
+    pub metrics: KMetrics,
+    /// Per-pair mean reliabilities (needed for relative-error computation
+    /// against a baseline).
+    pub per_pair_means: Vec<f64>,
+}
+
+/// A full convergence sweep for one estimator over one workload.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ConvergenceRun {
+    /// Estimator display name.
+    pub estimator: String,
+    /// One point per K step, in increasing K order.
+    pub history: Vec<KPoint>,
+    /// Whether the dispersion threshold was met within `k_max`.
+    pub converged: bool,
+}
+
+impl ConvergenceRun {
+    /// The K at which the run stopped (converged or capped).
+    pub fn final_k(&self) -> usize {
+        self.history.last().map(|p| p.metrics.k).unwrap_or(0)
+    }
+
+    /// The last measured point.
+    pub fn final_point(&self) -> &KPoint {
+        self.history.last().expect("non-empty convergence history")
+    }
+
+    /// The point measured at exactly `k`, if the sweep touched it.
+    pub fn point_at(&self, k: usize) -> Option<&KPoint> {
+        self.history.iter().find(|p| p.metrics.k == k)
+    }
+}
+
+/// Measure one (estimator, workload, K) cell: `repeats` runs per pair.
+///
+/// `estimator.refresh` is invoked before every run so that index-based
+/// methods (BFS Sharing) stay independent across repetitions; refresh time
+/// is *excluded* from the reported query time, matching the paper (which
+/// reports index-update cost separately in Table 15).
+pub fn measure_at_k(
+    estimator: &mut dyn Estimator,
+    workload: &Workload,
+    k: usize,
+    repeats: usize,
+    rng: &mut dyn RngCore,
+) -> KPoint {
+    assert!(repeats >= 1, "need at least one repetition");
+    assert!(!workload.is_empty(), "empty workload");
+    let mut pair_runs: Vec<PairRuns> = Vec::with_capacity(workload.len());
+    let mut total_secs = 0.0f64;
+    let mut total_bytes = 0.0f64;
+    let mut total_queries = 0usize;
+
+    for &(s, t) in &workload.pairs {
+        let mut runs = PairRuns { estimates: Vec::with_capacity(repeats) };
+        for _ in 0..repeats {
+            estimator.refresh(rng);
+            let start = Instant::now();
+            let est = estimator.estimate(s, t, k, rng);
+            let elapsed = start.elapsed().as_secs_f64();
+            debug_assert!(est.is_valid(), "invalid estimate from {}", estimator.name());
+            runs.estimates.push(est.reliability);
+            total_secs += elapsed;
+            total_bytes += est.aux_bytes as f64;
+            total_queries += 1;
+        }
+        pair_runs.push(runs);
+    }
+
+    let avg_variance = average_variance(&pair_runs);
+    let avg_reliability = average_reliability(&pair_runs);
+    KPoint {
+        metrics: KMetrics {
+            k,
+            avg_variance,
+            avg_reliability,
+            rho: dispersion(avg_variance, avg_reliability),
+            avg_query_secs: total_secs / total_queries as f64,
+            avg_aux_bytes: total_bytes / total_queries as f64,
+        },
+        per_pair_means: pair_runs.iter().map(|p| p.mean()).collect(),
+    }
+}
+
+/// Run the full K sweep until convergence or `k_max`.
+pub fn run_convergence(
+    estimator: &mut dyn Estimator,
+    workload: &Workload,
+    cfg: &ConvergenceConfig,
+    rng: &mut dyn RngCore,
+) -> ConvergenceRun {
+    let mut history = Vec::new();
+    let mut converged = false;
+    let mut k = cfg.k_start;
+    while k <= cfg.k_max {
+        let point = measure_at_k(estimator, workload, k, cfg.repeats, rng);
+        let rho = point.metrics.rho;
+        history.push(point);
+        if rho < cfg.rho_threshold {
+            converged = true;
+            break;
+        }
+        k += cfg.k_step;
+    }
+    ConvergenceRun { estimator: estimator.name().to_string(), history, converged }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use relcomp_core::mc::McSampling;
+    use relcomp_ugraph::{Dataset, NodeId};
+    use std::sync::Arc;
+
+    fn tiny_setup() -> (Arc<relcomp_ugraph::UncertainGraph>, Workload) {
+        let g = Arc::new(Dataset::LastFm.generate_with_scale(0.08, 5));
+        let w = Workload::generate(&g, 5, 2, 3);
+        (g, w)
+    }
+
+    #[test]
+    fn measure_at_k_reports_sane_metrics() {
+        let (g, w) = tiny_setup();
+        let mut mc = McSampling::new(g);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let point = measure_at_k(&mut mc, &w, 100, 5, &mut rng);
+        assert_eq!(point.metrics.k, 100);
+        assert_eq!(point.per_pair_means.len(), 5);
+        assert!(point.metrics.avg_reliability >= 0.0);
+        assert!(point.metrics.avg_query_secs > 0.0);
+    }
+
+    #[test]
+    fn variance_decreases_with_k() {
+        let (g, w) = tiny_setup();
+        let mut mc = McSampling::new(g);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let lo = measure_at_k(&mut mc, &w, 50, 12, &mut rng);
+        let hi = measure_at_k(&mut mc, &w, 1000, 12, &mut rng);
+        assert!(
+            hi.metrics.avg_variance < lo.metrics.avg_variance,
+            "hi {} lo {}",
+            hi.metrics.avg_variance,
+            lo.metrics.avg_variance
+        );
+    }
+
+    #[test]
+    fn convergence_sweep_terminates() {
+        let (g, w) = tiny_setup();
+        let mut mc = McSampling::new(g);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let cfg = ConvergenceConfig {
+            k_start: 100,
+            k_step: 100,
+            k_max: 800,
+            repeats: 8,
+            rho_threshold: 1e-3,
+        };
+        let run = run_convergence(&mut mc, &w, &cfg, &mut rng);
+        assert!(!run.history.is_empty());
+        assert!(run.final_k() <= 800);
+        assert_eq!(run.estimator, "MC");
+        // Monotone K order in history.
+        for w in run.history.windows(2) {
+            assert!(w[0].metrics.k < w[1].metrics.k);
+        }
+    }
+
+    #[test]
+    fn s_equals_queries_converge_immediately() {
+        // A workload with deterministic answers has zero variance: rho = 0.
+        let (g, _) = tiny_setup();
+        let w = Workload { pairs: vec![(NodeId(0), NodeId(0))], hops: 1, seed: 0 };
+        let mut mc = McSampling::new(g);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let cfg = ConvergenceConfig {
+            k_start: 50,
+            k_step: 50,
+            k_max: 200,
+            repeats: 4,
+            rho_threshold: 1e-3,
+        };
+        let run = run_convergence(&mut mc, &w, &cfg, &mut rng);
+        assert!(run.converged);
+        assert_eq!(run.final_k(), 50);
+    }
+}
+
+impl ConvergenceRun {
+    /// Serialize the full sweep as pretty JSON (for downstream plotting).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("ConvergenceRun serializes")
+    }
+
+    /// Parse a run back from [`ConvergenceRun::to_json`] output.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+}
+
+#[cfg(test)]
+mod json_tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trip() {
+        let run = ConvergenceRun {
+            estimator: "MC".into(),
+            history: vec![KPoint {
+                metrics: crate::metrics::KMetrics {
+                    k: 250,
+                    avg_variance: 1e-3,
+                    avg_reliability: 0.4,
+                    rho: 2.5e-3,
+                    avg_query_secs: 0.01,
+                    avg_aux_bytes: 1024.0,
+                },
+                per_pair_means: vec![0.4, 0.41],
+            }],
+            converged: false,
+        };
+        let text = run.to_json();
+        let back = ConvergenceRun::from_json(&text).unwrap();
+        assert_eq!(back.estimator, "MC");
+        assert_eq!(back.history.len(), 1);
+        assert_eq!(back.final_k(), 250);
+        assert!(!back.converged);
+    }
+}

@@ -1,0 +1,74 @@
+//! Extension experiment: quality of the polynomial-time reliability
+//! bounds (the "Theory" branch of Fig. 2, not evaluated in the paper).
+//!
+//! For each dataset, compare the `[lower, upper]` enclosure of
+//! `relcomp_core::bounds` against an MC estimate at convergence over the
+//! shared workload: enclosure validity rate, mean width, and the speedup
+//! of bounds versus sampling.
+
+use crate::convergence::run_convergence;
+use crate::report::{fmt_secs, Table};
+use crate::runner::{ExperimentEnv, RunProfile};
+use relcomp_core::bounds::reliability_bounds;
+use relcomp_core::EstimatorKind;
+use relcomp_ugraph::Dataset;
+use std::time::Instant;
+
+/// Regenerate the bounds-quality report.
+pub fn run(profile: RunProfile, seed: u64) -> String {
+    let mut table = Table::new(
+        "Extension — polynomial-time bounds vs MC at convergence",
+        &[
+            "Dataset",
+            "Enclosed (%)",
+            "Mean width",
+            "Mean MC R",
+            "Bounds time / query",
+            "MC time / query",
+        ],
+    );
+    for dataset in [Dataset::LastFm, Dataset::NetHept, Dataset::AsTopology] {
+        let env = ExperimentEnv::prepare(dataset, profile, 2, seed);
+        let cfg = profile.convergence();
+        let mut mc = env.estimator(EstimatorKind::Mc);
+        let mut rng = env.rng(0xb0);
+        let run = run_convergence(mc.as_mut(), &env.workload, &cfg, &mut rng);
+        let mc_means = &run.final_point().per_pair_means;
+
+        let start = Instant::now();
+        let bounds: Vec<_> = env
+            .workload
+            .pairs
+            .iter()
+            .map(|&(s, t)| reliability_bounds(&env.graph, s, t, 8))
+            .collect();
+        let bounds_secs = start.elapsed().as_secs_f64() / env.workload.len() as f64;
+
+        // Allow MC sampling noise at the boundary: 3 sigma of the
+        // final-K binomial SD, with the SD floored at the bound itself so
+        // a zero-hit MC mean on a near-zero-reliability pair (observed
+        // r = 0 => observed sd = 0) is not misread as a violation.
+        let k = run.final_k() as f64;
+        let enclosed = bounds
+            .iter()
+            .zip(mc_means)
+            .filter(|(b, &r)| {
+                let sd = (r.max(b.lower) * (1.0 - r.max(b.lower)).max(0.0) / k).sqrt();
+                r >= b.lower - 3.0 * sd - 1e-9 && r <= b.upper + 3.0 * sd + 1e-9
+            })
+            .count();
+        let mean_width =
+            bounds.iter().map(|b| b.width()).sum::<f64>() / bounds.len() as f64;
+        let mean_r = mc_means.iter().sum::<f64>() / mc_means.len() as f64;
+
+        table.row(vec![
+            dataset.to_string(),
+            format!("{:.0}", 100.0 * enclosed as f64 / bounds.len() as f64),
+            format!("{mean_width:.4}"),
+            format!("{mean_r:.4}"),
+            fmt_secs(bounds_secs),
+            fmt_secs(run.final_point().metrics.avg_query_secs),
+        ]);
+    }
+    table.render()
+}

@@ -1,0 +1,73 @@
+//! Figures 9/10/11: the trade-off between relative error, running time,
+//! and memory usage as K grows (lastFM, AS Topology, BioMine analogs).
+//!
+//! Findings to reproduce: REs of all six methods converge below ~2%;
+//! running time grows ~linearly in K; memory is largely K-insensitive
+//! except BFS Sharing (larger index prefix) and the recursive methods
+//! (deeper recursion).
+
+use crate::metrics::relative_error_pct;
+use crate::report::{fmt_bytes, fmt_secs, Table};
+use crate::runner::{sweep, ExperimentEnv, RunProfile};
+use relcomp_core::EstimatorKind;
+use relcomp_ugraph::Dataset;
+
+/// Regenerate one of Figs. 9-11 for `dataset`.
+pub fn run_dataset(profile: RunProfile, seed: u64, dataset: Dataset) -> String {
+    let env = ExperimentEnv::prepare(dataset, profile, 2, seed);
+    let cfg = profile.convergence();
+    let entries = sweep(&env, &EstimatorKind::PAPER_SIX, &cfg);
+
+    // Baseline: MC per-pair means at MC's convergence (Eq. 14).
+    let baseline = entries
+        .iter()
+        .find(|e| e.kind == EstimatorKind::Mc)
+        .expect("MC in suite")
+        .run
+        .final_point()
+        .per_pair_means
+        .clone();
+
+    let mut out = String::new();
+    for (metric_idx, metric_name) in
+        ["Relative Error (%)", "Running Time / query", "Peak aux memory / query"]
+            .iter()
+            .enumerate()
+    {
+        let mut table = Table::new(
+            format!("{metric_name} vs K — {dataset}"),
+            &["Estimator", "Series (K: value)"],
+        );
+        for e in &entries {
+            let series: Vec<String> = e
+                .run
+                .history
+                .iter()
+                .map(|p| {
+                    let v = match metric_idx {
+                        0 => format!("{:.2}", relative_error_pct(&p.per_pair_means, &baseline)),
+                        1 => fmt_secs(p.metrics.avg_query_secs),
+                        _ => fmt_bytes(p.metrics.avg_aux_bytes),
+                    };
+                    format!("{}:{v}", p.metrics.k)
+                })
+                .collect();
+            table.row(vec![e.kind.display_name().to_string(), series.join("  ")]);
+        }
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Regenerate Figs. 9, 10 and 11 (lastFM, AS Topology, BioMine).
+pub fn run(profile: RunProfile, seed: u64) -> String {
+    let mut out = String::new();
+    for (fig, dataset) in
+        [(9, Dataset::LastFm), (10, Dataset::AsTopology), (11, Dataset::BioMine)]
+    {
+        out.push_str(&format!("---- Figure {fig} ----\n"));
+        out.push_str(&run_dataset(profile, seed, dataset));
+    }
+    out
+}

@@ -1,0 +1,68 @@
+//! Figure 12: online memory usage per estimator, per dataset, at
+//! convergence.
+//!
+//! Memory here is the analytic accounting of DESIGN.md: the shared input
+//! graph plus each estimator's resident structures (index, workspaces) and
+//! per-query peak auxiliaries. Ordering to reproduce:
+//! MC < LP+ < ProbTree < BFS Sharing < RHH ≈ RSS.
+
+use crate::convergence::measure_at_k;
+use crate::report::{fmt_bytes, Table};
+use crate::runner::{ExperimentEnv, RunProfile};
+use relcomp_core::EstimatorKind;
+use relcomp_ugraph::Dataset;
+
+/// One measured cell: total online bytes for (dataset, estimator).
+#[derive(Clone, Debug)]
+pub struct Cell {
+    /// Dataset analog.
+    pub dataset: Dataset,
+    /// Estimator name.
+    pub estimator: &'static str,
+    /// graph + resident + per-query peak bytes.
+    pub total_bytes: f64,
+}
+
+/// Regenerate Fig. 12 and return (report, cells).
+pub fn run_with_data(profile: RunProfile, seed: u64, datasets: &[Dataset]) -> (String, Vec<Cell>) {
+    let mut out = String::new();
+    let mut cells = Vec::new();
+    for &dataset in datasets {
+        let env = ExperimentEnv::prepare(dataset, profile, 2, seed);
+        let graph_bytes = env.graph.resident_bytes() as f64;
+        let mut table = Table::new(
+            format!("Figure 12 — online memory usage, {dataset}"),
+            &["Estimator", "Graph", "Resident (index/workspaces)", "Query peak", "Total"],
+        );
+        // Memory is K-insensitive enough (paper §3.6) that a single
+        // moderate-K measurement per estimator suffices.
+        let k = 1000;
+        for kind in EstimatorKind::PAPER_SIX {
+            let mut est = env.estimator(kind);
+            let mut rng = env.rng(kind as u64 * 31 + 12);
+            let point = measure_at_k(est.as_mut(), &env.workload, k, 2, &mut rng);
+            let resident = est.resident_bytes() as f64;
+            let total = graph_bytes + resident.max(point.metrics.avg_aux_bytes);
+            cells.push(Cell {
+                dataset,
+                estimator: kind.display_name(),
+                total_bytes: total,
+            });
+            table.row(vec![
+                kind.display_name().to_string(),
+                fmt_bytes(graph_bytes),
+                fmt_bytes(resident),
+                fmt_bytes(point.metrics.avg_aux_bytes),
+                fmt_bytes(total),
+            ]);
+        }
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    (out, cells)
+}
+
+/// Regenerate Fig. 12 for all six datasets.
+pub fn run(profile: RunProfile, seed: u64) -> String {
+    run_with_data(profile, seed, &Dataset::ALL).0
+}

@@ -1,0 +1,108 @@
+//! Figure 13(a-c): offline index cost for the two index-based methods —
+//! build time, index size, and load time.
+//!
+//! Load time is measured as a disk round-trip of the index payload
+//! (write-then-read of `size_bytes`), matching what "loading the index
+//! into main memory" costs. Findings to reproduce: BFS Sharing builds
+//! faster (just `L` coin flips per edge) but its index is larger than
+//! ProbTree's and therefore slower to load; ProbTree's index is
+//! K-independent.
+
+use crate::report::{fmt_bytes, fmt_secs, Table};
+use crate::runner::{ExperimentEnv, RunProfile};
+use relcomp_core::bfs_sharing::BfsSharing;
+use relcomp_core::probtree::ProbTree;
+use relcomp_ugraph::Dataset;
+use std::io::{Read, Write};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One dataset's index-cost row.
+#[derive(Clone, Debug)]
+pub struct IndexCosts {
+    /// Dataset analog.
+    pub dataset: Dataset,
+    /// (build secs, size bytes, load secs) for BFS Sharing.
+    pub bfs_sharing: (f64, usize, f64),
+    /// (build secs, size bytes, load secs) for ProbTree.
+    pub probtree: (f64, usize, f64),
+}
+
+fn disk_round_trip(bytes: usize, tag: &str) -> f64 {
+    let dir = std::env::temp_dir().join("relcomp_fig13");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(format!("{tag}.idx"));
+    let payload = vec![0xA5u8; bytes];
+    std::fs::File::create(&path)
+        .and_then(|mut f| f.write_all(&payload))
+        .expect("write index payload");
+    let start = Instant::now();
+    let mut buf = Vec::with_capacity(bytes);
+    std::fs::File::open(&path)
+        .and_then(|mut f| f.read_to_end(&mut buf))
+        .expect("read index payload");
+    let elapsed = start.elapsed().as_secs_f64();
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(buf.len(), bytes);
+    elapsed
+}
+
+/// Regenerate Fig. 13 and return (report, per-dataset costs).
+pub fn run_with_data(
+    profile: RunProfile,
+    seed: u64,
+    datasets: &[Dataset],
+) -> (String, Vec<IndexCosts>) {
+    let mut table = Table::new(
+        "Figure 13 — offline index cost (BFS Sharing vs ProbTree)",
+        &[
+            "Dataset",
+            "BFSS build",
+            "BFSS size",
+            "BFSS load",
+            "PT build",
+            "PT size",
+            "PT load",
+        ],
+    );
+    let mut costs = Vec::new();
+    for &dataset in datasets {
+        let env = ExperimentEnv::prepare(dataset, profile, 2, seed);
+        let mut rng = env.rng(13);
+
+        let bs = BfsSharing::new(
+            Arc::clone(&env.graph),
+            env.params.bfs_sharing_worlds,
+            &mut rng,
+        );
+        let bs_build = bs.index_build_time().as_secs_f64();
+        let bs_size = bs.index().size_bytes();
+        let bs_load = disk_round_trip(bs_size, &format!("bfss_{}", dataset.short_name()));
+
+        let pt = ProbTree::new(Arc::clone(&env.graph));
+        let pt_build = pt.index_build_time().as_secs_f64();
+        let pt_size = pt.index().size_bytes();
+        let pt_load = disk_round_trip(pt_size, &format!("pt_{}", dataset.short_name()));
+
+        table.row(vec![
+            dataset.to_string(),
+            fmt_secs(bs_build),
+            fmt_bytes(bs_size as f64),
+            fmt_secs(bs_load),
+            fmt_secs(pt_build),
+            fmt_bytes(pt_size as f64),
+            fmt_secs(pt_load),
+        ]);
+        costs.push(IndexCosts {
+            dataset,
+            bfs_sharing: (bs_build, bs_size, bs_load),
+            probtree: (pt_build, pt_size, pt_load),
+        });
+    }
+    (table.render(), costs)
+}
+
+/// Regenerate Fig. 13 for all six datasets.
+pub fn run(profile: RunProfile, seed: u64) -> String {
+    run_with_data(profile, seed, &Dataset::ALL).0
+}

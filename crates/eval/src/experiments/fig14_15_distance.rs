@@ -1,0 +1,98 @@
+//! Figures 14-15: sensitivity to the s-t hop distance `h` (BioMine
+//! analog), for `h` in {2, 4, 6, 8}.
+//!
+//! Fig. 14(a): samples for convergence stay roughly flat up to h = 6 and
+//! climb sharply beyond; 14(b): relative error is insensitive to h.
+//! Fig. 15: time to convergence grows with h for BFS-depth-bound methods
+//! (MC, LP+, RHH), stays flat for BFS Sharing (it always evaluates the
+//! whole reachable set) and grows only modestly for ProbTree and RSS.
+
+use crate::metrics::relative_error_pct;
+use crate::report::{fmt_secs, Table};
+use crate::runner::{sweep, ExperimentEnv, RunProfile};
+use relcomp_core::EstimatorKind;
+use relcomp_ugraph::Dataset;
+
+/// Regenerate Figs. 14-15 for the given hop distances.
+pub fn run_hops(profile: RunProfile, seed: u64, hops: &[usize]) -> String {
+    let mut k_table = Table::new(
+        "Figure 14(a) — #samples (K) for convergence vs s-t distance, BioMine analog",
+        &hop_header(hops),
+    );
+    let mut re_table = Table::new(
+        "Figure 14(b) — relative error (%) at convergence vs s-t distance",
+        &hop_header(hops),
+    );
+    let mut time_table = Table::new(
+        "Figure 15 — time to convergence / query vs s-t distance",
+        &hop_header(hops),
+    );
+
+    let mut k_rows: Vec<Vec<String>> = Vec::new();
+    let mut re_rows: Vec<Vec<String>> = Vec::new();
+    let mut time_rows: Vec<Vec<String>> = Vec::new();
+    for kind in EstimatorKind::PAPER_SIX {
+        k_rows.push(vec![kind.display_name().to_string()]);
+        re_rows.push(vec![kind.display_name().to_string()]);
+        time_rows.push(vec![kind.display_name().to_string()]);
+    }
+
+    for &h in hops {
+        let env = ExperimentEnv::prepare(Dataset::BioMine, profile, h, seed);
+        if env.workload.is_empty() {
+            for rows in [&mut k_rows, &mut re_rows, &mut time_rows] {
+                for row in rows.iter_mut() {
+                    row.push("n/a".into());
+                }
+            }
+            continue;
+        }
+        let cfg = profile.convergence();
+        let entries = sweep(&env, &EstimatorKind::PAPER_SIX, &cfg);
+        let baseline = entries
+            .iter()
+            .find(|e| e.kind == EstimatorKind::Mc)
+            .expect("MC present")
+            .run
+            .final_point()
+            .per_pair_means
+            .clone();
+        for (i, e) in entries.iter().enumerate() {
+            let conv = e.run.final_point();
+            k_rows[i].push(e.run.final_k().to_string());
+            re_rows[i]
+                .push(format!("{:.2}", relative_error_pct(&conv.per_pair_means, &baseline)));
+            time_rows[i].push(fmt_secs(conv.metrics.avg_query_secs));
+        }
+    }
+
+    for row in k_rows {
+        k_table.row(row);
+    }
+    for row in re_rows {
+        re_table.row(row);
+    }
+    for row in time_rows {
+        time_table.row(row);
+    }
+    format!("{}\n{}\n{}", k_table.render(), re_table.render(), time_table.render())
+}
+
+fn hop_header(hops: &[usize]) -> Vec<&'static str> {
+    // Table headers are &str; leak the tiny strings (binaries are
+    // short-lived).
+    let mut v: Vec<&'static str> = vec!["Estimator"];
+    for &h in hops {
+        v.push(Box::leak(format!("h={h}").into_boxed_str()));
+    }
+    v
+}
+
+/// Regenerate Figs. 14-15 with the paper's distances {2, 4, 6, 8}.
+pub fn run(profile: RunProfile, seed: u64) -> String {
+    let hops: &[usize] = match profile {
+        RunProfile::Quick => &[2, 4],
+        RunProfile::Paper => &[2, 4, 6, 8],
+    };
+    run_hops(profile, seed, hops)
+}

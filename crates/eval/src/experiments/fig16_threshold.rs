@@ -1,0 +1,69 @@
+//! Figure 16: sensitivity of the recursive methods to the sample-size
+//! threshold (BioMine analog, K = 1000).
+//!
+//! Findings to reproduce: a large threshold (→100) collapses both RHH and
+//! RSS to MC-level variance; below ~5 neither variance nor time improves
+//! further; RSS is more robust to large thresholds than RHH.
+
+use crate::convergence::measure_at_k;
+use crate::report::{fmt_secs, Table};
+use crate::runner::{ExperimentEnv, RunProfile};
+use relcomp_core::recursive::{RecursiveSampling, RecursiveStratified};
+use relcomp_core::EstimatorKind;
+use relcomp_ugraph::Dataset;
+use std::sync::Arc;
+
+/// Regenerate Fig. 16 for the given thresholds at K = 1000.
+pub fn run_thresholds(profile: RunProfile, seed: u64, thresholds: &[usize]) -> String {
+    let env = ExperimentEnv::prepare(Dataset::BioMine, profile, 2, seed);
+    let k = 1000;
+    let repeats = profile.repeats().max(8);
+
+    // MC reference lines (dashed lines in the paper's plot).
+    let mut mc = env.estimator(EstimatorKind::Mc);
+    let mut rng = env.rng(160);
+    let mc_point = measure_at_k(mc.as_mut(), &env.workload, k, repeats, &mut rng);
+
+    let mut var_table = Table::new(
+        format!(
+            "Figure 16(a) — variance (x1e-4) vs threshold, K=1000 (MC reference {:.2})",
+            mc_point.metrics.avg_variance * 1e4
+        ),
+        &["Threshold", "RHH", "RSS"],
+    );
+    let mut time_table = Table::new(
+        format!(
+            "Figure 16(b) — time / query vs threshold, K=1000 (MC reference {})",
+            fmt_secs(mc_point.metrics.avg_query_secs)
+        ),
+        &["Threshold", "RHH", "RSS"],
+    );
+
+    for &th in thresholds {
+        let mut rhh = RecursiveSampling::with_threshold(Arc::clone(&env.graph), th);
+        let mut rss = RecursiveStratified::with_params(
+            Arc::clone(&env.graph),
+            th,
+            env.params.rss_r,
+        );
+        let mut rng = env.rng(161 + th as u64);
+        let rhh_point = measure_at_k(&mut rhh, &env.workload, k, repeats, &mut rng);
+        let rss_point = measure_at_k(&mut rss, &env.workload, k, repeats, &mut rng);
+        var_table.row(vec![
+            th.to_string(),
+            format!("{:.2}", rhh_point.metrics.avg_variance * 1e4),
+            format!("{:.2}", rss_point.metrics.avg_variance * 1e4),
+        ]);
+        time_table.row(vec![
+            th.to_string(),
+            fmt_secs(rhh_point.metrics.avg_query_secs),
+            fmt_secs(rss_point.metrics.avg_query_secs),
+        ]);
+    }
+    format!("{}\n{}", var_table.render(), time_table.render())
+}
+
+/// Regenerate Fig. 16 with the paper's thresholds {2, 5, 10, 20, 50, 100}.
+pub fn run(profile: RunProfile, seed: u64) -> String {
+    run_thresholds(profile, seed, &[2, 5, 10, 20, 50, 100])
+}

@@ -1,0 +1,48 @@
+//! Figure 17: sensitivity of RSS to the stratum count `r` (BioMine
+//! analog, K in {500, 1000}).
+//!
+//! Findings to reproduce: variance decreases with larger r, most visibly
+//! when K is too small for convergence (K = 500); beyond r ≈ 50 the gain
+//! flattens; running time is insensitive to r.
+
+use crate::convergence::measure_at_k;
+use crate::report::{fmt_secs, Table};
+use crate::runner::{ExperimentEnv, RunProfile};
+use relcomp_core::recursive::RecursiveStratified;
+use relcomp_ugraph::Dataset;
+use std::sync::Arc;
+
+/// Regenerate Fig. 17 for the given stratum counts.
+pub fn run_strata(profile: RunProfile, seed: u64, strata: &[usize]) -> String {
+    let env = ExperimentEnv::prepare(Dataset::BioMine, profile, 2, seed);
+    let repeats = profile.repeats().max(8);
+
+    let mut var_table = Table::new(
+        "Figure 17(a) — RSS variance (x1e-4) vs #stratum r",
+        &["r", "K=500", "K=1000"],
+    );
+    let mut time_table = Table::new(
+        "Figure 17(b) — RSS time / query vs #stratum r",
+        &["r", "K=500", "K=1000"],
+    );
+
+    for &r in strata {
+        let mut var_row = vec![r.to_string()];
+        let mut time_row = vec![r.to_string()];
+        for k in [500, 1000] {
+            let mut rss = RecursiveStratified::with_params(Arc::clone(&env.graph), 5, r);
+            let mut rng = env.rng(170 + r as u64 + k as u64);
+            let point = measure_at_k(&mut rss, &env.workload, k, repeats, &mut rng);
+            var_row.push(format!("{:.2}", point.metrics.avg_variance * 1e4));
+            time_row.push(fmt_secs(point.metrics.avg_query_secs));
+        }
+        var_table.row(var_row);
+        time_table.row(time_row);
+    }
+    format!("{}\n{}", var_table.render(), time_table.render())
+}
+
+/// Regenerate Fig. 17 with the paper's r values {5, 10, 20, 50, 80, 100}.
+pub fn run(profile: RunProfile, seed: u64) -> String {
+    run_strata(profile, seed, &[5, 10, 20, 50, 80, 100])
+}

@@ -1,0 +1,25 @@
+//! One module per table/figure of the paper's evaluation (Section 3).
+//!
+//! Each experiment exposes a `run(profile, seed) -> String` entry point
+//! that regenerates the corresponding rows/series and returns a rendered
+//! report; the `relcomp-bench` crate wraps each in a binary. See
+//! DESIGN.md §3 for the experiment index and EXPERIMENTS.md for
+//! paper-vs-measured records.
+
+pub mod ext_bounds;
+pub mod ext_topk;
+pub mod fig05_lp_correction;
+pub mod fig07_variance;
+pub mod fig08_quality;
+pub mod fig09_11_tradeoff;
+pub mod fig12_memory;
+pub mod fig13_indexing;
+pub mod fig14_15_distance;
+pub mod fig16_threshold;
+pub mod fig17_stratum;
+pub mod table02_datasets;
+pub mod table15_index_update;
+pub mod table16_coupling;
+pub mod table17_summary;
+pub mod tables03_08_accuracy;
+pub mod tables09_14_runtime;

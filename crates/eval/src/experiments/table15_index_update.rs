@@ -1,0 +1,49 @@
+//! Table 15: BFS Sharing's hidden per-query cost — the index must be
+//! re-sampled between successive queries to keep them independent. The
+//! paper measures the additional time per query over 1000 successive
+//! queries; we measure the same refresh over a configurable count.
+
+use crate::report::{fmt_secs, Table};
+use crate::runner::{ExperimentEnv, RunProfile};
+use relcomp_core::EstimatorKind;
+use relcomp_ugraph::Dataset;
+use std::time::Instant;
+
+/// Regenerate Table 15 and return (report, per-dataset refresh secs).
+pub fn run_with_data(profile: RunProfile, seed: u64) -> (String, Vec<(Dataset, f64)>) {
+    let queries = match profile {
+        RunProfile::Quick => 20,
+        RunProfile::Paper => 1000,
+    };
+    let mut table = Table::new(
+        format!("Table 15 — BFS Sharing index update cost per query ({queries} successive queries)"),
+        &["Dataset", "Refresh time / query"],
+    );
+    let mut rows = Vec::new();
+    for dataset in Dataset::ALL {
+        let env = ExperimentEnv::prepare(dataset, profile, 2, seed);
+        let mut est = env.estimator(EstimatorKind::BfsSharing);
+        let mut rng = env.rng(15);
+        let (s, t) = env.workload.pairs[0];
+        let start = Instant::now();
+        for _ in 0..queries {
+            est.refresh(&mut rng);
+            let _ = est.estimate(s, t, 1000, &mut rng);
+        }
+        let with_refresh = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        for _ in 0..queries {
+            let _ = est.estimate(s, t, 1000, &mut rng);
+        }
+        let without_refresh = start.elapsed().as_secs_f64();
+        let per_query = (with_refresh - without_refresh).max(0.0) / queries as f64;
+        rows.push((dataset, per_query));
+        table.row(vec![dataset.to_string(), fmt_secs(per_query)]);
+    }
+    (table.render(), rows)
+}
+
+/// Regenerate Table 15.
+pub fn run(profile: RunProfile, seed: u64) -> String {
+    run_with_data(profile, seed).0
+}

@@ -1,0 +1,45 @@
+//! Table 17 and Figure 18: the paper's summary star ratings and the
+//! estimator-selection decision tree.
+
+use crate::recommend::{paper_query_ratings, render_decision_tree};
+use crate::report::Table;
+use crate::runner::RunProfile;
+use relcomp_core::EstimatorKind;
+
+/// Render Table 17's online block plus Fig. 18's decision tree.
+pub fn run(_profile: RunProfile, _seed: u64) -> String {
+    let mut table = Table::new(
+        "Table 17 — summary and recommendation (stars: 4 = best)",
+        &["Method", "Variance", "Accuracy", "Running Time", "Memory"],
+    );
+    for kind in EstimatorKind::PAPER_SIX {
+        let r = paper_query_ratings(kind).expect("paper six rated");
+        let stars = |n: u8| "*".repeat(n as usize);
+        table.row(vec![
+            kind.display_name().to_string(),
+            stars(r.variance),
+            stars(r.accuracy),
+            stars(r.running_time),
+            stars(r.memory),
+        ]);
+    }
+    format!(
+        "{}\n== Figure 18 — decision tree for estimator selection ==\n{}\nOverall recommendation: ProbTree (balanced accuracy, time, memory; swappable estimating component).\n",
+        table.render(),
+        render_decision_tree()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_ratings_and_tree() {
+        let out = run(RunProfile::Quick, 0);
+        assert!(out.contains("Table 17"));
+        assert!(out.contains("RSS"));
+        assert!(out.contains("decision tree"));
+        assert!(out.contains("ProbTree"));
+    }
+}

@@ -1,0 +1,108 @@
+//! Tables 3-8: relative error per dataset, at each estimator's own
+//! convergence and at the fixed K = 1000, plus the pairwise deviation of
+//! relative errors (Eq. 15).
+//!
+//! Findings to reproduce: at convergence all six estimators land below
+//! ~2% RE with no common winner; comparing everyone at K = 1000 is unfair
+//! to whichever methods have not converged there (larger pairwise
+//! deviation on datasets whose convergent K exceeds 1000).
+
+use crate::metrics::{pairwise_deviation, relative_error_pct};
+use crate::report::Table;
+use crate::runner::{sweep, ExperimentEnv, RunProfile, SweepEntry};
+use relcomp_core::EstimatorKind;
+use relcomp_ugraph::Dataset;
+
+/// Measured accuracy rows for one dataset.
+pub struct AccuracyTable {
+    /// Dataset analog.
+    pub dataset: Dataset,
+    /// Rows: (estimator, K@conv, R@conv, RE@conv %, R@1000, RE@1000 %).
+    pub rows: Vec<(String, usize, f64, f64, f64, f64)>,
+    /// Pairwise deviation of REs at convergence.
+    pub deviation_conv: f64,
+    /// Pairwise deviation of REs at K = 1000.
+    pub deviation_1000: f64,
+}
+
+/// Compute the accuracy table for one dataset from a pre-run sweep.
+pub fn accuracy_from_sweep(dataset: Dataset, entries: &[SweepEntry]) -> AccuracyTable {
+    let baseline = entries
+        .iter()
+        .find(|e| e.kind == EstimatorKind::Mc)
+        .expect("MC present")
+        .run
+        .final_point()
+        .per_pair_means
+        .clone();
+
+    let mut rows = Vec::new();
+    let mut res_conv = Vec::new();
+    let mut res_1000 = Vec::new();
+    for e in entries {
+        let conv = e.run.final_point();
+        let re_conv = relative_error_pct(&conv.per_pair_means, &baseline);
+        let re_1000 = relative_error_pct(&e.at_1000.per_pair_means, &baseline);
+        res_conv.push(re_conv);
+        res_1000.push(re_1000);
+        rows.push((
+            e.kind.display_name().to_string(),
+            e.run.final_k(),
+            conv.metrics.avg_reliability,
+            re_conv,
+            e.at_1000.metrics.avg_reliability,
+            re_1000,
+        ));
+    }
+    AccuracyTable {
+        dataset,
+        rows,
+        deviation_conv: pairwise_deviation(&res_conv),
+        deviation_1000: pairwise_deviation(&res_1000),
+    }
+}
+
+/// Render one dataset's table in the paper's Tables 3-8 shape.
+pub fn render(table: &AccuracyTable) -> String {
+    let mut t = Table::new(
+        format!("Tables 3-8 — relative error, {}", table.dataset),
+        &["Estimator", "K@conv", "R_K@conv", "RE@conv (%)", "R_K@1000", "RE@1000 (%)"],
+    );
+    for (name, k, r_conv, re_conv, r_1000, re_1000) in &table.rows {
+        t.row(vec![
+            name.clone(),
+            k.to_string(),
+            format!("{r_conv:.4}"),
+            format!("{re_conv:.2}"),
+            format!("{r_1000:.4}"),
+            format!("{re_1000:.2}"),
+        ]);
+    }
+    t.row(vec![
+        "Pairwise Deviation".into(),
+        String::new(),
+        String::new(),
+        format!("{:.2}", table.deviation_conv),
+        String::new(),
+        format!("{:.2}", table.deviation_1000),
+    ]);
+    t.render()
+}
+
+/// Regenerate Tables 3-8 for the given datasets.
+pub fn run_datasets(profile: RunProfile, seed: u64, datasets: &[Dataset]) -> String {
+    let mut out = String::new();
+    for &dataset in datasets {
+        let env = ExperimentEnv::prepare(dataset, profile, 2, seed);
+        let cfg = profile.convergence();
+        let entries = sweep(&env, &EstimatorKind::PAPER_SIX, &cfg);
+        out.push_str(&render(&accuracy_from_sweep(dataset, &entries)));
+        out.push('\n');
+    }
+    out
+}
+
+/// Regenerate Tables 3-8 (all six datasets).
+pub fn run(profile: RunProfile, seed: u64) -> String {
+    run_datasets(profile, seed, &Dataset::ALL)
+}

@@ -1,0 +1,77 @@
+//! Tables 9-14: online running time per dataset — total query time at
+//! each estimator's convergence, at the fixed K = 1000, and the per-sample
+//! cost.
+//!
+//! Findings to reproduce: RHH/RSS fastest at convergence (fewer samples +
+//! simplified graphs); ProbTree/LP+ in the middle; BFS Sharing several
+//! times slower than MC (no early termination, cascading updates); time
+//! per sample roughly constant in K for everyone but BFS Sharing.
+
+use crate::report::Table;
+use crate::runner::{sweep, ExperimentEnv, RunProfile, SweepEntry};
+use relcomp_core::EstimatorKind;
+use relcomp_ugraph::Dataset;
+
+/// Measured runtime rows for one dataset.
+pub struct RuntimeTable {
+    /// Dataset analog.
+    pub dataset: Dataset,
+    /// Rows: (estimator, K@conv, secs@conv, secs@1000, ms per sample).
+    pub rows: Vec<(String, usize, f64, f64, f64)>,
+}
+
+/// Compute the runtime table from a pre-run sweep.
+pub fn runtime_from_sweep(dataset: Dataset, entries: &[SweepEntry]) -> RuntimeTable {
+    let rows = entries
+        .iter()
+        .map(|e| {
+            let conv = e.run.final_point();
+            let per_sample_ms =
+                conv.metrics.avg_query_secs * 1e3 / conv.metrics.k as f64;
+            (
+                e.kind.display_name().to_string(),
+                e.run.final_k(),
+                conv.metrics.avg_query_secs,
+                e.at_1000.metrics.avg_query_secs,
+                per_sample_ms,
+            )
+        })
+        .collect();
+    RuntimeTable { dataset, rows }
+}
+
+/// Render in the paper's Tables 9-14 shape.
+pub fn render(table: &RuntimeTable) -> String {
+    let mut t = Table::new(
+        format!("Tables 9-14 — running time, {}", table.dataset),
+        &["Estimator", "K@conv", "Time@conv (s)", "Time@1000 (s)", "Per sample (ms)"],
+    );
+    for (name, k, conv_s, k1000_s, per_ms) in &table.rows {
+        t.row(vec![
+            name.clone(),
+            k.to_string(),
+            format!("{conv_s:.4}"),
+            format!("{k1000_s:.4}"),
+            format!("{per_ms:.4}"),
+        ]);
+    }
+    t.render()
+}
+
+/// Regenerate Tables 9-14 for the given datasets.
+pub fn run_datasets(profile: RunProfile, seed: u64, datasets: &[Dataset]) -> String {
+    let mut out = String::new();
+    for &dataset in datasets {
+        let env = ExperimentEnv::prepare(dataset, profile, 2, seed);
+        let cfg = profile.convergence();
+        let entries: Vec<SweepEntry> = sweep(&env, &EstimatorKind::PAPER_SIX, &cfg);
+        out.push_str(&render(&runtime_from_sweep(dataset, &entries)));
+        out.push('\n');
+    }
+    out
+}
+
+/// Regenerate Tables 9-14 (all six datasets).
+pub fn run(profile: RunProfile, seed: u64) -> String {
+    run_datasets(profile, seed, &Dataset::ALL)
+}

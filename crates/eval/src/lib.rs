@@ -1,0 +1,25 @@
+//! # relcomp-eval — the paper's evaluation harness
+//!
+//! Everything Section 3 of *"An In-Depth Comparison of s-t Reliability
+//! Algorithms over Uncertain Graphs"* (VLDB 2019) needs to be regenerated:
+//! shared query workloads (§3.1.3), the dispersion-based convergence
+//! protocol (§3.1.4), the metrics (Eqs. 11-15), experiment orchestration,
+//! table rendering, and the practitioner guidance of §4 (Table 17 /
+//! Fig. 18) as an executable API.
+//!
+//! One module per table/figure lives under [`experiments`]; the
+//! `relcomp-bench` crate wraps each in a runnable binary.
+
+#![warn(missing_docs)]
+
+pub mod convergence;
+pub mod experiments;
+pub mod metrics;
+pub mod recommend;
+pub mod report;
+pub mod runner;
+pub mod workload;
+
+pub use convergence::{run_convergence, ConvergenceConfig, ConvergenceRun};
+pub use runner::{sweep, ExperimentEnv, RunProfile, SweepEntry};
+pub use workload::Workload;

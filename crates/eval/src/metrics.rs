@@ -1,0 +1,174 @@
+//! Evaluation metrics (§3.1.4 of the paper, Eqs. 11-15).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-(pair, K) repetition outcome: `T` reliability estimates.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PairRuns {
+    /// The `T` repeated estimates `R_j(s_i, t_i, K)`.
+    pub estimates: Vec<f64>,
+}
+
+impl PairRuns {
+    /// Mean estimate `R(s_i, t_i, K)`.
+    pub fn mean(&self) -> f64 {
+        if self.estimates.is_empty() {
+            return 0.0;
+        }
+        self.estimates.iter().sum::<f64>() / self.estimates.len() as f64
+    }
+
+    /// Sample variance over the `T` repetitions (Eq. 11).
+    pub fn variance(&self) -> f64 {
+        let n = self.estimates.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        self.estimates.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+    }
+}
+
+/// Aggregated metrics for one (estimator, dataset, K) cell.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct KMetrics {
+    /// Sample count `K` this cell was measured at.
+    pub k: usize,
+    /// Average variance `V_K` over pairs (Eq. 12).
+    pub avg_variance: f64,
+    /// Average reliability `R_K` over pairs (Eq. 13).
+    pub avg_reliability: f64,
+    /// Index of dispersion `rho_K = V_K / R_K` — the convergence criterion.
+    pub rho: f64,
+    /// Mean wall time per query (seconds).
+    pub avg_query_secs: f64,
+    /// Mean peak auxiliary bytes per query.
+    pub avg_aux_bytes: f64,
+}
+
+/// Average variance over pairs (Eq. 12).
+pub fn average_variance(pairs: &[PairRuns]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    pairs.iter().map(|p| p.variance()).sum::<f64>() / pairs.len() as f64
+}
+
+/// Average reliability over pairs (Eq. 13).
+pub fn average_reliability(pairs: &[PairRuns]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    pairs.iter().map(|p| p.mean()).sum::<f64>() / pairs.len() as f64
+}
+
+/// Index of dispersion `rho_K` (§3.1.4). Zero reliability yields infinity
+/// unless variance is also zero (a fully-determined estimate counts as
+/// converged).
+pub fn dispersion(avg_variance: f64, avg_reliability: f64) -> f64 {
+    if avg_reliability <= 0.0 {
+        if avg_variance <= 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        avg_variance / avg_reliability
+    }
+}
+
+/// Relative error of per-pair means against a per-pair MC-at-convergence
+/// baseline (Eq. 14), as a percentage. Pairs with zero baseline are
+/// skipped (the paper's queries all have positive reliability).
+pub fn relative_error_pct(per_pair_means: &[f64], baseline: &[f64]) -> f64 {
+    assert_eq!(per_pair_means.len(), baseline.len(), "pair count mismatch");
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for (&m, &b) in per_pair_means.iter().zip(baseline) {
+        if b > 0.0 {
+            total += (m - b).abs() / b;
+            counted += 1;
+        }
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        100.0 * total / counted as f64
+    }
+}
+
+/// Pairwise deviation `D` of relative errors across estimators (Eq. 15).
+/// `res` holds one relative error per estimator.
+pub fn pairwise_deviation(res: &[f64]) -> f64 {
+    let n = res.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            total += (res[i] - res[j]).abs();
+        }
+    }
+    total / ((n * (n - 1)) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_runs_mean_and_variance() {
+        let p = PairRuns { estimates: vec![0.2, 0.4, 0.6] };
+        assert!((p.mean() - 0.4).abs() < 1e-12);
+        assert!((p.variance() - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_runs() {
+        let p = PairRuns { estimates: vec![0.5] };
+        assert_eq!(p.variance(), 0.0);
+        let empty = PairRuns { estimates: vec![] };
+        assert_eq!(empty.mean(), 0.0);
+    }
+
+    #[test]
+    fn averages_over_pairs() {
+        let pairs = vec![
+            PairRuns { estimates: vec![0.1, 0.1] },
+            PairRuns { estimates: vec![0.3, 0.5] },
+        ];
+        assert!((average_reliability(&pairs) - 0.25).abs() < 1e-12);
+        assert!(average_variance(&pairs) > 0.0);
+    }
+
+    #[test]
+    fn dispersion_handles_zero_reliability() {
+        assert_eq!(dispersion(0.0, 0.0), 0.0);
+        assert!(dispersion(0.1, 0.0).is_infinite());
+        assert!((dispersion(0.002, 0.4) - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_error_matches_hand_computation() {
+        let means = [0.11, 0.18];
+        let base = [0.10, 0.20];
+        // (0.1 + 0.1) / 2 = 10%
+        assert!((relative_error_pct(&means, &base) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relative_error_skips_zero_baseline() {
+        let means = [0.11, 0.5];
+        let base = [0.10, 0.0];
+        assert!((relative_error_pct(&means, &base) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pairwise_deviation_matches_eq15() {
+        // Two estimators with REs 1.0 and 2.0:
+        // sum |..| over ordered pairs = 2.0; / (2*1) = 1.0
+        assert!((pairwise_deviation(&[1.0, 2.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(pairwise_deviation(&[1.0]), 0.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Plain-text table rendering for experiment output.
+//!
+//! Every experiment binary prints tables shaped like the paper's, built
+//! through this tiny fixed-width formatter (kept dependency-free on
+//! purpose — output must be diffable and greppable).
+
+/// A column-aligned text table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<width$}", cells[i], width = widths[i]));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+/// Format seconds compactly (ms below one second).
+pub fn fmt_secs(secs: f64) -> String {
+    if secs < 1.0 {
+        format!("{:.3} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Format a byte count with binary units.
+pub fn fmt_bytes(bytes: f64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = bytes;
+    let mut unit = 0;
+    while v >= 1024.0 && unit < UNITS.len() - 1 {
+        v /= 1024.0;
+        unit += 1;
+    }
+    format!("{v:.2} {}", UNITS[unit])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("Demo", &["Estimator", "K", "RE (%)"]);
+        t.row(vec!["MC".into(), "1000".into(), "0.00".into()]);
+        t.row(vec!["BFS Sharing".into(), "1000".into(), "0.97".into()]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("BFS Sharing"));
+        // Both data lines have the same length (alignment).
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_secs(0.0123), "12.300 ms");
+        assert_eq!(fmt_secs(2.5), "2.500 s");
+        assert_eq!(fmt_bytes(1536.0), "1.50 KiB");
+        assert_eq!(fmt_bytes(10.0), "10.00 B");
+    }
+}
+
+/// Unicode sparkline of a numeric series (▁▂▃▄▅▆▇█), linearly scaled
+/// between the series min and max. Empty input yields an empty string;
+/// a constant series renders mid-height blocks.
+pub fn sparkline(values: &[f64]) -> String {
+    const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in values {
+        if v.is_finite() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        return "?".repeat(values.len());
+    }
+    let span = hi - lo;
+    values
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                return '?';
+            }
+            if span <= 0.0 {
+                return BLOCKS[3];
+            }
+            let idx = (((v - lo) / span) * 7.0).round() as usize;
+            BLOCKS[idx.min(7)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod sparkline_tests {
+    use super::sparkline;
+
+    #[test]
+    fn ramps_up() {
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s, "▁▅█");
+    }
+
+    #[test]
+    fn constant_series_is_flat() {
+        assert_eq!(sparkline(&[2.0, 2.0]), "▄▄");
+    }
+
+    #[test]
+    fn empty_and_nonfinite() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[f64::NAN, 1.0, 2.0]), "?▁█");
+    }
+}

@@ -1,0 +1,262 @@
+//! Experiment orchestration: shared environments and estimator sweeps.
+
+use crate::convergence::{
+    measure_at_k, run_convergence, ConvergenceConfig, ConvergenceRun, KPoint,
+};
+use crate::workload::Workload;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use relcomp_core::{build_estimator, Estimator, EstimatorKind, SuiteParams};
+use relcomp_ugraph::{Dataset, UncertainGraph};
+use std::sync::Arc;
+
+/// How heavy an experiment run should be.
+///
+/// `Quick` keeps every binary in the seconds-to-minutes range on a laptop;
+/// `Paper` uses the paper's workload sizes (100 pairs, T = 100) and the
+/// datasets' default scales. Both use the same protocol — only sizes
+/// differ (see DESIGN.md substitutions).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunProfile {
+    /// Reduced pairs/repeats/scale for fast regeneration.
+    Quick,
+    /// The paper's workload sizes.
+    Paper,
+}
+
+impl RunProfile {
+    /// Parse from a CLI argument (`quick` / `paper`).
+    pub fn parse(arg: &str) -> Option<RunProfile> {
+        match arg {
+            "quick" => Some(RunProfile::Quick),
+            "paper" | "full" => Some(RunProfile::Paper),
+            _ => None,
+        }
+    }
+
+    /// Number of s-t pairs per workload.
+    pub fn pairs(self) -> usize {
+        match self {
+            RunProfile::Quick => 15,
+            RunProfile::Paper => 100,
+        }
+    }
+
+    /// Repetitions `T` per (pair, K).
+    pub fn repeats(self) -> usize {
+        match self {
+            RunProfile::Quick => 6,
+            RunProfile::Paper => 100,
+        }
+    }
+
+    /// Multiplier applied to each dataset's default generation scale.
+    pub fn scale_factor(self) -> f64 {
+        match self {
+            RunProfile::Quick => 0.35,
+            RunProfile::Paper => 1.0,
+        }
+    }
+
+    /// Convergence configuration for this profile.
+    pub fn convergence(self) -> ConvergenceConfig {
+        ConvergenceConfig { repeats: self.repeats(), ..ConvergenceConfig::default() }
+    }
+}
+
+/// A prepared experiment environment: one dataset analog plus its shared
+/// workload. All estimators in an experiment run over exactly this state.
+pub struct ExperimentEnv {
+    /// Which dataset analog.
+    pub dataset: Dataset,
+    /// The generated graph.
+    pub graph: Arc<UncertainGraph>,
+    /// The shared s-t workload.
+    pub workload: Workload,
+    /// Estimator parameters (paper defaults unless an ablation overrides).
+    pub params: SuiteParams,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ExperimentEnv {
+    /// Generate the dataset at `profile` scale and draw the shared
+    /// workload at hop distance `hops`.
+    pub fn prepare(dataset: Dataset, profile: RunProfile, hops: usize, seed: u64) -> Self {
+        let scale =
+            (dataset.spec().default_scale * profile.scale_factor()).clamp(1e-6, 1.0);
+        let graph = Arc::new(dataset.generate_with_scale(scale, seed));
+        let workload = Workload::generate(&graph, profile.pairs(), hops, seed ^ 0x5eed);
+        // The BFS-Sharing index must cover the largest K the convergence
+        // sweep can request.
+        let params = SuiteParams {
+            bfs_sharing_worlds: profile.convergence().k_max,
+            ..SuiteParams::default()
+        };
+        ExperimentEnv { dataset, graph, workload, params, seed }
+    }
+
+    /// A deterministic RNG derived from the environment seed and a salt.
+    pub fn rng(&self, salt: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(self.seed ^ salt.rotate_left(17))
+    }
+
+    /// Instantiate an estimator over this environment's graph.
+    pub fn estimator(&self, kind: EstimatorKind) -> Box<dyn Estimator> {
+        let mut rng = self.rng(kind_salt(kind));
+        build_estimator(kind, Arc::clone(&self.graph), self.params, &mut rng)
+    }
+}
+
+fn kind_salt(kind: EstimatorKind) -> u64 {
+    // Stable per-kind salt so index construction is reproducible.
+    kind.display_name().bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+    })
+}
+
+/// Result of sweeping one estimator: the convergence run plus a
+/// measurement at the paper's fixed comparison point `K = 1000`.
+pub struct SweepEntry {
+    /// Which estimator.
+    pub kind: EstimatorKind,
+    /// The convergence sweep.
+    pub run: ConvergenceRun,
+    /// Metrics at exactly `K = 1000` (reused from the sweep when the sweep
+    /// touched 1000, measured separately otherwise).
+    pub at_1000: KPoint,
+}
+
+/// Sweep a set of estimators over one environment: convergence protocol
+/// plus the fixed `K = 1000` measurement the paper also reports.
+pub fn sweep(
+    env: &ExperimentEnv,
+    kinds: &[EstimatorKind],
+    cfg: &ConvergenceConfig,
+) -> Vec<SweepEntry> {
+    kinds
+        .iter()
+        .map(|&kind| {
+            let mut est = env.estimator(kind);
+            let mut rng = env.rng(kind_salt(kind) ^ 0x9e37_79b9);
+            let run = run_convergence(est.as_mut(), &env.workload, cfg, &mut rng);
+            let at_1000 = match run.point_at(1000) {
+                Some(p) => p.clone(),
+                None => measure_at_k(est.as_mut(), &env.workload, 1000, cfg.repeats, &mut rng),
+            };
+            SweepEntry { kind, run, at_1000 }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_parsing_and_sizes() {
+        assert_eq!(RunProfile::parse("quick"), Some(RunProfile::Quick));
+        assert_eq!(RunProfile::parse("paper"), Some(RunProfile::Paper));
+        assert_eq!(RunProfile::parse("nope"), None);
+        assert!(RunProfile::Quick.pairs() < RunProfile::Paper.pairs());
+    }
+
+    #[test]
+    fn env_preparation_is_reproducible() {
+        let a = ExperimentEnv::prepare(Dataset::LastFm, RunProfile::Quick, 2, 3);
+        let b = ExperimentEnv::prepare(Dataset::LastFm, RunProfile::Quick, 2, 3);
+        assert_eq!(a.workload.pairs, b.workload.pairs);
+        assert_eq!(a.graph.num_edges(), b.graph.num_edges());
+    }
+
+    #[test]
+    fn sweep_produces_entries_with_k1000() {
+        let mut env = ExperimentEnv::prepare(Dataset::LastFm, RunProfile::Quick, 2, 5);
+        // Shrink the workload for test speed.
+        env.workload.pairs.truncate(3);
+        let cfg = ConvergenceConfig {
+            k_start: 250,
+            k_step: 250,
+            k_max: 500,
+            repeats: 4,
+            rho_threshold: 1e-3,
+        };
+        let entries = sweep(&env, &[EstimatorKind::Mc, EstimatorKind::Rss], &cfg);
+        assert_eq!(entries.len(), 2);
+        for e in &entries {
+            assert_eq!(e.at_1000.metrics.k, 1000);
+            assert!(!e.run.history.is_empty());
+        }
+    }
+}
+
+/// Parallel variant of [`sweep`]: one worker thread per estimator
+/// (crossbeam scoped threads). Use for *accuracy/variance* experiments
+/// only — concurrent workers contend for cores, so per-query wall times
+/// are noisier than the sequential [`sweep`]'s (which the timing tables
+/// use).
+pub fn sweep_parallel(
+    env: &ExperimentEnv,
+    kinds: &[EstimatorKind],
+    cfg: &ConvergenceConfig,
+) -> Vec<SweepEntry> {
+    let mut out: Vec<Option<SweepEntry>> = Vec::new();
+    out.resize_with(kinds.len(), || None);
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (i, &kind) in kinds.iter().enumerate() {
+            let env_ref = &*env;
+            handles.push((i, scope.spawn(move |_| {
+                let mut est = env_ref.estimator(kind);
+                let mut rng = env_ref.rng(kind_salt(kind) ^ 0x9e37_79b9);
+                let run = run_convergence(est.as_mut(), &env_ref.workload, cfg, &mut rng);
+                let at_1000 = match run.point_at(1000) {
+                    Some(p) => p.clone(),
+                    None => measure_at_k(
+                        est.as_mut(),
+                        &env_ref.workload,
+                        1000,
+                        cfg.repeats,
+                        &mut rng,
+                    ),
+                };
+                SweepEntry { kind, run, at_1000 }
+            })));
+        }
+        for (i, handle) in handles {
+            out[i] = Some(handle.join().expect("sweep worker panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    out.into_iter().map(|e| e.expect("all workers joined")).collect()
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+
+    #[test]
+    fn parallel_sweep_matches_sequential_estimates() {
+        let mut env = ExperimentEnv::prepare(Dataset::LastFm, RunProfile::Quick, 2, 5);
+        env.workload.pairs.truncate(3);
+        let cfg = ConvergenceConfig {
+            k_start: 250,
+            k_step: 250,
+            k_max: 500,
+            repeats: 4,
+            rho_threshold: 1e-3,
+        };
+        let kinds = [EstimatorKind::Mc, EstimatorKind::Rss];
+        let seq = sweep(&env, &kinds, &cfg);
+        let par = sweep_parallel(&env, &kinds, &cfg);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.kind, b.kind);
+            // Same derived RNG seeds => identical estimates.
+            assert_eq!(
+                a.run.final_point().per_pair_means,
+                b.run.final_point().per_pair_means
+            );
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Query-workload generation (§3.1.3 of the paper).
+//!
+//! For each dataset the paper draws 100 distinct s-t pairs: a source node
+//! uniformly at random, then a target chosen uniformly among nodes exactly
+//! `h` hops away (default `h = 2`; Figs. 14-15 sweep `h` up to 8). The same
+//! pairs are used for *every* estimator over that dataset — that shared
+//! workload is one of the paper's central methodological fixes.
+
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use relcomp_ugraph::traversal::hop_distances;
+use relcomp_ugraph::{NodeId, UncertainGraph};
+
+/// A reproducible set of s-t query pairs at a fixed hop distance.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// The s-t pairs.
+    pub pairs: Vec<(NodeId, NodeId)>,
+    /// Hop distance every pair satisfies.
+    pub hops: usize,
+    /// Seed the workload was drawn with.
+    pub seed: u64,
+}
+
+impl Workload {
+    /// Draw up to `num_pairs` distinct pairs with shortest-path distance
+    /// exactly `hops` (over the certain topology). Sources without any
+    /// node at that distance are re-drawn; gives up (returning fewer
+    /// pairs) after a generous retry budget on very sparse graphs.
+    pub fn generate(
+        graph: &UncertainGraph,
+        num_pairs: usize,
+        hops: usize,
+        seed: u64,
+    ) -> Workload {
+        assert!(hops >= 1, "hop distance must be >= 1");
+        assert!(graph.num_nodes() > 1, "graph too small for a workload");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut pairs = Vec::with_capacity(num_pairs);
+        let mut seen = std::collections::HashSet::with_capacity(num_pairs * 2);
+        let budget = num_pairs * 200;
+        let mut attempts = 0;
+        while pairs.len() < num_pairs && attempts < budget {
+            attempts += 1;
+            let s = NodeId(rng.gen_range(0..graph.num_nodes() as u32));
+            let dist = hop_distances(graph, s, hops);
+            let candidates: Vec<NodeId> = dist
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| **d == Some(hops as u32))
+                .map(|(i, _)| NodeId::from_index(i))
+                .collect();
+            let Some(&t) = candidates.choose(&mut rng) else {
+                continue;
+            };
+            if seen.insert((s, t)) {
+                pairs.push((s, t));
+            }
+        }
+        Workload { pairs, hops, seed }
+    }
+
+    /// Number of pairs in the workload.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True if the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relcomp_ugraph::Dataset;
+
+    #[test]
+    fn pairs_are_at_requested_distance() {
+        let g = Dataset::LastFm.generate_with_scale(0.1, 3);
+        let w = Workload::generate(&g, 20, 2, 7);
+        assert_eq!(w.len(), 20);
+        for &(s, t) in &w.pairs {
+            let d = hop_distances(&g, s, 4);
+            assert_eq!(d[t.index()], Some(2), "pair {s}->{t}");
+        }
+    }
+
+    #[test]
+    fn workload_is_reproducible() {
+        let g = Dataset::LastFm.generate_with_scale(0.1, 3);
+        let a = Workload::generate(&g, 10, 2, 42);
+        let b = Workload::generate(&g, 10, 2, 42);
+        assert_eq!(a.pairs, b.pairs);
+        let c = Workload::generate(&g, 10, 2, 43);
+        assert_ne!(a.pairs, c.pairs);
+    }
+
+    #[test]
+    fn pairs_are_distinct() {
+        let g = Dataset::LastFm.generate_with_scale(0.1, 3);
+        let w = Workload::generate(&g, 30, 2, 9);
+        let mut dedup = w.pairs.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), w.pairs.len());
+    }
+
+    #[test]
+    fn larger_hops_supported() {
+        let g = Dataset::LastFm.generate_with_scale(0.1, 3);
+        let w = Workload::generate(&g, 5, 4, 11);
+        for &(s, t) in &w.pairs {
+            let d = hop_distances(&g, s, 6);
+            assert_eq!(d[t.index()], Some(4));
+        }
+    }
+}

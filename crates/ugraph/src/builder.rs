@@ -1,0 +1,220 @@
+//! Mutable construction of [`UncertainGraph`]s.
+
+use crate::error::GraphError;
+use crate::graph::UncertainGraph;
+use crate::ids::NodeId;
+use crate::probability::Probability;
+
+/// What to do when the same directed edge `(u, v)` is added twice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DuplicatePolicy {
+    /// Reject the build with [`GraphError::DuplicateEdge`].
+    #[default]
+    Error,
+    /// Keep the first probability seen.
+    KeepFirst,
+    /// Combine as independent parallel edges: `1 - (1-p1)(1-p2)`.
+    ///
+    /// This matches how the reliability literature collapses multi-edges
+    /// (e.g. repeated AS-topology observations, parallel ProbTree paths).
+    CombineOr,
+}
+
+/// Builder for [`UncertainGraph`]. Collects edges, validates them, then
+/// sorts into CSR order on [`build`](GraphBuilder::build).
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    num_nodes: usize,
+    edges: Vec<(NodeId, NodeId, Probability)>,
+    allow_self_loops: bool,
+    duplicate_policy: DuplicatePolicy,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph over node ids `0..num_nodes`.
+    pub fn new(num_nodes: usize) -> Self {
+        GraphBuilder {
+            num_nodes,
+            edges: Vec::new(),
+            allow_self_loops: false,
+            duplicate_policy: DuplicatePolicy::default(),
+        }
+    }
+
+    /// Pre-allocate space for `m` edges.
+    pub fn with_edge_capacity(mut self, m: usize) -> Self {
+        self.edges.reserve(m);
+        self
+    }
+
+    /// Permit self-loops (default: rejected; a self-loop never affects s-t
+    /// reliability but would waste sampling work in every estimator).
+    pub fn allow_self_loops(mut self, allow: bool) -> Self {
+        self.allow_self_loops = allow;
+        self
+    }
+
+    /// Set the duplicate-edge policy (default: [`DuplicatePolicy::Error`]).
+    pub fn duplicate_policy(mut self, policy: DuplicatePolicy) -> Self {
+        self.duplicate_policy = policy;
+        self
+    }
+
+    /// Number of edges added so far (before dedup).
+    pub fn pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Add a directed edge `u -> v` with existence probability `p`.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, p: f64) -> Result<(), GraphError> {
+        let p = Probability::new(p)?;
+        self.add_edge_prob(u, v, p)
+    }
+
+    /// Add a directed edge with an already-validated probability.
+    pub fn add_edge_prob(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        p: Probability,
+    ) -> Result<(), GraphError> {
+        if u.index() >= self.num_nodes {
+            return Err(GraphError::NodeOutOfRange { node: u, num_nodes: self.num_nodes });
+        }
+        if v.index() >= self.num_nodes {
+            return Err(GraphError::NodeOutOfRange { node: v, num_nodes: self.num_nodes });
+        }
+        if u == v && !self.allow_self_loops {
+            return Err(GraphError::SelfLoop(u));
+        }
+        self.edges.push((u, v, p));
+        Ok(())
+    }
+
+    /// Add both `u -> v` and `v -> u` with the same probability — the
+    /// paper's construction for the bi-directed social/co-authorship
+    /// datasets (LastFM, NetHEPT, DBLP).
+    pub fn add_bidirected(&mut self, u: NodeId, v: NodeId, p: f64) -> Result<(), GraphError> {
+        let p = Probability::new(p)?;
+        self.add_edge_prob(u, v, p)?;
+        self.add_edge_prob(v, u, p)
+    }
+
+    /// Finalize into an immutable CSR graph.
+    pub fn build(mut self) -> UncertainGraph {
+        self.edges.sort_unstable_by_key(|&(u, v, _)| (u, v));
+        match self.duplicate_policy {
+            DuplicatePolicy::Error => {
+                // Validation happens in try_build; build() panics on misuse.
+                if let Some(w) = self.edges.windows(2).find(|w| (w[0].0, w[0].1) == (w[1].0, w[1].1))
+                {
+                    panic!("duplicate directed edge {} -> {}", w[0].0, w[0].1);
+                }
+            }
+            DuplicatePolicy::KeepFirst => {
+                self.edges.dedup_by_key(|&mut (u, v, _)| (u, v));
+            }
+            DuplicatePolicy::CombineOr => {
+                let mut merged: Vec<(NodeId, NodeId, Probability)> =
+                    Vec::with_capacity(self.edges.len());
+                for &(u, v, p) in &self.edges {
+                    match merged.last_mut() {
+                        Some(last) if last.0 == u && last.1 == v => {
+                            last.2 = last.2.or_independent(p);
+                        }
+                        _ => merged.push((u, v, p)),
+                    }
+                }
+                self.edges = merged;
+            }
+        }
+        UncertainGraph::from_sorted_edges(self.num_nodes, &self.edges)
+    }
+
+    /// Finalize, returning an error (instead of panicking) on duplicates
+    /// under [`DuplicatePolicy::Error`].
+    pub fn try_build(mut self) -> Result<UncertainGraph, GraphError> {
+        self.edges.sort_unstable_by_key(|&(u, v, _)| (u, v));
+        if self.duplicate_policy == DuplicatePolicy::Error {
+            if let Some(w) = self.edges.windows(2).find(|w| (w[0].0, w[0].1) == (w[1].0, w[1].1)) {
+                return Err(GraphError::DuplicateEdge { from: w[0].0, to: w[0].1 });
+            }
+        }
+        Ok(self.build())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_out_of_range_nodes() {
+        let mut b = GraphBuilder::new(2);
+        let err = b.add_edge(NodeId(0), NodeId(5), 0.5).unwrap_err();
+        assert!(matches!(err, GraphError::NodeOutOfRange { .. }));
+    }
+
+    #[test]
+    fn rejects_invalid_probability() {
+        let mut b = GraphBuilder::new(2);
+        assert!(b.add_edge(NodeId(0), NodeId(1), 0.0).is_err());
+        assert!(b.add_edge(NodeId(0), NodeId(1), 1.5).is_err());
+    }
+
+    #[test]
+    fn rejects_self_loops_by_default() {
+        let mut b = GraphBuilder::new(2);
+        assert!(matches!(
+            b.add_edge(NodeId(1), NodeId(1), 0.5),
+            Err(GraphError::SelfLoop(_))
+        ));
+        let mut b = GraphBuilder::new(2).allow_self_loops(true);
+        assert!(b.add_edge(NodeId(1), NodeId(1), 0.5).is_ok());
+    }
+
+    #[test]
+    fn duplicate_error_policy_fails_try_build() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+        b.add_edge(NodeId(0), NodeId(1), 0.6).unwrap();
+        assert!(matches!(b.try_build(), Err(GraphError::DuplicateEdge { .. })));
+    }
+
+    #[test]
+    fn duplicate_keep_first_keeps_first() {
+        let mut b = GraphBuilder::new(2).duplicate_policy(DuplicatePolicy::KeepFirst);
+        b.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+        b.add_edge(NodeId(0), NodeId(1), 0.9).unwrap();
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.prob(crate::ids::EdgeId(0)).value(), 0.5);
+    }
+
+    #[test]
+    fn duplicate_combine_or_merges_independently() {
+        let mut b = GraphBuilder::new(2).duplicate_policy(DuplicatePolicy::CombineOr);
+        b.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+        b.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert!((g.prob(crate::ids::EdgeId(0)).value() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bidirected_adds_both_directions() {
+        let mut b = GraphBuilder::new(3);
+        b.add_bidirected(NodeId(0), NodeId(2), 0.4).unwrap();
+        let g = b.build();
+        assert!(g.find_edge(NodeId(0), NodeId(2)).is_some());
+        assert!(g.find_edge(NodeId(2), NodeId(0)).is_some());
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn empty_graph_builds() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

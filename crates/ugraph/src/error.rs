@@ -1,0 +1,104 @@
+//! Error types for graph construction and I/O.
+
+use crate::ids::NodeId;
+use crate::probability::ProbabilityError;
+use std::fmt;
+
+/// Errors raised while building or loading an uncertain graph.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An edge referenced a node id `>= n`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: NodeId,
+        /// Number of nodes the graph was declared with.
+        num_nodes: usize,
+    },
+    /// An edge probability was outside `(0, 1]`.
+    InvalidProbability(ProbabilityError),
+    /// A self-loop was supplied where the builder forbids them.
+    SelfLoop(NodeId),
+    /// A duplicate directed edge was supplied where the builder forbids them.
+    DuplicateEdge {
+        /// Edge source.
+        from: NodeId,
+        /// Edge target.
+        to: NodeId,
+    },
+    /// Malformed text while parsing an edge-list file.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node {node} out of range for graph with {num_nodes} nodes")
+            }
+            GraphError::InvalidProbability(e) => write!(f, "{e}"),
+            GraphError::SelfLoop(n) => write!(f, "self-loop on node {n} is not allowed"),
+            GraphError::DuplicateEdge { from, to } => {
+                write!(f, "duplicate directed edge {from} -> {to}")
+            }
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::InvalidProbability(e) => Some(e),
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ProbabilityError> for GraphError {
+    fn from(e: ProbabilityError) -> Self {
+        GraphError::InvalidProbability(e)
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_payload() {
+        let e = GraphError::NodeOutOfRange { node: NodeId(9), num_nodes: 5 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('5'));
+
+        let e = GraphError::SelfLoop(NodeId(3));
+        assert!(e.to_string().contains('3'));
+
+        let e = GraphError::Parse { line: 12, message: "bad field".into() };
+        assert!(e.to_string().contains("12"));
+        assert!(e.to_string().contains("bad field"));
+    }
+
+    #[test]
+    fn probability_error_converts() {
+        let pe = crate::probability::Probability::new(2.0).unwrap_err();
+        let ge: GraphError = pe.into();
+        assert!(matches!(ge, GraphError::InvalidProbability(_)));
+    }
+}

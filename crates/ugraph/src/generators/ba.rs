@@ -1,0 +1,109 @@
+//! Barabási–Albert preferential attachment (power-law degree) topology.
+//!
+//! Social, co-authorship, AS, and biological networks — i.e. all six of the
+//! paper's datasets — have heavy-tailed degree distributions, which is the
+//! property that drives BFS frontier growth and hence estimator cost. BA is
+//! the standard generator with that property.
+
+use super::{canonicalize, UndirectedEdges};
+use crate::ids::NodeId;
+use rand::Rng;
+
+/// Grow a BA graph: start from a small clique of `m_attach + 1` nodes, then
+/// attach each new node to `m_attach` existing nodes chosen proportionally
+/// to degree (implemented with the standard repeated-endpoint trick).
+///
+/// Final edge count is roughly `n * m_attach`.
+pub fn barabasi_albert<R: Rng + ?Sized>(
+    n: usize,
+    m_attach: usize,
+    rng: &mut R,
+) -> UndirectedEdges {
+    assert!(m_attach >= 1, "attachment degree must be >= 1");
+    assert!(n > m_attach, "need n > m_attach (got n = {n}, m_attach = {m_attach})");
+
+    let mut pairs: UndirectedEdges = Vec::with_capacity(n * m_attach);
+    // `endpoints` holds one entry per edge endpoint; sampling uniformly from
+    // it is sampling proportionally to degree.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * m_attach);
+
+    // Seed clique over nodes 0..=m_attach.
+    for u in 0..=m_attach as u32 {
+        for v in (u + 1)..=m_attach as u32 {
+            pairs.push((NodeId(u), NodeId(v)));
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+
+    for new in (m_attach + 1)..n {
+        let new = new as u32;
+        // Insertion-ordered Vec (m_attach is small) keeps generation
+        // deterministic for a fixed RNG, unlike HashSet iteration.
+        let mut targets: Vec<u32> = Vec::with_capacity(m_attach);
+        while targets.len() < m_attach {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            pairs.push((NodeId(t), NodeId(new)));
+            endpoints.push(t);
+            endpoints.push(new);
+        }
+    }
+    canonicalize(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn edge_count_close_to_n_times_m() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let n = 500;
+        let m_attach = 3;
+        let edges = barabasi_albert(n, m_attach, &mut rng);
+        let expected = (n - m_attach - 1) * m_attach + m_attach * (m_attach + 1) / 2;
+        assert_eq!(edges.len(), expected);
+    }
+
+    #[test]
+    fn produces_heavy_tail() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let n = 2000;
+        let edges = barabasi_albert(n, 2, &mut rng);
+        let mut deg = vec![0usize; n];
+        for &(u, v) in &edges {
+            deg[u.index()] += 1;
+            deg[v.index()] += 1;
+        }
+        let max = *deg.iter().max().unwrap();
+        let mean = deg.iter().sum::<usize>() as f64 / n as f64;
+        // A power-law hub should dwarf the mean degree.
+        assert!(max as f64 > 8.0 * mean, "max {max} vs mean {mean}");
+    }
+
+    #[test]
+    fn all_nodes_covered() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        let n = 100;
+        let edges = barabasi_albert(n, 2, &mut rng);
+        let mut touched = vec![false; n];
+        for &(u, v) in &edges {
+            touched[u.index()] = true;
+            touched[v.index()] = true;
+        }
+        assert!(touched.iter().all(|&t| t));
+    }
+
+    #[test]
+    #[should_panic(expected = "n > m_attach")]
+    fn rejects_degenerate_sizes() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        let _ = barabasi_albert(3, 3, &mut rng);
+    }
+}

@@ -1,0 +1,74 @@
+//! Erdős–Rényi G(n, m) topology.
+
+use super::{canonicalize, UndirectedEdges};
+use crate::ids::NodeId;
+use rand::Rng;
+
+/// Sample an undirected G(n, m) graph: `m` distinct unordered pairs chosen
+/// uniformly at random. Used as a neutral baseline topology in tests and
+/// ablations.
+///
+/// # Panics
+/// Panics if `m` exceeds the number of distinct pairs `n(n-1)/2`.
+pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> UndirectedEdges {
+    assert!(n >= 2 || m == 0, "need at least 2 nodes for any edge");
+    let max_pairs = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(m <= max_pairs, "requested {m} edges but only {max_pairs} distinct pairs exist");
+
+    // Rejection sampling is fine for the sparse graphs we generate
+    // (m << n^2 in every dataset analog).
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    let mut pairs = Vec::with_capacity(m);
+    while pairs.len() < m {
+        let u = rng.gen_range(0..n) as u32;
+        let v = rng.gen_range(0..n) as u32;
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if seen.insert(key) {
+            pairs.push((NodeId(key.0), NodeId(key.1)));
+        }
+    }
+    canonicalize(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_exactly_m_distinct_edges() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        let edges = erdos_renyi(50, 200, &mut rng);
+        assert_eq!(edges.len(), 200);
+        let mut dedup = edges.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 200);
+        for &(u, v) in &edges {
+            assert!(u < v);
+            assert!(v.index() < 50);
+        }
+    }
+
+    #[test]
+    fn zero_edges_ok() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        assert!(erdos_renyi(10, 0, &mut rng).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct pairs")]
+    fn too_many_edges_panics() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        let _ = erdos_renyi(3, 10, &mut rng);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+        let mut b = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+        assert_eq!(erdos_renyi(30, 60, &mut a), erdos_renyi(30, 60, &mut b));
+    }
+}

@@ -1,0 +1,48 @@
+//! 2-D grid lattice topology — a road-network stand-in (the paper cites
+//! probabilistic path queries in road networks as a motivating use case).
+
+use super::UndirectedEdges;
+use crate::ids::NodeId;
+
+/// `rows x cols` 4-connected grid. Node `(r, c)` has id `r * cols + c`.
+pub fn grid_lattice(rows: usize, cols: usize) -> UndirectedEdges {
+    assert!(rows >= 1 && cols >= 1, "grid dimensions must be positive");
+    let id = |r: usize, c: usize| NodeId((r * cols + c) as u32);
+    let mut pairs = Vec::with_capacity(2 * rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                pairs.push((id(r, c), id(r, c + 1)));
+            }
+            if r + 1 < rows {
+                pairs.push((id(r, c), id(r + 1, c)));
+            }
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_count_formula() {
+        // rows*(cols-1) horizontal + (rows-1)*cols vertical
+        let edges = grid_lattice(3, 4);
+        assert_eq!(edges.len(), 3 * 3 + 2 * 4);
+    }
+
+    #[test]
+    fn single_cell_has_no_edges() {
+        assert!(grid_lattice(1, 1).is_empty());
+    }
+
+    #[test]
+    fn line_grid_is_a_path() {
+        let edges = grid_lattice(1, 5);
+        assert_eq!(edges.len(), 4);
+        assert_eq!(edges[0], (NodeId(0), NodeId(1)));
+        assert_eq!(edges[3], (NodeId(3), NodeId(4)));
+    }
+}

@@ -1,0 +1,55 @@
+//! Synthetic graph topologies.
+//!
+//! The paper evaluates on six downloaded real-world networks. Offline we
+//! substitute *synthetic analogs*: generators here produce the topology
+//! (edge pairs), and [`probmodel`](crate::probmodel) assigns the paper's
+//! edge-probability models on top. See DESIGN.md §2 for the substitution
+//! rationale.
+//!
+//! All generators are deterministic given the caller's RNG, so experiments
+//! are reproducible end-to-end from a single seed.
+
+mod ba;
+mod er;
+mod grid;
+mod ws;
+
+pub use ba::barabasi_albert;
+pub use er::erdos_renyi;
+pub use grid::grid_lattice;
+pub use ws::watts_strogatz;
+
+use crate::ids::NodeId;
+
+/// An undirected topology as a list of distinct unordered pairs
+/// `(u, v)` with `u != v`. Build a directed uncertain graph from it with a
+/// probability model (see [`crate::probmodel`]).
+pub type UndirectedEdges = Vec<(NodeId, NodeId)>;
+
+/// Deduplicate and canonicalize an undirected pair list (u < v, sorted).
+pub(crate) fn canonicalize(mut pairs: UndirectedEdges) -> UndirectedEdges {
+    for pair in pairs.iter_mut() {
+        if pair.0 > pair.1 {
+            std::mem::swap(&mut pair.0, &mut pair.1);
+        }
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalize_dedups_and_orients() {
+        let pairs = vec![
+            (NodeId(2), NodeId(1)),
+            (NodeId(1), NodeId(2)),
+            (NodeId(0), NodeId(3)),
+        ];
+        let canon = canonicalize(pairs);
+        assert_eq!(canon, vec![(NodeId(0), NodeId(3)), (NodeId(1), NodeId(2))]);
+    }
+}

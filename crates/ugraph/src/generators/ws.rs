@@ -1,0 +1,101 @@
+//! Watts–Strogatz small-world topology.
+//!
+//! Used for the AS-topology analog: AS graphs have high clustering with a
+//! few long-range links, which WS captures (ring lattice + rewiring).
+
+use super::{canonicalize, UndirectedEdges};
+use crate::ids::NodeId;
+use rand::Rng;
+
+/// Ring lattice over `n` nodes where each node connects to its `k/2`
+/// neighbors on each side, with each edge rewired to a random endpoint
+/// with probability `beta`.
+///
+/// # Panics
+/// Panics unless `k` is even, `k >= 2`, `n > k`, and `beta` in `[0, 1]`.
+pub fn watts_strogatz<R: Rng + ?Sized>(
+    n: usize,
+    k: usize,
+    beta: f64,
+    rng: &mut R,
+) -> UndirectedEdges {
+    assert!(k >= 2 && k % 2 == 0, "k must be even and >= 2 (got {k})");
+    assert!(n > k, "need n > k (got n = {n}, k = {k})");
+    assert!((0.0..=1.0).contains(&beta), "beta out of range: {beta}");
+
+    let mut seen = std::collections::HashSet::with_capacity(n * k);
+    let mut pairs = Vec::with_capacity(n * k / 2);
+    let canon = |u: u32, v: u32| if u < v { (u, v) } else { (v, u) };
+
+    for u in 0..n {
+        for j in 1..=(k / 2) {
+            let v = (u + j) % n;
+            let (mut a, mut b) = canon(u as u32, v as u32);
+            if rng.gen::<f64>() < beta {
+                // Rewire the far endpoint to a random node, avoiding
+                // self-loops and duplicates (retry a few times, else keep).
+                for _ in 0..16 {
+                    let w = rng.gen_range(0..n) as u32;
+                    if w as usize == u {
+                        continue;
+                    }
+                    let cand = canon(u as u32, w);
+                    if !seen.contains(&cand) {
+                        (a, b) = cand;
+                        break;
+                    }
+                }
+            }
+            if seen.insert((a, b)) {
+                pairs.push((NodeId(a), NodeId(b)));
+            }
+        }
+    }
+    canonicalize(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn beta_zero_is_ring_lattice() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        let edges = watts_strogatz(10, 4, 0.0, &mut rng);
+        assert_eq!(edges.len(), 10 * 4 / 2);
+        // Every node has degree k.
+        let mut deg = vec![0usize; 10];
+        for &(u, v) in &edges {
+            deg[u.index()] += 1;
+            deg[v.index()] += 1;
+        }
+        assert!(deg.iter().all(|&d| d == 4));
+    }
+
+    #[test]
+    fn rewiring_keeps_edge_budget_close() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2);
+        let edges = watts_strogatz(200, 6, 0.3, &mut rng);
+        let target = 200 * 6 / 2;
+        assert!(edges.len() >= target * 9 / 10, "len {} vs {}", edges.len(), target);
+        assert!(edges.len() <= target);
+    }
+
+    #[test]
+    fn no_self_loops_or_duplicates() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let edges = watts_strogatz(100, 4, 1.0, &mut rng);
+        let mut dedup = edges.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), edges.len());
+        assert!(edges.iter().all(|&(u, v)| u != v));
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_k_rejected() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        let _ = watts_strogatz(10, 3, 0.1, &mut rng);
+    }
+}

@@ -1,0 +1,272 @@
+//! Compressed-sparse-row storage for uncertain directed graphs.
+//!
+//! An [`UncertainGraph`] is the paper's triple `G = (V, E, P)`: `n` nodes,
+//! `m` directed edges, and an existence probability per edge. Storage is a
+//! forward CSR (out-edges, used by every BFS-based estimator) plus a reverse
+//! CSR (in-edges, needed by BFS-Sharing's cascading updates, Alg. 2 line 16,
+//! and by the ProbTree decomposition).
+//!
+//! Edge ids are assigned in forward-CSR order, so `EdgeId` doubles as a
+//! direct index into any per-edge side array an estimator wants to keep
+//! (bit vectors, strata overlays, geometric counters, ...).
+
+use crate::ids::{EdgeId, NodeId};
+use crate::probability::Probability;
+
+/// A directed uncertain graph in CSR form. Immutable once built; construct
+/// via [`GraphBuilder`](crate::builder::GraphBuilder).
+#[derive(Clone, Debug)]
+pub struct UncertainGraph {
+    /// Forward CSR offsets, length `n + 1`.
+    out_offsets: Vec<u32>,
+    /// Forward CSR targets, length `m`; slot `i` is edge `EdgeId(i)`.
+    out_targets: Vec<NodeId>,
+    /// Edge source per edge id (inverse of the forward CSR), length `m`.
+    sources: Vec<NodeId>,
+    /// Edge probability per edge id, length `m`.
+    probs: Vec<Probability>,
+    /// Reverse CSR offsets, length `n + 1`.
+    in_offsets: Vec<u32>,
+    /// Reverse CSR edge ids, length `m` (look up source via `sources`).
+    in_edges: Vec<EdgeId>,
+}
+
+impl UncertainGraph {
+    /// Assemble a graph from already-validated parts. Internal; callers go
+    /// through [`GraphBuilder`](crate::builder::GraphBuilder).
+    pub(crate) fn from_sorted_edges(
+        num_nodes: usize,
+        edges: &[(NodeId, NodeId, Probability)],
+    ) -> Self {
+        debug_assert!(edges.windows(2).all(|w| (w[0].0, w[0].1) <= (w[1].0, w[1].1)));
+        let n = num_nodes;
+        let m = edges.len();
+
+        let mut out_offsets = vec![0u32; n + 1];
+        for &(u, _, _) in edges {
+            out_offsets[u.index() + 1] += 1;
+        }
+        for i in 0..n {
+            out_offsets[i + 1] += out_offsets[i];
+        }
+
+        let mut out_targets = Vec::with_capacity(m);
+        let mut sources = Vec::with_capacity(m);
+        let mut probs = Vec::with_capacity(m);
+        for &(u, v, p) in edges {
+            out_targets.push(v);
+            sources.push(u);
+            probs.push(p);
+        }
+
+        // Reverse CSR via counting sort on targets.
+        let mut in_offsets = vec![0u32; n + 1];
+        for &(_, v, _) in edges {
+            in_offsets[v.index() + 1] += 1;
+        }
+        for i in 0..n {
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let mut cursor = in_offsets.clone();
+        let mut in_edges = vec![EdgeId(0); m];
+        for (eid, &(_, v, _)) in edges.iter().enumerate() {
+            let slot = cursor[v.index()] as usize;
+            in_edges[slot] = EdgeId::from_index(eid);
+            cursor[v.index()] += 1;
+        }
+
+        UncertainGraph { out_offsets, out_targets, sources, probs, in_offsets, in_edges }
+    }
+
+    /// Number of nodes `n`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.out_offsets.len() - 1
+    }
+
+    /// Number of directed edges `m`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// True if `node` is a valid id for this graph.
+    #[inline]
+    pub fn contains_node(&self, node: NodeId) -> bool {
+        node.index() < self.num_nodes()
+    }
+
+    /// All node ids, `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.num_nodes() as u32).map(NodeId)
+    }
+
+    /// All edges as `(EdgeId, from, to, prob)` in edge-id order.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, NodeId, NodeId, Probability)> + '_ {
+        (0..self.num_edges()).map(move |i| {
+            (EdgeId::from_index(i), self.sources[i], self.out_targets[i], self.probs[i])
+        })
+    }
+
+    /// Out-edges of `v` as `(EdgeId, target)`.
+    #[inline]
+    pub fn out_edges(&self, v: NodeId) -> impl Iterator<Item = (EdgeId, NodeId)> + '_ {
+        let lo = self.out_offsets[v.index()] as usize;
+        let hi = self.out_offsets[v.index() + 1] as usize;
+        (lo..hi).map(move |i| (EdgeId::from_index(i), self.out_targets[i]))
+    }
+
+    /// In-edges of `v` as `(EdgeId, source)`.
+    #[inline]
+    pub fn in_edges(&self, v: NodeId) -> impl Iterator<Item = (EdgeId, NodeId)> + '_ {
+        let lo = self.in_offsets[v.index()] as usize;
+        let hi = self.in_offsets[v.index() + 1] as usize;
+        self.in_edges[lo..hi].iter().map(move |&e| (e, self.sources[e.index()]))
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        (self.out_offsets[v.index() + 1] - self.out_offsets[v.index()]) as usize
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        (self.in_offsets[v.index() + 1] - self.in_offsets[v.index()]) as usize
+    }
+
+    /// Existence probability of edge `e`.
+    #[inline]
+    pub fn prob(&self, e: EdgeId) -> Probability {
+        self.probs[e.index()]
+    }
+
+    /// Endpoints `(from, to)` of edge `e`.
+    #[inline]
+    pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        (self.sources[e.index()], self.out_targets[e.index()])
+    }
+
+    /// Source endpoint of edge `e`.
+    #[inline]
+    pub fn source(&self, e: EdgeId) -> NodeId {
+        self.sources[e.index()]
+    }
+
+    /// Target endpoint of edge `e`.
+    #[inline]
+    pub fn target(&self, e: EdgeId) -> NodeId {
+        self.out_targets[e.index()]
+    }
+
+    /// Find the edge id of `u -> v`, if present (binary search within `u`'s
+    /// CSR slice, which is sorted by target).
+    pub fn find_edge(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        let lo = self.out_offsets[u.index()] as usize;
+        let hi = self.out_offsets[u.index() + 1] as usize;
+        let slice = &self.out_targets[lo..hi];
+        slice.binary_search(&v).ok().map(|off| EdgeId::from_index(lo + off))
+    }
+
+    /// Approximate resident bytes of the CSR itself — the baseline memory
+    /// every estimator pays (Fig. 12 accounting).
+    pub fn resident_bytes(&self) -> usize {
+        self.out_offsets.len() * 4
+            + self.out_targets.len() * 4
+            + self.sources.len() * 4
+            + self.probs.len() * 8
+            + self.in_offsets.len() * 4
+            + self.in_edges.len() * 4
+    }
+
+    /// Mean probability over all edges (0 if the graph has no edges).
+    pub fn mean_probability(&self) -> f64 {
+        if self.probs.is_empty() {
+            return 0.0;
+        }
+        self.probs.iter().map(|p| p.value()).sum::<f64>() / self.probs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn diamond() -> UncertainGraph {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+        b.add_edge(NodeId(0), NodeId(2), 0.6).unwrap();
+        b.add_edge(NodeId(1), NodeId(3), 0.7).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), 0.8).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn counts_nodes_and_edges() {
+        let g = diamond();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    fn out_edges_are_grouped_by_source() {
+        let g = diamond();
+        let outs: Vec<_> = g.out_edges(NodeId(0)).map(|(_, t)| t).collect();
+        assert_eq!(outs, vec![NodeId(1), NodeId(2)]);
+        assert_eq!(g.out_degree(NodeId(0)), 2);
+        assert_eq!(g.out_degree(NodeId(3)), 0);
+    }
+
+    #[test]
+    fn in_edges_mirror_out_edges() {
+        let g = diamond();
+        let ins: Vec<_> = g.in_edges(NodeId(3)).map(|(_, s)| s).collect();
+        assert_eq!(ins.len(), 2);
+        assert!(ins.contains(&NodeId(1)));
+        assert!(ins.contains(&NodeId(2)));
+        assert_eq!(g.in_degree(NodeId(0)), 0);
+    }
+
+    #[test]
+    fn endpoints_and_probs_align_with_edge_ids() {
+        let g = diamond();
+        for (e, u, v, p) in g.edges() {
+            assert_eq!(g.endpoints(e), (u, v));
+            assert_eq!(g.prob(e), p);
+            assert_eq!(g.source(e), u);
+            assert_eq!(g.target(e), v);
+        }
+    }
+
+    #[test]
+    fn find_edge_hits_and_misses() {
+        let g = diamond();
+        assert!(g.find_edge(NodeId(0), NodeId(1)).is_some());
+        assert!(g.find_edge(NodeId(1), NodeId(0)).is_none());
+        assert!(g.find_edge(NodeId(3), NodeId(0)).is_none());
+    }
+
+    #[test]
+    fn degree_sums_equal_edge_count() {
+        let g = diamond();
+        let out_sum: usize = g.nodes().map(|v| g.out_degree(v)).sum();
+        let in_sum: usize = g.nodes().map(|v| g.in_degree(v)).sum();
+        assert_eq!(out_sum, g.num_edges());
+        assert_eq!(in_sum, g.num_edges());
+    }
+
+    #[test]
+    fn resident_bytes_scales_with_size() {
+        let g = diamond();
+        assert!(g.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn mean_probability_is_average() {
+        let g = diamond();
+        assert!((g.mean_probability() - 0.65).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,130 @@
+//! Strongly-typed node and edge identifiers.
+//!
+//! Both identifiers are thin wrappers over `u32`: uncertain graphs in the
+//! reliability literature (Table 2 of the paper) top out at a few million
+//! nodes/edges, and 32-bit indices halve the footprint of adjacency arrays,
+//! which matters for the index-based estimators (BFS-Sharing keeps `K` bits
+//! per edge; ProbTree replicates edges into bags).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node in an [`UncertainGraph`](crate::graph::UncertainGraph).
+///
+/// Node ids are dense: a graph with `n` nodes uses ids `0..n`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct NodeId(pub u32);
+
+/// Identifier of a directed edge in an [`UncertainGraph`](crate::graph::UncertainGraph).
+///
+/// Edge ids are dense and stable: they index the CSR edge arrays directly,
+/// which lets estimators attach per-edge side structures (bit vectors,
+/// geometric counters, inclusion/exclusion overlays) as flat vectors.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct EdgeId(pub u32);
+
+impl NodeId {
+    /// The id as a `usize` index into node-indexed arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a `usize` index.
+    ///
+    /// # Panics
+    /// Panics if `idx` does not fit in `u32`.
+    #[inline]
+    pub fn from_index(idx: usize) -> Self {
+        debug_assert!(idx <= u32::MAX as usize, "node index overflows u32");
+        NodeId(idx as u32)
+    }
+}
+
+impl EdgeId {
+    /// The id as a `usize` index into edge-indexed arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a `usize` index.
+    ///
+    /// # Panics
+    /// Panics if `idx` does not fit in `u32`.
+    #[inline]
+    pub fn from_index(idx: usize) -> Self {
+        debug_assert!(idx <= u32::MAX as usize, "edge index overflows u32");
+        EdgeId(idx as u32)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<u32> for EdgeId {
+    fn from(v: u32) -> Self {
+        EdgeId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trips_index() {
+        let n = NodeId::from_index(42);
+        assert_eq!(n.index(), 42);
+        assert_eq!(n, NodeId(42));
+    }
+
+    #[test]
+    fn edge_id_round_trips_index() {
+        let e = EdgeId::from_index(7);
+        assert_eq!(e.index(), 7);
+        assert_eq!(e, EdgeId(7));
+    }
+
+    #[test]
+    fn ids_order_by_value() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(EdgeId(0) < EdgeId(10));
+    }
+
+    #[test]
+    fn debug_formats_are_tagged() {
+        assert_eq!(format!("{:?}", NodeId(3)), "n3");
+        assert_eq!(format!("{:?}", EdgeId(9)), "e9");
+        assert_eq!(format!("{}", NodeId(3)), "3");
+    }
+}

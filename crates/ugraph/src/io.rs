@@ -1,0 +1,375 @@
+//! Text serialization of uncertain graphs.
+//!
+//! Format (same shape as the paper's released datasets): a header line
+//! `n m`, then one line per directed edge: `from to prob`, whitespace
+//! separated. Lines starting with `#` are comments.
+//!
+//! ```text
+//! # toy graph
+//! 3 2
+//! 0 1 0.5
+//! 1 2 0.25
+//! ```
+
+use crate::builder::{DuplicatePolicy, GraphBuilder};
+use crate::error::GraphError;
+use crate::graph::UncertainGraph;
+use crate::ids::NodeId;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Write `graph` in edge-list format.
+pub fn write_graph<W: Write>(graph: &UncertainGraph, out: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(out);
+    writeln!(w, "{} {}", graph.num_nodes(), graph.num_edges())?;
+    for (_, u, v, p) in graph.edges() {
+        writeln!(w, "{} {} {}", u, v, p)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Write `graph` to a file path.
+pub fn save_graph<P: AsRef<Path>>(graph: &UncertainGraph, path: P) -> Result<(), GraphError> {
+    let file = std::fs::File::create(path)?;
+    write_graph(graph, file)
+}
+
+/// Read a graph in edge-list format. Duplicate edges are rejected.
+pub fn read_graph<R: Read>(input: R) -> Result<UncertainGraph, GraphError> {
+    let reader = BufReader::new(input);
+    let mut lines = reader.lines().enumerate();
+
+    // Header: first non-comment, non-blank line.
+    let (n, m, mut line_no) = loop {
+        let (idx, line) = lines.next().ok_or_else(|| GraphError::Parse {
+            line: 0,
+            message: "missing header line `n m`".into(),
+        })?;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let n: usize = parse_field(&mut parts, idx + 1, "node count")?;
+        let m: usize = parse_field(&mut parts, idx + 1, "edge count")?;
+        break (n, m, idx + 1);
+    };
+
+    let mut builder = GraphBuilder::new(n).with_edge_capacity(m);
+    let mut seen = 0usize;
+    for (idx, line) in lines {
+        line_no = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let u: u32 = parse_field(&mut parts, line_no, "source node")?;
+        let v: u32 = parse_field(&mut parts, line_no, "target node")?;
+        let p: f64 = parse_field(&mut parts, line_no, "probability")?;
+        builder.add_edge(NodeId(u), NodeId(v), p)?;
+        seen += 1;
+    }
+    if seen != m {
+        return Err(GraphError::Parse {
+            line: line_no,
+            message: format!("header declared {m} edges but file contains {seen}"),
+        });
+    }
+    builder.try_build()
+}
+
+/// Read a graph from a file path.
+pub fn load_graph<P: AsRef<Path>>(path: P) -> Result<UncertainGraph, GraphError> {
+    let file = std::fs::File::open(path)?;
+    read_graph(file)
+}
+
+/// Read a graph, collapsing duplicate edges with `1-(1-p1)(1-p2)` instead
+/// of rejecting them (useful for raw multi-edge dumps).
+pub fn read_graph_combine<R: Read>(input: R) -> Result<UncertainGraph, GraphError> {
+    // Parse through the strict reader first for format errors, but with a
+    // permissive builder. Simplest correct approach: re-implement the loop
+    // with the CombineOr policy.
+    let reader = BufReader::new(input);
+    let mut header: Option<(usize, usize)> = None;
+    let mut builder: Option<GraphBuilder> = None;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        match (&mut header, &mut builder) {
+            (None, _) => {
+                let n: usize = parse_field(&mut parts, idx + 1, "node count")?;
+                let m: usize = parse_field(&mut parts, idx + 1, "edge count")?;
+                header = Some((n, m));
+                builder = Some(
+                    GraphBuilder::new(n)
+                        .with_edge_capacity(m)
+                        .duplicate_policy(DuplicatePolicy::CombineOr),
+                );
+            }
+            (Some(_), Some(b)) => {
+                let u: u32 = parse_field(&mut parts, idx + 1, "source node")?;
+                let v: u32 = parse_field(&mut parts, idx + 1, "target node")?;
+                let p: f64 = parse_field(&mut parts, idx + 1, "probability")?;
+                b.add_edge(NodeId(u), NodeId(v), p)?;
+            }
+            _ => unreachable!(),
+        }
+    }
+    builder
+        .ok_or_else(|| GraphError::Parse { line: 0, message: "missing header line `n m`".into() })
+        .map(|b| b.build())
+}
+
+fn parse_field<'a, T: std::str::FromStr>(
+    parts: &mut impl Iterator<Item = &'a str>,
+    line: usize,
+    what: &str,
+) -> Result<T, GraphError> {
+    let raw = parts
+        .next()
+        .ok_or_else(|| GraphError::Parse { line, message: format!("missing {what}") })?;
+    raw.parse().map_err(|_| GraphError::Parse {
+        line,
+        message: format!("cannot parse {what} from `{raw}`"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn toy() -> UncertainGraph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 0.25).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn round_trip_preserves_graph() {
+        let g = toy();
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).unwrap();
+        let g2 = read_graph(&buf[..]).unwrap();
+        assert_eq!(g2.num_nodes(), g.num_nodes());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        for (e, u, v, p) in g.edges() {
+            let e2 = g2.find_edge(u, v).expect("edge survives round trip");
+            assert_eq!(e2, e);
+            assert!((g2.prob(e2).value() - p.value()).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "# a comment\n\n3 1\n# another\n0 2 0.75\n";
+        let g = read_graph(text.as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn missing_header_is_error() {
+        let err = read_graph("".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { .. }));
+    }
+
+    #[test]
+    fn edge_count_mismatch_is_error() {
+        let text = "3 2\n0 1 0.5\n";
+        let err = read_graph(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("declared 2 edges"));
+    }
+
+    #[test]
+    fn malformed_probability_is_error() {
+        let text = "3 1\n0 1 banana\n";
+        let err = read_graph(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("probability"));
+    }
+
+    #[test]
+    fn out_of_range_probability_is_error() {
+        let text = "3 1\n0 1 1.5\n";
+        assert!(read_graph(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn combine_reader_merges_duplicates() {
+        let text = "2 2\n0 1 0.5\n0 1 0.5\n";
+        let g = read_graph_combine(text.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert!((g.prob(crate::ids::EdgeId(0)).value() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let g = toy();
+        let dir = std::env::temp_dir().join("relcomp_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.ug");
+        save_graph(&g, &path).unwrap();
+        let g2 = load_graph(&path).unwrap();
+        assert_eq!(g2.num_edges(), 2);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Binary format
+// ---------------------------------------------------------------------
+
+/// Magic prefix of the binary graph format (version 1).
+pub const BINARY_MAGIC: &[u8; 8] = b"UGRAPHB1";
+
+/// Write `graph` in the compact binary format: an 8-byte magic, `n` and
+/// `m` as little-endian `u64`, then one `(u32 from, u32 to, f64 prob)`
+/// record per edge. Roughly 4x smaller and an order of magnitude faster
+/// to parse than the text format — intended for the large dataset
+/// analogs.
+pub fn write_graph_binary<W: Write>(graph: &UncertainGraph, out: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(out);
+    w.write_all(BINARY_MAGIC)?;
+    w.write_all(&(graph.num_nodes() as u64).to_le_bytes())?;
+    w.write_all(&(graph.num_edges() as u64).to_le_bytes())?;
+    for (_, u, v, p) in graph.edges() {
+        w.write_all(&u.0.to_le_bytes())?;
+        w.write_all(&v.0.to_le_bytes())?;
+        w.write_all(&p.value().to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Read a graph written by [`write_graph_binary`].
+pub fn read_graph_binary<R: Read>(input: R) -> Result<UncertainGraph, GraphError> {
+    let mut r = BufReader::new(input);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != BINARY_MAGIC {
+        return Err(GraphError::Parse {
+            line: 0,
+            message: "bad magic: not a binary uncertain-graph file".into(),
+        });
+    }
+    let mut buf8 = [0u8; 8];
+    r.read_exact(&mut buf8)?;
+    let n = u64::from_le_bytes(buf8) as usize;
+    r.read_exact(&mut buf8)?;
+    let m = u64::from_le_bytes(buf8) as usize;
+
+    let mut builder = GraphBuilder::new(n).with_edge_capacity(m);
+    let mut buf4 = [0u8; 4];
+    for i in 0..m {
+        r.read_exact(&mut buf4).map_err(|_| GraphError::Parse {
+            line: 0,
+            message: format!("truncated at edge record {i} of {m}"),
+        })?;
+        let u = u32::from_le_bytes(buf4);
+        r.read_exact(&mut buf4)?;
+        let v = u32::from_le_bytes(buf4);
+        r.read_exact(&mut buf8)?;
+        let p = f64::from_le_bytes(buf8);
+        builder.add_edge(NodeId(u), NodeId(v), p)?;
+    }
+    builder.try_build()
+}
+
+/// Save a graph in binary format to `path`.
+pub fn save_graph_binary<P: AsRef<Path>>(
+    graph: &UncertainGraph,
+    path: P,
+) -> Result<(), GraphError> {
+    let file = std::fs::File::create(path)?;
+    write_graph_binary(graph, file)
+}
+
+/// Load a binary-format graph from `path`.
+pub fn load_graph_binary<P: AsRef<Path>>(path: P) -> Result<UncertainGraph, GraphError> {
+    let file = std::fs::File::open(path)?;
+    read_graph_binary(file)
+}
+
+#[cfg(test)]
+mod binary_tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn toy() -> UncertainGraph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 0.25).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn binary_round_trip_is_bit_exact() {
+        let g = toy();
+        let mut buf = Vec::new();
+        write_graph_binary(&g, &mut buf).unwrap();
+        let g2 = read_graph_binary(&buf[..]).unwrap();
+        assert_eq!(g2.num_nodes(), g.num_nodes());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        for (e, u, v, p) in g.edges() {
+            let e2 = g2.find_edge(u, v).unwrap();
+            assert_eq!(e2, e);
+            assert_eq!(g2.prob(e2).value().to_bits(), p.value().to_bits());
+        }
+    }
+
+    #[test]
+    fn binary_is_smaller_than_text() {
+        let g = crate::datasets::Dataset::LastFm.generate_with_scale(0.05, 1);
+        let mut text = Vec::new();
+        super::write_graph(&g, &mut text).unwrap();
+        let mut bin = Vec::new();
+        write_graph_binary(&g, &mut bin).unwrap();
+        assert!(bin.len() < text.len(), "bin {} vs text {}", bin.len(), text.len());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_graph_binary(&b"NOTMAGIC\x00\x00"[..]).unwrap_err();
+        assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn rejects_truncated_records() {
+        let g = toy();
+        let mut buf = Vec::new();
+        write_graph_binary(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() - 5);
+        assert!(read_graph_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_corrupt_probability() {
+        let g = toy();
+        let mut buf = Vec::new();
+        write_graph_binary(&g, &mut buf).unwrap();
+        // Overwrite the first edge's probability with 2.0.
+        let off = 8 + 16 + 8; // magic + counts + (from, to)
+        buf[off..off + 8].copy_from_slice(&2.0f64.to_le_bytes());
+        assert!(read_graph_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn binary_file_round_trip() {
+        let g = toy();
+        let dir = std::env::temp_dir().join("relcomp_io_bin_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.ugb");
+        save_graph_binary(&g, &path).unwrap();
+        let g2 = load_graph_binary(&path).unwrap();
+        assert_eq!(g2.num_edges(), 2);
+    }
+}

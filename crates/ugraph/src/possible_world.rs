@@ -1,0 +1,175 @@
+//! Possible-world semantics (§2.1 of the paper).
+//!
+//! An uncertain graph with `m` edges defines `2^m` possible deterministic
+//! worlds; world `G` materializes edge subset `E_G` with probability
+//! `Pr(G) = prod_{e in E_G} P(e) * prod_{e notin E_G} (1 - P(e))` (Eq. 1).
+//! This module provides an explicit world representation (an edge bitmask)
+//! plus sampling and enumeration helpers. Enumeration powers the exact
+//! oracle used in tests; sampling powers plain MC.
+
+use crate::graph::UncertainGraph;
+use crate::ids::{EdgeId, NodeId};
+use crate::traversal::{bfs_reaches, BfsWorkspace};
+use rand::Rng;
+
+/// One possible world: a bitmask over edge ids.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PossibleWorld {
+    bits: Vec<u64>,
+    num_edges: usize,
+}
+
+impl PossibleWorld {
+    /// An empty world (no edges present) for a graph with `m` edges.
+    pub fn empty(m: usize) -> Self {
+        PossibleWorld { bits: vec![0; m.div_ceil(64)], num_edges: m }
+    }
+
+    /// Sample a world edge-by-edge with independent probabilities (Eq. 1).
+    pub fn sample<R: Rng + ?Sized>(graph: &UncertainGraph, rng: &mut R) -> Self {
+        let mut w = Self::empty(graph.num_edges());
+        for (e, _, _, p) in graph.edges() {
+            if rng.gen::<f64>() < p.value() {
+                w.set(e, true);
+            }
+        }
+        w
+    }
+
+    /// Whether edge `e` is present in this world.
+    #[inline]
+    pub fn contains(&self, e: EdgeId) -> bool {
+        let i = e.index();
+        (self.bits[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Set the presence of edge `e`.
+    #[inline]
+    pub fn set(&mut self, e: EdgeId, present: bool) {
+        let i = e.index();
+        if present {
+            self.bits[i / 64] |= 1 << (i % 64);
+        } else {
+            self.bits[i / 64] &= !(1 << (i % 64));
+        }
+    }
+
+    /// Number of present edges.
+    pub fn num_present(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Generating probability `Pr(G)` of this world under `graph` (Eq. 1).
+    pub fn probability(&self, graph: &UncertainGraph) -> f64 {
+        let mut pr = 1.0;
+        for (e, _, _, p) in graph.edges() {
+            pr *= if self.contains(e) { p.value() } else { p.complement() };
+        }
+        pr
+    }
+
+    /// Indicator `I_G(s, t)`: is `t` reachable from `s` in this world?
+    pub fn reaches(&self, graph: &UncertainGraph, s: NodeId, t: NodeId) -> bool {
+        let mut ws = BfsWorkspace::new(graph.num_nodes());
+        bfs_reaches(graph, s, t, &mut ws, |e| self.contains(e))
+    }
+
+    /// Total number of edges (present or absent) the mask covers.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+}
+
+/// Iterate over *all* `2^m` worlds of a small graph. Panics if `m > 26`
+/// (the exact oracle is for test-scale graphs only).
+pub fn enumerate_worlds(graph: &UncertainGraph) -> impl Iterator<Item = PossibleWorld> + '_ {
+    let m = graph.num_edges();
+    assert!(m <= 26, "world enumeration is exponential; refusing m = {m} > 26");
+    (0u64..(1u64 << m)).map(move |mask| {
+        let mut w = PossibleWorld::empty(m);
+        for i in 0..m {
+            if (mask >> i) & 1 == 1 {
+                w.set(EdgeId::from_index(i), true);
+            }
+        }
+        w
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use rand::SeedableRng;
+
+    fn two_path() -> UncertainGraph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 0.5).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn bitmask_set_and_get() {
+        let mut w = PossibleWorld::empty(100);
+        assert!(!w.contains(EdgeId(70)));
+        w.set(EdgeId(70), true);
+        assert!(w.contains(EdgeId(70)));
+        w.set(EdgeId(70), false);
+        assert!(!w.contains(EdgeId(70)));
+    }
+
+    #[test]
+    fn world_probabilities_sum_to_one() {
+        let g = two_path();
+        let total: f64 = enumerate_worlds(&g).map(|w| w.probability(&g)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reachability_requires_both_chain_edges() {
+        let g = two_path();
+        let mut w = PossibleWorld::empty(2);
+        assert!(!w.reaches(&g, NodeId(0), NodeId(2)));
+        w.set(EdgeId(0), true);
+        assert!(!w.reaches(&g, NodeId(0), NodeId(2)));
+        w.set(EdgeId(1), true);
+        assert!(w.reaches(&g, NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn sampling_matches_edge_probability_in_expectation() {
+        let g = two_path();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let trials = 20_000;
+        let mut count = 0usize;
+        for _ in 0..trials {
+            let w = PossibleWorld::sample(&g, &mut rng);
+            if w.contains(EdgeId(0)) {
+                count += 1;
+            }
+        }
+        let freq = count as f64 / trials as f64;
+        assert!((freq - 0.5).abs() < 0.02, "freq = {freq}");
+    }
+
+    #[test]
+    fn num_present_counts_bits() {
+        let mut w = PossibleWorld::empty(130);
+        w.set(EdgeId(0), true);
+        w.set(EdgeId(64), true);
+        w.set(EdgeId(129), true);
+        assert_eq!(w.num_present(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponential")]
+    fn enumeration_refuses_large_graphs() {
+        let mut b = GraphBuilder::new(30);
+        for i in 0..27 {
+            b.add_edge(NodeId(i), NodeId(i + 1), 0.5).unwrap();
+        }
+        let g = b.build();
+        let _ = enumerate_worlds(&g).count();
+    }
+}

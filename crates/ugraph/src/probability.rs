@@ -1,0 +1,175 @@
+//! Validated edge-existence probabilities.
+//!
+//! The paper defines an uncertain graph as `G = (V, E, P)` with
+//! `P : E -> (0, 1]` — strictly positive (a zero-probability edge is simply
+//! absent) and at most one (a probability-1 edge is deterministic).
+//! [`Probability`] enforces that contract at construction time so the
+//! estimators never have to re-validate in their hot loops.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An edge-existence probability in `(0, 1]`.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Probability(f64);
+
+/// Error returned when constructing a [`Probability`] out of range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbabilityError(pub f64);
+
+impl fmt::Display for ProbabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "probability must lie in (0, 1], got {} (NaN, non-positive, or > 1)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ProbabilityError {}
+
+impl Probability {
+    /// A deterministic (always-present) edge.
+    pub const ONE: Probability = Probability(1.0);
+
+    /// Construct a probability, validating that it lies in `(0, 1]`.
+    pub fn new(p: f64) -> Result<Self, ProbabilityError> {
+        if p.is_finite() && p > 0.0 && p <= 1.0 {
+            Ok(Probability(p))
+        } else {
+            Err(ProbabilityError(p))
+        }
+    }
+
+    /// Construct a probability, clamping into `(0, 1]`.
+    ///
+    /// Values `<= 0` are clamped to `MIN_POSITIVE_PROB`; values `> 1` (and
+    /// NaN) to `1`. Intended for probability *models* that compute values
+    /// numerically (e.g. `1 - exp(-c/mu)`) and may brush the boundary.
+    pub fn clamped(p: f64) -> Self {
+        if !(p > 0.0) {
+            // catches NaN and non-positive
+            Probability(Self::MIN_POSITIVE)
+        } else if p > 1.0 {
+            Probability(1.0)
+        } else {
+            Probability(p)
+        }
+    }
+
+    /// Smallest probability `clamped` will produce.
+    const MIN_POSITIVE: f64 = 1e-9;
+
+    /// The raw value.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Complement `1 - p` (may be zero for deterministic edges).
+    #[inline]
+    pub fn complement(self) -> f64 {
+        1.0 - self.0
+    }
+
+    /// Probability that at least one of two *independent* events occurs:
+    /// `1 - (1-p)(1-q)`.
+    ///
+    /// This is exactly the ProbTree bag-aggregation rule from §2.7 of the
+    /// paper ("Our adaptation in complexity").
+    #[inline]
+    pub fn or_independent(self, other: Probability) -> Probability {
+        Probability(1.0 - (1.0 - self.0) * (1.0 - other.0))
+    }
+
+    /// Probability that two *independent* events both occur: `p * q`.
+    #[inline]
+    pub fn and_independent(self, other: Probability) -> Probability {
+        // Product of two values in (0,1] stays in (0,1].
+        Probability(self.0 * other.0)
+    }
+
+    /// True if the edge is deterministic (probability exactly 1).
+    #[inline]
+    pub fn is_certain(self) -> bool {
+        self.0 >= 1.0
+    }
+}
+
+impl fmt::Debug for Probability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p={}", self.0)
+    }
+}
+
+impl fmt::Display for Probability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl TryFrom<f64> for Probability {
+    type Error = ProbabilityError;
+    fn try_from(p: f64) -> Result<Self, Self::Error> {
+        Probability::new(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_open_unit_interval() {
+        assert!(Probability::new(0.5).is_ok());
+        assert!(Probability::new(1.0).is_ok());
+        assert!(Probability::new(1e-12).is_ok());
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(Probability::new(0.0).is_err());
+        assert!(Probability::new(-0.1).is_err());
+        assert!(Probability::new(1.0001).is_err());
+        assert!(Probability::new(f64::NAN).is_err());
+        assert!(Probability::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn clamped_handles_boundaries() {
+        assert!(Probability::clamped(0.0).value() > 0.0);
+        assert_eq!(Probability::clamped(2.0).value(), 1.0);
+        assert_eq!(Probability::clamped(0.3).value(), 0.3);
+        assert!(Probability::clamped(f64::NAN).value() > 0.0);
+    }
+
+    #[test]
+    fn or_independent_matches_closed_form() {
+        let p = Probability::new(0.75).unwrap();
+        let q = Probability::new(0.5 * 0.5).unwrap();
+        // Example 2 of the paper: 1 - (1-0.75)(1-0.25) = 0.8125
+        let agg = p.or_independent(q);
+        assert!((agg.value() - 0.8125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn and_independent_is_product() {
+        let p = Probability::new(0.5).unwrap();
+        let q = Probability::new(0.5).unwrap();
+        assert!((p.and_independent(q).value() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn certain_flag() {
+        assert!(Probability::ONE.is_certain());
+        assert!(!Probability::new(0.99).unwrap().is_certain());
+    }
+
+    #[test]
+    fn error_displays_value() {
+        let err = Probability::new(-3.0).unwrap_err();
+        assert!(err.to_string().contains("-3"));
+    }
+}

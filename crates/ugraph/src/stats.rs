@@ -1,0 +1,179 @@
+//! Summary statistics for edge-probability distributions (Table 2 of the
+//! paper reports mean ± SD and quartiles per dataset).
+
+use serde::{Deserialize, Serialize};
+
+/// Mean, standard deviation, and quartiles of a sample.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator); 0 for n < 2.
+    pub sd: f64,
+    /// Minimum.
+    pub min: f64,
+    /// First quartile (linear interpolation).
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile (linear interpolation).
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Compute a summary of `values`. Returns `None` for an empty slice.
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() {
+            return None;
+        }
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let sd = if n > 1 {
+            let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+            var.sqrt()
+        } else {
+            0.0
+        };
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in summary input"));
+        Some(Summary {
+            count: n,
+            mean,
+            sd,
+            min: sorted[0],
+            q1: quantile(&sorted, 0.25),
+            median: quantile(&sorted, 0.5),
+            q3: quantile(&sorted, 0.75),
+            max: sorted[n - 1],
+        })
+    }
+}
+
+/// Linear-interpolated quantile of a sorted slice, `q` in `[0, 1]`.
+pub fn quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile fraction out of range: {q}");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Welford online mean/variance accumulator — used by the convergence
+/// criterion where reliabilities arrive one repetition at a time.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an observation.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample variance with n-1 denominator (0 for n < 2) — matches Eq. 11
+    /// of the paper.
+    pub fn sample_variance(&self) -> f64 {
+        if self.n > 1 {
+            self.m2 / (self.n - 1) as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_values() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.count, 5);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((s.sd - (2.5f64).sqrt()).abs() < 1e-12);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+    }
+
+    #[test]
+    fn summary_empty_is_none() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn summary_singleton() {
+        let s = Summary::of(&[0.7]).unwrap();
+        assert_eq!(s.mean, 0.7);
+        assert_eq!(s.sd, 0.0);
+        assert_eq!(s.median, 0.7);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let sorted = [0.0, 10.0];
+        assert!((quantile(&sorted, 0.5) - 5.0).abs() < 1e-12);
+        assert_eq!(quantile(&sorted, 0.0), 0.0);
+        assert_eq!(quantile(&sorted, 1.0), 10.0);
+    }
+
+    #[test]
+    fn welford_matches_batch() {
+        let xs = [0.2, 0.4, 0.4, 0.9, 0.1];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let s = Summary::of(&xs).unwrap();
+        assert!((w.mean() - s.mean).abs() < 1e-12);
+        assert!((w.sample_variance().sqrt() - s.sd).abs() < 1e-12);
+        assert_eq!(w.count(), 5);
+    }
+
+    #[test]
+    fn welford_degenerate_cases() {
+        let w = Welford::new();
+        assert_eq!(w.sample_variance(), 0.0);
+        let mut w = Welford::new();
+        w.push(1.0);
+        assert_eq!(w.sample_variance(), 0.0);
+        assert_eq!(w.mean(), 1.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Subgraph extraction: induced subgraphs and k-hop ego networks.
+//!
+//! Query-local processing (ProbTree's extracted query graphs, the paper's
+//! observation that 2-hop queries touch a small neighborhood) motivates
+//! first-class subgraph support: extract the region around the query and
+//! run any estimator on it.
+
+use crate::builder::GraphBuilder;
+use crate::graph::UncertainGraph;
+use crate::ids::NodeId;
+use crate::traversal::hop_distances;
+use std::collections::HashMap;
+
+/// A subgraph with its mapping back to the parent graph.
+pub struct Subgraph {
+    /// The extracted graph (dense relabeled node ids).
+    pub graph: UncertainGraph,
+    /// For each subgraph node id (by index), the original node id.
+    pub to_parent: Vec<NodeId>,
+    /// Original node id -> subgraph node id.
+    pub from_parent: HashMap<NodeId, NodeId>,
+}
+
+impl Subgraph {
+    /// Translate a parent node into the subgraph, if present.
+    pub fn project(&self, parent: NodeId) -> Option<NodeId> {
+        self.from_parent.get(&parent).copied()
+    }
+
+    /// Translate a subgraph node back to the parent graph.
+    pub fn lift(&self, local: NodeId) -> NodeId {
+        self.to_parent[local.index()]
+    }
+}
+
+/// Induced subgraph over `nodes` (duplicates ignored): keeps every edge
+/// of the parent whose endpoints are both selected, with its probability.
+pub fn induced_subgraph(graph: &UncertainGraph, nodes: &[NodeId]) -> Subgraph {
+    let mut to_parent: Vec<NodeId> = Vec::with_capacity(nodes.len());
+    let mut from_parent: HashMap<NodeId, NodeId> = HashMap::with_capacity(nodes.len());
+    for &v in nodes {
+        assert!(graph.contains_node(v), "node {v} out of range");
+        if !from_parent.contains_key(&v) {
+            let local = NodeId::from_index(to_parent.len());
+            from_parent.insert(v, local);
+            to_parent.push(v);
+        }
+    }
+    let mut b = GraphBuilder::new(to_parent.len());
+    for (&parent, &local) in &from_parent {
+        for (e, w) in graph.out_edges(parent) {
+            if let Some(&local_w) = from_parent.get(&w) {
+                b.add_edge_prob(local, local_w, graph.prob(e)).expect("validated");
+            }
+        }
+    }
+    Subgraph { graph: b.build(), to_parent, from_parent }
+}
+
+/// K-hop ego network around `center`: the induced subgraph over every
+/// node within `hops` of `center` (following out-edges).
+pub fn ego_network(graph: &UncertainGraph, center: NodeId, hops: usize) -> Subgraph {
+    assert!(graph.contains_node(center), "center out of range");
+    let dist = hop_distances(graph, center, hops);
+    let nodes: Vec<NodeId> = dist
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| d.is_some())
+        .map(|(i, _)| NodeId::from_index(i))
+        .collect();
+    induced_subgraph(graph, &nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::EdgeId;
+
+    fn chain(n: usize) -> UncertainGraph {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n - 1 {
+            b.add_edge(NodeId(i as u32), NodeId(i as u32 + 1), 0.5).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn induced_keeps_internal_edges_only() {
+        let g = chain(5);
+        let sub = induced_subgraph(&g, &[NodeId(1), NodeId(2), NodeId(4)]);
+        assert_eq!(sub.graph.num_nodes(), 3);
+        // Only 1 -> 2 survives (2 -> 3 and 3 -> 4 touch excluded node 3).
+        assert_eq!(sub.graph.num_edges(), 1);
+        let local1 = sub.project(NodeId(1)).unwrap();
+        let local2 = sub.project(NodeId(2)).unwrap();
+        assert!(sub.graph.find_edge(local1, local2).is_some());
+        assert!((sub.graph.prob(EdgeId(0)).value() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mapping_round_trips() {
+        let g = chain(4);
+        let sub = induced_subgraph(&g, &[NodeId(3), NodeId(0)]);
+        for local in sub.graph.nodes() {
+            assert_eq!(sub.project(sub.lift(local)), Some(local));
+        }
+        assert_eq!(sub.project(NodeId(2)), None);
+    }
+
+    #[test]
+    fn ego_network_radius() {
+        let g = chain(6);
+        let ego = ego_network(&g, NodeId(1), 2);
+        // Nodes 1, 2, 3 (out-edges only).
+        assert_eq!(ego.graph.num_nodes(), 3);
+        assert_eq!(ego.graph.num_edges(), 2);
+        assert!(ego.project(NodeId(4)).is_none());
+    }
+
+    #[test]
+    fn duplicates_are_ignored() {
+        let g = chain(3);
+        let sub = induced_subgraph(&g, &[NodeId(0), NodeId(0), NodeId(1)]);
+        assert_eq!(sub.graph.num_nodes(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_node_rejected() {
+        let g = chain(3);
+        let _ = induced_subgraph(&g, &[NodeId(9)]);
+    }
+}

@@ -1,0 +1,255 @@
+//! Deterministic-graph traversal primitives shared by all estimators.
+//!
+//! Reliability estimators run *many* BFS passes per query (one per sampled
+//! world). To keep the per-sample cost down, [`VisitSet`] uses an epoch
+//! trick: resetting between samples is a single counter bump instead of an
+//! `O(n)` clear.
+
+use crate::graph::UncertainGraph;
+use crate::ids::NodeId;
+use std::collections::VecDeque;
+
+/// A reusable visited-set over dense node ids with O(1) reset.
+#[derive(Clone, Debug)]
+pub struct VisitSet {
+    marks: Vec<u32>,
+    epoch: u32,
+}
+
+impl VisitSet {
+    /// A visit set for `n` nodes, initially all unvisited.
+    pub fn new(n: usize) -> Self {
+        VisitSet { marks: vec![0; n], epoch: 1 }
+    }
+
+    /// Reset all nodes to unvisited in O(1) (amortized; a full clear happens
+    /// only on `u32` epoch wrap-around, i.e. every ~4 billion resets).
+    #[inline]
+    pub fn reset(&mut self) {
+        if self.epoch == u32::MAX {
+            self.marks.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+    }
+
+    /// Mark `v` visited; returns `true` if it was previously unvisited.
+    #[inline]
+    pub fn insert(&mut self, v: NodeId) -> bool {
+        let slot = &mut self.marks[v.index()];
+        if *slot == self.epoch {
+            false
+        } else {
+            *slot = self.epoch;
+            true
+        }
+    }
+
+    /// Whether `v` is currently marked visited.
+    #[inline]
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.marks[v.index()] == self.epoch
+    }
+
+    /// Number of nodes this set covers.
+    pub fn capacity(&self) -> usize {
+        self.marks.len()
+    }
+
+    /// Approximate resident bytes (for memory accounting).
+    pub fn resident_bytes(&self) -> usize {
+        self.marks.len() * 4
+    }
+}
+
+/// Reusable BFS workspace (queue + visit set), sized for one graph.
+#[derive(Clone, Debug)]
+pub struct BfsWorkspace {
+    /// Epoch-reset visited set.
+    pub visited: VisitSet,
+    /// BFS frontier queue.
+    pub queue: VecDeque<NodeId>,
+}
+
+impl BfsWorkspace {
+    /// Workspace for a graph with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        BfsWorkspace { visited: VisitSet::new(n), queue: VecDeque::new() }
+    }
+
+    /// Reset for a fresh traversal.
+    #[inline]
+    pub fn reset(&mut self) {
+        self.visited.reset();
+        self.queue.clear();
+    }
+
+    /// Approximate resident bytes (for memory accounting).
+    pub fn resident_bytes(&self) -> usize {
+        self.visited.resident_bytes() + self.queue.capacity() * std::mem::size_of::<NodeId>()
+    }
+}
+
+/// BFS over edges accepted by `edge_exists`; returns `true` as soon as `t`
+/// is reached (early termination, as in Alg. 1 of the paper).
+///
+/// `edge_exists` receives the edge id and decides whether the edge is
+/// present — callers plug in "sample now" (MC), "read bit vector"
+/// (BFS-Sharing replay), "consult overlay" (RHH/RSS), etc.
+pub fn bfs_reaches<F>(
+    graph: &UncertainGraph,
+    s: NodeId,
+    t: NodeId,
+    ws: &mut BfsWorkspace,
+    mut edge_exists: F,
+) -> bool
+where
+    F: FnMut(crate::ids::EdgeId) -> bool,
+{
+    if s == t {
+        return true;
+    }
+    ws.reset();
+    ws.visited.insert(s);
+    ws.queue.push_back(s);
+    while let Some(v) = ws.queue.pop_front() {
+        for (e, w) in graph.out_edges(v) {
+            if ws.visited.contains(w) {
+                continue;
+            }
+            if edge_exists(e) {
+                if w == t {
+                    return true;
+                }
+                ws.visited.insert(w);
+                ws.queue.push_back(w);
+            }
+        }
+    }
+    false
+}
+
+/// Hop distances from `s` over *all* edges (ignoring probabilities), up to
+/// `max_hops`. Returns `dist[v] = Some(h)` for reachable `v` within the
+/// bound. Used by the workload generator (§3.1.3: s-t pairs at exactly
+/// h hops) and by RSS's BFS edge selection.
+pub fn hop_distances(
+    graph: &UncertainGraph,
+    s: NodeId,
+    max_hops: usize,
+) -> Vec<Option<u32>> {
+    let mut dist: Vec<Option<u32>> = vec![None; graph.num_nodes()];
+    dist[s.index()] = Some(0);
+    let mut frontier = vec![s];
+    let mut next = Vec::new();
+    let mut h = 0u32;
+    while !frontier.is_empty() && (h as usize) < max_hops {
+        h += 1;
+        for &v in &frontier {
+            for (_, w) in graph.out_edges(v) {
+                if dist[w.index()].is_none() {
+                    dist[w.index()] = Some(h);
+                    next.push(w);
+                }
+            }
+        }
+        std::mem::swap(&mut frontier, &mut next);
+        next.clear();
+    }
+    dist
+}
+
+/// All nodes reachable from `s` over all edges (certain topology).
+pub fn reachable_set(graph: &UncertainGraph, s: NodeId) -> Vec<NodeId> {
+    let mut ws = BfsWorkspace::new(graph.num_nodes());
+    ws.visited.insert(s);
+    ws.queue.push_back(s);
+    let mut out = vec![s];
+    while let Some(v) = ws.queue.pop_front() {
+        for (_, w) in graph.out_edges(v) {
+            if ws.visited.insert(w) {
+                out.push(w);
+                ws.queue.push_back(w);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn chain(n: usize) -> UncertainGraph {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n - 1 {
+            b.add_edge(NodeId(i as u32), NodeId(i as u32 + 1), 0.5).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn visit_set_reset_is_cheap_and_correct() {
+        let mut vs = VisitSet::new(3);
+        assert!(vs.insert(NodeId(1)));
+        assert!(!vs.insert(NodeId(1)));
+        assert!(vs.contains(NodeId(1)));
+        vs.reset();
+        assert!(!vs.contains(NodeId(1)));
+        assert!(vs.insert(NodeId(1)));
+    }
+
+    #[test]
+    fn bfs_reaches_with_all_edges() {
+        let g = chain(5);
+        let mut ws = BfsWorkspace::new(5);
+        assert!(bfs_reaches(&g, NodeId(0), NodeId(4), &mut ws, |_| true));
+        assert!(!bfs_reaches(&g, NodeId(4), NodeId(0), &mut ws, |_| true));
+    }
+
+    #[test]
+    fn bfs_respects_edge_filter() {
+        let g = chain(5);
+        let mut ws = BfsWorkspace::new(5);
+        // Block the middle edge 2 -> 3 (edge id 2 in a chain).
+        assert!(!bfs_reaches(&g, NodeId(0), NodeId(4), &mut ws, |e| e.index() != 2));
+        assert!(bfs_reaches(&g, NodeId(0), NodeId(2), &mut ws, |e| e.index() != 2));
+    }
+
+    #[test]
+    fn bfs_s_equals_t() {
+        let g = chain(3);
+        let mut ws = BfsWorkspace::new(3);
+        assert!(bfs_reaches(&g, NodeId(1), NodeId(1), &mut ws, |_| false));
+    }
+
+    #[test]
+    fn hop_distances_counts_hops() {
+        let g = chain(5);
+        let d = hop_distances(&g, NodeId(0), 10);
+        assert_eq!(d[0], Some(0));
+        assert_eq!(d[3], Some(3));
+        let d2 = hop_distances(&g, NodeId(0), 2);
+        assert_eq!(d2[3], None); // beyond the bound
+        assert_eq!(d2[2], Some(2));
+    }
+
+    #[test]
+    fn reachable_set_covers_component() {
+        let g = chain(4);
+        let r = reachable_set(&g, NodeId(1));
+        assert_eq!(r.len(), 3); // 1, 2, 3
+        assert!(!r.contains(&NodeId(0)));
+    }
+
+    #[test]
+    fn workspace_reuse_across_traversals() {
+        let g = chain(4);
+        let mut ws = BfsWorkspace::new(4);
+        for _ in 0..100 {
+            assert!(bfs_reaches(&g, NodeId(0), NodeId(3), &mut ws, |_| true));
+        }
+    }
+}

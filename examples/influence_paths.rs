@@ -1,0 +1,62 @@
+//! Social-influence scenario: how reliably does information starting at a
+//! user reach a target user under the independent-cascade model? The
+//! paper notes s-t reliability is exactly the probability of an influence
+//! cascade reaching t (Kempe et al.'s IC model).
+//!
+//! Demonstrates the convergence protocol: naive fixed-K estimation vs the
+//! paper's dispersion-based stopping rule, on a LastFM-like social graph.
+//!
+//! ```text
+//! cargo run --release --example influence_paths
+//! ```
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use relcomp::prelude::*;
+use relcomp_eval::convergence::{run_convergence, ConvergenceConfig};
+use std::sync::Arc;
+
+fn main() {
+    // LastFM analog with inverse-out-degree probabilities — the classic
+    // weighted-cascade instantiation of the IC model.
+    let graph = Arc::new(Dataset::LastFm.generate_with_scale(0.3, 11));
+    println!(
+        "social network: {} users, {} influence edges (weighted cascade)",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+
+    let workload = Workload::generate(&graph, 10, 2, 5);
+    println!("workload: {} seed/target pairs at 2 hops\n", workload.len());
+
+    let cfg = ConvergenceConfig {
+        k_start: 250,
+        k_step: 250,
+        k_max: 2000,
+        repeats: 10,
+        rho_threshold: 1e-3,
+    };
+
+    for kind in [EstimatorKind::Mc, EstimatorKind::Rss] {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let params = SuiteParams::default();
+        let mut est = build_estimator(kind, Arc::clone(&graph), params, &mut rng);
+        let run = run_convergence(est.as_mut(), &workload, &cfg, &mut rng);
+        println!("estimator {}:", est.name());
+        for point in &run.history {
+            println!(
+                "  K = {:>4}  avg influence prob = {:.4}  dispersion rho = {:.5}",
+                point.metrics.k,
+                point.metrics.avg_reliability,
+                point.metrics.rho,
+            );
+        }
+        println!(
+            "  -> converged at K = {} ({})\n",
+            run.final_k(),
+            if run.converged { "rho < 0.001" } else { "cap reached" },
+        );
+    }
+    println!("Note the recursive estimator converging with fewer samples — the");
+    println!("paper's core finding on why fixed-K comparisons are unfair.");
+}

@@ -1,0 +1,61 @@
+//! Protein-protein interaction (PPI) scenario: find the proteins most
+//! reliably connected to a query protein in a noisy interaction network —
+//! one of the paper's motivating applications (Jin et al.'s PPI use case).
+//!
+//! PPI edges carry confidence scores from noisy experiments; we model the
+//! network with the BioMine-style probability model and rank candidate
+//! proteins by estimated reliability from a source protein, using RSS
+//! (the paper's best variance/time trade-off for repeated queries).
+//!
+//! ```text
+//! cargo run --release --example ppi_network
+//! ```
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use relcomp::prelude::*;
+use relcomp_ugraph::traversal::hop_distances;
+use std::sync::Arc;
+
+fn main() {
+    // A BioMine-like analog stands in for the PPI network: directed,
+    // heavy-tailed, with confidence-combination edge probabilities.
+    let graph = Arc::new(Dataset::BioMine.generate_with_scale(0.01, 7));
+    println!(
+        "PPI-like network: {} proteins, {} scored interactions",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+
+    // Query protein: a reasonably connected node.
+    let source = (0..graph.num_nodes() as u32)
+        .map(NodeId)
+        .max_by_key(|&v| graph.out_degree(v))
+        .expect("non-empty graph");
+    println!("query protein: node {source} (out-degree {})", graph.out_degree(source));
+
+    // Candidates: proteins within 2 interaction hops.
+    let dist = hop_distances(&graph, source, 2);
+    let candidates: Vec<NodeId> = dist
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| matches!(d, Some(2)))
+        .map(|(i, _)| NodeId::from_index(i))
+        .take(12)
+        .collect();
+    println!("scoring {} candidate proteins at 2 hops...\n", candidates.len());
+
+    let mut rss = RecursiveStratified::new(Arc::clone(&graph));
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let mut scored: Vec<(NodeId, f64)> = candidates
+        .iter()
+        .map(|&t| (t, rss.estimate(source, t, 1000, &mut rng).reliability))
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite reliabilities"));
+
+    println!("{:<10} {:>12}", "protein", "reliability");
+    for (protein, reliability) in scored.iter().take(10) {
+        println!("{:<10} {:>12.4}", protein.to_string(), reliability);
+    }
+    println!("\nTop-ranked proteins are the most probable interaction partners of {source}.");
+}

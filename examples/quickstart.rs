@@ -1,0 +1,57 @@
+//! Quickstart: build a small uncertain graph, run all six estimators on
+//! the same query, and compare against the exact answer.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use relcomp::prelude::*;
+use relcomp_core::exact::exact_reliability;
+use std::sync::Arc;
+
+fn main() {
+    // The paper's Figure 6 example graph: 7 nodes, bidirected
+    // probabilistic edges.
+    let edges = [
+        (0u32, 1u32, 0.5),
+        (0, 2, 0.75),
+        (0, 4, 0.75),
+        (0, 6, 0.15),
+        (1, 2, 0.75),
+        (1, 5, 0.75),
+        (1, 6, 0.5),
+        (2, 6, 0.2),
+        (3, 4, 0.5),
+        (4, 6, 0.25),
+        (5, 6, 0.5),
+    ];
+    let mut builder = GraphBuilder::new(7);
+    for (u, v, p) in edges {
+        builder.add_bidirected(NodeId(u), NodeId(v), p).unwrap();
+    }
+    let graph = Arc::new(builder.build());
+    let (s, t) = (NodeId(3), NodeId(5));
+
+    let exact = exact_reliability(&graph, s, t);
+    println!("graph: {} nodes, {} directed edges", graph.num_nodes(), graph.num_edges());
+    println!("exact R({s}, {t}) = {exact:.4}\n");
+
+    let k = 20_000;
+    let params = SuiteParams { bfs_sharing_worlds: k, ..Default::default() };
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    println!("{:<12} {:>10} {:>10} {:>12}", "estimator", "estimate", "|error|", "time");
+    for kind in EstimatorKind::PAPER_SIX {
+        let mut est = build_estimator(kind, Arc::clone(&graph), params, &mut rng);
+        let result = est.estimate(s, t, k, &mut rng);
+        println!(
+            "{:<12} {:>10.4} {:>10.4} {:>9.2} ms",
+            est.name(),
+            result.reliability,
+            (result.reliability - exact).abs(),
+            result.elapsed.as_secs_f64() * 1e3,
+        );
+    }
+    println!("\nAll six estimators are unbiased: estimates cluster around {exact:.4}.");
+}

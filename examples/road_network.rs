@@ -1,0 +1,75 @@
+//! Road-network scenario: probabilistic path feasibility on a grid road
+//! network whose segments fail (congestion/closures), following the
+//! paper's probabilistic road-network use case (Hua & Pei).
+//!
+//! Shows the index-based workflow: build a ProbTree index once, then
+//! answer many origin-destination queries fast — including coupling
+//! ProbTree with RSS (§3.8 of the paper).
+//!
+//! ```text
+//! cargo run --release --example road_network
+//! ```
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use relcomp::prelude::*;
+use relcomp_core::probtree::{InnerEstimator, ProbTree};
+use relcomp_ugraph::generators::grid_lattice;
+use relcomp_ugraph::probmodel::{Direction, ProbModel};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    // 40x40 grid; each road segment open with a snapshot-style
+    // availability probability.
+    let (rows, cols) = (40usize, 40usize);
+    let pairs = grid_lattice(rows, cols);
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let graph = Arc::new(ProbModel::SnapshotRatio { snapshots: 60 }.apply(
+        rows * cols,
+        &pairs,
+        Direction::Bidirected,
+        &mut rng,
+    ));
+    println!(
+        "road network: {} intersections, {} directed segments",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+
+    let build_start = Instant::now();
+    let mut plain = ProbTree::new(Arc::clone(&graph));
+    let mut coupled = ProbTree::with_inner(Arc::clone(&graph), InnerEstimator::Rss);
+    println!(
+        "ProbTree index built in {:.1} ms (size {} bytes)\n",
+        build_start.elapsed().as_secs_f64() * 1e3 / 2.0,
+        plain.index().size_bytes(),
+    );
+
+    let node = |r: usize, c: usize| NodeId((r * cols + c) as u32);
+    println!(
+        "{:<24} {:>12} {:>12} {:>14}",
+        "origin -> destination", "ProbTree", "PT+RSS", "PT time (ms)"
+    );
+    for _ in 0..6 {
+        let (r1, c1) = (rng.gen_range(0..rows), rng.gen_range(0..cols));
+        let dr = rng.gen_range(1..6);
+        let dc = rng.gen_range(1..6);
+        let (r2, c2) = ((r1 + dr).min(rows - 1), (c1 + dc).min(cols - 1));
+        let (s, t) = (node(r1, c1), node(r2, c2));
+        if s == t {
+            continue;
+        }
+        let a = plain.estimate(s, t, 2000, &mut rng);
+        let b = coupled.estimate(s, t, 2000, &mut rng);
+        println!(
+            "({r1:>2},{c1:>2}) -> ({r2:>2},{c2:>2})      {:>12.4} {:>12.4} {:>14.2}",
+            a.reliability,
+            b.reliability,
+            a.elapsed.as_secs_f64() * 1e3,
+        );
+    }
+    println!("\nBoth agree within sampling noise; the coupled estimator needs fewer");
+    println!("samples to converge (Table 16 of the paper).");
+}

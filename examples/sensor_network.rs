@@ -1,0 +1,93 @@
+//! Sensor-network scenario: link quality between two terminals in a lossy
+//! wireless sensor network — the paper's first motivating application
+//! (Ghosh et al., INFOCOM'07).
+//!
+//! Demonstrates the cheap-to-expensive query pipeline the extension
+//! modules enable:
+//!
+//! 1. polynomial-time **bounds** — if the enclosure is already tight,
+//!    answer without sampling;
+//! 2. exact **reliability-preserving reduction** (series/parallel/dead-end
+//!    rewrites) to shrink the instance;
+//! 3. a sampling **estimator** (RSS) on the reduced graph.
+//!
+//! ```text
+//! cargo run --release --example sensor_network
+//! ```
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use relcomp::prelude::*;
+use relcomp_core::bounds::reliability_bounds;
+use relcomp_core::reduce::reduce_for_query;
+use relcomp_ugraph::generators::grid_lattice;
+use relcomp_ugraph::probmodel::{Direction, ProbModel};
+use std::sync::Arc;
+
+fn main() {
+    // 30x30 sensor grid plus a few long-range radio links; link quality
+    // follows a snapshot-availability model.
+    let (rows, cols) = (30usize, 30usize);
+    let n = rows * cols;
+    let mut pairs = grid_lattice(rows, cols);
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    for _ in 0..60 {
+        let a = rng.gen_range(0..n as u32);
+        let b = rng.gen_range(0..n as u32);
+        if a != b {
+            pairs.push((NodeId(a.min(b)), NodeId(a.max(b))));
+        }
+    }
+    let graph = Arc::new(ProbModel::SnapshotRatio { snapshots: 90 }.apply(
+        n,
+        &pairs,
+        Direction::Bidirected,
+        &mut rng,
+    ));
+    println!(
+        "sensor network: {} motes, {} directed radio links",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+
+    let queries =
+        [(0u32, (n - 1) as u32), (5, 40), (100, 700), (31, 32), (0, 29)];
+    let mut estimator = RecursiveStratified::new(Arc::clone(&graph));
+    println!(
+        "\n{:<16} {:>9} {:>9} {:>7} {:>12} {:>10}",
+        "terminals", "lower", "upper", "width", "reduced m/m0", "R (RSS)"
+    );
+    for (s_raw, t_raw) in queries {
+        let (s, t) = (NodeId(s_raw), NodeId(t_raw));
+        // Step 1: bounds.
+        let b = reliability_bounds(&graph, s, t, 6);
+        // Step 2: exact reduction.
+        let reduced = reduce_for_query(&graph, s, t);
+        let ratio = reduced.edge_ratio(&graph);
+        // Step 3: sample only when the enclosure is loose.
+        let estimate = if b.width() < 0.02 {
+            (b.lower + b.upper) / 2.0 // bounds already answer the query
+        } else {
+            let mut inner = RecursiveStratified::new(Arc::new(reduced.graph));
+            inner.estimate(reduced.s, reduced.t, 1500, &mut rng).reliability
+        };
+        // Cross-check against an estimator on the full graph.
+        let full = estimator.estimate(s, t, 1500, &mut rng).reliability;
+        assert!(
+            (estimate - full).abs() < 0.08,
+            "pipeline {estimate} vs direct {full}"
+        );
+        println!(
+            "{:<16} {:>9.4} {:>9.4} {:>7.4} {:>12.2} {:>10.4}",
+            format!("{s_raw} -> {t_raw}"),
+            b.lower,
+            b.upper,
+            b.width(),
+            ratio,
+            estimate
+        );
+    }
+    println!("\nTight bounds answer instantly; loose ones fall through to RSS on the");
+    println!("reduced instance — all three stages preserve R(s, t) exactly.");
+}

@@ -1,0 +1,266 @@
+//! `relcomp` — command-line interface to the library.
+//!
+//! ```text
+//! relcomp generate <dataset> --out FILE [--scale S] [--seed N]
+//! relcomp stats <file>
+//! relcomp query <file> <s> <t> [--estimator NAME] [--k N] [--seed N]
+//! relcomp bounds <file> <s> <t>
+//! relcomp path <file> <s> <t>
+//! relcomp topk <file> <s> [--k N] [--samples N] [--seed N]
+//! relcomp recommend --memory smaller|larger --variance lower|slight|higher --speed faster|slower
+//! ```
+//!
+//! Graph files use the text edge-list format of `relcomp_ugraph::io`.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use relcomp::prelude::*;
+use relcomp_core::bounds::reliability_bounds;
+use relcomp_core::paths::most_reliable_path;
+use relcomp_core::topk::top_k_targets_mc;
+use relcomp_eval::recommend::{
+    recommend, MemoryBudget, SpeedNeed, VarianceNeed,
+};
+use relcomp_ugraph::analysis::{degree_stats, largest_component_size};
+use relcomp_ugraph::io::{load_graph, load_graph_binary, save_graph, save_graph_binary};
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  relcomp generate <dataset> --out FILE [--scale S] [--seed N]
+  relcomp stats <file>
+  relcomp query <file> <s> <t> [--estimator NAME] [--k N] [--seed N]
+  relcomp bounds <file> <s> <t>
+  relcomp path <file> <s> <t>
+  relcomp topk <file> <s> [--k N] [--samples N] [--seed N]
+  relcomp recommend --memory smaller|larger --variance lower|slight|higher --speed faster|slower
+
+datasets:   lastfm nethept as_topology dblp02 dblp005 biomine
+estimators: mc bfs_sharing probtree lp+ lp rhh rss probtree+lp+ probtree+rhh probtree+rss";
+
+/// Parse `--flag value` options out of an argument list; returns
+/// (positional, options).
+fn split_options(args: &[String]) -> Result<(Vec<&str>, HashMap<&str, &str>), String> {
+    let mut positional = Vec::new();
+    let mut options = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if let Some(name) = a.strip_prefix("--") {
+            let value =
+                args.get(i + 1).ok_or_else(|| format!("--{name} requires a value"))?;
+            options.insert(name, value.as_str());
+            i += 2;
+        } else {
+            positional.push(a);
+            i += 1;
+        }
+    }
+    Ok((positional, options))
+}
+
+fn parse_node(graph: &UncertainGraph, raw: &str, what: &str) -> Result<NodeId, String> {
+    let id: u32 = raw.parse().map_err(|_| format!("cannot parse {what} node `{raw}`"))?;
+    let node = NodeId(id);
+    if !graph.contains_node(node) {
+        return Err(format!("{what} node {id} out of range (graph has {} nodes)", graph.num_nodes()));
+    }
+    Ok(node)
+}
+
+fn parse_estimator(name: &str) -> Result<EstimatorKind, String> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "mc" => EstimatorKind::Mc,
+        "bfs_sharing" | "bfssharing" => EstimatorKind::BfsSharing,
+        "probtree" => EstimatorKind::ProbTree,
+        "lp+" | "lpplus" => EstimatorKind::LpPlus,
+        "lp" => EstimatorKind::LpOriginal,
+        "rhh" => EstimatorKind::Rhh,
+        "rss" => EstimatorKind::Rss,
+        "probtree+lp+" => EstimatorKind::ProbTreeLpPlus,
+        "probtree+rhh" => EstimatorKind::ProbTreeRhh,
+        "probtree+rss" => EstimatorKind::ProbTreeRss,
+        other => return Err(format!("unknown estimator `{other}`")),
+    })
+}
+
+/// Load a graph, choosing the format by extension (`.ugb` = binary).
+fn load_any(path: &str) -> Result<UncertainGraph, String> {
+    if path.ends_with(".ugb") {
+        load_graph_binary(path).map_err(|e| e.to_string())
+    } else {
+        load_graph(path).map_err(|e| e.to_string())
+    }
+}
+
+/// Save a graph, choosing the format by extension (`.ugb` = binary).
+fn save_any(graph: &UncertainGraph, path: &str) -> Result<(), String> {
+    if path.ends_with(".ugb") {
+        save_graph_binary(graph, path).map_err(|e| e.to_string())
+    } else {
+        save_graph(graph, path).map_err(|e| e.to_string())
+    }
+}
+
+fn parse_dataset(name: &str) -> Result<Dataset, String> {
+    Dataset::ALL
+        .into_iter()
+        .find(|d| d.short_name() == name)
+        .ok_or_else(|| format!("unknown dataset `{name}`"))
+}
+
+fn run(args: Vec<String>) -> Result<(), String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err("missing command".into());
+    };
+    let (pos, opts) = split_options(rest)?;
+    let seed: u64 = opts.get("seed").map(|v| v.parse()).transpose().map_err(|_| "bad --seed")?.unwrap_or(42);
+
+    match cmd.as_str() {
+        "generate" => {
+            let [name] = pos[..] else { return Err("generate needs <dataset>".into()) };
+            let dataset = parse_dataset(name)?;
+            let out = opts.get("out").ok_or("generate needs --out FILE")?;
+            let scale: f64 = opts
+                .get("scale")
+                .map(|v| v.parse())
+                .transpose()
+                .map_err(|_| "bad --scale")?
+                .unwrap_or(dataset.spec().default_scale);
+            let graph = dataset.generate_with_scale(scale, seed);
+            save_any(&graph, out)?;
+            println!(
+                "wrote {} ({} nodes, {} edges, scale {scale})",
+                out,
+                graph.num_nodes(),
+                graph.num_edges()
+            );
+            Ok(())
+        }
+        "stats" => {
+            let [file] = pos[..] else { return Err("stats needs <file>".into()) };
+            let graph = load_any(file)?;
+            let props_probs: Vec<f64> = graph.edges().map(|(_, _, _, p)| p.value()).collect();
+            let prob = relcomp_ugraph::stats::Summary::of(&props_probs);
+            println!("nodes:  {}", graph.num_nodes());
+            println!("edges:  {}", graph.num_edges());
+            if let Some(p) = prob {
+                println!("probability: mean {:.4} sd {:.4} quartiles {{{:.3}, {:.3}, {:.3}}}",
+                    p.mean, p.sd, p.q1, p.median, p.q3);
+            }
+            let out = degree_stats(&graph, true);
+            println!(
+                "out-degree: mean {:.2} max {} zero-degree nodes {}",
+                out.summary.mean, out.max, out.zeros
+            );
+            println!("largest weakly connected component: {}", largest_component_size(&graph));
+            Ok(())
+        }
+        "query" => {
+            let [file, s_raw, t_raw] = pos[..] else {
+                return Err("query needs <file> <s> <t>".into());
+            };
+            let graph = Arc::new(load_any(file)?);
+            let s = parse_node(&graph, s_raw, "source")?;
+            let t = parse_node(&graph, t_raw, "target")?;
+            let kind = parse_estimator(opts.get("estimator").copied().unwrap_or("probtree"))?;
+            let k: usize = opts.get("k").map(|v| v.parse()).transpose().map_err(|_| "bad --k")?.unwrap_or(1000);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let params = SuiteParams { bfs_sharing_worlds: k.max(1), ..Default::default() };
+            let mut est = build_estimator(kind, Arc::clone(&graph), params, &mut rng);
+            let result = est.estimate(s, t, k, &mut rng);
+            println!(
+                "R({s}, {t}) ≈ {:.6}   [{}; K = {}; {:.2} ms]",
+                result.reliability,
+                est.name(),
+                result.samples,
+                result.elapsed.as_secs_f64() * 1e3
+            );
+            Ok(())
+        }
+        "bounds" => {
+            let [file, s_raw, t_raw] = pos[..] else {
+                return Err("bounds needs <file> <s> <t>".into());
+            };
+            let graph = load_any(file)?;
+            let s = parse_node(&graph, s_raw, "source")?;
+            let t = parse_node(&graph, t_raw, "target")?;
+            let b = reliability_bounds(&graph, s, t, 8);
+            println!("{:.6} <= R({s}, {t}) <= {:.6}   (width {:.6})", b.lower, b.upper, b.width());
+            Ok(())
+        }
+        "path" => {
+            let [file, s_raw, t_raw] = pos[..] else {
+                return Err("path needs <file> <s> <t>".into());
+            };
+            let graph = load_any(file)?;
+            let s = parse_node(&graph, s_raw, "source")?;
+            let t = parse_node(&graph, t_raw, "target")?;
+            match most_reliable_path(&graph, s, t) {
+                Some(p) => {
+                    let route: Vec<String> = p.nodes.iter().map(|n| n.to_string()).collect();
+                    println!("most reliable path: {}   probability {:.6}", route.join(" -> "), p.probability);
+                }
+                None => println!("no path from {s} to {t}"),
+            }
+            Ok(())
+        }
+        "topk" => {
+            let [file, s_raw] = pos[..] else { return Err("topk needs <file> <s>".into()) };
+            let graph = load_any(file)?;
+            let s = parse_node(&graph, s_raw, "source")?;
+            let k: usize = opts.get("k").map(|v| v.parse()).transpose().map_err(|_| "bad --k")?.unwrap_or(10);
+            let samples: usize =
+                opts.get("samples").map(|v| v.parse()).transpose().map_err(|_| "bad --samples")?.unwrap_or(2000);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let top = top_k_targets_mc(&graph, s, k, samples, &mut rng);
+            println!("top-{k} most reliable targets from {s} ({samples} samples):");
+            for ts in top {
+                println!("  node {:<8} R ≈ {:.4}", ts.node.to_string(), ts.reliability);
+            }
+            Ok(())
+        }
+        "recommend" => {
+            let memory = match opts.get("memory").copied().unwrap_or("larger") {
+                "smaller" => MemoryBudget::Smaller,
+                "larger" => MemoryBudget::Larger,
+                other => return Err(format!("bad --memory `{other}`")),
+            };
+            let variance = match opts.get("variance").copied().unwrap_or("higher") {
+                "lower" => VarianceNeed::Lower,
+                "slight" => VarianceNeed::SlightlyLower,
+                "higher" => VarianceNeed::Higher,
+                other => return Err(format!("bad --variance `{other}`")),
+            };
+            let speed = match opts.get("speed").copied().unwrap_or("faster") {
+                "faster" => SpeedNeed::Faster,
+                "slower" => SpeedNeed::Slower,
+                other => return Err(format!("bad --speed `{other}`")),
+            };
+            let recs = recommend(memory, variance, speed);
+            if recs.is_empty() {
+                println!("no estimator satisfies those constraints (lowest variance requires ample memory)");
+            } else {
+                let names: Vec<&str> = recs.iter().map(|k| k.display_name()).collect();
+                println!("recommended: {}", names.join(", "));
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}

@@ -1,0 +1,50 @@
+//! # relcomp — s-t reliability estimation over uncertain graphs
+//!
+//! Umbrella crate for the Rust reproduction of *"An In-Depth Comparison of
+//! s-t Reliability Algorithms over Uncertain Graphs"* (VLDB 2019):
+//!
+//! * [`ugraph`] — the uncertain-graph substrate (CSR storage,
+//!   possible-world semantics, generators, dataset analogs);
+//! * [`core`] — the six estimators (MC, BFS Sharing, RHH, RSS, LP/LP+,
+//!   ProbTree) behind one [`Estimator`] trait;
+//! * [`eval`] — the paper's evaluation harness (workloads, convergence
+//!   protocol, metrics, experiments, recommendations).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use relcomp::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // A 3-node chain where each hop exists with probability 0.8.
+//! let mut b = GraphBuilder::new(3);
+//! b.add_edge(NodeId(0), NodeId(1), 0.8).unwrap();
+//! b.add_edge(NodeId(1), NodeId(2), 0.8).unwrap();
+//! let graph = Arc::new(b.build());
+//!
+//! let mut estimator = McSampling::new(Arc::clone(&graph));
+//! let mut rng = rand::thread_rng();
+//! let estimate = estimator.estimate(NodeId(0), NodeId(2), 5_000, &mut rng);
+//! assert!((estimate.reliability - 0.64).abs() < 0.05);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use relcomp_core as core;
+pub use relcomp_eval as eval;
+pub use relcomp_ugraph as ugraph;
+
+pub use relcomp_core::{Estimate, Estimator, EstimatorKind, SuiteParams};
+pub use relcomp_ugraph::{Dataset, GraphBuilder, NodeId, Probability, UncertainGraph};
+
+/// Everything a typical user needs in scope.
+pub mod prelude {
+    pub use relcomp_core::bfs_sharing::BfsSharing;
+    pub use relcomp_core::lazy::LazyPropagation;
+    pub use relcomp_core::mc::McSampling;
+    pub use relcomp_core::probtree::ProbTree;
+    pub use relcomp_core::recursive::{RecursiveSampling, RecursiveStratified};
+    pub use relcomp_core::{build_estimator, Estimate, Estimator, EstimatorKind, SuiteParams};
+    pub use relcomp_eval::{ConvergenceConfig, ExperimentEnv, RunProfile, Workload};
+    pub use relcomp_ugraph::{Dataset, GraphBuilder, NodeId, Probability, UncertainGraph};
+}

@@ -1,0 +1,141 @@
+//! Cross-crate integration tests: every estimator in the suite must agree
+//! with the exact possible-world oracle on small graphs, and with each
+//! other on medium graphs where enumeration is infeasible.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use relcomp::prelude::*;
+use relcomp_core::exact::exact_reliability;
+use relcomp_ugraph::generators::erdos_renyi;
+use relcomp_ugraph::probmodel::{Direction, ProbModel};
+use std::sync::Arc;
+
+/// Small random digraphs where the exact oracle is feasible.
+fn small_graphs() -> Vec<Arc<UncertainGraph>> {
+    let mut graphs = Vec::new();
+    for seed in 0..5u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let pairs = erdos_renyi(9, 11, &mut rng);
+        let g = ProbModel::UniformChoice { choices: vec![0.2, 0.5, 0.8] }.apply(
+            9,
+            &pairs,
+            Direction::RandomOriented,
+            &mut rng,
+        );
+        if g.num_edges() <= 24 {
+            graphs.push(Arc::new(g));
+        }
+    }
+    assert!(!graphs.is_empty());
+    graphs
+}
+
+#[test]
+fn all_estimators_agree_with_exact_oracle() {
+    let params = SuiteParams { bfs_sharing_worlds: 60_000, ..Default::default() };
+    for graph in small_graphs() {
+        let (s, t) = (NodeId(0), NodeId(8));
+        let exact = exact_reliability(&graph, s, t);
+        for kind in EstimatorKind::PAPER_SIX {
+            let mut rng = ChaCha8Rng::seed_from_u64(kind as u64 + 99);
+            let mut est = build_estimator(kind, Arc::clone(&graph), params, &mut rng);
+            // Recursive estimators: average over repeats to drive down
+            // run-to-run variance; MC-family: one big-K run suffices.
+            let (k, reps) = match kind {
+                EstimatorKind::Rhh | EstimatorKind::Rss => (5_000, 20),
+                EstimatorKind::BfsSharing => (60_000, 1),
+                _ => (60_000, 1),
+            };
+            let mean: f64 = (0..reps)
+                .map(|_| est.estimate(s, t, k, &mut rng).reliability)
+                .sum::<f64>()
+                / reps as f64;
+            assert!(
+                (mean - exact).abs() < 0.02,
+                "{} on m={} graph: {mean} vs exact {exact}",
+                kind.display_name(),
+                graph.num_edges()
+            );
+        }
+    }
+}
+
+#[test]
+fn estimators_agree_pairwise_on_medium_graph() {
+    // A graph too large for enumeration: use MC at large K as reference.
+    let graph = Arc::new(Dataset::LastFm.generate_with_scale(0.08, 21));
+    let workload = Workload::generate(&graph, 3, 2, 13);
+    let params = SuiteParams { bfs_sharing_worlds: 20_000, ..Default::default() };
+
+    for &(s, t) in &workload.pairs {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut mc = build_estimator(EstimatorKind::Mc, Arc::clone(&graph), params, &mut rng);
+        let reference = mc.estimate(s, t, 20_000, &mut rng).reliability;
+        for kind in [
+            EstimatorKind::BfsSharing,
+            EstimatorKind::ProbTree,
+            EstimatorKind::LpPlus,
+            EstimatorKind::Rhh,
+            EstimatorKind::Rss,
+            EstimatorKind::ProbTreeRss,
+        ] {
+            let mut rng = ChaCha8Rng::seed_from_u64(kind as u64 + 5);
+            let mut est = build_estimator(kind, Arc::clone(&graph), params, &mut rng);
+            let (k, reps) = match kind {
+                EstimatorKind::Rhh | EstimatorKind::Rss | EstimatorKind::ProbTreeRss => {
+                    (4_000, 10)
+                }
+                _ => (20_000, 1),
+            };
+            let mean: f64 = (0..reps)
+                .map(|_| est.estimate(s, t, k, &mut rng).reliability)
+                .sum::<f64>()
+                / reps as f64;
+            assert!(
+                (mean - reference).abs() < 0.03,
+                "{} disagrees with MC on {s}->{t}: {mean} vs {reference}",
+                kind.display_name()
+            );
+        }
+    }
+}
+
+#[test]
+fn lp_original_bias_is_visible_end_to_end() {
+    // Fig. 5's phenomenon on a generated dataset: LP inflates reliability
+    // relative to MC; LP+ does not.
+    let graph = Arc::new(Dataset::Dblp005.generate_with_scale(0.005, 31));
+    let workload = Workload::generate(&graph, 5, 2, 3);
+    let params = SuiteParams::default();
+    let mut diffs_lp = 0.0;
+    let mut diffs_lpp = 0.0;
+    for &(s, t) in &workload.pairs {
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let mut mc = build_estimator(EstimatorKind::Mc, Arc::clone(&graph), params, &mut rng);
+        let reference = mc.estimate(s, t, 8_000, &mut rng).reliability;
+        let mut lp =
+            build_estimator(EstimatorKind::LpOriginal, Arc::clone(&graph), params, &mut rng);
+        let mut lpp =
+            build_estimator(EstimatorKind::LpPlus, Arc::clone(&graph), params, &mut rng);
+        diffs_lp += lp.estimate(s, t, 8_000, &mut rng).reliability - reference;
+        diffs_lpp += lpp.estimate(s, t, 8_000, &mut rng).reliability - reference;
+    }
+    assert!(
+        diffs_lp > diffs_lpp + 0.01,
+        "LP should inflate estimates vs LP+: lp {diffs_lp}, lp+ {diffs_lpp}"
+    );
+}
+
+#[test]
+fn indexed_estimators_report_resident_memory() {
+    let graph = Arc::new(Dataset::LastFm.generate_with_scale(0.05, 3));
+    let params = SuiteParams { bfs_sharing_worlds: 500, ..Default::default() };
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let bfss =
+        build_estimator(EstimatorKind::BfsSharing, Arc::clone(&graph), params, &mut rng);
+    let pt = build_estimator(EstimatorKind::ProbTree, Arc::clone(&graph), params, &mut rng);
+    let mc = build_estimator(EstimatorKind::Mc, Arc::clone(&graph), params, &mut rng);
+    assert!(bfss.resident_bytes() > pt.resident_bytes() / 10);
+    assert!(pt.resident_bytes() > 0);
+    assert_eq!(mc.resident_bytes(), 0);
+}

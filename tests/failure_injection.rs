@@ -1,0 +1,147 @@
+//! Failure-injection tests: malformed inputs, boundary conditions, and
+//! misuse must fail loudly and precisely — never silently corrupt an
+//! estimate.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use relcomp::prelude::*;
+use relcomp_ugraph::io::read_graph;
+use relcomp_ugraph::GraphError;
+use std::sync::Arc;
+
+#[test]
+fn io_rejects_every_malformation() {
+    let cases: Vec<(&str, &str)> = vec![
+        ("", "missing header"),
+        ("abc def\n", "non-numeric header"),
+        ("3\n", "truncated header"),
+        ("2 1\n0 1\n", "missing probability"),
+        ("2 1\n0 1 nope\n", "non-numeric probability"),
+        ("2 1\n0 1 0.0\n", "zero probability"),
+        ("2 1\n0 1 1.5\n", "probability above one"),
+        ("2 1\n0 5 0.5\n", "node out of range"),
+        ("2 2\n0 1 0.5\n", "fewer edges than declared"),
+        ("2 1\n0 1 0.5\n1 0 0.5\n", "more edges than declared"),
+        ("2 2\n0 1 0.5\n0 1 0.6\n", "duplicate edge"),
+    ];
+    for (text, what) in cases {
+        let result = read_graph(text.as_bytes());
+        assert!(result.is_err(), "{what} should be rejected: {text:?}");
+    }
+}
+
+#[test]
+fn io_error_messages_carry_line_numbers() {
+    let err = read_graph("2 1\n# fine\n0 1 bogus\n".as_bytes()).unwrap_err();
+    match err {
+        GraphError::Parse { line, message } => {
+            assert_eq!(line, 3);
+            assert!(message.contains("probability"));
+        }
+        other => panic!("expected parse error, got {other}"),
+    }
+}
+
+#[test]
+fn estimators_panic_on_out_of_range_queries() {
+    let mut b = GraphBuilder::new(2);
+    b.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+    let g = Arc::new(b.build());
+    let params = SuiteParams { bfs_sharing_worlds: 64, ..Default::default() };
+    for kind in EstimatorKind::PAPER_SIX {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut est = build_estimator(kind, Arc::clone(&g), params, &mut rng);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            est.estimate(NodeId(0), NodeId(9), 16, &mut rng)
+        }));
+        assert!(result.is_err(), "{} accepted an invalid target", kind.display_name());
+    }
+}
+
+#[test]
+fn estimators_panic_on_zero_samples() {
+    let mut b = GraphBuilder::new(2);
+    b.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+    let g = Arc::new(b.build());
+    let params = SuiteParams { bfs_sharing_worlds: 64, ..Default::default() };
+    for kind in EstimatorKind::PAPER_SIX {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut est = build_estimator(kind, Arc::clone(&g), params, &mut rng);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            est.estimate(NodeId(0), NodeId(1), 0, &mut rng)
+        }));
+        assert!(result.is_err(), "{} accepted K = 0", kind.display_name());
+    }
+}
+
+#[test]
+fn builder_misuse_is_rejected() {
+    // Out-of-range endpoints.
+    let mut b = GraphBuilder::new(1);
+    assert!(b.add_edge(NodeId(0), NodeId(1), 0.5).is_err());
+    // Invalid probabilities at every boundary.
+    let mut b = GraphBuilder::new(2);
+    for p in [0.0, -0.5, 1.0 + 1e-9, f64::NAN, f64::INFINITY] {
+        assert!(b.add_edge(NodeId(0), NodeId(1), p).is_err(), "accepted p = {p}");
+    }
+}
+
+#[test]
+fn workload_on_degenerate_graphs() {
+    // A graph with no 2-hop pairs yields an empty (not panicking)
+    // workload.
+    let mut b = GraphBuilder::new(4);
+    b.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+    b.add_edge(NodeId(2), NodeId(3), 0.5).unwrap();
+    let g = b.build();
+    let w = Workload::generate(&g, 5, 2, 1);
+    assert!(w.is_empty());
+}
+
+#[test]
+fn exact_oracle_refuses_oversized_graphs() {
+    let mut b = GraphBuilder::new(30);
+    for i in 0..28u32 {
+        b.add_edge(NodeId(i), NodeId(i + 1), 0.5).unwrap();
+    }
+    let g = b.build();
+    let result = std::panic::catch_unwind(|| {
+        relcomp_core::exact::exact_reliability(&g, NodeId(0), NodeId(29))
+    });
+    assert!(result.is_err());
+}
+
+#[test]
+fn bfs_sharing_refuses_k_beyond_index() {
+    let mut b = GraphBuilder::new(2);
+    b.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+    let g = Arc::new(b.build());
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let mut est = relcomp_core::bfs_sharing::BfsSharing::new(g, 32, &mut rng);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        est.estimate(NodeId(0), NodeId(1), 33, &mut rng)
+    }));
+    assert!(result.is_err());
+}
+
+#[test]
+fn estimates_stay_valid_under_extreme_probabilities() {
+    // All-near-one and all-tiny graphs must keep estimates in [0, 1].
+    for p in [1.0, 1e-6] {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1), p).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), p).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), p).unwrap();
+        let g = Arc::new(b.build());
+        let params = SuiteParams { bfs_sharing_worlds: 256, ..Default::default() };
+        for kind in EstimatorKind::PAPER_SIX {
+            let mut rng = ChaCha8Rng::seed_from_u64(9);
+            let mut est = build_estimator(kind, Arc::clone(&g), params, &mut rng);
+            let r = est.estimate(NodeId(0), NodeId(3), 256, &mut rng);
+            assert!(r.is_valid(), "{} produced {r:?} at p = {p}", kind.display_name());
+            if p == 1.0 {
+                assert_eq!(r.reliability, 1.0, "{}", kind.display_name());
+            }
+        }
+    }
+}
