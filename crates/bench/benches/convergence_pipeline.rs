@@ -13,15 +13,26 @@ use std::sync::Arc;
 fn bench_convergence_cell(c: &mut Criterion) {
     let graph = Arc::new(Dataset::LastFm.generate_with_scale(0.1, 42));
     let workload = Workload::generate(&graph, 3, 2, 7);
-    let params = SuiteParams { bfs_sharing_worlds: 300, ..Default::default() };
+    let params = SuiteParams {
+        bfs_sharing_worlds: 300,
+        ..Default::default()
+    };
 
     let mut group = c.benchmark_group("measure_at_k250_t3");
     group.sample_size(10);
-    for kind in [EstimatorKind::Mc, EstimatorKind::Rss, EstimatorKind::ProbTree] {
+    for kind in [
+        EstimatorKind::Mc,
+        EstimatorKind::Rss,
+        EstimatorKind::ProbTree,
+    ] {
         let mut rng = ChaCha8Rng::seed_from_u64(11);
         let mut est = build_estimator(kind, Arc::clone(&graph), params, &mut rng);
         group.bench_function(BenchmarkId::from_parameter(kind.display_name()), |b| {
-            b.iter(|| measure_at_k(est.as_mut(), &workload, 250, 3, &mut rng).metrics.rho)
+            b.iter(|| {
+                measure_at_k(est.as_mut(), &workload, 250, 3, &mut rng)
+                    .metrics
+                    .rho
+            })
         });
     }
     group.finish();

@@ -12,7 +12,10 @@ use std::sync::Arc;
 fn bench_per_sample(c: &mut Criterion) {
     let graph = Arc::new(Dataset::LastFm.generate_with_scale(0.2, 42));
     let workload = Workload::generate(&graph, 4, 2, 7);
-    let params = SuiteParams { bfs_sharing_worlds: 300, ..Default::default() };
+    let params = SuiteParams {
+        bfs_sharing_worlds: 300,
+        ..Default::default()
+    };
     let k = 250;
 
     let mut group = c.benchmark_group("per_sample_k250");

@@ -7,10 +7,13 @@
 use relcomp_eval::experiments as exp;
 use relcomp_eval::RunProfile;
 
+/// An experiment entry point: `(profile, seed) -> report text`.
+type Job = fn(RunProfile, u64) -> String;
+
 fn main() {
     let cli = relcomp_bench::cli();
     let (profile, seed) = (cli.profile, cli.seed);
-    let jobs: Vec<(&str, fn(RunProfile, u64) -> String)> = vec![
+    let jobs: Vec<(&str, Job)> = vec![
         ("table02_datasets", exp::table02_datasets::run),
         ("fig05_lp_correction", exp::fig05_lp_correction::run),
         ("fig07_variance", exp::fig07_variance::run),
@@ -26,12 +29,19 @@ fn main() {
         ("fig16_threshold", exp::fig16_threshold::run),
         ("fig17_stratum", exp::fig17_stratum::run),
         ("table17_summary", exp::table17_summary::run),
+        // Extensions beyond the paper, kept in the sweep so the weekly
+        // CI smoke exercises every experiment module.
+        ("ext_bounds", exp::ext_bounds::run),
+        ("ext_topk", exp::ext_topk::run),
     ];
     for (name, job) in jobs {
         eprintln!(">>> running {name} ...");
         let start = std::time::Instant::now();
         let report = job(profile, seed);
         relcomp_bench::emit(name, &report);
-        eprintln!("<<< {name} finished in {:.1}s", start.elapsed().as_secs_f64());
+        eprintln!(
+            "<<< {name} finished in {:.1}s",
+            start.elapsed().as_secs_f64()
+        );
     }
 }

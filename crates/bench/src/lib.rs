@@ -46,8 +46,8 @@ pub fn parse_args(args: Vec<String>) -> Result<Cli, String> {
                 seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
             }
             other => {
-                profile = RunProfile::parse(other)
-                    .ok_or_else(|| format!("unknown argument: {other}"))?;
+                profile =
+                    RunProfile::parse(other).ok_or_else(|| format!("unknown argument: {other}"))?;
             }
         }
     }

@@ -144,13 +144,7 @@ impl Estimator for BfsSharing {
         "BFS Sharing"
     }
 
-    fn estimate(
-        &mut self,
-        s: NodeId,
-        t: NodeId,
-        k: usize,
-        rng: &mut dyn RngCore,
-    ) -> Estimate {
+    fn estimate(&mut self, s: NodeId, t: NodeId, k: usize, rng: &mut dyn RngCore) -> Estimate {
         let _ = rng; // all randomness is in the pre-built index
         validate_query(&self.graph, s, t);
         assert!(
@@ -168,7 +162,11 @@ impl Estimator for BfsSharing {
 
         let words = k.div_ceil(64);
         let wpe = self.index.words_per_edge;
-        let last_mask: u64 = if k % 64 == 0 { !0 } else { (1u64 << (k % 64)) - 1 };
+        let last_mask: u64 = if k % 64 == 0 {
+            !0
+        } else {
+            (1u64 << (k % 64)) - 1
+        };
 
         // Lazy per-query reset of node vectors via epochs.
         self.epoch = self.epoch.wrapping_add(1).max(1);
@@ -211,8 +209,8 @@ impl Estimator for BfsSharing {
                 }
                 let edge_words = self.index.edge_words(e);
                 let mut changed = false;
-                for i in 0..words {
-                    let add = self.node_bits[v_base + i] & edge_words[i];
+                for (i, &edge_word) in edge_words.iter().enumerate().take(words) {
+                    let add = self.node_bits[v_base + i] & edge_word;
                     let cur = self.node_bits[w_base + i];
                     let new = cur | add;
                     if new != cur {
@@ -229,14 +227,21 @@ impl Estimator for BfsSharing {
 
         let reliability = if self.node_epoch[t.index()] == epoch {
             let t_base = t.index() * wpe;
-            let ones: u32 =
-                self.node_bits[t_base..t_base + words].iter().map(|w| w.count_ones()).sum();
+            let ones: u32 = self.node_bits[t_base..t_base + words]
+                .iter()
+                .map(|w| w.count_ones())
+                .sum();
             ones as f64 / k as f64
         } else {
             0.0
         };
 
-        Estimate { reliability, samples: k, elapsed: start.elapsed(), aux_bytes: mem.peak() }
+        Estimate {
+            reliability,
+            samples: k,
+            elapsed: start.elapsed(),
+            aux_bytes: mem.peak(),
+        }
     }
 
     fn resident_bytes(&self) -> usize {
@@ -274,7 +279,11 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(31);
         let mut bs = BfsSharing::new(Arc::clone(&g), 60_000, &mut rng);
         let est = bs.estimate(NodeId(0), NodeId(3), 60_000, &mut rng);
-        assert!((est.reliability - exact).abs() < 0.01, "{} vs {exact}", est.reliability);
+        assert!(
+            (est.reliability - exact).abs() < 0.01,
+            "{} vs {exact}",
+            est.reliability
+        );
     }
 
     #[test]
@@ -291,7 +300,11 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(32);
         let mut bs = BfsSharing::new(Arc::clone(&g), 40_000, &mut rng);
         let est = bs.estimate(NodeId(0), NodeId(3), 40_000, &mut rng);
-        assert!((est.reliability - exact).abs() < 0.01, "{} vs {exact}", est.reliability);
+        assert!(
+            (est.reliability - exact).abs() < 0.01,
+            "{} vs {exact}",
+            est.reliability
+        );
     }
 
     #[test]
@@ -332,7 +345,10 @@ mod tests {
         let g = Arc::new(b.build());
         let mut rng = ChaCha8Rng::seed_from_u64(36);
         let mut bs = BfsSharing::new(g, 128, &mut rng);
-        assert_eq!(bs.estimate(NodeId(0), NodeId(2), 128, &mut rng).reliability, 0.0);
+        assert_eq!(
+            bs.estimate(NodeId(0), NodeId(2), 128, &mut rng).reliability,
+            0.0
+        );
     }
 
     #[test]
@@ -340,7 +356,10 @@ mod tests {
         let g = diamond();
         let mut rng = ChaCha8Rng::seed_from_u64(37);
         let mut bs = BfsSharing::new(g, 64, &mut rng);
-        assert_eq!(bs.estimate(NodeId(1), NodeId(1), 64, &mut rng).reliability, 1.0);
+        assert_eq!(
+            bs.estimate(NodeId(1), NodeId(1), 64, &mut rng).reliability,
+            1.0
+        );
     }
 
     #[test]
@@ -362,7 +381,12 @@ mod tests {
         let g = Arc::new(b.build());
         let mut rng = ChaCha8Rng::seed_from_u64(39);
         let mut bs = BfsSharing::new(Arc::clone(&g), 1000, &mut rng);
-        let ones: u32 = bs.index().edge_words(EdgeId(0)).iter().map(|w| w.count_ones()).sum();
+        let ones: u32 = bs
+            .index()
+            .edge_words(EdgeId(0))
+            .iter()
+            .map(|w| w.count_ones())
+            .sum();
         let est = bs.estimate(NodeId(0), NodeId(1), 1000, &mut rng);
         assert!((est.reliability - ones as f64 / 1000.0).abs() < 1e-12);
     }

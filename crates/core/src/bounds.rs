@@ -52,9 +52,15 @@ pub fn reliability_bounds(
     t: NodeId,
     max_paths: usize,
 ) -> ReliabilityBounds {
-    assert!(graph.contains_node(s) && graph.contains_node(t), "query nodes out of range");
+    assert!(
+        graph.contains_node(s) && graph.contains_node(t),
+        "query nodes out of range"
+    );
     if s == t {
-        return ReliabilityBounds { lower: 1.0, upper: 1.0 };
+        return ReliabilityBounds {
+            lower: 1.0,
+            upper: 1.0,
+        };
     }
     ReliabilityBounds {
         lower: disjoint_paths_lower_bound(graph, s, t, max_paths),
@@ -109,8 +115,8 @@ fn masked_most_reliable_path(
     }
     // Rebuild a filtered graph; bounded work and keeps one Dijkstra
     // implementation. Node ids are preserved.
-    let mut b = relcomp_ugraph::GraphBuilder::new(graph.num_nodes())
-        .with_edge_capacity(graph.num_edges());
+    let mut b =
+        relcomp_ugraph::GraphBuilder::new(graph.num_nodes()).with_edge_capacity(graph.num_edges());
     for (e, u, v, p) in graph.edges() {
         if !banned.contains(&e) {
             b.add_edge_prob(u, v, p).expect("already validated");
@@ -121,7 +127,11 @@ fn masked_most_reliable_path(
     // Map the filtered edge ids back to the original graph's ids.
     let mut edges = Vec::with_capacity(path.edges.len());
     for w in path.nodes.windows(2) {
-        edges.push(graph.find_edge(w[0], w[1]).expect("edge exists in original"));
+        edges.push(
+            graph
+                .find_edge(w[0], w[1])
+                .expect("edge exists in original"),
+        );
     }
     Some(crate::paths::ReliablePath {
         edges,
@@ -162,8 +172,8 @@ pub fn level_cut_upper_bound(graph: &UncertainGraph, s: NodeId, t: NodeId) -> f6
         }
     }
     let mut best = 1.0f64;
-    for d in 1..=t_depth as usize {
-        best = best.min(1.0 - level_miss[d]);
+    for &miss in level_miss.iter().take(t_depth as usize + 1).skip(1) {
+        best = best.min(1.0 - miss);
     }
     best
 }

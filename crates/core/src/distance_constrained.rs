@@ -68,7 +68,10 @@ pub fn mc_distance_constrained(
     k: usize,
     rng: &mut dyn RngCore,
 ) -> f64 {
-    assert!(graph.contains_node(s) && graph.contains_node(t), "query nodes out of range");
+    assert!(
+        graph.contains_node(s) && graph.contains_node(t),
+        "query nodes out of range"
+    );
     assert!(k > 0, "sample count must be positive");
     let mut hits = 0usize;
     for _ in 0..k {
@@ -80,13 +83,11 @@ pub fn mc_distance_constrained(
 }
 
 /// Exact `R_d(s, t)` by world enumeration (test oracle, `m <= 26`).
-pub fn exact_distance_constrained(
-    graph: &UncertainGraph,
-    s: NodeId,
-    t: NodeId,
-    d: usize,
-) -> f64 {
-    assert!(graph.contains_node(s) && graph.contains_node(t), "query nodes out of range");
+pub fn exact_distance_constrained(graph: &UncertainGraph, s: NodeId, t: NodeId, d: usize) -> f64 {
+    assert!(
+        graph.contains_node(s) && graph.contains_node(t),
+        "query nodes out of range"
+    );
     if s == t {
         return 1.0;
     }

@@ -49,13 +49,7 @@ pub trait Estimator {
     /// # Panics
     /// Implementations panic if `s` or `t` are out of range for the graph
     /// they were built over.
-    fn estimate(
-        &mut self,
-        s: NodeId,
-        t: NodeId,
-        k: usize,
-        rng: &mut dyn RngCore,
-    ) -> Estimate;
+    fn estimate(&mut self, s: NodeId, t: NodeId, k: usize, rng: &mut dyn RngCore) -> Estimate;
 
     /// Bytes held *between* queries: pre-built indexes plus long-lived
     /// workspaces. The input graph itself is excluded (all estimators share
@@ -99,9 +93,15 @@ mod tests {
             aux_bytes: 0,
         };
         assert!(ok.is_valid());
-        let bad = Estimate { reliability: 1.5, ..ok };
+        let bad = Estimate {
+            reliability: 1.5,
+            ..ok
+        };
         assert!(!bad.is_valid());
-        let nan = Estimate { reliability: f64::NAN, ..ok };
+        let nan = Estimate {
+            reliability: f64::NAN,
+            ..ok
+        };
         assert!(!nan.is_valid());
     }
 }

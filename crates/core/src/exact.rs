@@ -4,9 +4,9 @@
 //! crate is validated against it on small random graphs. Refuses graphs
 //! with more than 26 edges.
 
-use relcomp_ugraph::{NodeId, UncertainGraph};
 use relcomp_ugraph::possible_world::enumerate_worlds;
 use relcomp_ugraph::traversal::{bfs_reaches, BfsWorkspace};
+use relcomp_ugraph::{NodeId, UncertainGraph};
 
 /// Compute `R(s, t)` exactly by summing `Pr(G)` over all worlds where `t`
 /// is reachable from `s`.
@@ -14,7 +14,10 @@ use relcomp_ugraph::traversal::{bfs_reaches, BfsWorkspace};
 /// # Panics
 /// Panics if the graph has more than 26 edges (enumeration is `2^m`).
 pub fn exact_reliability(graph: &UncertainGraph, s: NodeId, t: NodeId) -> f64 {
-    assert!(graph.contains_node(s) && graph.contains_node(t), "query nodes out of range");
+    assert!(
+        graph.contains_node(s) && graph.contains_node(t),
+        "query nodes out of range"
+    );
     if s == t {
         return 1.0;
     }

@@ -75,9 +75,19 @@ impl LazyPropagation {
         let n = graph.num_nodes();
         let mut states = Vec::with_capacity(n);
         for _ in 0..n {
-            states.push(NodeState { counter: 0, heap: BinaryHeap::new(), epoch: 0 });
+            states.push(NodeState {
+                counter: 0,
+                heap: BinaryHeap::new(),
+                epoch: 0,
+            });
         }
-        LazyPropagation { graph, variant, states, visited: VisitSet::new(n), epoch: 0 }
+        LazyPropagation {
+            graph,
+            variant,
+            states,
+            visited: VisitSet::new(n),
+            epoch: 0,
+        }
     }
 
     /// Convenience constructor for the corrected LP+.
@@ -104,13 +114,7 @@ impl Estimator for LazyPropagation {
         }
     }
 
-    fn estimate(
-        &mut self,
-        s: NodeId,
-        t: NodeId,
-        k: usize,
-        rng: &mut dyn RngCore,
-    ) -> Estimate {
+    fn estimate(&mut self, s: NodeId, t: NodeId, k: usize, rng: &mut dyn RngCore) -> Estimate {
         validate_query(&self.graph, s, t);
         assert!(k > 0, "sample count must be positive");
         let start = Instant::now();
@@ -263,10 +267,14 @@ mod tests {
 
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let mut lp = LazyPropagation::original(Arc::clone(&g));
-        let lp_est = lp.estimate(NodeId(0), NodeId(2), 60_000, &mut rng).reliability;
+        let lp_est = lp
+            .estimate(NodeId(0), NodeId(2), 60_000, &mut rng)
+            .reliability;
 
         let mut lpp = LazyPropagation::corrected(Arc::clone(&g));
-        let lpp_est = lpp.estimate(NodeId(0), NodeId(2), 60_000, &mut rng).reliability;
+        let lpp_est = lpp
+            .estimate(NodeId(0), NodeId(2), 60_000, &mut rng)
+            .reliability;
 
         assert!((lpp_est - exact).abs() < 0.01, "LP+ {lpp_est} vs {exact}");
         assert!(
@@ -317,6 +325,9 @@ mod tests {
         let g = Arc::new(b.build());
         let mut lp = LazyPropagation::corrected(g);
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        assert_eq!(lp.estimate(NodeId(0), NodeId(2), 300, &mut rng).reliability, 0.0);
+        assert_eq!(
+            lp.estimate(NodeId(0), NodeId(2), 300, &mut rng).reliability,
+            0.0
+        );
     }
 }

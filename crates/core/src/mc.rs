@@ -26,7 +26,10 @@ impl McSampling {
     /// Create an MC estimator over `graph`.
     pub fn new(graph: Arc<UncertainGraph>) -> Self {
         let n = graph.num_nodes();
-        McSampling { graph, ws: BfsWorkspace::new(n) }
+        McSampling {
+            graph,
+            ws: BfsWorkspace::new(n),
+        }
     }
 
     /// Access the underlying graph.
@@ -40,13 +43,7 @@ impl Estimator for McSampling {
         "MC"
     }
 
-    fn estimate(
-        &mut self,
-        s: NodeId,
-        t: NodeId,
-        k: usize,
-        rng: &mut dyn RngCore,
-    ) -> Estimate {
+    fn estimate(&mut self, s: NodeId, t: NodeId, k: usize, rng: &mut dyn RngCore) -> Estimate {
         validate_query(&self.graph, s, t);
         assert!(k > 0, "sample count must be positive");
         let start = Instant::now();
@@ -85,7 +82,8 @@ mod tests {
     fn chain(probs: &[f64]) -> Arc<UncertainGraph> {
         let mut b = GraphBuilder::new(probs.len() + 1);
         for (i, &p) in probs.iter().enumerate() {
-            b.add_edge(NodeId(i as u32), NodeId(i as u32 + 1), p).unwrap();
+            b.add_edge(NodeId(i as u32), NodeId(i as u32 + 1), p)
+                .unwrap();
         }
         Arc::new(b.build())
     }
@@ -98,7 +96,11 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(11);
         let est = mc.estimate(NodeId(0), NodeId(3), 50_000, &mut rng);
         assert!(est.is_valid());
-        assert!((est.reliability - exact).abs() < 0.01, "{} vs {exact}", est.reliability);
+        assert!(
+            (est.reliability - exact).abs() < 0.01,
+            "{} vs {exact}",
+            est.reliability
+        );
     }
 
     #[test]

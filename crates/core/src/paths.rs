@@ -45,7 +45,10 @@ impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; we want the smallest -log (most
         // probable) first.
-        other.neg_log.partial_cmp(&self.neg_log).unwrap_or(Ordering::Equal)
+        other
+            .neg_log
+            .partial_cmp(&self.neg_log)
+            .unwrap_or(Ordering::Equal)
     }
 }
 
@@ -53,14 +56,17 @@ impl Ord for HeapEntry {
 ///
 /// Returns `None` when `t` is unreachable. For `s == t` returns the empty
 /// path with probability 1.
-pub fn most_reliable_path(
-    graph: &UncertainGraph,
-    s: NodeId,
-    t: NodeId,
-) -> Option<ReliablePath> {
-    assert!(graph.contains_node(s) && graph.contains_node(t), "query nodes out of range");
+pub fn most_reliable_path(graph: &UncertainGraph, s: NodeId, t: NodeId) -> Option<ReliablePath> {
+    assert!(
+        graph.contains_node(s) && graph.contains_node(t),
+        "query nodes out of range"
+    );
     if s == t {
-        return Some(ReliablePath { edges: vec![], nodes: vec![s], probability: 1.0 });
+        return Some(ReliablePath {
+            edges: vec![],
+            nodes: vec![s],
+            probability: 1.0,
+        });
     }
     let n = graph.num_nodes();
     let mut dist = vec![f64::INFINITY; n];
@@ -68,7 +74,10 @@ pub fn most_reliable_path(
     let mut done = vec![false; n];
     let mut heap = BinaryHeap::new();
     dist[s.index()] = 0.0;
-    heap.push(HeapEntry { neg_log: 0.0, node: s });
+    heap.push(HeapEntry {
+        neg_log: 0.0,
+        node: s,
+    });
 
     while let Some(HeapEntry { neg_log, node }) = heap.pop() {
         if done[node.index()] {
@@ -87,7 +96,10 @@ pub fn most_reliable_path(
             if cand < dist[w.index()] {
                 dist[w.index()] = cand;
                 pred[w.index()] = Some(e);
-                heap.push(HeapEntry { neg_log: cand, node: w });
+                heap.push(HeapEntry {
+                    neg_log: cand,
+                    node: w,
+                });
             }
         }
     }
@@ -107,7 +119,11 @@ pub fn most_reliable_path(
     let mut nodes = vec![s];
     nodes.extend(edges.iter().map(|&e| graph.target(e)));
     let probability = edges.iter().map(|&e| graph.prob(e).value()).product();
-    Some(ReliablePath { edges, nodes, probability })
+    Some(ReliablePath {
+        edges,
+        nodes,
+        probability,
+    })
 }
 
 /// Probability that *all* edges of `path` exist (independent product) —

@@ -93,7 +93,11 @@ impl ProbTreeIndex {
             store
                 .entry(pair_key(u, v))
                 .or_default()
-                .push(Entry::Raw(DirEdge { from: u, to: v, prob: p.value() }));
+                .push(Entry::Raw(DirEdge {
+                    from: u,
+                    to: v,
+                    prob: p.value(),
+                }));
         }
 
         let mut bags: Vec<Bag> = Vec::new();
@@ -108,8 +112,8 @@ impl ProbTreeIndex {
         // Min-degree-first candidate heap with lazy revalidation, matching
         // the paper's "for d = 1 to w" preference for low-degree nodes.
         let mut heap: BinaryHeap<Reverse<(usize, u32)>> = BinaryHeap::new();
-        for v in 0..n {
-            let d = adj[v].len();
+        for (v, nbrs) in adj.iter().enumerate().take(n) {
+            let d = nbrs.len();
             if (1..=W).contains(&d) {
                 heap.push(Reverse((d, v as u32)));
             }
@@ -170,7 +174,10 @@ impl ProbTreeIndex {
                     let (a, b) = (boundary[0], boundary[1]);
                     adj[a.index()].insert(b);
                     adj[b.index()].insert(a);
-                    store.entry(pair_key(a, b)).or_default().push(Entry::Child(bag_id));
+                    store
+                        .entry(pair_key(a, b))
+                        .or_default()
+                        .push(Entry::Child(bag_id));
                 }
                 1 => {
                     node_children[boundary[0].index()].push(bag_id);
@@ -210,7 +217,12 @@ impl ProbTreeIndex {
             }
         }
 
-        let mut index = ProbTreeIndex { graph, bags, covered_in, root_entries };
+        let mut index = ProbTreeIndex {
+            graph,
+            bags,
+            covered_in,
+            root_entries,
+        };
         index.precompute_up_edges();
         index
     }
@@ -232,7 +244,11 @@ impl ProbTreeIndex {
                 let via = self.combined_prob(i, x, v) * self.combined_prob(i, v, y);
                 let p = 1.0 - (1.0 - direct) * (1.0 - via);
                 if p > 0.0 {
-                    up.push(DirEdge { from: x, to: y, prob: p.min(1.0) });
+                    up.push(DirEdge {
+                        from: x,
+                        to: y,
+                        prob: p.min(1.0),
+                    });
                 }
             }
             self.bags[i].up_edges = up;
@@ -361,7 +377,11 @@ impl ProbTreeIndex {
                 )
                 .expect("relabeled nodes are in range");
         }
-        QueryExtraction { graph: builder.build(), s: NodeId(qs), t: NodeId(qt) }
+        QueryExtraction {
+            graph: builder.build(),
+            s: NodeId(qs),
+            t: NodeId(qt),
+        }
     }
 }
 
@@ -382,7 +402,8 @@ mod tests {
     fn chain(n: usize, p: f64) -> Arc<UncertainGraph> {
         let mut b = GraphBuilder::new(n);
         for i in 0..n - 1 {
-            b.add_edge(NodeId(i as u32), NodeId(i as u32 + 1), p).unwrap();
+            b.add_edge(NodeId(i as u32), NodeId(i as u32 + 1), p)
+                .unwrap();
         }
         Arc::new(b.build())
     }

@@ -33,10 +33,10 @@ mod decompose;
 pub use decompose::{DecompositionStats, ProbTreeIndex};
 
 use crate::estimator::{validate_query, Estimate, Estimator};
-use crate::memory::MemoryTracker;
-use crate::recursive::{RecursiveSampling, RecursiveStratified};
 use crate::lazy::LazyPropagation;
 use crate::mc::McSampling;
+use crate::memory::MemoryTracker;
+use crate::recursive::{RecursiveSampling, RecursiveStratified};
 use rand::RngCore;
 use relcomp_ugraph::{NodeId, UncertainGraph};
 use std::sync::Arc;
@@ -88,7 +88,11 @@ impl ProbTree {
         let start = Instant::now();
         let index = ProbTreeIndex::build(graph);
         let build_time = start.elapsed();
-        ProbTree { index, inner, build_time }
+        ProbTree {
+            index,
+            inner,
+            build_time,
+        }
     }
 
     /// Offline index construction time (Fig. 13a).
@@ -107,13 +111,7 @@ impl Estimator for ProbTree {
         self.inner.label()
     }
 
-    fn estimate(
-        &mut self,
-        s: NodeId,
-        t: NodeId,
-        k: usize,
-        rng: &mut dyn RngCore,
-    ) -> Estimate {
+    fn estimate(&mut self, s: NodeId, t: NodeId, k: usize, rng: &mut dyn RngCore) -> Estimate {
         validate_query(self.index.graph(), s, t);
         assert!(k > 0, "sample count must be positive");
         let start = Instant::now();
@@ -136,9 +134,7 @@ impl Estimator for ProbTree {
         let qgraph = Arc::new(extraction.graph);
         let (qs, qt) = (extraction.s, extraction.t);
         let inner_est = match self.inner {
-            InnerEstimator::Mc => {
-                McSampling::new(Arc::clone(&qgraph)).estimate(qs, qt, k, rng)
-            }
+            InnerEstimator::Mc => McSampling::new(Arc::clone(&qgraph)).estimate(qs, qt, k, rng),
             InnerEstimator::LpPlus => {
                 LazyPropagation::corrected(Arc::clone(&qgraph)).estimate(qs, qt, k, rng)
             }
@@ -230,12 +226,12 @@ mod tests {
         for seed in 0..6u64 {
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
             let pairs = erdos_renyi(10, 12, &mut rng);
-            let g = Arc::new(ProbModel::UniformChoice { choices: vec![0.3, 0.6, 0.9] }.apply(
-                10,
-                &pairs,
-                Direction::RandomOriented,
-                &mut rng,
-            ));
+            let g = Arc::new(
+                ProbModel::UniformChoice {
+                    choices: vec![0.3, 0.6, 0.9],
+                }
+                .apply(10, &pairs, Direction::RandomOriented, &mut rng),
+            );
             if g.num_edges() > 24 {
                 continue; // exact oracle bound
             }
@@ -254,13 +250,20 @@ mod tests {
     fn coupled_estimators_agree_with_exact() {
         let g = figure6_graph();
         let exact = exact_reliability(&g, NodeId(3), NodeId(5));
-        for inner in [InnerEstimator::LpPlus, InnerEstimator::Rhh, InnerEstimator::Rss] {
+        for inner in [
+            InnerEstimator::LpPlus,
+            InnerEstimator::Rhh,
+            InnerEstimator::Rss,
+        ] {
             let mut rng = ChaCha8Rng::seed_from_u64(62);
             let mut pt = ProbTree::with_inner(Arc::clone(&g), inner);
             // Recursive inner estimators: average over repeats.
             let reps = 40;
             let sum: f64 = (0..reps)
-                .map(|_| pt.estimate(NodeId(3), NodeId(5), 4000, &mut rng).reliability)
+                .map(|_| {
+                    pt.estimate(NodeId(3), NodeId(5), 4000, &mut rng)
+                        .reliability
+                })
                 .sum();
             let mean = sum / reps as f64;
             assert!(
@@ -286,7 +289,10 @@ mod tests {
         let g = figure6_graph();
         let mut rng = ChaCha8Rng::seed_from_u64(63);
         let mut pt = ProbTree::new(g);
-        assert_eq!(pt.estimate(NodeId(2), NodeId(2), 10, &mut rng).reliability, 1.0);
+        assert_eq!(
+            pt.estimate(NodeId(2), NodeId(2), 10, &mut rng).reliability,
+            1.0
+        );
     }
 
     #[test]
@@ -297,6 +303,10 @@ mod tests {
         let g = Arc::new(b.build());
         let mut rng = ChaCha8Rng::seed_from_u64(64);
         let mut pt = ProbTree::new(g);
-        assert_eq!(pt.estimate(NodeId(0), NodeId(3), 2000, &mut rng).reliability, 0.0);
+        assert_eq!(
+            pt.estimate(NodeId(0), NodeId(3), 2000, &mut rng)
+                .reliability,
+            0.0
+        );
     }
 }

@@ -52,7 +52,6 @@ impl RecursiveSampling {
         k: usize,
         rng: &mut dyn RngCore,
         mem: &mut MemoryTracker,
-        depth: usize,
     ) -> f64 {
         // Model the reference implementation's per-frame simplified graph.
         let frame_bytes = st.memory_model_bytes();
@@ -76,11 +75,11 @@ impl RecursiveSampling {
             let k2 = k - k1;
 
             let undo = st.include(e);
-            let r1 = self.recurse(st, k1, rng, mem, depth + 1);
+            let r1 = self.recurse(st, k1, rng, mem);
             st.undo(undo);
 
             let undo = st.exclude(e);
-            let r2 = self.recurse(st, k2, rng, mem, depth + 1);
+            let r2 = self.recurse(st, k2, rng, mem);
             st.undo(undo);
 
             p * r1 + (1.0 - p) * r2
@@ -96,13 +95,7 @@ impl Estimator for RecursiveSampling {
         "RHH"
     }
 
-    fn estimate(
-        &mut self,
-        s: NodeId,
-        t: NodeId,
-        k: usize,
-        rng: &mut dyn RngCore,
-    ) -> Estimate {
+    fn estimate(&mut self, s: NodeId, t: NodeId, k: usize, rng: &mut dyn RngCore) -> Estimate {
         validate_query(&self.graph, s, t);
         assert!(k > 0, "sample count must be positive");
         let start = Instant::now();
@@ -116,7 +109,7 @@ impl Estimator for RecursiveSampling {
         } else if !st.t_possibly_reachable() {
             0.0
         } else {
-            self.recurse(&mut st, k, rng, &mut mem, 0)
+            self.recurse(&mut st, k, rng, &mut mem)
         };
 
         Estimate {
@@ -156,7 +149,9 @@ mod tests {
         let reps = 200;
         let mut sum = 0.0;
         for _ in 0..reps {
-            sum += rhh.estimate(NodeId(0), NodeId(3), 2000, &mut rng).reliability;
+            sum += rhh
+                .estimate(NodeId(0), NodeId(3), 2000, &mut rng)
+                .reliability;
         }
         let mean = sum / reps as f64;
         assert!((mean - exact).abs() < 0.01, "{mean} vs {exact}");
@@ -181,7 +176,11 @@ mod tests {
         let g = Arc::new(b.build());
         let mut rhh = RecursiveSampling::new(g);
         let mut rng = ChaCha8Rng::seed_from_u64(2);
-        assert_eq!(rhh.estimate(NodeId(0), NodeId(2), 1000, &mut rng).reliability, 0.0);
+        assert_eq!(
+            rhh.estimate(NodeId(0), NodeId(2), 1000, &mut rng)
+                .reliability,
+            0.0
+        );
     }
 
     #[test]

@@ -47,7 +47,11 @@ impl RecursiveStratified {
     pub fn with_params(graph: Arc<UncertainGraph>, threshold: usize, r: usize) -> Self {
         assert!(threshold >= 1, "threshold must be >= 1");
         assert!(r >= 1, "stratum parameter r must be >= 1");
-        RecursiveStratified { graph, threshold, r }
+        RecursiveStratified {
+            graph,
+            threshold,
+            r,
+        }
     }
 
     /// The stratum parameter `r` in use.
@@ -100,7 +104,11 @@ impl RecursiveStratified {
                 let ki = ((k as f64 * pi).round() as usize).max(1);
                 let mut undos = Vec::with_capacity(fixes.len());
                 for &(e, present) in &fixes {
-                    undos.push(if present { st.include(e) } else { st.exclude(e) });
+                    undos.push(if present {
+                        st.include(e)
+                    } else {
+                        st.exclude(e)
+                    });
                 }
                 let mu = self.recurse(st, ki, rng, mem);
                 for undo in undos.into_iter().rev() {
@@ -117,11 +125,7 @@ impl RecursiveStratified {
 }
 
 /// Stratum `i`'s probability (Eq. 10) and the edge fixes it implies.
-fn stratum(
-    st: &RecState<'_>,
-    selected: &[EdgeId],
-    i: usize,
-) -> (f64, Vec<(EdgeId, bool)>) {
+fn stratum(st: &RecState<'_>, selected: &[EdgeId], i: usize) -> (f64, Vec<(EdgeId, bool)>) {
     let mut pi = 1.0;
     let mut fixes = Vec::new();
     if i == 0 {
@@ -146,13 +150,7 @@ impl Estimator for RecursiveStratified {
         "RSS"
     }
 
-    fn estimate(
-        &mut self,
-        s: NodeId,
-        t: NodeId,
-        k: usize,
-        rng: &mut dyn RngCore,
-    ) -> Estimate {
+    fn estimate(&mut self, s: NodeId, t: NodeId, k: usize, rng: &mut dyn RngCore) -> Estimate {
         validate_query(&self.graph, s, t);
         assert!(k > 0, "sample count must be positive");
         let start = Instant::now();
@@ -161,7 +159,11 @@ impl Estimator for RecursiveStratified {
         let mut st = RecState::new(&self.graph, s, t);
         mem.baseline(st.base_bytes());
 
-        let reliability = if s == t { 1.0 } else { self.recurse(&mut st, k, rng, &mut mem) };
+        let reliability = if s == t {
+            1.0
+        } else {
+            self.recurse(&mut st, k, rng, &mut mem)
+        };
 
         Estimate {
             reliability: reliability.clamp(0.0, 1.0),
@@ -194,7 +196,9 @@ mod tests {
         let g = diamond();
         let st = RecState::new(&g, NodeId(0), NodeId(3));
         let selected: Vec<EdgeId> = g.edges().map(|(e, _, _, _)| e).collect();
-        let total: f64 = (0..=selected.len()).map(|i| stratum(&st, &selected, i).0).sum();
+        let total: f64 = (0..=selected.len())
+            .map(|i| stratum(&st, &selected, i).0)
+            .sum();
         assert!((total - 1.0).abs() < 1e-12, "total {total}");
     }
 
@@ -222,7 +226,10 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(51);
         let reps = 200;
         let sum: f64 = (0..reps)
-            .map(|_| rss.estimate(NodeId(0), NodeId(3), 2000, &mut rng).reliability)
+            .map(|_| {
+                rss.estimate(NodeId(0), NodeId(3), 2000, &mut rng)
+                    .reliability
+            })
             .sum();
         let mean = sum / reps as f64;
         assert!((mean - exact).abs() < 0.01, "{mean} vs {exact}");
@@ -261,8 +268,16 @@ mod tests {
         let g = Arc::new(b.build());
         let mut rss = RecursiveStratified::new(Arc::clone(&g));
         let mut rng = ChaCha8Rng::seed_from_u64(53);
-        assert_eq!(rss.estimate(NodeId(0), NodeId(1), 500, &mut rng).reliability, 1.0);
-        assert_eq!(rss.estimate(NodeId(0), NodeId(2), 500, &mut rng).reliability, 0.0);
+        assert_eq!(
+            rss.estimate(NodeId(0), NodeId(1), 500, &mut rng)
+                .reliability,
+            1.0
+        );
+        assert_eq!(
+            rss.estimate(NodeId(0), NodeId(2), 500, &mut rng)
+                .reliability,
+            0.0
+        );
     }
 
     #[test]
@@ -275,7 +290,10 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(54);
         let reps = 200;
         let sum: f64 = (0..reps)
-            .map(|_| rss.estimate(NodeId(0), NodeId(3), 1000, &mut rng).reliability)
+            .map(|_| {
+                rss.estimate(NodeId(0), NodeId(3), 1000, &mut rng)
+                    .reliability
+            })
             .sum();
         assert!((sum / reps as f64 - exact).abs() < 0.015);
     }

@@ -117,7 +117,11 @@ impl<'g> RecState<'g> {
             }
             added = self.reached.len() - start;
         }
-        Undo { edge: e, prev, added_reached: added }
+        Undo {
+            edge: e,
+            prev,
+            added_reached: added,
+        }
     }
 
     /// Force edge `e` absent.
@@ -128,7 +132,11 @@ impl<'g> RecState<'g> {
         if prev == EdgeStatus::Undetermined {
             self.undetermined -= 1;
         }
-        Undo { edge: e, prev, added_reached: 0 }
+        Undo {
+            edge: e,
+            prev,
+            added_reached: 0,
+        }
     }
 
     /// Revert one `include`/`exclude` (must be applied LIFO).
@@ -232,7 +240,9 @@ impl<'g> RecState<'g> {
 
     /// Fixed per-query overhead: status overlay + reached structures.
     pub fn base_bytes(&self) -> usize {
-        self.status.len() + self.reached_mem.len() + self.reached.capacity() * 4
+        self.status.len()
+            + self.reached_mem.len()
+            + self.reached.capacity() * 4
             + self.ws.resident_bytes()
     }
 

@@ -53,7 +53,10 @@ impl ReducedQuery {
 
 /// Apply dead-end pruning + series + parallel reductions to fixpoint.
 pub fn reduce_for_query(graph: &UncertainGraph, s: NodeId, t: NodeId) -> ReducedQuery {
-    assert!(graph.contains_node(s) && graph.contains_node(t), "query nodes out of range");
+    assert!(
+        graph.contains_node(s) && graph.contains_node(t),
+        "query nodes out of range"
+    );
 
     // Phase 1: relevance pruning over the certain topology.
     let forward = reachable_from(graph, s, /*forward=*/ true);
@@ -87,8 +90,14 @@ pub fn reduce_for_query(graph: &UncertainGraph, s: NodeId, t: NodeId) -> Reduced
             if out_deg.get(&w).copied().unwrap_or(0) != 1 {
                 continue;
             }
-            let inc = edges.iter().find(|&&(_, v, _)| v == w).expect("in-degree 1");
-            let out = edges.iter().find(|&&(u, _, _)| u == w).expect("out-degree 1");
+            let inc = edges
+                .iter()
+                .find(|&&(_, v, _)| v == w)
+                .expect("in-degree 1");
+            let out = edges
+                .iter()
+                .find(|&&(u, _, _)| u == w)
+                .expect("out-degree 1");
             if inc.0 != w && out.1 != w && inc.0 != out.1 {
                 victim = Some(w);
                 break;
@@ -122,9 +131,16 @@ pub fn reduce_for_query(graph: &UncertainGraph, s: NodeId, t: NodeId) -> Reduced
         .with_edge_capacity(locals.len())
         .duplicate_policy(DuplicatePolicy::CombineOr);
     for (u, v, p) in locals {
-        b.add_edge_prob(u, v, Probability::clamped(p)).expect("validated");
+        b.add_edge_prob(u, v, Probability::clamped(p))
+            .expect("validated");
     }
-    ReducedQuery { graph: b.build(), s: rs, t: rt, kept, series_contractions }
+    ReducedQuery {
+        graph: b.build(),
+        s: rs,
+        t: rt,
+        kept,
+        series_contractions,
+    }
 }
 
 /// Reachability sets over the certain topology (forward from `s`, or
@@ -228,12 +244,10 @@ mod tests {
         for seed in 0..10u64 {
             let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
             let pairs = erdos_renyi(8, 11, &mut rng);
-            let g = ProbModel::UniformChoice { choices: vec![0.3, 0.7] }.apply(
-                8,
-                &pairs,
-                Direction::RandomOriented,
-                &mut rng,
-            );
+            let g = ProbModel::UniformChoice {
+                choices: vec![0.3, 0.7],
+            }
+            .apply(8, &pairs, Direction::RandomOriented, &mut rng);
             if g.num_edges() > 22 {
                 continue;
             }

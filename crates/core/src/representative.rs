@@ -38,15 +38,19 @@ pub fn most_probable_world(graph: &UncertainGraph) -> PossibleWorld {
 pub fn average_degree_world(graph: &UncertainGraph) -> PossibleWorld {
     let mut world = PossibleWorld::empty(graph.num_edges());
     for v in graph.nodes() {
-        let mut out: Vec<(relcomp_ugraph::EdgeId, f64)> =
-            graph.out_edges(v).map(|(e, _)| (e, graph.prob(e).value())).collect();
+        let mut out: Vec<(relcomp_ugraph::EdgeId, f64)> = graph
+            .out_edges(v)
+            .map(|(e, _)| (e, graph.prob(e).value()))
+            .collect();
         if out.is_empty() {
             continue;
         }
         let expected: f64 = out.iter().map(|&(_, p)| p).sum();
         let budget = expected.round() as usize;
         out.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
         });
         for &(e, _) in out.iter().take(budget) {
             world.set(e, true);
@@ -61,8 +65,10 @@ pub fn degree_discrepancy(graph: &UncertainGraph, world: &PossibleWorld) -> f64 
     let mut total = 0.0;
     for v in graph.nodes() {
         let expected: f64 = graph.out_edges(v).map(|(e, _)| graph.prob(e).value()).sum();
-        let included =
-            graph.out_edges(v).filter(|&(e, _)| world.contains(e)).count() as f64;
+        let included = graph
+            .out_edges(v)
+            .filter(|&(e, _)| world.contains(e))
+            .count() as f64;
         total += (expected - included).abs();
     }
     total

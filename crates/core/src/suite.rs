@@ -118,9 +118,10 @@ pub fn build_estimator(
         EstimatorKind::ProbTree => Box::new(ProbTree::new(graph)),
         EstimatorKind::LpPlus => Box::new(LazyPropagation::corrected(graph)),
         EstimatorKind::LpOriginal => Box::new(LazyPropagation::original(graph)),
-        EstimatorKind::Rhh => {
-            Box::new(RecursiveSampling::with_threshold(graph, params.recursive_threshold))
-        }
+        EstimatorKind::Rhh => Box::new(RecursiveSampling::with_threshold(
+            graph,
+            params.recursive_threshold,
+        )),
         EstimatorKind::Rss => Box::new(RecursiveStratified::with_params(
             graph,
             params.recursive_threshold,
@@ -129,12 +130,8 @@ pub fn build_estimator(
         EstimatorKind::ProbTreeLpPlus => {
             Box::new(ProbTree::with_inner(graph, InnerEstimator::LpPlus))
         }
-        EstimatorKind::ProbTreeRhh => {
-            Box::new(ProbTree::with_inner(graph, InnerEstimator::Rhh))
-        }
-        EstimatorKind::ProbTreeRss => {
-            Box::new(ProbTree::with_inner(graph, InnerEstimator::Rss))
-        }
+        EstimatorKind::ProbTreeRhh => Box::new(ProbTree::with_inner(graph, InnerEstimator::Rhh)),
+        EstimatorKind::ProbTreeRss => Box::new(ProbTree::with_inner(graph, InnerEstimator::Rss)),
     }
 }
 
@@ -160,7 +157,10 @@ mod tests {
         let g = diamond();
         let exact = exact_reliability(&g, NodeId(0), NodeId(3));
         let mut rng = ChaCha8Rng::seed_from_u64(71);
-        let params = SuiteParams { bfs_sharing_worlds: 20_000, ..Default::default() };
+        let params = SuiteParams {
+            bfs_sharing_worlds: 20_000,
+            ..Default::default()
+        };
         for kind in [
             EstimatorKind::Mc,
             EstimatorKind::BfsSharing,
@@ -177,7 +177,10 @@ mod tests {
             // Recursive methods need averaging; use repeated medium-K runs.
             let reps = 30;
             let sum: f64 = (0..reps)
-                .map(|_| est.estimate(NodeId(0), NodeId(3), 5000, &mut rng).reliability)
+                .map(|_| {
+                    est.estimate(NodeId(0), NodeId(3), 5000, &mut rng)
+                        .reliability
+                })
                 .sum();
             let mean = sum / reps as f64;
             assert!(
@@ -190,9 +193,14 @@ mod tests {
 
     #[test]
     fn paper_six_has_expected_members() {
-        let names: Vec<_> =
-            EstimatorKind::PAPER_SIX.iter().map(|k| k.display_name()).collect();
-        assert_eq!(names, vec!["MC", "BFS Sharing", "ProbTree", "LP+", "RHH", "RSS"]);
+        let names: Vec<_> = EstimatorKind::PAPER_SIX
+            .iter()
+            .map(|k| k.display_name())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["MC", "BFS Sharing", "ProbTree", "LP+", "RHH", "RSS"]
+        );
     }
 
     #[test]

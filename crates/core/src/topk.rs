@@ -43,7 +43,11 @@ pub fn top_k_targets_indexed(
     assert!(worlds > 0, "need at least one world");
     let n = graph.num_nodes();
     let words = worlds.div_ceil(64);
-    let last_mask: u64 = if worlds % 64 == 0 { !0 } else { (1u64 << (worlds % 64)) - 1 };
+    let last_mask: u64 = if worlds % 64 == 0 {
+        !0
+    } else {
+        (1u64 << (worlds % 64)) - 1
+    };
 
     let mut bits: Vec<u64> = vec![0; n * words];
     let mut touched = vec![false; n];
@@ -82,8 +86,10 @@ pub fn top_k_targets_indexed(
     let mut scores: Vec<TargetScore> = (0..n)
         .filter(|&i| touched[i] && i != s.index())
         .map(|i| {
-            let ones: u32 =
-                bits[i * words..(i + 1) * words].iter().map(|w| w.count_ones()).sum();
+            let ones: u32 = bits[i * words..(i + 1) * words]
+                .iter()
+                .map(|w| w.count_ones())
+                .sum();
             TargetScore {
                 node: NodeId::from_index(i),
                 reliability: ones as f64 / worlds as f64,

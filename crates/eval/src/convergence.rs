@@ -8,9 +8,7 @@
 //! differs per estimator *and* per dataset, so no single fixed `K` is a
 //! fair comparison point.
 
-use crate::metrics::{
-    average_reliability, average_variance, dispersion, KMetrics, PairRuns,
-};
+use crate::metrics::{average_reliability, average_variance, dispersion, KMetrics, PairRuns};
 use crate::workload::Workload;
 use rand::RngCore;
 use relcomp_core::Estimator;
@@ -105,7 +103,9 @@ pub fn measure_at_k(
     let mut total_queries = 0usize;
 
     for &(s, t) in &workload.pairs {
-        let mut runs = PairRuns { estimates: Vec::with_capacity(repeats) };
+        let mut runs = PairRuns {
+            estimates: Vec::with_capacity(repeats),
+        };
         for _ in 0..repeats {
             estimator.refresh(rng);
             let start = Instant::now();
@@ -155,7 +155,11 @@ pub fn run_convergence(
         }
         k += cfg.k_step;
     }
-    ConvergenceRun { estimator: estimator.name().to_string(), history, converged }
+    ConvergenceRun {
+        estimator: estimator.name().to_string(),
+        history,
+        converged,
+    }
 }
 
 #[cfg(test)]
@@ -226,7 +230,11 @@ mod tests {
     fn s_equals_queries_converge_immediately() {
         // A workload with deterministic answers has zero variance: rho = 0.
         let (g, _) = tiny_setup();
-        let w = Workload { pairs: vec![(NodeId(0), NodeId(0))], hops: 1, seed: 0 };
+        let w = Workload {
+            pairs: vec![(NodeId(0), NodeId(0))],
+            hops: 1,
+            seed: 0,
+        };
         let mut mc = McSampling::new(g);
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         let cfg = ConvergenceConfig {

@@ -57,8 +57,7 @@ pub fn run(profile: RunProfile, seed: u64) -> String {
                 r >= b.lower - 3.0 * sd - 1e-9 && r <= b.upper + 3.0 * sd + 1e-9
             })
             .count();
-        let mean_width =
-            bounds.iter().map(|b| b.width()).sum::<f64>() / bounds.len() as f64;
+        let mean_width = bounds.iter().map(|b| b.width()).sum::<f64>() / bounds.len() as f64;
         let mean_r = mc_means.iter().sum::<f64>() / mc_means.len() as f64;
 
         table.row(vec![

@@ -17,14 +17,18 @@ pub fn run(profile: RunProfile, seed: u64) -> String {
     let worlds = 1000;
     let mut table = Table::new(
         format!("Extension — top-{k_targets} reliable targets: indexed (BFS Sharing) vs MC"),
-        &["Dataset", "Overlap@10", "Indexed time / source", "MC time / source"],
+        &[
+            "Dataset",
+            "Overlap@10",
+            "Indexed time / source",
+            "MC time / source",
+        ],
     );
     for dataset in [Dataset::LastFm, Dataset::AsTopology] {
         let env = ExperimentEnv::prepare(dataset, profile, 2, seed);
         let mut rng = env.rng(0x70);
         let index = BfsSharingIndex::build(&env.graph, worlds, &mut rng);
-        let sources: Vec<_> =
-            env.workload.pairs.iter().map(|&(s, _)| s).take(5).collect();
+        let sources: Vec<_> = env.workload.pairs.iter().map(|&(s, _)| s).take(5).collect();
 
         let mut overlap_total = 0usize;
         let mut indexed_secs = 0.0;
@@ -38,8 +42,7 @@ pub fn run(profile: RunProfile, seed: u64) -> String {
             let mc = top_k_targets_mc(&env.graph, s, k_targets, worlds, &mut rng);
             mc_secs += start.elapsed().as_secs_f64();
 
-            let set: std::collections::HashSet<_> =
-                indexed.iter().map(|ts| ts.node).collect();
+            let set: std::collections::HashSet<_> = indexed.iter().map(|ts| ts.node).collect();
             overlap_total += mc.iter().filter(|ts| set.contains(&ts.node)).count();
         }
         let denom = (sources.len() * k_targets) as f64;

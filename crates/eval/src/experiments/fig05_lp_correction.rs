@@ -24,7 +24,11 @@ pub struct Cell {
 
 /// Regenerate Fig. 5 and return (report, cells).
 pub fn run_with_data(profile: RunProfile, seed: u64) -> (String, Vec<Cell>) {
-    let kinds = [EstimatorKind::Mc, EstimatorKind::LpPlus, EstimatorKind::LpOriginal];
+    let kinds = [
+        EstimatorKind::Mc,
+        EstimatorKind::LpPlus,
+        EstimatorKind::LpOriginal,
+    ];
     let mut table = Table::new(
         "Figure 5 — reliability at convergence: MC vs LP+ vs LP",
         &["Dataset", "MC", "LP+", "LP", "LP inflation vs MC"],
@@ -39,7 +43,11 @@ pub fn run_with_data(profile: RunProfile, seed: u64) -> (String, Vec<Cell>) {
             let mut rng = env.rng(kind as u64 + 5);
             let run = run_convergence(est.as_mut(), &env.workload, &cfg, &mut rng);
             let r = run.final_point().metrics.avg_reliability;
-            cells.push(Cell { dataset, estimator: kind.display_name(), reliability: r });
+            cells.push(Cell {
+                dataset,
+                estimator: kind.display_name(),
+                reliability: r,
+            });
             by_kind.push(r);
         }
         table.row(vec![
@@ -47,7 +55,10 @@ pub fn run_with_data(profile: RunProfile, seed: u64) -> (String, Vec<Cell>) {
             format!("{:.4}", by_kind[0]),
             format!("{:.4}", by_kind[1]),
             format!("{:.4}", by_kind[2]),
-            format!("{:+.1}%", 100.0 * (by_kind[2] - by_kind[0]) / by_kind[0].max(1e-9)),
+            format!(
+                "{:+.1}%",
+                100.0 * (by_kind[2] - by_kind[0]) / by_kind[0].max(1e-9)
+            ),
         ]);
     }
     (table.render(), cells)

@@ -31,8 +31,7 @@ pub fn run_datasets(profile: RunProfile, seed: u64, datasets: &[Dataset]) -> Str
                 .iter()
                 .map(|p| format!("{}:{:.2}", p.metrics.k, p.metrics.rho * 1e3))
                 .collect();
-            let trend: Vec<f64> =
-                e.run.history.iter().map(|p| p.metrics.rho).collect();
+            let trend: Vec<f64> = e.run.history.iter().map(|p| p.metrics.rho).collect();
             table.row(vec![
                 e.kind.display_name().to_string(),
                 series.join("  "),

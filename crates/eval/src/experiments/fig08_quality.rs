@@ -21,13 +21,19 @@ pub fn run_with_data(profile: RunProfile, seed: u64) -> (String, Vec<(String, f6
     // reference is a mean over pairs).
     let mut mc = env.estimator(EstimatorKind::Mc);
     let mut rng = env.rng(0x8888);
-    let reference =
-        measure_at_k(mc.as_mut(), &env.workload, 10_000, 3, &mut rng).metrics.avg_reliability;
+    let reference = measure_at_k(mc.as_mut(), &env.workload, 10_000, 3, &mut rng)
+        .metrics
+        .avg_reliability;
 
     let entries = sweep(&env, &EstimatorKind::PAPER_SIX, &cfg);
     let mut table = Table::new(
         format!("Figure 8 — avg reliability vs K, BioMine analog (MC@10000 = {reference:.4})"),
-        &["Estimator", "Series (K: R_K)", "R @ convergence", "|Δ| vs reference"],
+        &[
+            "Estimator",
+            "Series (K: R_K)",
+            "R @ convergence",
+            "|Δ| vs reference",
+        ],
     );
     let mut deltas = Vec::new();
     for e in &entries {

@@ -29,10 +29,13 @@ pub fn run_dataset(profile: RunProfile, seed: u64, dataset: Dataset) -> String {
         .clone();
 
     let mut out = String::new();
-    for (metric_idx, metric_name) in
-        ["Relative Error (%)", "Running Time / query", "Peak aux memory / query"]
-            .iter()
-            .enumerate()
+    for (metric_idx, metric_name) in [
+        "Relative Error (%)",
+        "Running Time / query",
+        "Peak aux memory / query",
+    ]
+    .iter()
+    .enumerate()
     {
         let mut table = Table::new(
             format!("{metric_name} vs K — {dataset}"),
@@ -63,9 +66,11 @@ pub fn run_dataset(profile: RunProfile, seed: u64, dataset: Dataset) -> String {
 /// Regenerate Figs. 9, 10 and 11 (lastFM, AS Topology, BioMine).
 pub fn run(profile: RunProfile, seed: u64) -> String {
     let mut out = String::new();
-    for (fig, dataset) in
-        [(9, Dataset::LastFm), (10, Dataset::AsTopology), (11, Dataset::BioMine)]
-    {
+    for (fig, dataset) in [
+        (9, Dataset::LastFm),
+        (10, Dataset::AsTopology),
+        (11, Dataset::BioMine),
+    ] {
         out.push_str(&format!("---- Figure {fig} ----\n"));
         out.push_str(&run_dataset(profile, seed, dataset));
     }

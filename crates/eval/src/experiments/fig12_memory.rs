@@ -32,7 +32,13 @@ pub fn run_with_data(profile: RunProfile, seed: u64, datasets: &[Dataset]) -> (S
         let graph_bytes = env.graph.resident_bytes() as f64;
         let mut table = Table::new(
             format!("Figure 12 — online memory usage, {dataset}"),
-            &["Estimator", "Graph", "Resident (index/workspaces)", "Query peak", "Total"],
+            &[
+                "Estimator",
+                "Graph",
+                "Resident (index/workspaces)",
+                "Query peak",
+                "Total",
+            ],
         );
         // Memory is K-insensitive enough (paper §3.6) that a single
         // moderate-K measurement per estimator suffices.

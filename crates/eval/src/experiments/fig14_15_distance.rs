@@ -60,8 +60,10 @@ pub fn run_hops(profile: RunProfile, seed: u64, hops: &[usize]) -> String {
         for (i, e) in entries.iter().enumerate() {
             let conv = e.run.final_point();
             k_rows[i].push(e.run.final_k().to_string());
-            re_rows[i]
-                .push(format!("{:.2}", relative_error_pct(&conv.per_pair_means, &baseline)));
+            re_rows[i].push(format!(
+                "{:.2}",
+                relative_error_pct(&conv.per_pair_means, &baseline)
+            ));
             time_rows[i].push(fmt_secs(conv.metrics.avg_query_secs));
         }
     }
@@ -75,7 +77,12 @@ pub fn run_hops(profile: RunProfile, seed: u64, hops: &[usize]) -> String {
     for row in time_rows {
         time_table.row(row);
     }
-    format!("{}\n{}\n{}", k_table.render(), re_table.render(), time_table.render())
+    format!(
+        "{}\n{}\n{}",
+        k_table.render(),
+        re_table.render(),
+        time_table.render()
+    )
 }
 
 fn hop_header(hops: &[usize]) -> Vec<&'static str> {

@@ -41,11 +41,8 @@ pub fn run_thresholds(profile: RunProfile, seed: u64, thresholds: &[usize]) -> S
 
     for &th in thresholds {
         let mut rhh = RecursiveSampling::with_threshold(Arc::clone(&env.graph), th);
-        let mut rss = RecursiveStratified::with_params(
-            Arc::clone(&env.graph),
-            th,
-            env.params.rss_r,
-        );
+        let mut rss =
+            RecursiveStratified::with_params(Arc::clone(&env.graph), th, env.params.rss_r);
         let mut rng = env.rng(161 + th as u64);
         let rhh_point = measure_at_k(&mut rhh, &env.workload, k, repeats, &mut rng);
         let rss_point = measure_at_k(&mut rss, &env.workload, k, repeats, &mut rng);

@@ -8,11 +8,16 @@ use relcomp_ugraph::Dataset;
 pub fn run(profile: RunProfile, seed: u64) -> String {
     let mut table = Table::new(
         format!("Table 2 — dataset analog properties ({profile:?} profile)"),
-        &["Dataset", "#Nodes", "#Edges", "Prob mean±SD", "Quartiles {q1, med, q3}"],
+        &[
+            "Dataset",
+            "#Nodes",
+            "#Edges",
+            "Prob mean±SD",
+            "Quartiles {q1, med, q3}",
+        ],
     );
     for dataset in Dataset::ALL {
-        let scale =
-            (dataset.spec().default_scale * profile.scale_factor()).clamp(1e-6, 1.0);
+        let scale = (dataset.spec().default_scale * profile.scale_factor()).clamp(1e-6, 1.0);
         let graph = dataset.generate_with_scale(scale, seed);
         let props = dataset.properties(&graph);
         table.row(vec![
@@ -36,7 +41,14 @@ mod tests {
     #[test]
     fn renders_all_six_rows() {
         let out = run(RunProfile::Quick, 42);
-        for name in ["LastFM", "NetHEPT", "AS Topology", "DBLP 0.2", "DBLP 0.05", "BioMine"] {
+        for name in [
+            "LastFM",
+            "NetHEPT",
+            "AS Topology",
+            "DBLP 0.2",
+            "DBLP 0.05",
+            "BioMine",
+        ] {
             assert!(out.contains(name), "missing {name} in:\n{out}");
         }
     }

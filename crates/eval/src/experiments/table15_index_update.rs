@@ -16,7 +16,9 @@ pub fn run_with_data(profile: RunProfile, seed: u64) -> (String, Vec<(Dataset, f
         RunProfile::Paper => 1000,
     };
     let mut table = Table::new(
-        format!("Table 15 — BFS Sharing index update cost per query ({queries} successive queries)"),
+        format!(
+            "Table 15 — BFS Sharing index update cost per query ({queries} successive queries)"
+        ),
         &["Dataset", "Refresh time / query"],
     );
     let mut rows = Vec::new();

@@ -66,7 +66,14 @@ pub fn accuracy_from_sweep(dataset: Dataset, entries: &[SweepEntry]) -> Accuracy
 pub fn render(table: &AccuracyTable) -> String {
     let mut t = Table::new(
         format!("Tables 3-8 — relative error, {}", table.dataset),
-        &["Estimator", "K@conv", "R_K@conv", "RE@conv (%)", "R_K@1000", "RE@1000 (%)"],
+        &[
+            "Estimator",
+            "K@conv",
+            "R_K@conv",
+            "RE@conv (%)",
+            "R_K@1000",
+            "RE@1000 (%)",
+        ],
     );
     for (name, k, r_conv, re_conv, r_1000, re_1000) in &table.rows {
         t.row(vec![

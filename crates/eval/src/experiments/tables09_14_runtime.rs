@@ -26,8 +26,7 @@ pub fn runtime_from_sweep(dataset: Dataset, entries: &[SweepEntry]) -> RuntimeTa
         .iter()
         .map(|e| {
             let conv = e.run.final_point();
-            let per_sample_ms =
-                conv.metrics.avg_query_secs * 1e3 / conv.metrics.k as f64;
+            let per_sample_ms = conv.metrics.avg_query_secs * 1e3 / conv.metrics.k as f64;
             (
                 e.kind.display_name().to_string(),
                 e.run.final_k(),
@@ -44,7 +43,13 @@ pub fn runtime_from_sweep(dataset: Dataset, entries: &[SweepEntry]) -> RuntimeTa
 pub fn render(table: &RuntimeTable) -> String {
     let mut t = Table::new(
         format!("Tables 9-14 — running time, {}", table.dataset),
-        &["Estimator", "K@conv", "Time@conv (s)", "Time@1000 (s)", "Per sample (ms)"],
+        &[
+            "Estimator",
+            "K@conv",
+            "Time@conv (s)",
+            "Time@1000 (s)",
+            "Per sample (ms)",
+        ],
     );
     for (name, k, conv_s, k1000_s, per_ms) in &table.rows {
         t.row(vec![

@@ -25,7 +25,11 @@ impl PairRuns {
             return 0.0;
         }
         let mean = self.mean();
-        self.estimates.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        self.estimates
+            .iter()
+            .map(|r| (r - mean).powi(2))
+            .sum::<f64>()
+            / (n - 1) as f64
     }
 }
 
@@ -119,14 +123,18 @@ mod tests {
 
     #[test]
     fn pair_runs_mean_and_variance() {
-        let p = PairRuns { estimates: vec![0.2, 0.4, 0.6] };
+        let p = PairRuns {
+            estimates: vec![0.2, 0.4, 0.6],
+        };
         assert!((p.mean() - 0.4).abs() < 1e-12);
         assert!((p.variance() - 0.04).abs() < 1e-12);
     }
 
     #[test]
     fn degenerate_runs() {
-        let p = PairRuns { estimates: vec![0.5] };
+        let p = PairRuns {
+            estimates: vec![0.5],
+        };
         assert_eq!(p.variance(), 0.0);
         let empty = PairRuns { estimates: vec![] };
         assert_eq!(empty.mean(), 0.0);
@@ -135,8 +143,12 @@ mod tests {
     #[test]
     fn averages_over_pairs() {
         let pairs = vec![
-            PairRuns { estimates: vec![0.1, 0.1] },
-            PairRuns { estimates: vec![0.3, 0.5] },
+            PairRuns {
+                estimates: vec![0.1, 0.1],
+            },
+            PairRuns {
+                estimates: vec![0.3, 0.5],
+            },
         ];
         assert!((average_reliability(&pairs) - 0.25).abs() < 1e-12);
         assert!(average_variance(&pairs) > 0.0);

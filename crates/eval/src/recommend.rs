@@ -111,7 +111,10 @@ pub fn overall_recommendation() -> EstimatorKind {
 pub fn render_decision_tree() -> String {
     let mut out = String::new();
     out.push_str("Memory budget?\n");
-    for (mem, label) in [(MemoryBudget::Smaller, "smaller"), (MemoryBudget::Larger, "larger")] {
+    for (mem, label) in [
+        (MemoryBudget::Smaller, "smaller"),
+        (MemoryBudget::Larger, "larger"),
+    ] {
         out.push_str(&format!("├─ {label}\n"));
         for (var, vlabel) in [
             (VarianceNeed::Lower, "lower variance"),
@@ -149,8 +152,12 @@ mod tests {
 
     #[test]
     fn lowest_variance_needs_memory() {
-        assert!(recommend(MemoryBudget::Smaller, VarianceNeed::Lower, SpeedNeed::Faster)
-            .is_empty());
+        assert!(recommend(
+            MemoryBudget::Smaller,
+            VarianceNeed::Lower,
+            SpeedNeed::Faster
+        )
+        .is_empty());
         let r = recommend(MemoryBudget::Larger, VarianceNeed::Lower, SpeedNeed::Faster);
         assert_eq!(r, vec![EstimatorKind::Rss, EstimatorKind::Rhh]);
     }
@@ -158,8 +165,11 @@ mod tests {
     #[test]
     fn probtree_is_the_balanced_pick() {
         assert_eq!(overall_recommendation(), EstimatorKind::ProbTree);
-        let r =
-            recommend(MemoryBudget::Smaller, VarianceNeed::SlightlyLower, SpeedNeed::Faster);
+        let r = recommend(
+            MemoryBudget::Smaller,
+            VarianceNeed::SlightlyLower,
+            SpeedNeed::Faster,
+        );
         assert_eq!(r, vec![EstimatorKind::ProbTree]);
     }
 

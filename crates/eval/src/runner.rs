@@ -60,7 +60,10 @@ impl RunProfile {
 
     /// Convergence configuration for this profile.
     pub fn convergence(self) -> ConvergenceConfig {
-        ConvergenceConfig { repeats: self.repeats(), ..ConvergenceConfig::default() }
+        ConvergenceConfig {
+            repeats: self.repeats(),
+            ..ConvergenceConfig::default()
+        }
     }
 }
 
@@ -83,8 +86,7 @@ impl ExperimentEnv {
     /// Generate the dataset at `profile` scale and draw the shared
     /// workload at hop distance `hops`.
     pub fn prepare(dataset: Dataset, profile: RunProfile, hops: usize, seed: u64) -> Self {
-        let scale =
-            (dataset.spec().default_scale * profile.scale_factor()).clamp(1e-6, 1.0);
+        let scale = (dataset.spec().default_scale * profile.scale_factor()).clamp(1e-6, 1.0);
         let graph = Arc::new(dataset.generate_with_scale(scale, seed));
         let workload = Workload::generate(&graph, profile.pairs(), hops, seed ^ 0x5eed);
         // The BFS-Sharing index must cover the largest K the convergence
@@ -93,7 +95,13 @@ impl ExperimentEnv {
             bfs_sharing_worlds: profile.convergence().k_max,
             ..SuiteParams::default()
         };
-        ExperimentEnv { dataset, graph, workload, params, seed }
+        ExperimentEnv {
+            dataset,
+            graph,
+            workload,
+            params,
+            seed,
+        }
     }
 
     /// A deterministic RNG derived from the environment seed and a salt.
@@ -110,9 +118,11 @@ impl ExperimentEnv {
 
 fn kind_salt(kind: EstimatorKind) -> u64 {
     // Stable per-kind salt so index construction is reproducible.
-    kind.display_name().bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-        (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
-    })
+    kind.display_name()
+        .bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+        })
 }
 
 /// Result of sweeping one estimator: the convergence run plus a
@@ -191,7 +201,7 @@ mod tests {
 }
 
 /// Parallel variant of [`sweep`]: one worker thread per estimator
-/// (crossbeam scoped threads). Use for *accuracy/variance* experiments
+/// (std scoped threads). Use for *accuracy/variance* experiments
 /// only — concurrent workers contend for cores, so per-query wall times
 /// are noisier than the sequential [`sweep`]'s (which the timing tables
 /// use).
@@ -202,33 +212,37 @@ pub fn sweep_parallel(
 ) -> Vec<SweepEntry> {
     let mut out: Vec<Option<SweepEntry>> = Vec::new();
     out.resize_with(kinds.len(), || None);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (i, &kind) in kinds.iter().enumerate() {
             let env_ref = &*env;
-            handles.push((i, scope.spawn(move |_| {
-                let mut est = env_ref.estimator(kind);
-                let mut rng = env_ref.rng(kind_salt(kind) ^ 0x9e37_79b9);
-                let run = run_convergence(est.as_mut(), &env_ref.workload, cfg, &mut rng);
-                let at_1000 = match run.point_at(1000) {
-                    Some(p) => p.clone(),
-                    None => measure_at_k(
-                        est.as_mut(),
-                        &env_ref.workload,
-                        1000,
-                        cfg.repeats,
-                        &mut rng,
-                    ),
-                };
-                SweepEntry { kind, run, at_1000 }
-            })));
+            handles.push((
+                i,
+                scope.spawn(move || {
+                    let mut est = env_ref.estimator(kind);
+                    let mut rng = env_ref.rng(kind_salt(kind) ^ 0x9e37_79b9);
+                    let run = run_convergence(est.as_mut(), &env_ref.workload, cfg, &mut rng);
+                    let at_1000 = match run.point_at(1000) {
+                        Some(p) => p.clone(),
+                        None => measure_at_k(
+                            est.as_mut(),
+                            &env_ref.workload,
+                            1000,
+                            cfg.repeats,
+                            &mut rng,
+                        ),
+                    };
+                    SweepEntry { kind, run, at_1000 }
+                }),
+            ));
         }
         for (i, handle) in handles {
             out[i] = Some(handle.join().expect("sweep worker panicked"));
         }
-    })
-    .expect("crossbeam scope");
-    out.into_iter().map(|e| e.expect("all workers joined")).collect()
+    });
+    out.into_iter()
+        .map(|e| e.expect("all workers joined"))
+        .collect()
 }
 
 #[cfg(test)]

@@ -28,12 +28,7 @@ impl Workload {
     /// exactly `hops` (over the certain topology). Sources without any
     /// node at that distance are re-drawn; gives up (returning fewer
     /// pairs) after a generous retry budget on very sparse graphs.
-    pub fn generate(
-        graph: &UncertainGraph,
-        num_pairs: usize,
-        hops: usize,
-        seed: u64,
-    ) -> Workload {
+    pub fn generate(graph: &UncertainGraph, num_pairs: usize, hops: usize, seed: u64) -> Workload {
         assert!(hops >= 1, "hop distance must be >= 1");
         assert!(graph.num_nodes() > 1, "graph too small for a workload");
         let mut rng = ChaCha8Rng::seed_from_u64(seed);

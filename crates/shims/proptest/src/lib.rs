@@ -1,0 +1,388 @@
+//! Vendored, API-compatible subset of [`proptest`].
+//!
+//! Implements the surface this workspace's property tests use: the
+//! [`Strategy`] trait over numeric ranges, tuples, [`Just`],
+//! `prop_flat_map`, [`collection::vec`], the [`proptest!`] macro with
+//! `#![proptest_config(...)]`, and the `prop_assert!` / `prop_assert_eq!`
+//! / `prop_assume!` assertion macros.
+//!
+//! Unlike upstream there is **no shrinking**: a failing case panics with
+//! the case number and the run seed, which is enough to reproduce (runs
+//! are deterministic; set `PROPTEST_SEED` to vary them).
+//!
+//! [`proptest`]: https://crates.io/crates/proptest
+
+#![warn(missing_docs)]
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::ops::Range;
+
+/// The random source handed to strategies; deterministic per run.
+pub type TestRng = ChaCha8Rng;
+
+/// Why a single generated test case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: the case is discarded, not counted.
+    Reject,
+    /// `prop_assert!`-style failure: the property is violated.
+    Fail(String),
+}
+
+/// Configuration for one `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Cap on discarded cases before the run aborts.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 0,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config requiring `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            max_global_rejects: 0,
+        }
+    }
+
+    fn reject_budget(&self) -> u32 {
+        if self.max_global_rejects > 0 {
+            self.max_global_rejects
+        } else {
+            // Generous default: assumes may discard most cases.
+            self.cases.saturating_mul(64).max(1024)
+        }
+    }
+}
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Derive a strategy whose generation depends on a value from `self`
+    /// (monadic bind).
+    fn prop_flat_map<T: Strategy, F: Fn(Self::Value) -> T>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { source: self, f }
+    }
+
+    /// Derive a strategy mapping generated values through `f`.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+}
+
+/// A strategy producing one fixed value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone, Debug)]
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.source.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_strategy_int_range!(u8, u16, u32, u64, usize, f32, f64);
+
+macro_rules! impl_strategy_tuple {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_strategy_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Strategies for collections, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A strategy producing `Vec`s with length drawn from `size` and
+    /// elements drawn from `element`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Build a [`VecStrategy`].
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Drive one property: generate cases until `config.cases` pass, a case
+/// fails, or the reject budget is exhausted. Called by [`proptest!`];
+/// not part of the upstream API.
+#[doc(hidden)]
+pub fn run_proptest<F>(config: ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let seed = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0x9E3779B97F4A7C15);
+    let mut rng = TestRng::seed_from_u64(seed);
+    let mut passed: u32 = 0;
+    let mut rejected: u32 = 0;
+    let mut attempt: u32 = 0;
+    while passed < config.cases {
+        attempt += 1;
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                if rejected > config.reject_budget() {
+                    panic!(
+                        "proptest `{name}`: too many rejected cases \
+                         ({rejected} rejects, {passed} passes, seed {seed})"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest `{name}` failed at case #{attempt} (seed {seed}): {msg}");
+            }
+        }
+    }
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!("assertion failed: {}", ::std::stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion failed: `left == right`\n  left: {left:?}\n right: {right:?}"
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// Discard the current case unless a precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Define property tests, mirroring `proptest::proptest!`.
+///
+/// Each `fn name(pat in strategy, ...) { body }` becomes a `#[test]`
+/// that generates inputs from the strategies and runs the body per case.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat in $strategy:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::run_proptest(config, ::std::stringify!($name), |__proptest_rng| {
+                $(let $pat = $crate::Strategy::generate(&($strategy), __proptest_rng);)+
+                $body
+                ::std::result::Result::Ok(())
+            });
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges stay in bounds; tuples and vecs compose.
+        #[test]
+        fn generated_values_respect_strategies(
+            (n, xs) in (2usize..9).prop_flat_map(|n| {
+                (Just(n), collection::vec(0.5f64..1.0, 1..5))
+            }),
+            flag in 0u32..2,
+        ) {
+            prop_assert!((2..9).contains(&n));
+            prop_assert!(flag < 2, "flag {flag}");
+            prop_assert!(!xs.is_empty() && xs.len() < 5);
+            for x in &xs {
+                prop_assert!((0.5..1.0).contains(x));
+            }
+            prop_assert_eq!(n, n);
+        }
+
+        /// Assumes discard without failing.
+        #[test]
+        fn assume_discards(v in 0u64..10) {
+            prop_assume!(v % 2 == 0);
+            prop_assert!(v % 2 == 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics_with_case_number() {
+        crate::run_proptest(ProptestConfig::with_cases(8), "demo", |rng| {
+            let v = Strategy::generate(&(0u64..100), rng);
+            prop_assert!(v < 101);
+            prop_assert!(v % 2 == 1, "even value {v}");
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let collect = || {
+            let mut out = Vec::new();
+            crate::run_proptest(ProptestConfig::with_cases(16), "det", |rng| {
+                out.push(Strategy::generate(&(0u64..1_000_000), rng));
+                Ok(())
+            });
+            out
+        };
+        assert_eq!(collect(), collect());
+    }
+}

@@ -1,0 +1,499 @@
+//! Vendored, API-compatible subset of the [`rand`] crate.
+//!
+//! The build container has no crates.io access, so this shim implements
+//! exactly the surface the workspace uses: [`RngCore`], [`Rng`],
+//! [`SeedableRng`], [`seq::SliceRandom`], [`rngs::mock::StepRng`], and
+//! [`thread_rng`]. Algorithms are straightforward and deterministic; the
+//! statistical quality is more than sufficient for the Monte-Carlo
+//! estimators and tests in this workspace.
+//!
+//! [`rand`]: https://crates.io/crates/rand
+
+#![warn(missing_docs)]
+
+/// The core of a random number generator: raw word and byte output.
+///
+/// Object-safe, mirroring `rand::RngCore`; estimators in this workspace
+/// take `&mut dyn RngCore` on their hot paths.
+pub trait RngCore {
+    /// Return the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Return the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&word[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Types that can be sampled uniformly from an RNG's raw output
+/// (the shim's equivalent of sampling from `rand`'s `Standard`
+/// distribution).
+pub trait StandardSample: Sized {
+    /// Draw one value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty => $via:ident),* $(,)?) => {$(
+        impl StandardSample for $t {
+            #[inline]
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.$via() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(
+    u8 => next_u32, u16 => next_u32, u32 => next_u32,
+    u64 => next_u64, usize => next_u64,
+    i8 => next_u32, i16 => next_u32, i32 => next_u32,
+    i64 => next_u64, isize => next_u64,
+);
+
+impl StandardSample for bool {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Use the high bit: low bits of some generators are weaker.
+        rng.next_u32() & 0x8000_0000 != 0
+    }
+}
+
+impl StandardSample for f64 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw a uniform value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform draw from `0..span` by widening-multiply rejection (Lemire):
+/// unbiased and branch-light for the small spans used here.
+#[inline]
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    loop {
+        let x = rng.next_u64();
+        let hi = ((x as u128 * span as u128) >> 64) as u64;
+        let lo = (x as u128 * span as u128) as u64;
+        if lo >= span || lo >= span.wrapping_neg() % span {
+            return hi;
+        }
+    }
+}
+
+macro_rules! impl_range_uint {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + uniform_below(rng, span) as $t
+            }
+        }
+
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                // Inclusive count, minus one so a full-domain range (count
+                // 2^64 for u64) stays representable: count - 1 == u64::MAX.
+                let span_minus_one = (end - start) as u64;
+                let Some(span) = span_minus_one.checked_add(1) else {
+                    return rng.next_u64() as $t;
+                };
+                start + uniform_below(rng, span) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_range_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                // Exact span via two's complement: the true difference is
+                // in (0, 2^64), which wrapping i64 arithmetic preserves
+                // mod 2^64; narrower types widen losslessly first.
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                self.start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span_minus_one = (end as i64).wrapping_sub(start as i64) as u64;
+                let Some(span) = span_minus_one.checked_add(1) else {
+                    return rng.next_u64() as $t;
+                };
+                start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_float {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let unit = <$t as StandardSample>::sample_standard(rng);
+                self.start + unit * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+impl_range_float!(f32, f64);
+
+/// Convenience extension methods over [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Sample a value of type `T` from the standard distribution
+    /// (uniform over the type's natural domain; `[0, 1)` for floats).
+    #[inline]
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Sample uniformly from `range`.
+    #[inline]
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Return `true` with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A reproducible generator constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed type (a fixed-size byte array).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Construct from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct by expanding a `u64` through SplitMix64, matching the
+    /// upstream default's intent (distinct small seeds give well-mixed,
+    /// independent states).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64 { state };
+        let bytes = seed.as_mut();
+        let mut i = 0;
+        while i < bytes.len() {
+            let word = sm.next_u64().to_le_bytes();
+            let n = word.len().min(bytes.len() - i);
+            bytes[i..i + n].copy_from_slice(&word[..n]);
+            i += n;
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// SplitMix64: seed expander and the engine behind [`thread_rng`].
+#[derive(Clone, Debug)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SplitMix64};
+
+    /// A non-cryptographic generator seeded from process-unique entropy.
+    ///
+    /// Unlike the upstream thread-local handle this is a plain owned
+    /// value, which is all the workspace needs (it appears only in
+    /// documentation examples).
+    #[derive(Clone, Debug)]
+    pub struct ThreadRng(pub(crate) SplitMix64);
+
+    impl RngCore for ThreadRng {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            (self.0.next_u64() >> 32) as u32
+        }
+
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    /// Mock generators for deterministic tests, mirroring `rand::rngs::mock`.
+    pub mod mock {
+        use super::super::RngCore;
+
+        /// A mock generator returning an arithmetic sequence of `u64`s.
+        ///
+        /// `next_u64` yields `initial`, `initial + increment`,
+        /// `initial + 2 * increment`, ... (wrapping); `next_u32` truncates.
+        #[derive(Clone, Debug)]
+        pub struct StepRng {
+            value: u64,
+            increment: u64,
+        }
+
+        impl StepRng {
+            /// Create a new `StepRng`.
+            pub fn new(initial: u64, increment: u64) -> Self {
+                Self {
+                    value: initial,
+                    increment,
+                }
+            }
+        }
+
+        impl RngCore for StepRng {
+            #[inline]
+            fn next_u32(&mut self) -> u32 {
+                self.next_u64() as u32
+            }
+
+            #[inline]
+            fn next_u64(&mut self) -> u64 {
+                let out = self.value;
+                self.value = self.value.wrapping_add(self.increment);
+                out
+            }
+        }
+    }
+}
+
+/// Return a generator seeded from process-unique entropy (address-space
+/// layout and wall clock). Suitable for examples and exploratory use;
+/// experiments should seed an explicit generator instead.
+pub fn thread_rng() -> rngs::ThreadRng {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    let t = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x5EED);
+    let stack_probe = 0u8;
+    let aslr = &stack_probe as *const u8 as u64;
+    let mut sm = SplitMix64 {
+        state: t ^ aslr.rotate_left(32),
+    };
+    let state = sm.next_u64();
+    rngs::ThreadRng(SplitMix64 { state })
+}
+
+/// Sequence-related extensions, mirroring `rand::seq`.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Extension methods on slices: random choice and shuffling.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Uniformly choose one element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// Shuffle the slice in place (Fisher-Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, rng.gen_range(0..i + 1));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::mock::StepRng;
+    use super::*;
+
+    #[test]
+    fn step_rng_steps() {
+        let mut r = StepRng::new(0, 1);
+        assert_eq!(r.next_u64(), 0);
+        assert_eq!(r.next_u64(), 1);
+        assert_eq!(r.next_u64(), 2);
+    }
+
+    #[test]
+    fn gen_range_is_in_bounds() {
+        let mut r = thread_rng();
+        for _ in 0..1000 {
+            let x: usize = r.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let f: f64 = r.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_inclusive_handles_domain_edges() {
+        let mut r = thread_rng();
+        for _ in 0..200 {
+            let x: u8 = r.gen_range(1u8..=u8::MAX);
+            assert!(x >= 1);
+            let _: u64 = r.gen_range(0u64..=u64::MAX);
+            let y: u64 = r.gen_range(1u64..=u64::MAX);
+            assert!(y >= 1);
+            let z: u32 = r.gen_range(5u32..=5);
+            assert_eq!(z, 5);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_span() {
+        let mut r = thread_rng();
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.gen_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_range_signed_spans_zero_and_domain_edges() {
+        let mut r = thread_rng();
+        let mut seen_neg = false;
+        let mut seen_pos = false;
+        for _ in 0..500 {
+            let x = r.gen_range(-3i32..3);
+            assert!((-3..3).contains(&x));
+            seen_neg |= x < 0;
+            seen_pos |= x >= 0;
+            let y: i8 = r.gen_range(i8::MIN..=i8::MAX);
+            let _ = y; // full domain must not overflow
+            let z: i64 = r.gen_range(i64::MIN..i64::MAX);
+            assert!(z < i64::MAX);
+            let w: i32 = r.gen_range(-5i32..=-5);
+            assert_eq!(w, -5);
+        }
+        assert!(seen_neg && seen_pos, "both signs should appear");
+    }
+
+    #[test]
+    fn choose_and_shuffle() {
+        use super::seq::SliceRandom;
+        let mut r = thread_rng();
+        let items = [1, 2, 3];
+        assert!(items.choose(&mut r).is_some());
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut r).is_none());
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic_via_chacha_like_seed() {
+        struct S([u8; 32]);
+        impl SeedableRng for S {
+            type Seed = [u8; 32];
+            fn from_seed(seed: [u8; 32]) -> Self {
+                S(seed)
+            }
+        }
+        assert_eq!(S::seed_from_u64(7).0, S::seed_from_u64(7).0);
+        assert_ne!(S::seed_from_u64(7).0, S::seed_from_u64(8).0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Vendored ChaCha-based generator compatible with the shim [`rand`] traits.
+//!
+//! Implements the genuine ChaCha stream cipher (D. J. Bernstein) with 8
+//! double-rounds as [`ChaCha8Rng`]. The raw keystream differs from the
+//! upstream `rand_chacha` crate only in block scheduling details; within
+//! this workspace every consumer treats the stream as an opaque uniform
+//! source, so the distinction is immaterial. Determinism per seed — the
+//! property all experiments and tests rely on — is exact.
+
+#![warn(missing_docs)]
+
+use rand::{RngCore, SeedableRng};
+
+const BLOCK_WORDS: usize = 16;
+
+/// A ChaCha generator with 8 rounds: the paper-standard fast variant used
+/// for reproducible Monte-Carlo sampling.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    /// Cipher input block: constants, 256-bit key, 64-bit counter, 64-bit
+    /// stream id.
+    state: [u32; BLOCK_WORDS],
+    /// Buffered keystream block.
+    buf: [u32; BLOCK_WORDS],
+    /// Next unread index into `buf`; `BLOCK_WORDS` forces a refill.
+    idx: usize,
+}
+
+#[inline(always)]
+fn quarter_round(s: &mut [u32; BLOCK_WORDS], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    /// Number of ChaCha rounds (4 column + 4 diagonal double-rounds).
+    const ROUNDS: usize = 8;
+
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..(Self::ROUNDS / 2) {
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (&w, &s)) in self
+            .buf
+            .iter_mut()
+            .zip(working.iter().zip(self.state.iter()))
+        {
+            *out = w.wrapping_add(s);
+        }
+        // 64-bit block counter in words 12-13.
+        let (lo, carry) = self.state[12].overflowing_add(1);
+        self.state[12] = lo;
+        if carry {
+            self.state[13] = self.state[13].wrapping_add(1);
+        }
+        self.idx = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut state = [0u32; BLOCK_WORDS];
+        // "expand 32-byte k" sigma constants.
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            state[4 + i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        // Counter and stream id start at zero.
+        Self {
+            state,
+            buf: [0; BLOCK_WORDS],
+            idx: BLOCK_WORDS,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        if self.idx >= BLOCK_WORDS {
+            self.refill();
+        }
+        let word = self.buf[self.idx];
+        self.idx += 1;
+        word
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn stream_is_roughly_uniform() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        let ones: u32 = (0..1000).map(|_| rng.next_u32().count_ones()).sum();
+        let frac = ones as f64 / (1000.0 * 32.0);
+        assert!((frac - 0.5).abs() < 0.01, "bit fraction {frac}");
+    }
+
+    #[test]
+    fn chacha_core_matches_reference_structure() {
+        // Same seed, interleaved u32/u64 reads stay consistent with a
+        // pure u32 stream.
+        let mut a = ChaCha8Rng::seed_from_u64(5);
+        let mut b = ChaCha8Rng::seed_from_u64(5);
+        let w0 = a.next_u32();
+        let w1 = a.next_u32();
+        assert_eq!(b.next_u64(), (w0 as u64) | ((w1 as u64) << 32));
+    }
+}

@@ -1,0 +1,347 @@
+//! Vendored `#[derive(Serialize, Deserialize)]` macros for the shim
+//! [`serde`] crate.
+//!
+//! Implemented with hand-rolled token parsing (the container has neither
+//! `syn` nor `quote`). Supports the shapes this workspace uses:
+//!
+//! * structs with named fields — serialized as JSON objects in field
+//!   declaration order;
+//! * single-field tuple structs (newtypes, `#[serde(transparent)]` or
+//!   not) — serialized as the inner value, matching upstream serde;
+//! * fieldless enums — serialized as the variant name string.
+//!
+//! Anything else (generics, data-carrying enums, unions) is rejected with
+//! a compile error naming the unsupported shape.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` for a supported item shape.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derive `serde::Deserialize` for a supported item shape.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Item {
+    /// `struct Name { a: T, b: U }`
+    Struct { name: String, fields: Vec<String> },
+    /// `struct Name(T);`
+    Newtype { name: String },
+    /// `enum Name { A, B, C }`
+    Enum { name: String, variants: Vec<String> },
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => generate(&item, mode),
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+/// `true` for an identifier token equal to `word`.
+fn is_ident(tok: Option<&TokenTree>, word: &str) -> bool {
+    matches!(tok, Some(TokenTree::Ident(i)) if i.to_string() == word)
+}
+
+fn is_punct(tok: Option<&TokenTree>, ch: char) -> bool {
+    matches!(tok, Some(TokenTree::Punct(p)) if p.as_char() == ch)
+}
+
+/// Skip `#[...]` attribute groups starting at `i`; returns the next index.
+fn skip_attrs(toks: &[TokenTree], mut i: usize) -> usize {
+    while is_punct(toks.get(i), '#') {
+        i += 2; // '#' then the bracketed group
+    }
+    i
+}
+
+/// Skip `pub` / `pub(...)` starting at `i`; returns the next index.
+fn skip_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    if is_ident(toks.get(i), "pub") {
+        i += 1;
+        if matches!(toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&toks, skip_attrs(&toks, 0));
+
+    let keyword = match toks.get(i) {
+        Some(TokenTree::Ident(kw)) => kw.to_string(),
+        other => {
+            return Err(format!(
+                "serde shim derive: expected item keyword, found {other:?}"
+            ))
+        }
+    };
+    i += 1;
+
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(n)) => n.to_string(),
+        other => {
+            return Err(format!(
+                "serde shim derive: expected item name, found {other:?}"
+            ))
+        }
+    };
+    i += 1;
+
+    if is_punct(toks.get(i), '<') {
+        return Err(format!(
+            "serde shim derive: generic type `{name}` is unsupported"
+        ));
+    }
+
+    match keyword.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Struct {
+                fields: parse_named_fields(g.stream(), &name)?,
+                name,
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if count_top_level_fields(&inner) != 1 {
+                    return Err(format!(
+                        "serde shim derive: tuple struct `{name}` must have exactly one field"
+                    ));
+                }
+                Ok(Item::Newtype { name })
+            }
+            other => Err(format!(
+                "serde shim derive: unsupported struct body {other:?}"
+            )),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                variants: parse_fieldless_variants(g.stream(), &name)?,
+                name,
+            }),
+            other => Err(format!(
+                "serde shim derive: unsupported enum body {other:?}"
+            )),
+        },
+        other => Err(format!(
+            "serde shim derive: unsupported item kind `{other}`"
+        )),
+    }
+}
+
+/// Count comma-separated entries at angle-bracket depth 0.
+fn count_top_level_fields(toks: &[TokenTree]) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut saw_tokens = false;
+    for tok in toks {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                fields += 1;
+                saw_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens = true;
+    }
+    fields + usize::from(saw_tokens)
+}
+
+fn parse_named_fields(stream: TokenStream, name: &str) -> Result<Vec<String>, String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_vis(&toks, skip_attrs(&toks, i));
+        if i >= toks.len() {
+            break;
+        }
+        let field = match toks.get(i) {
+            Some(TokenTree::Ident(f)) => f.to_string(),
+            other => {
+                return Err(format!(
+                    "serde shim derive: expected field name in `{name}`, found {other:?}"
+                ))
+            }
+        };
+        i += 1;
+        if !is_punct(toks.get(i), ':') {
+            return Err(format!(
+                "serde shim derive: expected `:` after field `{field}` in `{name}`"
+            ));
+        }
+        i += 1;
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(field);
+    }
+    Ok(fields)
+}
+
+fn parse_fieldless_variants(stream: TokenStream, name: &str) -> Result<Vec<String>, String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let variant = match toks.get(i) {
+            Some(TokenTree::Ident(v)) => v.to_string(),
+            other => {
+                return Err(format!(
+                    "serde shim derive: expected variant name in `{name}`, found {other:?}"
+                ))
+            }
+        };
+        i += 1;
+        if matches!(toks.get(i), Some(TokenTree::Group(_))) {
+            return Err(format!(
+                "serde shim derive: enum `{name}` variant `{variant}` carries data (unsupported)"
+            ));
+        }
+        if toks.get(i).is_some() && !is_punct(toks.get(i), ',') {
+            return Err(format!(
+                "serde shim derive: unexpected token after variant `{variant}` in `{name}`"
+            ));
+        }
+        i += 1; // the comma (or past the end)
+        variants.push(variant);
+    }
+    Ok(variants)
+}
+
+fn generate(item: &Item, mode: Mode) -> String {
+    match (item, mode) {
+        (Item::Struct { name, fields }, Mode::Serialize) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]
+                impl ::serde::Serialize for {name} {{
+                    fn to_value(&self) -> ::serde::Value {{
+                        ::serde::Value::Object(::std::vec![{entries}])
+                    }}
+                }}"
+            )
+        }
+        (Item::Struct { name, fields }, Mode::Deserialize) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::get_field(fields, {f:?}, {name:?})?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]
+                impl ::serde::Deserialize for {name} {{
+                    fn from_value(value: &::serde::Value)
+                        -> ::std::result::Result<Self, ::serde::DeError> {{
+                        let fields = value.as_object().ok_or_else(||
+                            ::serde::DeError::expected(\"object\", {name:?}, value))?;
+                        ::std::result::Result::Ok(Self {{ {entries} }})
+                    }}
+                }}"
+            )
+        }
+        (Item::Newtype { name }, Mode::Serialize) => format!(
+            "#[automatically_derived]
+            impl ::serde::Serialize for {name} {{
+                fn to_value(&self) -> ::serde::Value {{
+                    ::serde::Serialize::to_value(&self.0)
+                }}
+            }}"
+        ),
+        (Item::Newtype { name }, Mode::Deserialize) => format!(
+            "#[automatically_derived]
+            impl ::serde::Deserialize for {name} {{
+                fn from_value(value: &::serde::Value)
+                    -> ::std::result::Result<Self, ::serde::DeError> {{
+                    ::std::result::Result::Ok(Self(::serde::Deserialize::from_value(value)?))
+                }}
+            }}"
+        ),
+        (Item::Enum { name, variants }, Mode::Serialize) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "Self::{v} => ::serde::Value::String(\
+                         ::std::string::String::from({v:?})),"
+                    )
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]
+                impl ::serde::Serialize for {name} {{
+                    fn to_value(&self) -> ::serde::Value {{
+                        match self {{ {arms} }}
+                    }}
+                }}"
+            )
+        }
+        (Item::Enum { name, variants }, Mode::Deserialize) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("::std::option::Option::Some({v:?}) => ::std::result::Result::Ok(Self::{v}),"))
+                .collect();
+            format!(
+                "#[automatically_derived]
+                impl ::serde::Deserialize for {name} {{
+                    fn from_value(value: &::serde::Value)
+                        -> ::std::result::Result<Self, ::serde::DeError> {{
+                        match value.as_str() {{
+                            {arms}
+                            ::std::option::Option::Some(other) =>
+                                ::std::result::Result::Err(::serde::DeError::custom(
+                                    ::std::format!(\"unknown {name} variant `{{other}}`\"))),
+                            ::std::option::Option::None =>
+                                ::std::result::Result::Err(::serde::DeError::expected(
+                                    \"string\", {name:?}, value)),
+                        }}
+                    }}
+                }}"
+            )
+        }
+    }
+}

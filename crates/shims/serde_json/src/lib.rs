@@ -1,0 +1,522 @@
+//! Vendored, API-compatible subset of [`serde_json`]: a JSON printer and
+//! recursive-descent parser over the shim `serde` [`Value`] model.
+//!
+//! Supports the workspace's usage: [`to_string`], [`to_string_pretty`],
+//! and [`from_str`] for types deriving the shim serde traits. Numbers are
+//! printed losslessly for integers up to 64 bits and via `{:?}` (shortest
+//! round-trip representation) for floats.
+//!
+//! [`serde_json`]: https://crates.io/crates/serde_json
+
+#![warn(missing_docs)]
+
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::fmt;
+
+/// Error produced by JSON parsing or value conversion.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Error {
+    message: String,
+    /// 1-based line of the error, when it came from text parsing.
+    line: Option<usize>,
+}
+
+impl Error {
+    fn syntax(message: impl Into<String>, line: usize) -> Self {
+        Error {
+            message: message.into(),
+            line: Some(line),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(line) => write!(f, "{} at line {line}", self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error {
+            message: e.to_string(),
+            line: None,
+        }
+    }
+}
+
+/// Serialize `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialize `value` as pretty-printed JSON (two-space indentation).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Deserialize a `T` from JSON text.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse_value_complete(text)?;
+    Ok(T::from_value(&value)?)
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(x) => write_float(out, *x),
+        Value::String(s) => write_json_string(out, s),
+        Value::Array(items) => write_seq(out, indent, depth, items.len(), '[', ']', |out, i, d| {
+            write_value(out, &items[i], indent, d)
+        }),
+        Value::Object(fields) => {
+            write_seq(out, indent, depth, fields.len(), '{', '}', |out, i, d| {
+                let (key, v) = &fields[i];
+                write_json_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, v, indent, d)
+            })
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    len: usize,
+    open: char,
+    close: char,
+    mut write_item: impl FnMut(&mut String, usize, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat(' ').take(width * (depth + 1)));
+        }
+        write_item(out, i, depth + 1);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat(' ').take(width * depth));
+    }
+    out.push(close);
+}
+
+fn write_float(out: &mut String, x: f64) {
+    if x.is_finite() {
+        // `{:?}` is the shortest representation that round-trips; ensure
+        // a decimal point or exponent so the value re-parses as a float.
+        let s = format!("{x:?}");
+        out.push_str(&s);
+        if !s.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        // JSON has no NaN/Infinity; follow upstream in emitting null.
+        out.push_str("null");
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+fn parse_value_complete(text: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    p.skip_ws();
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::syntax(
+            "trailing characters after JSON value",
+            p.line,
+        ));
+    }
+    Ok(value)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                _ => break,
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::syntax(
+                format!("expected `{}`", b as char),
+                self.line,
+            ))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            Some(b) => Err(Error::syntax(
+                format!("unexpected character `{}`", b as char),
+                self.line,
+            )),
+            None => Err(Error::syntax("unexpected end of input", self.line)),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error::syntax(
+                format!("invalid literal, expected `{word}`"),
+                self.line,
+            ))
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::syntax("expected `,` or `]` in array", self.line)),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(Error::syntax("expected `,` or `}` in object", self.line)),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => self.parse_escape(&mut out)?,
+                Some(b) if b < 0x80 => {
+                    if b == b'\n' {
+                        self.line += 1;
+                    }
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    // Consume one multi-byte UTF-8 scalar. The input came
+                    // from a `&str`, so the leading byte reliably encodes
+                    // the sequence length and the sequence is valid.
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(self.pos..self.pos + len)
+                        .and_then(|c| std::str::from_utf8(c).ok())
+                        .ok_or_else(|| Error::syntax("invalid UTF-8", self.line))?;
+                    let c = chunk.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += len;
+                }
+                None => return Err(Error::syntax("unterminated string", self.line)),
+            }
+        }
+    }
+
+    /// Decode one backslash escape (cursor on the `\`), including
+    /// surrogate-pair `\uD800-\uDBFF` + `\uDC00-\uDFFF` sequences.
+    fn parse_escape(&mut self, out: &mut String) -> Result<(), Error> {
+        self.pos += 1; // the backslash
+        let b = self
+            .peek()
+            .ok_or_else(|| Error::syntax("unterminated escape", self.line))?;
+        self.pos += 1;
+        match b {
+            b'"' => out.push('"'),
+            b'\\' => out.push('\\'),
+            b'/' => out.push('/'),
+            b'n' => out.push('\n'),
+            b'r' => out.push('\r'),
+            b't' => out.push('\t'),
+            b'b' => out.push('\u{8}'),
+            b'f' => out.push('\u{c}'),
+            b'u' => {
+                let hi = self.read_hex4()?;
+                let c = match hi {
+                    0xD800..=0xDBFF => {
+                        // High surrogate: a `\uXXXX` low surrogate must follow.
+                        if self.peek() != Some(b'\\') || self.bytes.get(self.pos + 1) != Some(&b'u')
+                        {
+                            return Err(Error::syntax("unpaired high surrogate", self.line));
+                        }
+                        self.pos += 2;
+                        let lo = self.read_hex4()?;
+                        if !(0xDC00..=0xDFFF).contains(&lo) {
+                            return Err(Error::syntax(
+                                "expected low surrogate after high surrogate",
+                                self.line,
+                            ));
+                        }
+                        let scalar = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                        char::from_u32(scalar).expect("valid supplementary-plane scalar")
+                    }
+                    0xDC00..=0xDFFF => {
+                        return Err(Error::syntax("unpaired low surrogate", self.line));
+                    }
+                    _ => char::from_u32(hi).expect("BMP non-surrogate is a valid char"),
+                };
+                out.push(c);
+            }
+            _ => return Err(Error::syntax("invalid escape", self.line)),
+        }
+        Ok(())
+    }
+
+    /// Read 4 hex digits (cursor just past `\u`), advancing past them.
+    fn read_hex4(&mut self) -> Result<u32, Error> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .and_then(|h| u32::from_str_radix(h, 16).ok())
+            .ok_or_else(|| Error::syntax("invalid \\u escape", self.line))?;
+        self.pos += 4;
+        Ok(hex)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::syntax("invalid number", self.line))?;
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::syntax(format!("invalid number `{text}`"), self.line))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_compact_and_pretty() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::String("mc sampling".into())),
+            ("k".into(), Value::Int(8000)),
+            ("rho".into(), Value::Float(0.001)),
+            (
+                "history".into(),
+                Value::Array(vec![Value::Float(0.25), Value::Int(3)]),
+            ),
+            ("converged".into(), Value::Bool(true)),
+            ("note".into(), Value::Null),
+        ]);
+        for text in [
+            to_string(&Wrap(v.clone())).unwrap(),
+            to_string_pretty(&Wrap(v.clone())).unwrap(),
+        ] {
+            let back: WrapDe = from_str(&text).unwrap();
+            assert_eq!(back.0, v);
+        }
+    }
+
+    struct Wrap(Value);
+    impl Serialize for Wrap {
+        fn to_value(&self) -> Value {
+            self.0.clone()
+        }
+    }
+
+    #[derive(Debug)]
+    struct WrapDe(Value);
+    impl Deserialize for WrapDe {
+        fn from_value(value: &Value) -> Result<Self, DeError> {
+            Ok(WrapDe(value.clone()))
+        }
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = "line1\nline2\t\"quoted\" \\ done — ünïcode 日本語 🦀";
+        let text = to_string(&s.to_string()).unwrap();
+        let back: String = from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_and_lone_surrogates_error() {
+        // Python json.dumps-style ensure_ascii output for "😀".
+        let back: String = from_str(r#""\ud83d\ude00""#).unwrap();
+        assert_eq!(back, "😀");
+        let back: String = from_str(r#""pre \ud83d\ude00 post""#).unwrap();
+        assert_eq!(back, "pre 😀 post");
+        // BMP escapes still work.
+        let back: String = from_str(r#""\u00e9\u65e5""#).unwrap();
+        assert_eq!(back, "é日");
+        // Lone or mispaired surrogates are parse errors, not U+FFFD.
+        assert!(from_str::<String>(r#""\ud83d""#).is_err());
+        assert!(from_str::<String>(r#""\ud83dA""#).is_err());
+        assert!(from_str::<String>(r#""\ude00""#).is_err());
+    }
+
+    #[test]
+    fn large_strings_parse_in_linear_time() {
+        let s = "x".repeat(1_000_000) + "日本語";
+        let text = to_string(&s).unwrap();
+        let start = std::time::Instant::now();
+        let back: String = from_str(&text).unwrap();
+        assert_eq!(back, s);
+        // Quadratic re-validation took minutes here; linear is instant.
+        assert!(start.elapsed().as_secs() < 5, "string parse too slow");
+    }
+
+    #[test]
+    fn floats_reparse_exactly() {
+        for x in [0.1, 1.0, -2.5e-8, 123456.789, 1e300] {
+            let text = to_string(&x).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back, x, "{text}");
+        }
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let err = from_str::<f64>("[\n1,\n]").unwrap_err();
+        assert!(err.to_string().contains("line"), "{err}");
+        assert!(from_str::<f64>("1 trailing").is_err());
+        assert!(from_str::<f64>("{unquoted: 1}").is_err());
+    }
+}

@@ -79,10 +79,16 @@ impl GraphBuilder {
         p: Probability,
     ) -> Result<(), GraphError> {
         if u.index() >= self.num_nodes {
-            return Err(GraphError::NodeOutOfRange { node: u, num_nodes: self.num_nodes });
+            return Err(GraphError::NodeOutOfRange {
+                node: u,
+                num_nodes: self.num_nodes,
+            });
         }
         if v.index() >= self.num_nodes {
-            return Err(GraphError::NodeOutOfRange { node: v, num_nodes: self.num_nodes });
+            return Err(GraphError::NodeOutOfRange {
+                node: v,
+                num_nodes: self.num_nodes,
+            });
         }
         if u == v && !self.allow_self_loops {
             return Err(GraphError::SelfLoop(u));
@@ -106,7 +112,10 @@ impl GraphBuilder {
         match self.duplicate_policy {
             DuplicatePolicy::Error => {
                 // Validation happens in try_build; build() panics on misuse.
-                if let Some(w) = self.edges.windows(2).find(|w| (w[0].0, w[0].1) == (w[1].0, w[1].1))
+                if let Some(w) = self
+                    .edges
+                    .windows(2)
+                    .find(|w| (w[0].0, w[0].1) == (w[1].0, w[1].1))
                 {
                     panic!("duplicate directed edge {} -> {}", w[0].0, w[0].1);
                 }
@@ -136,8 +145,15 @@ impl GraphBuilder {
     pub fn try_build(mut self) -> Result<UncertainGraph, GraphError> {
         self.edges.sort_unstable_by_key(|&(u, v, _)| (u, v));
         if self.duplicate_policy == DuplicatePolicy::Error {
-            if let Some(w) = self.edges.windows(2).find(|w| (w[0].0, w[0].1) == (w[1].0, w[1].1)) {
-                return Err(GraphError::DuplicateEdge { from: w[0].0, to: w[0].1 });
+            if let Some(w) = self
+                .edges
+                .windows(2)
+                .find(|w| (w[0].0, w[0].1) == (w[1].0, w[1].1))
+            {
+                return Err(GraphError::DuplicateEdge {
+                    from: w[0].0,
+                    to: w[0].1,
+                });
             }
         }
         Ok(self.build())
@@ -178,7 +194,10 @@ mod tests {
         let mut b = GraphBuilder::new(2);
         b.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
         b.add_edge(NodeId(0), NodeId(1), 0.6).unwrap();
-        assert!(matches!(b.try_build(), Err(GraphError::DuplicateEdge { .. })));
+        assert!(matches!(
+            b.try_build(),
+            Err(GraphError::DuplicateEdge { .. })
+        ));
     }
 
     #[test]

@@ -98,7 +98,9 @@ impl Dataset {
                 paper_nodes: 15_233,
                 paper_edges: 62_774,
                 default_scale: 1.0,
-                model: ProbModel::UniformChoice { choices: vec![0.1, 0.01, 0.001] },
+                model: ProbModel::UniformChoice {
+                    choices: vec![0.1, 0.01, 0.001],
+                },
                 direction: Direction::Bidirected,
                 display_name: "NetHEPT",
             },
@@ -158,7 +160,10 @@ impl Dataset {
     /// Generate with an explicit scale factor in `(0, 1]` applied to the
     /// node count (edge count follows from the attachment density).
     pub fn generate_with_scale(self, scale: f64, seed: u64) -> UncertainGraph {
-        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1], got {scale}");
+        assert!(
+            scale > 0.0 && scale <= 1.0,
+            "scale must be in (0, 1], got {scale}"
+        );
         let spec = self.spec();
         let n = ((spec.paper_nodes as f64 * scale) as usize).max(512);
         let mut rng = ChaCha8Rng::seed_from_u64(seed ^ dataset_salt(self));
@@ -187,12 +192,12 @@ impl Dataset {
 /// across datasets.
 fn dataset_salt(d: Dataset) -> u64 {
     match d {
-        Dataset::LastFm => 0x1a57_f1,
-        Dataset::NetHept => 0x4e7_4e97,
+        Dataset::LastFm => 0x001a_57f1,
+        Dataset::NetHept => 0x04e7_4e97,
         Dataset::AsTopology => 0xa570_9010,
-        Dataset::Dblp02 => 0xdb1_9020,
-        Dataset::Dblp005 => 0xdb1_9005,
-        Dataset::BioMine => 0xb10_714e,
+        Dataset::Dblp02 => 0x0db1_9020,
+        Dataset::Dblp005 => 0x0db1_9005,
+        Dataset::BioMine => 0x0b10_714e,
     }
 }
 
@@ -222,8 +227,14 @@ mod tests {
         let a = Dataset::LastFm.generate_with_scale(0.1, 7);
         let b = Dataset::LastFm.generate_with_scale(0.1, 7);
         assert_eq!(a.num_edges(), b.num_edges());
-        let ea: Vec<_> = a.edges().map(|(_, u, v, p)| (u, v, p.value().to_bits())).collect();
-        let eb: Vec<_> = b.edges().map(|(_, u, v, p)| (u, v, p.value().to_bits())).collect();
+        let ea: Vec<_> = a
+            .edges()
+            .map(|(_, u, v, p)| (u, v, p.value().to_bits()))
+            .collect();
+        let eb: Vec<_> = b
+            .edges()
+            .map(|(_, u, v, p)| (u, v, p.value().to_bits()))
+            .collect();
         assert_eq!(ea, eb);
     }
 
@@ -244,7 +255,11 @@ mod tests {
         // Edge count within 25% of the paper's 23,696 (BA density m=2
         // bidirected gives ~4n directed edges).
         let ratio = g.num_edges() as f64 / spec.paper_edges as f64;
-        assert!((0.75..=1.35).contains(&ratio), "edges {} ratio {ratio}", g.num_edges());
+        assert!(
+            (0.75..=1.35).contains(&ratio),
+            "edges {} ratio {ratio}",
+            g.num_edges()
+        );
     }
 
     #[test]

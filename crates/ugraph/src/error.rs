@@ -40,7 +40,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfRange { node, num_nodes } => {
-                write!(f, "node {node} out of range for graph with {num_nodes} nodes")
+                write!(
+                    f,
+                    "node {node} out of range for graph with {num_nodes} nodes"
+                )
             }
             GraphError::InvalidProbability(e) => write!(f, "{e}"),
             GraphError::SelfLoop(n) => write!(f, "self-loop on node {n} is not allowed"),
@@ -83,14 +86,20 @@ mod tests {
 
     #[test]
     fn display_messages_mention_payload() {
-        let e = GraphError::NodeOutOfRange { node: NodeId(9), num_nodes: 5 };
+        let e = GraphError::NodeOutOfRange {
+            node: NodeId(9),
+            num_nodes: 5,
+        };
         assert!(e.to_string().contains('9'));
         assert!(e.to_string().contains('5'));
 
         let e = GraphError::SelfLoop(NodeId(3));
         assert!(e.to_string().contains('3'));
 
-        let e = GraphError::Parse { line: 12, message: "bad field".into() };
+        let e = GraphError::Parse {
+            line: 12,
+            message: "bad field".into(),
+        };
         assert!(e.to_string().contains("12"));
         assert!(e.to_string().contains("bad field"));
     }

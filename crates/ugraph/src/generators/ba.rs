@@ -14,13 +14,12 @@ use rand::Rng;
 /// to degree (implemented with the standard repeated-endpoint trick).
 ///
 /// Final edge count is roughly `n * m_attach`.
-pub fn barabasi_albert<R: Rng + ?Sized>(
-    n: usize,
-    m_attach: usize,
-    rng: &mut R,
-) -> UndirectedEdges {
+pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m_attach: usize, rng: &mut R) -> UndirectedEdges {
     assert!(m_attach >= 1, "attachment degree must be >= 1");
-    assert!(n > m_attach, "need n > m_attach (got n = {n}, m_attach = {m_attach})");
+    assert!(
+        n > m_attach,
+        "need n > m_attach (got n = {n}, m_attach = {m_attach})"
+    );
 
     let mut pairs: UndirectedEdges = Vec::with_capacity(n * m_attach);
     // `endpoints` holds one entry per edge endpoint; sampling uniformly from

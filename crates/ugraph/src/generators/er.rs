@@ -13,7 +13,10 @@ use rand::Rng;
 pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> UndirectedEdges {
     assert!(n >= 2 || m == 0, "need at least 2 nodes for any edge");
     let max_pairs = n.saturating_mul(n.saturating_sub(1)) / 2;
-    assert!(m <= max_pairs, "requested {m} edges but only {max_pairs} distinct pairs exist");
+    assert!(
+        m <= max_pairs,
+        "requested {m} edges but only {max_pairs} distinct pairs exist"
+    );
 
     // Rejection sampling is fine for the sparse graphs we generate
     // (m << n^2 in every dataset analog).

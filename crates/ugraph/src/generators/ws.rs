@@ -65,7 +65,7 @@ mod tests {
         let edges = watts_strogatz(10, 4, 0.0, &mut rng);
         assert_eq!(edges.len(), 10 * 4 / 2);
         // Every node has degree k.
-        let mut deg = vec![0usize; 10];
+        let mut deg = [0usize; 10];
         for &(u, v) in &edges {
             deg[u.index()] += 1;
             deg[v.index()] += 1;
@@ -78,7 +78,12 @@ mod tests {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2);
         let edges = watts_strogatz(200, 6, 0.3, &mut rng);
         let target = 200 * 6 / 2;
-        assert!(edges.len() >= target * 9 / 10, "len {} vs {}", edges.len(), target);
+        assert!(
+            edges.len() >= target * 9 / 10,
+            "len {} vs {}",
+            edges.len(),
+            target
+        );
         assert!(edges.len() <= target);
     }
 

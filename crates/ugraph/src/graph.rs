@@ -38,7 +38,9 @@ impl UncertainGraph {
         num_nodes: usize,
         edges: &[(NodeId, NodeId, Probability)],
     ) -> Self {
-        debug_assert!(edges.windows(2).all(|w| (w[0].0, w[0].1) <= (w[1].0, w[1].1)));
+        debug_assert!(edges
+            .windows(2)
+            .all(|w| (w[0].0, w[0].1) <= (w[1].0, w[1].1)));
         let n = num_nodes;
         let m = edges.len();
 
@@ -75,7 +77,14 @@ impl UncertainGraph {
             cursor[v.index()] += 1;
         }
 
-        UncertainGraph { out_offsets, out_targets, sources, probs, in_offsets, in_edges }
+        UncertainGraph {
+            out_offsets,
+            out_targets,
+            sources,
+            probs,
+            in_offsets,
+            in_edges,
+        }
     }
 
     /// Number of nodes `n`.
@@ -104,7 +113,12 @@ impl UncertainGraph {
     /// All edges as `(EdgeId, from, to, prob)` in edge-id order.
     pub fn edges(&self) -> impl Iterator<Item = (EdgeId, NodeId, NodeId, Probability)> + '_ {
         (0..self.num_edges()).map(move |i| {
-            (EdgeId::from_index(i), self.sources[i], self.out_targets[i], self.probs[i])
+            (
+                EdgeId::from_index(i),
+                self.sources[i],
+                self.out_targets[i],
+                self.probs[i],
+            )
         })
     }
 
@@ -121,7 +135,9 @@ impl UncertainGraph {
     pub fn in_edges(&self, v: NodeId) -> impl Iterator<Item = (EdgeId, NodeId)> + '_ {
         let lo = self.in_offsets[v.index()] as usize;
         let hi = self.in_offsets[v.index() + 1] as usize;
-        self.in_edges[lo..hi].iter().map(move |&e| (e, self.sources[e.index()]))
+        self.in_edges[lo..hi]
+            .iter()
+            .map(move |&e| (e, self.sources[e.index()]))
     }
 
     /// Out-degree of `v`.
@@ -166,7 +182,10 @@ impl UncertainGraph {
         let lo = self.out_offsets[u.index()] as usize;
         let hi = self.out_offsets[u.index() + 1] as usize;
         let slice = &self.out_targets[lo..hi];
-        slice.binary_search(&v).ok().map(|off| EdgeId::from_index(lo + off))
+        slice
+            .binary_search(&v)
+            .ok()
+            .map(|off| EdgeId::from_index(lo + off))
     }
 
     /// Approximate resident bytes of the CSR itself — the baseline memory

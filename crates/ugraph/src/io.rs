@@ -125,7 +125,10 @@ pub fn read_graph_combine<R: Read>(input: R) -> Result<UncertainGraph, GraphErro
         }
     }
     builder
-        .ok_or_else(|| GraphError::Parse { line: 0, message: "missing header line `n m`".into() })
+        .ok_or_else(|| GraphError::Parse {
+            line: 0,
+            message: "missing header line `n m`".into(),
+        })
         .map(|b| b.build())
 }
 
@@ -134,9 +137,10 @@ fn parse_field<'a, T: std::str::FromStr>(
     line: usize,
     what: &str,
 ) -> Result<T, GraphError> {
-    let raw = parts
-        .next()
-        .ok_or_else(|| GraphError::Parse { line, message: format!("missing {what}") })?;
+    let raw = parts.next().ok_or_else(|| GraphError::Parse {
+        line,
+        message: format!("missing {what}"),
+    })?;
     raw.parse().map_err(|_| GraphError::Parse {
         line,
         message: format!("cannot parse {what} from `{raw}`"),
@@ -333,7 +337,12 @@ mod binary_tests {
         super::write_graph(&g, &mut text).unwrap();
         let mut bin = Vec::new();
         write_graph_binary(&g, &mut bin).unwrap();
-        assert!(bin.len() < text.len(), "bin {} vs text {}", bin.len(), text.len());
+        assert!(
+            bin.len() < text.len(),
+            "bin {} vs text {}",
+            bin.len(),
+            text.len()
+        );
     }
 
     #[test]

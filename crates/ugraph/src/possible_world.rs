@@ -22,7 +22,10 @@ pub struct PossibleWorld {
 impl PossibleWorld {
     /// An empty world (no edges present) for a graph with `m` edges.
     pub fn empty(m: usize) -> Self {
-        PossibleWorld { bits: vec![0; m.div_ceil(64)], num_edges: m }
+        PossibleWorld {
+            bits: vec![0; m.div_ceil(64)],
+            num_edges: m,
+        }
     }
 
     /// Sample a world edge-by-edge with independent probabilities (Eq. 1).
@@ -63,7 +66,11 @@ impl PossibleWorld {
     pub fn probability(&self, graph: &UncertainGraph) -> f64 {
         let mut pr = 1.0;
         for (e, _, _, p) in graph.edges() {
-            pr *= if self.contains(e) { p.value() } else { p.complement() };
+            pr *= if self.contains(e) {
+                p.value()
+            } else {
+                p.complement()
+            };
         }
         pr
     }
@@ -84,7 +91,10 @@ impl PossibleWorld {
 /// (the exact oracle is for test-scale graphs only).
 pub fn enumerate_worlds(graph: &UncertainGraph) -> impl Iterator<Item = PossibleWorld> + '_ {
     let m = graph.num_edges();
-    assert!(m <= 26, "world enumeration is exponential; refusing m = {m} > 26");
+    assert!(
+        m <= 26,
+        "world enumeration is exponential; refusing m = {m} > 26"
+    );
     (0u64..(1u64 << m)).map(move |mask| {
         let mut w = PossibleWorld::empty(m);
         for i in 0..m {

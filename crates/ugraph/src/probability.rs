@@ -49,8 +49,7 @@ impl Probability {
     /// NaN) to `1`. Intended for probability *models* that compute values
     /// numerically (e.g. `1 - exp(-c/mu)`) and may brush the boundary.
     pub fn clamped(p: f64) -> Self {
-        if !(p > 0.0) {
-            // catches NaN and non-positive
+        if p.is_nan() || p <= 0.0 {
             Probability(Self::MIN_POSITIVE)
         } else if p > 1.0 {
             Probability(1.0)

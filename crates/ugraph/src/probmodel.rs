@@ -117,11 +117,16 @@ impl ProbModel {
             ProbModel::InverseOutDegree => {
                 for &(u, v) in &arcs {
                     let p = 1.0 / out_deg[u.index()].max(1) as f64;
-                    builder.add_edge_prob(u, v, Probability::clamped(p)).expect("validated");
+                    builder
+                        .add_edge_prob(u, v, Probability::clamped(p))
+                        .expect("validated");
                 }
             }
             ProbModel::UniformChoice { choices } => {
-                assert!(!choices.is_empty(), "UniformChoice needs at least one probability");
+                assert!(
+                    !choices.is_empty(),
+                    "UniformChoice needs at least one probability"
+                );
                 // One draw per undirected pair, shared by both directions.
                 let mut pair_prob = std::collections::HashMap::with_capacity(pairs.len());
                 for &(u, v) in pairs {
@@ -130,7 +135,9 @@ impl ProbModel {
                 }
                 for &(u, v) in &arcs {
                     let p = pair_prob[&(u.min(v), u.max(v))];
-                    builder.add_edge_prob(u, v, Probability::clamped(p)).expect("validated");
+                    builder
+                        .add_edge_prob(u, v, Probability::clamped(p))
+                        .expect("validated");
                 }
             }
             ProbModel::SnapshotRatio { snapshots } => {
@@ -151,7 +158,9 @@ impl ProbModel {
                 }
                 for &(u, v) in &arcs {
                     let p = pair_prob[&(u.min(v), u.max(v))];
-                    builder.add_edge_prob(u, v, Probability::clamped(p)).expect("validated");
+                    builder
+                        .add_edge_prob(u, v, Probability::clamped(p))
+                        .expect("validated");
                 }
             }
             ProbModel::ExponentialCollab { mu } => {
@@ -168,7 +177,9 @@ impl ProbModel {
                 }
                 for &(u, v) in &arcs {
                     let p = pair_prob[&(u.min(v), u.max(v))];
-                    builder.add_edge_prob(u, v, Probability::clamped(p)).expect("validated");
+                    builder
+                        .add_edge_prob(u, v, Probability::clamped(p))
+                        .expect("validated");
                 }
             }
             ProbModel::BioMine => {
@@ -178,7 +189,9 @@ impl ProbModel {
                     let deg = (total_deg[u.index()] + total_deg[v.index()]) as f64;
                     let informativeness = 1.0 / (std::f64::consts::E + deg).ln();
                     let p = (relevance * confidence).sqrt() * (2.0 * informativeness);
-                    builder.add_edge_prob(u, v, Probability::clamped(p)).expect("validated");
+                    builder
+                        .add_edge_prob(u, v, Probability::clamped(p))
+                        .expect("validated");
                 }
             }
         }
@@ -221,12 +234,10 @@ mod tests {
         let (n, pairs) = topology(3);
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         let choices = vec![0.1, 0.01, 0.001];
-        let g = ProbModel::UniformChoice { choices: choices.clone() }.apply(
-            n,
-            &pairs,
-            Direction::Bidirected,
-            &mut rng,
-        );
+        let g = ProbModel::UniformChoice {
+            choices: choices.clone(),
+        }
+        .apply(n, &pairs, Direction::Bidirected, &mut rng);
         for (_, _, _, p) in g.edges() {
             assert!(choices.iter().any(|&c| (p.value() - c).abs() < 1e-12));
         }
@@ -239,12 +250,10 @@ mod tests {
     fn uniform_choice_is_symmetric_per_pair() {
         let (n, pairs) = topology(5);
         let mut rng = ChaCha8Rng::seed_from_u64(6);
-        let g = ProbModel::UniformChoice { choices: vec![0.1, 0.01, 0.001] }.apply(
-            n,
-            &pairs,
-            Direction::Bidirected,
-            &mut rng,
-        );
+        let g = ProbModel::UniformChoice {
+            choices: vec![0.1, 0.01, 0.001],
+        }
+        .apply(n, &pairs, Direction::Bidirected, &mut rng);
         for (_, u, v, p) in g.edges() {
             let back = g.find_edge(v, u).expect("bidirected");
             assert_eq!(g.prob(back).value(), p.value());
@@ -315,7 +324,9 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(16);
         for model in [
             ProbModel::InverseOutDegree,
-            ProbModel::UniformChoice { choices: vec![0.1, 0.01, 0.001] },
+            ProbModel::UniformChoice {
+                choices: vec![0.1, 0.01, 0.001],
+            },
             ProbModel::SnapshotRatio { snapshots: 60 },
             ProbModel::ExponentialCollab { mu: 5.0 },
             ProbModel::BioMine,

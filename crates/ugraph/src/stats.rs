@@ -56,7 +56,10 @@ impl Summary {
 /// Linear-interpolated quantile of a sorted slice, `q` in `[0, 1]`.
 pub fn quantile(sorted: &[f64], q: f64) -> f64 {
     assert!(!sorted.is_empty(), "quantile of empty slice");
-    assert!((0.0..=1.0).contains(&q), "quantile fraction out of range: {q}");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile fraction out of range: {q}"
+    );
     if sorted.len() == 1 {
         return sorted[0];
     }

@@ -40,9 +40,8 @@ pub fn induced_subgraph(graph: &UncertainGraph, nodes: &[NodeId]) -> Subgraph {
     let mut from_parent: HashMap<NodeId, NodeId> = HashMap::with_capacity(nodes.len());
     for &v in nodes {
         assert!(graph.contains_node(v), "node {v} out of range");
-        if !from_parent.contains_key(&v) {
-            let local = NodeId::from_index(to_parent.len());
-            from_parent.insert(v, local);
+        if let std::collections::hash_map::Entry::Vacant(e) = from_parent.entry(v) {
+            e.insert(NodeId::from_index(to_parent.len()));
             to_parent.push(v);
         }
     }
@@ -50,11 +49,16 @@ pub fn induced_subgraph(graph: &UncertainGraph, nodes: &[NodeId]) -> Subgraph {
     for (&parent, &local) in &from_parent {
         for (e, w) in graph.out_edges(parent) {
             if let Some(&local_w) = from_parent.get(&w) {
-                b.add_edge_prob(local, local_w, graph.prob(e)).expect("validated");
+                b.add_edge_prob(local, local_w, graph.prob(e))
+                    .expect("validated");
             }
         }
     }
-    Subgraph { graph: b.build(), to_parent, from_parent }
+    Subgraph {
+        graph: b.build(),
+        to_parent,
+        from_parent,
+    }
 }
 
 /// K-hop ego network around `center`: the induced subgraph over every
@@ -79,7 +83,8 @@ mod tests {
     fn chain(n: usize) -> UncertainGraph {
         let mut b = GraphBuilder::new(n);
         for i in 0..n - 1 {
-            b.add_edge(NodeId(i as u32), NodeId(i as u32 + 1), 0.5).unwrap();
+            b.add_edge(NodeId(i as u32), NodeId(i as u32 + 1), 0.5)
+                .unwrap();
         }
         b.build()
     }

@@ -19,7 +19,10 @@ pub struct VisitSet {
 impl VisitSet {
     /// A visit set for `n` nodes, initially all unvisited.
     pub fn new(n: usize) -> Self {
-        VisitSet { marks: vec![0; n], epoch: 1 }
+        VisitSet {
+            marks: vec![0; n],
+            epoch: 1,
+        }
     }
 
     /// Reset all nodes to unvisited in O(1) (amortized; a full clear happens
@@ -75,7 +78,10 @@ pub struct BfsWorkspace {
 impl BfsWorkspace {
     /// Workspace for a graph with `n` nodes.
     pub fn new(n: usize) -> Self {
-        BfsWorkspace { visited: VisitSet::new(n), queue: VecDeque::new() }
+        BfsWorkspace {
+            visited: VisitSet::new(n),
+            queue: VecDeque::new(),
+        }
     }
 
     /// Reset for a fresh traversal.
@@ -134,11 +140,7 @@ where
 /// `max_hops`. Returns `dist[v] = Some(h)` for reachable `v` within the
 /// bound. Used by the workload generator (§3.1.3: s-t pairs at exactly
 /// h hops) and by RSS's BFS edge selection.
-pub fn hop_distances(
-    graph: &UncertainGraph,
-    s: NodeId,
-    max_hops: usize,
-) -> Vec<Option<u32>> {
+pub fn hop_distances(graph: &UncertainGraph, s: NodeId, max_hops: usize) -> Vec<Option<u32>> {
     let mut dist: Vec<Option<u32>> = vec![None; graph.num_nodes()];
     dist[s.index()] = Some(0);
     let mut frontier = vec![s];
@@ -185,7 +187,8 @@ mod tests {
     fn chain(n: usize) -> UncertainGraph {
         let mut b = GraphBuilder::new(n);
         for i in 0..n - 1 {
-            b.add_edge(NodeId(i as u32), NodeId(i as u32 + 1), 0.5).unwrap();
+            b.add_edge(NodeId(i as u32), NodeId(i as u32 + 1), 0.5)
+                .unwrap();
         }
         b.build()
     }
@@ -214,8 +217,12 @@ mod tests {
         let g = chain(5);
         let mut ws = BfsWorkspace::new(5);
         // Block the middle edge 2 -> 3 (edge id 2 in a chain).
-        assert!(!bfs_reaches(&g, NodeId(0), NodeId(4), &mut ws, |e| e.index() != 2));
-        assert!(bfs_reaches(&g, NodeId(0), NodeId(2), &mut ws, |e| e.index() != 2));
+        assert!(!bfs_reaches(&g, NodeId(0), NodeId(4), &mut ws, |e| e
+            .index()
+            != 2));
+        assert!(bfs_reaches(&g, NodeId(0), NodeId(2), &mut ws, |e| e
+            .index()
+            != 2));
     }
 
     #[test]

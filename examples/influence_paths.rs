@@ -46,15 +46,17 @@ fn main() {
         for point in &run.history {
             println!(
                 "  K = {:>4}  avg influence prob = {:.4}  dispersion rho = {:.5}",
-                point.metrics.k,
-                point.metrics.avg_reliability,
-                point.metrics.rho,
+                point.metrics.k, point.metrics.avg_reliability, point.metrics.rho,
             );
         }
         println!(
             "  -> converged at K = {} ({})\n",
             run.final_k(),
-            if run.converged { "rho < 0.001" } else { "cap reached" },
+            if run.converged {
+                "rho < 0.001"
+            } else {
+                "cap reached"
+            },
         );
     }
     println!("Note the recursive estimator converging with fewer samples — the");

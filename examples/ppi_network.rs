@@ -32,7 +32,10 @@ fn main() {
         .map(NodeId)
         .max_by_key(|&v| graph.out_degree(v))
         .expect("non-empty graph");
-    println!("query protein: node {source} (out-degree {})", graph.out_degree(source));
+    println!(
+        "query protein: node {source} (out-degree {})",
+        graph.out_degree(source)
+    );
 
     // Candidates: proteins within 2 interaction hops.
     let dist = hop_distances(&graph, source, 2);
@@ -43,7 +46,10 @@ fn main() {
         .map(|(i, _)| NodeId::from_index(i))
         .take(12)
         .collect();
-    println!("scoring {} candidate proteins at 2 hops...\n", candidates.len());
+    println!(
+        "scoring {} candidate proteins at 2 hops...\n",
+        candidates.len()
+    );
 
     let mut rss = RecursiveStratified::new(Arc::clone(&graph));
     let mut rng = ChaCha8Rng::seed_from_u64(1);

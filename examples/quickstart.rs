@@ -35,13 +35,23 @@ fn main() {
     let (s, t) = (NodeId(3), NodeId(5));
 
     let exact = exact_reliability(&graph, s, t);
-    println!("graph: {} nodes, {} directed edges", graph.num_nodes(), graph.num_edges());
+    println!(
+        "graph: {} nodes, {} directed edges",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
     println!("exact R({s}, {t}) = {exact:.4}\n");
 
     let k = 20_000;
-    let params = SuiteParams { bfs_sharing_worlds: k, ..Default::default() };
+    let params = SuiteParams {
+        bfs_sharing_worlds: k,
+        ..Default::default()
+    };
     let mut rng = ChaCha8Rng::seed_from_u64(42);
-    println!("{:<12} {:>10} {:>10} {:>12}", "estimator", "estimate", "|error|", "time");
+    println!(
+        "{:<12} {:>10} {:>10} {:>12}",
+        "estimator", "estimate", "|error|", "time"
+    );
     for kind in EstimatorKind::PAPER_SIX {
         let mut est = build_estimator(kind, Arc::clone(&graph), params, &mut rng);
         let result = est.estimate(s, t, k, &mut rng);

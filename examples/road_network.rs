@@ -54,8 +54,8 @@ fn main() {
     );
     for _ in 0..6 {
         let (r1, c1) = (rng.gen_range(0..rows), rng.gen_range(0..cols));
-        let dr = rng.gen_range(1..6);
-        let dc = rng.gen_range(1..6);
+        let dr = rng.gen_range(1..6usize);
+        let dc = rng.gen_range(1..6usize);
         let (r2, c2) = ((r1 + dr).min(rows - 1), (c1 + dc).min(cols - 1));
         let (s, t) = (node(r1, c1), node(r2, c2));
         if s == t {

@@ -51,8 +51,13 @@ fn main() {
         graph.num_edges()
     );
 
-    let queries =
-        [(0u32, (n - 1) as u32), (5, 40), (100, 700), (31, 32), (0, 29)];
+    let queries = [
+        (0u32, (n - 1) as u32),
+        (5, 40),
+        (100, 700),
+        (31, 32),
+        (0, 29),
+    ];
     let mut estimator = RecursiveStratified::new(Arc::clone(&graph));
     println!(
         "\n{:<16} {:>9} {:>9} {:>7} {:>12} {:>10}",
@@ -70,7 +75,9 @@ fn main() {
             (b.lower + b.upper) / 2.0 // bounds already answer the query
         } else {
             let mut inner = RecursiveStratified::new(Arc::new(reduced.graph));
-            inner.estimate(reduced.s, reduced.t, 1500, &mut rng).reliability
+            inner
+                .estimate(reduced.s, reduced.t, 1500, &mut rng)
+                .reliability
         };
         // Cross-check against an estimator on the full graph.
         let full = estimator.estimate(s, t, 1500, &mut rng).reliability;

@@ -18,9 +18,7 @@ use relcomp::prelude::*;
 use relcomp_core::bounds::reliability_bounds;
 use relcomp_core::paths::most_reliable_path;
 use relcomp_core::topk::top_k_targets_mc;
-use relcomp_eval::recommend::{
-    recommend, MemoryBudget, SpeedNeed, VarianceNeed,
-};
+use relcomp_eval::recommend::{recommend, MemoryBudget, SpeedNeed, VarianceNeed};
 use relcomp_ugraph::analysis::{degree_stats, largest_component_size};
 use relcomp_ugraph::io::{load_graph, load_graph_binary, save_graph, save_graph_binary};
 use std::collections::HashMap;
@@ -62,8 +60,9 @@ fn split_options(args: &[String]) -> Result<(Vec<&str>, HashMap<&str, &str>), St
     while i < args.len() {
         let a = args[i].as_str();
         if let Some(name) = a.strip_prefix("--") {
-            let value =
-                args.get(i + 1).ok_or_else(|| format!("--{name} requires a value"))?;
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("--{name} requires a value"))?;
             options.insert(name, value.as_str());
             i += 2;
         } else {
@@ -75,10 +74,15 @@ fn split_options(args: &[String]) -> Result<(Vec<&str>, HashMap<&str, &str>), St
 }
 
 fn parse_node(graph: &UncertainGraph, raw: &str, what: &str) -> Result<NodeId, String> {
-    let id: u32 = raw.parse().map_err(|_| format!("cannot parse {what} node `{raw}`"))?;
+    let id: u32 = raw
+        .parse()
+        .map_err(|_| format!("cannot parse {what} node `{raw}`"))?;
     let node = NodeId(id);
     if !graph.contains_node(node) {
-        return Err(format!("{what} node {id} out of range (graph has {} nodes)", graph.num_nodes()));
+        return Err(format!(
+            "{what} node {id} out of range (graph has {} nodes)",
+            graph.num_nodes()
+        ));
     }
     Ok(node)
 }
@@ -129,11 +133,18 @@ fn run(args: Vec<String>) -> Result<(), String> {
         return Err("missing command".into());
     };
     let (pos, opts) = split_options(rest)?;
-    let seed: u64 = opts.get("seed").map(|v| v.parse()).transpose().map_err(|_| "bad --seed")?.unwrap_or(42);
+    let seed: u64 = opts
+        .get("seed")
+        .map(|v| v.parse())
+        .transpose()
+        .map_err(|_| "bad --seed")?
+        .unwrap_or(42);
 
     match cmd.as_str() {
         "generate" => {
-            let [name] = pos[..] else { return Err("generate needs <dataset>".into()) };
+            let [name] = pos[..] else {
+                return Err("generate needs <dataset>".into());
+            };
             let dataset = parse_dataset(name)?;
             let out = opts.get("out").ok_or("generate needs --out FILE")?;
             let scale: f64 = opts
@@ -153,22 +164,29 @@ fn run(args: Vec<String>) -> Result<(), String> {
             Ok(())
         }
         "stats" => {
-            let [file] = pos[..] else { return Err("stats needs <file>".into()) };
+            let [file] = pos[..] else {
+                return Err("stats needs <file>".into());
+            };
             let graph = load_any(file)?;
             let props_probs: Vec<f64> = graph.edges().map(|(_, _, _, p)| p.value()).collect();
             let prob = relcomp_ugraph::stats::Summary::of(&props_probs);
             println!("nodes:  {}", graph.num_nodes());
             println!("edges:  {}", graph.num_edges());
             if let Some(p) = prob {
-                println!("probability: mean {:.4} sd {:.4} quartiles {{{:.3}, {:.3}, {:.3}}}",
-                    p.mean, p.sd, p.q1, p.median, p.q3);
+                println!(
+                    "probability: mean {:.4} sd {:.4} quartiles {{{:.3}, {:.3}, {:.3}}}",
+                    p.mean, p.sd, p.q1, p.median, p.q3
+                );
             }
             let out = degree_stats(&graph, true);
             println!(
                 "out-degree: mean {:.2} max {} zero-degree nodes {}",
                 out.summary.mean, out.max, out.zeros
             );
-            println!("largest weakly connected component: {}", largest_component_size(&graph));
+            println!(
+                "largest weakly connected component: {}",
+                largest_component_size(&graph)
+            );
             Ok(())
         }
         "query" => {
@@ -179,9 +197,17 @@ fn run(args: Vec<String>) -> Result<(), String> {
             let s = parse_node(&graph, s_raw, "source")?;
             let t = parse_node(&graph, t_raw, "target")?;
             let kind = parse_estimator(opts.get("estimator").copied().unwrap_or("probtree"))?;
-            let k: usize = opts.get("k").map(|v| v.parse()).transpose().map_err(|_| "bad --k")?.unwrap_or(1000);
+            let k: usize = opts
+                .get("k")
+                .map(|v| v.parse())
+                .transpose()
+                .map_err(|_| "bad --k")?
+                .unwrap_or(1000);
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
-            let params = SuiteParams { bfs_sharing_worlds: k.max(1), ..Default::default() };
+            let params = SuiteParams {
+                bfs_sharing_worlds: k.max(1),
+                ..Default::default()
+            };
             let mut est = build_estimator(kind, Arc::clone(&graph), params, &mut rng);
             let result = est.estimate(s, t, k, &mut rng);
             println!(
@@ -201,7 +227,12 @@ fn run(args: Vec<String>) -> Result<(), String> {
             let s = parse_node(&graph, s_raw, "source")?;
             let t = parse_node(&graph, t_raw, "target")?;
             let b = reliability_bounds(&graph, s, t, 8);
-            println!("{:.6} <= R({s}, {t}) <= {:.6}   (width {:.6})", b.lower, b.upper, b.width());
+            println!(
+                "{:.6} <= R({s}, {t}) <= {:.6}   (width {:.6})",
+                b.lower,
+                b.upper,
+                b.width()
+            );
             Ok(())
         }
         "path" => {
@@ -214,24 +245,43 @@ fn run(args: Vec<String>) -> Result<(), String> {
             match most_reliable_path(&graph, s, t) {
                 Some(p) => {
                     let route: Vec<String> = p.nodes.iter().map(|n| n.to_string()).collect();
-                    println!("most reliable path: {}   probability {:.6}", route.join(" -> "), p.probability);
+                    println!(
+                        "most reliable path: {}   probability {:.6}",
+                        route.join(" -> "),
+                        p.probability
+                    );
                 }
                 None => println!("no path from {s} to {t}"),
             }
             Ok(())
         }
         "topk" => {
-            let [file, s_raw] = pos[..] else { return Err("topk needs <file> <s>".into()) };
+            let [file, s_raw] = pos[..] else {
+                return Err("topk needs <file> <s>".into());
+            };
             let graph = load_any(file)?;
             let s = parse_node(&graph, s_raw, "source")?;
-            let k: usize = opts.get("k").map(|v| v.parse()).transpose().map_err(|_| "bad --k")?.unwrap_or(10);
-            let samples: usize =
-                opts.get("samples").map(|v| v.parse()).transpose().map_err(|_| "bad --samples")?.unwrap_or(2000);
+            let k: usize = opts
+                .get("k")
+                .map(|v| v.parse())
+                .transpose()
+                .map_err(|_| "bad --k")?
+                .unwrap_or(10);
+            let samples: usize = opts
+                .get("samples")
+                .map(|v| v.parse())
+                .transpose()
+                .map_err(|_| "bad --samples")?
+                .unwrap_or(2000);
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
             let top = top_k_targets_mc(&graph, s, k, samples, &mut rng);
             println!("top-{k} most reliable targets from {s} ({samples} samples):");
             for ts in top {
-                println!("  node {:<8} R ≈ {:.4}", ts.node.to_string(), ts.reliability);
+                println!(
+                    "  node {:<8} R ≈ {:.4}",
+                    ts.node.to_string(),
+                    ts.reliability
+                );
             }
             Ok(())
         }

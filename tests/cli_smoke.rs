@@ -1,0 +1,116 @@
+//! End-to-end smoke test of the `relcomp` CLI: `generate` a tiny graph,
+//! read it back with `stats`, and answer a `query` — all with fixed
+//! seeds, so the outputs below are stable across runs and platforms.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn relcomp(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_relcomp"))
+        .args(args)
+        .output()
+        .expect("relcomp binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    assert!(
+        out.status.success(),
+        "exit {:?}\nstdout: {}\nstderr: {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn temp_graph_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("relcomp_cli_smoke_{}_{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn generate_stats_query_round_trip() {
+    let path = temp_graph_path("er.txt");
+    let path_str = path.to_str().expect("utf-8 temp path");
+
+    // generate: a small LastFM analog with a fixed seed.
+    let out = stdout(&relcomp(&[
+        "generate", "lastfm", "--out", path_str, "--scale", "0.02", "--seed", "42",
+    ]));
+    assert!(out.contains("wrote"), "unexpected generate output: {out}");
+
+    // stats: the graph reads back with plausible structure.
+    let out = stdout(&relcomp(&["stats", path_str]));
+    assert!(out.contains("nodes:"), "missing node count: {out}");
+    assert!(out.contains("edges:"), "missing edge count: {out}");
+    assert!(
+        out.contains("probability: mean"),
+        "missing prob summary: {out}"
+    );
+    let nodes: usize = out
+        .lines()
+        .find_map(|l| l.strip_prefix("nodes:"))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("parsable node count");
+    assert!(nodes > 10, "suspiciously small graph: {nodes} nodes");
+
+    // query: a reliability estimate in [0, 1] with the requested K.
+    let out = stdout(&relcomp(&[
+        "query",
+        path_str,
+        "0",
+        "3",
+        "--estimator",
+        "mc",
+        "--k",
+        "2000",
+        "--seed",
+        "7",
+    ]));
+    assert!(out.contains("K = 2000"), "missing sample count: {out}");
+    let reliability: f64 = out
+        .split('≈')
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|v| v.parse().ok())
+        .expect("parsable reliability");
+    assert!(
+        (0.0..=1.0).contains(&reliability),
+        "reliability {reliability} out of range"
+    );
+
+    // Same seeds ⇒ same estimate: determinism end to end.
+    let again = stdout(&relcomp(&[
+        "query",
+        path_str,
+        "0",
+        "3",
+        "--estimator",
+        "mc",
+        "--k",
+        "2000",
+        "--seed",
+        "7",
+    ]));
+    let line = |s: &str| {
+        s.lines()
+            .next()
+            .map(|l| l.split('[').next().unwrap_or("").to_owned())
+    };
+    assert_eq!(
+        line(&out),
+        line(&again),
+        "query is not deterministic per seed"
+    );
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn bad_usage_exits_nonzero_with_usage() {
+    let out = relcomp(&["no-such-command"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage:"), "stderr should carry usage: {err}");
+}

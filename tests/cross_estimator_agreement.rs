@@ -16,12 +16,10 @@ fn small_graphs() -> Vec<Arc<UncertainGraph>> {
     for seed in 0..5u64 {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let pairs = erdos_renyi(9, 11, &mut rng);
-        let g = ProbModel::UniformChoice { choices: vec![0.2, 0.5, 0.8] }.apply(
-            9,
-            &pairs,
-            Direction::RandomOriented,
-            &mut rng,
-        );
+        let g = ProbModel::UniformChoice {
+            choices: vec![0.2, 0.5, 0.8],
+        }
+        .apply(9, &pairs, Direction::RandomOriented, &mut rng);
         if g.num_edges() <= 24 {
             graphs.push(Arc::new(g));
         }
@@ -32,7 +30,10 @@ fn small_graphs() -> Vec<Arc<UncertainGraph>> {
 
 #[test]
 fn all_estimators_agree_with_exact_oracle() {
-    let params = SuiteParams { bfs_sharing_worlds: 60_000, ..Default::default() };
+    let params = SuiteParams {
+        bfs_sharing_worlds: 60_000,
+        ..Default::default()
+    };
     for graph in small_graphs() {
         let (s, t) = (NodeId(0), NodeId(8));
         let exact = exact_reliability(&graph, s, t);
@@ -65,7 +66,10 @@ fn estimators_agree_pairwise_on_medium_graph() {
     // A graph too large for enumeration: use MC at large K as reference.
     let graph = Arc::new(Dataset::LastFm.generate_with_scale(0.08, 21));
     let workload = Workload::generate(&graph, 3, 2, 13);
-    let params = SuiteParams { bfs_sharing_worlds: 20_000, ..Default::default() };
+    let params = SuiteParams {
+        bfs_sharing_worlds: 20_000,
+        ..Default::default()
+    };
 
     for &(s, t) in &workload.pairs {
         let mut rng = ChaCha8Rng::seed_from_u64(7);
@@ -82,9 +86,7 @@ fn estimators_agree_pairwise_on_medium_graph() {
             let mut rng = ChaCha8Rng::seed_from_u64(kind as u64 + 5);
             let mut est = build_estimator(kind, Arc::clone(&graph), params, &mut rng);
             let (k, reps) = match kind {
-                EstimatorKind::Rhh | EstimatorKind::Rss | EstimatorKind::ProbTreeRss => {
-                    (4_000, 10)
-                }
+                EstimatorKind::Rhh | EstimatorKind::Rss | EstimatorKind::ProbTreeRss => (4_000, 10),
                 _ => (20_000, 1),
             };
             let mean: f64 = (0..reps)
@@ -113,10 +115,13 @@ fn lp_original_bias_is_visible_end_to_end() {
         let mut rng = ChaCha8Rng::seed_from_u64(17);
         let mut mc = build_estimator(EstimatorKind::Mc, Arc::clone(&graph), params, &mut rng);
         let reference = mc.estimate(s, t, 8_000, &mut rng).reliability;
-        let mut lp =
-            build_estimator(EstimatorKind::LpOriginal, Arc::clone(&graph), params, &mut rng);
-        let mut lpp =
-            build_estimator(EstimatorKind::LpPlus, Arc::clone(&graph), params, &mut rng);
+        let mut lp = build_estimator(
+            EstimatorKind::LpOriginal,
+            Arc::clone(&graph),
+            params,
+            &mut rng,
+        );
+        let mut lpp = build_estimator(EstimatorKind::LpPlus, Arc::clone(&graph), params, &mut rng);
         diffs_lp += lp.estimate(s, t, 8_000, &mut rng).reliability - reference;
         diffs_lpp += lpp.estimate(s, t, 8_000, &mut rng).reliability - reference;
     }
@@ -129,11 +134,23 @@ fn lp_original_bias_is_visible_end_to_end() {
 #[test]
 fn indexed_estimators_report_resident_memory() {
     let graph = Arc::new(Dataset::LastFm.generate_with_scale(0.05, 3));
-    let params = SuiteParams { bfs_sharing_worlds: 500, ..Default::default() };
+    let params = SuiteParams {
+        bfs_sharing_worlds: 500,
+        ..Default::default()
+    };
     let mut rng = ChaCha8Rng::seed_from_u64(2);
-    let bfss =
-        build_estimator(EstimatorKind::BfsSharing, Arc::clone(&graph), params, &mut rng);
-    let pt = build_estimator(EstimatorKind::ProbTree, Arc::clone(&graph), params, &mut rng);
+    let bfss = build_estimator(
+        EstimatorKind::BfsSharing,
+        Arc::clone(&graph),
+        params,
+        &mut rng,
+    );
+    let pt = build_estimator(
+        EstimatorKind::ProbTree,
+        Arc::clone(&graph),
+        params,
+        &mut rng,
+    );
     let mc = build_estimator(EstimatorKind::Mc, Arc::clone(&graph), params, &mut rng);
     assert!(bfss.resident_bytes() > pt.resident_bytes() / 10);
     assert!(pt.resident_bytes() > 0);

@@ -6,14 +6,10 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use relcomp::prelude::*;
 use relcomp_core::bounds::{disjoint_paths_lower_bound, reliability_bounds};
-use relcomp_core::distance_constrained::{
-    exact_distance_constrained, mc_distance_constrained,
-};
+use relcomp_core::distance_constrained::{exact_distance_constrained, mc_distance_constrained};
 use relcomp_core::exact::exact_reliability;
 use relcomp_core::paths::most_reliable_path;
-use relcomp_core::representative::{
-    average_degree_world, degree_discrepancy, most_probable_world,
-};
+use relcomp_core::representative::{average_degree_world, degree_discrepancy, most_probable_world};
 use relcomp_core::topk::{top_k_targets_indexed, top_k_targets_mc};
 use relcomp_ugraph::generators::erdos_renyi;
 use relcomp_ugraph::probmodel::{Direction, ProbModel};
@@ -21,12 +17,10 @@ use relcomp_ugraph::probmodel::{Direction, ProbModel};
 fn random_graph(seed: u64, n: usize, m: usize) -> UncertainGraph {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let pairs = erdos_renyi(n, m, &mut rng);
-    ProbModel::UniformChoice { choices: vec![0.2, 0.5, 0.8] }.apply(
-        n,
-        &pairs,
-        Direction::RandomOriented,
-        &mut rng,
-    )
+    ProbModel::UniformChoice {
+        choices: vec![0.2, 0.5, 0.8],
+    }
+    .apply(n, &pairs, Direction::RandomOriented, &mut rng)
 }
 
 proptest! {

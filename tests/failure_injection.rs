@@ -47,14 +47,21 @@ fn estimators_panic_on_out_of_range_queries() {
     let mut b = GraphBuilder::new(2);
     b.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
     let g = Arc::new(b.build());
-    let params = SuiteParams { bfs_sharing_worlds: 64, ..Default::default() };
+    let params = SuiteParams {
+        bfs_sharing_worlds: 64,
+        ..Default::default()
+    };
     for kind in EstimatorKind::PAPER_SIX {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let mut est = build_estimator(kind, Arc::clone(&g), params, &mut rng);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             est.estimate(NodeId(0), NodeId(9), 16, &mut rng)
         }));
-        assert!(result.is_err(), "{} accepted an invalid target", kind.display_name());
+        assert!(
+            result.is_err(),
+            "{} accepted an invalid target",
+            kind.display_name()
+        );
     }
 }
 
@@ -63,7 +70,10 @@ fn estimators_panic_on_zero_samples() {
     let mut b = GraphBuilder::new(2);
     b.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
     let g = Arc::new(b.build());
-    let params = SuiteParams { bfs_sharing_worlds: 64, ..Default::default() };
+    let params = SuiteParams {
+        bfs_sharing_worlds: 64,
+        ..Default::default()
+    };
     for kind in EstimatorKind::PAPER_SIX {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let mut est = build_estimator(kind, Arc::clone(&g), params, &mut rng);
@@ -82,7 +92,10 @@ fn builder_misuse_is_rejected() {
     // Invalid probabilities at every boundary.
     let mut b = GraphBuilder::new(2);
     for p in [0.0, -0.5, 1.0 + 1e-9, f64::NAN, f64::INFINITY] {
-        assert!(b.add_edge(NodeId(0), NodeId(1), p).is_err(), "accepted p = {p}");
+        assert!(
+            b.add_edge(NodeId(0), NodeId(1), p).is_err(),
+            "accepted p = {p}"
+        );
     }
 }
 
@@ -133,12 +146,19 @@ fn estimates_stay_valid_under_extreme_probabilities() {
         b.add_edge(NodeId(1), NodeId(2), p).unwrap();
         b.add_edge(NodeId(2), NodeId(3), p).unwrap();
         let g = Arc::new(b.build());
-        let params = SuiteParams { bfs_sharing_worlds: 256, ..Default::default() };
+        let params = SuiteParams {
+            bfs_sharing_worlds: 256,
+            ..Default::default()
+        };
         for kind in EstimatorKind::PAPER_SIX {
             let mut rng = ChaCha8Rng::seed_from_u64(9);
             let mut est = build_estimator(kind, Arc::clone(&g), params, &mut rng);
             let r = est.estimate(NodeId(0), NodeId(3), 256, &mut rng);
-            assert!(r.is_valid(), "{} produced {r:?} at p = {p}", kind.display_name());
+            assert!(
+                r.is_valid(),
+                "{} produced {r:?} at p = {p}",
+                kind.display_name()
+            );
             if p == 1.0 {
                 assert_eq!(r.reliability, 1.0, "{}", kind.display_name());
             }

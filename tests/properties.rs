@@ -18,8 +18,7 @@ fn small_digraph() -> impl Strategy<Value = (usize, Vec<(u32, u32, f64)>)> {
 }
 
 fn build(n: usize, edges: &[(u32, u32, f64)]) -> UncertainGraph {
-    let mut b = GraphBuilder::new(n)
-        .duplicate_policy(relcomp_ugraph::DuplicatePolicy::CombineOr);
+    let mut b = GraphBuilder::new(n).duplicate_policy(relcomp_ugraph::DuplicatePolicy::CombineOr);
     for &(u, v, p) in edges {
         if u != v {
             b.add_edge(NodeId(u), NodeId(v), p).unwrap();
