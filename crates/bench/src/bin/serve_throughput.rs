@@ -1,0 +1,197 @@
+//! `serve_throughput` — closed-loop throughput/latency driver for the
+//! `relcomp-serve` query service.
+//!
+//! Spins up an in-process server over a generated LastFM analog, then
+//! hammers it with `C` closed-loop client connections replaying a
+//! repeated-query workload (each (s, t) pair is asked `R` times, shuffled,
+//! so the result cache sees real re-use). Reports QPS, latency
+//! percentiles, cache hit rate, and a determinism cross-check
+//! (multi-threaded estimates must be bit-identical to single-threaded
+//! ones) to stdout and `results/serve_throughput.txt`.
+//!
+//! ```text
+//! cargo run --release --bin serve_throughput -- [quick|paper] [--seed N]
+//! ```
+
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use relcomp_bench::{cli, emit};
+use relcomp_core::parallel::ParallelSampler;
+use relcomp_eval::RunProfile;
+use relcomp_serve::engine::{EngineConfig, QueryEngine};
+use relcomp_serve::protocol::QueryRequest;
+use relcomp_serve::{Client, Server};
+use relcomp_ugraph::{Dataset, NodeId};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+struct Params {
+    scale: f64,
+    clients: usize,
+    pairs: usize,
+    repeats: usize,
+    samples: usize,
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let cli = cli();
+    let p = match cli.profile {
+        RunProfile::Quick => Params {
+            scale: 0.05,
+            clients: 4,
+            pairs: 16,
+            repeats: 8,
+            samples: 1000,
+        },
+        RunProfile::Paper => Params {
+            scale: 0.3,
+            clients: 8,
+            pairs: 64,
+            repeats: 25,
+            samples: 5000,
+        },
+    };
+
+    let graph = Arc::new(Dataset::LastFm.generate_with_scale(p.scale, cli.seed));
+    let n = graph.num_nodes() as u32;
+    let mut rng = ChaCha8Rng::seed_from_u64(cli.seed);
+
+    // Query pairs (s != t), each repeated `repeats` times, shuffled: a
+    // closed-loop workload with guaranteed re-use for the cache.
+    let pairs: Vec<(u32, u32)> = (0..p.pairs)
+        .map(|_| {
+            let s = rng.gen_range(0..n);
+            let mut t = rng.gen_range(0..n);
+            while t == s {
+                t = rng.gen_range(0..n);
+            }
+            (s, t)
+        })
+        .collect();
+    let mut workload: Vec<(u32, u32)> = pairs
+        .iter()
+        .flat_map(|&pair| std::iter::repeat(pair).take(p.repeats))
+        .collect();
+    workload.shuffle(&mut rng);
+
+    // Determinism cross-check before serving: multi-threaded sampling must
+    // be bit-identical to single-threaded for the same seed. Always use a
+    // genuinely multi-threaded sampler even on single-core machines.
+    let threads = std::thread::available_parallelism().map_or(4, |c| c.get());
+    let check_threads = threads.max(4);
+    let single = ParallelSampler::new(Arc::clone(&graph), 1);
+    let multi = ParallelSampler::new(Arc::clone(&graph), check_threads);
+    for &(s, t) in pairs.iter().take(3) {
+        let a = single.estimate_mc(NodeId(s), NodeId(t), p.samples, cli.seed);
+        let b = multi.estimate_mc(NodeId(s), NodeId(t), p.samples, cli.seed);
+        assert_eq!(
+            a.reliability.to_bits(),
+            b.reliability.to_bits(),
+            "thread-count determinism violated for ({s}, {t})"
+        );
+    }
+
+    let engine = Arc::new(QueryEngine::new(
+        Arc::clone(&graph),
+        EngineConfig {
+            threads,
+            default_seed: cli.seed,
+            ..Default::default()
+        },
+    ));
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&engine)).expect("bind server");
+    let (addr, _server_thread) = server.spawn().expect("spawn server");
+
+    // Closed loop: `clients` connections race through the shared workload.
+    let cursor = AtomicUsize::new(0);
+    let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(workload.len()));
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..p.clients {
+            scope.spawn(|| {
+                let mut client = Client::connect(addr).expect("connect client");
+                let mut local = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(s, t)) = workload.get(i) else {
+                        break;
+                    };
+                    let sent = Instant::now();
+                    let resp = client
+                        .query(QueryRequest {
+                            s,
+                            t,
+                            estimator: Some("mc".into()),
+                            samples: Some(p.samples),
+                            seed: Some(cli.seed),
+                        })
+                        .expect("query");
+                    local.push(sent.elapsed().as_micros() as u64);
+                    assert!((0.0..=1.0).contains(&resp.reliability));
+                }
+                latencies.lock().unwrap().extend(local);
+            });
+        }
+    });
+    let wall = start.elapsed();
+
+    let mut lat = latencies.into_inner().unwrap();
+    lat.sort_unstable();
+    assert_eq!(lat.len(), workload.len(), "every query must be answered");
+
+    let stats = engine.stats();
+    assert!(
+        stats.cache_hits > 0,
+        "repeated-query workload must produce cache hits"
+    );
+    let mut shutdown_client = Client::connect(addr).expect("connect for shutdown");
+    shutdown_client.shutdown().ok();
+
+    let qps = lat.len() as f64 / wall.as_secs_f64();
+    let report = format!(
+        "serve_throughput ({:?} profile, seed {})\n\
+         =============================================\n\
+         graph:        LastFM analog, scale {} ({} nodes, {} edges)\n\
+         server:       {} sampling threads, {}-entry cache, addr {}\n\
+         workload:     {} queries ({} pairs x {} repeats, K = {}), {} closed-loop clients\n\
+         \n\
+         throughput:   {:.0} queries/s  ({} queries in {:.2} s)\n\
+         latency (us): p50 {}  p90 {}  p99 {}  max {}\n\
+         cache:        {} hits / {} misses ({:.1}% hit rate), {} entries resident\n\
+         determinism:  {}-thread estimates bit-identical to 1-thread (checked {} pairs)\n",
+        cli.profile,
+        cli.seed,
+        p.scale,
+        graph.num_nodes(),
+        graph.num_edges(),
+        stats.threads,
+        engine.config().cache_capacity,
+        addr,
+        lat.len(),
+        p.pairs,
+        p.repeats,
+        p.samples,
+        p.clients,
+        qps,
+        lat.len(),
+        wall.as_secs_f64(),
+        percentile(&lat, 0.50),
+        percentile(&lat, 0.90),
+        percentile(&lat, 0.99),
+        lat.last().copied().unwrap_or(0),
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.hit_rate() * 100.0,
+        stats.cache_entries,
+        check_threads,
+        3.min(pairs.len()),
+    );
+    emit("serve_throughput", &report);
+}

@@ -45,6 +45,7 @@ pub mod exact;
 pub mod lazy;
 pub mod mc;
 pub mod memory;
+pub mod parallel;
 pub mod paths;
 pub mod probtree;
 pub mod recursive;
@@ -55,4 +56,5 @@ pub mod suite;
 pub mod topk;
 
 pub use estimator::{Estimate, Estimator};
+pub use parallel::ParallelSampler;
 pub use suite::{build_estimator, EstimatorKind, SuiteParams};

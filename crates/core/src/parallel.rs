@@ -1,0 +1,583 @@
+//! Deterministic parallel sampling engine.
+//!
+//! The paper's estimators are single-threaded: one RNG stream drives `K`
+//! sequential samples. A serving system wants the same sample budget
+//! spread across cores *without* giving up reproducibility. The trick is
+//! to decouple the unit of randomness from the unit of scheduling:
+//!
+//! * The budget is split into fixed-size **shards** (the last shard takes
+//!   the remainder). Shard `i` always draws from its own `ChaCha8Rng`
+//!   stream, derived from `(seed, i)` by a SplitMix64-style mix —
+//!   regardless of which thread runs it.
+//! * Worker threads (a `std::thread::scope` pool) claim shards through an
+//!   atomic cursor. Per-shard hit counts are integers, and integer
+//!   addition is commutative, so the total — and therefore the estimate —
+//!   is bit-identical for 1, 2, or 64 threads.
+//!
+//! Three entry points cover the serving workloads: plain MC
+//! ([`ParallelSampler::estimate_mc`]), BFS-Sharing with a sharded world
+//! index ([`ParallelSampler::estimate_bfs_sharing`]), and multi-target MC
+//! ([`ParallelSampler::estimate_mc_multi`]) which amortizes possible-world
+//! sampling across queries that share a source node.
+
+use crate::bfs_sharing::BfsSharingIndex;
+use crate::estimator::{validate_query, Estimate};
+use crate::sampler::coin;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use relcomp_ugraph::traversal::{bfs_reaches, BfsWorkspace};
+use relcomp_ugraph::{NodeId, UncertainGraph};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Samples per shard. Small enough that a typical budget (thousands)
+/// splits into more shards than threads (good load balance), large enough
+/// that shard bookkeeping is noise next to the BFS work.
+pub const SHARD_SAMPLES: usize = 256;
+
+/// SplitMix64 finalizer: decorrelates per-shard streams so that shard
+/// seeds derived from adjacent indices are statistically independent.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The RNG stream for shard `shard` of a run with master seed `seed`.
+///
+/// Public so tests (and the sequential reference path) can reproduce any
+/// shard in isolation.
+pub fn shard_rng(seed: u64, shard: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(mix64(seed ^ mix64(shard)))
+}
+
+/// A parallel sampling engine over one fixed uncertain graph.
+///
+/// Construction is cheap (no index); the engine is `Sync` and can be
+/// shared across serving threads — each call builds its own scoped worker
+/// pool. Per-call `std::thread::scope` keeps the engine stateless and
+/// borrow-friendly at the cost of a thread spawn per worker per query
+/// (tens of microseconds, noise next to thousand-sample BFS budgets); a
+/// persistent pool is the upgrade path if profiles ever show otherwise.
+pub struct ParallelSampler {
+    graph: Arc<UncertainGraph>,
+    threads: usize,
+}
+
+impl ParallelSampler {
+    /// Create an engine running `threads` workers per call (clamped to at
+    /// least 1).
+    pub fn new(graph: Arc<UncertainGraph>, threads: usize) -> Self {
+        ParallelSampler {
+            graph,
+            threads: threads.max(1),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Arc<UncertainGraph> {
+        &self.graph
+    }
+
+    /// Shard boundaries for a budget of `k` samples: `(start, len)` per
+    /// shard, every shard but the last exactly [`SHARD_SAMPLES`] long.
+    fn shards(k: usize) -> Vec<(usize, usize)> {
+        let mut out = Vec::with_capacity(k.div_ceil(SHARD_SAMPLES));
+        let mut start = 0;
+        while start < k {
+            let len = SHARD_SAMPLES.min(k - start);
+            out.push((start, len));
+            start += len;
+        }
+        out
+    }
+
+    /// Run `work(state, shard_index, shard_len, rng) -> hits` over all
+    /// shards on the worker pool; each worker carries one `init()` state
+    /// (reusable workspaces stay out of the per-shard hot path). Returns
+    /// total hits, deterministic in `seed` and `k` regardless of thread
+    /// count.
+    fn run_shards<S, I, W>(&self, k: usize, seed: u64, init: I, work: W) -> usize
+    where
+        I: Fn() -> S + Sync,
+        W: Fn(&mut S, usize, usize, &mut ChaCha8Rng) -> usize + Sync,
+    {
+        let shards = Self::shards(k);
+        let cursor = AtomicUsize::new(0);
+        let hits = AtomicUsize::new(0);
+        let workers = self.threads.min(shards.len()).max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut state = init();
+                    let mut local = 0usize;
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(_, len)) = shards.get(i) else {
+                            break;
+                        };
+                        let mut rng = shard_rng(seed, i as u64);
+                        local += work(&mut state, i, len, &mut rng);
+                    }
+                    hits.fetch_add(local, Ordering::Relaxed);
+                });
+            }
+        });
+        hits.into_inner()
+    }
+
+    /// Monte-Carlo estimate of `R(s, t)` with `k` samples under master
+    /// seed `seed`. Bit-identical across thread counts.
+    pub fn estimate_mc(&self, s: NodeId, t: NodeId, k: usize, seed: u64) -> Estimate {
+        validate_query(&self.graph, s, t);
+        assert!(k > 0, "sample count must be positive");
+        let start = Instant::now();
+        let graph = &self.graph;
+        let hits = self.run_shards(
+            k,
+            seed,
+            || BfsWorkspace::new(graph.num_nodes()),
+            |ws, _, len, rng| {
+                let mut h = 0usize;
+                for _ in 0..len {
+                    if bfs_reaches(graph, s, t, ws, |e| coin(rng, graph.prob(e).value())) {
+                        h += 1;
+                    }
+                }
+                h
+            },
+        );
+        Estimate {
+            reliability: hits as f64 / k as f64,
+            samples: k,
+            elapsed: start.elapsed(),
+            aux_bytes: self.threads * BfsWorkspace::bytes_for(graph.num_nodes()),
+        }
+    }
+
+    /// BFS-Sharing estimate of `R(s, t)`: the world budget `k` is sharded,
+    /// each shard samples its own compact bit-vector index from its own
+    /// stream and counts reached worlds with the shared-BFS fixpoint.
+    /// Statistically identical to one `k`-world index; bit-identical
+    /// across thread counts.
+    pub fn estimate_bfs_sharing(&self, s: NodeId, t: NodeId, k: usize, seed: u64) -> Estimate {
+        validate_query(&self.graph, s, t);
+        assert!(k > 0, "sample count must be positive");
+        let start = Instant::now();
+        let graph = &self.graph;
+        let index_bytes = AtomicUsize::new(0);
+        let hits = self.run_shards(
+            k,
+            seed,
+            || (),
+            |_, _, len, rng| {
+                let index = BfsSharingIndex::build(graph, len, rng);
+                index_bytes.fetch_max(index.size_bytes(), Ordering::Relaxed);
+                count_reached_worlds(graph, &index, s, t, len)
+            },
+        );
+        Estimate {
+            reliability: hits as f64 / k as f64,
+            samples: k,
+            elapsed: start.elapsed(),
+            aux_bytes: self.threads * (index_bytes.into_inner() + graph.num_nodes() * (8 + 4 + 1)),
+        }
+    }
+
+    /// Multi-target MC: estimate `R(s, t)` for every `t` in `targets`
+    /// from **one** shared stream of possible worlds — each sampled world
+    /// is explored once from `s` and scored against all targets. This is
+    /// the batching primitive the query engine uses for queries sharing a
+    /// source: `|targets|` queries for the sampling cost of one.
+    ///
+    /// Returns one [`Estimate`] per target, in input order. For a given
+    /// `(k, seed)` the estimate for target `t` is deterministic across
+    /// thread counts, but differs from [`ParallelSampler::estimate_mc`]'s
+    /// (early-terminating) stream for the same seed — both are unbiased.
+    pub fn estimate_mc_multi(
+        &self,
+        s: NodeId,
+        targets: &[NodeId],
+        k: usize,
+        seed: u64,
+    ) -> Vec<Estimate> {
+        for &t in targets {
+            validate_query(&self.graph, s, t);
+        }
+        assert!(k > 0, "sample count must be positive");
+        if targets.is_empty() {
+            return Vec::new();
+        }
+        let start = Instant::now();
+        let graph = &self.graph;
+
+        // target_slot[v] = Some(indices of `targets` equal to v). Duplicate
+        // targets are legal (distinct cache keys can collapse to one node).
+        let mut target_slots: Vec<Vec<usize>> = vec![Vec::new(); graph.num_nodes()];
+        let mut distinct = 0usize;
+        for (i, &t) in targets.iter().enumerate() {
+            if target_slots[t.index()].is_empty() {
+                distinct += 1;
+            }
+            target_slots[t.index()].push(i);
+        }
+
+        let shards = Self::shards(k);
+        let cursor = AtomicUsize::new(0);
+        let hit_counts: Vec<AtomicUsize> = targets.iter().map(|_| AtomicUsize::new(0)).collect();
+        let workers = self.threads.min(shards.len()).max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut ws = BfsWorkspace::new(graph.num_nodes());
+                    let mut local = vec![0usize; targets.len()];
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(_, len)) = shards.get(i) else {
+                            break;
+                        };
+                        let mut rng = shard_rng(seed, i as u64);
+                        for _ in 0..len {
+                            sample_world_multi(
+                                graph,
+                                s,
+                                &target_slots,
+                                distinct,
+                                &mut ws,
+                                &mut rng,
+                                &mut local,
+                            );
+                        }
+                    }
+                    for (slot, &h) in hit_counts.iter().zip(&local) {
+                        slot.fetch_add(h, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+
+        let elapsed = start.elapsed();
+        let aux = self.threads * BfsWorkspace::bytes_for(graph.num_nodes()) + targets.len() * 8;
+        hit_counts
+            .into_iter()
+            .map(|h| Estimate {
+                reliability: h.into_inner() as f64 / k as f64,
+                samples: k,
+                elapsed,
+                aux_bytes: aux,
+            })
+            .collect()
+    }
+}
+
+/// Sample one possible world lazily and BFS it from `s`, crediting every
+/// target reached. Stops early once all `distinct` target nodes are seen.
+fn sample_world_multi(
+    graph: &UncertainGraph,
+    s: NodeId,
+    target_slots: &[Vec<usize>],
+    distinct: usize,
+    ws: &mut BfsWorkspace,
+    rng: &mut ChaCha8Rng,
+    hits: &mut [usize],
+) {
+    ws.reset();
+    ws.visited.insert(s);
+    ws.queue.push_back(s);
+    let mut found = 0usize;
+    let credit = |v: NodeId, hits: &mut [usize], found: &mut usize| {
+        let slots = &target_slots[v.index()];
+        if !slots.is_empty() {
+            for &i in slots {
+                hits[i] += 1;
+            }
+            *found += 1;
+        }
+    };
+    credit(s, hits, &mut found);
+    if found == distinct {
+        return;
+    }
+    while let Some(v) = ws.queue.pop_front() {
+        for (e, w) in graph.out_edges(v) {
+            if ws.visited.contains(w) {
+                continue;
+            }
+            if coin(rng, graph.prob(e).value()) {
+                ws.visited.insert(w);
+                ws.queue.push_back(w);
+                credit(w, hits, &mut found);
+                if found == distinct {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Count the worlds of `index` (holding `l` worlds) in which `t` is
+/// reachable from `s`, via the bit-parallel worklist fixpoint of §2.3.
+fn count_reached_worlds(
+    graph: &UncertainGraph,
+    index: &BfsSharingIndex,
+    s: NodeId,
+    t: NodeId,
+    l: usize,
+) -> usize {
+    if s == t {
+        return l;
+    }
+    let words = l.div_ceil(64);
+    let wpe = words; // the index was built for exactly `l` worlds
+    debug_assert_eq!(index.num_worlds(), l);
+    let n = graph.num_nodes();
+    let mut node_bits = vec![0u64; n * wpe];
+    let mut live = vec![false; n];
+    let last_mask: u64 = if l % 64 == 0 {
+        !0
+    } else {
+        (1u64 << (l % 64)) - 1
+    };
+    {
+        let base = s.index() * wpe;
+        for w in 0..words {
+            node_bits[base + w] = if w + 1 == words { last_mask } else { !0 };
+        }
+        live[s.index()] = true;
+    }
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(s);
+    let mut in_queue = vec![false; n];
+    in_queue[s.index()] = true;
+    while let Some(v) = queue.pop_front() {
+        in_queue[v.index()] = false;
+        let v_base = v.index() * wpe;
+        for (e, w) in graph.out_edges(v) {
+            let w_base = w.index() * wpe;
+            let edge_words = index.edge_words(e);
+            let mut changed = false;
+            for (i, &edge_word) in edge_words.iter().enumerate().take(words) {
+                let add = node_bits[v_base + i] & edge_word;
+                let cur = node_bits[w_base + i];
+                if cur | add != cur {
+                    node_bits[w_base + i] = cur | add;
+                    changed = true;
+                }
+            }
+            if changed {
+                live[w.index()] = true;
+                if !in_queue[w.index()] {
+                    in_queue[w.index()] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    if !live[t.index()] {
+        return 0;
+    }
+    let t_base = t.index() * wpe;
+    node_bits[t_base..t_base + words]
+        .iter()
+        .map(|w| w.count_ones() as usize)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_reliability;
+    use relcomp_ugraph::GraphBuilder;
+
+    fn diamond() -> Arc<UncertainGraph> {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+        b.add_edge(NodeId(0), NodeId(2), 0.6).unwrap();
+        b.add_edge(NodeId(1), NodeId(3), 0.7).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), 0.4).unwrap();
+        Arc::new(b.build())
+    }
+
+    #[test]
+    fn thread_count_does_not_change_mc_estimate() {
+        let g = diamond();
+        // Budget deliberately not a multiple of SHARD_SAMPLES.
+        let k = 3 * SHARD_SAMPLES + 17;
+        let baseline =
+            ParallelSampler::new(Arc::clone(&g), 1).estimate_mc(NodeId(0), NodeId(3), k, 42);
+        for threads in [2, 8] {
+            let est = ParallelSampler::new(Arc::clone(&g), threads).estimate_mc(
+                NodeId(0),
+                NodeId(3),
+                k,
+                42,
+            );
+            assert_eq!(
+                est.reliability.to_bits(),
+                baseline.reliability.to_bits(),
+                "{threads} threads diverged from 1 thread"
+            );
+            assert_eq!(est.samples, k);
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_bfs_sharing_estimate() {
+        let g = diamond();
+        let k = 2 * SHARD_SAMPLES + 100;
+        let baseline = ParallelSampler::new(Arc::clone(&g), 1).estimate_bfs_sharing(
+            NodeId(0),
+            NodeId(3),
+            k,
+            7,
+        );
+        for threads in [2, 8] {
+            let est = ParallelSampler::new(Arc::clone(&g), threads).estimate_bfs_sharing(
+                NodeId(0),
+                NodeId(3),
+                k,
+                7,
+            );
+            assert_eq!(est.reliability.to_bits(), baseline.reliability.to_bits());
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_multi_target_estimates() {
+        let g = diamond();
+        let targets = [NodeId(1), NodeId(2), NodeId(3), NodeId(0)];
+        let k = 2 * SHARD_SAMPLES + 31;
+        let baseline: Vec<u64> = ParallelSampler::new(Arc::clone(&g), 1)
+            .estimate_mc_multi(NodeId(0), &targets, k, 5)
+            .iter()
+            .map(|e| e.reliability.to_bits())
+            .collect();
+        for threads in [2, 8] {
+            let got: Vec<u64> = ParallelSampler::new(Arc::clone(&g), threads)
+                .estimate_mc_multi(NodeId(0), &targets, k, 5)
+                .iter()
+                .map(|e| e.reliability.to_bits())
+                .collect();
+            assert_eq!(got, baseline, "{threads} threads diverged");
+        }
+    }
+
+    #[test]
+    fn parallel_mc_converges_to_exact() {
+        let g = diamond();
+        let exact = exact_reliability(&g, NodeId(0), NodeId(3));
+        let est =
+            ParallelSampler::new(Arc::clone(&g), 4).estimate_mc(NodeId(0), NodeId(3), 60_000, 11);
+        assert!(est.is_valid());
+        assert!(
+            (est.reliability - exact).abs() < 0.01,
+            "{} vs {exact}",
+            est.reliability
+        );
+    }
+
+    #[test]
+    fn parallel_bfs_sharing_converges_to_exact() {
+        let g = diamond();
+        let exact = exact_reliability(&g, NodeId(0), NodeId(3));
+        let est = ParallelSampler::new(Arc::clone(&g), 4).estimate_bfs_sharing(
+            NodeId(0),
+            NodeId(3),
+            60_000,
+            13,
+        );
+        assert!(
+            (est.reliability - exact).abs() < 0.01,
+            "{} vs {exact}",
+            est.reliability
+        );
+    }
+
+    #[test]
+    fn multi_target_matches_exact_per_target() {
+        let g = diamond();
+        let targets = [NodeId(0), NodeId(1), NodeId(2), NodeId(3)];
+        let ests = ParallelSampler::new(Arc::clone(&g), 4).estimate_mc_multi(
+            NodeId(0),
+            &targets,
+            60_000,
+            3,
+        );
+        for (&t, est) in targets.iter().zip(&ests) {
+            let exact = exact_reliability(&g, NodeId(0), t);
+            assert!(
+                (est.reliability - exact).abs() < 0.01,
+                "target {t}: {} vs {exact}",
+                est.reliability
+            );
+        }
+        // s is its own target: reached in every world.
+        assert_eq!(ests[0].reliability, 1.0);
+    }
+
+    #[test]
+    fn duplicate_targets_get_identical_estimates() {
+        let g = diamond();
+        let ests = ParallelSampler::new(Arc::clone(&g), 2).estimate_mc_multi(
+            NodeId(0),
+            &[NodeId(3), NodeId(3)],
+            1000,
+            9,
+        );
+        assert_eq!(ests[0].reliability.to_bits(), ests[1].reliability.to_bits());
+    }
+
+    #[test]
+    fn disconnected_target_is_zero() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 0.9).unwrap();
+        let g = Arc::new(b.build());
+        let est = ParallelSampler::new(g, 4).estimate_mc(NodeId(0), NodeId(2), 2000, 1);
+        assert_eq!(est.reliability, 0.0);
+    }
+
+    #[test]
+    fn shard_layout_covers_budget_exactly() {
+        for k in [
+            1,
+            SHARD_SAMPLES - 1,
+            SHARD_SAMPLES,
+            SHARD_SAMPLES + 1,
+            10_000,
+        ] {
+            let shards = ParallelSampler::shards(k);
+            let total: usize = shards.iter().map(|&(_, len)| len).sum();
+            assert_eq!(total, k);
+            for window in shards.windows(2) {
+                assert_eq!(window[0].0 + window[0].1, window[1].0);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_rngs_are_decorrelated() {
+        let mut a = shard_rng(42, 0);
+        let mut b = shard_rng(42, 1);
+        use rand::RngCore;
+        assert_ne!(a.next_u64(), b.next_u64());
+        // Same (seed, shard) reproduces the stream.
+        let mut c = shard_rng(42, 0);
+        let mut d = shard_rng(42, 0);
+        assert_eq!(c.next_u64(), d.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_samples() {
+        let g = diamond();
+        let _ = ParallelSampler::new(g, 2).estimate_mc(NodeId(0), NodeId(3), 0, 1);
+    }
+}

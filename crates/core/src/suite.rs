@@ -68,6 +68,26 @@ impl EstimatorKind {
         }
     }
 
+    /// Parse a user-facing estimator name (CLI flag, wire protocol).
+    /// Case-insensitive; accepts the same spellings the `relcomp` CLI
+    /// documents (`mc`, `bfs_sharing`, `probtree`, `lp+`, `lp`, `rhh`,
+    /// `rss`, `probtree+lp+`, `probtree+rhh`, `probtree+rss`).
+    pub fn parse(name: &str) -> Option<EstimatorKind> {
+        Some(match name.to_ascii_lowercase().as_str() {
+            "mc" => EstimatorKind::Mc,
+            "bfs_sharing" | "bfssharing" => EstimatorKind::BfsSharing,
+            "probtree" => EstimatorKind::ProbTree,
+            "lp+" | "lpplus" => EstimatorKind::LpPlus,
+            "lp" => EstimatorKind::LpOriginal,
+            "rhh" => EstimatorKind::Rhh,
+            "rss" => EstimatorKind::Rss,
+            "probtree+lp+" => EstimatorKind::ProbTreeLpPlus,
+            "probtree+rhh" => EstimatorKind::ProbTreeRhh,
+            "probtree+rss" => EstimatorKind::ProbTreeRss,
+            _ => return None,
+        })
+    }
+
     /// Whether this estimator requires an offline index.
     pub fn is_indexed(self) -> bool {
         matches!(
@@ -104,12 +124,15 @@ impl Default for SuiteParams {
 
 /// Instantiate `kind` over `graph` with `params`. The RNG is used only by
 /// index-building estimators (BFS-Sharing world sampling).
+///
+/// The box is `Send` so long-lived services can park built estimators
+/// behind a mutex and answer queries from any worker thread.
 pub fn build_estimator(
     kind: EstimatorKind,
     graph: Arc<UncertainGraph>,
     params: SuiteParams,
     rng: &mut dyn RngCore,
-) -> Box<dyn Estimator> {
+) -> Box<dyn Estimator + Send> {
     match kind {
         EstimatorKind::Mc => Box::new(McSampling::new(graph)),
         EstimatorKind::BfsSharing => {

@@ -1,0 +1,283 @@
+//! Sharded LRU result cache.
+//!
+//! Reliability queries are expensive (thousands of BFS passes) and
+//! serving workloads repeat: hot (s, t) pairs recur across users. The
+//! cache memoizes finished estimates keyed by everything that determines
+//! the answer bit-for-bit — graph epoch, endpoints, estimator, sample
+//! budget, seed — so a hit is *exactly* the answer a recomputation would
+//! produce.
+//!
+//! Concurrency: the key space is split across `S` independent shards,
+//! each a mutex around a classic O(1) LRU (hash map + intrusive doubly
+//! linked list over a slab). Threads querying different shards never
+//! contend; hit/miss counters are lock-free atomics.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+const NIL: usize = usize::MAX;
+
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// One shard: an O(1) LRU over a slab of slots.
+struct LruShard<K, V> {
+    map: HashMap<K, usize>,
+    slots: Vec<Slot<K, V>>,
+    /// Most recently used slot, or `NIL` when empty.
+    head: usize,
+    /// Least recently used slot, or `NIL` when empty.
+    tail: usize,
+    capacity: usize,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> LruShard<K, V> {
+    fn new(capacity: usize) -> Self {
+        LruShard {
+            map: HashMap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.slots[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slots[n].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        match self.head {
+            NIL => self.tail = i,
+            h => self.slots[h].prev = i,
+        }
+        self.head = i;
+    }
+
+    fn get(&mut self, key: &K) -> Option<V> {
+        let &i = self.map.get(key)?;
+        self.unlink(i);
+        self.push_front(i);
+        Some(self.slots[i].value.clone())
+    }
+
+    fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&i) = self.map.get(&key) {
+            self.slots[i].value = value;
+            self.unlink(i);
+            self.push_front(i);
+            return;
+        }
+        let i = if self.slots.len() < self.capacity {
+            self.slots.push(Slot {
+                key: key.clone(),
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.slots.len() - 1
+        } else {
+            // Evict the LRU slot and reuse it in place.
+            let i = self.tail;
+            self.unlink(i);
+            self.map.remove(&self.slots[i].key);
+            self.slots[i].key = key.clone();
+            self.slots[i].value = value;
+            i
+        };
+        self.map.insert(key, i);
+        self.push_front(i);
+    }
+}
+
+/// A concurrent LRU cache sharded by key hash.
+pub struct ShardedLru<K, V> {
+    shards: Vec<Mutex<LruShard<K, V>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
+    /// A cache holding up to `capacity` entries split over `shards`
+    /// shards (clamped to at least 1 shard; per-shard capacity rounds
+    /// up, so the effective total can slightly exceed `capacity`).
+    /// A `capacity` of 0 disables caching: every `get` misses and
+    /// `insert` is a no-op.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = capacity.div_ceil(shards);
+        ShardedLru {
+            shards: (0..shards)
+                .map(|_| Mutex::new(LruShard::new(per_shard)))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<LruShard<K, V>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() % self.shards.len() as u64) as usize]
+    }
+
+    /// Look up `key`, refreshing its recency. Counts a hit or a miss.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let found = self
+            .shard(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .get(key);
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Insert (or refresh) `key`, evicting the shard's LRU entry if full.
+    pub fn insert(&self, key: K, value: V) {
+        self.shard(&key)
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(key, value);
+    }
+
+    /// Entries currently resident across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_returns_inserted_value_and_counts() {
+        let c: ShardedLru<u64, String> = ShardedLru::new(8, 2);
+        assert_eq!(c.get(&1), None);
+        c.insert(1, "one".into());
+        assert_eq!(c.get(&1).as_deref(), Some("one"));
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn insert_refreshes_existing_key() {
+        let c: ShardedLru<u64, u64> = ShardedLru::new(4, 1);
+        c.insert(1, 10);
+        c.insert(1, 20);
+        assert_eq!(c.get(&1), Some(20));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let c: ShardedLru<u64, u64> = ShardedLru::new(3, 1);
+        c.insert(1, 1);
+        c.insert(2, 2);
+        c.insert(3, 3);
+        // Touch 1 so 2 becomes the LRU entry.
+        assert_eq!(c.get(&1), Some(1));
+        c.insert(4, 4);
+        assert_eq!(c.get(&2), None, "LRU entry should have been evicted");
+        assert_eq!(c.get(&1), Some(1));
+        assert_eq!(c.get(&3), Some(3));
+        assert_eq!(c.get(&4), Some(4));
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn eviction_chains_stay_consistent() {
+        let c: ShardedLru<u64, u64> = ShardedLru::new(4, 1);
+        for round in 0..50u64 {
+            for k in 0..8 {
+                c.insert(round * 8 + k, k);
+            }
+        }
+        assert_eq!(c.len(), 4);
+        // The last four inserted survive, most recent first.
+        for k in 49 * 8 + 4..49 * 8 + 8 {
+            assert!(c.get(&k).is_some(), "key {k} missing");
+        }
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let c: ShardedLru<u64, u64> = ShardedLru::new(0, 8);
+        c.insert(1, 1);
+        assert_eq!(c.get(&1), None);
+        assert!(c.is_empty());
+        assert_eq!((c.hits(), c.misses()), (0, 1));
+    }
+
+    #[test]
+    fn shards_split_capacity() {
+        let c: ShardedLru<u64, u64> = ShardedLru::new(64, 8);
+        for k in 0..64 {
+            c.insert(k, k);
+        }
+        // No shard may exceed its slice of the capacity, so at most
+        // ceil(64/8) entries per shard survive and total <= 64.
+        assert!(c.len() <= 64);
+        assert!(c.len() >= 8, "every shard should hold something");
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let c = std::sync::Arc::new(ShardedLru::<u64, u64>::new(128, 8));
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let c = std::sync::Arc::clone(&c);
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        c.insert(t * 1000 + i, i);
+                        let _ = c.get(&(t * 1000 + i / 2));
+                    }
+                });
+            }
+        });
+        assert!(c.hits() + c.misses() == 8000);
+        assert!(c.len() <= 128);
+    }
+}

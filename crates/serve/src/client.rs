@@ -1,0 +1,131 @@
+//! Blocking client for the query service.
+
+use crate::engine::BatchResults;
+use crate::protocol::{QueryRequest, QueryResponse, Request, Response, StatsResponse};
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Everything a request round trip can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server's bytes were not a valid response.
+    Protocol(String),
+    /// The server answered `{"ok":false,...}`.
+    Server(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol: {e}"),
+            ClientError::Server(e) => write!(f, "server: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A connected client holding one persistent session.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to a server at `addr` (e.g. `"127.0.0.1:7117"`).
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Set a read timeout so a hung server cannot block the client forever.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Send one request and read one response line.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let text = serde_json::to_string(request)
+            .map_err(|e| ClientError::Protocol(format!("serialize: {e}")))?;
+        self.writer.write_all(text.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError::Protocol("server closed the connection".into()));
+        }
+        let response: Response = serde_json::from_str(line.trim_end())
+            .map_err(|e| ClientError::Protocol(e.to_string()))?;
+        if let Response::Error(e) = response {
+            return Err(ClientError::Server(e));
+        }
+        Ok(response)
+    }
+
+    /// Liveness round trip.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "expected pong, got {other:?}"
+            ))),
+        }
+    }
+
+    /// One s-t reliability query.
+    pub fn query(&mut self, query: QueryRequest) -> Result<QueryResponse, ClientError> {
+        match self.request(&Request::Query(query))? {
+            Response::Query(q) => Ok(q),
+            other => Err(ClientError::Protocol(format!(
+                "expected query answer, got {other:?}"
+            ))),
+        }
+    }
+
+    /// A batch of queries in one round trip.
+    pub fn batch(&mut self, queries: Vec<QueryRequest>) -> Result<BatchResults, ClientError> {
+        match self.request(&Request::Batch(queries))? {
+            Response::Batch(results) => Ok(results),
+            other => Err(ClientError::Protocol(format!(
+                "expected batch answer, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Server counters.
+    pub fn stats(&mut self) -> Result<StatsResponse, ClientError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(ClientError::Protocol(format!(
+                "expected stats, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Ask the server to stop accepting connections.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Shutdown)? {
+            Response::Bye => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "expected bye, got {other:?}"
+            ))),
+        }
+    }
+}

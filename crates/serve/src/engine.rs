@@ -1,0 +1,626 @@
+//! The query engine: admission control, per-query estimator planning,
+//! result caching, and batched execution over the parallel sampler.
+//!
+//! One engine serves one graph. Answers are independent of the worker
+//! thread count and keyed by `(graph epoch, s, t, estimator, samples,
+//! seed)`:
+//!
+//! * MC and BFS-Sharing queries run on the [`ParallelSampler`], whose
+//!   sharded RNG streams make the estimate independent of the worker
+//!   thread count;
+//! * the remaining estimators (ProbTree, LP/LP+, RHH, RSS, couplings)
+//!   are built once, parked behind per-kind mutexes, and queried with an
+//!   RNG derived from the cache key.
+//!
+//! Batches amortize sampling: MC queries sharing `(s, samples, seed)`
+//! are answered from **one** stream of possible worlds via
+//! [`ParallelSampler::estimate_mc_multi`] — n queries for the sampling
+//! cost of one. A batch group of one degenerates to exactly the
+//! single-query stream, so cache entries never depend on whether a query
+//! arrived alone or in a batch of one. A group of two or more draws from
+//! the group's shared stream, which differs bit-wise from the
+//! early-terminating single-query stream (both unbiased, both
+//! thread-count-deterministic): the first computation of a key — alone
+//! or inside some batch — is the answer the cache replays thereafter.
+
+use crate::cache::ShardedLru;
+use crate::protocol::{QueryRequest, QueryResponse, StatsResponse};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use relcomp_core::parallel::{shard_rng, ParallelSampler};
+use relcomp_core::{build_estimator, Estimator, EstimatorKind, SuiteParams};
+use relcomp_eval::recommend::{recommend, MemoryBudget, SpeedNeed, VarianceNeed};
+use relcomp_ugraph::{NodeId, UncertainGraph};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Tunable knobs of a [`QueryEngine`].
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Sampling worker threads per query (0 = all available cores).
+    pub threads: usize,
+    /// Result-cache capacity in entries.
+    pub cache_capacity: usize,
+    /// Result-cache shard count.
+    pub cache_shards: usize,
+    /// Sample budget used when a query does not specify one.
+    pub default_samples: usize,
+    /// Admission control: largest accepted per-query sample budget.
+    pub max_samples: usize,
+    /// Admission control: largest accepted batch.
+    pub max_batch: usize,
+    /// Admission control: most queries/batches computed concurrently.
+    pub max_inflight: usize,
+    /// Seed used when a query does not specify one.
+    pub default_seed: u64,
+    /// Estimator used when a query does not specify one.
+    pub default_estimator: EstimatorKind,
+    /// `estimator:"auto"` policy: memory budget handed to Fig. 18.
+    pub memory: MemoryBudget,
+    /// `estimator:"auto"` policy: variance need handed to Fig. 18.
+    pub variance: VarianceNeed,
+    /// `estimator:"auto"` policy: speed need handed to Fig. 18.
+    pub speed: SpeedNeed,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism().map_or(4, |n| n.get());
+        EngineConfig {
+            threads: cores,
+            cache_capacity: 4096,
+            cache_shards: 16,
+            default_samples: 2000,
+            max_samples: 1_000_000,
+            max_batch: 1024,
+            max_inflight: 4 * cores,
+            default_seed: 42,
+            default_estimator: EstimatorKind::Mc,
+            memory: MemoryBudget::Larger,
+            variance: VarianceNeed::Higher,
+            speed: SpeedNeed::Faster,
+        }
+    }
+}
+
+/// Everything that determines an answer bit-for-bit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct QueryKey {
+    /// Graph epoch (bumped when the served graph is replaced).
+    pub epoch: u64,
+    /// Source node.
+    pub s: u32,
+    /// Target node.
+    pub t: u32,
+    /// Estimator that answers.
+    pub kind: EstimatorKind,
+    /// Sample budget.
+    pub samples: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+/// A validated, defaulted query ready to execute.
+#[derive(Clone, Copy, Debug)]
+pub struct PlannedQuery {
+    /// Source node (validated against the graph).
+    pub s: NodeId,
+    /// Target node (validated against the graph).
+    pub t: NodeId,
+    /// Chosen estimator.
+    pub kind: EstimatorKind,
+    /// Sample budget after defaulting and admission checks.
+    pub samples: usize,
+    /// Seed after defaulting.
+    pub seed: u64,
+}
+
+/// Per-query outcomes of a batch, in request order.
+pub type BatchResults = Vec<Result<QueryResponse, String>>;
+
+#[derive(Clone, Debug)]
+struct CachedAnswer {
+    reliability: f64,
+    samples: usize,
+    estimator: &'static str,
+}
+
+/// Decrements the in-flight counter on drop (panic-safe admission).
+struct InflightGuard<'a>(&'a AtomicUsize);
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// A long-lived, thread-safe s-t reliability query engine over one graph.
+pub struct QueryEngine {
+    graph: Arc<UncertainGraph>,
+    config: EngineConfig,
+    epoch: u64,
+    sampler: ParallelSampler,
+    cache: ShardedLru<QueryKey, CachedAnswer>,
+    /// Lazily built sequential estimators (everything the parallel
+    /// sampler does not cover), shared across connections. The outer
+    /// mutex guards only the registry; each estimator has its own lock.
+    #[allow(clippy::type_complexity)]
+    resident: Mutex<HashMap<EstimatorKind, Arc<Mutex<Box<dyn Estimator + Send>>>>>,
+    inflight: AtomicUsize,
+    queries: AtomicU64,
+    rejected: AtomicU64,
+    started: Instant,
+}
+
+impl QueryEngine {
+    /// Build an engine serving `graph` at epoch 0.
+    pub fn new(graph: Arc<UncertainGraph>, config: EngineConfig) -> Self {
+        Self::with_epoch(graph, config, 0)
+    }
+
+    /// Build an engine serving `graph` tagged with `epoch`.
+    ///
+    /// The epoch is part of every cache key and of the wire `stats`
+    /// answer. Operators that replace the served graph by standing up a
+    /// new engine should bump it, so answers recorded by clients (or any
+    /// cache state shared beyond one engine) can never be confused
+    /// across graph versions.
+    pub fn with_epoch(graph: Arc<UncertainGraph>, config: EngineConfig, epoch: u64) -> Self {
+        let threads = if config.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            config.threads
+        };
+        QueryEngine {
+            sampler: ParallelSampler::new(Arc::clone(&graph), threads),
+            cache: ShardedLru::new(config.cache_capacity, config.cache_shards),
+            graph,
+            config,
+            epoch,
+            resident: Mutex::new(HashMap::new()),
+            inflight: AtomicUsize::new(0),
+            queries: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    /// The served graph.
+    pub fn graph(&self) -> &Arc<UncertainGraph> {
+        &self.graph
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Current graph epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Resolve defaults, pick an estimator, and validate one request.
+    pub fn plan(&self, req: &QueryRequest) -> Result<PlannedQuery, String> {
+        let n = self.graph.num_nodes();
+        for (what, id) in [("source", req.s), ("target", req.t)] {
+            if !self.graph.contains_node(NodeId(id)) {
+                return Err(format!(
+                    "{what} node {id} out of range (graph has {n} nodes)"
+                ));
+            }
+        }
+        let samples = req.samples.unwrap_or(self.config.default_samples);
+        if samples == 0 {
+            return Err("samples must be positive".into());
+        }
+        if samples > self.config.max_samples {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(format!(
+                "samples {samples} exceeds the admission limit {}",
+                self.config.max_samples
+            ));
+        }
+        let kind = match req.estimator.as_deref() {
+            None => self.config.default_estimator,
+            Some("auto") => recommend(self.config.memory, self.config.variance, self.config.speed)
+                .first()
+                .copied()
+                .unwrap_or(self.config.default_estimator),
+            Some(name) => {
+                EstimatorKind::parse(name).ok_or_else(|| format!("unknown estimator `{name}`"))?
+            }
+        };
+        Ok(PlannedQuery {
+            s: NodeId(req.s),
+            t: NodeId(req.t),
+            kind,
+            samples,
+            seed: req.seed.unwrap_or(self.config.default_seed),
+        })
+    }
+
+    fn admit(&self) -> Result<InflightGuard<'_>, String> {
+        let prev = self.inflight.fetch_add(1, Ordering::Acquire);
+        if prev >= self.config.max_inflight {
+            self.inflight.fetch_sub(1, Ordering::Release);
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(format!(
+                "server overloaded: {} queries in flight (limit {})",
+                prev, self.config.max_inflight
+            ));
+        }
+        Ok(InflightGuard(&self.inflight))
+    }
+
+    fn key(&self, p: &PlannedQuery) -> QueryKey {
+        QueryKey {
+            epoch: self.epoch,
+            s: p.s.0,
+            t: p.t.0,
+            kind: p.kind,
+            samples: p.samples,
+            seed: p.seed,
+        }
+    }
+
+    fn respond(
+        &self,
+        p: &PlannedQuery,
+        a: &CachedAnswer,
+        cached: bool,
+        start: Instant,
+    ) -> QueryResponse {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        QueryResponse {
+            s: p.s.0,
+            t: p.t.0,
+            reliability: a.reliability,
+            samples: a.samples,
+            estimator: a.estimator.to_owned(),
+            micros: start.elapsed().as_micros() as u64,
+            cached,
+        }
+    }
+
+    /// Fetch (building on first use) the shared estimator for `kind`.
+    /// The registry lock is held only for the map lookup/insert; queries
+    /// then contend on the per-kind mutex alone, so e.g. a slow first
+    /// ProbTree index build never stalls concurrent RSS queries.
+    fn resident_estimator(&self, kind: EstimatorKind) -> Arc<Mutex<Box<dyn Estimator + Send>>> {
+        if let Some(est) = self
+            .resident
+            .lock()
+            .expect("resident registry poisoned")
+            .get(&kind)
+        {
+            return Arc::clone(est);
+        }
+        // Build outside the registry lock. Two racing first queries may
+        // both build; the entry API keeps the first and drops the other —
+        // harmless, since builds are deterministic in the engine seed (a
+        // restarted server rebuilds identical indexes).
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.default_seed);
+        let built = Arc::new(Mutex::new(build_estimator(
+            kind,
+            Arc::clone(&self.graph),
+            SuiteParams::default(),
+            &mut rng,
+        )));
+        let mut registry = self.resident.lock().expect("resident registry poisoned");
+        Arc::clone(registry.entry(kind).or_insert(built))
+    }
+
+    /// Compute a planned query, bypassing the cache.
+    fn compute(&self, p: &PlannedQuery) -> CachedAnswer {
+        match p.kind {
+            EstimatorKind::Mc => {
+                let est = self.sampler.estimate_mc(p.s, p.t, p.samples, p.seed);
+                CachedAnswer {
+                    reliability: est.reliability,
+                    samples: est.samples,
+                    estimator: "MC",
+                }
+            }
+            EstimatorKind::BfsSharing => {
+                let est = self
+                    .sampler
+                    .estimate_bfs_sharing(p.s, p.t, p.samples, p.seed);
+                CachedAnswer {
+                    reliability: est.reliability,
+                    samples: est.samples,
+                    estimator: "BFS Sharing",
+                }
+            }
+            kind => {
+                let shared = self.resident_estimator(kind);
+                let mut est = shared.lock().expect("resident estimator poisoned");
+                // Derive the query stream from the cache key so identical
+                // keys replay identical randomness.
+                let mut rng = shard_rng(p.seed, ((p.s.0 as u64) << 32) | p.t.0 as u64);
+                est.refresh(&mut rng);
+                let e = est.estimate(p.s, p.t, p.samples, &mut rng);
+                CachedAnswer {
+                    reliability: e.reliability,
+                    samples: e.samples,
+                    estimator: kind.display_name(),
+                }
+            }
+        }
+    }
+
+    /// Answer one query (admission → plan → cache → compute).
+    pub fn execute(&self, req: &QueryRequest) -> Result<QueryResponse, String> {
+        let _guard = self.admit()?;
+        let plan = self.plan(req)?;
+        let start = Instant::now();
+        let key = self.key(&plan);
+        if let Some(hit) = self.cache.get(&key) {
+            return Ok(self.respond(&plan, &hit, true, start));
+        }
+        let answer = self.compute(&plan);
+        self.cache.insert(key, answer.clone());
+        Ok(self.respond(&plan, &answer, false, start))
+    }
+
+    /// Answer a batch in one pass, amortizing MC world sampling across
+    /// queries that share `(s, samples, seed)`. Results keep input order;
+    /// per-query failures do not fail the batch.
+    pub fn execute_batch(&self, reqs: &[QueryRequest]) -> Result<BatchResults, String> {
+        let _guard = self.admit()?;
+        if reqs.len() > self.config.max_batch {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(format!(
+                "batch of {} exceeds the admission limit {}",
+                reqs.len(),
+                self.config.max_batch
+            ));
+        }
+        let start = Instant::now();
+        let mut out: Vec<Option<Result<QueryResponse, String>>> = vec![None; reqs.len()];
+        // (group key -> indices of cache-missing MC queries to batch).
+        let mut mc_groups: HashMap<(u32, usize, u64), Vec<usize>> = HashMap::new();
+        let mut plans: Vec<Option<PlannedQuery>> = vec![None; reqs.len()];
+
+        for (i, req) in reqs.iter().enumerate() {
+            match self.plan(req) {
+                Err(e) => out[i] = Some(Err(e)),
+                Ok(plan) => {
+                    let key = self.key(&plan);
+                    if let Some(hit) = self.cache.get(&key) {
+                        out[i] = Some(Ok(self.respond(&plan, &hit, true, start)));
+                    } else if plan.kind == EstimatorKind::Mc {
+                        mc_groups
+                            .entry((plan.s.0, plan.samples, plan.seed))
+                            .or_default()
+                            .push(i);
+                        plans[i] = Some(plan);
+                    } else {
+                        let answer = self.compute(&plan);
+                        self.cache.insert(key, answer.clone());
+                        out[i] = Some(Ok(self.respond(&plan, &answer, false, start)));
+                    }
+                }
+            }
+        }
+
+        for ((s, samples, seed), indices) in mc_groups {
+            let targets: Vec<NodeId> = indices
+                .iter()
+                .map(|&i| plans[i].expect("planned").t)
+                .collect();
+            let estimates = self
+                .sampler
+                .estimate_mc_multi(NodeId(s), &targets, samples, seed);
+            for (&i, est) in indices.iter().zip(&estimates) {
+                let plan = plans[i].expect("planned");
+                let answer = CachedAnswer {
+                    reliability: est.reliability,
+                    samples: est.samples,
+                    estimator: "MC",
+                };
+                self.cache.insert(self.key(&plan), answer.clone());
+                out[i] = Some(Ok(self.respond(&plan, &answer, false, start)));
+            }
+        }
+
+        Ok(out
+            .into_iter()
+            .map(|r| r.expect("every slot answered"))
+            .collect())
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> StatsResponse {
+        StatsResponse {
+            queries: self.queries.load(Ordering::Relaxed),
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            cache_entries: self.cache.len(),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            threads: self.sampler.threads(),
+            epoch: self.epoch,
+            nodes: self.graph.num_nodes(),
+            edges: self.graph.num_edges(),
+            uptime_micros: self.started.elapsed().as_micros() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relcomp_core::exact::exact_reliability;
+    use relcomp_ugraph::GraphBuilder;
+
+    fn diamond() -> Arc<UncertainGraph> {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+        b.add_edge(NodeId(0), NodeId(2), 0.6).unwrap();
+        b.add_edge(NodeId(1), NodeId(3), 0.7).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), 0.4).unwrap();
+        Arc::new(b.build())
+    }
+
+    fn engine() -> QueryEngine {
+        QueryEngine::new(
+            diamond(),
+            EngineConfig {
+                threads: 2,
+                ..Default::default()
+            },
+        )
+    }
+
+    fn q(s: u32, t: u32) -> QueryRequest {
+        QueryRequest {
+            s,
+            t,
+            estimator: Some("mc".into()),
+            samples: Some(4000),
+            seed: Some(7),
+        }
+    }
+
+    #[test]
+    fn repeated_query_hits_cache_with_identical_answer() {
+        let e = engine();
+        let first = e.execute(&q(0, 3)).unwrap();
+        assert!(!first.cached);
+        let second = e.execute(&q(0, 3)).unwrap();
+        assert!(second.cached);
+        assert_eq!(first.reliability.to_bits(), second.reliability.to_bits());
+        assert_eq!(e.stats().cache_hits, 1);
+        assert!(e.stats().queries >= 2);
+    }
+
+    #[test]
+    fn engine_answers_match_exact_roughly() {
+        let e = engine();
+        let exact = exact_reliability(e.graph(), NodeId(0), NodeId(3));
+        let mut req = q(0, 3);
+        req.samples = Some(60_000);
+        let resp = e.execute(&req).unwrap();
+        assert!((resp.reliability - exact).abs() < 0.02);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_engine_answer() {
+        let answers: Vec<u64> = [1usize, 4]
+            .into_iter()
+            .map(|threads| {
+                let e = QueryEngine::new(
+                    diamond(),
+                    EngineConfig {
+                        threads,
+                        ..Default::default()
+                    },
+                );
+                e.execute(&q(0, 3)).unwrap().reliability.to_bits()
+            })
+            .collect();
+        assert_eq!(answers[0], answers[1]);
+    }
+
+    #[test]
+    fn single_query_and_batch_of_one_share_cache_entries() {
+        // A batch group of one must reproduce the single-query stream, so
+        // the cache stays path-independent.
+        let e1 = engine();
+        let single = e1.execute(&q(0, 3)).unwrap();
+        let e2 = engine();
+        let batch = e2.execute_batch(&[q(0, 3)]).unwrap();
+        let batched = batch[0].as_ref().unwrap();
+        assert_eq!(single.reliability.to_bits(), batched.reliability.to_bits());
+    }
+
+    #[test]
+    fn batch_amortizes_and_answers_every_query() {
+        let e = engine();
+        let reqs = vec![q(0, 1), q(0, 2), q(0, 3), q(1, 3)];
+        let results = e.execute_batch(&reqs).unwrap();
+        assert_eq!(results.len(), 4);
+        for (req, res) in reqs.iter().zip(&results) {
+            let r = res.as_ref().unwrap();
+            assert_eq!((r.s, r.t), (req.s, req.t));
+            assert!((0.0..=1.0).contains(&r.reliability));
+        }
+        // Batch answers are now cached for singles.
+        assert!(e.execute(&q(0, 2)).unwrap().cached);
+    }
+
+    #[test]
+    fn batch_with_bad_query_still_answers_the_rest() {
+        let e = engine();
+        let results = e.execute_batch(&[q(0, 3), q(0, 99)]).unwrap();
+        assert!(results[0].is_ok());
+        let err = results[1].as_ref().unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn planning_validates_and_defaults() {
+        let e = engine();
+        assert!(e.plan(&QueryRequest::new(0, 99)).is_err());
+        assert!(e
+            .plan(&QueryRequest {
+                estimator: Some("mcmc".into()),
+                ..QueryRequest::new(0, 1)
+            })
+            .is_err());
+        let plan = e.plan(&QueryRequest::new(0, 1)).unwrap();
+        assert_eq!(plan.kind, EstimatorKind::Mc);
+        assert_eq!(plan.samples, e.config().default_samples);
+        assert_eq!(plan.seed, e.config().default_seed);
+        // auto goes through Fig. 18 under the default (Larger, Higher,
+        // Faster) policy → LP+.
+        let auto = e
+            .plan(&QueryRequest {
+                estimator: Some("auto".into()),
+                ..QueryRequest::new(0, 1)
+            })
+            .unwrap();
+        assert_eq!(auto.kind, EstimatorKind::LpPlus);
+    }
+
+    #[test]
+    fn admission_rejects_oversized_budgets_and_batches() {
+        let e = QueryEngine::new(
+            diamond(),
+            EngineConfig {
+                max_samples: 100,
+                max_batch: 2,
+                ..Default::default()
+            },
+        );
+        let mut req = QueryRequest::new(0, 1);
+        req.samples = Some(101);
+        assert!(e.execute(&req).unwrap_err().contains("admission"));
+        let batch = vec![QueryRequest::new(0, 1); 3];
+        assert!(e.execute_batch(&batch).unwrap_err().contains("admission"));
+        assert_eq!(
+            e.stats().rejected,
+            2,
+            "admission rejections must show up in stats"
+        );
+    }
+
+    #[test]
+    fn resident_estimators_answer_and_cache() {
+        let e = engine();
+        for name in ["probtree", "lp+", "rhh", "rss"] {
+            let req = QueryRequest {
+                estimator: Some(name.into()),
+                samples: Some(2000),
+                ..QueryRequest::new(0, 3)
+            };
+            let first = e.execute(&req).unwrap();
+            assert!((0.0..=1.0).contains(&first.reliability), "{name}");
+            let second = e.execute(&req).unwrap();
+            assert!(second.cached, "{name} should cache");
+            assert_eq!(first.reliability.to_bits(), second.reliability.to_bits());
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # relcomp-serve — a concurrent s-t reliability query service
+//!
+//! Turns the paper reproduction into a long-lived server: load a graph
+//! once, then answer s-t reliability queries over TCP with a
+//! line-delimited JSON protocol ([`protocol`]), a sharded LRU result
+//! cache ([`cache`]), admission control plus per-query estimator
+//! planning ([`engine`]), and deterministic multi-threaded sampling
+//! (`relcomp_core::parallel`).
+//!
+//! ```no_run
+//! use relcomp_serve::engine::{EngineConfig, QueryEngine};
+//! use relcomp_serve::protocol::QueryRequest;
+//! use relcomp_serve::server::Server;
+//! use relcomp_serve::client::Client;
+//! use relcomp_ugraph::{GraphBuilder, NodeId};
+//! use std::sync::Arc;
+//!
+//! let mut b = GraphBuilder::new(3);
+//! b.add_edge(NodeId(0), NodeId(1), 0.9).unwrap();
+//! b.add_edge(NodeId(1), NodeId(2), 0.9).unwrap();
+//! let engine = Arc::new(QueryEngine::new(Arc::new(b.build()), EngineConfig::default()));
+//!
+//! let server = Server::bind("127.0.0.1:0", engine).unwrap();
+//! let (addr, _handle) = server.spawn().unwrap();
+//!
+//! let mut client = Client::connect(addr).unwrap();
+//! let answer = client.query(QueryRequest::new(0, 2)).unwrap();
+//! assert!((0.0..=1.0).contains(&answer.reliability));
+//! client.shutdown().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod engine;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use engine::{EngineConfig, QueryEngine};
+pub use protocol::{QueryRequest, QueryResponse, Request, Response, StatsResponse, DEFAULT_PORT};
+pub use server::Server;

@@ -1,0 +1,519 @@
+//! Wire protocol of the `relcomp` query service.
+//!
+//! Line-delimited JSON over TCP: each request is one JSON object on one
+//! line, answered by exactly one JSON object on one line. The protocol is
+//! self-describing (`cmd` on requests, `ok`/`kind` on responses) so
+//! clients in any language can speak it with a socket and a JSON library.
+//!
+//! Requests:
+//!
+//! ```text
+//! {"cmd":"ping"}
+//! {"cmd":"query","s":0,"t":3,"estimator":"mc","samples":2000,"seed":7}
+//! {"cmd":"batch","queries":[{"s":0,"t":3},{"s":0,"t":5}]}
+//! {"cmd":"stats"}
+//! {"cmd":"shutdown"}
+//! ```
+//!
+//! `estimator`, `samples`, and `seed` are optional; the server substitutes
+//! its configured defaults (`estimator` also accepts `"auto"`, which runs
+//! the paper's Fig. 18 recommendation under the server's policy knobs).
+//!
+//! Responses (`"ok":false` carries only `error`):
+//!
+//! ```text
+//! {"ok":true,"kind":"pong"}
+//! {"ok":true,"kind":"query","s":0,"t":3,"reliability":0.42,"samples":2000,
+//!  "estimator":"MC","micros":1234,"cached":false}
+//! {"ok":true,"kind":"batch","results":[...single query objects...]}
+//! {"ok":true,"kind":"stats","queries":10,...}
+//! {"ok":true,"kind":"bye"}
+//! {"ok":false,"error":"unknown estimator `mcmc`"}
+//! ```
+//!
+//! Serialization is hand-written against the shim `serde::Value` model
+//! because requests have optional fields and data-carrying variants,
+//! which the vendored derive deliberately does not cover.
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// Default TCP port of `relcomp serve`.
+pub const DEFAULT_PORT: u16 = 7117;
+
+/// One s-t reliability query as sent on the wire.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryRequest {
+    /// Source node id.
+    pub s: u32,
+    /// Target node id.
+    pub t: u32,
+    /// Estimator name (`mc`, `probtree`, ... or `auto`); `None` = server
+    /// default.
+    pub estimator: Option<String>,
+    /// Sample budget `K`; `None` = server default.
+    pub samples: Option<usize>,
+    /// Master seed; `None` = server default. Part of the cache key.
+    pub seed: Option<u64>,
+}
+
+impl QueryRequest {
+    /// A query with all optional fields left to server defaults.
+    pub fn new(s: u32, t: u32) -> Self {
+        QueryRequest {
+            s,
+            t,
+            estimator: None,
+            samples: None,
+            seed: None,
+        }
+    }
+}
+
+/// Every request the server understands.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness check.
+    Ping,
+    /// One s-t reliability query.
+    Query(QueryRequest),
+    /// Several queries answered in one round trip; the server amortizes
+    /// possible-world sampling across MC queries sharing a source (one
+    /// shared world stream answers the whole group). A grouped answer is
+    /// unbiased and thread-count-deterministic but may differ bit-wise
+    /// from the same query computed alone; the result cache replays
+    /// whichever computation landed first for a given key.
+    Batch(Vec<QueryRequest>),
+    /// Server / cache counters.
+    Stats,
+    /// Stop the server after acknowledging.
+    Shutdown,
+}
+
+/// Successful answer to one query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryResponse {
+    /// Echoed source node.
+    pub s: u32,
+    /// Echoed target node.
+    pub t: u32,
+    /// Estimated reliability in `[0, 1]`.
+    pub reliability: f64,
+    /// Samples the estimate consumed.
+    pub samples: usize,
+    /// Display name of the estimator that answered.
+    pub estimator: String,
+    /// Server-side wall time of this answer in microseconds (a cache hit
+    /// reports the lookup, not the original computation).
+    pub micros: u64,
+    /// Whether the answer came from the result cache.
+    pub cached: bool,
+}
+
+/// Server / cache counters returned by [`Request::Stats`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct StatsResponse {
+    /// Queries answered (cache hits included, rejected excluded).
+    pub queries: u64,
+    /// Result-cache hits.
+    pub cache_hits: u64,
+    /// Result-cache misses.
+    pub cache_misses: u64,
+    /// Entries currently cached.
+    pub cache_entries: usize,
+    /// Queries rejected by admission control.
+    pub rejected: u64,
+    /// Sampling worker threads per query.
+    pub threads: usize,
+    /// Graph epoch (changes when the served graph is swapped).
+    pub epoch: u64,
+    /// Nodes in the served graph.
+    pub nodes: usize,
+    /// Edges in the served graph.
+    pub edges: usize,
+    /// Microseconds since the engine started.
+    pub uptime_micros: u64,
+}
+
+impl StatsResponse {
+    /// Cache hit rate in `[0, 1]` (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Every response the server sends.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Answer to [`Request::Query`].
+    Query(QueryResponse),
+    /// Answer to [`Request::Batch`]: one entry per query, in order.
+    Batch(Vec<Result<QueryResponse, String>>),
+    /// Answer to [`Request::Stats`].
+    Stats(StatsResponse),
+    /// Acknowledgement of [`Request::Shutdown`].
+    Bye,
+    /// Any failure (parse error, admission rejection, bad query).
+    Error(String),
+}
+
+// ---------------------------------------------------------------------
+// Value-tree (de)serialization
+// ---------------------------------------------------------------------
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+fn lookup<'v>(fields: &'v [(String, Value)], name: &str) -> Option<&'v Value> {
+    fields
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .filter(|v| !matches!(v, Value::Null))
+}
+
+fn required<'v>(
+    fields: &'v [(String, Value)],
+    name: &str,
+    context: &str,
+) -> Result<&'v Value, DeError> {
+    lookup(fields, name)
+        .ok_or_else(|| DeError::custom(format!("missing field `{name}` in {context}")))
+}
+
+fn de<T: Deserialize>(v: &Value) -> Result<T, DeError> {
+    T::from_value(v)
+}
+
+impl Serialize for QueryRequest {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("s".to_owned(), self.s.to_value()),
+            ("t".to_owned(), self.t.to_value()),
+        ];
+        if let Some(e) = &self.estimator {
+            fields.push(("estimator".to_owned(), e.to_value()));
+        }
+        if let Some(k) = self.samples {
+            fields.push(("samples".to_owned(), k.to_value()));
+        }
+        if let Some(seed) = self.seed {
+            fields.push(("seed".to_owned(), seed.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for QueryRequest {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let fields = value
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", "query", value))?;
+        Ok(QueryRequest {
+            s: de(required(fields, "s", "query")?)?,
+            t: de(required(fields, "t", "query")?)?,
+            estimator: lookup(fields, "estimator").map(de).transpose()?,
+            samples: lookup(fields, "samples").map(de).transpose()?,
+            seed: lookup(fields, "seed").map(de).transpose()?,
+        })
+    }
+}
+
+impl Serialize for Request {
+    fn to_value(&self) -> Value {
+        match self {
+            Request::Ping => obj(vec![("cmd", "ping".to_value())]),
+            Request::Query(q) => {
+                let mut fields = vec![("cmd".to_owned(), "query".to_value())];
+                if let Value::Object(rest) = q.to_value() {
+                    fields.extend(rest);
+                }
+                Value::Object(fields)
+            }
+            Request::Batch(queries) => obj(vec![
+                ("cmd", "batch".to_value()),
+                ("queries", queries.to_value()),
+            ]),
+            Request::Stats => obj(vec![("cmd", "stats".to_value())]),
+            Request::Shutdown => obj(vec![("cmd", "shutdown".to_value())]),
+        }
+    }
+}
+
+impl Deserialize for Request {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let fields = value
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", "request", value))?;
+        let cmd: String = de(required(fields, "cmd", "request")?)?;
+        match cmd.as_str() {
+            "ping" => Ok(Request::Ping),
+            "query" => Ok(Request::Query(QueryRequest::from_value(value)?)),
+            "batch" => Ok(Request::Batch(de(required(fields, "queries", "batch")?)?)),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(DeError::custom(format!("unknown cmd `{other}`"))),
+        }
+    }
+}
+
+impl Serialize for QueryResponse {
+    fn to_value(&self) -> Value {
+        obj(vec![
+            ("ok", true.to_value()),
+            ("kind", "query".to_value()),
+            ("s", self.s.to_value()),
+            ("t", self.t.to_value()),
+            ("reliability", self.reliability.to_value()),
+            ("samples", self.samples.to_value()),
+            ("estimator", self.estimator.to_value()),
+            ("micros", self.micros.to_value()),
+            ("cached", self.cached.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for QueryResponse {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let fields = value
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", "query response", value))?;
+        Ok(QueryResponse {
+            s: de(required(fields, "s", "query response")?)?,
+            t: de(required(fields, "t", "query response")?)?,
+            reliability: de(required(fields, "reliability", "query response")?)?,
+            samples: de(required(fields, "samples", "query response")?)?,
+            estimator: de(required(fields, "estimator", "query response")?)?,
+            micros: de(required(fields, "micros", "query response")?)?,
+            cached: de(required(fields, "cached", "query response")?)?,
+        })
+    }
+}
+
+impl Serialize for StatsResponse {
+    fn to_value(&self) -> Value {
+        obj(vec![
+            ("ok", true.to_value()),
+            ("kind", "stats".to_value()),
+            ("queries", self.queries.to_value()),
+            ("cache_hits", self.cache_hits.to_value()),
+            ("cache_misses", self.cache_misses.to_value()),
+            ("cache_entries", self.cache_entries.to_value()),
+            ("rejected", self.rejected.to_value()),
+            ("threads", self.threads.to_value()),
+            ("epoch", self.epoch.to_value()),
+            ("nodes", self.nodes.to_value()),
+            ("edges", self.edges.to_value()),
+            ("uptime_micros", self.uptime_micros.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for StatsResponse {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let fields = value
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", "stats response", value))?;
+        let f = |name| required(fields, name, "stats response");
+        Ok(StatsResponse {
+            queries: de(f("queries")?)?,
+            cache_hits: de(f("cache_hits")?)?,
+            cache_misses: de(f("cache_misses")?)?,
+            cache_entries: de(f("cache_entries")?)?,
+            rejected: de(f("rejected")?)?,
+            threads: de(f("threads")?)?,
+            epoch: de(f("epoch")?)?,
+            nodes: de(f("nodes")?)?,
+            edges: de(f("edges")?)?,
+            uptime_micros: de(f("uptime_micros")?)?,
+        })
+    }
+}
+
+impl Serialize for Response {
+    fn to_value(&self) -> Value {
+        match self {
+            Response::Pong => obj(vec![("ok", true.to_value()), ("kind", "pong".to_value())]),
+            Response::Query(q) => q.to_value(),
+            Response::Batch(results) => {
+                let items: Vec<Value> = results
+                    .iter()
+                    .map(|r| match r {
+                        Ok(q) => q.to_value(),
+                        Err(e) => obj(vec![("ok", false.to_value()), ("error", e.to_value())]),
+                    })
+                    .collect();
+                obj(vec![
+                    ("ok", true.to_value()),
+                    ("kind", "batch".to_value()),
+                    ("results", Value::Array(items)),
+                ])
+            }
+            Response::Stats(s) => s.to_value(),
+            Response::Bye => obj(vec![("ok", true.to_value()), ("kind", "bye".to_value())]),
+            Response::Error(e) => obj(vec![("ok", false.to_value()), ("error", e.to_value())]),
+        }
+    }
+}
+
+impl Deserialize for Response {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let fields = value
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", "response", value))?;
+        let ok: bool = de(required(fields, "ok", "response")?)?;
+        if !ok {
+            return Ok(Response::Error(de(required(fields, "error", "response")?)?));
+        }
+        let kind: String = de(required(fields, "kind", "response")?)?;
+        match kind.as_str() {
+            "pong" => Ok(Response::Pong),
+            "query" => Ok(Response::Query(QueryResponse::from_value(value)?)),
+            "batch" => {
+                let items = required(fields, "results", "batch response")?
+                    .as_array()
+                    .ok_or_else(|| DeError::custom("batch `results` must be an array"))?;
+                let results = items
+                    .iter()
+                    .map(|item| {
+                        let f = item
+                            .as_object()
+                            .ok_or_else(|| DeError::expected("object", "batch item", item))?;
+                        let ok: bool = de(required(f, "ok", "batch item")?)?;
+                        if ok {
+                            Ok(Ok(QueryResponse::from_value(item)?))
+                        } else {
+                            Ok(Err(de(required(f, "error", "batch item")?)?))
+                        }
+                    })
+                    .collect::<Result<Vec<_>, DeError>>()?;
+                Ok(Response::Batch(results))
+            }
+            "stats" => Ok(Response::Stats(StatsResponse::from_value(value)?)),
+            "bye" => Ok(Response::Bye),
+            other => Err(DeError::custom(format!("unknown response kind `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(v: &T) {
+        let text = serde_json::to_string(v).unwrap();
+        assert!(!text.contains('\n'), "wire text must be one line: {text}");
+        let back: T = serde_json::from_str(&text).unwrap();
+        assert_eq!(&back, v);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip(&Request::Ping);
+        round_trip(&Request::Stats);
+        round_trip(&Request::Shutdown);
+        round_trip(&Request::Query(QueryRequest {
+            s: 3,
+            t: 9,
+            estimator: Some("mc".into()),
+            samples: Some(5000),
+            seed: Some(7),
+        }));
+        round_trip(&Request::Query(QueryRequest::new(0, 1)));
+        round_trip(&Request::Batch(vec![
+            QueryRequest::new(0, 1),
+            QueryRequest {
+                s: 0,
+                t: 2,
+                estimator: Some("auto".into()),
+                samples: None,
+                seed: Some(1),
+            },
+        ]));
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip(&Response::Pong);
+        round_trip(&Response::Bye);
+        round_trip(&Response::Error("nope".into()));
+        let q = QueryResponse {
+            s: 1,
+            t: 2,
+            reliability: 0.375,
+            samples: 4096,
+            estimator: "MC".into(),
+            micros: 1234,
+            cached: true,
+        };
+        round_trip(&Response::Query(q.clone()));
+        round_trip(&Response::Batch(vec![Ok(q), Err("bad target".into())]));
+        round_trip(&Response::Stats(StatsResponse {
+            queries: 10,
+            cache_hits: 4,
+            cache_misses: 6,
+            cache_entries: 6,
+            rejected: 1,
+            threads: 8,
+            epoch: 1,
+            nodes: 100,
+            edges: 300,
+            uptime_micros: 99,
+        }));
+    }
+
+    #[test]
+    fn hand_written_json_parses() {
+        let req: Request =
+            serde_json::from_str(r#"{"cmd":"query","s":0,"t":3,"samples":100}"#).unwrap();
+        assert_eq!(
+            req,
+            Request::Query(QueryRequest {
+                s: 0,
+                t: 3,
+                estimator: None,
+                samples: Some(100),
+                seed: None,
+            })
+        );
+        // Explicit nulls mean "default", same as absent.
+        let req: Request =
+            serde_json::from_str(r#"{"cmd":"query","s":1,"t":2,"estimator":null}"#).unwrap();
+        assert_eq!(req, Request::Query(QueryRequest::new(1, 2)));
+    }
+
+    #[test]
+    fn malformed_requests_error() {
+        assert!(serde_json::from_str::<Request>(r#"{"cmd":"nope"}"#).is_err());
+        assert!(serde_json::from_str::<Request>(r#"{"cmd":"query","s":0}"#).is_err());
+        assert!(serde_json::from_str::<Request>("[1,2]").is_err());
+        assert!(serde_json::from_str::<Request>("not json").is_err());
+    }
+
+    #[test]
+    fn hit_rate_handles_empty() {
+        let mut s = StatsResponse {
+            queries: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_entries: 0,
+            rejected: 0,
+            threads: 1,
+            epoch: 0,
+            nodes: 0,
+            edges: 0,
+            uptime_micros: 0,
+        };
+        assert_eq!(s.hit_rate(), 0.0);
+        s.cache_hits = 3;
+        s.cache_misses = 1;
+        assert_eq!(s.hit_rate(), 0.75);
+    }
+}

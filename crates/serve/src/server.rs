@@ -1,0 +1,204 @@
+//! Line-delimited JSON server over `std::net::TcpListener`.
+//!
+//! One OS thread per connection (connections are long-lived query
+//! sessions, admission control bounds the *computation* concurrency in
+//! the engine, so a thread-per-connection model is plenty for the closed
+//! workloads this repo serves). Shutdown is cooperative: a `shutdown`
+//! request flips a flag and pokes the listener so the accept loop
+//! observes it.
+
+use crate::engine::QueryEngine;
+use crate::protocol::{Request, Response};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A running (not yet accepting) query server.
+pub struct Server {
+    listener: TcpListener,
+    engine: Arc<QueryEngine>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Bind to `addr` (use port 0 for an ephemeral port in tests).
+    pub fn bind(addr: impl ToSocketAddrs, engine: Arc<QueryEngine>) -> std::io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            engine,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (resolves the actual port after binding port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that makes the accept loop exit: flips the shutdown flag
+    /// and unblocks the listener. Usable from other threads.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            flag: Arc::clone(&self.shutdown),
+            addr: self.listener.local_addr().ok(),
+        }
+    }
+
+    /// Accept connections until shutdown, spawning one handler thread per
+    /// connection.
+    pub fn run(self) -> std::io::Result<()> {
+        let addr = self.listener.local_addr()?;
+        for conn in self.listener.incoming() {
+            if self.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let stream = match conn {
+                Ok(s) => s,
+                // Per-connection failures must not kill the server.
+                Err(_) => continue,
+            };
+            let engine = Arc::clone(&self.engine);
+            let shutdown = ShutdownHandle {
+                flag: Arc::clone(&self.shutdown),
+                addr: Some(addr),
+            };
+            std::thread::spawn(move || handle_connection(stream, engine, shutdown));
+        }
+        Ok(())
+    }
+
+    /// Start the accept loop on a background thread; returns the bound
+    /// address and the thread handle. Convenience for tests and benches.
+    pub fn spawn(
+        self,
+    ) -> std::io::Result<(SocketAddr, std::thread::JoinHandle<std::io::Result<()>>)> {
+        let addr = self.local_addr()?;
+        let handle = std::thread::spawn(move || self.run());
+        Ok((addr, handle))
+    }
+}
+
+/// Remote control for a running server's accept loop.
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    flag: Arc<AtomicBool>,
+    addr: Option<SocketAddr>,
+}
+
+impl ShutdownHandle {
+    /// Request shutdown and unblock the accept loop.
+    pub fn shutdown(&self) {
+        self.flag.store(true, Ordering::Release);
+        // The accept loop only re-checks the flag after an accept; poke it
+        // with a throwaway connection so it wakes immediately.
+        if let Some(addr) = self.addr {
+            let _ = TcpStream::connect(addr);
+        }
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// Serve one connection: read request lines, write response lines.
+fn handle_connection(stream: TcpStream, engine: Arc<QueryEngine>, shutdown: ShutdownHandle) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = std::io::BufWriter::new(write_half);
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = dispatch(&line, &engine);
+        let is_bye = matches!(response, Response::Bye);
+        if write_response(&mut writer, &response).is_err() {
+            break;
+        }
+        if is_bye {
+            shutdown.shutdown();
+            break;
+        }
+    }
+}
+
+fn write_response<W: Write>(writer: &mut W, response: &Response) -> std::io::Result<()> {
+    let text = serde_json::to_string(response)
+        .unwrap_or_else(|e| format!(r#"{{"ok":false,"error":"serialize: {e}"}}"#));
+    writer.write_all(text.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Parse one request line and run it against the engine.
+pub fn dispatch(line: &str, engine: &QueryEngine) -> Response {
+    let request: Request = match serde_json::from_str(line) {
+        Ok(r) => r,
+        Err(e) => return Response::Error(format!("bad request: {e}")),
+    };
+    match request {
+        Request::Ping => Response::Pong,
+        Request::Query(q) => match engine.execute(&q) {
+            Ok(resp) => Response::Query(resp),
+            Err(e) => Response::Error(e),
+        },
+        Request::Batch(queries) => match engine.execute_batch(&queries) {
+            Ok(results) => Response::Batch(results),
+            Err(e) => Response::Error(e),
+        },
+        Request::Stats => Response::Stats(engine.stats()),
+        Request::Shutdown => Response::Bye,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use relcomp_ugraph::{GraphBuilder, NodeId};
+
+    fn engine() -> Arc<QueryEngine> {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 0.9).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 0.9).unwrap();
+        Arc::new(QueryEngine::new(
+            Arc::new(b.build()),
+            EngineConfig {
+                threads: 2,
+                ..Default::default()
+            },
+        ))
+    }
+
+    #[test]
+    fn dispatch_covers_every_command() {
+        let e = engine();
+        assert_eq!(dispatch(r#"{"cmd":"ping"}"#, &e), Response::Pong);
+        assert!(matches!(
+            dispatch(r#"{"cmd":"query","s":0,"t":2,"samples":500,"seed":1}"#, &e),
+            Response::Query(_)
+        ));
+        assert!(matches!(
+            dispatch(
+                r#"{"cmd":"batch","queries":[{"s":0,"t":1},{"s":0,"t":2}]}"#,
+                &e
+            ),
+            Response::Batch(_)
+        ));
+        assert!(matches!(
+            dispatch(r#"{"cmd":"stats"}"#, &e),
+            Response::Stats(_)
+        ));
+        assert_eq!(dispatch(r#"{"cmd":"shutdown"}"#, &e), Response::Bye);
+        assert!(matches!(dispatch("garbage", &e), Response::Error(_)));
+        assert!(matches!(
+            dispatch(r#"{"cmd":"query","s":0,"t":77}"#, &e),
+            Response::Error(_)
+        ));
+    }
+}

@@ -1,0 +1,136 @@
+//! End-to-end test of the query service over a real TCP socket:
+//! server + engine + protocol + client, exercised the way `relcomp serve`
+//! wires them.
+
+use relcomp_serve::engine::{EngineConfig, QueryEngine};
+use relcomp_serve::protocol::QueryRequest;
+use relcomp_serve::{Client, Server};
+use relcomp_ugraph::{Dataset, GraphBuilder, NodeId, UncertainGraph};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn diamond() -> UncertainGraph {
+    let mut b = GraphBuilder::new(4);
+    b.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+    b.add_edge(NodeId(0), NodeId(2), 0.6).unwrap();
+    b.add_edge(NodeId(1), NodeId(3), 0.7).unwrap();
+    b.add_edge(NodeId(2), NodeId(3), 0.4).unwrap();
+    b.build()
+}
+
+fn start(graph: UncertainGraph, threads: usize) -> (std::net::SocketAddr, Arc<QueryEngine>) {
+    let engine = Arc::new(QueryEngine::new(
+        Arc::new(graph),
+        EngineConfig {
+            threads,
+            ..Default::default()
+        },
+    ));
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&engine)).expect("bind");
+    let (addr, _handle) = server.spawn().expect("spawn");
+    (addr, engine)
+}
+
+fn connect(addr: std::net::SocketAddr) -> Client {
+    let mut client = Client::connect(addr).expect("connect");
+    client
+        .set_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    client
+}
+
+#[test]
+fn full_session_query_batch_stats_shutdown() {
+    let (addr, _engine) = start(diamond(), 2);
+    let mut client = connect(addr);
+    client.ping().expect("ping");
+
+    // Single query, then the identical query again: the repeat must be a
+    // cache hit with a bit-identical estimate.
+    let q = QueryRequest {
+        s: 0,
+        t: 3,
+        estimator: Some("mc".into()),
+        samples: Some(4000),
+        seed: Some(7),
+    };
+    let first = client.query(q.clone()).expect("first query");
+    assert!((0.0..=1.0).contains(&first.reliability));
+    assert_eq!(first.samples, 4000);
+    assert!(!first.cached);
+    let second = client.query(q).expect("second query");
+    assert!(second.cached);
+    assert_eq!(first.reliability.to_bits(), second.reliability.to_bits());
+
+    // Batch sharing a source (amortized sampling) + one failing query.
+    let batch = client
+        .batch(vec![
+            QueryRequest::new(0, 1),
+            QueryRequest::new(0, 2),
+            QueryRequest::new(0, 99),
+        ])
+        .expect("batch");
+    assert_eq!(batch.len(), 3);
+    assert!(batch[0].is_ok() && batch[1].is_ok());
+    assert!(batch[2].as_ref().unwrap_err().contains("out of range"));
+
+    // Stats reflect the session.
+    let stats = client.stats().expect("stats");
+    assert!(stats.queries >= 4);
+    assert!(stats.cache_hits >= 1);
+    assert!(stats.hit_rate() > 0.0);
+    assert_eq!(stats.nodes, 4);
+    assert_eq!(stats.edges, 4);
+
+    // A second concurrent connection works.
+    let mut other = connect(addr);
+    other.ping().expect("second connection ping");
+
+    client.shutdown().expect("shutdown");
+}
+
+#[test]
+fn server_thread_count_does_not_change_answers() {
+    // Same graph, same wire query, different engine thread counts:
+    // answers must be bit-identical (the paper's reproducibility story
+    // survives the serving layer).
+    let reliability: Vec<u64> = [1usize, 4]
+        .into_iter()
+        .map(|threads| {
+            let graph = Dataset::LastFm.generate_with_scale(0.02, 42);
+            let (addr, _engine) = start(graph, threads);
+            let mut client = connect(addr);
+            let resp = client
+                .query(QueryRequest {
+                    s: 0,
+                    t: 3,
+                    estimator: Some("mc".into()),
+                    samples: Some(3000),
+                    seed: Some(9),
+                })
+                .expect("query");
+            client.shutdown().ok();
+            resp.reliability.to_bits()
+        })
+        .collect();
+    assert_eq!(reliability[0], reliability[1]);
+}
+
+#[test]
+fn malformed_and_unknown_requests_get_errors_not_disconnects() {
+    let (addr, _engine) = start(diamond(), 1);
+    let mut client = connect(addr);
+
+    // Server-side error (bad estimator) surfaces as ClientError::Server...
+    let err = client
+        .query(QueryRequest {
+            estimator: Some("mcmc".into()),
+            ..QueryRequest::new(0, 3)
+        })
+        .expect_err("unknown estimator must fail");
+    assert!(err.to_string().contains("unknown estimator"), "{err}");
+
+    // ...and the connection is still usable afterwards.
+    client.ping().expect("connection survives errors");
+    client.shutdown().expect("shutdown");
+}

@@ -95,6 +95,12 @@ impl BfsWorkspace {
     pub fn resident_bytes(&self) -> usize {
         self.visited.resident_bytes() + self.queue.capacity() * std::mem::size_of::<NodeId>()
     }
+
+    /// Resident bytes a fresh workspace for `n` nodes would hold, without
+    /// allocating one (memory accounting on hot paths).
+    pub fn bytes_for(n: usize) -> usize {
+        n * std::mem::size_of::<u32>()
+    }
 }
 
 /// BFS over edges accepted by `edge_exists`; returns `true` as soon as `t`

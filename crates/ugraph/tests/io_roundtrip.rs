@@ -1,0 +1,117 @@
+//! Property tests: any buildable uncertain graph survives a save/load
+//! round trip through **both** on-disk formats.
+//!
+//! * Text (`save_graph`/`load_graph`): probabilities print via Rust's
+//!   shortest-round-trip float `Display`, so re-parsing recovers the
+//!   exact bits.
+//! * Binary (`save_graph_binary`/`load_graph_binary`): raw
+//!   little-endian `f64`, bit-exact by construction.
+
+use proptest::prelude::*;
+use relcomp_ugraph::io::{load_graph, load_graph_binary, save_graph, save_graph_binary};
+use relcomp_ugraph::{GraphBuilder, NodeId, UncertainGraph};
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A unique temp path per generated case (tests may run concurrently).
+fn temp_path(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let id = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "relcomp_io_roundtrip_{}_{id}_{tag}",
+        std::process::id()
+    ))
+}
+
+/// Build a graph from raw generated edges, skipping self-loops and
+/// duplicates (the strict builder rejects both).
+fn build(n: usize, raw_edges: &[(usize, usize, f64)]) -> UncertainGraph {
+    let mut b = GraphBuilder::new(n);
+    let mut seen = HashSet::new();
+    for &(u, v, p) in raw_edges {
+        let (u, v) = (u % n, v % n);
+        if u == v || !seen.insert((u, v)) {
+            continue;
+        }
+        b.add_edge(NodeId(u as u32), NodeId(v as u32), p)
+            .expect("probability in (0, 1]");
+    }
+    b.build()
+}
+
+fn assert_graphs_identical(original: &UncertainGraph, loaded: &UncertainGraph) {
+    assert_eq!(loaded.num_nodes(), original.num_nodes());
+    assert_eq!(loaded.num_edges(), original.num_edges());
+    for (e, u, v, p) in original.edges() {
+        let e2 = loaded
+            .find_edge(u, v)
+            .unwrap_or_else(|| panic!("edge {u} -> {v} lost in round trip"));
+        assert_eq!(e2, e, "edge order changed");
+        assert_eq!(
+            loaded.prob(e2).value().to_bits(),
+            p.value().to_bits(),
+            "probability of {u} -> {v} not bit-exact"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn text_format_round_trips(
+        (n, raw_edges) in (1usize..30).prop_flat_map(|n| {
+            (
+                Just(n),
+                collection::vec((0usize..30, 0usize..30, 0.001f64..1.0), 1..60),
+            )
+        })
+    ) {
+        let graph = build(n, &raw_edges);
+        let path = temp_path("text");
+        save_graph(&graph, &path).expect("save text");
+        let loaded = load_graph(&path).expect("load text");
+        std::fs::remove_file(&path).ok();
+        assert_graphs_identical(&graph, &loaded);
+    }
+
+    #[test]
+    fn binary_format_round_trips(
+        (n, raw_edges) in (1usize..30).prop_flat_map(|n| {
+            (
+                Just(n),
+                collection::vec((0usize..30, 0usize..30, 0.001f64..1.0), 1..60),
+            )
+        })
+    ) {
+        let graph = build(n, &raw_edges);
+        let path = temp_path("binary");
+        save_graph_binary(&graph, &path).expect("save binary");
+        let loaded = load_graph_binary(&path).expect("load binary");
+        std::fs::remove_file(&path).ok();
+        assert_graphs_identical(&graph, &loaded);
+    }
+
+    #[test]
+    fn formats_agree_with_each_other(
+        (n, raw_edges) in (1usize..20).prop_flat_map(|n| {
+            (
+                Just(n),
+                collection::vec((0usize..20, 0usize..20, 0.001f64..1.0), 1..30),
+            )
+        })
+    ) {
+        // Saving through either format and loading back must yield the
+        // same graph, edge for edge, bit for bit.
+        let graph = build(n, &raw_edges);
+        let (pt, pb) = (temp_path("agree_t"), temp_path("agree_b"));
+        save_graph(&graph, &pt).expect("save text");
+        save_graph_binary(&graph, &pb).expect("save binary");
+        let from_text = load_graph(&pt).expect("load text");
+        let from_binary = load_graph_binary(&pb).expect("load binary");
+        std::fs::remove_file(&pt).ok();
+        std::fs::remove_file(&pb).ok();
+        assert_graphs_identical(&from_text, &from_binary);
+    }
+}

@@ -3,11 +3,14 @@
 //! ```text
 //! relcomp generate <dataset> --out FILE [--scale S] [--seed N]
 //! relcomp stats <file>
-//! relcomp query <file> <s> <t> [--estimator NAME] [--k N] [--seed N]
+//! relcomp query <file> <s> <t> [--estimator NAME] [--samples N] [--seed N]
 //! relcomp bounds <file> <s> <t>
 //! relcomp path <file> <s> <t>
 //! relcomp topk <file> <s> [--k N] [--samples N] [--seed N]
 //! relcomp recommend --memory smaller|larger --variance lower|slight|higher --speed faster|slower
+//! relcomp serve <file> [--port P] [--threads N] [--cache N] [--seed N]
+//! relcomp client <s> <t> [--addr HOST:PORT] [--estimator NAME] [--samples N] [--seed N]
+//! relcomp client stats|ping|shutdown [--addr HOST:PORT]
 //! ```
 //!
 //! Graph files use the text edge-list format of `relcomp_ugraph::io`.
@@ -19,6 +22,9 @@ use relcomp_core::bounds::reliability_bounds;
 use relcomp_core::paths::most_reliable_path;
 use relcomp_core::topk::top_k_targets_mc;
 use relcomp_eval::recommend::{recommend, MemoryBudget, SpeedNeed, VarianceNeed};
+use relcomp_serve::engine::{EngineConfig, QueryEngine};
+use relcomp_serve::protocol::{QueryRequest, DEFAULT_PORT};
+use relcomp_serve::{Client, Server};
 use relcomp_ugraph::analysis::{degree_stats, largest_component_size};
 use relcomp_ugraph::io::{load_graph, load_graph_binary, save_graph, save_graph_binary};
 use std::collections::HashMap;
@@ -42,11 +48,14 @@ const USAGE: &str = "\
 usage:
   relcomp generate <dataset> --out FILE [--scale S] [--seed N]
   relcomp stats <file>
-  relcomp query <file> <s> <t> [--estimator NAME] [--k N] [--seed N]
+  relcomp query <file> <s> <t> [--estimator NAME] [--samples N] [--seed N]
   relcomp bounds <file> <s> <t>
   relcomp path <file> <s> <t>
   relcomp topk <file> <s> [--k N] [--samples N] [--seed N]
   relcomp recommend --memory smaller|larger --variance lower|slight|higher --speed faster|slower
+  relcomp serve <file> [--port P] [--threads N] [--cache N] [--seed N]
+  relcomp client <s> <t> [--addr HOST:PORT] [--estimator NAME] [--samples N] [--seed N]
+  relcomp client stats|ping|shutdown [--addr HOST:PORT]
 
 datasets:   lastfm nethept as_topology dblp02 dblp005 biomine
 estimators: mc bfs_sharing probtree lp+ lp rhh rss probtree+lp+ probtree+rhh probtree+rss";
@@ -73,6 +82,29 @@ fn split_options(args: &[String]) -> Result<(Vec<&str>, HashMap<&str, &str>), St
     Ok((positional, options))
 }
 
+/// Reject options the command does not understand, naming the ones it
+/// does. Typos like `--sample` or options borrowed from another command
+/// fail loudly instead of being silently ignored.
+fn check_options(cmd: &str, options: &HashMap<&str, &str>, allowed: &[&str]) -> Result<(), String> {
+    for &name in options.keys() {
+        if !allowed.contains(&name) {
+            let expected = if allowed.is_empty() {
+                "no options".to_string()
+            } else {
+                allowed
+                    .iter()
+                    .map(|a| format!("--{a}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            return Err(format!(
+                "unknown option `--{name}` for `{cmd}` (expected {expected})"
+            ));
+        }
+    }
+    Ok(())
+}
+
 fn parse_node(graph: &UncertainGraph, raw: &str, what: &str) -> Result<NodeId, String> {
     let id: u32 = raw
         .parse()
@@ -88,19 +120,7 @@ fn parse_node(graph: &UncertainGraph, raw: &str, what: &str) -> Result<NodeId, S
 }
 
 fn parse_estimator(name: &str) -> Result<EstimatorKind, String> {
-    Ok(match name.to_ascii_lowercase().as_str() {
-        "mc" => EstimatorKind::Mc,
-        "bfs_sharing" | "bfssharing" => EstimatorKind::BfsSharing,
-        "probtree" => EstimatorKind::ProbTree,
-        "lp+" | "lpplus" => EstimatorKind::LpPlus,
-        "lp" => EstimatorKind::LpOriginal,
-        "rhh" => EstimatorKind::Rhh,
-        "rss" => EstimatorKind::Rss,
-        "probtree+lp+" => EstimatorKind::ProbTreeLpPlus,
-        "probtree+rhh" => EstimatorKind::ProbTreeRhh,
-        "probtree+rss" => EstimatorKind::ProbTreeRss,
-        other => return Err(format!("unknown estimator `{other}`")),
-    })
+    EstimatorKind::parse(name).ok_or_else(|| format!("unknown estimator `{name}`"))
 }
 
 /// Load a graph, choosing the format by extension (`.ugb` = binary).
@@ -142,6 +162,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
 
     match cmd.as_str() {
         "generate" => {
+            check_options(cmd, &opts, &["out", "scale", "seed"])?;
             let [name] = pos[..] else {
                 return Err("generate needs <dataset>".into());
             };
@@ -164,6 +185,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
             Ok(())
         }
         "stats" => {
+            check_options(cmd, &opts, &[])?;
             let [file] = pos[..] else {
                 return Err("stats needs <file>".into());
             };
@@ -190,6 +212,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
             Ok(())
         }
         "query" => {
+            check_options(cmd, &opts, &["estimator", "samples", "k", "seed"])?;
             let [file, s_raw, t_raw] = pos[..] else {
                 return Err("query needs <file> <s> <t>".into());
             };
@@ -197,11 +220,14 @@ fn run(args: Vec<String>) -> Result<(), String> {
             let s = parse_node(&graph, s_raw, "source")?;
             let t = parse_node(&graph, t_raw, "target")?;
             let kind = parse_estimator(opts.get("estimator").copied().unwrap_or("probtree"))?;
+            // `--samples` is the canonical spelling (matching `topk` and
+            // the serve protocol); `--k` stays as a legacy alias.
             let k: usize = opts
-                .get("k")
+                .get("samples")
+                .or_else(|| opts.get("k"))
                 .map(|v| v.parse())
                 .transpose()
-                .map_err(|_| "bad --k")?
+                .map_err(|_| "bad --samples")?
                 .unwrap_or(1000);
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
             let params = SuiteParams {
@@ -220,6 +246,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
             Ok(())
         }
         "bounds" => {
+            check_options(cmd, &opts, &[])?;
             let [file, s_raw, t_raw] = pos[..] else {
                 return Err("bounds needs <file> <s> <t>".into());
             };
@@ -236,6 +263,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
             Ok(())
         }
         "path" => {
+            check_options(cmd, &opts, &[])?;
             let [file, s_raw, t_raw] = pos[..] else {
                 return Err("path needs <file> <s> <t>".into());
             };
@@ -256,6 +284,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
             Ok(())
         }
         "topk" => {
+            check_options(cmd, &opts, &["k", "samples", "seed"])?;
             let [file, s_raw] = pos[..] else {
                 return Err("topk needs <file> <s>".into());
             };
@@ -286,6 +315,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
             Ok(())
         }
         "recommend" => {
+            check_options(cmd, &opts, &["memory", "variance", "speed"])?;
             let memory = match opts.get("memory").copied().unwrap_or("larger") {
                 "smaller" => MemoryBudget::Smaller,
                 "larger" => MemoryBudget::Larger,
@@ -310,6 +340,128 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 println!("recommended: {}", names.join(", "));
             }
             Ok(())
+        }
+        "serve" => {
+            check_options(cmd, &opts, &["port", "threads", "cache", "seed"])?;
+            let [file] = pos[..] else {
+                return Err("serve needs <file>".into());
+            };
+            let graph = Arc::new(load_any(file)?);
+            let port: u16 = opts
+                .get("port")
+                .map(|v| v.parse())
+                .transpose()
+                .map_err(|_| "bad --port")?
+                .unwrap_or(DEFAULT_PORT);
+            let threads: usize = opts
+                .get("threads")
+                .map(|v| v.parse())
+                .transpose()
+                .map_err(|_| "bad --threads")?
+                .unwrap_or(0); // 0 = all cores
+            let cache_capacity: usize = opts
+                .get("cache")
+                .map(|v| v.parse())
+                .transpose()
+                .map_err(|_| "bad --cache")?
+                .unwrap_or(EngineConfig::default().cache_capacity);
+            let config = EngineConfig {
+                threads,
+                cache_capacity,
+                default_seed: seed,
+                ..Default::default()
+            };
+            let engine = Arc::new(QueryEngine::new(Arc::clone(&graph), config));
+            let threads = engine.stats().threads;
+            let server = Server::bind(("127.0.0.1", port), engine).map_err(|e| e.to_string())?;
+            let addr = server.local_addr().map_err(|e| e.to_string())?;
+            println!(
+                "serving {} ({} nodes, {} edges) on {addr}: {threads} sampling threads, \
+                 {cache_capacity}-entry cache",
+                file,
+                graph.num_nodes(),
+                graph.num_edges()
+            );
+            server.run().map_err(|e| e.to_string())
+        }
+        "client" => {
+            // Query-shaped invocations take the full option set; the
+            // control forms (ping/stats/shutdown) only understand --addr,
+            // and silently dropping the rest would be exactly the typo
+            // trap `check_options` exists to close.
+            match pos[..] {
+                ["ping"] | ["stats"] | ["shutdown"] => {
+                    check_options(&format!("client {}", pos[0]), &opts, &["addr"])?
+                }
+                _ => check_options(cmd, &opts, &["addr", "estimator", "samples", "seed"])?,
+            }
+            let default_addr = format!("127.0.0.1:{DEFAULT_PORT}");
+            let addr = opts.get("addr").copied().unwrap_or(&default_addr);
+            let mut client = Client::connect(addr).map_err(|e| {
+                format!("cannot connect to {addr}: {e} (is `relcomp serve` running?)")
+            })?;
+            match pos[..] {
+                ["ping"] => {
+                    client.ping().map_err(|e| e.to_string())?;
+                    println!("pong from {addr}");
+                    Ok(())
+                }
+                ["stats"] => {
+                    let s = client.stats().map_err(|e| e.to_string())?;
+                    println!("queries:       {}", s.queries);
+                    println!(
+                        "cache:         {} hits / {} misses ({:.1}% hit rate), {} entries",
+                        s.cache_hits,
+                        s.cache_misses,
+                        s.hit_rate() * 100.0,
+                        s.cache_entries
+                    );
+                    println!("rejected:      {}", s.rejected);
+                    println!("threads:       {}", s.threads);
+                    println!(
+                        "graph:         {} nodes, {} edges (epoch {})",
+                        s.nodes, s.edges, s.epoch
+                    );
+                    println!("uptime:        {:.1} s", s.uptime_micros as f64 / 1e6);
+                    Ok(())
+                }
+                ["shutdown"] => {
+                    client.shutdown().map_err(|e| e.to_string())?;
+                    println!("server at {addr} shutting down");
+                    Ok(())
+                }
+                [s_raw, t_raw] => {
+                    let parse_id = |raw: &str, what: &str| -> Result<u32, String> {
+                        raw.parse()
+                            .map_err(|_| format!("cannot parse {what} node `{raw}`"))
+                    };
+                    let request = QueryRequest {
+                        s: parse_id(s_raw, "source")?,
+                        t: parse_id(t_raw, "target")?,
+                        estimator: opts.get("estimator").map(|e| e.to_string()),
+                        samples: opts
+                            .get("samples")
+                            .map(|v| v.parse().map_err(|_| "bad --samples"))
+                            .transpose()?,
+                        // Only forward a seed the user actually gave;
+                        // otherwise the server's default applies.
+                        seed: opts.contains_key("seed").then_some(seed),
+                    };
+                    let r = client.query(request).map_err(|e| e.to_string())?;
+                    println!(
+                        "R({}, {}) ≈ {:.6}   [{}; K = {}; {:.2} ms{}]",
+                        r.s,
+                        r.t,
+                        r.reliability,
+                        r.estimator,
+                        r.samples,
+                        r.micros as f64 / 1e3,
+                        if r.cached { "; cached" } else { "" }
+                    );
+                    Ok(())
+                }
+                _ => Err("client needs <s> <t>, or one of: stats, ping, shutdown".into()),
+            }
         }
         other => Err(format!("unknown command `{other}`")),
     }

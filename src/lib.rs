@@ -8,7 +8,9 @@
 //! * [`core`] — the six estimators (MC, BFS Sharing, RHH, RSS, LP/LP+,
 //!   ProbTree) behind one [`Estimator`] trait;
 //! * [`eval`] — the paper's evaluation harness (workloads, convergence
-//!   protocol, metrics, experiments, recommendations).
+//!   protocol, metrics, experiments, recommendations);
+//! * [`serve`] — the long-lived query service (parallel sampling engine,
+//!   result cache, line-delimited JSON protocol over TCP).
 //!
 //! ## Quickstart
 //!
@@ -32,6 +34,7 @@
 
 pub use relcomp_core as core;
 pub use relcomp_eval as eval;
+pub use relcomp_serve as serve;
 pub use relcomp_ugraph as ugraph;
 
 pub use relcomp_core::{Estimate, Estimator, EstimatorKind, SuiteParams};
@@ -42,9 +45,11 @@ pub mod prelude {
     pub use relcomp_core::bfs_sharing::BfsSharing;
     pub use relcomp_core::lazy::LazyPropagation;
     pub use relcomp_core::mc::McSampling;
+    pub use relcomp_core::parallel::ParallelSampler;
     pub use relcomp_core::probtree::ProbTree;
     pub use relcomp_core::recursive::{RecursiveSampling, RecursiveStratified};
     pub use relcomp_core::{build_estimator, Estimate, Estimator, EstimatorKind, SuiteParams};
     pub use relcomp_eval::{ConvergenceConfig, ExperimentEnv, RunProfile, Workload};
+    pub use relcomp_serve::{Client, EngineConfig, QueryEngine, QueryRequest, Server};
     pub use relcomp_ugraph::{Dataset, GraphBuilder, NodeId, Probability, UncertainGraph};
 }

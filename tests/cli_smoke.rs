@@ -114,3 +114,114 @@ fn bad_usage_exits_nonzero_with_usage() {
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("usage:"), "stderr should carry usage: {err}");
 }
+
+#[test]
+fn unknown_options_are_rejected_with_expected_list() {
+    let path = temp_graph_path("flags.txt");
+    let path_str = path.to_str().unwrap();
+    stdout(&relcomp(&[
+        "generate", "lastfm", "--out", path_str, "--scale", "0.02", "--seed", "1",
+    ]));
+
+    // A typo'd option must fail loudly, naming the valid ones.
+    let out = relcomp(&[
+        "query", path_str, "0", "3", "--sample", "100", "--seed", "1",
+    ]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown option `--sample`"), "{err}");
+    assert!(
+        err.contains("--samples"),
+        "should list valid options: {err}"
+    );
+
+    // Options from other commands are rejected too.
+    let out = relcomp(&["stats", path_str, "--estimator", "mc"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown option `--estimator`"), "{err}");
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn query_accepts_samples_flag() {
+    let path = temp_graph_path("samples.txt");
+    let path_str = path.to_str().unwrap();
+    stdout(&relcomp(&[
+        "generate", "lastfm", "--out", path_str, "--scale", "0.02", "--seed", "1",
+    ]));
+    let out = stdout(&relcomp(&[
+        "query",
+        path_str,
+        "0",
+        "3",
+        "--estimator",
+        "mc",
+        "--samples",
+        "1234",
+        "--seed",
+        "7",
+    ]));
+    assert!(
+        out.contains("K = 1234"),
+        "--samples should set the budget: {out}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn serve_and_client_round_trip() {
+    use std::io::BufRead;
+
+    let path = temp_graph_path("serve.txt");
+    let path_str = path.to_str().unwrap();
+    stdout(&relcomp(&[
+        "generate", "lastfm", "--out", path_str, "--scale", "0.02", "--seed", "42",
+    ]));
+
+    // Port 0: the OS picks a free port and the banner line reports it.
+    let mut server = Command::new(env!("CARGO_BIN_EXE_relcomp"))
+        .args(["serve", path_str, "--port", "0", "--threads", "2"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("server starts");
+    let banner = {
+        let stdout = server.stdout.as_mut().expect("piped stdout");
+        let mut line = String::new();
+        std::io::BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("banner line");
+        line
+    };
+    let addr = banner
+        .split(" on ")
+        .nth(1)
+        .and_then(|rest| rest.split(": ").next())
+        .unwrap_or_else(|| panic!("unparsable banner: {banner}"))
+        .to_owned();
+
+    let query = |extra: &[&str]| {
+        let mut args = vec!["client", "0", "3", "--addr", &addr];
+        args.extend_from_slice(extra);
+        stdout(&relcomp(&args))
+    };
+
+    let first = query(&["--estimator", "mc", "--samples", "500", "--seed", "7"]);
+    assert!(first.contains("R(0, 3)"), "{first}");
+    let second = query(&["--estimator", "mc", "--samples", "500", "--seed", "7"]);
+    assert!(
+        second.contains("cached"),
+        "repeat should hit the cache: {second}"
+    );
+    // Identical estimates: cut each line at the bracket and compare.
+    let estimate = |s: &str| s.split("   [").next().map(str::to_owned);
+    assert_eq!(estimate(&first), estimate(&second));
+
+    let stats = stdout(&relcomp(&["client", "stats", "--addr", &addr]));
+    assert!(stats.contains("hit rate"), "{stats}");
+
+    stdout(&relcomp(&["client", "shutdown", "--addr", &addr]));
+    server.wait().expect("server exits after shutdown");
+    std::fs::remove_file(&path).ok();
+}
