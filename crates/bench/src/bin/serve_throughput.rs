@@ -16,7 +16,7 @@
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use relcomp_bench::{cli, emit};
+use relcomp_bench::{cli, emit, percentile};
 use relcomp_core::parallel::ParallelSampler;
 use relcomp_eval::RunProfile;
 use relcomp_serve::engine::{EngineConfig, QueryEngine};
@@ -33,11 +33,6 @@ struct Params {
     pairs: usize,
     repeats: usize,
     samples: usize,
-}
-
-fn percentile(sorted: &[u64], q: f64) -> u64 {
-    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-    sorted[idx]
 }
 
 fn main() {

@@ -1,0 +1,300 @@
+//! `update_churn` — closed-loop query/update churn driver for the
+//! `relcomp-serve` query service, plus estimator-level maintenance
+//! microbenchmarks.
+//!
+//! Two phases:
+//!
+//! 1. **Incremental vs rebuild** (estimator level, no server): for
+//!    ProbTree and BFS-Sharing, time `apply_updates` over batches of
+//!    random edge-probability updates against the full index rebuild the
+//!    same batch would otherwise force, and report the speedup — the
+//!    paper's Table 15 maintenance story generalized to live updates.
+//! 2. **Churn under load** (wire level): spin up an in-process server,
+//!    hammer it with `C` closed-loop query clients while an updater
+//!    connection applies `U` update batches through the `update`
+//!    protocol command. Reports query QPS under churn, per-update
+//!    latency percentiles, the final epoch, and cache behavior (every
+//!    update invalidates by epoch, so hit rate measures re-use *between*
+//!    updates).
+//!
+//! ```text
+//! cargo run --release --bin update_churn -- [quick|paper] [--seed N]
+//! ```
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use relcomp_bench::{cli, emit, percentile};
+use relcomp_core::bfs_sharing::BfsSharing;
+use relcomp_core::{Estimator, UpdateOutcome};
+use relcomp_eval::experiments::table15_index_update::probtree_update_costs;
+use relcomp_eval::RunProfile;
+use relcomp_serve::engine::{EngineConfig, QueryEngine};
+use relcomp_serve::protocol::{EdgeProbUpdate, QueryRequest};
+use relcomp_serve::{Client, Server};
+use relcomp_ugraph::{Dataset, EdgeId, EdgeUpdate, UncertainGraph};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+struct Params {
+    scale: f64,
+    clients: usize,
+    pairs: usize,
+    repeats: usize,
+    samples: usize,
+    update_batches: usize,
+    batch_edges: usize,
+    bench_rounds: usize,
+}
+
+/// Draw a batch of updates over random existing edges, as both the
+/// estimator-level and the wire representation.
+fn random_batch(
+    graph: &UncertainGraph,
+    batch: usize,
+    rng: &mut ChaCha8Rng,
+) -> (Vec<EdgeUpdate>, Vec<EdgeProbUpdate>) {
+    let mut resolved = Vec::with_capacity(batch);
+    let mut wire = Vec::with_capacity(batch);
+    for _ in 0..batch {
+        let e = EdgeId(rng.gen_range(0..graph.num_edges() as u32));
+        let p: f64 = rng.gen_range(0.05..0.95);
+        let (u, v) = graph.endpoints(e);
+        resolved.push(EdgeUpdate::new(e, p).expect("probability in range"));
+        wire.push(EdgeProbUpdate {
+            s: u.0,
+            t: v.0,
+            prob: p,
+        });
+    }
+    (resolved, wire)
+}
+
+/// BFS-Sharing maintenance: mean seconds per batch, incremental vs full
+/// index rebuild.
+fn bfs_sharing_update_costs(
+    graph: &Arc<UncertainGraph>,
+    worlds: usize,
+    batch: usize,
+    rounds: usize,
+    seed: u64,
+) -> (f64, f64) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut est = BfsSharing::new(Arc::clone(graph), worlds, &mut rng);
+    let mut current = Arc::clone(graph);
+    let (mut incremental, mut rebuild) = (0.0f64, 0.0f64);
+    for _ in 0..rounds {
+        let (updates, _) = random_batch(&current, batch, &mut rng);
+        let snap = current.with_updated_probs(&updates);
+
+        let start = Instant::now();
+        let outcome = est.apply_updates(&snap, &updates, &mut rng);
+        incremental += start.elapsed().as_secs_f64();
+        assert!(
+            matches!(outcome, UpdateOutcome::Incremental { .. }),
+            "snapshot updates must take the incremental path"
+        );
+
+        let start = Instant::now();
+        let fresh = BfsSharing::new(Arc::clone(&snap), worlds, &mut rng);
+        rebuild += start.elapsed().as_secs_f64();
+        drop(fresh);
+
+        current = snap;
+    }
+    (incremental / rounds as f64, rebuild / rounds as f64)
+}
+
+fn main() {
+    let cli = cli();
+    let p = match cli.profile {
+        RunProfile::Quick => Params {
+            scale: 0.05,
+            clients: 4,
+            pairs: 16,
+            repeats: 8,
+            samples: 1000,
+            update_batches: 10,
+            batch_edges: 4,
+            bench_rounds: 5,
+        },
+        RunProfile::Paper => Params {
+            scale: 0.3,
+            clients: 8,
+            pairs: 64,
+            repeats: 25,
+            samples: 5000,
+            update_batches: 50,
+            batch_edges: 16,
+            bench_rounds: 20,
+        },
+    };
+
+    let graph = Arc::new(Dataset::LastFm.generate_with_scale(p.scale, cli.seed));
+    let mut rng = ChaCha8Rng::seed_from_u64(cli.seed);
+
+    // Phase 1: incremental maintenance vs rebuild, estimator level.
+    let (pt_incr, pt_rebuild) =
+        probtree_update_costs(&graph, p.batch_edges, p.bench_rounds, cli.seed);
+    let worlds = 1500;
+    let (bs_incr, bs_rebuild) = bfs_sharing_update_costs(
+        &graph,
+        worlds,
+        p.batch_edges,
+        p.bench_rounds,
+        cli.seed ^ 0xb5,
+    );
+
+    // Phase 2: churn under load over the wire.
+    let n = graph.num_nodes() as u32;
+    let pairs: Vec<(u32, u32)> = (0..p.pairs)
+        .map(|_| {
+            let s = rng.gen_range(0..n);
+            let mut t = rng.gen_range(0..n);
+            while t == s {
+                t = rng.gen_range(0..n);
+            }
+            (s, t)
+        })
+        .collect();
+    let workload: Vec<(u32, u32)> = pairs
+        .iter()
+        .flat_map(|&pair| std::iter::repeat(pair).take(p.repeats))
+        .collect();
+
+    let engine = Arc::new(QueryEngine::new(
+        Arc::clone(&graph),
+        EngineConfig {
+            default_seed: cli.seed,
+            ..Default::default()
+        },
+    ));
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&engine)).expect("bind server");
+    let (addr, _server_thread) = server.spawn().expect("spawn server");
+
+    let cursor = AtomicUsize::new(0);
+    let done = AtomicBool::new(false);
+    let query_latencies: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(workload.len()));
+    let update_latencies: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(p.update_batches));
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        // Closed-loop query clients racing through the shared workload.
+        for _ in 0..p.clients {
+            scope.spawn(|| {
+                let mut client = Client::connect(addr).expect("connect client");
+                let mut local = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(s, t)) = workload.get(i) else {
+                        break;
+                    };
+                    let sent = Instant::now();
+                    let resp = client
+                        .query(QueryRequest {
+                            s,
+                            t,
+                            estimator: Some("mc".into()),
+                            samples: Some(p.samples),
+                            seed: Some(cli.seed),
+                        })
+                        .expect("query under churn");
+                    local.push(sent.elapsed().as_micros() as u64);
+                    assert!((0.0..=1.0).contains(&resp.reliability));
+                }
+                done.store(true, Ordering::Release);
+                query_latencies.lock().unwrap().extend(local);
+            });
+        }
+        // One updater connection drip-feeding update batches until the
+        // query workload drains (or its budget is spent).
+        scope.spawn(|| {
+            let mut client = Client::connect(addr).expect("connect updater");
+            let mut rng = ChaCha8Rng::seed_from_u64(cli.seed ^ 0xc47);
+            let mut local = Vec::new();
+            for i in 0..p.update_batches {
+                if done.load(Ordering::Acquire) && i > 0 {
+                    break;
+                }
+                let (_, wire) = random_batch(&graph, p.batch_edges, &mut rng);
+                let sent = Instant::now();
+                let resp = client.update(wire).expect("update under load");
+                local.push(sent.elapsed().as_micros() as u64);
+                assert_eq!(resp.epoch, i as u64 + 1, "epochs advance one per batch");
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            update_latencies.lock().unwrap().extend(local);
+        });
+    });
+    let wall = start.elapsed();
+
+    let mut qlat = query_latencies.into_inner().unwrap();
+    qlat.sort_unstable();
+    assert_eq!(qlat.len(), workload.len(), "every query must be answered");
+    let mut ulat = update_latencies.into_inner().unwrap();
+    ulat.sort_unstable();
+    assert!(!ulat.is_empty(), "at least one update batch must land");
+
+    let stats = engine.stats();
+    assert_eq!(stats.epoch, ulat.len() as u64, "one epoch per update batch");
+    let mut shutdown_client = Client::connect(addr).expect("connect for shutdown");
+    shutdown_client.shutdown().ok();
+
+    let qps = qlat.len() as f64 / wall.as_secs_f64();
+    let report = format!(
+        "update_churn ({:?} profile, seed {})\n\
+         =============================================\n\
+         graph:          LastFM analog, scale {} ({} nodes, {} edges)\n\
+         \n\
+         incremental maintenance vs rebuild ({} batches x {} edge updates):\n\
+         ProbTree:       {:.3} ms/batch incremental vs {:.3} ms rebuild  ({:.0}x)\n\
+         BFS-Sharing:    {:.3} ms/batch incremental vs {:.3} ms rebuild  ({:.0}x, L = {})\n\
+         \n\
+         churn under load: {} queries ({} pairs x {} repeats, K = {}), \
+         {} clients + 1 updater\n\
+         throughput:     {:.0} queries/s under churn  ({} queries in {:.2} s)\n\
+         query (us):     p50 {}  p90 {}  p99 {}  max {}\n\
+         update (us):    p50 {}  p90 {}  p99 {}  max {}  ({} batches applied)\n\
+         epochs:         final epoch {} ({} update batches), {} residents, \
+         {:.1} KiB resident index memory\n\
+         cache:          {} hits / {} misses ({:.1}% hit rate across epochs)\n",
+        cli.profile,
+        cli.seed,
+        p.scale,
+        graph.num_nodes(),
+        graph.num_edges(),
+        p.bench_rounds,
+        p.batch_edges,
+        pt_incr * 1e3,
+        pt_rebuild * 1e3,
+        pt_rebuild / pt_incr.max(1e-12),
+        bs_incr * 1e3,
+        bs_rebuild * 1e3,
+        bs_rebuild / bs_incr.max(1e-12),
+        worlds,
+        qlat.len(),
+        p.pairs,
+        p.repeats,
+        p.samples,
+        p.clients,
+        qps,
+        qlat.len(),
+        wall.as_secs_f64(),
+        percentile(&qlat, 0.50),
+        percentile(&qlat, 0.90),
+        percentile(&qlat, 0.99),
+        qlat.last().copied().unwrap_or(0),
+        percentile(&ulat, 0.50),
+        percentile(&ulat, 0.90),
+        percentile(&ulat, 0.99),
+        ulat.last().copied().unwrap_or(0),
+        ulat.len(),
+        stats.epoch,
+        stats.updates,
+        stats.resident_estimators,
+        stats.resident_bytes as f64 / 1024.0,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.hit_rate() * 100.0,
+    );
+    emit("update_churn", &report);
+}

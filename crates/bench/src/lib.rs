@@ -68,6 +68,17 @@ pub fn emit(name: &str, report: &str) {
     }
 }
 
+/// Nearest-rank percentile of an already-sorted latency sample
+/// (`q` in `[0, 1]`). Shared by the closed-loop serving benches so
+/// their latency columns stay comparable.
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn percentile(sorted: &[u64], q: f64) -> u64 {
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
 /// `results/` at the workspace root (falls back to CWD).
 pub fn results_dir() -> PathBuf {
     // CARGO_MANIFEST_DIR = crates/bench; the workspace root is two up.

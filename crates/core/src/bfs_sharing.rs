@@ -21,10 +21,10 @@
 //! queries independent (Table 15 measures this per-query refresh cost);
 //! see [`Estimator::refresh`].
 
-use crate::estimator::{validate_query, Estimate, Estimator};
+use crate::estimator::{validate_query, Estimate, Estimator, UpdateOutcome};
 use crate::memory::MemoryTracker;
 use rand::RngCore;
-use relcomp_ugraph::{EdgeId, NodeId, UncertainGraph};
+use relcomp_ugraph::{EdgeId, EdgeUpdate, NodeId, UncertainGraph};
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -70,6 +70,35 @@ impl BfsSharingIndex {
         for (e, _, _, p) in graph.edges() {
             let p = p.value();
             let base = e.index() * self.words_per_edge;
+            let mut i = crate::sampler::geometric(rng, p) as usize;
+            while i < self.l {
+                self.bits[base + i / 64] |= 1 << (i % 64);
+                i += 1 + crate::sampler::geometric(rng, p) as usize;
+            }
+        }
+    }
+
+    /// Re-draw the bit slices of `edges` only, against `graph`'s (new)
+    /// probabilities — the incremental half of an edge-probability
+    /// update: untouched edges keep their sampled worlds, touched edges
+    /// get fresh Bernoulli draws at the new rate. The cascading effect on
+    /// reachability is recomputed by the next query's shared-BFS fixpoint
+    /// (Alg. 2's cascading updates), which reads these slices.
+    pub fn resample_edges(
+        &mut self,
+        graph: &UncertainGraph,
+        edges: &[EdgeId],
+        rng: &mut dyn RngCore,
+    ) {
+        assert_eq!(
+            self.bits.len(),
+            graph.num_edges() * self.words_per_edge,
+            "index was built for a different graph"
+        );
+        for &e in edges {
+            let p = graph.prob(e).value();
+            let base = e.index() * self.words_per_edge;
+            self.bits[base..base + self.words_per_edge].fill(0);
             let mut i = crate::sampler::geometric(rng, p) as usize;
             while i < self.l {
                 self.bits[base + i / 64] |= 1 << (i % 64);
@@ -253,6 +282,28 @@ impl Estimator for BfsSharing {
     fn refresh(&mut self, rng: &mut dyn RngCore) {
         self.index.resample(&self.graph, rng);
     }
+
+    /// Incremental index maintenance: re-flip only the touched edges'
+    /// sampled bits at their new probabilities; every other edge's `L`
+    /// pre-sampled worlds survive the epoch swap.
+    fn apply_updates(
+        &mut self,
+        graph: &Arc<UncertainGraph>,
+        updates: &[EdgeUpdate],
+        rng: &mut dyn RngCore,
+    ) -> UpdateOutcome {
+        if !graph.same_topology(&self.graph) {
+            // Edge ids were reassigned (insert/delete rebuild): the whole
+            // bit matrix is stale.
+            return UpdateOutcome::Rebuild;
+        }
+        self.graph = Arc::clone(graph);
+        let touched: Vec<EdgeId> = updates.iter().map(|u| u.edge).collect();
+        self.index.resample_edges(&self.graph, &touched, rng);
+        UpdateOutcome::Incremental {
+            touched: touched.len(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -370,6 +421,60 @@ mod tests {
         let large = BfsSharing::new(g, 6400, &mut rng);
         assert!(large.index().size_bytes() >= 100 * small.index().size_bytes() / 2);
         assert!(small.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn apply_updates_refreshes_only_touched_edges() {
+        let g = diamond();
+        let mut rng = ChaCha8Rng::seed_from_u64(40);
+        let mut bs = BfsSharing::new(Arc::clone(&g), 1024, &mut rng);
+        let before = bs.index.bits.clone();
+        let e = g.find_edge(NodeId(0), NodeId(1)).unwrap();
+        let updated = g.with_updated_probs(&[EdgeUpdate::new(e, 0.05).unwrap()]);
+        let outcome = bs.apply_updates(&updated, &[EdgeUpdate::new(e, 0.05).unwrap()], &mut rng);
+        assert_eq!(outcome, UpdateOutcome::Incremental { touched: 1 });
+        let wpe = bs.index.words_per_edge;
+        for other in 0..g.num_edges() {
+            let base = other * wpe;
+            let slice = &bs.index.bits[base..base + wpe];
+            if other == e.index() {
+                // 0.5 -> 0.05: the popcount collapses.
+                let ones: u32 = slice.iter().map(|w| w.count_ones()).sum();
+                assert!(ones < 200, "expected ~51 set bits, got {ones}");
+            } else {
+                assert_eq!(slice, &before[base..base + wpe], "edge {other} touched");
+            }
+        }
+    }
+
+    #[test]
+    fn apply_updates_converges_to_new_exact() {
+        let g = diamond();
+        let mut rng = ChaCha8Rng::seed_from_u64(41);
+        let mut bs = BfsSharing::new(Arc::clone(&g), 60_000, &mut rng);
+        let e = g.find_edge(NodeId(1), NodeId(3)).unwrap();
+        let up = EdgeUpdate::new(e, 0.05).unwrap();
+        let updated = g.with_updated_probs(&[up]);
+        bs.apply_updates(&updated, &[up], &mut rng);
+        let exact = exact_reliability(&updated, NodeId(0), NodeId(3));
+        let est = bs.estimate(NodeId(0), NodeId(3), 60_000, &mut rng);
+        assert!(
+            (est.reliability - exact).abs() < 0.01,
+            "{} vs {exact}",
+            est.reliability
+        );
+    }
+
+    #[test]
+    fn apply_updates_demands_shared_topology() {
+        let g = diamond();
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let mut bs = BfsSharing::new(Arc::clone(&g), 128, &mut rng);
+        // A structurally identical but independently built graph must
+        // force a rebuild (edge ids are only trustworthy via snapshots).
+        let rebuilt = Arc::new(g.with_edits(&[], &[]).unwrap());
+        let outcome = bs.apply_updates(&rebuilt, &[], &mut rng);
+        assert_eq!(outcome, UpdateOutcome::Rebuild);
     }
 
     #[test]

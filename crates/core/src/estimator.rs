@@ -7,7 +7,8 @@
 //! samples used, wall time, auxiliary memory).
 
 use rand::RngCore;
-use relcomp_ugraph::{NodeId, UncertainGraph};
+use relcomp_ugraph::{EdgeUpdate, NodeId, UncertainGraph};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Result of one s-t reliability estimation.
@@ -30,6 +31,38 @@ impl Estimate {
     /// evaluation harness's debug assertions).
     pub fn is_valid(&self) -> bool {
         (0.0..=1.0).contains(&self.reliability) && self.reliability.is_finite()
+    }
+}
+
+/// How an estimator absorbed a batch of edge-probability updates
+/// ([`Estimator::apply_updates`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UpdateOutcome {
+    /// The estimator keeps no per-graph index: it simply rebound to the
+    /// new epoch's graph (pure sampling methods).
+    Rebound,
+    /// The index was maintained incrementally; `touched` counts the index
+    /// units recomputed (decomposition bags for ProbTree, edge bit-slices
+    /// for BFS-Sharing) — the §3.8 / Table 15 maintenance cost.
+    Incremental {
+        /// Index units (bags / edge slices) recomputed.
+        touched: usize,
+    },
+    /// The estimator cannot migrate (topology changed, or no incremental
+    /// path exists); the caller must rebuild it from scratch over the new
+    /// graph.
+    Rebuild,
+}
+
+impl UpdateOutcome {
+    /// Short operator-facing label (wire `update` responses, bench
+    /// reports).
+    pub fn label(self) -> &'static str {
+        match self {
+            UpdateOutcome::Rebound => "rebound",
+            UpdateOutcome::Incremental { .. } => "incremental",
+            UpdateOutcome::Rebuild => "rebuild",
+        }
     }
 }
 
@@ -64,6 +97,25 @@ pub trait Estimator {
     /// must be re-drawn between queries — Table 15 of the paper measures
     /// exactly this cost). Default: no-op.
     fn refresh(&mut self, _rng: &mut dyn RngCore) {}
+
+    /// Migrate this estimator to a new graph epoch produced by
+    /// [`UncertainGraph::with_updated_probs`] with `updates`.
+    ///
+    /// `graph` must share the old graph's topology
+    /// ([`UncertainGraph::same_topology`]); implementations that maintain
+    /// an index repair only the parts `updates` touched instead of
+    /// rebuilding (the paper's Table 15 cost, generalized). The default
+    /// conservatively reports [`UpdateOutcome::Rebuild`]: the caller
+    /// drops the estimator and constructs a fresh one over `graph`.
+    fn apply_updates(
+        &mut self,
+        graph: &Arc<UncertainGraph>,
+        updates: &[EdgeUpdate],
+        rng: &mut dyn RngCore,
+    ) -> UpdateOutcome {
+        let _ = (graph, updates, rng);
+        UpdateOutcome::Rebuild
+    }
 }
 
 /// Validate a query against the graph, panicking with a clear message.

@@ -26,12 +26,12 @@
 //! the comparison paper describes (Example 1, case 1) and reproduces
 //! Fig. 5's "LP estimates much higher reliability than MC".
 
-use crate::estimator::{validate_query, Estimate, Estimator};
+use crate::estimator::{validate_query, Estimate, Estimator, UpdateOutcome};
 use crate::memory::MemoryTracker;
 use crate::sampler::geometric;
 use rand::RngCore;
 use relcomp_ugraph::traversal::VisitSet;
-use relcomp_ugraph::{NodeId, UncertainGraph};
+use relcomp_ugraph::{EdgeUpdate, NodeId, UncertainGraph};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
@@ -220,6 +220,21 @@ impl Estimator for LazyPropagation {
                 .map(|s| s.heap.len() * std::mem::size_of::<HeapEntry>())
                 .sum::<usize>()
             + self.visited.resident_bytes()
+    }
+
+    fn apply_updates(
+        &mut self,
+        graph: &Arc<UncertainGraph>,
+        _updates: &[EdgeUpdate],
+        _rng: &mut dyn RngCore,
+    ) -> UpdateOutcome {
+        // The per-node workspaces are keyed by node count only; edge
+        // probabilities are read from the graph at query time.
+        if graph.num_nodes() != self.graph.num_nodes() {
+            return UpdateOutcome::Rebuild;
+        }
+        self.graph = Arc::clone(graph);
+        UpdateOutcome::Rebound
     }
 }
 

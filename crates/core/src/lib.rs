@@ -55,6 +55,6 @@ pub mod sampler;
 pub mod suite;
 pub mod topk;
 
-pub use estimator::{Estimate, Estimator};
+pub use estimator::{Estimate, Estimator, UpdateOutcome};
 pub use parallel::ParallelSampler;
 pub use suite::{build_estimator, EstimatorKind, SuiteParams};

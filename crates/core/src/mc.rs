@@ -7,12 +7,12 @@
 //! early as soon as `t` is visited. The estimator is the hit fraction —
 //! unbiased, with Binomial variance `R(1-R)/K` (Eq. 4).
 
-use crate::estimator::{validate_query, Estimate, Estimator};
+use crate::estimator::{validate_query, Estimate, Estimator, UpdateOutcome};
 use crate::memory::MemoryTracker;
 use crate::sampler::coin;
 use rand::RngCore;
 use relcomp_ugraph::traversal::{bfs_reaches, BfsWorkspace};
-use relcomp_ugraph::{NodeId, UncertainGraph};
+use relcomp_ugraph::{EdgeUpdate, NodeId, UncertainGraph};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -68,6 +68,21 @@ impl Estimator for McSampling {
             elapsed: start.elapsed(),
             aux_bytes: mem.peak(),
         }
+    }
+
+    fn apply_updates(
+        &mut self,
+        graph: &Arc<UncertainGraph>,
+        _updates: &[EdgeUpdate],
+        _rng: &mut dyn RngCore,
+    ) -> UpdateOutcome {
+        // No index: any graph over the same node space (the workspace is
+        // sized by n) can simply be rebound.
+        if graph.num_nodes() != self.graph.num_nodes() {
+            return UpdateOutcome::Rebuild;
+        }
+        self.graph = Arc::clone(graph);
+        UpdateOutcome::Rebound
     }
 }
 

@@ -6,7 +6,9 @@
 //! probabilistic edges and pre-compute directed boundary-pair
 //! reliabilities.
 
-use relcomp_ugraph::{DuplicatePolicy, GraphBuilder, NodeId, Probability, UncertainGraph};
+use relcomp_ugraph::{
+    DuplicatePolicy, EdgeId, EdgeUpdate, GraphBuilder, NodeId, Probability, UncertainGraph,
+};
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap, HashMap, HashSet};
 use std::sync::Arc;
@@ -23,14 +25,23 @@ pub struct DirEdge {
 }
 
 /// One element of a bag's (or the root's) content.
+///
+/// Raw entries store the original **edge id**, not a probability copy:
+/// endpoints and probability are read through the index's graph `Arc` at
+/// use time, so an epoch swap ([`ProbTreeIndex::apply_updates`])
+/// automatically refreshes every raw edge and only the pre-computed
+/// virtual edges need repair.
 #[derive(Clone, Copy, Debug)]
 enum Entry {
     /// An original edge of the input graph.
-    Raw(DirEdge),
+    Raw(EdgeId),
     /// A collapsed child bag, standing for its pre-computed boundary-pair
     /// virtual edges.
     Child(usize),
 }
+
+/// Sentinel in the edge→bag map for edges living in the root.
+const IN_ROOT: u32 = u32::MAX;
 
 /// A decomposition bag: a covered node, its boundary (1 or 2 nodes), the
 /// absorbed content, and the upward virtual edges.
@@ -65,6 +76,10 @@ pub struct ProbTreeIndex {
     /// For each node: the bag covering it, if any.
     covered_in: Vec<Option<u32>>,
     root_entries: Vec<Entry>,
+    /// For each edge: the bag whose content holds it ([`IN_ROOT`] if it
+    /// lives in the root). Drives incremental maintenance: an updated
+    /// edge dirties exactly this bag.
+    edge_bag: Vec<u32>,
 }
 
 /// Result of query-graph extraction: a relabeled small uncertain graph and
@@ -87,17 +102,10 @@ impl ProbTreeIndex {
         // Undirected skeleton + pair store of directed content.
         let mut adj: Vec<BTreeSet<NodeId>> = vec![BTreeSet::new(); n];
         let mut store: HashMap<(u32, u32), Vec<Entry>> = HashMap::new();
-        for (_, u, v, p) in graph.edges() {
+        for (e, u, v, _) in graph.edges() {
             adj[u.index()].insert(v);
             adj[v.index()].insert(u);
-            store
-                .entry(pair_key(u, v))
-                .or_default()
-                .push(Entry::Raw(DirEdge {
-                    from: u,
-                    to: v,
-                    prob: p.value(),
-                }));
+            store.entry(pair_key(u, v)).or_default().push(Entry::Raw(e));
         }
 
         let mut bags: Vec<Bag> = Vec::new();
@@ -217,11 +225,23 @@ impl ProbTreeIndex {
             }
         }
 
+        // Edge -> containing bag, for dirtying on updates. Every raw edge
+        // lands in exactly one bag's entries or in the root.
+        let mut edge_bag = vec![IN_ROOT; graph.num_edges()];
+        for (bag_id, bag) in bags.iter().enumerate() {
+            for entry in &bag.entries {
+                if let Entry::Raw(e) = *entry {
+                    edge_bag[e.index()] = bag_id as u32;
+                }
+            }
+        }
+
         let mut index = ProbTreeIndex {
             graph,
             bags,
             covered_in,
             root_entries,
+            edge_bag,
         };
         index.precompute_up_edges();
         index
@@ -233,26 +253,77 @@ impl ProbTreeIndex {
     /// valid bottom-up order: a bag's children are always created earlier.
     fn precompute_up_edges(&mut self) {
         for i in 0..self.bags.len() {
-            if self.bags[i].boundary.len() != 2 {
-                continue;
+            self.recompute_up_edges(i);
+        }
+    }
+
+    /// Re-aggregate bag `i`'s upward virtual edges from its current
+    /// content; returns whether they changed (the trigger for dirtying
+    /// the parent during incremental maintenance).
+    fn recompute_up_edges(&mut self, i: usize) -> bool {
+        if self.bags[i].boundary.len() != 2 {
+            // Pendant bags carry no transit connectivity.
+            return false;
+        }
+        let (a, b) = (self.bags[i].boundary[0], self.bags[i].boundary[1]);
+        let v = self.bags[i].covered;
+        let mut up = Vec::with_capacity(2);
+        for (x, y) in [(a, b), (b, a)] {
+            let direct = self.combined_prob(i, x, y);
+            let via = self.combined_prob(i, x, v) * self.combined_prob(i, v, y);
+            let p = 1.0 - (1.0 - direct) * (1.0 - via);
+            if p > 0.0 {
+                up.push(DirEdge {
+                    from: x,
+                    to: y,
+                    prob: p.min(1.0),
+                });
             }
-            let (a, b) = (self.bags[i].boundary[0], self.bags[i].boundary[1]);
-            let v = self.bags[i].covered;
-            let mut up = Vec::with_capacity(2);
-            for (x, y) in [(a, b), (b, a)] {
-                let direct = self.combined_prob(i, x, y);
-                let via = self.combined_prob(i, x, v) * self.combined_prob(i, v, y);
-                let p = 1.0 - (1.0 - direct) * (1.0 - via);
-                if p > 0.0 {
-                    up.push(DirEdge {
-                        from: x,
-                        to: y,
-                        prob: p.min(1.0),
-                    });
+        }
+        let changed = up != self.bags[i].up_edges;
+        self.bags[i].up_edges = up;
+        changed
+    }
+
+    /// Incremental index maintenance for a batch of edge-probability
+    /// updates (the Table 15 / §3.8 maintenance cost, generalized):
+    /// swap in the new epoch's graph (raw entries read probabilities
+    /// through it), then re-aggregate only the decomposition bags whose
+    /// content the batch touched, propagating changed virtual edges
+    /// upward along the bag tree. Returns the number of bags
+    /// re-aggregated — `O(batch · tree height)` instead of the full
+    /// `O(n + m)` rebuild.
+    ///
+    /// `graph` must share this index's topology
+    /// ([`UncertainGraph::same_topology`]); callers handle the rebuild
+    /// path themselves.
+    pub fn apply_updates(&mut self, graph: &Arc<UncertainGraph>, updates: &[EdgeUpdate]) -> usize {
+        assert!(
+            graph.same_topology(&self.graph),
+            "incremental ProbTree maintenance requires a with_updated_probs snapshot"
+        );
+        self.graph = Arc::clone(graph);
+        // Seed the dirty set with the bags holding updated edges (root
+        // edges need no aggregation work at all).
+        let mut dirty: BTreeSet<usize> = updates
+            .iter()
+            .map(|u| self.edge_bag[u.edge.index()])
+            .filter(|&b| b != IN_ROOT)
+            .map(|b| b as usize)
+            .collect();
+        // Ascending order is bottom-up: a bag's parent is always created
+        // (and therefore numbered) later, so propagation only ever
+        // inserts ids greater than the one just popped.
+        let mut touched = 0usize;
+        while let Some(b) = dirty.pop_first() {
+            touched += 1;
+            if self.recompute_up_edges(b) {
+                if let Some(p) = self.bags[b].parent {
+                    dirty.insert(p);
                 }
             }
-            self.bags[i].up_edges = up;
         }
+        touched
     }
 
     /// Probability that `from` reaches `to` through bag `i`'s content
@@ -263,8 +334,8 @@ impl ProbTreeIndex {
         for entry in &self.bags[bag].entries {
             match *entry {
                 Entry::Raw(e) => {
-                    if e.from == from && e.to == to {
-                        fail *= 1.0 - e.prob;
+                    if self.graph.source(e) == from && self.graph.target(e) == to {
+                        fail *= 1.0 - self.graph.prob(e).value();
                     }
                 }
                 Entry::Child(c) => {
@@ -309,7 +380,8 @@ impl ProbTreeIndex {
     pub fn size_bytes(&self) -> usize {
         let entry = std::mem::size_of::<Entry>();
         let dir = std::mem::size_of::<DirEdge>();
-        let mut total = self.covered_in.len() * 5 + self.root_entries.len() * entry;
+        let mut total =
+            self.covered_in.len() * 5 + self.root_entries.len() * entry + self.edge_bag.len() * 4;
         for bag in &self.bags {
             total += 32 // covered/parent/headers
                 + bag.boundary.len() * 4
@@ -340,7 +412,11 @@ impl ProbTreeIndex {
         let mut stack: Vec<&Entry> = self.root_entries.iter().collect();
         while let Some(entry) = stack.pop() {
             match *entry {
-                Entry::Raw(e) => edges.push(e),
+                Entry::Raw(e) => edges.push(DirEdge {
+                    from: self.graph.source(e),
+                    to: self.graph.target(e),
+                    prob: self.graph.prob(e).value(),
+                }),
                 Entry::Child(c) => {
                     if expanded.contains(&c) {
                         stack.extend(self.bags[c].entries.iter());
@@ -484,6 +560,53 @@ mod tests {
             20,
             "every node is either covered by exactly one bag or in the root"
         );
+    }
+
+    #[test]
+    fn apply_updates_matches_fresh_index_on_chain() {
+        let g = chain(12, 0.5);
+        let mut idx = ProbTreeIndex::build(Arc::clone(&g));
+        let e = g.find_edge(NodeId(5), NodeId(6)).unwrap();
+        let up = EdgeUpdate::new(e, 0.9).unwrap();
+        let snap = g.with_updated_probs(&[up]);
+        let touched = idx.apply_updates(&snap, &[up]);
+        assert!(touched >= 1, "a covered edge must dirty its bag");
+        let fresh = ProbTreeIndex::build(Arc::clone(&snap));
+        let a = idx.extract_query_graph(NodeId(0), NodeId(11));
+        let b = fresh.extract_query_graph(NodeId(0), NodeId(11));
+        let ra = crate::exact::exact_reliability(&a.graph, a.s, a.t);
+        let rb = crate::exact::exact_reliability(&b.graph, b.s, b.t);
+        assert!((ra - rb).abs() < 1e-12, "incremental {ra} vs fresh {rb}");
+        // Ground truth: ten 0.5 edges and one upgraded to 0.9.
+        let expect = 0.5f64.powi(10) * 0.9;
+        assert!((ra - expect).abs() < 1e-12, "{ra} vs {expect}");
+    }
+
+    #[test]
+    fn apply_updates_to_root_edges_touches_no_bags() {
+        // 5-node clique: every node has degree 4 > w, nothing decomposes,
+        // every edge lives in the root and needs zero aggregation work.
+        let mut b = GraphBuilder::new(5);
+        for u in 0..5u32 {
+            for v in (u + 1)..5u32 {
+                b.add_bidirected(NodeId(u), NodeId(v), 0.5).unwrap();
+            }
+        }
+        let g = Arc::new(b.build());
+        let mut idx = ProbTreeIndex::build(Arc::clone(&g));
+        let e = g.find_edge(NodeId(0), NodeId(1)).unwrap();
+        let up = EdgeUpdate::new(e, 0.9).unwrap();
+        let snap = g.with_updated_probs(&[up]);
+        assert_eq!(idx.apply_updates(&snap, &[up]), 0);
+        // The updated probability still flows into extractions (raw
+        // entries read through the swapped graph).
+        let q = idx.extract_query_graph(NodeId(0), NodeId(1));
+        let exact = crate::exact::exact_reliability(&q.graph, q.s, q.t);
+        let fresh = ProbTreeIndex::build(snap);
+        let qf = fresh.extract_query_graph(NodeId(0), NodeId(1));
+        let exact_fresh = crate::exact::exact_reliability(&qf.graph, qf.s, qf.t);
+        assert!((exact - exact_fresh).abs() < 1e-12);
+        assert!(exact > 0.9, "upgraded direct edge dominates: {exact}");
     }
 
     #[test]

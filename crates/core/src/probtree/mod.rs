@@ -32,13 +32,13 @@ mod decompose;
 
 pub use decompose::{DecompositionStats, ProbTreeIndex};
 
-use crate::estimator::{validate_query, Estimate, Estimator};
+use crate::estimator::{validate_query, Estimate, Estimator, UpdateOutcome};
 use crate::lazy::LazyPropagation;
 use crate::mc::McSampling;
 use crate::memory::MemoryTracker;
 use crate::recursive::{RecursiveSampling, RecursiveStratified};
 use rand::RngCore;
-use relcomp_ugraph::{NodeId, UncertainGraph};
+use relcomp_ugraph::{EdgeUpdate, NodeId, UncertainGraph};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -157,6 +157,24 @@ impl Estimator for ProbTree {
 
     fn resident_bytes(&self) -> usize {
         self.index.size_bytes()
+    }
+
+    /// Incremental index maintenance: re-aggregate only the decomposition
+    /// bags the batch touched (plus their ancestors whose virtual edges
+    /// changed) instead of re-running the full decomposition.
+    fn apply_updates(
+        &mut self,
+        graph: &Arc<UncertainGraph>,
+        updates: &[EdgeUpdate],
+        _rng: &mut dyn RngCore,
+    ) -> UpdateOutcome {
+        if !graph.same_topology(self.index.graph()) {
+            // Insert/delete rebuilds reassign edge ids and can change the
+            // decomposition itself.
+            return UpdateOutcome::Rebuild;
+        }
+        let touched = self.index.apply_updates(graph, updates);
+        UpdateOutcome::Incremental { touched }
     }
 }
 
@@ -281,6 +299,45 @@ mod tests {
         assert_eq!(
             ProbTree::with_inner(Arc::clone(&g), InnerEstimator::Rss).name(),
             "ProbTree+RSS"
+        );
+    }
+
+    #[test]
+    fn apply_updates_tracks_new_probabilities() {
+        let g = figure6_graph();
+        let mut pt = ProbTree::new(Arc::clone(&g));
+        let mut rng = ChaCha8Rng::seed_from_u64(65);
+        // Weaken both directions of the 1-5 edge; reliability 3 -> 5 drops.
+        let updates: Vec<EdgeUpdate> = [(1u32, 5u32), (5, 1)]
+            .iter()
+            .map(|&(u, v)| {
+                EdgeUpdate::new(g.find_edge(NodeId(u), NodeId(v)).unwrap(), 0.05).unwrap()
+            })
+            .collect();
+        let snap = g.with_updated_probs(&updates);
+        let outcome = pt.apply_updates(&snap, &updates, &mut rng);
+        assert!(
+            matches!(outcome, UpdateOutcome::Incremental { .. }),
+            "{outcome:?}"
+        );
+        let exact = exact_reliability(&snap, NodeId(3), NodeId(5));
+        let est = pt.estimate(NodeId(3), NodeId(5), 60_000, &mut rng);
+        assert!(
+            (est.reliability - exact).abs() < 0.012,
+            "{} vs exact {exact}",
+            est.reliability
+        );
+    }
+
+    #[test]
+    fn apply_updates_demands_shared_topology() {
+        let g = figure6_graph();
+        let mut pt = ProbTree::new(Arc::clone(&g));
+        let mut rng = ChaCha8Rng::seed_from_u64(66);
+        let rebuilt = Arc::new(g.with_edits(&[], &[]).unwrap());
+        assert_eq!(
+            pt.apply_updates(&rebuilt, &[], &mut rng),
+            UpdateOutcome::Rebuild
         );
     }
 

@@ -10,11 +10,11 @@
 //! on: an included s-t path (reliability 1), an excluded s-t cut
 //! (reliability 0), or a budget below the threshold (conditional MC).
 
-use crate::estimator::{validate_query, Estimate, Estimator};
+use crate::estimator::{validate_query, Estimate, Estimator, UpdateOutcome};
 use crate::memory::MemoryTracker;
 use crate::recursive::state::RecState;
 use rand::RngCore;
-use relcomp_ugraph::{NodeId, UncertainGraph};
+use relcomp_ugraph::{EdgeUpdate, NodeId, UncertainGraph};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -118,6 +118,21 @@ impl Estimator for RecursiveSampling {
             elapsed: start.elapsed(),
             aux_bytes: mem.peak(),
         }
+    }
+
+    fn apply_updates(
+        &mut self,
+        graph: &Arc<UncertainGraph>,
+        _updates: &[EdgeUpdate],
+        _rng: &mut dyn RngCore,
+    ) -> UpdateOutcome {
+        // Stateless between queries: rebinding the graph is the whole
+        // migration.
+        if graph.num_nodes() != self.graph.num_nodes() {
+            return UpdateOutcome::Rebuild;
+        }
+        self.graph = Arc::clone(graph);
+        UpdateOutcome::Rebound
     }
 }
 

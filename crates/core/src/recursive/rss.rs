@@ -14,11 +14,11 @@
 //! the final estimate is `sum_i pi_i * mu_i`. RHH is the special case
 //! `r = 1` (§3.2 point 1).
 
-use crate::estimator::{validate_query, Estimate, Estimator};
+use crate::estimator::{validate_query, Estimate, Estimator, UpdateOutcome};
 use crate::memory::MemoryTracker;
 use crate::recursive::state::RecState;
 use rand::RngCore;
-use relcomp_ugraph::{EdgeId, NodeId, UncertainGraph};
+use relcomp_ugraph::{EdgeId, EdgeUpdate, NodeId, UncertainGraph};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -171,6 +171,21 @@ impl Estimator for RecursiveStratified {
             elapsed: start.elapsed(),
             aux_bytes: mem.peak(),
         }
+    }
+
+    fn apply_updates(
+        &mut self,
+        graph: &Arc<UncertainGraph>,
+        _updates: &[EdgeUpdate],
+        _rng: &mut dyn RngCore,
+    ) -> UpdateOutcome {
+        // Stateless between queries: rebinding the graph is the whole
+        // migration.
+        if graph.num_nodes() != self.graph.num_nodes() {
+            return UpdateOutcome::Rebuild;
+        }
+        self.graph = Arc::clone(graph);
+        UpdateOutcome::Rebound
     }
 }
 

@@ -1,7 +1,10 @@
 //! Blocking client for the query service.
 
 use crate::engine::BatchResults;
-use crate::protocol::{QueryRequest, QueryResponse, Request, Response, StatsResponse};
+use crate::protocol::{
+    EdgeProbUpdate, QueryRequest, QueryResponse, ReloadResponse, Request, Response, StatsResponse,
+    UpdateResponse,
+};
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -105,6 +108,28 @@ impl Client {
             Response::Batch(results) => Ok(results),
             other => Err(ClientError::Protocol(format!(
                 "expected batch answer, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Apply a batch of edge-probability updates: the server snapshots a
+    /// new graph epoch and migrates its resident indexes incrementally.
+    pub fn update(&mut self, updates: Vec<EdgeProbUpdate>) -> Result<UpdateResponse, ClientError> {
+        match self.request(&Request::Update(updates))? {
+            Response::Update(u) => Ok(u),
+            other => Err(ClientError::Protocol(format!(
+                "expected update answer, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Replace the served graph from a file (`None` = the file the
+    /// server was started from).
+    pub fn reload(&mut self, path: Option<String>) -> Result<ReloadResponse, ClientError> {
+        match self.request(&Request::Reload { path })? {
+            Response::Reload(r) => Ok(r),
+            other => Err(ClientError::Protocol(format!(
+                "expected reload answer, got {other:?}"
             ))),
         }
     }

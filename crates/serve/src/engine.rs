@@ -1,39 +1,61 @@
 //! The query engine: admission control, per-query estimator planning,
-//! result caching, and batched execution over the parallel sampler.
+//! result caching, batched execution over the parallel sampler, and
+//! **live graph epochs** — edge-probability updates and wholesale
+//! reloads swap the served graph without restarting the process.
 //!
-//! One engine serves one graph. Answers are independent of the worker
-//! thread count and keyed by `(graph epoch, s, t, estimator, samples,
-//! seed)`:
+//! One engine serves one graph *lineage*. Answers are independent of the
+//! worker thread count and keyed by `(graph epoch, s, t, estimator,
+//! samples, seed)`:
 //!
 //! * MC and BFS-Sharing queries run on the [`ParallelSampler`], whose
 //!   sharded RNG streams make the estimate independent of the worker
 //!   thread count;
 //! * the remaining estimators (ProbTree, LP/LP+, RHH, RSS, couplings)
-//!   are built once, parked behind per-kind mutexes, and queried with an
-//!   RNG derived from the cache key.
+//!   are built once, parked in an epoch-tagged registry behind per-kind
+//!   mutexes, and queried with an RNG derived from the cache key.
 //!
 //! Batches amortize sampling: MC queries sharing `(s, samples, seed)`
 //! are answered from **one** stream of possible worlds via
 //! [`ParallelSampler::estimate_mc_multi`] — n queries for the sampling
 //! cost of one. A batch group of one degenerates to exactly the
 //! single-query stream, so cache entries never depend on whether a query
-//! arrived alone or in a batch of one. A group of two or more draws from
-//! the group's shared stream, which differs bit-wise from the
-//! early-terminating single-query stream (both unbiased, both
-//! thread-count-deterministic): the first computation of a key — alone
-//! or inside some batch — is the answer the cache replays thereafter.
+//! arrived alone or in a batch of one.
+//!
+//! ## Epoch swaps
+//!
+//! [`QueryEngine::apply_updates`] resolves a batch of `(s, t, prob)`
+//! updates against the current graph, snapshots a new epoch via
+//! [`UncertainGraph::with_updated_probs`] (topology shared,
+//! probabilities copy-on-write), migrates every resident estimator
+//! through [`Estimator::apply_updates`] — incremental index maintenance
+//! for ProbTree, a pointer rebind for the index-free estimators — and
+//! evicts residents that cannot migrate (rebuilt lazily on next use).
+//! MC and BFS-Sharing queries sample from the swapped-in graph on
+//! their next query, so the sampler path needs no migration. The epoch
+//! bump makes every existing cache key miss, so stale answers age out
+//! of the LRU without an explicit flush.
+//!
+//! Queries snapshot `(epoch, graph, sampler)` once and compute entirely
+//! against that snapshot; a query that races an epoch swap on the
+//! resident-estimator path detects the migrated (re-tagged) estimator
+//! under its lock and transparently retries against the new epoch, so a
+//! cache entry is only ever written by a computation over its own
+//! epoch's graph.
 
 use crate::cache::ShardedLru;
-use crate::protocol::{QueryRequest, QueryResponse, StatsResponse};
+use crate::protocol::{
+    EdgeProbUpdate, MigratedResident, QueryRequest, QueryResponse, ReloadResponse, StatsResponse,
+    UpdateResponse,
+};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use relcomp_core::parallel::{shard_rng, ParallelSampler};
-use relcomp_core::{build_estimator, Estimator, EstimatorKind, SuiteParams};
+use relcomp_core::{build_estimator, Estimator, EstimatorKind, SuiteParams, UpdateOutcome};
 use relcomp_eval::recommend::{recommend, MemoryBudget, SpeedNeed, VarianceNeed};
-use relcomp_ugraph::{NodeId, UncertainGraph};
+use relcomp_ugraph::{EdgeUpdate, NodeId, UncertainGraph};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
 /// Tunable knobs of a [`QueryEngine`].
@@ -88,7 +110,7 @@ impl Default for EngineConfig {
 /// Everything that determines an answer bit-for-bit.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct QueryKey {
-    /// Graph epoch (bumped when the served graph is replaced).
+    /// Graph epoch (bumped on every update/reload).
     pub epoch: u64,
     /// Source node.
     pub s: u32,
@@ -127,6 +149,31 @@ struct CachedAnswer {
     estimator: &'static str,
 }
 
+/// The query raced an epoch swap; re-snapshot and retry.
+struct Stale;
+
+/// A resident estimator with the epoch its index currently reflects.
+/// The tag is read and written only under the mutex, so a query that
+/// locked the cell observes exactly the epoch its answer will come from.
+type ResidentCell = Mutex<(u64, Box<dyn Estimator + Send>)>;
+
+/// The swappable half of the engine: everything an epoch bump replaces,
+/// kept under one lock so `(epoch, graph, sampler, registry)` always
+/// change together.
+struct EngineState {
+    epoch: u64,
+    graph: Arc<UncertainGraph>,
+    sampler: Arc<ParallelSampler>,
+    resident: HashMap<EstimatorKind, Arc<ResidentCell>>,
+}
+
+/// A consistent view of one epoch, cheap to clone out of the lock.
+struct Snapshot {
+    epoch: u64,
+    graph: Arc<UncertainGraph>,
+    sampler: Arc<ParallelSampler>,
+}
+
 /// Decrements the in-flight counter on drop (panic-safe admission).
 struct InflightGuard<'a>(&'a AtomicUsize);
 
@@ -136,21 +183,26 @@ impl Drop for InflightGuard<'_> {
     }
 }
 
-/// A long-lived, thread-safe s-t reliability query engine over one graph.
+/// Bound on transparent retries when queries race epoch swaps. Each
+/// retry needs a *further* concurrent update to fail again, so hitting
+/// the bound means the server is being update-flooded.
+const MAX_EPOCH_RETRIES: usize = 8;
+
+/// A long-lived, thread-safe s-t reliability query engine over one graph
+/// lineage.
 pub struct QueryEngine {
-    graph: Arc<UncertainGraph>,
+    state: RwLock<EngineState>,
     config: EngineConfig,
-    epoch: u64,
-    sampler: ParallelSampler,
+    /// Resolved sampling thread count (config 0 = all cores).
+    threads: usize,
     cache: ShardedLru<QueryKey, CachedAnswer>,
-    /// Lazily built sequential estimators (everything the parallel
-    /// sampler does not cover), shared across connections. The outer
-    /// mutex guards only the registry; each estimator has its own lock.
-    #[allow(clippy::type_complexity)]
-    resident: Mutex<HashMap<EstimatorKind, Arc<Mutex<Box<dyn Estimator + Send>>>>>,
+    /// File the graph was loaded from, if any — the default `reload`
+    /// source.
+    source: Mutex<Option<String>>,
     inflight: AtomicUsize,
     queries: AtomicU64,
     rejected: AtomicU64,
+    updates: AtomicU64,
     started: Instant,
 }
 
@@ -160,13 +212,12 @@ impl QueryEngine {
         Self::with_epoch(graph, config, 0)
     }
 
-    /// Build an engine serving `graph` tagged with `epoch`.
+    /// Build an engine serving `graph` tagged with a starting `epoch`.
     ///
     /// The epoch is part of every cache key and of the wire `stats`
-    /// answer. Operators that replace the served graph by standing up a
-    /// new engine should bump it, so answers recorded by clients (or any
-    /// cache state shared beyond one engine) can never be confused
-    /// across graph versions.
+    /// answer, and is bumped by [`QueryEngine::apply_updates`] and
+    /// [`QueryEngine::reload_graph`]; operators that persist answers
+    /// across restarts can seed it so recorded epochs never repeat.
     pub fn with_epoch(graph: Arc<UncertainGraph>, config: EngineConfig, epoch: u64) -> Self {
         let threads = if config.threads == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -174,22 +225,27 @@ impl QueryEngine {
             config.threads
         };
         QueryEngine {
-            sampler: ParallelSampler::new(Arc::clone(&graph), threads),
+            state: RwLock::new(EngineState {
+                epoch,
+                sampler: Arc::new(ParallelSampler::new(Arc::clone(&graph), threads)),
+                graph,
+                resident: HashMap::new(),
+            }),
             cache: ShardedLru::new(config.cache_capacity, config.cache_shards),
-            graph,
             config,
-            epoch,
-            resident: Mutex::new(HashMap::new()),
+            threads,
+            source: Mutex::new(None),
             inflight: AtomicUsize::new(0),
             queries: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            updates: AtomicU64::new(0),
             started: Instant::now(),
         }
     }
 
-    /// The served graph.
-    pub fn graph(&self) -> &Arc<UncertainGraph> {
-        &self.graph
+    /// The currently served graph (the latest epoch's snapshot).
+    pub fn graph(&self) -> Arc<UncertainGraph> {
+        Arc::clone(&self.state.read().expect("engine state poisoned").graph)
     }
 
     /// The engine configuration.
@@ -199,14 +255,39 @@ impl QueryEngine {
 
     /// Current graph epoch.
     pub fn epoch(&self) -> u64 {
-        self.epoch
+        self.state.read().expect("engine state poisoned").epoch
     }
 
-    /// Resolve defaults, pick an estimator, and validate one request.
+    /// Record the file the served graph came from; `reload` without an
+    /// explicit path re-reads it.
+    pub fn set_source(&self, path: impl Into<String>) {
+        *self.source.lock().expect("source poisoned") = Some(path.into());
+    }
+
+    /// The recorded reload source, if any.
+    pub fn source(&self) -> Option<String> {
+        self.source.lock().expect("source poisoned").clone()
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        let state = self.state.read().expect("engine state poisoned");
+        Snapshot {
+            epoch: state.epoch,
+            graph: Arc::clone(&state.graph),
+            sampler: Arc::clone(&state.sampler),
+        }
+    }
+
+    /// Resolve defaults, pick an estimator, and validate one request
+    /// against the current epoch's graph.
     pub fn plan(&self, req: &QueryRequest) -> Result<PlannedQuery, String> {
-        let n = self.graph.num_nodes();
+        self.plan_on(&self.snapshot().graph, req)
+    }
+
+    fn plan_on(&self, graph: &UncertainGraph, req: &QueryRequest) -> Result<PlannedQuery, String> {
+        let n = graph.num_nodes();
         for (what, id) in [("source", req.s), ("target", req.t)] {
-            if !self.graph.contains_node(NodeId(id)) {
+            if !graph.contains_node(NodeId(id)) {
                 return Err(format!(
                     "{what} node {id} out of range (graph has {n} nodes)"
                 ));
@@ -255,9 +336,9 @@ impl QueryEngine {
         Ok(InflightGuard(&self.inflight))
     }
 
-    fn key(&self, p: &PlannedQuery) -> QueryKey {
+    fn key(epoch: u64, p: &PlannedQuery) -> QueryKey {
         QueryKey {
-            epoch: self.epoch,
+            epoch,
             s: p.s.0,
             t: p.t.0,
             kind: p.kind,
@@ -285,84 +366,120 @@ impl QueryEngine {
         }
     }
 
-    /// Fetch (building on first use) the shared estimator for `kind`.
-    /// The registry lock is held only for the map lookup/insert; queries
-    /// then contend on the per-kind mutex alone, so e.g. a slow first
-    /// ProbTree index build never stalls concurrent RSS queries.
-    fn resident_estimator(&self, kind: EstimatorKind) -> Arc<Mutex<Box<dyn Estimator + Send>>> {
-        if let Some(est) = self
-            .resident
-            .lock()
-            .expect("resident registry poisoned")
-            .get(&kind)
+    /// Fetch (building on first use) the shared estimator cell for
+    /// `kind` at the snapshot's epoch. The registry lock is held only
+    /// for the map lookup/insert; queries then contend on the per-kind
+    /// mutex alone, so e.g. a slow first ProbTree index build never
+    /// stalls concurrent RSS queries.
+    fn resident_cell(
+        &self,
+        snap: &Snapshot,
+        kind: EstimatorKind,
+    ) -> Result<Arc<ResidentCell>, Stale> {
         {
-            return Arc::clone(est);
+            let state = self.state.read().expect("engine state poisoned");
+            if state.epoch != snap.epoch {
+                return Err(Stale);
+            }
+            if let Some(cell) = state.resident.get(&kind) {
+                return Ok(Arc::clone(cell));
+            }
         }
-        // Build outside the registry lock. Two racing first queries may
-        // both build; the entry API keeps the first and drops the other —
-        // harmless, since builds are deterministic in the engine seed (a
-        // restarted server rebuilds identical indexes).
+        // Build outside the registry lock, over the snapshot's graph.
+        // Two racing first queries may both build; the entry API keeps
+        // the first and drops the other — harmless, since builds are
+        // deterministic in the engine seed (a restarted server rebuilds
+        // identical indexes).
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.default_seed);
-        let built = Arc::new(Mutex::new(build_estimator(
+        let built = build_estimator(
             kind,
-            Arc::clone(&self.graph),
+            Arc::clone(&snap.graph),
             SuiteParams::default(),
             &mut rng,
-        )));
-        let mut registry = self.resident.lock().expect("resident registry poisoned");
-        Arc::clone(registry.entry(kind).or_insert(built))
+        );
+        let mut state = self.state.write().expect("engine state poisoned");
+        if state.epoch != snap.epoch {
+            // An update landed while we were building: the index reflects
+            // a dead epoch, discard it and retry at the new one.
+            return Err(Stale);
+        }
+        Ok(Arc::clone(state.resident.entry(kind).or_insert_with(
+            || Arc::new(Mutex::new((snap.epoch, built))),
+        )))
     }
 
-    /// Compute a planned query, bypassing the cache.
-    fn compute(&self, p: &PlannedQuery) -> CachedAnswer {
+    /// Compute a planned query against one epoch snapshot, bypassing the
+    /// cache. `Err(Stale)` means an epoch swap won the race and the
+    /// caller must re-plan.
+    fn compute(&self, snap: &Snapshot, p: &PlannedQuery) -> Result<CachedAnswer, Stale> {
         match p.kind {
             EstimatorKind::Mc => {
-                let est = self.sampler.estimate_mc(p.s, p.t, p.samples, p.seed);
-                CachedAnswer {
+                let est = snap.sampler.estimate_mc(p.s, p.t, p.samples, p.seed);
+                Ok(CachedAnswer {
                     reliability: est.reliability,
                     samples: est.samples,
                     estimator: "MC",
-                }
+                })
             }
             EstimatorKind::BfsSharing => {
-                let est = self
+                let est = snap
                     .sampler
                     .estimate_bfs_sharing(p.s, p.t, p.samples, p.seed);
-                CachedAnswer {
+                Ok(CachedAnswer {
                     reliability: est.reliability,
                     samples: est.samples,
                     estimator: "BFS Sharing",
-                }
+                })
             }
             kind => {
-                let shared = self.resident_estimator(kind);
-                let mut est = shared.lock().expect("resident estimator poisoned");
+                let cell = self.resident_cell(snap, kind)?;
+                let mut guard = cell.lock().expect("resident estimator poisoned");
+                let (cell_epoch, est) = &mut *guard;
+                if *cell_epoch != snap.epoch {
+                    // Migrated (or rebuilt) under our feet — this cell now
+                    // answers for a different graph than the key we hold.
+                    return Err(Stale);
+                }
                 // Derive the query stream from the cache key so identical
                 // keys replay identical randomness.
                 let mut rng = shard_rng(p.seed, ((p.s.0 as u64) << 32) | p.t.0 as u64);
                 est.refresh(&mut rng);
                 let e = est.estimate(p.s, p.t, p.samples, &mut rng);
-                CachedAnswer {
+                Ok(CachedAnswer {
                     reliability: e.reliability,
                     samples: e.samples,
                     estimator: kind.display_name(),
-                }
+                })
             }
         }
+    }
+
+    /// Answer one query against the current epoch, retrying transparently
+    /// if an epoch swap races the computation.
+    fn answer(&self, req: &QueryRequest) -> Result<QueryResponse, String> {
+        for _ in 0..MAX_EPOCH_RETRIES {
+            let snap = self.snapshot();
+            let plan = self.plan_on(&snap.graph, req)?;
+            let start = Instant::now();
+            let key = Self::key(snap.epoch, &plan);
+            if let Some(hit) = self.cache.get(&key) {
+                return Ok(self.respond(&plan, &hit, true, start));
+            }
+            match self.compute(&snap, &plan) {
+                Ok(answer) => {
+                    self.cache.insert(key, answer.clone());
+                    return Ok(self.respond(&plan, &answer, false, start));
+                }
+                Err(Stale) => continue,
+            }
+        }
+        Err("graph is being updated faster than this query can retry".into())
     }
 
     /// Answer one query (admission → plan → cache → compute).
     pub fn execute(&self, req: &QueryRequest) -> Result<QueryResponse, String> {
         let _guard = self.admit()?;
-        let plan = self.plan(req)?;
-        let start = Instant::now();
-        let key = self.key(&plan);
-        if let Some(hit) = self.cache.get(&key) {
-            return Ok(self.respond(&plan, &hit, true, start));
-        }
-        let answer = self.compute(&plan);
-        self.cache.insert(key, answer.clone());
-        Ok(self.respond(&plan, &answer, false, start))
+        self.answer(req)
     }
 
     /// Answer a batch in one pass, amortizing MC world sampling across
@@ -378,6 +495,7 @@ impl QueryEngine {
                 self.config.max_batch
             ));
         }
+        let snap = self.snapshot();
         let start = Instant::now();
         let mut out: Vec<Option<Result<QueryResponse, String>>> = vec![None; reqs.len()];
         // (group key -> indices of cache-missing MC queries to batch).
@@ -385,10 +503,10 @@ impl QueryEngine {
         let mut plans: Vec<Option<PlannedQuery>> = vec![None; reqs.len()];
 
         for (i, req) in reqs.iter().enumerate() {
-            match self.plan(req) {
+            match self.plan_on(&snap.graph, req) {
                 Err(e) => out[i] = Some(Err(e)),
                 Ok(plan) => {
-                    let key = self.key(&plan);
+                    let key = Self::key(snap.epoch, &plan);
                     if let Some(hit) = self.cache.get(&key) {
                         out[i] = Some(Ok(self.respond(&plan, &hit, true, start)));
                     } else if plan.kind == EstimatorKind::Mc {
@@ -398,20 +516,29 @@ impl QueryEngine {
                             .push(i);
                         plans[i] = Some(plan);
                     } else {
-                        let answer = self.compute(&plan);
-                        self.cache.insert(key, answer.clone());
-                        out[i] = Some(Ok(self.respond(&plan, &answer, false, start)));
+                        match self.compute(&snap, &plan) {
+                            Ok(answer) => {
+                                self.cache.insert(key, answer.clone());
+                                out[i] = Some(Ok(self.respond(&plan, &answer, false, start)));
+                            }
+                            // Raced an epoch swap: answer this query alone
+                            // at the new epoch (re-planned and re-keyed).
+                            Err(Stale) => out[i] = Some(self.answer(req)),
+                        }
                     }
                 }
             }
         }
 
+        // The sampler snapshot pins the batch's epoch: groups computed
+        // here stay consistent with the keys taken above even if an
+        // update lands mid-batch.
         for ((s, samples, seed), indices) in mc_groups {
             let targets: Vec<NodeId> = indices
                 .iter()
                 .map(|&i| plans[i].expect("planned").t)
                 .collect();
-            let estimates = self
+            let estimates = snap
                 .sampler
                 .estimate_mc_multi(NodeId(s), &targets, samples, seed);
             for (&i, est) in indices.iter().zip(&estimates) {
@@ -421,7 +548,8 @@ impl QueryEngine {
                     samples: est.samples,
                     estimator: "MC",
                 };
-                self.cache.insert(self.key(&plan), answer.clone());
+                self.cache
+                    .insert(Self::key(snap.epoch, &plan), answer.clone());
                 out[i] = Some(Ok(self.respond(&plan, &answer, false, start)));
             }
         }
@@ -432,18 +560,131 @@ impl QueryEngine {
             .collect())
     }
 
+    /// Apply a batch of edge-probability updates: snapshot the next
+    /// epoch's graph (topology shared, probabilities copy-on-write),
+    /// migrate every resident estimator via [`Estimator::apply_updates`]
+    /// (evicting any that cannot migrate), swap the sampler, and bump
+    /// the epoch. All-or-nothing: an unknown edge or invalid probability
+    /// rejects the whole batch with no state change.
+    ///
+    /// Existing cache entries keep their old epoch in the key and simply
+    /// stop matching — stale answers age out of the LRU naturally.
+    ///
+    /// Updates serialize against in-flight resident queries: migration
+    /// takes each resident's mutex under the state write lock, so the
+    /// swap waits for the slowest resident query currently computing
+    /// (bounded by the admission `max_samples` knob) and new queries
+    /// wait for the swap. That pause is what buys the guarantee that an
+    /// epoch's cache entries are only ever computed from that epoch's
+    /// index — migrating outside the lock would let a new-epoch key be
+    /// answered by a not-yet-migrated index.
+    pub fn apply_updates(&self, batch: &[EdgeProbUpdate]) -> Result<UpdateResponse, String> {
+        if batch.is_empty() {
+            return Err("update batch is empty".into());
+        }
+        let mut state = self.state.write().expect("engine state poisoned");
+        let mut resolved = Vec::with_capacity(batch.len());
+        for u in batch {
+            let edge = state
+                .graph
+                .find_edge(NodeId(u.s), NodeId(u.t))
+                .ok_or_else(|| {
+                    format!(
+                        "no edge {} -> {} in the served graph (updates change \
+                         existing edges; use `reload` for topology changes)",
+                        u.s, u.t
+                    )
+                })?;
+            resolved.push(EdgeUpdate::new(edge, u.prob).map_err(|e| e.to_string())?);
+        }
+        let new_graph = state.graph.with_updated_probs(&resolved);
+        let new_epoch = state.epoch + 1;
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.default_seed ^ new_epoch);
+        let mut migrated = Vec::new();
+        state.resident.retain(|kind, cell| {
+            let mut guard = cell.lock().expect("resident estimator poisoned");
+            let (cell_epoch, est) = &mut *guard;
+            let outcome = est.apply_updates(&new_graph, &resolved, &mut rng);
+            let keep = !matches!(outcome, UpdateOutcome::Rebuild);
+            if keep {
+                *cell_epoch = new_epoch;
+            }
+            migrated.push(MigratedResident {
+                estimator: kind.display_name().to_owned(),
+                mode: if keep { outcome.label() } else { "evicted" }.to_owned(),
+                touched: match outcome {
+                    UpdateOutcome::Incremental { touched } => touched,
+                    _ => 0,
+                },
+            });
+            keep
+        });
+        migrated.sort_by(|a, b| a.estimator.cmp(&b.estimator));
+        state.sampler = Arc::new(ParallelSampler::new(Arc::clone(&new_graph), self.threads));
+        state.graph = new_graph;
+        state.epoch = new_epoch;
+        self.updates.fetch_add(1, Ordering::Relaxed);
+        Ok(UpdateResponse {
+            epoch: new_epoch,
+            edges_updated: resolved.len(),
+            migrated,
+        })
+    }
+
+    /// Replace the served graph wholesale (the rebuild path for edge
+    /// inserts/deletes): every resident estimator is evicted — edge ids
+    /// are not comparable across a rebuild — and the epoch is bumped.
+    pub fn reload_graph(&self, graph: Arc<UncertainGraph>) -> ReloadResponse {
+        let mut state = self.state.write().expect("engine state poisoned");
+        state.epoch += 1;
+        state.resident.clear();
+        state.sampler = Arc::new(ParallelSampler::new(Arc::clone(&graph), self.threads));
+        state.graph = graph;
+        self.updates.fetch_add(1, Ordering::Relaxed);
+        ReloadResponse {
+            epoch: state.epoch,
+            nodes: state.graph.num_nodes(),
+            edges: state.graph.num_edges(),
+        }
+    }
+
     /// Current counters.
     pub fn stats(&self) -> StatsResponse {
+        // Copy the registry's cell handles out of the state lock before
+        // touching any estimator mutex: a long-running resident query
+        // must be able to delay this stats answer, but never a queued
+        // update waiting behind our read lock.
+        let (epoch, nodes, edges, cells) = {
+            let state = self.state.read().expect("engine state poisoned");
+            (
+                state.epoch,
+                state.graph.num_nodes(),
+                state.graph.num_edges(),
+                state.resident.values().map(Arc::clone).collect::<Vec<_>>(),
+            )
+        };
+        let resident_bytes = cells
+            .iter()
+            .map(|cell| {
+                cell.lock()
+                    .expect("resident estimator poisoned")
+                    .1
+                    .resident_bytes()
+            })
+            .sum();
         StatsResponse {
             queries: self.queries.load(Ordering::Relaxed),
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
             cache_entries: self.cache.len(),
             rejected: self.rejected.load(Ordering::Relaxed),
-            threads: self.sampler.threads(),
-            epoch: self.epoch,
-            nodes: self.graph.num_nodes(),
-            edges: self.graph.num_edges(),
+            threads: self.threads,
+            epoch,
+            updates: self.updates.load(Ordering::Relaxed),
+            nodes,
+            edges,
+            resident_estimators: cells.len(),
+            resident_bytes,
             uptime_micros: self.started.elapsed().as_micros() as u64,
         }
     }
@@ -484,6 +725,10 @@ mod tests {
         }
     }
 
+    fn upd(s: u32, t: u32, prob: f64) -> EdgeProbUpdate {
+        EdgeProbUpdate { s, t, prob }
+    }
+
     #[test]
     fn repeated_query_hits_cache_with_identical_answer() {
         let e = engine();
@@ -499,7 +744,7 @@ mod tests {
     #[test]
     fn engine_answers_match_exact_roughly() {
         let e = engine();
-        let exact = exact_reliability(e.graph(), NodeId(0), NodeId(3));
+        let exact = exact_reliability(&e.graph(), NodeId(0), NodeId(3));
         let mut req = q(0, 3);
         req.samples = Some(60_000);
         let resp = e.execute(&req).unwrap();
@@ -622,5 +867,168 @@ mod tests {
             assert!(second.cached, "{name} should cache");
             assert_eq!(first.reliability.to_bits(), second.reliability.to_bits());
         }
+        let stats = e.stats();
+        assert_eq!(stats.resident_estimators, 4);
+        assert!(stats.resident_bytes > 0, "indexes occupy memory");
+    }
+
+    #[test]
+    fn update_bumps_epoch_and_invalidates_cache() {
+        let e = engine();
+        let before = e.execute(&q(0, 3)).unwrap();
+        assert!(e.execute(&q(0, 3)).unwrap().cached);
+
+        // Throttle 0->1 and 0->2 almost shut: R(0, 3) collapses.
+        let resp = e
+            .apply_updates(&[upd(0, 1, 0.01), upd(0, 2, 0.01)])
+            .unwrap();
+        assert_eq!(resp.epoch, 1);
+        assert_eq!(resp.edges_updated, 2);
+        assert_eq!(e.epoch(), 1);
+
+        let after = e.execute(&q(0, 3)).unwrap();
+        assert!(!after.cached, "epoch bump must invalidate the cache");
+        let exact = exact_reliability(&e.graph(), NodeId(0), NodeId(3));
+        assert!(exact < 0.02, "sanity: updated graph truth {exact}");
+        assert!(
+            (after.reliability - exact).abs() < 0.02,
+            "answer {} must track the new probabilities (exact {exact}), was {}",
+            after.reliability,
+            before.reliability
+        );
+        assert_eq!(e.stats().updates, 1);
+    }
+
+    #[test]
+    fn update_migrates_residents_incrementally() {
+        let e = engine();
+        // Make ProbTree and LP+ resident.
+        for name in ["probtree", "lp+"] {
+            let req = QueryRequest {
+                estimator: Some(name.into()),
+                samples: Some(1000),
+                ..QueryRequest::new(0, 3)
+            };
+            e.execute(&req).unwrap();
+        }
+        let resp = e.apply_updates(&[upd(1, 3, 0.05)]).unwrap();
+        let modes: HashMap<&str, &str> = resp
+            .migrated
+            .iter()
+            .map(|m| (m.estimator.as_str(), m.mode.as_str()))
+            .collect();
+        assert_eq!(modes.get("ProbTree"), Some(&"incremental"));
+        assert_eq!(modes.get("LP+"), Some(&"rebound"));
+        // Migrated residents answer for the new graph without a rebuild.
+        let exact = exact_reliability(&e.graph(), NodeId(0), NodeId(3));
+        let req = QueryRequest {
+            estimator: Some("probtree".into()),
+            samples: Some(60_000),
+            seed: Some(3),
+            ..QueryRequest::new(0, 3)
+        };
+        let resp = e.execute(&req).unwrap();
+        assert!(
+            (resp.reliability - exact).abs() < 0.02,
+            "{} vs exact {exact}",
+            resp.reliability
+        );
+        assert_eq!(e.stats().resident_estimators, 2, "nothing was evicted");
+    }
+
+    #[test]
+    fn update_rejects_unknown_edges_atomically() {
+        let e = engine();
+        let err = e
+            .apply_updates(&[upd(0, 1, 0.9), upd(3, 0, 0.5)])
+            .unwrap_err();
+        assert!(err.contains("no edge"), "{err}");
+        assert_eq!(e.epoch(), 0, "failed batches must not bump the epoch");
+        let g = e.graph();
+        let edge = g.find_edge(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(g.prob(edge).value(), 0.5, "failed batches change nothing");
+        assert!(e.apply_updates(&[]).is_err(), "empty batches are rejected");
+        assert!(
+            e.apply_updates(&[upd(0, 1, 1.5)]).is_err(),
+            "invalid probabilities are rejected"
+        );
+    }
+
+    #[test]
+    fn reload_swaps_graph_and_evicts_residents() {
+        let e = engine();
+        e.execute(&QueryRequest {
+            estimator: Some("probtree".into()),
+            ..QueryRequest::new(0, 3)
+        })
+        .unwrap();
+        assert_eq!(e.stats().resident_estimators, 1);
+
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(1), 0.9).unwrap();
+        let resp = e.reload_graph(Arc::new(b.build()));
+        assert_eq!(resp.epoch, 1);
+        assert_eq!((resp.nodes, resp.edges), (2, 1));
+        assert_eq!(e.stats().resident_estimators, 0, "residents evicted");
+        // Old node ids are now invalid; new ones answer.
+        assert!(e.execute(&q(0, 3)).is_err());
+        let ok = e.execute(&q(0, 1)).unwrap();
+        assert!((ok.reliability - 0.9).abs() < 0.05);
+    }
+
+    #[test]
+    fn successive_updates_keep_epochs_and_answers_consistent() {
+        let e = engine();
+        e.execute(&q(0, 3)).unwrap();
+        let mut last = f64::NAN;
+        for (i, p) in [0.9f64, 0.2, 0.7].into_iter().enumerate() {
+            let resp = e.apply_updates(&[upd(1, 3, p)]).unwrap();
+            assert_eq!(resp.epoch, i as u64 + 1);
+            let r = e.execute(&q(0, 3)).unwrap();
+            assert!(!r.cached);
+            let exact = exact_reliability(&e.graph(), NodeId(0), NodeId(3));
+            assert!((r.reliability - exact).abs() < 0.05);
+            last = r.reliability;
+        }
+        // The final cache state replays the final epoch's answer.
+        let again = e.execute(&q(0, 3)).unwrap();
+        assert!(again.cached);
+        assert_eq!(again.reliability.to_bits(), last.to_bits());
+    }
+
+    #[test]
+    fn queries_race_updates_without_wrong_epoch_answers() {
+        // Hammer the engine with concurrent resident-kind queries and
+        // updates; every response must be in range and the engine must
+        // never wedge. (Wrong-epoch cache pollution would show up as a
+        // cached answer differing from a recompute at the same key.)
+        let e = Arc::new(engine());
+        std::thread::scope(|scope| {
+            let eng = Arc::clone(&e);
+            scope.spawn(move || {
+                for i in 0..20 {
+                    let p = 0.05 + 0.9 * ((i % 10) as f64 / 10.0);
+                    eng.apply_updates(&[upd(0, 1, p)]).unwrap();
+                }
+            });
+            for _ in 0..2 {
+                let eng = Arc::clone(&e);
+                scope.spawn(move || {
+                    for seed in 0..30u64 {
+                        let req = QueryRequest {
+                            estimator: Some("probtree".into()),
+                            samples: Some(200),
+                            seed: Some(seed),
+                            ..QueryRequest::new(0, 3)
+                        };
+                        match eng.execute(&req) {
+                            Ok(r) => assert!((0.0..=1.0).contains(&r.reliability)),
+                            Err(e) => assert!(e.contains("retry") || e.contains("updated")),
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(e.epoch(), 20);
     }
 }

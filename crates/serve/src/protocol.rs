@@ -11,6 +11,8 @@
 //! {"cmd":"ping"}
 //! {"cmd":"query","s":0,"t":3,"estimator":"mc","samples":2000,"seed":7}
 //! {"cmd":"batch","queries":[{"s":0,"t":3},{"s":0,"t":5}]}
+//! {"cmd":"update","updates":[{"s":0,"t":3,"prob":0.25}]}
+//! {"cmd":"reload","path":"/data/graph.ug"}
 //! {"cmd":"stats"}
 //! {"cmd":"shutdown"}
 //! ```
@@ -19,6 +21,14 @@
 //! its configured defaults (`estimator` also accepts `"auto"`, which runs
 //! the paper's Fig. 18 recommendation under the server's policy knobs).
 //!
+//! `update` changes existing edges' probabilities in place: the server
+//! snapshots a new graph **epoch** (topology shared, probabilities
+//! copy-on-write), migrates resident estimator indexes incrementally,
+//! and bumps the epoch that keys the result cache — prior answers go
+//! stale without any explicit flush. `reload` replaces the whole graph
+//! from a file (`path` optional if the server was started from one),
+//! the rebuild path for topology changes.
+//!
 //! Responses (`"ok":false` carries only `error`):
 //!
 //! ```text
@@ -26,6 +36,9 @@
 //! {"ok":true,"kind":"query","s":0,"t":3,"reliability":0.42,"samples":2000,
 //!  "estimator":"MC","micros":1234,"cached":false}
 //! {"ok":true,"kind":"batch","results":[...single query objects...]}
+//! {"ok":true,"kind":"update","epoch":3,"edges_updated":1,
+//!  "migrated":[{"estimator":"ProbTree","mode":"incremental","touched":2}]}
+//! {"ok":true,"kind":"reload","epoch":4,"nodes":100,"edges":320}
 //! {"ok":true,"kind":"stats","queries":10,...}
 //! {"ok":true,"kind":"bye"}
 //! {"ok":false,"error":"unknown estimator `mcmc`"}
@@ -69,6 +82,18 @@ impl QueryRequest {
     }
 }
 
+/// One edge-probability update as sent on the wire: the existing edge
+/// `s -> t` gets existence probability `prob` in the next epoch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EdgeProbUpdate {
+    /// Source node of the edge to update.
+    pub s: u32,
+    /// Target node of the edge to update.
+    pub t: u32,
+    /// New existence probability in `(0, 1]`.
+    pub prob: f64,
+}
+
 /// Every request the server understands.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
@@ -83,6 +108,17 @@ pub enum Request {
     /// from the same query computed alone; the result cache replays
     /// whichever computation landed first for a given key.
     Batch(Vec<QueryRequest>),
+    /// Apply a batch of edge-probability updates: snapshot a new graph
+    /// epoch, migrate resident estimator indexes incrementally, bump the
+    /// cache epoch. All-or-nothing: one bad update rejects the batch.
+    Update(Vec<EdgeProbUpdate>),
+    /// Replace the served graph wholesale from a file (the rebuild path
+    /// for edge inserts/deletes). `path` defaults to the file the server
+    /// was started from.
+    Reload {
+        /// Graph file to load (`.ugb` = binary, otherwise text).
+        path: Option<String>,
+    },
     /// Server / cache counters.
     Stats,
     /// Stop the server after acknowledging.
@@ -109,6 +145,42 @@ pub struct QueryResponse {
     pub cached: bool,
 }
 
+/// How one resident estimator survived an epoch swap (part of
+/// [`UpdateResponse`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct MigratedResident {
+    /// Display name of the estimator (e.g. `"ProbTree"`).
+    pub estimator: String,
+    /// Migration mode: `"incremental"` (index repaired in place),
+    /// `"rebound"` (no index, graph pointer swapped), or `"evicted"`
+    /// (could not migrate; rebuilt lazily on next use).
+    pub mode: String,
+    /// Index units recomputed on the incremental path (0 otherwise).
+    pub touched: usize,
+}
+
+/// Successful answer to [`Request::Update`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct UpdateResponse {
+    /// The new graph epoch (all cache keys now miss until recomputed).
+    pub epoch: u64,
+    /// Edges whose probability changed.
+    pub edges_updated: usize,
+    /// Fate of every estimator that was resident when the update landed.
+    pub migrated: Vec<MigratedResident>,
+}
+
+/// Successful answer to [`Request::Reload`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReloadResponse {
+    /// The new graph epoch.
+    pub epoch: u64,
+    /// Nodes in the newly served graph.
+    pub nodes: usize,
+    /// Edges in the newly served graph.
+    pub edges: usize,
+}
+
 /// Server / cache counters returned by [`Request::Stats`].
 #[derive(Clone, Debug, PartialEq)]
 pub struct StatsResponse {
@@ -126,10 +198,18 @@ pub struct StatsResponse {
     pub threads: usize,
     /// Graph epoch (changes when the served graph is swapped).
     pub epoch: u64,
+    /// Update/reload batches applied since start.
+    pub updates: u64,
     /// Nodes in the served graph.
     pub nodes: usize,
     /// Edges in the served graph.
     pub edges: usize,
+    /// Estimators resident in the registry (built and kept across
+    /// queries) at the current epoch.
+    pub resident_estimators: usize,
+    /// Total bytes held by resident estimator indexes/workspaces — the
+    /// index memory an operator pays per epoch, beyond the graph itself.
+    pub resident_bytes: usize,
     /// Microseconds since the engine started.
     pub uptime_micros: u64,
 }
@@ -155,6 +235,10 @@ pub enum Response {
     Query(QueryResponse),
     /// Answer to [`Request::Batch`]: one entry per query, in order.
     Batch(Vec<Result<QueryResponse, String>>),
+    /// Answer to [`Request::Update`].
+    Update(UpdateResponse),
+    /// Answer to [`Request::Reload`].
+    Reload(ReloadResponse),
     /// Answer to [`Request::Stats`].
     Stats(StatsResponse),
     /// Acknowledgement of [`Request::Shutdown`].
@@ -226,6 +310,29 @@ impl Deserialize for QueryRequest {
     }
 }
 
+impl Serialize for EdgeProbUpdate {
+    fn to_value(&self) -> Value {
+        obj(vec![
+            ("s", self.s.to_value()),
+            ("t", self.t.to_value()),
+            ("prob", self.prob.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for EdgeProbUpdate {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let fields = value
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", "update", value))?;
+        Ok(EdgeProbUpdate {
+            s: de(required(fields, "s", "update")?)?,
+            t: de(required(fields, "t", "update")?)?,
+            prob: de(required(fields, "prob", "update")?)?,
+        })
+    }
+}
+
 impl Serialize for Request {
     fn to_value(&self) -> Value {
         match self {
@@ -241,6 +348,17 @@ impl Serialize for Request {
                 ("cmd", "batch".to_value()),
                 ("queries", queries.to_value()),
             ]),
+            Request::Update(updates) => obj(vec![
+                ("cmd", "update".to_value()),
+                ("updates", updates.to_value()),
+            ]),
+            Request::Reload { path } => {
+                let mut fields = vec![("cmd", "reload".to_value())];
+                if let Some(p) = path {
+                    fields.push(("path", p.to_value()));
+                }
+                obj(fields)
+            }
             Request::Stats => obj(vec![("cmd", "stats".to_value())]),
             Request::Shutdown => obj(vec![("cmd", "shutdown".to_value())]),
         }
@@ -257,6 +375,10 @@ impl Deserialize for Request {
             "ping" => Ok(Request::Ping),
             "query" => Ok(Request::Query(QueryRequest::from_value(value)?)),
             "batch" => Ok(Request::Batch(de(required(fields, "queries", "batch")?)?)),
+            "update" => Ok(Request::Update(de(required(fields, "updates", "update")?)?)),
+            "reload" => Ok(Request::Reload {
+                path: lookup(fields, "path").map(de).transpose()?,
+            }),
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(DeError::custom(format!("unknown cmd `{other}`"))),
@@ -297,6 +419,79 @@ impl Deserialize for QueryResponse {
     }
 }
 
+impl Serialize for MigratedResident {
+    fn to_value(&self) -> Value {
+        obj(vec![
+            ("estimator", self.estimator.to_value()),
+            ("mode", self.mode.to_value()),
+            ("touched", self.touched.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for MigratedResident {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let fields = value
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", "migrated resident", value))?;
+        Ok(MigratedResident {
+            estimator: de(required(fields, "estimator", "migrated resident")?)?,
+            mode: de(required(fields, "mode", "migrated resident")?)?,
+            touched: de(required(fields, "touched", "migrated resident")?)?,
+        })
+    }
+}
+
+impl Serialize for UpdateResponse {
+    fn to_value(&self) -> Value {
+        obj(vec![
+            ("ok", true.to_value()),
+            ("kind", "update".to_value()),
+            ("epoch", self.epoch.to_value()),
+            ("edges_updated", self.edges_updated.to_value()),
+            ("migrated", self.migrated.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for UpdateResponse {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let fields = value
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", "update response", value))?;
+        Ok(UpdateResponse {
+            epoch: de(required(fields, "epoch", "update response")?)?,
+            edges_updated: de(required(fields, "edges_updated", "update response")?)?,
+            migrated: de(required(fields, "migrated", "update response")?)?,
+        })
+    }
+}
+
+impl Serialize for ReloadResponse {
+    fn to_value(&self) -> Value {
+        obj(vec![
+            ("ok", true.to_value()),
+            ("kind", "reload".to_value()),
+            ("epoch", self.epoch.to_value()),
+            ("nodes", self.nodes.to_value()),
+            ("edges", self.edges.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for ReloadResponse {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let fields = value
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", "reload response", value))?;
+        Ok(ReloadResponse {
+            epoch: de(required(fields, "epoch", "reload response")?)?,
+            nodes: de(required(fields, "nodes", "reload response")?)?,
+            edges: de(required(fields, "edges", "reload response")?)?,
+        })
+    }
+}
+
 impl Serialize for StatsResponse {
     fn to_value(&self) -> Value {
         obj(vec![
@@ -309,8 +504,11 @@ impl Serialize for StatsResponse {
             ("rejected", self.rejected.to_value()),
             ("threads", self.threads.to_value()),
             ("epoch", self.epoch.to_value()),
+            ("updates", self.updates.to_value()),
             ("nodes", self.nodes.to_value()),
             ("edges", self.edges.to_value()),
+            ("resident_estimators", self.resident_estimators.to_value()),
+            ("resident_bytes", self.resident_bytes.to_value()),
             ("uptime_micros", self.uptime_micros.to_value()),
         ])
     }
@@ -330,8 +528,11 @@ impl Deserialize for StatsResponse {
             rejected: de(f("rejected")?)?,
             threads: de(f("threads")?)?,
             epoch: de(f("epoch")?)?,
+            updates: de(f("updates")?)?,
             nodes: de(f("nodes")?)?,
             edges: de(f("edges")?)?,
+            resident_estimators: de(f("resident_estimators")?)?,
+            resident_bytes: de(f("resident_bytes")?)?,
             uptime_micros: de(f("uptime_micros")?)?,
         })
     }
@@ -356,6 +557,8 @@ impl Serialize for Response {
                     ("results", Value::Array(items)),
                 ])
             }
+            Response::Update(u) => u.to_value(),
+            Response::Reload(r) => r.to_value(),
             Response::Stats(s) => s.to_value(),
             Response::Bye => obj(vec![("ok", true.to_value()), ("kind", "bye".to_value())]),
             Response::Error(e) => obj(vec![("ok", false.to_value()), ("error", e.to_value())]),
@@ -396,6 +599,8 @@ impl Deserialize for Response {
                     .collect::<Result<Vec<_>, DeError>>()?;
                 Ok(Response::Batch(results))
             }
+            "update" => Ok(Response::Update(UpdateResponse::from_value(value)?)),
+            "reload" => Ok(Response::Reload(ReloadResponse::from_value(value)?)),
             "stats" => Ok(Response::Stats(StatsResponse::from_value(value)?)),
             "bye" => Ok(Response::Bye),
             other => Err(DeError::custom(format!("unknown response kind `{other}`"))),
@@ -437,6 +642,22 @@ mod tests {
                 seed: Some(1),
             },
         ]));
+        round_trip(&Request::Update(vec![
+            EdgeProbUpdate {
+                s: 0,
+                t: 3,
+                prob: 0.25,
+            },
+            EdgeProbUpdate {
+                s: 3,
+                t: 0,
+                prob: 0.75,
+            },
+        ]));
+        round_trip(&Request::Reload { path: None });
+        round_trip(&Request::Reload {
+            path: Some("/tmp/graph.ugb".into()),
+        });
     }
 
     #[test]
@@ -455,6 +676,27 @@ mod tests {
         };
         round_trip(&Response::Query(q.clone()));
         round_trip(&Response::Batch(vec![Ok(q), Err("bad target".into())]));
+        round_trip(&Response::Update(UpdateResponse {
+            epoch: 3,
+            edges_updated: 2,
+            migrated: vec![
+                MigratedResident {
+                    estimator: "ProbTree".into(),
+                    mode: "incremental".into(),
+                    touched: 5,
+                },
+                MigratedResident {
+                    estimator: "LP+".into(),
+                    mode: "rebound".into(),
+                    touched: 0,
+                },
+            ],
+        }));
+        round_trip(&Response::Reload(ReloadResponse {
+            epoch: 4,
+            nodes: 100,
+            edges: 320,
+        }));
         round_trip(&Response::Stats(StatsResponse {
             queries: 10,
             cache_hits: 4,
@@ -463,8 +705,11 @@ mod tests {
             rejected: 1,
             threads: 8,
             epoch: 1,
+            updates: 1,
             nodes: 100,
             edges: 300,
+            resident_estimators: 2,
+            resident_bytes: 4096,
             uptime_micros: 99,
         }));
     }
@@ -498,6 +743,27 @@ mod tests {
     }
 
     #[test]
+    fn update_request_json_parses() {
+        let req: Request =
+            serde_json::from_str(r#"{"cmd":"update","updates":[{"s":0,"t":1,"prob":0.5}]}"#)
+                .unwrap();
+        assert_eq!(
+            req,
+            Request::Update(vec![EdgeProbUpdate {
+                s: 0,
+                t: 1,
+                prob: 0.5
+            }])
+        );
+        assert!(serde_json::from_str::<Request>(r#"{"cmd":"update"}"#).is_err());
+        assert!(
+            serde_json::from_str::<Request>(r#"{"cmd":"update","updates":[{"s":0}]}"#).is_err()
+        );
+        let req: Request = serde_json::from_str(r#"{"cmd":"reload"}"#).unwrap();
+        assert_eq!(req, Request::Reload { path: None });
+    }
+
+    #[test]
     fn hit_rate_handles_empty() {
         let mut s = StatsResponse {
             queries: 0,
@@ -507,8 +773,11 @@ mod tests {
             rejected: 0,
             threads: 1,
             epoch: 0,
+            updates: 0,
             nodes: 0,
             edges: 0,
+            resident_estimators: 0,
+            resident_bytes: 0,
             uptime_micros: 0,
         };
         assert_eq!(s.hit_rate(), 0.0);

@@ -8,7 +8,8 @@
 //! observes it.
 
 use crate::engine::QueryEngine;
-use crate::protocol::{Request, Response};
+use crate::protocol::{ReloadResponse, Request, Response};
+use relcomp_ugraph::io::{load_graph, load_graph_binary};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -151,9 +152,35 @@ pub fn dispatch(line: &str, engine: &QueryEngine) -> Response {
             Ok(results) => Response::Batch(results),
             Err(e) => Response::Error(e),
         },
+        Request::Update(updates) => match engine.apply_updates(&updates) {
+            Ok(resp) => Response::Update(resp),
+            Err(e) => Response::Error(e),
+        },
+        Request::Reload { path } => match reload_from(path, engine) {
+            Ok(resp) => Response::Reload(resp),
+            Err(e) => Response::Error(e),
+        },
         Request::Stats => Response::Stats(engine.stats()),
         Request::Shutdown => Response::Bye,
     }
+}
+
+/// Load a graph file (`.ugb` = binary, otherwise text) and swap it into
+/// the engine. Without an explicit `path`, re-reads the file the server
+/// was started from.
+fn reload_from(path: Option<String>, engine: &QueryEngine) -> Result<ReloadResponse, String> {
+    let path = path.or_else(|| engine.source()).ok_or_else(|| {
+        "reload needs a `path` (this server was not started from a graph file)".to_owned()
+    })?;
+    let graph = if path.ends_with(".ugb") {
+        load_graph_binary(&path)
+    } else {
+        load_graph(&path)
+    }
+    .map_err(|e| format!("cannot load `{path}`: {e}"))?;
+    let resp = engine.reload_graph(std::sync::Arc::new(graph));
+    engine.set_source(path);
+    Ok(resp)
 }
 
 #[cfg(test)]
@@ -173,6 +200,38 @@ mod tests {
                 ..Default::default()
             },
         ))
+    }
+
+    #[test]
+    fn dispatch_covers_update_and_reload() {
+        let e = engine();
+        assert!(matches!(
+            dispatch(
+                r#"{"cmd":"update","updates":[{"s":0,"t":1,"prob":0.4}]}"#,
+                &e
+            ),
+            Response::Update(_)
+        ));
+        assert_eq!(e.epoch(), 1);
+        // Unknown edge: error, no epoch bump.
+        assert!(matches!(
+            dispatch(
+                r#"{"cmd":"update","updates":[{"s":2,"t":0,"prob":0.4}]}"#,
+                &e
+            ),
+            Response::Error(_)
+        ));
+        assert_eq!(e.epoch(), 1);
+        // Reload without a recorded source file fails cleanly.
+        assert!(matches!(
+            dispatch(r#"{"cmd":"reload"}"#, &e),
+            Response::Error(_)
+        ));
+        // Reload from an explicit (missing) path fails cleanly too.
+        assert!(matches!(
+            dispatch(r#"{"cmd":"reload","path":"/nonexistent.ug"}"#, &e),
+            Response::Error(_)
+        ));
     }
 
     #[test]

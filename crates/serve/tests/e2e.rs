@@ -3,7 +3,7 @@
 //! wires them.
 
 use relcomp_serve::engine::{EngineConfig, QueryEngine};
-use relcomp_serve::protocol::QueryRequest;
+use relcomp_serve::protocol::{EdgeProbUpdate, QueryRequest};
 use relcomp_serve::{Client, Server};
 use relcomp_ugraph::{Dataset, GraphBuilder, NodeId, UncertainGraph};
 use std::sync::Arc;
@@ -114,6 +114,82 @@ fn server_thread_count_does_not_change_answers() {
         })
         .collect();
     assert_eq!(reliability[0], reliability[1]);
+}
+
+#[test]
+fn live_update_bumps_epoch_invalidates_cache_and_migrates_residents() {
+    let (addr, _engine) = start(diamond(), 2);
+    let mut client = connect(addr);
+
+    // Warm the cache for the affected pair with a resident (ProbTree)
+    // and a sampler-path (MC) estimator.
+    let pt = QueryRequest {
+        s: 0,
+        t: 3,
+        estimator: Some("probtree".into()),
+        samples: Some(20_000),
+        seed: Some(5),
+    };
+    let mc = QueryRequest {
+        estimator: Some("mc".into()),
+        ..pt.clone()
+    };
+    let pt_before = client.query(pt.clone()).expect("probtree warm");
+    let mc_before = client.query(mc.clone()).expect("mc warm");
+    assert!(client.query(pt.clone()).expect("probtree repeat").cached);
+    assert!(client.query(mc.clone()).expect("mc repeat").cached);
+    assert_eq!(client.stats().expect("stats").epoch, 0);
+
+    // Throttle both paths into node 3 down to 0.05: R(0, 3) collapses
+    // from ~0.41 to at most 2 * 0.05.
+    let update = client
+        .update(vec![
+            EdgeProbUpdate {
+                s: 1,
+                t: 3,
+                prob: 0.05,
+            },
+            EdgeProbUpdate {
+                s: 2,
+                t: 3,
+                prob: 0.05,
+            },
+        ])
+        .expect("update");
+    assert_eq!(update.epoch, 1);
+    assert_eq!(update.edges_updated, 2);
+    // The resident ProbTree index migrated incrementally — no eviction,
+    // no full rebuild on the incremental path.
+    let probtree = update
+        .migrated
+        .iter()
+        .find(|m| m.estimator == "ProbTree")
+        .expect("ProbTree was resident when the update landed");
+    assert_eq!(probtree.mode, "incremental");
+
+    // Stats see the new epoch; the cached answers for (0, 3) are stale
+    // (old epoch key) so both paths recompute against the new graph.
+    let stats = client.stats().expect("stats after update");
+    assert_eq!(stats.epoch, 1);
+    assert_eq!(stats.updates, 1);
+    assert!(stats.resident_estimators >= 1, "ProbTree stayed resident");
+    assert!(stats.resident_bytes > 0);
+
+    for (label, req, before) in [
+        ("probtree", pt, pt_before.reliability),
+        ("mc", mc, mc_before.reliability),
+    ] {
+        let after = client.query(req.clone()).expect(label);
+        assert!(!after.cached, "{label}: epoch bump must force a recompute");
+        assert!(
+            after.reliability < 0.12,
+            "{label}: answer {} must reflect the new probabilities (was {before})",
+            after.reliability
+        );
+        assert!(client.query(req).expect(label).cached, "{label} re-caches");
+    }
+
+    client.shutdown().expect("shutdown");
 }
 
 #[test]

@@ -9,26 +9,39 @@
 //! Edge ids are assigned in forward-CSR order, so `EdgeId` doubles as a
 //! direct index into any per-edge side array an estimator wants to keep
 //! (bit vectors, strata overlays, geometric counters, ...).
+//!
+//! Every array is held behind an [`Arc`], which makes **epoch snapshots**
+//! cheap: [`UncertainGraph::with_updated_probs`] produces a new graph that
+//! shares the (immutable) topology arrays with its parent and
+//! copy-on-writes only the probability array. A long-lived service can
+//! therefore keep several epochs of the same graph alive at once for the
+//! cost of one topology plus one `probs` array per epoch.
 
+use crate::error::GraphError;
 use crate::ids::{EdgeId, NodeId};
 use crate::probability::Probability;
+use crate::update::EdgeUpdate;
+use std::sync::Arc;
 
 /// A directed uncertain graph in CSR form. Immutable once built; construct
-/// via [`GraphBuilder`](crate::builder::GraphBuilder).
+/// via [`GraphBuilder`](crate::builder::GraphBuilder) and derive new
+/// epochs via [`UncertainGraph::with_updated_probs`] /
+/// [`UncertainGraph::with_edits`].
 #[derive(Clone, Debug)]
 pub struct UncertainGraph {
     /// Forward CSR offsets, length `n + 1`.
-    out_offsets: Vec<u32>,
+    out_offsets: Arc<[u32]>,
     /// Forward CSR targets, length `m`; slot `i` is edge `EdgeId(i)`.
-    out_targets: Vec<NodeId>,
+    out_targets: Arc<[NodeId]>,
     /// Edge source per edge id (inverse of the forward CSR), length `m`.
-    sources: Vec<NodeId>,
-    /// Edge probability per edge id, length `m`.
-    probs: Vec<Probability>,
+    sources: Arc<[NodeId]>,
+    /// Edge probability per edge id, length `m`. The only array that
+    /// differs between probability-update epochs.
+    probs: Arc<[Probability]>,
     /// Reverse CSR offsets, length `n + 1`.
-    in_offsets: Vec<u32>,
+    in_offsets: Arc<[u32]>,
     /// Reverse CSR edge ids, length `m` (look up source via `sources`).
-    in_edges: Vec<EdgeId>,
+    in_edges: Arc<[EdgeId]>,
 }
 
 impl UncertainGraph {
@@ -78,13 +91,82 @@ impl UncertainGraph {
         }
 
         UncertainGraph {
-            out_offsets,
-            out_targets,
-            sources,
-            probs,
-            in_offsets,
-            in_edges,
+            out_offsets: out_offsets.into(),
+            out_targets: out_targets.into(),
+            sources: sources.into(),
+            probs: probs.into(),
+            in_offsets: in_offsets.into(),
+            in_edges: in_edges.into(),
         }
+    }
+
+    /// Snapshot this graph with a batch of edge-probability updates
+    /// applied: the new epoch's graph shares every topology array with
+    /// `self` (Arc-cloned) and copy-on-writes only the `probs` array.
+    ///
+    /// Later updates in the batch win on duplicate edge ids. An empty
+    /// batch shares even the probability array (a pure alias).
+    ///
+    /// # Panics
+    /// Panics if an update names an edge id out of range — resolve
+    /// endpoint pairs through [`UncertainGraph::find_edge`] first.
+    pub fn with_updated_probs(&self, updates: &[EdgeUpdate]) -> Arc<UncertainGraph> {
+        if updates.is_empty() {
+            return Arc::new(self.clone());
+        }
+        let mut probs = self.probs.to_vec();
+        for u in updates {
+            assert!(
+                u.edge.index() < probs.len(),
+                "edge {} out of range (graph has {} edges)",
+                u.edge,
+                probs.len()
+            );
+            probs[u.edge.index()] = u.prob;
+        }
+        Arc::new(UncertainGraph {
+            out_offsets: Arc::clone(&self.out_offsets),
+            out_targets: Arc::clone(&self.out_targets),
+            sources: Arc::clone(&self.sources),
+            probs: probs.into(),
+            in_offsets: Arc::clone(&self.in_offsets),
+            in_edges: Arc::clone(&self.in_edges),
+        })
+    }
+
+    /// Rebuild path for topology changes: a new graph with `deletes`
+    /// removed and `inserts` added, re-sorted into fresh CSR arrays.
+    /// Edge ids are **reassigned**; indexes built over `self` must be
+    /// rebuilt (incremental maintenance only covers probability updates).
+    pub fn with_edits(
+        &self,
+        inserts: &[(NodeId, NodeId, Probability)],
+        deletes: &[EdgeId],
+    ) -> Result<UncertainGraph, GraphError> {
+        let dropped: std::collections::HashSet<usize> = deletes.iter().map(|e| e.index()).collect();
+        let mut builder = crate::builder::GraphBuilder::new(self.num_nodes())
+            .with_edge_capacity(self.num_edges().saturating_sub(dropped.len()) + inserts.len())
+            .allow_self_loops(true);
+        for (e, u, v, p) in self.edges() {
+            if !dropped.contains(&e.index()) {
+                builder.add_edge_prob(u, v, p)?;
+            }
+        }
+        for &(u, v, p) in inserts {
+            builder.add_edge_prob(u, v, p)?;
+        }
+        builder.try_build()
+    }
+
+    /// True if `other` shares this graph's topology arrays (same `Arc`s,
+    /// i.e. derived via [`UncertainGraph::with_updated_probs`] or a
+    /// clone). Incremental index maintenance requires this; graphs that
+    /// went through the [`UncertainGraph::with_edits`] rebuild path — or
+    /// were built independently — report `false` even if structurally
+    /// equal, and force a full index rebuild.
+    pub fn same_topology(&self, other: &UncertainGraph) -> bool {
+        Arc::ptr_eq(&self.out_offsets, &other.out_offsets)
+            && Arc::ptr_eq(&self.out_targets, &other.out_targets)
     }
 
     /// Number of nodes `n`.
@@ -287,5 +369,75 @@ mod tests {
     fn mean_probability_is_average() {
         let g = diamond();
         assert!((g.mean_probability() - 0.65).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_updated_probs_shares_topology_and_swaps_probs() {
+        let g = diamond();
+        let e = g.find_edge(NodeId(0), NodeId(1)).unwrap();
+        let updated = g.with_updated_probs(&[EdgeUpdate::new(e, 0.123).unwrap()]);
+        assert!(g.same_topology(&updated), "topology arrays must be shared");
+        assert!((updated.prob(e).value() - 0.123).abs() < 1e-15);
+        // The parent epoch is untouched.
+        assert!((g.prob(e).value() - 0.5).abs() < 1e-15);
+        // Every other edge keeps its probability.
+        for (eid, _, _, p) in g.edges() {
+            if eid != e {
+                assert_eq!(updated.prob(eid), p);
+            }
+        }
+    }
+
+    #[test]
+    fn with_updated_probs_empty_batch_is_pure_alias() {
+        let g = diamond();
+        let snap = g.with_updated_probs(&[]);
+        assert!(g.same_topology(&snap));
+        assert_eq!(snap.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn with_updated_probs_later_update_wins() {
+        let g = diamond();
+        let e = g.find_edge(NodeId(2), NodeId(3)).unwrap();
+        let snap = g.with_updated_probs(&[
+            EdgeUpdate::new(e, 0.2).unwrap(),
+            EdgeUpdate::new(e, 0.9).unwrap(),
+        ]);
+        assert!((snap.prob(e).value() - 0.9).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn with_updated_probs_rejects_bad_edge_id() {
+        let g = diamond();
+        let _ = g.with_updated_probs(&[EdgeUpdate::new(EdgeId(99), 0.5).unwrap()]);
+    }
+
+    #[test]
+    fn with_edits_inserts_and_deletes() {
+        let g = diamond();
+        let drop = g.find_edge(NodeId(0), NodeId(1)).unwrap();
+        let edited = g
+            .with_edits(
+                &[(NodeId(3), NodeId(0), Probability::new(0.25).unwrap())],
+                &[drop],
+            )
+            .unwrap();
+        assert_eq!(edited.num_edges(), 4);
+        assert!(edited.find_edge(NodeId(0), NodeId(1)).is_none());
+        let back = edited.find_edge(NodeId(3), NodeId(0)).unwrap();
+        assert!((edited.prob(back).value() - 0.25).abs() < 1e-15);
+        // Rebuilt CSR arrays are fresh: incremental maintenance must not
+        // mistake this for a probability-only snapshot.
+        assert!(!g.same_topology(&edited));
+    }
+
+    #[test]
+    fn with_edits_rejects_duplicate_insert() {
+        let g = diamond();
+        assert!(g
+            .with_edits(&[(NodeId(0), NodeId(1), Probability::ONE)], &[])
+            .is_err());
     }
 }

@@ -45,6 +45,7 @@ pub mod probmodel;
 pub mod stats;
 pub mod subgraph;
 pub mod traversal;
+pub mod update;
 
 pub use builder::{DuplicatePolicy, GraphBuilder};
 pub use datasets::{Dataset, DatasetProperties, DatasetSpec};
@@ -52,3 +53,4 @@ pub use error::GraphError;
 pub use graph::UncertainGraph;
 pub use ids::{EdgeId, NodeId};
 pub use probability::{Probability, ProbabilityError};
+pub use update::EdgeUpdate;

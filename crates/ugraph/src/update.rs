@@ -1,0 +1,49 @@
+//! Batched edge-probability updates for dynamic uncertain graphs.
+//!
+//! Real deployments of reliability queries face drifting edge
+//! probabilities (link quality telemetry, influence re-estimation,
+//! failure statistics). An [`EdgeUpdate`] names one edge of an existing
+//! graph and its new existence probability; a batch of them feeds
+//! [`UncertainGraph::with_updated_probs`](crate::UncertainGraph::with_updated_probs),
+//! which snapshots a new epoch of the graph sharing the immutable CSR
+//! topology, and the estimators' incremental index-maintenance hooks.
+//!
+//! Topology changes (edge insert/delete) are a different, rarer beast and
+//! go through the full-rebuild path
+//! [`UncertainGraph::with_edits`](crate::UncertainGraph::with_edits).
+
+use crate::ids::EdgeId;
+use crate::probability::{Probability, ProbabilityError};
+
+/// One edge-probability update: `edge`'s existence probability becomes
+/// `prob` in the next epoch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EdgeUpdate {
+    /// The edge to update (an id valid for the graph being updated).
+    pub edge: EdgeId,
+    /// The new existence probability.
+    pub prob: Probability,
+}
+
+impl EdgeUpdate {
+    /// Build an update from a raw probability, validating it into `(0, 1]`.
+    pub fn new(edge: EdgeId, prob: f64) -> Result<Self, ProbabilityError> {
+        Ok(EdgeUpdate {
+            edge,
+            prob: Probability::new(prob)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_probability_range() {
+        assert!(EdgeUpdate::new(EdgeId(0), 0.5).is_ok());
+        assert!(EdgeUpdate::new(EdgeId(0), 0.0).is_err());
+        assert!(EdgeUpdate::new(EdgeId(0), 1.5).is_err());
+        assert!(EdgeUpdate::new(EdgeId(0), f64::NAN).is_err());
+    }
+}

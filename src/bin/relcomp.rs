@@ -10,6 +10,8 @@
 //! relcomp recommend --memory smaller|larger --variance lower|slight|higher --speed faster|slower
 //! relcomp serve <file> [--port P] [--threads N] [--cache N] [--seed N]
 //! relcomp client <s> <t> [--addr HOST:PORT] [--estimator NAME] [--samples N] [--seed N]
+//! relcomp client update <s> <t> <prob> [--addr HOST:PORT]
+//! relcomp client reload [--path FILE] [--addr HOST:PORT]
 //! relcomp client stats|ping|shutdown [--addr HOST:PORT]
 //! ```
 //!
@@ -55,6 +57,8 @@ usage:
   relcomp recommend --memory smaller|larger --variance lower|slight|higher --speed faster|slower
   relcomp serve <file> [--port P] [--threads N] [--cache N] [--seed N]
   relcomp client <s> <t> [--addr HOST:PORT] [--estimator NAME] [--samples N] [--seed N]
+  relcomp client update <s> <t> <prob> [--addr HOST:PORT]
+  relcomp client reload [--path FILE] [--addr HOST:PORT]
   relcomp client stats|ping|shutdown [--addr HOST:PORT]
 
 datasets:   lastfm nethept as_topology dblp02 dblp005 biomine
@@ -222,6 +226,9 @@ fn run(args: Vec<String>) -> Result<(), String> {
             let kind = parse_estimator(opts.get("estimator").copied().unwrap_or("probtree"))?;
             // `--samples` is the canonical spelling (matching `topk` and
             // the serve protocol); `--k` stays as a legacy alias.
+            if opts.contains_key("k") {
+                eprintln!("note: `query --k` is deprecated; use `--samples` instead");
+            }
             let k: usize = opts
                 .get("samples")
                 .or_else(|| opts.get("k"))
@@ -372,6 +379,9 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 ..Default::default()
             };
             let engine = Arc::new(QueryEngine::new(Arc::clone(&graph), config));
+            // Remember the file so the `reload` protocol command can
+            // re-read it without an explicit path.
+            engine.set_source(file);
             let threads = engine.stats().threads;
             let server = Server::bind(("127.0.0.1", port), engine).map_err(|e| e.to_string())?;
             let addr = server.local_addr().map_err(|e| e.to_string())?;
@@ -386,13 +396,16 @@ fn run(args: Vec<String>) -> Result<(), String> {
         }
         "client" => {
             // Query-shaped invocations take the full option set; the
-            // control forms (ping/stats/shutdown) only understand --addr,
-            // and silently dropping the rest would be exactly the typo
-            // trap `check_options` exists to close.
+            // control forms (ping/stats/shutdown/update/reload) each
+            // understand their own narrow set, and silently dropping the
+            // rest would be exactly the typo trap `check_options` exists
+            // to close.
             match pos[..] {
                 ["ping"] | ["stats"] | ["shutdown"] => {
                     check_options(&format!("client {}", pos[0]), &opts, &["addr"])?
                 }
+                ["update", ..] => check_options("client update", &opts, &["addr"])?,
+                ["reload", ..] => check_options("client reload", &opts, &["addr", "path"])?,
                 _ => check_options(cmd, &opts, &["addr", "estimator", "samples", "seed"])?,
             }
             let default_addr = format!("127.0.0.1:{DEFAULT_PORT}");
@@ -419,11 +432,58 @@ fn run(args: Vec<String>) -> Result<(), String> {
                     println!("rejected:      {}", s.rejected);
                     println!("threads:       {}", s.threads);
                     println!(
-                        "graph:         {} nodes, {} edges (epoch {})",
-                        s.nodes, s.edges, s.epoch
+                        "graph:         {} nodes, {} edges (epoch {}, {} updates)",
+                        s.nodes, s.edges, s.epoch, s.updates
+                    );
+                    println!(
+                        "residents:     {} estimators, {:.1} KiB index memory",
+                        s.resident_estimators,
+                        s.resident_bytes as f64 / 1024.0
                     );
                     println!("uptime:        {:.1} s", s.uptime_micros as f64 / 1e6);
                     Ok(())
+                }
+                ["update", s_raw, t_raw, p_raw] => {
+                    let parse_id = |raw: &str, what: &str| -> Result<u32, String> {
+                        raw.parse()
+                            .map_err(|_| format!("cannot parse {what} node `{raw}`"))
+                    };
+                    let prob: f64 = p_raw
+                        .parse()
+                        .map_err(|_| format!("cannot parse probability `{p_raw}`"))?;
+                    let update = relcomp_serve::protocol::EdgeProbUpdate {
+                        s: parse_id(s_raw, "source")?,
+                        t: parse_id(t_raw, "target")?,
+                        prob,
+                    };
+                    let r = client.update(vec![update]).map_err(|e| e.to_string())?;
+                    println!(
+                        "updated {} edge(s); server now at epoch {}",
+                        r.edges_updated, r.epoch
+                    );
+                    for m in &r.migrated {
+                        match m.mode.as_str() {
+                            "incremental" => println!(
+                                "  {} index migrated incrementally ({} units recomputed)",
+                                m.estimator, m.touched
+                            ),
+                            mode => println!("  {} {}", m.estimator, mode),
+                        }
+                    }
+                    Ok(())
+                }
+                ["update", ..] => Err("client update needs <s> <t> <prob>".into()),
+                ["reload"] => {
+                    let path = opts.get("path").map(|p| p.to_string());
+                    let r = client.reload(path).map_err(|e| e.to_string())?;
+                    println!(
+                        "reloaded: {} nodes, {} edges; server now at epoch {}",
+                        r.nodes, r.edges, r.epoch
+                    );
+                    Ok(())
+                }
+                ["reload", ..] => {
+                    Err("client reload takes no positional arguments (use --path FILE)".into())
                 }
                 ["shutdown"] => {
                     client.shutdown().map_err(|e| e.to_string())?;
@@ -460,7 +520,9 @@ fn run(args: Vec<String>) -> Result<(), String> {
                     );
                     Ok(())
                 }
-                _ => Err("client needs <s> <t>, or one of: stats, ping, shutdown".into()),
+                _ => Err("client needs <s> <t>, or one of: stats, ping, shutdown, \
+                     update <s> <t> <prob>, reload"
+                    .into()),
             }
         }
         other => Err(format!("unknown command `{other}`")),

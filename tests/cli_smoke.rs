@@ -56,7 +56,9 @@ fn generate_stats_query_round_trip() {
     assert!(nodes > 10, "suspiciously small graph: {nodes} nodes");
 
     // query: a reliability estimate in [0, 1] with the requested K.
-    let out = stdout(&relcomp(&[
+    // (`--k` is the deprecated alias of `--samples`; it still works but
+    // warns on stderr.)
+    let raw = relcomp(&[
         "query",
         path_str,
         "0",
@@ -67,8 +69,31 @@ fn generate_stats_query_round_trip() {
         "2000",
         "--seed",
         "7",
-    ]));
+    ]);
+    let deprecation = String::from_utf8_lossy(&raw.stderr).into_owned();
+    assert!(
+        deprecation.contains("deprecated") && deprecation.contains("--samples"),
+        "`--k` must print a deprecation note pointing at --samples: {deprecation}"
+    );
+    let out = stdout(&raw);
     assert!(out.contains("K = 2000"), "missing sample count: {out}");
+    // The canonical spelling is silent.
+    let canonical = relcomp(&[
+        "query",
+        path_str,
+        "0",
+        "3",
+        "--estimator",
+        "mc",
+        "--samples",
+        "2000",
+        "--seed",
+        "7",
+    ]);
+    assert!(
+        !String::from_utf8_lossy(&canonical.stderr).contains("deprecated"),
+        "--samples must not warn"
+    );
     let reliability: f64 = out
         .split('≈')
         .nth(1)

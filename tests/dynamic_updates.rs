@@ -1,0 +1,138 @@
+//! Property-based tests for the dynamic-update subsystem: a
+//! [`with_updated_probs`] snapshot must be indistinguishable — bit for
+//! bit — from tearing the graph down and rebuilding it from scratch
+//! with the new probabilities, both at the graph level and through the
+//! estimators' incremental index-maintenance paths.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use relcomp_core::mc::McSampling;
+use relcomp_core::probtree::ProbTree;
+use relcomp_core::{Estimator, UpdateOutcome};
+use relcomp_ugraph::{EdgeUpdate, GraphBuilder, NodeId, UncertainGraph};
+use std::sync::Arc;
+
+/// Strategy: a random small digraph as (n, edge list) with valid probs.
+fn small_digraph() -> impl Strategy<Value = (usize, Vec<(u32, u32, f64)>)> {
+    (4usize..9).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32, 0.05f64..1.0);
+        (Just(n), proptest::collection::vec(edge, 1..14))
+    })
+}
+
+/// Strategy: raw update batch as (edge selector, new probability); the
+/// selector is reduced modulo the graph's edge count.
+fn update_batch() -> impl Strategy<Value = Vec<(usize, f64)>> {
+    proptest::collection::vec((0usize..64, 0.05f64..1.0), 1..6)
+}
+
+fn build(n: usize, edges: &[(u32, u32, f64)]) -> Arc<UncertainGraph> {
+    let mut b = GraphBuilder::new(n).duplicate_policy(relcomp_ugraph::DuplicatePolicy::CombineOr);
+    for &(u, v, p) in edges {
+        if u != v {
+            b.add_edge(NodeId(u), NodeId(v), p).unwrap();
+        }
+    }
+    Arc::new(b.build())
+}
+
+fn resolve(graph: &UncertainGraph, raw: &[(usize, f64)]) -> Vec<EdgeUpdate> {
+    raw.iter()
+        .map(|&(sel, p)| {
+            EdgeUpdate::new(relcomp_ugraph::EdgeId((sel % graph.num_edges()) as u32), p).unwrap()
+        })
+        .collect()
+}
+
+/// A graph structurally identical to `snap`, built from scratch (fresh
+/// CSR arrays, no shared topology).
+fn rebuild_from_scratch(snap: &UncertainGraph) -> Arc<UncertainGraph> {
+    let mut b = GraphBuilder::new(snap.num_nodes()).with_edge_capacity(snap.num_edges());
+    for (_, u, v, p) in snap.edges() {
+        b.add_edge_prob(u, v, p).unwrap();
+    }
+    Arc::new(b.build())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The snapshot and the from-scratch rebuild are the same graph,
+    /// edge by edge, bit by bit — and the snapshot never disturbs its
+    /// parent epoch.
+    #[test]
+    fn snapshot_equals_rebuild_edge_for_edge(
+        (n, edges) in small_digraph(),
+        raw in update_batch(),
+    ) {
+        let g = build(n, &edges);
+        prop_assume!(g.num_edges() >= 1);
+        let before: Vec<u64> = g.edges().map(|(_, _, _, p)| p.value().to_bits()).collect();
+        let updates = resolve(&g, &raw);
+        let snap = g.with_updated_probs(&updates);
+        let rebuilt = rebuild_from_scratch(&snap);
+
+        prop_assert!(g.same_topology(&snap));
+        prop_assert!(!snap.same_topology(&rebuilt));
+        prop_assert_eq!(snap.num_nodes(), rebuilt.num_nodes());
+        prop_assert_eq!(snap.num_edges(), rebuilt.num_edges());
+        for ((ea, ua, va, pa), (eb, ub, vb, pb)) in snap.edges().zip(rebuilt.edges()) {
+            prop_assert_eq!((ea, ua, va), (eb, ub, vb));
+            prop_assert_eq!(pa.value().to_bits(), pb.value().to_bits());
+        }
+        let after: Vec<u64> = g.edges().map(|(_, _, _, p)| p.value().to_bits()).collect();
+        prop_assert_eq!(before, after, "the parent epoch must be untouched");
+    }
+
+    /// MC over the snapshot is bit-identical to MC over a from-scratch
+    /// rebuild under the same seed.
+    #[test]
+    fn mc_on_snapshot_is_bit_identical_to_rebuild(
+        (n, edges) in small_digraph(),
+        raw in update_batch(),
+        seed in 0u64..1000,
+    ) {
+        let g = build(n, &edges);
+        prop_assume!(g.num_edges() >= 1);
+        let updates = resolve(&g, &raw);
+        let snap = g.with_updated_probs(&updates);
+        let rebuilt = rebuild_from_scratch(&snap);
+        let (s, t) = (NodeId(0), NodeId((n - 1) as u32));
+
+        let mut rng_a = ChaCha8Rng::seed_from_u64(seed);
+        let a = McSampling::new(Arc::clone(&snap)).estimate(s, t, 400, &mut rng_a);
+        let mut rng_b = ChaCha8Rng::seed_from_u64(seed);
+        let b = McSampling::new(rebuilt).estimate(s, t, 400, &mut rng_b);
+        prop_assert_eq!(a.reliability.to_bits(), b.reliability.to_bits());
+    }
+
+    /// ProbTree maintained incrementally through `apply_updates` answers
+    /// bit-identically to a ProbTree built fresh over the from-scratch
+    /// rebuilt graph: incremental maintenance loses nothing.
+    #[test]
+    fn probtree_incremental_is_bit_identical_to_rebuild(
+        (n, edges) in small_digraph(),
+        raw in update_batch(),
+        seed in 0u64..1000,
+    ) {
+        let g = build(n, &edges);
+        prop_assume!(g.num_edges() >= 1);
+        let updates = resolve(&g, &raw);
+        let snap = g.with_updated_probs(&updates);
+        let rebuilt = rebuild_from_scratch(&snap);
+        let (s, t) = (NodeId(0), NodeId((n - 1) as u32));
+
+        let mut maintained = ProbTree::new(Arc::clone(&g));
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let outcome = maintained.apply_updates(&snap, &updates, &mut rng);
+        prop_assert!(matches!(outcome, UpdateOutcome::Incremental { .. }));
+
+        let mut fresh = ProbTree::new(rebuilt);
+        let mut rng_a = ChaCha8Rng::seed_from_u64(seed);
+        let a = maintained.estimate(s, t, 400, &mut rng_a);
+        let mut rng_b = ChaCha8Rng::seed_from_u64(seed);
+        let b = fresh.estimate(s, t, 400, &mut rng_b);
+        prop_assert_eq!(a.reliability.to_bits(), b.reliability.to_bits());
+    }
+}
