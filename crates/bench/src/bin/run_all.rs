@@ -2,13 +2,37 @@
 //! Usage: `run_all [quick|paper] [--seed N]`.
 //!
 //! Order follows the paper's Section 3. Each report is printed and
-//! mirrored under `results/`.
+//! mirrored under `results/`; a machine-readable `BENCH_summary.json`
+//! (per-job wall time plus a per-estimator timing probe) lands at the
+//! repo root so the perf trajectory across commits has data points.
 
+use relcomp_bench::adaptive::{timing_probe, EstimatorTiming};
 use relcomp_eval::experiments as exp;
-use relcomp_eval::RunProfile;
+use relcomp_eval::{ExperimentEnv, RunProfile};
+use relcomp_ugraph::Dataset;
+use serde::Serialize;
 
 /// An experiment entry point: `(profile, seed) -> report text`.
 type Job = fn(RunProfile, u64) -> String;
+
+/// One experiment binary's wall time.
+#[derive(Serialize)]
+struct JobTiming {
+    name: String,
+    secs: f64,
+}
+
+/// The machine-readable sweep summary written to `BENCH_summary.json`.
+#[derive(Serialize)]
+struct BenchSummary {
+    profile: String,
+    seed: u64,
+    total_secs: f64,
+    jobs: Vec<JobTiming>,
+    /// Fixed-K timing probe per estimator (samples + wall ms) on the
+    /// LastFM analog — the stable cross-commit perf signal.
+    estimators: Vec<EstimatorTiming>,
+}
 
 fn main() {
     let cli = relcomp_bench::cli();
@@ -34,14 +58,43 @@ fn main() {
         ("ext_bounds", exp::ext_bounds::run),
         ("ext_topk", exp::ext_topk::run),
     ];
+    let sweep_start = std::time::Instant::now();
+    let mut timings = Vec::new();
     for (name, job) in jobs {
         eprintln!(">>> running {name} ...");
         let start = std::time::Instant::now();
         let report = job(profile, seed);
         relcomp_bench::emit(name, &report);
-        eprintln!(
-            "<<< {name} finished in {:.1}s",
-            start.elapsed().as_secs_f64()
-        );
+        let secs = start.elapsed().as_secs_f64();
+        eprintln!("<<< {name} finished in {secs:.1}s");
+        timings.push(JobTiming {
+            name: name.to_string(),
+            secs,
+        });
+    }
+
+    // Per-estimator probe: fixed K = 1000 over a small LastFM workload.
+    eprintln!(">>> timing probe (paper six @ K = 1000, LastFM analog) ...");
+    let mut env = ExperimentEnv::prepare(Dataset::LastFm, profile, 2, seed);
+    env.workload.pairs.truncate(10);
+    let estimators = timing_probe(&env, 1000);
+
+    let summary = BenchSummary {
+        profile: match profile {
+            RunProfile::Quick => "quick".to_string(),
+            RunProfile::Paper => "paper".to_string(),
+        },
+        seed,
+        total_secs: sweep_start.elapsed().as_secs_f64(),
+        jobs: timings,
+        estimators,
+    };
+    let path = relcomp_bench::repo_root().join("BENCH_summary.json");
+    match serde_json::to_string_pretty(&summary) {
+        Ok(json) => match std::fs::write(&path, json) {
+            Ok(()) => eprintln!("[saved {}]", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        },
+        Err(e) => eprintln!("warning: could not serialize BENCH_summary: {e}"),
     }
 }

@@ -121,11 +121,10 @@ fn main() {
                     let sent = Instant::now();
                     let resp = client
                         .query(QueryRequest {
-                            s,
-                            t,
                             estimator: Some("mc".into()),
                             samples: Some(p.samples),
                             seed: Some(cli.seed),
+                            ..QueryRequest::new(s, t)
                         })
                         .expect("query");
                     local.push(sent.elapsed().as_micros() as u64);

@@ -88,6 +88,171 @@ pub fn results_dir() -> PathBuf {
     }
 }
 
+/// The workspace root (where `BENCH_summary.json` lands; falls back to
+/// CWD).
+pub fn repo_root() -> PathBuf {
+    match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(dir) => PathBuf::from(dir).join("../.."),
+        Err(_) => PathBuf::from("."),
+    }
+}
+
+/// Fixed-k vs adaptive-session comparison shared by the
+/// `adaptive_stopping` bin and `run_all`'s `BENCH_summary.json` emission.
+pub mod adaptive {
+    use rand::RngCore;
+    use relcomp_core::{EstimatorKind, SampleBudget, StopReason};
+    use relcomp_eval::{ExperimentEnv, RunProfile};
+    use relcomp_ugraph::Dataset;
+    use serde::Serialize;
+
+    /// One (dataset, estimator) comparison row.
+    #[derive(Clone, Debug, Serialize)]
+    pub struct Row {
+        /// Dataset analog name.
+        pub dataset: String,
+        /// Estimator display name.
+        pub estimator: String,
+        /// Workload pairs measured.
+        pub pairs: usize,
+        /// The fixed budget every query historically ran (paper default).
+        pub fixed_samples: usize,
+        /// Wall milliseconds for the fixed pass over all pairs.
+        pub fixed_wall_ms: f64,
+        /// Mean achieved relative half-width under the fixed budget
+        /// (`None` when the estimator reports no CI — single recursions).
+        pub fixed_rel_hw: Option<f64>,
+        /// Mean samples the adaptive sessions consumed per pair.
+        pub adaptive_avg_samples: f64,
+        /// Smallest per-pair adaptive consumption (the early-exit case).
+        pub adaptive_min_samples: usize,
+        /// Wall milliseconds for the adaptive pass over all pairs.
+        pub adaptive_wall_ms: f64,
+        /// Pairs whose session met the eps target before the cap.
+        pub converged_pairs: usize,
+        /// Mean samples over the *converged* pairs only (`None` when no
+        /// pair converged) — the honest early-exit headline, undiluted
+        /// by pairs that ran to the cap.
+        pub converged_avg_samples: Option<f64>,
+        /// Pairs whose session met the target with *fewer* samples than
+        /// the fixed budget — the headline early-exit count.
+        pub early_exit_pairs: usize,
+    }
+
+    /// Run the comparison: every paper-six estimator answers the
+    /// workload once at `fixed_k` and once adaptively (`eps` target at
+    /// 95% confidence, capped at `cap`).
+    pub fn compare(
+        dataset: Dataset,
+        profile: RunProfile,
+        seed: u64,
+        eps: f64,
+        fixed_k: usize,
+        cap: usize,
+    ) -> Vec<Row> {
+        let mut env = ExperimentEnv::prepare(dataset, profile, 1, seed);
+        // The shared index must cover the adaptive cap.
+        env.params.bfs_sharing_worlds = cap.max(fixed_k);
+        let budget = SampleBudget::adaptive(eps, cap);
+        let mut rows = Vec::new();
+        for &kind in &EstimatorKind::PAPER_SIX {
+            let mut est = env.estimator(kind);
+            let mut rng = env.rng(0xada0 ^ kind as u64);
+
+            let mut fixed_wall = 0.0f64;
+            let mut fixed_hw_sum = 0.0f64;
+            let mut fixed_hw_count = 0usize;
+            for &(s, t) in &env.workload.pairs {
+                est.refresh(&mut rng);
+                let e = est.estimate(s, t, fixed_k, &mut rng);
+                fixed_wall += e.elapsed.as_secs_f64() * 1e3;
+                if let Some(hw) = e.half_width {
+                    if e.reliability > 0.0 {
+                        fixed_hw_sum += hw / e.reliability;
+                        fixed_hw_count += 1;
+                    }
+                }
+            }
+
+            let mut adaptive_wall = 0.0f64;
+            let mut samples_sum = 0usize;
+            let mut samples_min = usize::MAX;
+            let mut converged = 0usize;
+            let mut converged_samples = 0usize;
+            let mut early = 0usize;
+            for &(s, t) in &env.workload.pairs {
+                est.refresh(&mut rng);
+                let e = est.estimate_with(s, t, &budget, &mut rng);
+                adaptive_wall += e.elapsed.as_secs_f64() * 1e3;
+                samples_sum += e.samples;
+                samples_min = samples_min.min(e.samples);
+                if e.stop_reason == StopReason::Converged {
+                    converged += 1;
+                    converged_samples += e.samples;
+                    if e.samples < fixed_k {
+                        early += 1;
+                    }
+                }
+            }
+
+            let pairs = env.workload.len();
+            rows.push(Row {
+                dataset: dataset.short_name().to_string(),
+                estimator: kind.display_name().to_string(),
+                pairs,
+                fixed_samples: fixed_k,
+                fixed_wall_ms: fixed_wall,
+                fixed_rel_hw: (fixed_hw_count > 0).then(|| fixed_hw_sum / fixed_hw_count as f64),
+                adaptive_avg_samples: samples_sum as f64 / pairs as f64,
+                adaptive_min_samples: samples_min,
+                adaptive_wall_ms: adaptive_wall,
+                converged_pairs: converged,
+                converged_avg_samples: (converged > 0)
+                    .then(|| converged_samples as f64 / converged as f64),
+                early_exit_pairs: early,
+            });
+        }
+        rows
+    }
+
+    /// Quick per-estimator timing probe for `BENCH_summary.json`: one
+    /// fixed pass at `fixed_k` per estimator on a small workload.
+    #[derive(Clone, Debug, Serialize)]
+    pub struct EstimatorTiming {
+        /// Estimator display name.
+        pub estimator: String,
+        /// Samples consumed across the workload.
+        pub samples: usize,
+        /// Wall milliseconds across the workload.
+        pub wall_ms: f64,
+    }
+
+    /// Measure every paper-six estimator at `fixed_k` on `env`'s
+    /// workload (refresh excluded from timing, as in the paper).
+    pub fn timing_probe(env: &ExperimentEnv, fixed_k: usize) -> Vec<EstimatorTiming> {
+        EstimatorKind::PAPER_SIX
+            .iter()
+            .map(|&kind| {
+                let mut est = env.estimator(kind);
+                let mut rng = env.rng(0x7173 ^ kind as u64);
+                let mut wall = 0.0;
+                let mut samples = 0usize;
+                for &(s, t) in &env.workload.pairs {
+                    est.refresh(&mut rng as &mut dyn RngCore);
+                    let e = est.estimate(s, t, fixed_k, &mut rng);
+                    wall += e.elapsed.as_secs_f64() * 1e3;
+                    samples += e.samples;
+                }
+                EstimatorTiming {
+                    estimator: kind.display_name().to_string(),
+                    samples,
+                    wall_ms: wall,
+                }
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -23,6 +23,7 @@
 
 use crate::estimator::{validate_query, Estimate, Estimator, UpdateOutcome};
 use crate::memory::MemoryTracker;
+use crate::session::{EstimationSession, SampleBudget};
 use rand::RngCore;
 use relcomp_ugraph::{EdgeId, EdgeUpdate, NodeId, UncertainGraph};
 use std::collections::VecDeque;
@@ -134,6 +135,13 @@ pub struct BfsSharing {
     node_bits: Vec<u64>,
     node_epoch: Vec<u32>,
     epoch: u32,
+    /// Worklist + membership marks, allocated once and reused across
+    /// windows (adaptive sessions run one fixpoint per batch; per-window
+    /// allocation would churn O(n) per 256 worlds). Both invariants hold
+    /// between windows: the queue drains empty, and every `in_queue`
+    /// mark is cleared when its node is popped.
+    queue: VecDeque<NodeId>,
+    in_queue: Vec<bool>,
 }
 
 impl BfsSharing {
@@ -154,6 +162,8 @@ impl BfsSharing {
             node_bits: vec![0u64; n * wpe],
             node_epoch: vec![0; n],
             epoch: 0,
+            queue: VecDeque::new(),
+            in_queue: vec![false; n],
         }
     }
 
@@ -166,80 +176,68 @@ impl BfsSharing {
     pub fn index(&self) -> &BfsSharingIndex {
         &self.index
     }
-}
 
-impl Estimator for BfsSharing {
-    fn name(&self) -> &'static str {
-        "BFS Sharing"
-    }
-
-    fn estimate(&mut self, s: NodeId, t: NodeId, k: usize, rng: &mut dyn RngCore) -> Estimate {
-        let _ = rng; // all randomness is in the pre-built index
-        validate_query(&self.graph, s, t);
-        assert!(
-            k <= self.index.l,
-            "requested K = {k} samples but the index holds only L = {} worlds",
-            self.index.l
-        );
-        assert!(k > 0, "sample count must be positive");
-        let start = Instant::now();
-        let mut mem = MemoryTracker::new();
-        // The loaded edge index plus the online node vectors (the paper's
-        // corrected accounting: O(Km) index + O(Kn) node bit vectors).
-        mem.baseline(self.index.size_bytes());
-        mem.alloc(self.node_bits.len() * 8 + self.node_epoch.len() * 4);
-
-        let words = k.div_ceil(64);
+    /// Count the worlds in `[lo, lo + n)` of the index where `t` is
+    /// reachable from `s`, via the shared-BFS worklist fixpoint restricted
+    /// to that window's words. Worlds are independent columns, so a
+    /// window's count is exactly the popcount the full fixpoint would
+    /// produce over those bits — batching partitions the work without
+    /// changing any answer.
+    fn count_window(&mut self, s: NodeId, t: NodeId, lo: usize, n: usize) -> usize {
+        debug_assert!(lo + n <= self.index.l);
+        debug_assert!(self.queue.is_empty());
         let wpe = self.index.words_per_edge;
-        let last_mask: u64 = if k % 64 == 0 {
+        let w_lo = lo / 64;
+        let w_hi = (lo + n).div_ceil(64);
+        let first_mask: u64 = !0 << (lo % 64);
+        let last_mask: u64 = if (lo + n) % 64 == 0 {
             !0
         } else {
-            (1u64 << (k % 64)) - 1
+            (1u64 << ((lo + n) % 64)) - 1
+        };
+        let window_mask = |w: usize| -> u64 {
+            let mut m = !0u64;
+            if w == w_lo {
+                m &= first_mask;
+            }
+            if w + 1 == w_hi {
+                m &= last_mask;
+            }
+            m
         };
 
-        // Lazy per-query reset of node vectors via epochs.
+        // Lazy per-window reset of node vectors via epochs.
         self.epoch = self.epoch.wrapping_add(1).max(1);
         let epoch = self.epoch;
 
-        if s == t {
-            return Estimate {
-                reliability: 1.0,
-                samples: k,
-                elapsed: start.elapsed(),
-                aux_bytes: mem.peak(),
-            };
-        }
-
-        // I_s = [1 1 ... 1] (masked to K bits).
+        // I_s = all ones over the window.
         {
             let base = s.index() * wpe;
-            for w in 0..words {
-                self.node_bits[base + w] = if w + 1 == words { last_mask } else { !0 };
+            for w in w_lo..w_hi {
+                self.node_bits[base + w] = window_mask(w);
             }
             self.node_epoch[s.index()] = epoch;
         }
 
         // Worklist fixpoint: when I_v gains bits, re-examine v's out-edges.
         // This subsumes Algorithm 3's cascading updates.
-        let mut queue: VecDeque<NodeId> = VecDeque::new();
-        queue.push_back(s);
-        let mut in_queue = vec![false; self.graph.num_nodes()];
-        in_queue[s.index()] = true;
-        mem.alloc(in_queue.len());
+        self.queue.push_back(s);
+        self.in_queue[s.index()] = true;
 
-        while let Some(v) = queue.pop_front() {
-            in_queue[v.index()] = false;
+        while let Some(v) = self.queue.pop_front() {
+            self.in_queue[v.index()] = false;
             let v_base = v.index() * wpe;
             for (e, w) in self.graph.out_edges(v) {
                 let w_base = w.index() * wpe;
                 if self.node_epoch[w.index()] != epoch {
-                    self.node_bits[w_base..w_base + words].fill(0);
+                    self.node_bits[w_base + w_lo..w_base + w_hi].fill(0);
                     self.node_epoch[w.index()] = epoch;
                 }
                 let edge_words = self.index.edge_words(e);
                 let mut changed = false;
-                for (i, &edge_word) in edge_words.iter().enumerate().take(words) {
-                    let add = self.node_bits[v_base + i] & edge_word;
+                #[allow(clippy::needless_range_loop)] // three slices share the window index
+                for i in w_lo..w_hi {
+                    let add = self.node_bits[v_base + i] & edge_words[i];
                     let cur = self.node_bits[w_base + i];
                     let new = cur | add;
                     if new != cur {
@@ -247,34 +245,87 @@ impl Estimator for BfsSharing {
                         changed = true;
                     }
                 }
-                if changed && !in_queue[w.index()] {
-                    in_queue[w.index()] = true;
-                    queue.push_back(w);
+                if changed && !self.in_queue[w.index()] {
+                    self.in_queue[w.index()] = true;
+                    self.queue.push_back(w);
                 }
             }
         }
 
-        let reliability = if self.node_epoch[t.index()] == epoch {
-            let t_base = t.index() * wpe;
-            let ones: u32 = self.node_bits[t_base..t_base + words]
-                .iter()
-                .map(|w| w.count_ones())
-                .sum();
-            ones as f64 / k as f64
-        } else {
-            0.0
-        };
-
-        Estimate {
-            reliability,
-            samples: k,
-            elapsed: start.elapsed(),
-            aux_bytes: mem.peak(),
+        if self.node_epoch[t.index()] != epoch {
+            return 0;
         }
+        let t_base = t.index() * wpe;
+        self.node_bits[t_base + w_lo..t_base + w_hi]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+}
+
+impl Estimator for BfsSharing {
+    fn name(&self) -> &'static str {
+        "BFS Sharing"
+    }
+
+    fn estimate_with(
+        &mut self,
+        s: NodeId,
+        t: NodeId,
+        budget: &SampleBudget,
+        rng: &mut dyn RngCore,
+    ) -> Estimate {
+        let _ = rng; // all randomness is in the pre-built index
+        validate_query(&self.graph, s, t);
+        if budget.is_fixed() {
+            let k = budget.max_samples();
+            assert!(
+                k <= self.index.l,
+                "requested K = {k} samples but the index holds only L = {} worlds",
+                self.index.l
+            );
+        }
+        // The index bounds the drawable worlds: adaptive budgets clamp.
+        let budget = budget.clamp_max(self.index.l);
+        let mut session = EstimationSession::begin(&budget);
+        let mut mem = MemoryTracker::new();
+        // The loaded edge index plus the online node vectors (the paper's
+        // corrected accounting: O(Km) index + O(Kn) node bit vectors).
+        mem.baseline(self.index.size_bytes());
+        mem.alloc(self.node_bits.len() * 8 + self.node_epoch.len() * 4 + self.in_queue.len());
+
+        if s == t {
+            return session.finish_exact(1.0, &mem);
+        }
+
+        if budget.is_fixed() {
+            // One window over all K worlds — the historical single
+            // fixpoint, bit for bit (no per-batch traversal overhead).
+            let k = budget.max_samples();
+            let ones = self.count_window(s, t, 0, k);
+            session.record_hits(ones, k);
+            return session.finish(ones as f64 / k as f64, &mem);
+        }
+
+        let mut ones_total = 0usize;
+        loop {
+            let n = session.next_batch();
+            if n == 0 {
+                break;
+            }
+            let lo = session.samples();
+            let ones = self.count_window(s, t, lo, n);
+            ones_total += ones;
+            session.record_hits(ones, n);
+        }
+        session.finish(ones_total as f64 / session.samples() as f64, &mem)
     }
 
     fn resident_bytes(&self) -> usize {
-        self.index.size_bytes() + self.node_bits.len() * 8 + self.node_epoch.len() * 4
+        self.index.size_bytes()
+            + self.node_bits.len() * 8
+            + self.node_epoch.len() * 4
+            + self.in_queue.len()
     }
 
     /// Re-sample the edge index so the next query sees fresh worlds

@@ -6,6 +6,7 @@
 //! through the same API and reports the same measurements (estimate,
 //! samples used, wall time, auxiliary memory).
 
+use crate::session::{SampleBudget, StopReason};
 use rand::RngCore;
 use relcomp_ugraph::{EdgeUpdate, NodeId, UncertainGraph};
 use std::sync::Arc;
@@ -24,6 +25,16 @@ pub struct Estimate {
     /// input graph and any pre-built index — see [`Estimator::resident_bytes`]
     /// for the latter). Analytic accounting; see `memory` module.
     pub aux_bytes: usize,
+    /// Estimated variance of `reliability` (the estimator's variance, not
+    /// the per-sample variance). `None` when the run had no replication
+    /// to measure spread from (a single fixed-`k` recursion).
+    pub variance: Option<f64>,
+    /// Confidence-interval half-width at the session's confidence level
+    /// (Wilson for Bernoulli sampling, normal otherwise); `None` when
+    /// unmeasurable — see [`Estimate::variance`].
+    pub half_width: Option<f64>,
+    /// Why sampling stopped (fixed budget, convergence, caps).
+    pub stop_reason: StopReason,
 }
 
 impl Estimate {
@@ -77,12 +88,36 @@ pub trait Estimator {
     /// `"BFS Sharing"`, `"ProbTree"`, `"LP+"`, `"RHH"`, `"RSS"`).
     fn name(&self) -> &'static str;
 
-    /// Estimate `R(s, t)` using (up to) `k` samples.
+    /// Estimate `R(s, t)` by streaming sample batches until `budget`
+    /// says stop (fixed count, relative-half-width target, sample cap,
+    /// wall-time cap — see [`SampleBudget`]).
+    ///
+    /// Implementations draw in batches (default 256) and consult the
+    /// session's [`Convergence`](crate::session::Convergence) tracker
+    /// between batches. Under [`SampleBudget::fixed`] the behavior —
+    /// reliability, samples, RNG stream — is bit-identical to the
+    /// historical fixed-`k` [`Estimator::estimate`].
     ///
     /// # Panics
     /// Implementations panic if `s` or `t` are out of range for the graph
     /// they were built over.
-    fn estimate(&mut self, s: NodeId, t: NodeId, k: usize, rng: &mut dyn RngCore) -> Estimate;
+    fn estimate_with(
+        &mut self,
+        s: NodeId,
+        t: NodeId,
+        budget: &SampleBudget,
+        rng: &mut dyn RngCore,
+    ) -> Estimate;
+
+    /// Estimate `R(s, t)` using exactly `k` samples — a thin wrapper over
+    /// [`Estimator::estimate_with`] with [`SampleBudget::fixed`]`(k)`.
+    ///
+    /// # Panics
+    /// Panics if `k` is zero or `s`/`t` are out of range.
+    fn estimate(&mut self, s: NodeId, t: NodeId, k: usize, rng: &mut dyn RngCore) -> Estimate {
+        assert!(k > 0, "sample count must be positive");
+        self.estimate_with(s, t, &SampleBudget::fixed(k), rng)
+    }
 
     /// Bytes held *between* queries: pre-built indexes plus long-lived
     /// workspaces. The input graph itself is excluded (all estimators share
@@ -143,6 +178,9 @@ mod tests {
             samples: 10,
             elapsed: Duration::ZERO,
             aux_bytes: 0,
+            variance: Some(0.025),
+            half_width: Some(0.31),
+            stop_reason: StopReason::FixedK,
         };
         assert!(ok.is_valid());
         let bad = Estimate {

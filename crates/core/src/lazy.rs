@@ -29,13 +29,13 @@
 use crate::estimator::{validate_query, Estimate, Estimator, UpdateOutcome};
 use crate::memory::MemoryTracker;
 use crate::sampler::geometric;
+use crate::session::{EstimationSession, SampleBudget};
 use rand::RngCore;
 use relcomp_ugraph::traversal::VisitSet;
 use relcomp_ugraph::{EdgeUpdate, NodeId, UncertainGraph};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Which re-arm keying to use (see module docs).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -114,10 +114,15 @@ impl Estimator for LazyPropagation {
         }
     }
 
-    fn estimate(&mut self, s: NodeId, t: NodeId, k: usize, rng: &mut dyn RngCore) -> Estimate {
+    fn estimate_with(
+        &mut self,
+        s: NodeId,
+        t: NodeId,
+        budget: &SampleBudget,
+        rng: &mut dyn RngCore,
+    ) -> Estimate {
         validate_query(&self.graph, s, t);
-        assert!(k > 0, "sample count must be positive");
-        let start = Instant::now();
+        let mut session = EstimationSession::begin(budget);
         let mut mem = MemoryTracker::new();
         mem.baseline(self.visited.resident_bytes() + self.states.len() * 16);
 
@@ -133,81 +138,85 @@ impl Estimator for LazyPropagation {
         // variant's same-round infinite pop loop; see module docs).
         let mut reinsert: Vec<(u64, u32)> = Vec::new();
 
-        for _ in 0..k {
-            if s == t {
-                hits += 1;
-                continue;
+        loop {
+            let batch = session.next_batch();
+            if batch == 0 {
+                break;
             }
-            self.visited.reset();
-            frontier.clear();
-            frontier.push(s);
-            self.visited.insert(s);
-            let mut hit = false;
-
-            while let Some(v) = frontier.pop() {
-                let st = &mut self.states[v.index()];
-                if st.epoch != epoch {
-                    // First expansion of v in this query (lines 12-18).
-                    st.epoch = epoch;
-                    st.counter = 0;
-                    st.heap.clear();
-                    for (e, nbr) in graph.out_edges(v) {
-                        let x = geometric(rng, graph.prob(e).value());
-                        st.heap.push(Reverse((x, nbr.0)));
-                    }
-                    mem.alloc(st.heap.len() * std::mem::size_of::<HeapEntry>());
+            let mut batch_hits = 0usize;
+            for _ in 0..batch {
+                if s == t {
+                    batch_hits += 1;
+                    continue;
                 }
-                let c = st.counter;
-                reinsert.clear();
-                // Pop every edge activated in this round (lines 19-29).
-                // Corrected (LP+): exact-match keys only. Original (LP):
-                // stale keys also activate (see module docs).
-                while let Some(&Reverse((key, nbr))) = st.heap.peek() {
-                    let activated = match self.variant {
-                        LazyVariant::Corrected => key == c,
-                        LazyVariant::Original => key <= c,
-                    };
-                    if !activated {
-                        break;
-                    }
-                    st.heap.pop();
-                    let nbr_node = NodeId(nbr);
-                    // Re-arm: find the edge probability (v -> nbr).
-                    let e = graph.find_edge(v, nbr_node).expect("edge exists in heap");
-                    let x = geometric(rng, graph.prob(e).value());
-                    let new_key = match self.variant {
-                        LazyVariant::Corrected => x + c + 1,
-                        LazyVariant::Original => x + c,
-                    };
-                    reinsert.push((new_key, nbr));
+                self.visited.reset();
+                frontier.clear();
+                frontier.push(s);
+                self.visited.insert(s);
+                let mut hit = false;
 
-                    if !hit {
-                        if nbr_node == t {
-                            hit = true;
-                        } else if self.visited.insert(nbr_node) {
-                            frontier.push(nbr_node);
+                while let Some(v) = frontier.pop() {
+                    let st = &mut self.states[v.index()];
+                    if st.epoch != epoch {
+                        // First expansion of v in this query (lines 12-18).
+                        st.epoch = epoch;
+                        st.counter = 0;
+                        st.heap.clear();
+                        for (e, nbr) in graph.out_edges(v) {
+                            let x = geometric(rng, graph.prob(e).value());
+                            st.heap.push(Reverse((x, nbr.0)));
+                        }
+                        mem.alloc(st.heap.len() * std::mem::size_of::<HeapEntry>());
+                    }
+                    let c = st.counter;
+                    reinsert.clear();
+                    // Pop every edge activated in this round (lines 19-29).
+                    // Corrected (LP+): exact-match keys only. Original (LP):
+                    // stale keys also activate (see module docs).
+                    while let Some(&Reverse((key, nbr))) = st.heap.peek() {
+                        let activated = match self.variant {
+                            LazyVariant::Corrected => key == c,
+                            LazyVariant::Original => key <= c,
+                        };
+                        if !activated {
+                            break;
+                        }
+                        st.heap.pop();
+                        let nbr_node = NodeId(nbr);
+                        // Re-arm: find the edge probability (v -> nbr).
+                        let e = graph.find_edge(v, nbr_node).expect("edge exists in heap");
+                        let x = geometric(rng, graph.prob(e).value());
+                        let new_key = match self.variant {
+                            LazyVariant::Corrected => x + c + 1,
+                            LazyVariant::Original => x + c,
+                        };
+                        reinsert.push((new_key, nbr));
+
+                        if !hit {
+                            if nbr_node == t {
+                                hit = true;
+                            } else if self.visited.insert(nbr_node) {
+                                frontier.push(nbr_node);
+                            }
                         }
                     }
+                    for &(key, nbr) in &reinsert {
+                        st.heap.push(Reverse((key, nbr)));
+                    }
+                    st.counter += 1;
+                    if hit {
+                        break;
+                    }
                 }
-                for &(key, nbr) in &reinsert {
-                    st.heap.push(Reverse((key, nbr)));
-                }
-                st.counter += 1;
                 if hit {
-                    break;
+                    batch_hits += 1;
                 }
             }
-            if hit {
-                hits += 1;
-            }
+            hits += batch_hits;
+            session.record_hits(batch_hits, batch);
         }
 
-        Estimate {
-            reliability: hits as f64 / k as f64,
-            samples: k,
-            elapsed: start.elapsed(),
-            aux_bytes: mem.peak(),
-        }
+        session.finish(hits as f64 / session.samples() as f64, &mem)
     }
 
     fn resident_bytes(&self) -> usize {

@@ -52,9 +52,11 @@ pub mod recursive;
 pub mod reduce;
 pub mod representative;
 pub mod sampler;
+pub mod session;
 pub mod suite;
 pub mod topk;
 
 pub use estimator::{Estimate, Estimator, UpdateOutcome};
 pub use parallel::ParallelSampler;
+pub use session::{Convergence, EstimationSession, SampleBudget, StopReason};
 pub use suite::{build_estimator, EstimatorKind, SuiteParams};

@@ -10,11 +10,11 @@
 use crate::estimator::{validate_query, Estimate, Estimator, UpdateOutcome};
 use crate::memory::MemoryTracker;
 use crate::sampler::coin;
+use crate::session::{EstimationSession, SampleBudget};
 use rand::RngCore;
 use relcomp_ugraph::traversal::{bfs_reaches, BfsWorkspace};
 use relcomp_ugraph::{EdgeUpdate, NodeId, UncertainGraph};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// The baseline estimator every other method is compared against.
 pub struct McSampling {
@@ -43,31 +43,42 @@ impl Estimator for McSampling {
         "MC"
     }
 
-    fn estimate(&mut self, s: NodeId, t: NodeId, k: usize, rng: &mut dyn RngCore) -> Estimate {
+    fn estimate_with(
+        &mut self,
+        s: NodeId,
+        t: NodeId,
+        budget: &SampleBudget,
+        rng: &mut dyn RngCore,
+    ) -> Estimate {
         validate_query(&self.graph, s, t);
-        assert!(k > 0, "sample count must be positive");
-        let start = Instant::now();
+        let mut session = EstimationSession::begin(budget);
 
         let mut mem = MemoryTracker::new();
         // Only auxiliary structure: the BFS workspace (visited marks + queue).
         mem.baseline(self.ws.resident_bytes());
 
+        // Batching does not perturb the RNG stream — a fixed budget draws
+        // the exact coin sequence the historical single loop drew.
         let mut hits = 0usize;
         let graph = &self.graph;
-        for _ in 0..k {
-            if bfs_reaches(graph, s, t, &mut self.ws, |e| {
-                coin(rng, graph.prob(e).value())
-            }) {
-                hits += 1;
+        loop {
+            let n = session.next_batch();
+            if n == 0 {
+                break;
             }
+            let mut batch_hits = 0usize;
+            for _ in 0..n {
+                if bfs_reaches(graph, s, t, &mut self.ws, |e| {
+                    coin(rng, graph.prob(e).value())
+                }) {
+                    batch_hits += 1;
+                }
+            }
+            hits += batch_hits;
+            session.record_hits(batch_hits, n);
         }
 
-        Estimate {
-            reliability: hits as f64 / k as f64,
-            samples: k,
-            elapsed: start.elapsed(),
-            aux_bytes: mem.peak(),
-        }
+        session.finish(hits as f64 / session.samples() as f64, &mem)
     }
 
     fn apply_updates(

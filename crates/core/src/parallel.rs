@@ -22,7 +22,9 @@
 
 use crate::bfs_sharing::BfsSharingIndex;
 use crate::estimator::{validate_query, Estimate};
+use crate::memory::MemoryTracker;
 use crate::sampler::coin;
+use crate::session::{finish_estimate, Convergence, SampleBudget, StopReason, DEFAULT_CONFIDENCE};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use relcomp_ugraph::traversal::{bfs_reaches, BfsWorkspace};
@@ -35,6 +37,14 @@ use std::time::Instant;
 /// splits into more shards than threads (good load balance), large enough
 /// that shard bookkeeping is noise next to the BFS work.
 pub const SHARD_SAMPLES: usize = 256;
+
+/// Minimum shards per adaptive *round* (the batch barrier at which
+/// cross-shard convergence is checked). Coarser than the estimator-level
+/// default batch so the worker pool stays busy between barriers; the
+/// barrier positions depend only on the budget — never on the thread
+/// count — so adaptive stopping decisions are deterministic for a given
+/// seed on any machine shape.
+pub const MIN_ROUND_SHARDS: usize = 8;
 
 /// SplitMix64 finalizer: decorrelates per-shard streams so that shard
 /// seeds derived from adjacent indices are statistically independent.
@@ -111,9 +121,30 @@ impl ParallelSampler {
         W: Fn(&mut S, usize, usize, &mut ChaCha8Rng) -> usize + Sync,
     {
         let shards = Self::shards(k);
-        let cursor = AtomicUsize::new(0);
+        self.run_shard_range(&shards, 0, shards.len(), seed, init, work)
+    }
+
+    /// Run `work` over the global shards `[lo, hi)` of `shards` on the
+    /// worker pool. Shard `i` always draws from stream `(seed, i)`, so a
+    /// range's total is deterministic regardless of thread count — the
+    /// primitive both the fixed full sweep and the adaptive round loop
+    /// are built on.
+    fn run_shard_range<S, I, W>(
+        &self,
+        shards: &[(usize, usize)],
+        lo: usize,
+        hi: usize,
+        seed: u64,
+        init: I,
+        work: W,
+    ) -> usize
+    where
+        I: Fn() -> S + Sync,
+        W: Fn(&mut S, usize, usize, &mut ChaCha8Rng) -> usize + Sync,
+    {
+        let cursor = AtomicUsize::new(lo);
         let hits = AtomicUsize::new(0);
-        let workers = self.threads.min(shards.len()).max(1);
+        let workers = self.threads.min(hi.saturating_sub(lo)).max(1);
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
@@ -121,6 +152,9 @@ impl ParallelSampler {
                     let mut local = 0usize;
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= hi {
+                            break;
+                        }
                         let Some(&(_, len)) = shards.get(i) else {
                             break;
                         };
@@ -132,6 +166,48 @@ impl ParallelSampler {
             }
         });
         hits.into_inner()
+    }
+
+    /// Drive an adaptive budget over pre-laid-out shards: rounds of
+    /// [`MIN_ROUND_SHARDS`]-or-larger shard groups run on the pool, with
+    /// cross-shard convergence checked at each round barrier. Barrier
+    /// positions and the merged statistics depend only on `(budget,
+    /// seed)`, so the stopping decision — and therefore the estimate —
+    /// is identical for any thread count.
+    fn run_adaptive<S, I, W>(
+        &self,
+        budget: &SampleBudget,
+        seed: u64,
+        init: I,
+        work: W,
+    ) -> (usize, usize, Convergence, StopReason, Instant)
+    where
+        I: Fn() -> S + Sync,
+        W: Fn(&mut S, usize, usize, &mut ChaCha8Rng) -> usize + Sync,
+    {
+        debug_assert!(!budget.is_fixed());
+        let start = Instant::now();
+        let shards = Self::shards(budget.max_samples());
+        let per_round = budget.batch().div_ceil(SHARD_SAMPLES).max(MIN_ROUND_SHARDS);
+        let mut tracker = Convergence::new(budget.confidence());
+        let mut hits = 0usize;
+        let mut samples = 0usize;
+        let mut next = 0usize;
+        let stop = loop {
+            // The shards cover max_samples exactly, so the shared rule's
+            // cap check fires precisely when the groups are exhausted.
+            if let Some(stop) = crate::session::should_stop(budget, &tracker, samples, start) {
+                break stop;
+            }
+            let hi = (next + per_round).min(shards.len());
+            let round_samples: usize = shards[next..hi].iter().map(|&(_, len)| len).sum();
+            let round_hits = self.run_shard_range(&shards, next, hi, seed, &init, &work);
+            tracker.observe_hits(round_hits, round_samples);
+            hits += round_hits;
+            samples += round_samples;
+            next = hi;
+        };
+        (hits, samples, tracker, stop, start)
     }
 
     /// Monte-Carlo estimate of `R(s, t)` with `k` samples under master
@@ -155,12 +231,60 @@ impl ParallelSampler {
                 h
             },
         );
-        Estimate {
-            reliability: hits as f64 / k as f64,
-            samples: k,
-            elapsed: start.elapsed(),
-            aux_bytes: self.threads * BfsWorkspace::bytes_for(graph.num_nodes()),
+        let mut tracker = Convergence::new(DEFAULT_CONFIDENCE);
+        tracker.observe_hits(hits, k);
+        let mut mem = MemoryTracker::new();
+        mem.baseline(self.threads * BfsWorkspace::bytes_for(graph.num_nodes()));
+        finish_estimate(
+            hits as f64 / k as f64,
+            k,
+            start,
+            &mem,
+            Some(&tracker),
+            StopReason::FixedK,
+        )
+    }
+
+    /// Monte-Carlo estimate under an adaptive [`SampleBudget`]: the cap
+    /// is sharded up front, shard groups stream through the pool, and
+    /// convergence is checked at deterministic batch barriers. A fixed
+    /// budget delegates to [`ParallelSampler::estimate_mc`] bit for bit.
+    pub fn estimate_mc_with(
+        &self,
+        s: NodeId,
+        t: NodeId,
+        budget: &SampleBudget,
+        seed: u64,
+    ) -> Estimate {
+        if budget.is_fixed() {
+            return reconfide(self.estimate_mc(s, t, budget.max_samples(), seed), budget);
         }
+        validate_query(&self.graph, s, t);
+        let graph = &self.graph;
+        let (hits, samples, tracker, stop, start) = self.run_adaptive(
+            budget,
+            seed,
+            || BfsWorkspace::new(graph.num_nodes()),
+            |ws, _, len, rng| {
+                let mut h = 0usize;
+                for _ in 0..len {
+                    if bfs_reaches(graph, s, t, ws, |e| coin(rng, graph.prob(e).value())) {
+                        h += 1;
+                    }
+                }
+                h
+            },
+        );
+        let mut mem = MemoryTracker::new();
+        mem.baseline(self.threads * BfsWorkspace::bytes_for(graph.num_nodes()));
+        finish_estimate(
+            hits as f64 / samples as f64,
+            samples,
+            start,
+            &mem,
+            Some(&tracker),
+            stop,
+        )
     }
 
     /// BFS-Sharing estimate of `R(s, t)`: the world budget `k` is sharded,
@@ -184,12 +308,61 @@ impl ParallelSampler {
                 count_reached_worlds(graph, &index, s, t, len)
             },
         );
-        Estimate {
-            reliability: hits as f64 / k as f64,
-            samples: k,
-            elapsed: start.elapsed(),
-            aux_bytes: self.threads * (index_bytes.into_inner() + graph.num_nodes() * (8 + 4 + 1)),
+        let mut tracker = Convergence::new(DEFAULT_CONFIDENCE);
+        tracker.observe_hits(hits, k);
+        let mut mem = MemoryTracker::new();
+        mem.baseline(self.threads * (index_bytes.into_inner() + graph.num_nodes() * (8 + 4 + 1)));
+        finish_estimate(
+            hits as f64 / k as f64,
+            k,
+            start,
+            &mem,
+            Some(&tracker),
+            StopReason::FixedK,
+        )
+    }
+
+    /// BFS-Sharing estimate under an adaptive [`SampleBudget`]: shard
+    /// groups each sample their own compact world index and count reached
+    /// worlds; convergence is checked at deterministic batch barriers.
+    /// A fixed budget delegates to
+    /// [`ParallelSampler::estimate_bfs_sharing`] bit for bit.
+    pub fn estimate_bfs_sharing_with(
+        &self,
+        s: NodeId,
+        t: NodeId,
+        budget: &SampleBudget,
+        seed: u64,
+    ) -> Estimate {
+        if budget.is_fixed() {
+            return reconfide(
+                self.estimate_bfs_sharing(s, t, budget.max_samples(), seed),
+                budget,
+            );
         }
+        validate_query(&self.graph, s, t);
+        let graph = &self.graph;
+        let index_bytes = AtomicUsize::new(0);
+        let (hits, samples, tracker, stop, start) = self.run_adaptive(
+            budget,
+            seed,
+            || (),
+            |_, _, len, rng| {
+                let index = BfsSharingIndex::build(graph, len, rng);
+                index_bytes.fetch_max(index.size_bytes(), Ordering::Relaxed);
+                count_reached_worlds(graph, &index, s, t, len)
+            },
+        );
+        let mut mem = MemoryTracker::new();
+        mem.baseline(self.threads * (index_bytes.into_inner() + graph.num_nodes() * (8 + 4 + 1)));
+        finish_estimate(
+            hits as f64 / samples as f64,
+            samples,
+            start,
+            &mem,
+            Some(&tracker),
+            stop,
+        )
     }
 
     /// Multi-target MC: estimate `R(s, t)` for every `t` in `targets`
@@ -268,14 +441,32 @@ impl ParallelSampler {
         let aux = self.threads * BfsWorkspace::bytes_for(graph.num_nodes()) + targets.len() * 8;
         hit_counts
             .into_iter()
-            .map(|h| Estimate {
-                reliability: h.into_inner() as f64 / k as f64,
-                samples: k,
-                elapsed,
-                aux_bytes: aux,
+            .map(|h| {
+                let hits = h.into_inner();
+                let mut tracker = Convergence::new(DEFAULT_CONFIDENCE);
+                tracker.observe_hits(hits, k);
+                Estimate {
+                    reliability: hits as f64 / k as f64,
+                    samples: k,
+                    elapsed,
+                    aux_bytes: aux,
+                    variance: Some(tracker.estimator_variance()),
+                    half_width: Some(tracker.half_width()),
+                    stop_reason: StopReason::FixedK,
+                }
             })
             .collect()
     }
+}
+
+/// Restate a fixed-budget estimate's CI at the budget's confidence
+/// level (a pure re-report; see
+/// [`restate_bernoulli_confidence`](crate::session::restate_bernoulli_confidence)).
+fn reconfide(est: Estimate, budget: &SampleBudget) -> Estimate {
+    if budget.confidence() == DEFAULT_CONFIDENCE {
+        return est;
+    }
+    crate::session::restate_bernoulli_confidence(est, budget.confidence())
 }
 
 /// Sample one possible world lazily and BFS it from `s`, crediting every

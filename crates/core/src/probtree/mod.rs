@@ -37,6 +37,7 @@ use crate::lazy::LazyPropagation;
 use crate::mc::McSampling;
 use crate::memory::MemoryTracker;
 use crate::recursive::{RecursiveSampling, RecursiveStratified};
+use crate::session::{EstimationSession, SampleBudget};
 use rand::RngCore;
 use relcomp_ugraph::{EdgeUpdate, NodeId, UncertainGraph};
 use std::sync::Arc;
@@ -111,47 +112,54 @@ impl Estimator for ProbTree {
         self.inner.label()
     }
 
-    fn estimate(&mut self, s: NodeId, t: NodeId, k: usize, rng: &mut dyn RngCore) -> Estimate {
+    fn estimate_with(
+        &mut self,
+        s: NodeId,
+        t: NodeId,
+        budget: &SampleBudget,
+        rng: &mut dyn RngCore,
+    ) -> Estimate {
         validate_query(self.index.graph(), s, t);
-        assert!(k > 0, "sample count must be positive");
         let start = Instant::now();
         let mut mem = MemoryTracker::new();
         mem.baseline(self.index.size_bytes());
 
         if s == t {
-            return Estimate {
-                reliability: 1.0,
-                samples: k,
-                elapsed: start.elapsed(),
-                aux_bytes: mem.peak(),
-            };
+            return EstimationSession::begin(budget).finish_exact(1.0, &mem);
         }
 
-        // Extract the equivalent query graph G(q).
+        // Extract the equivalent query graph G(q); the whole budget —
+        // including its convergence tracking — runs on the inner
+        // estimator over the (much smaller) extracted graph.
         let extraction = self.index.extract_query_graph(s, t);
         mem.alloc(extraction.graph.resident_bytes());
 
         let qgraph = Arc::new(extraction.graph);
         let (qs, qt) = (extraction.s, extraction.t);
         let inner_est = match self.inner {
-            InnerEstimator::Mc => McSampling::new(Arc::clone(&qgraph)).estimate(qs, qt, k, rng),
+            InnerEstimator::Mc => {
+                McSampling::new(Arc::clone(&qgraph)).estimate_with(qs, qt, budget, rng)
+            }
             InnerEstimator::LpPlus => {
-                LazyPropagation::corrected(Arc::clone(&qgraph)).estimate(qs, qt, k, rng)
+                LazyPropagation::corrected(Arc::clone(&qgraph)).estimate_with(qs, qt, budget, rng)
             }
             InnerEstimator::Rhh => {
-                RecursiveSampling::new(Arc::clone(&qgraph)).estimate(qs, qt, k, rng)
+                RecursiveSampling::new(Arc::clone(&qgraph)).estimate_with(qs, qt, budget, rng)
             }
             InnerEstimator::Rss => {
-                RecursiveStratified::new(Arc::clone(&qgraph)).estimate(qs, qt, k, rng)
+                RecursiveStratified::new(Arc::clone(&qgraph)).estimate_with(qs, qt, budget, rng)
             }
         };
         mem.alloc(inner_est.aux_bytes);
 
         Estimate {
             reliability: inner_est.reliability,
-            samples: k,
+            samples: inner_est.samples,
             elapsed: start.elapsed(),
             aux_bytes: mem.peak(),
+            variance: inner_est.variance,
+            half_width: inner_est.half_width,
+            stop_reason: inner_est.stop_reason,
         }
     }
 

@@ -17,10 +17,10 @@
 use crate::estimator::{validate_query, Estimate, Estimator, UpdateOutcome};
 use crate::memory::MemoryTracker;
 use crate::recursive::state::RecState;
+use crate::session::{EstimationSession, SampleBudget};
 use rand::RngCore;
 use relcomp_ugraph::{EdgeId, EdgeUpdate, NodeId, UncertainGraph};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Recursive stratified sampling estimator (RSS).
 pub struct RecursiveStratified {
@@ -150,27 +150,50 @@ impl Estimator for RecursiveStratified {
         "RSS"
     }
 
-    fn estimate(&mut self, s: NodeId, t: NodeId, k: usize, rng: &mut dyn RngCore) -> Estimate {
+    fn estimate_with(
+        &mut self,
+        s: NodeId,
+        t: NodeId,
+        budget: &SampleBudget,
+        rng: &mut dyn RngCore,
+    ) -> Estimate {
         validate_query(&self.graph, s, t);
-        assert!(k > 0, "sample count must be positive");
-        let start = Instant::now();
+        let mut session = EstimationSession::begin(budget);
         let mut mem = MemoryTracker::new();
 
         let mut st = RecState::new(&self.graph, s, t);
         mem.baseline(st.base_bytes());
 
-        let reliability = if s == t {
-            1.0
-        } else {
-            self.recurse(&mut st, k, rng, &mut mem)
-        };
-
-        Estimate {
-            reliability: reliability.clamp(0.0, 1.0),
-            samples: k,
-            elapsed: start.elapsed(),
-            aux_bytes: mem.peak(),
+        if s == t {
+            return session.finish_exact(1.0, &mem);
         }
+
+        if budget.is_fixed() {
+            // One stratified recursion over the whole budget — the
+            // historical deterministic allocation, bit for bit.
+            let k = budget.max_samples();
+            let r = self.recurse(&mut st, k, rng, &mut mem).clamp(0.0, 1.0);
+            session.record_value(r, k);
+            return session.finish(r, &mem);
+        }
+
+        // Adaptive: one recursion per batch, normal CI over batch means.
+        loop {
+            let n = session.next_batch();
+            if n == 0 {
+                break;
+            }
+            // A trailing ragged batch would get equal weight in the
+            // batch-mean CI despite its smaller budget; skip it (the cap
+            // is within one batch of exhausted anyway). The first batch
+            // is always drawn, however short, so every session answers.
+            if n < budget.batch() && session.tracker().count() > 0 {
+                break;
+            }
+            let r = self.recurse(&mut st, n, rng, &mut mem).clamp(0.0, 1.0);
+            session.record_value(r, n);
+        }
+        session.finish(session.tracker().mean().clamp(0.0, 1.0), &mem)
     }
 
     fn apply_updates(

@@ -68,12 +68,27 @@ impl EstimatorKind {
         }
     }
 
+    /// The canonical user-facing spellings [`EstimatorKind::parse`]
+    /// accepts, in CLI-documentation order.
+    pub const NAMES: [&'static str; 10] = [
+        "mc",
+        "bfs_sharing",
+        "probtree",
+        "lp+",
+        "lp",
+        "rhh",
+        "rss",
+        "probtree+lp+",
+        "probtree+rhh",
+        "probtree+rss",
+    ];
+
     /// Parse a user-facing estimator name (CLI flag, wire protocol).
-    /// Case-insensitive; accepts the same spellings the `relcomp` CLI
-    /// documents (`mc`, `bfs_sharing`, `probtree`, `lp+`, `lp`, `rhh`,
-    /// `rss`, `probtree+lp+`, `probtree+rhh`, `probtree+rss`).
-    pub fn parse(name: &str) -> Option<EstimatorKind> {
-        Some(match name.to_ascii_lowercase().as_str() {
+    /// Case-insensitive; accepts the spellings in [`EstimatorKind::NAMES`]
+    /// (plus the `bfssharing`/`lpplus` aliases). The error message names
+    /// every valid spelling — the one place CLI and wire parsing share.
+    pub fn parse(name: &str) -> Result<EstimatorKind, String> {
+        Ok(match name.to_ascii_lowercase().as_str() {
             "mc" => EstimatorKind::Mc,
             "bfs_sharing" | "bfssharing" => EstimatorKind::BfsSharing,
             "probtree" => EstimatorKind::ProbTree,
@@ -84,7 +99,12 @@ impl EstimatorKind {
             "probtree+lp+" => EstimatorKind::ProbTreeLpPlus,
             "probtree+rhh" => EstimatorKind::ProbTreeRhh,
             "probtree+rss" => EstimatorKind::ProbTreeRss,
-            _ => return None,
+            _ => {
+                return Err(format!(
+                    "unknown estimator `{name}` (expected one of: {})",
+                    Self::NAMES.join(", ")
+                ))
+            }
         })
     }
 
@@ -232,5 +252,29 @@ mod tests {
         assert!(EstimatorKind::ProbTree.is_indexed());
         assert!(!EstimatorKind::Mc.is_indexed());
         assert!(!EstimatorKind::Rss.is_indexed());
+    }
+
+    #[test]
+    fn parse_accepts_every_documented_name() {
+        for name in EstimatorKind::NAMES {
+            let kind = EstimatorKind::parse(name).expect("documented name parses");
+            // Round trip through the display name's lowercase form works
+            // for the simple spellings.
+            assert!(!kind.display_name().is_empty());
+        }
+        assert_eq!(EstimatorKind::parse("MC"), Ok(EstimatorKind::Mc));
+        assert_eq!(
+            EstimatorKind::parse("bfssharing"),
+            Ok(EstimatorKind::BfsSharing)
+        );
+    }
+
+    #[test]
+    fn parse_error_lists_valid_names() {
+        let err = EstimatorKind::parse("mcmc").unwrap_err();
+        assert!(err.contains("unknown estimator `mcmc`"), "{err}");
+        for name in EstimatorKind::NAMES {
+            assert!(err.contains(name), "error must list `{name}`: {err}");
+        }
     }
 }

@@ -5,7 +5,8 @@
 //!
 //! One engine serves one graph *lineage*. Answers are independent of the
 //! worker thread count and keyed by `(graph epoch, s, t, estimator,
-//! samples, seed)`:
+//! samples, seed, budget)` — the budget being the adaptive-session
+//! fields `eps`/`confidence`/`time_budget_ms` (see [`QueryKey`]):
 //!
 //! * MC and BFS-Sharing queries run on the [`ParallelSampler`], whose
 //!   sharded RNG streams make the estimate independent of the worker
@@ -50,7 +51,12 @@ use crate::protocol::{
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use relcomp_core::parallel::{shard_rng, ParallelSampler};
-use relcomp_core::{build_estimator, Estimator, EstimatorKind, SuiteParams, UpdateOutcome};
+use relcomp_core::session::{
+    restate_bernoulli_confidence, validate_budget_fields, DEFAULT_ADAPTIVE_CAP, DEFAULT_CONFIDENCE,
+};
+use relcomp_core::{
+    build_estimator, Estimator, EstimatorKind, SampleBudget, StopReason, SuiteParams, UpdateOutcome,
+};
 use relcomp_eval::recommend::{recommend, MemoryBudget, SpeedNeed, VarianceNeed};
 use relcomp_ugraph::{EdgeUpdate, NodeId, UncertainGraph};
 use std::collections::HashMap;
@@ -79,6 +85,15 @@ pub struct EngineConfig {
     pub default_seed: u64,
     /// Estimator used when a query does not specify one.
     pub default_estimator: EstimatorKind,
+    /// Sample cap applied to adaptive queries (`eps`/`time_budget_ms`)
+    /// that do not specify `samples`. Kept well below `max_samples` so
+    /// an unconverged easy-sounding query cannot eat the whole admission
+    /// budget.
+    pub adaptive_max_samples: usize,
+    /// Relative half-width target the `auto` planner budgets for when
+    /// the client gave neither `samples` nor `eps`: the Fig. 18 pick
+    /// then runs until this accuracy instead of a raw default K.
+    pub auto_eps: f64,
     /// `estimator:"auto"` policy: memory budget handed to Fig. 18.
     pub memory: MemoryBudget,
     /// `estimator:"auto"` policy: variance need handed to Fig. 18.
@@ -100,6 +115,8 @@ impl Default for EngineConfig {
             max_inflight: 4 * cores,
             default_seed: 42,
             default_estimator: EstimatorKind::Mc,
+            adaptive_max_samples: DEFAULT_ADAPTIVE_CAP,
+            auto_eps: 0.01,
             memory: MemoryBudget::Larger,
             variance: VarianceNeed::Higher,
             speed: SpeedNeed::Faster,
@@ -108,6 +125,12 @@ impl Default for EngineConfig {
 }
 
 /// Everything that determines an answer bit-for-bit.
+///
+/// The budget is part of the key: a fixed-2000 query, an `eps`-targeted
+/// query capped at 2000, and a time-capped query are different
+/// computations and cache separately. (Time-capped answers are machine-
+/// dependent; the cache replays whichever computation landed first for a
+/// given key, exactly as it does for batch-grouped answers.)
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct QueryKey {
     /// Graph epoch (bumped on every update/reload).
@@ -118,10 +141,17 @@ pub struct QueryKey {
     pub t: u32,
     /// Estimator that answers.
     pub kind: EstimatorKind,
-    /// Sample budget.
+    /// Sample budget (exact count for fixed queries, cap for adaptive).
     pub samples: usize,
     /// Master seed.
     pub seed: u64,
+    /// Relative half-width target (`f64::to_bits`), if adaptive.
+    pub eps_bits: Option<u64>,
+    /// Confidence level (`f64::to_bits`): it shapes the reported
+    /// half-width even for fixed budgets, so it is always keyed.
+    pub confidence_bits: Option<u64>,
+    /// Wall-time cap in milliseconds, if any.
+    pub time_budget_ms: Option<u64>,
 }
 
 /// A validated, defaulted query ready to execute.
@@ -133,10 +163,31 @@ pub struct PlannedQuery {
     pub t: NodeId,
     /// Chosen estimator.
     pub kind: EstimatorKind,
-    /// Sample budget after defaulting and admission checks.
+    /// Sample budget after defaulting and admission checks — the exact
+    /// count for fixed queries, the cap for adaptive ones.
     pub samples: usize,
     /// Seed after defaulting.
     pub seed: u64,
+    /// Relative half-width target, if adaptive.
+    pub eps: Option<f64>,
+    /// Confidence level of the half-width target.
+    pub confidence: f64,
+    /// Wall-time cap in milliseconds, if any.
+    pub time_budget_ms: Option<u64>,
+}
+
+impl PlannedQuery {
+    /// Whether this plan runs a fixed budget (historical semantics).
+    pub fn is_fixed(&self) -> bool {
+        self.eps.is_none() && self.time_budget_ms.is_none()
+    }
+
+    /// The sample budget this plan executes. Confidence applies to
+    /// fixed budgets too: it shapes the *reported* half-width even when
+    /// it cannot stop the run.
+    pub fn budget(&self) -> SampleBudget {
+        SampleBudget::assemble(self.samples, self.eps, self.confidence, self.time_budget_ms)
+    }
 }
 
 /// Per-query outcomes of a batch, in request order.
@@ -147,6 +198,9 @@ struct CachedAnswer {
     reliability: f64,
     samples: usize,
     estimator: &'static str,
+    stop_reason: StopReason,
+    half_width: Option<f64>,
+    variance: Option<f64>,
 }
 
 /// The query raced an epoch swap; re-snapshot and retry.
@@ -293,7 +347,22 @@ impl QueryEngine {
                 ));
             }
         }
-        let samples = req.samples.unwrap_or(self.config.default_samples);
+        validate_budget_fields(req.eps, req.confidence, req.time_budget_ms)?;
+        let mut eps = req.eps;
+        let confidence = req.confidence.unwrap_or(DEFAULT_CONFIDENCE);
+        let is_auto = req.estimator.as_deref() == Some("auto");
+        // The Fig. 18 auto planner now picks *budgets*, not raw sample
+        // counts: with no explicit samples or eps, it targets the
+        // configured accuracy adaptively.
+        if is_auto && req.samples.is_none() && eps.is_none() {
+            eps = Some(self.config.auto_eps);
+        }
+        let adaptive = eps.is_some() || req.time_budget_ms.is_some();
+        let samples = req.samples.unwrap_or(if adaptive {
+            self.config.adaptive_max_samples
+        } else {
+            self.config.default_samples
+        });
         if samples == 0 {
             return Err("samples must be positive".into());
         }
@@ -310,9 +379,7 @@ impl QueryEngine {
                 .first()
                 .copied()
                 .unwrap_or(self.config.default_estimator),
-            Some(name) => {
-                EstimatorKind::parse(name).ok_or_else(|| format!("unknown estimator `{name}`"))?
-            }
+            Some(name) => EstimatorKind::parse(name)?,
         };
         Ok(PlannedQuery {
             s: NodeId(req.s),
@@ -320,6 +387,9 @@ impl QueryEngine {
             kind,
             samples,
             seed: req.seed.unwrap_or(self.config.default_seed),
+            eps,
+            confidence,
+            time_budget_ms: req.time_budget_ms,
         })
     }
 
@@ -344,6 +414,9 @@ impl QueryEngine {
             kind: p.kind,
             samples: p.samples,
             seed: p.seed,
+            eps_bits: p.eps.map(f64::to_bits),
+            confidence_bits: Some(p.confidence.to_bits()),
+            time_budget_ms: p.time_budget_ms,
         }
     }
 
@@ -363,6 +436,9 @@ impl QueryEngine {
             estimator: a.estimator.to_owned(),
             micros: start.elapsed().as_micros() as u64,
             cached,
+            stop_reason: a.stop_reason.label().to_owned(),
+            half_width: a.half_width,
+            variance: a.variance,
         }
     }
 
@@ -412,24 +488,25 @@ impl QueryEngine {
     /// cache. `Err(Stale)` means an epoch swap won the race and the
     /// caller must re-plan.
     fn compute(&self, snap: &Snapshot, p: &PlannedQuery) -> Result<CachedAnswer, Stale> {
+        let budget = p.budget();
+        let answer = |est: relcomp_core::Estimate, name: &'static str| CachedAnswer {
+            reliability: est.reliability,
+            samples: est.samples,
+            estimator: name,
+            stop_reason: est.stop_reason,
+            half_width: est.half_width,
+            variance: est.variance,
+        };
         match p.kind {
             EstimatorKind::Mc => {
-                let est = snap.sampler.estimate_mc(p.s, p.t, p.samples, p.seed);
-                Ok(CachedAnswer {
-                    reliability: est.reliability,
-                    samples: est.samples,
-                    estimator: "MC",
-                })
+                let est = snap.sampler.estimate_mc_with(p.s, p.t, &budget, p.seed);
+                Ok(answer(est, "MC"))
             }
             EstimatorKind::BfsSharing => {
                 let est = snap
                     .sampler
-                    .estimate_bfs_sharing(p.s, p.t, p.samples, p.seed);
-                Ok(CachedAnswer {
-                    reliability: est.reliability,
-                    samples: est.samples,
-                    estimator: "BFS Sharing",
-                })
+                    .estimate_bfs_sharing_with(p.s, p.t, &budget, p.seed);
+                Ok(answer(est, "BFS Sharing"))
             }
             kind => {
                 let cell = self.resident_cell(snap, kind)?;
@@ -444,12 +521,8 @@ impl QueryEngine {
                 // keys replay identical randomness.
                 let mut rng = shard_rng(p.seed, ((p.s.0 as u64) << 32) | p.t.0 as u64);
                 est.refresh(&mut rng);
-                let e = est.estimate(p.s, p.t, p.samples, &mut rng);
-                Ok(CachedAnswer {
-                    reliability: e.reliability,
-                    samples: e.samples,
-                    estimator: kind.display_name(),
-                })
+                let e = est.estimate_with(p.s, p.t, &budget, &mut rng);
+                Ok(answer(e, kind.display_name()))
             }
         }
     }
@@ -509,7 +582,9 @@ impl QueryEngine {
                     let key = Self::key(snap.epoch, &plan);
                     if let Some(hit) = self.cache.get(&key) {
                         out[i] = Some(Ok(self.respond(&plan, &hit, true, start)));
-                    } else if plan.kind == EstimatorKind::Mc {
+                    } else if plan.kind == EstimatorKind::Mc && plan.is_fixed() {
+                        // Only fixed budgets share a world stream: an
+                        // adaptive query's stopping point is its own.
                         mc_groups
                             .entry((plan.s.0, plan.samples, plan.seed))
                             .or_default()
@@ -543,10 +618,22 @@ impl QueryEngine {
                 .estimate_mc_multi(NodeId(s), &targets, samples, seed);
             for (&i, est) in indices.iter().zip(&estimates) {
                 let plan = plans[i].expect("planned");
+                // The shared world stream reports its CI at the default
+                // confidence; restate it at the plan's, so a grouped
+                // answer matches what the single-query path would have
+                // cached under the same key.
+                let est = if plan.confidence == DEFAULT_CONFIDENCE {
+                    *est
+                } else {
+                    restate_bernoulli_confidence(*est, plan.confidence)
+                };
                 let answer = CachedAnswer {
                     reliability: est.reliability,
                     samples: est.samples,
                     estimator: "MC",
+                    stop_reason: est.stop_reason,
+                    half_width: est.half_width,
+                    variance: est.variance,
                 };
                 self.cache
                     .insert(Self::key(snap.epoch, &plan), answer.clone());
@@ -717,11 +804,10 @@ mod tests {
 
     fn q(s: u32, t: u32) -> QueryRequest {
         QueryRequest {
-            s,
-            t,
             estimator: Some("mc".into()),
             samples: Some(4000),
             seed: Some(7),
+            ..QueryRequest::new(s, t)
         }
     }
 
@@ -870,6 +956,151 @@ mod tests {
         let stats = e.stats();
         assert_eq!(stats.resident_estimators, 4);
         assert!(stats.resident_bytes > 0, "indexes occupy memory");
+    }
+
+    #[test]
+    fn adaptive_query_stops_early_and_reports_stop_reason() {
+        let e = engine();
+        // R(0, 3) ≈ 0.41 on the diamond: a loose 10% target converges
+        // long before the cap.
+        let req = QueryRequest {
+            estimator: Some("mc".into()),
+            eps: Some(0.1),
+            samples: Some(100_000),
+            seed: Some(3),
+            ..QueryRequest::new(0, 3)
+        };
+        let resp = e.execute(&req).unwrap();
+        assert_eq!(resp.stop_reason, "converged");
+        assert!(
+            resp.samples < 100_000,
+            "adaptive must stop early, used {}",
+            resp.samples
+        );
+        let hw = resp.half_width.expect("bernoulli sampling reports a CI");
+        assert!(hw <= 0.1 * resp.reliability + 1e-12, "hw {hw}");
+        // The repeat replays from the cache, budget and all.
+        let again = e.execute(&req).unwrap();
+        assert!(again.cached);
+        assert_eq!(again.samples, resp.samples);
+        assert_eq!(again.stop_reason, "converged");
+    }
+
+    #[test]
+    fn adaptive_and_fixed_budgets_cache_separately() {
+        let e = engine();
+        let fixed = QueryRequest {
+            estimator: Some("mc".into()),
+            samples: Some(2048),
+            seed: Some(7),
+            ..QueryRequest::new(0, 3)
+        };
+        let adaptive = QueryRequest {
+            eps: Some(1e-9), // never converges: runs to the cap
+            ..fixed.clone()
+        };
+        let a = e.execute(&fixed).unwrap();
+        let b = e.execute(&adaptive).unwrap();
+        assert!(!a.cached && !b.cached, "distinct budgets, distinct keys");
+        assert_eq!(a.stop_reason, "fixed_k");
+        assert_eq!(b.stop_reason, "max_samples");
+        assert_eq!(b.samples, 2048, "cap respected");
+    }
+
+    #[test]
+    fn adaptive_respects_the_sample_cap() {
+        let e = engine();
+        let req = QueryRequest {
+            estimator: Some("mc".into()),
+            eps: Some(1e-9),
+            confidence: Some(0.999),
+            samples: Some(1500),
+            seed: Some(11),
+            ..QueryRequest::new(0, 3)
+        };
+        let resp = e.execute(&req).unwrap();
+        assert!(resp.samples <= 1500, "cap exceeded: {}", resp.samples);
+        assert_eq!(resp.stop_reason, "max_samples");
+    }
+
+    #[test]
+    fn auto_planner_budgets_adaptively() {
+        let e = engine();
+        // auto + no samples/eps: the planner targets `auto_eps` with the
+        // adaptive cap instead of a raw default K.
+        let plan = e
+            .plan(&QueryRequest {
+                estimator: Some("auto".into()),
+                ..QueryRequest::new(0, 3)
+            })
+            .unwrap();
+        assert_eq!(plan.eps, Some(e.config().auto_eps));
+        assert_eq!(plan.samples, e.config().adaptive_max_samples);
+        assert!(!plan.is_fixed());
+        // An explicit K keeps auto fixed (paper-table compatibility).
+        let fixed = e
+            .plan(&QueryRequest {
+                estimator: Some("auto".into()),
+                samples: Some(1000),
+                ..QueryRequest::new(0, 3)
+            })
+            .unwrap();
+        assert!(fixed.is_fixed());
+        assert_eq!(fixed.samples, 1000);
+    }
+
+    #[test]
+    fn adaptive_validation_rejects_nonsense() {
+        let e = engine();
+        for (req, needle) in [
+            (
+                QueryRequest {
+                    eps: Some(0.0),
+                    ..QueryRequest::new(0, 3)
+                },
+                "eps",
+            ),
+            (
+                QueryRequest {
+                    eps: Some(0.1),
+                    confidence: Some(1.0),
+                    ..QueryRequest::new(0, 3)
+                },
+                "confidence",
+            ),
+            (
+                QueryRequest {
+                    time_budget_ms: Some(0),
+                    ..QueryRequest::new(0, 3)
+                },
+                "time_budget_ms",
+            ),
+        ] {
+            let err = e.execute(&req).unwrap_err();
+            assert!(err.contains(needle), "{err}");
+        }
+    }
+
+    #[test]
+    fn batch_mixes_fixed_groups_and_adaptive_singles() {
+        let e = engine();
+        let adaptive = QueryRequest {
+            estimator: Some("mc".into()),
+            eps: Some(0.1),
+            seed: Some(5),
+            ..QueryRequest::new(0, 3)
+        };
+        let results = e
+            .execute_batch(&[q(0, 1), q(0, 2), adaptive.clone()])
+            .unwrap();
+        assert!(results.iter().all(|r| r.is_ok()));
+        let r = results[2].as_ref().unwrap();
+        assert!(r.stop_reason == "converged" || r.stop_reason == "max_samples");
+        // The adaptive answer in a batch caches under its own key and
+        // replays for an identical single query.
+        let single = e.execute(&adaptive).unwrap();
+        assert!(single.cached);
+        assert_eq!(single.reliability.to_bits(), r.reliability.to_bits());
     }
 
     #[test]

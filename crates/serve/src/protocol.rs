@@ -10,6 +10,8 @@
 //! ```text
 //! {"cmd":"ping"}
 //! {"cmd":"query","s":0,"t":3,"estimator":"mc","samples":2000,"seed":7}
+//! {"cmd":"query","s":0,"t":3,"eps":0.01,"confidence":0.95,"samples":20000}
+//! {"cmd":"query","s":0,"t":3,"time_budget_ms":50}
 //! {"cmd":"batch","queries":[{"s":0,"t":3},{"s":0,"t":5}]}
 //! {"cmd":"update","updates":[{"s":0,"t":3,"prob":0.25}]}
 //! {"cmd":"reload","path":"/data/graph.ug"}
@@ -20,6 +22,25 @@
 //! `estimator`, `samples`, and `seed` are optional; the server substitutes
 //! its configured defaults (`estimator` also accepts `"auto"`, which runs
 //! the paper's Fig. 18 recommendation under the server's policy knobs).
+//!
+//! ## Adaptive budgets
+//!
+//! Three optional fields turn a query from "run exactly K samples" into a
+//! streaming session with a stopping rule:
+//!
+//! * `eps` — relative half-width target: sampling stops once the
+//!   confidence interval's half-width drops below `eps * estimate`.
+//! * `confidence` — CI confidence level for `eps` (default 0.95).
+//! * `time_budget_ms` — wall-time cap; sampling stops at the first batch
+//!   barrier past the cap.
+//!
+//! When any is present, `samples` becomes the *cap* instead of the exact
+//! count (server default cap applies when absent). The response reports
+//! the samples actually consumed, the achieved `half_width`, and a
+//! `stop_reason` of `fixed_k`, `converged`, `max_samples`, or
+//! `time_limit`. Under `estimator:"auto"` with no explicit `samples`/
+//! `eps`, the planner itself picks an adaptive budget (the server's
+//! `auto_eps` policy knob) instead of a raw K.
 //!
 //! `update` changes existing edges' probabilities in place: the server
 //! snapshots a new graph **epoch** (topology shared, probabilities
@@ -34,7 +55,8 @@
 //! ```text
 //! {"ok":true,"kind":"pong"}
 //! {"ok":true,"kind":"query","s":0,"t":3,"reliability":0.42,"samples":2000,
-//!  "estimator":"MC","micros":1234,"cached":false}
+//!  "estimator":"MC","micros":1234,"cached":false,
+//!  "stop_reason":"fixed_k","half_width":0.0216,"variance":0.000122}
 //! {"ok":true,"kind":"batch","results":[...single query objects...]}
 //! {"ok":true,"kind":"update","epoch":3,"edges_updated":1,
 //!  "migrated":[{"estimator":"ProbTree","mode":"incremental","touched":2}]}
@@ -63,10 +85,21 @@ pub struct QueryRequest {
     /// Estimator name (`mc`, `probtree`, ... or `auto`); `None` = server
     /// default.
     pub estimator: Option<String>,
-    /// Sample budget `K`; `None` = server default.
+    /// Sample budget `K` — the exact count for fixed queries, the cap
+    /// when `eps`/`time_budget_ms` make the query adaptive; `None` =
+    /// server default.
     pub samples: Option<usize>,
     /// Master seed; `None` = server default. Part of the cache key.
     pub seed: Option<u64>,
+    /// Relative half-width target: stop sampling once the CI half-width
+    /// drops below `eps * estimate`. `None` = fixed-budget query.
+    pub eps: Option<f64>,
+    /// Confidence level for the half-width target; `None` = server
+    /// default (0.95).
+    pub confidence: Option<f64>,
+    /// Wall-time cap in milliseconds; sampling stops at the first batch
+    /// barrier past it. `None` = no time cap.
+    pub time_budget_ms: Option<u64>,
 }
 
 impl QueryRequest {
@@ -78,7 +111,15 @@ impl QueryRequest {
             estimator: None,
             samples: None,
             seed: None,
+            eps: None,
+            confidence: None,
+            time_budget_ms: None,
         }
+    }
+
+    /// Whether any adaptive-budget field is present.
+    pub fn is_adaptive(&self) -> bool {
+        self.eps.is_some() || self.time_budget_ms.is_some()
     }
 }
 
@@ -143,6 +184,15 @@ pub struct QueryResponse {
     pub micros: u64,
     /// Whether the answer came from the result cache.
     pub cached: bool,
+    /// Why sampling stopped: `fixed_k`, `converged`, `max_samples`, or
+    /// `time_limit`.
+    pub stop_reason: String,
+    /// Achieved CI half-width (Wilson for sampling estimators); absent
+    /// when the run had no replication to measure spread from.
+    pub half_width: Option<f64>,
+    /// Estimated variance of the reported reliability; absent when
+    /// unmeasurable.
+    pub variance: Option<f64>,
 }
 
 /// How one resident estimator survived an epoch swap (part of
@@ -291,6 +341,15 @@ impl Serialize for QueryRequest {
         if let Some(seed) = self.seed {
             fields.push(("seed".to_owned(), seed.to_value()));
         }
+        if let Some(eps) = self.eps {
+            fields.push(("eps".to_owned(), eps.to_value()));
+        }
+        if let Some(c) = self.confidence {
+            fields.push(("confidence".to_owned(), c.to_value()));
+        }
+        if let Some(ms) = self.time_budget_ms {
+            fields.push(("time_budget_ms".to_owned(), ms.to_value()));
+        }
         Value::Object(fields)
     }
 }
@@ -306,6 +365,9 @@ impl Deserialize for QueryRequest {
             estimator: lookup(fields, "estimator").map(de).transpose()?,
             samples: lookup(fields, "samples").map(de).transpose()?,
             seed: lookup(fields, "seed").map(de).transpose()?,
+            eps: lookup(fields, "eps").map(de).transpose()?,
+            confidence: lookup(fields, "confidence").map(de).transpose()?,
+            time_budget_ms: lookup(fields, "time_budget_ms").map(de).transpose()?,
         })
     }
 }
@@ -388,17 +450,25 @@ impl Deserialize for Request {
 
 impl Serialize for QueryResponse {
     fn to_value(&self) -> Value {
-        obj(vec![
-            ("ok", true.to_value()),
-            ("kind", "query".to_value()),
-            ("s", self.s.to_value()),
-            ("t", self.t.to_value()),
-            ("reliability", self.reliability.to_value()),
-            ("samples", self.samples.to_value()),
-            ("estimator", self.estimator.to_value()),
-            ("micros", self.micros.to_value()),
-            ("cached", self.cached.to_value()),
-        ])
+        let mut fields = vec![
+            ("ok".to_owned(), true.to_value()),
+            ("kind".to_owned(), "query".to_value()),
+            ("s".to_owned(), self.s.to_value()),
+            ("t".to_owned(), self.t.to_value()),
+            ("reliability".to_owned(), self.reliability.to_value()),
+            ("samples".to_owned(), self.samples.to_value()),
+            ("estimator".to_owned(), self.estimator.to_value()),
+            ("micros".to_owned(), self.micros.to_value()),
+            ("cached".to_owned(), self.cached.to_value()),
+            ("stop_reason".to_owned(), self.stop_reason.to_value()),
+        ];
+        if let Some(hw) = self.half_width {
+            fields.push(("half_width".to_owned(), hw.to_value()));
+        }
+        if let Some(v) = self.variance {
+            fields.push(("variance".to_owned(), v.to_value()));
+        }
+        Value::Object(fields)
     }
 }
 
@@ -415,6 +485,14 @@ impl Deserialize for QueryResponse {
             estimator: de(required(fields, "estimator", "query response")?)?,
             micros: de(required(fields, "micros", "query response")?)?,
             cached: de(required(fields, "cached", "query response")?)?,
+            // Absent on wires predating adaptive sessions: default to the
+            // historical fixed-budget semantics.
+            stop_reason: lookup(fields, "stop_reason")
+                .map(de)
+                .transpose()?
+                .unwrap_or_else(|| "fixed_k".to_owned()),
+            half_width: lookup(fields, "half_width").map(de).transpose()?,
+            variance: lookup(fields, "variance").map(de).transpose()?,
         })
     }
 }
@@ -625,21 +703,25 @@ mod tests {
         round_trip(&Request::Stats);
         round_trip(&Request::Shutdown);
         round_trip(&Request::Query(QueryRequest {
-            s: 3,
-            t: 9,
             estimator: Some("mc".into()),
             samples: Some(5000),
             seed: Some(7),
+            ..QueryRequest::new(3, 9)
         }));
         round_trip(&Request::Query(QueryRequest::new(0, 1)));
+        round_trip(&Request::Query(QueryRequest {
+            eps: Some(0.01),
+            confidence: Some(0.99),
+            time_budget_ms: Some(250),
+            samples: Some(50_000),
+            ..QueryRequest::new(2, 5)
+        }));
         round_trip(&Request::Batch(vec![
             QueryRequest::new(0, 1),
             QueryRequest {
-                s: 0,
-                t: 2,
                 estimator: Some("auto".into()),
-                samples: None,
                 seed: Some(1),
+                ..QueryRequest::new(0, 2)
             },
         ]));
         round_trip(&Request::Update(vec![
@@ -673,8 +755,19 @@ mod tests {
             estimator: "MC".into(),
             micros: 1234,
             cached: true,
+            stop_reason: "converged".into(),
+            half_width: Some(0.003),
+            variance: Some(2.5e-5),
         };
         round_trip(&Response::Query(q.clone()));
+        // A single fixed recursion has no measurable spread: the optional
+        // fields must vanish from the wire and round-trip as None.
+        round_trip(&Response::Query(QueryResponse {
+            stop_reason: "fixed_k".into(),
+            half_width: None,
+            variance: None,
+            ..q.clone()
+        }));
         round_trip(&Response::Batch(vec![Ok(q), Err("bad target".into())]));
         round_trip(&Response::Update(UpdateResponse {
             epoch: 3,
@@ -721,11 +814,19 @@ mod tests {
         assert_eq!(
             req,
             Request::Query(QueryRequest {
-                s: 0,
-                t: 3,
-                estimator: None,
                 samples: Some(100),
-                seed: None,
+                ..QueryRequest::new(0, 3)
+            })
+        );
+        let req: Request =
+            serde_json::from_str(r#"{"cmd":"query","s":0,"t":3,"eps":0.05,"time_budget_ms":20}"#)
+                .unwrap();
+        assert_eq!(
+            req,
+            Request::Query(QueryRequest {
+                eps: Some(0.05),
+                time_budget_ms: Some(20),
+                ..QueryRequest::new(0, 3)
             })
         );
         // Explicit nulls mean "default", same as absent.

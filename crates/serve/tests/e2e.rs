@@ -48,11 +48,10 @@ fn full_session_query_batch_stats_shutdown() {
     // Single query, then the identical query again: the repeat must be a
     // cache hit with a bit-identical estimate.
     let q = QueryRequest {
-        s: 0,
-        t: 3,
         estimator: Some("mc".into()),
         samples: Some(4000),
         seed: Some(7),
+        ..QueryRequest::new(0, 3)
     };
     let first = client.query(q.clone()).expect("first query");
     assert!((0.0..=1.0).contains(&first.reliability));
@@ -90,6 +89,53 @@ fn full_session_query_batch_stats_shutdown() {
 }
 
 #[test]
+fn adaptive_query_over_the_wire_reports_session_fields() {
+    let (addr, _engine) = start(diamond(), 2);
+    let mut client = connect(addr);
+
+    // eps-targeted query: must stop early, carry a CI, and respect the
+    // declared cap.
+    let q = QueryRequest {
+        estimator: Some("mc".into()),
+        eps: Some(0.1),
+        samples: Some(50_000),
+        seed: Some(3),
+        ..QueryRequest::new(0, 3)
+    };
+    let resp = client.query(q.clone()).expect("adaptive query");
+    assert_eq!(resp.stop_reason, "converged");
+    assert!(resp.samples < 50_000, "used {}", resp.samples);
+    let hw = resp.half_width.expect("wire carries the CI");
+    assert!(hw > 0.0 && hw <= 0.1 * resp.reliability + 1e-12);
+    assert!(resp.variance.is_some());
+
+    // The repeat is a cache hit replaying the same session outcome.
+    let again = client.query(q).expect("repeat");
+    assert!(again.cached);
+    assert_eq!(again.samples, resp.samples);
+    assert_eq!(again.stop_reason, "converged");
+
+    // A time-capped query stops at the first barrier but still answers.
+    let timed = client
+        .query(QueryRequest {
+            estimator: Some("mc".into()),
+            time_budget_ms: Some(1),
+            samples: Some(1_000_000),
+            seed: Some(9),
+            ..QueryRequest::new(0, 3)
+        })
+        .expect("time-capped query");
+    assert!(timed.samples <= 1_000_000);
+    assert!(
+        timed.stop_reason == "time_limit" || timed.stop_reason == "max_samples",
+        "{}",
+        timed.stop_reason
+    );
+
+    client.shutdown().expect("shutdown");
+}
+
+#[test]
 fn server_thread_count_does_not_change_answers() {
     // Same graph, same wire query, different engine thread counts:
     // answers must be bit-identical (the paper's reproducibility story
@@ -102,11 +148,10 @@ fn server_thread_count_does_not_change_answers() {
             let mut client = connect(addr);
             let resp = client
                 .query(QueryRequest {
-                    s: 0,
-                    t: 3,
                     estimator: Some("mc".into()),
                     samples: Some(3000),
                     seed: Some(9),
+                    ..QueryRequest::new(0, 3)
                 })
                 .expect("query");
             client.shutdown().ok();
@@ -124,11 +169,10 @@ fn live_update_bumps_epoch_invalidates_cache_and_migrates_residents() {
     // Warm the cache for the affected pair with a resident (ProbTree)
     // and a sampler-path (MC) estimator.
     let pt = QueryRequest {
-        s: 0,
-        t: 3,
         estimator: Some("probtree".into()),
         samples: Some(20_000),
         seed: Some(5),
+        ..QueryRequest::new(0, 3)
     };
     let mc = QueryRequest {
         estimator: Some("mc".into()),

@@ -4,12 +4,14 @@
 //! relcomp generate <dataset> --out FILE [--scale S] [--seed N]
 //! relcomp stats <file>
 //! relcomp query <file> <s> <t> [--estimator NAME] [--samples N] [--seed N]
+//!                 [--eps E] [--confidence C] [--time-budget-ms MS]
 //! relcomp bounds <file> <s> <t>
 //! relcomp path <file> <s> <t>
 //! relcomp topk <file> <s> [--k N] [--samples N] [--seed N]
 //! relcomp recommend --memory smaller|larger --variance lower|slight|higher --speed faster|slower
 //! relcomp serve <file> [--port P] [--threads N] [--cache N] [--seed N]
 //! relcomp client <s> <t> [--addr HOST:PORT] [--estimator NAME] [--samples N] [--seed N]
+//!                  [--eps E] [--confidence C] [--time-budget-ms MS]
 //! relcomp client update <s> <t> <prob> [--addr HOST:PORT]
 //! relcomp client reload [--path FILE] [--addr HOST:PORT]
 //! relcomp client stats|ping|shutdown [--addr HOST:PORT]
@@ -51,12 +53,14 @@ usage:
   relcomp generate <dataset> --out FILE [--scale S] [--seed N]
   relcomp stats <file>
   relcomp query <file> <s> <t> [--estimator NAME] [--samples N] [--seed N]
+                  [--eps E] [--confidence C] [--time-budget-ms MS]
   relcomp bounds <file> <s> <t>
   relcomp path <file> <s> <t>
   relcomp topk <file> <s> [--k N] [--samples N] [--seed N]
   relcomp recommend --memory smaller|larger --variance lower|slight|higher --speed faster|slower
   relcomp serve <file> [--port P] [--threads N] [--cache N] [--seed N]
   relcomp client <s> <t> [--addr HOST:PORT] [--estimator NAME] [--samples N] [--seed N]
+                   [--eps E] [--confidence C] [--time-budget-ms MS]
   relcomp client update <s> <t> <prob> [--addr HOST:PORT]
   relcomp client reload [--path FILE] [--addr HOST:PORT]
   relcomp client stats|ping|shutdown [--addr HOST:PORT]
@@ -124,7 +128,8 @@ fn parse_node(graph: &UncertainGraph, raw: &str, what: &str) -> Result<NodeId, S
 }
 
 fn parse_estimator(name: &str) -> Result<EstimatorKind, String> {
-    EstimatorKind::parse(name).ok_or_else(|| format!("unknown estimator `{name}`"))
+    // The core parser's error already lists every valid spelling.
+    EstimatorKind::parse(name)
 }
 
 /// Load a graph, choosing the format by extension (`.ugb` = binary).
@@ -216,7 +221,19 @@ fn run(args: Vec<String>) -> Result<(), String> {
             Ok(())
         }
         "query" => {
-            check_options(cmd, &opts, &["estimator", "samples", "k", "seed"])?;
+            check_options(
+                cmd,
+                &opts,
+                &[
+                    "estimator",
+                    "samples",
+                    "k",
+                    "seed",
+                    "eps",
+                    "confidence",
+                    "time-budget-ms",
+                ],
+            )?;
             let [file, s_raw, t_raw] = pos[..] else {
                 return Err("query needs <file> <s> <t>".into());
             };
@@ -229,22 +246,76 @@ fn run(args: Vec<String>) -> Result<(), String> {
             if opts.contains_key("k") {
                 eprintln!("note: `query --k` is deprecated; use `--samples` instead");
             }
-            let k: usize = opts
+            let samples: Option<usize> = opts
                 .get("samples")
                 .or_else(|| opts.get("k"))
                 .map(|v| v.parse())
                 .transpose()
-                .map_err(|_| "bad --samples")?
-                .unwrap_or(1000);
+                .map_err(|_| "bad --samples")?;
+            let eps: Option<f64> = opts
+                .get("eps")
+                .map(|v| v.parse())
+                .transpose()
+                .map_err(|_| "bad --eps")?;
+            let confidence: Option<f64> = opts
+                .get("confidence")
+                .map(|v| v.parse())
+                .transpose()
+                .map_err(|_| "bad --confidence")?;
+            let time_ms: Option<u64> = opts
+                .get("time-budget-ms")
+                .map(|v| v.parse())
+                .transpose()
+                .map_err(|_| "bad --time-budget-ms")?;
+            // Validate adaptive knobs up front: a bad value is a usage
+            // error, not a panic (shared with the serve engine's planner
+            // so the two entry points cannot drift).
+            relcomp_core::session::validate_budget_fields(eps, confidence, time_ms)
+                .map_err(|e| format!("--{}", e.replacen("time_budget_ms", "time-budget-ms", 1)))?;
+            // Fixed budget unless an adaptive knob appears; `--samples`
+            // is then the cap rather than the exact count.
+            let adaptive = eps.is_some() || time_ms.is_some();
+            let k = samples.unwrap_or(if adaptive {
+                relcomp_core::session::DEFAULT_ADAPTIVE_CAP
+            } else {
+                1000
+            });
+            if k == 0 {
+                return Err("--samples must be positive".into());
+            }
+            let budget = SampleBudget::assemble(
+                k,
+                eps,
+                confidence.unwrap_or(relcomp_core::session::DEFAULT_CONFIDENCE),
+                time_ms,
+            );
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
             let params = SuiteParams {
-                bfs_sharing_worlds: k.max(1),
+                // Fixed budgets need an index covering exactly K worlds,
+                // and an explicit --samples cap is honored as given. Only
+                // the *implicit* adaptive cap is trimmed: the 50k-world
+                // default would materialize gigabytes of index on a large
+                // graph for a query that may stop after a few hundred.
+                bfs_sharing_worlds: if adaptive && samples.is_none() {
+                    k.clamp(1, 10_000)
+                } else {
+                    k.max(1)
+                },
                 ..Default::default()
             };
             let mut est = build_estimator(kind, Arc::clone(&graph), params, &mut rng);
-            let result = est.estimate(s, t, k, &mut rng);
+            let result = est.estimate_with(s, t, &budget, &mut rng);
+            let ci = result
+                .half_width
+                .map(|hw| format!(" ± {hw:.6}"))
+                .unwrap_or_default();
+            let stop = if result.stop_reason == StopReason::FixedK {
+                String::new()
+            } else {
+                format!("; {}", result.stop_reason.label())
+            };
             println!(
-                "R({s}, {t}) ≈ {:.6}   [{}; K = {}; {:.2} ms]",
+                "R({s}, {t}) ≈ {:.6}{ci}   [{}; K = {}{stop}; {:.2} ms]",
                 result.reliability,
                 est.name(),
                 result.samples,
@@ -406,7 +477,19 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 }
                 ["update", ..] => check_options("client update", &opts, &["addr"])?,
                 ["reload", ..] => check_options("client reload", &opts, &["addr", "path"])?,
-                _ => check_options(cmd, &opts, &["addr", "estimator", "samples", "seed"])?,
+                _ => check_options(
+                    cmd,
+                    &opts,
+                    &[
+                        "addr",
+                        "estimator",
+                        "samples",
+                        "seed",
+                        "eps",
+                        "confidence",
+                        "time-budget-ms",
+                    ],
+                )?,
             }
             let default_addr = format!("127.0.0.1:{DEFAULT_PORT}");
             let addr = opts.get("addr").copied().unwrap_or(&default_addr);
@@ -506,10 +589,31 @@ fn run(args: Vec<String>) -> Result<(), String> {
                         // Only forward a seed the user actually gave;
                         // otherwise the server's default applies.
                         seed: opts.contains_key("seed").then_some(seed),
+                        eps: opts
+                            .get("eps")
+                            .map(|v| v.parse().map_err(|_| "bad --eps"))
+                            .transpose()?,
+                        confidence: opts
+                            .get("confidence")
+                            .map(|v| v.parse().map_err(|_| "bad --confidence"))
+                            .transpose()?,
+                        time_budget_ms: opts
+                            .get("time-budget-ms")
+                            .map(|v| v.parse().map_err(|_| "bad --time-budget-ms"))
+                            .transpose()?,
                     };
                     let r = client.query(request).map_err(|e| e.to_string())?;
+                    let ci = r
+                        .half_width
+                        .map(|hw| format!(" ± {hw:.6}"))
+                        .unwrap_or_default();
+                    let stop = if r.stop_reason == "fixed_k" {
+                        String::new()
+                    } else {
+                        format!("; {}", r.stop_reason)
+                    };
                     println!(
-                        "R({}, {}) ≈ {:.6}   [{}; K = {}; {:.2} ms{}]",
+                        "R({}, {}) ≈ {:.6}{ci}   [{}; K = {}{stop}; {:.2} ms{}]",
                         r.s,
                         r.t,
                         r.reliability,

@@ -48,7 +48,10 @@ pub mod prelude {
     pub use relcomp_core::parallel::ParallelSampler;
     pub use relcomp_core::probtree::ProbTree;
     pub use relcomp_core::recursive::{RecursiveSampling, RecursiveStratified};
-    pub use relcomp_core::{build_estimator, Estimate, Estimator, EstimatorKind, SuiteParams};
+    pub use relcomp_core::{
+        build_estimator, Convergence, Estimate, EstimationSession, Estimator, EstimatorKind,
+        SampleBudget, StopReason, SuiteParams,
+    };
     pub use relcomp_eval::{ConvergenceConfig, ExperimentEnv, RunProfile, Workload};
     pub use relcomp_serve::{Client, EngineConfig, QueryEngine, QueryRequest, Server};
     pub use relcomp_ugraph::{Dataset, GraphBuilder, NodeId, Probability, UncertainGraph};

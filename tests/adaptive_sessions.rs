@@ -1,0 +1,285 @@
+//! Property tests for adaptive estimation sessions: budget caps are
+//! hard, fixed-`k` is bit-identical to the historical API, and reported
+//! confidence intervals actually bracket the truth.
+
+use proptest::prelude::*;
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use relcomp::prelude::*;
+use relcomp_core::exact::exact_reliability;
+use relcomp_core::parallel::SHARD_SAMPLES;
+use relcomp_core::sampler::coin;
+use relcomp_core::session::DEFAULT_BATCH;
+use relcomp_core::StopReason;
+use relcomp_ugraph::traversal::{bfs_reaches, BfsWorkspace};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Strategy: a random small digraph as (n, edge list) with valid probs.
+fn small_digraph() -> impl Strategy<Value = (usize, Vec<(u32, u32, f64)>)> {
+    (4usize..9).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32, 0.05f64..1.0);
+        (Just(n), proptest::collection::vec(edge, 1..14))
+    })
+}
+
+fn build(n: usize, edges: &[(u32, u32, f64)]) -> UncertainGraph {
+    let mut b = GraphBuilder::new(n).duplicate_policy(relcomp_ugraph::DuplicatePolicy::CombineOr);
+    for &(u, v, p) in edges {
+        if u != v {
+            b.add_edge(NodeId(u), NodeId(v), p).unwrap();
+        }
+    }
+    b.build()
+}
+
+/// The historical (pre-session) MC loop: `k` lazy-BFS possible worlds
+/// from one RNG stream. `estimate_with(SampleBudget::fixed(k))` must
+/// reproduce this bit for bit — same coin sequence, same hit fraction.
+fn reference_mc(g: &UncertainGraph, s: NodeId, t: NodeId, k: usize, rng: &mut dyn RngCore) -> f64 {
+    let mut ws = BfsWorkspace::new(g.num_nodes());
+    let mut hits = 0usize;
+    for _ in 0..k {
+        if bfs_reaches(g, s, t, &mut ws, |e| coin(rng, g.prob(e).value())) {
+            hits += 1;
+        }
+    }
+    hits as f64 / k as f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// (a) Adaptive stopping never exceeds the sample cap, whatever the
+    /// target, and always reports a consistent stop reason.
+    #[test]
+    fn adaptive_never_exceeds_max_samples(
+        (n, edges) in small_digraph(),
+        seed in 0u64..500,
+        eps in 0.02f64..0.5,
+        max in 300usize..3000,
+    ) {
+        let g = Arc::new(build(n, &edges));
+        let (s, t) = (NodeId(0), NodeId((n - 1) as u32));
+        let mut mc = McSampling::new(Arc::clone(&g));
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let est = mc.estimate_with(s, t, &SampleBudget::adaptive(eps, max), &mut rng);
+        prop_assert!(est.samples <= max, "consumed {} > cap {max}", est.samples);
+        prop_assert!(est.samples > 0);
+        prop_assert!(est.is_valid());
+        match est.stop_reason {
+            StopReason::Converged => {
+                let hw = est.half_width.expect("bernoulli CI");
+                prop_assert!(hw <= eps * est.reliability + 1e-12);
+            }
+            StopReason::MaxSamples => prop_assert_eq!(est.samples, max),
+            other => prop_assert!(false, "unexpected stop reason {other:?}"),
+        }
+    }
+
+    /// (a) A zero wall-time cap stops at the first batch barrier: exactly
+    /// one batch is drawn, never the whole cap.
+    #[test]
+    fn time_cap_stops_at_first_barrier(
+        (n, edges) in small_digraph(),
+        seed in 0u64..200,
+    ) {
+        let g = Arc::new(build(n, &edges));
+        let (s, t) = (NodeId(0), NodeId((n - 1) as u32));
+        let mut mc = McSampling::new(Arc::clone(&g));
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let budget = SampleBudget::fixed(100_000).with_time_limit(Duration::ZERO);
+        let est = mc.estimate_with(s, t, &budget, &mut rng);
+        prop_assert_eq!(est.samples, DEFAULT_BATCH);
+        prop_assert_eq!(est.stop_reason, StopReason::TimeLimit);
+    }
+
+    /// (b) `estimate_with(SampleBudget::fixed(k))` is bit-identical to
+    /// the historical MC loop: same RNG stream, same hit fraction.
+    #[test]
+    fn fixed_budget_mc_matches_historical_stream(
+        (n, edges) in small_digraph(),
+        seed in 0u64..500,
+        k in 1usize..4000,
+    ) {
+        let g = Arc::new(build(n, &edges));
+        let (s, t) = (NodeId(0), NodeId((n - 1) as u32));
+        let mut reference_rng = ChaCha8Rng::seed_from_u64(seed);
+        let reference = reference_mc(&g, s, t, k, &mut reference_rng);
+        let mut mc = McSampling::new(Arc::clone(&g));
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let est = mc.estimate_with(s, t, &SampleBudget::fixed(k), &mut rng);
+        prop_assert_eq!(est.reliability.to_bits(), reference.to_bits());
+        prop_assert_eq!(est.samples, k);
+        prop_assert_eq!(est.stop_reason, StopReason::FixedK);
+        // And the wrapper is the same call.
+        let mut mc2 = McSampling::new(Arc::clone(&g));
+        let mut rng2 = ChaCha8Rng::seed_from_u64(seed);
+        let wrapped = mc2.estimate(s, t, k, &mut rng2);
+        prop_assert_eq!(wrapped.reliability.to_bits(), est.reliability.to_bits());
+    }
+
+    /// (b) BFS-Sharing: identically seeded construction + fixed budget
+    /// reproduces the historical single-fixpoint answer bit for bit.
+    #[test]
+    fn fixed_budget_bfs_sharing_matches_historical(
+        (n, edges) in small_digraph(),
+        seed in 0u64..200,
+        k in 1usize..1024,
+    ) {
+        let g = Arc::new(build(n, &edges));
+        let (s, t) = (NodeId(0), NodeId((n - 1) as u32));
+        let l = 1024usize;
+        let mut rng_a = ChaCha8Rng::seed_from_u64(seed);
+        let mut bs_a = BfsSharing::new(Arc::clone(&g), l, &mut rng_a);
+        let a = bs_a.estimate(s, t, k, &mut rng_a);
+        let mut rng_b = ChaCha8Rng::seed_from_u64(seed);
+        let mut bs_b = BfsSharing::new(Arc::clone(&g), l, &mut rng_b);
+        let b = bs_b.estimate_with(s, t, &SampleBudget::fixed(k), &mut rng_b);
+        prop_assert_eq!(a.reliability.to_bits(), b.reliability.to_bits());
+        prop_assert_eq!(a.samples, b.samples);
+    }
+
+    /// (b) Parallel MC under a fixed budget is bit-identical for any
+    /// thread count, and identical to the plain fixed-k entry point.
+    #[test]
+    fn parallel_fixed_budget_thread_invariant(
+        (n, edges) in small_digraph(),
+        seed in 0u64..200,
+        extra in 0usize..300,
+    ) {
+        let g = Arc::new(build(n, &edges));
+        let (s, t) = (NodeId(0), NodeId((n - 1) as u32));
+        let k = 2 * SHARD_SAMPLES + 1 + extra;
+        let budget = SampleBudget::fixed(k);
+        let baseline = ParallelSampler::new(Arc::clone(&g), 1).estimate_mc(s, t, k, seed);
+        for threads in [1usize, 2, 8] {
+            let est = ParallelSampler::new(Arc::clone(&g), threads)
+                .estimate_mc_with(s, t, &budget, seed);
+            prop_assert_eq!(est.reliability.to_bits(), baseline.reliability.to_bits());
+            prop_assert_eq!(est.samples, k);
+        }
+    }
+
+    /// Adaptive parallel MC is also thread-count invariant: convergence
+    /// is checked at deterministic shard-group barriers.
+    #[test]
+    fn parallel_adaptive_thread_invariant(
+        (n, edges) in small_digraph(),
+        seed in 0u64..100,
+    ) {
+        let g = Arc::new(build(n, &edges));
+        let (s, t) = (NodeId(0), NodeId((n - 1) as u32));
+        let budget = SampleBudget::adaptive(0.05, 20_000);
+        let baseline =
+            ParallelSampler::new(Arc::clone(&g), 1).estimate_mc_with(s, t, &budget, seed);
+        for threads in [2usize, 8] {
+            let est = ParallelSampler::new(Arc::clone(&g), threads)
+                .estimate_mc_with(s, t, &budget, seed);
+            prop_assert_eq!(est.reliability.to_bits(), baseline.reliability.to_bits());
+            prop_assert_eq!(est.samples, baseline.samples);
+            prop_assert_eq!(est.stop_reason, baseline.stop_reason);
+        }
+    }
+}
+
+/// (c) The reported half-width brackets the exact reliability at the
+/// stated confidence. Deterministic seeds: coverage is checked across
+/// many (graph, seed) runs rather than per-run (a 95% interval is
+/// allowed to miss 5% of the time).
+#[test]
+fn half_width_brackets_exact_reliability() {
+    let mut covered = 0usize;
+    let mut total = 0usize;
+    for seed in 0u64..30 {
+        let mut gen_rng = ChaCha8Rng::seed_from_u64(seed ^ 0xC0FFEE);
+        // Random 5-node digraphs small enough for the exact oracle.
+        let n = 5usize;
+        let mut b =
+            GraphBuilder::new(n).duplicate_policy(relcomp_ugraph::DuplicatePolicy::CombineOr);
+        for _ in 0..8 {
+            let u = (gen_rng.next_u32() % n as u32, gen_rng.next_u32() % n as u32);
+            if u.0 != u.1 {
+                let p = 0.15 + 0.8 * (gen_rng.next_u32() as f64 / u32::MAX as f64);
+                b.add_edge(NodeId(u.0), NodeId(u.1), p.min(1.0)).unwrap();
+            }
+        }
+        let g = Arc::new(b.build());
+        let (s, t) = (NodeId(0), NodeId(4));
+        let exact = exact_reliability(&g, s, t);
+
+        let mut mc = McSampling::new(Arc::clone(&g));
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let est = mc.estimate_with(s, t, &SampleBudget::adaptive(0.05, 20_000), &mut rng);
+        let hw = est.half_width.expect("bernoulli CI");
+        total += 1;
+        if (est.reliability - exact).abs() <= hw {
+            covered += 1;
+        }
+    }
+    // 95% nominal coverage; demand at least 80% over 30 deterministic
+    // runs (binomial p < 1e-2 of a correct interval failing this).
+    assert!(
+        covered * 5 >= total * 4,
+        "coverage {covered}/{total} below 80%"
+    );
+}
+
+/// (c) Same bracketing through the ProbTree + session path (the CI is
+/// computed by the inner estimator over the extracted query graph).
+#[test]
+fn probtree_session_half_width_brackets_exact() {
+    let mut covered = 0usize;
+    let mut total = 0usize;
+    for seed in 0u64..15 {
+        let mut b = GraphBuilder::new(4);
+        let mut gen_rng = ChaCha8Rng::seed_from_u64(seed ^ 0xBEEF);
+        let mut p = || 0.2 + 0.75 * (gen_rng.next_u32() as f64 / u32::MAX as f64);
+        b.add_edge(NodeId(0), NodeId(1), p()).unwrap();
+        b.add_edge(NodeId(0), NodeId(2), p()).unwrap();
+        b.add_edge(NodeId(1), NodeId(3), p()).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), p()).unwrap();
+        let g = Arc::new(b.build());
+        let (s, t) = (NodeId(0), NodeId(3));
+        let exact = exact_reliability(&g, s, t);
+
+        let mut pt = ProbTree::new(Arc::clone(&g));
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let est = pt.estimate_with(s, t, &SampleBudget::adaptive(0.05, 20_000), &mut rng);
+        let hw = est.half_width.expect("inner MC reports a CI");
+        total += 1;
+        if (est.reliability - exact).abs() <= hw {
+            covered += 1;
+        }
+    }
+    assert!(
+        covered * 5 >= total * 4,
+        "coverage {covered}/{total} below 80%"
+    );
+}
+
+/// Fixed recursion (single run) reports no CI; adaptive recursion does.
+#[test]
+fn recursive_sessions_report_ci_only_with_replication() {
+    let mut b = GraphBuilder::new(4);
+    b.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+    b.add_edge(NodeId(0), NodeId(2), 0.6).unwrap();
+    b.add_edge(NodeId(1), NodeId(3), 0.7).unwrap();
+    b.add_edge(NodeId(2), NodeId(3), 0.4).unwrap();
+    let g = Arc::new(b.build());
+    let mut rss = RecursiveStratified::new(Arc::clone(&g));
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+
+    let fixed = rss.estimate(NodeId(0), NodeId(3), 1000, &mut rng);
+    assert_eq!(fixed.stop_reason, StopReason::FixedK);
+    assert!(fixed.half_width.is_none(), "single run has no spread");
+
+    let adaptive = rss.estimate_with(
+        NodeId(0),
+        NodeId(3),
+        &SampleBudget::adaptive(0.05, 50_000),
+        &mut rng,
+    );
+    assert!(adaptive.half_width.is_some(), "batched runs measure spread");
+    assert!(adaptive.samples <= 50_000);
+}

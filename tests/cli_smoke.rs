@@ -133,6 +133,73 @@ fn generate_stats_query_round_trip() {
 }
 
 #[test]
+fn adaptive_query_reports_ci_and_stop_reason() {
+    let path = temp_graph_path("adaptive.txt");
+    let path_str = path.to_str().expect("utf-8 temp path");
+    stdout(&relcomp(&[
+        "generate", "lastfm", "--out", path_str, "--scale", "0.02", "--seed", "42",
+    ]));
+
+    // eps-targeted query: the output carries a ± half-width and a stop
+    // reason, and the consumed K respects the cap.
+    let out = stdout(&relcomp(&[
+        "query",
+        path_str,
+        "0",
+        "3",
+        "--estimator",
+        "mc",
+        "--eps",
+        "0.2",
+        "--samples",
+        "30000",
+        "--seed",
+        "7",
+    ]));
+    assert!(out.contains('±'), "missing half-width: {out}");
+    assert!(
+        out.contains("converged") || out.contains("max_samples"),
+        "missing stop reason: {out}"
+    );
+    let k: usize = out
+        .split("K = ")
+        .nth(1)
+        .and_then(|rest| {
+            rest.split(|c: char| !c.is_ascii_digit())
+                .next()
+                .and_then(|v| v.parse().ok())
+        })
+        .expect("parsable K");
+    assert!(k <= 30_000, "consumed {k} > declared cap");
+
+    // Bad adaptive values are rejected before any sampling — both the
+    // unparseable and the parseable-but-invalid kind.
+    let bad = relcomp(&["query", path_str, "0", "3", "--eps", "oops"]);
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("bad --eps"));
+    let zero = relcomp(&["query", path_str, "0", "3", "--eps", "0"]);
+    assert!(!zero.status.success());
+    assert!(
+        String::from_utf8_lossy(&zero.stderr).contains("--eps must be a positive"),
+        "invalid eps must be a usage error, not a panic"
+    );
+    let conf = relcomp(&[
+        "query",
+        path_str,
+        "0",
+        "3",
+        "--eps",
+        "0.1",
+        "--confidence",
+        "1.0",
+    ]);
+    assert!(!conf.status.success());
+    assert!(String::from_utf8_lossy(&conf.stderr).contains("--confidence must be in (0, 1)"));
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn bad_usage_exits_nonzero_with_usage() {
     let out = relcomp(&["no-such-command"]);
     assert!(!out.status.success());
