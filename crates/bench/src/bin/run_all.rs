@@ -6,7 +6,7 @@
 //! (per-job wall time plus a per-estimator timing probe) lands at the
 //! repo root so the perf trajectory across commits has data points.
 
-use relcomp_bench::adaptive::{timing_probe, EstimatorTiming};
+use relcomp_bench::adaptive::{timing_probe, workload_probe, EstimatorTiming, WorkloadTiming};
 use relcomp_eval::experiments as exp;
 use relcomp_eval::{ExperimentEnv, RunProfile};
 use relcomp_ugraph::Dataset;
@@ -32,6 +32,9 @@ struct BenchSummary {
     /// Fixed-K timing probe per estimator (samples + wall ms) on the
     /// LastFM analog — the stable cross-commit perf signal.
     estimators: Vec<EstimatorTiming>,
+    /// Served extension workloads (top-k / distance-constrained), fixed
+    /// vs adaptive, on the parallel sharded sampler.
+    workloads: Vec<WorkloadTiming>,
 }
 
 fn main() {
@@ -78,6 +81,8 @@ fn main() {
     let mut env = ExperimentEnv::prepare(Dataset::LastFm, profile, 2, seed);
     env.workload.pairs.truncate(10);
     let estimators = timing_probe(&env, 1000);
+    eprintln!(">>> workload probe (topk / dquery, fixed vs eps-adaptive) ...");
+    let workloads = workload_probe(&env, 10_000, 0.05, 50_000);
 
     let summary = BenchSummary {
         profile: match profile {
@@ -88,6 +93,7 @@ fn main() {
         total_secs: sweep_start.elapsed().as_secs_f64(),
         jobs: timings,
         estimators,
+        workloads,
     };
     let path = relcomp_bench::repo_root().join("BENCH_summary.json");
     match serde_json::to_string_pretty(&summary) {

@@ -101,10 +101,11 @@ pub fn repo_root() -> PathBuf {
 /// `adaptive_stopping` bin and `run_all`'s `BENCH_summary.json` emission.
 pub mod adaptive {
     use rand::RngCore;
-    use relcomp_core::{EstimatorKind, SampleBudget, StopReason};
+    use relcomp_core::{EstimatorKind, ParallelSampler, SampleBudget, StopReason};
     use relcomp_eval::{ExperimentEnv, RunProfile};
     use relcomp_ugraph::Dataset;
     use serde::Serialize;
+    use std::sync::Arc;
 
     /// One (dataset, estimator) comparison row.
     #[derive(Clone, Debug, Serialize)]
@@ -225,6 +226,82 @@ pub mod adaptive {
         pub samples: usize,
         /// Wall milliseconds across the workload.
         pub wall_ms: f64,
+    }
+
+    /// One extension-workload measurement for `BENCH_summary.json`
+    /// (top-k / distance-constrained, fixed vs adaptive).
+    #[derive(Clone, Debug, Serialize)]
+    pub struct WorkloadTiming {
+        /// Served workload name (`topk` / `dquery`).
+        pub workload: String,
+        /// Budget mode (`fixed` / `adaptive`).
+        pub mode: String,
+        /// Samples consumed.
+        pub samples: usize,
+        /// Wall milliseconds.
+        pub wall_ms: f64,
+        /// Stop-reason label of the run.
+        pub stop_reason: String,
+    }
+
+    /// Probe the two served extension workloads on the parallel sharded
+    /// sampler: one fixed run at `fixed_k` and one eps-adaptive run
+    /// (capped at `cap`) each for top-k (`k = 10`) and `R_d` (`d = 4`)
+    /// on the first workload pair. The cross-commit perf signal for the
+    /// `topk`/`dquery` serving paths.
+    pub fn workload_probe(
+        env: &ExperimentEnv,
+        fixed_k: usize,
+        eps: f64,
+        cap: usize,
+    ) -> Vec<WorkloadTiming> {
+        let Some(&(s, t)) = env.workload.pairs.first() else {
+            return Vec::new();
+        };
+        let sampler = ParallelSampler::new(Arc::clone(&env.graph), 2);
+        let budget = SampleBudget::adaptive(eps, cap);
+        let row = |workload: &str, mode: &str, samples, wall_ms, stop: StopReason| WorkloadTiming {
+            workload: workload.to_string(),
+            mode: mode.to_string(),
+            samples,
+            wall_ms,
+            stop_reason: stop.label().to_string(),
+        };
+        let mut out = Vec::new();
+        let fixed = sampler.top_k_targets(s, 10, fixed_k, 0xE0);
+        out.push(row(
+            "topk",
+            "fixed",
+            fixed.samples,
+            fixed.elapsed.as_secs_f64() * 1e3,
+            fixed.stop_reason,
+        ));
+        let adaptive = sampler.top_k_targets_with(s, 10, &budget, 0xE0);
+        out.push(row(
+            "topk",
+            "adaptive",
+            adaptive.samples,
+            adaptive.elapsed.as_secs_f64() * 1e3,
+            adaptive.stop_reason,
+        ));
+        let d = 4;
+        let fixed = sampler.estimate_distance_constrained(s, t, d, fixed_k, 0xD0);
+        out.push(row(
+            "dquery",
+            "fixed",
+            fixed.samples,
+            fixed.elapsed.as_secs_f64() * 1e3,
+            fixed.stop_reason,
+        ));
+        let adaptive = sampler.estimate_distance_constrained_with(s, t, d, &budget, 0xD0);
+        out.push(row(
+            "dquery",
+            "adaptive",
+            adaptive.samples,
+            adaptive.elapsed.as_secs_f64() * 1e3,
+            adaptive.stop_reason,
+        ));
+        out
     }
 
     /// Measure every paper-six estimator at `fixed_k` on `env`'s

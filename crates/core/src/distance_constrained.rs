@@ -5,61 +5,76 @@
 //! for (Jin et al., PVLDB'11); the comparison paper adapts it to the
 //! unconstrained s-t query (§2.4: "we adapted the proposed approach to
 //! compute the s-t reliability without any distance constraint"). Here we
-//! keep the original query too, with two estimators:
+//! keep the original query too, with three estimators:
 //!
-//! * [`mc_distance_constrained`] — depth-limited lazy-sampling MC;
+//! * [`distance_constrained_with`] — depth-limited lazy-sampling MC as a
+//!   streaming [`SampleBudget`] session (fixed, eps+confidence, or
+//!   wall-time budgets, Wilson CI half-width in the [`Estimate`]);
+//! * [`mc_distance_constrained`] — the historical fixed-`k` entry point,
+//!   now a thin wrapper over a fixed budget (bit-identical RNG stream);
 //! * [`exact_distance_constrained`] — enumeration oracle for tests.
 //!
 //! `R_d` is monotone in `d` and converges to plain `R(s, t)` once `d`
 //! reaches the number of nodes (any simple path fits).
 
+use crate::estimator::Estimate;
+use crate::memory::MemoryTracker;
 use crate::sampler::coin;
+use crate::session::{EstimationSession, SampleBudget};
 use rand::RngCore;
 use relcomp_ugraph::possible_world::enumerate_worlds;
+use relcomp_ugraph::traversal::{bfs_reaches_within, BoundedBfsWorkspace};
 use relcomp_ugraph::{NodeId, UncertainGraph};
 
-/// Depth-limited BFS in one sampled world: is `t` within `d` hops of `s`,
-/// where `edge_exists` decides per-edge presence?
-fn bounded_bfs<F>(
+/// Estimate `R_d(s, t)` by streaming depth-limited lazy-sampling MC
+/// batches until `budget` says stop (Algorithm 1 with a depth cap, given
+/// the session treatment). Under [`SampleBudget::fixed`] the coin stream
+/// — and therefore the estimate — is bit-identical to the historical
+/// [`mc_distance_constrained`] loop.
+pub fn distance_constrained_with(
     graph: &UncertainGraph,
     s: NodeId,
     t: NodeId,
     d: usize,
-    mut edge_exists: F,
-) -> bool
-where
-    F: FnMut(relcomp_ugraph::EdgeId) -> bool,
-{
+    budget: &SampleBudget,
+    rng: &mut dyn RngCore,
+) -> Estimate {
+    assert!(
+        graph.contains_node(s) && graph.contains_node(t),
+        "query nodes out of range"
+    );
+    let mut mem = MemoryTracker::new();
+    mem.baseline(BoundedBfsWorkspace::bytes_for(graph.num_nodes()));
+    let mut session = EstimationSession::begin(budget);
     if s == t {
-        return true;
+        return session.finish_exact(1.0, &mem);
     }
-    let n = graph.num_nodes();
-    let mut depth: Vec<Option<u32>> = vec![None; n];
-    depth[s.index()] = Some(0);
-    let mut frontier = vec![s];
-    let mut next = Vec::new();
-    let mut h = 0usize;
-    while !frontier.is_empty() && h < d {
-        h += 1;
-        for &v in &frontier {
-            for (e, w) in graph.out_edges(v) {
-                if depth[w.index()].is_none() && edge_exists(e) {
-                    if w == t {
-                        return true;
-                    }
-                    depth[w.index()] = Some(h as u32);
-                    next.push(w);
-                }
+    let mut ws = BoundedBfsWorkspace::new(graph.num_nodes());
+    let mut total_hits = 0usize;
+    let mut total = 0usize;
+    loop {
+        let n = session.next_batch();
+        if n == 0 {
+            break;
+        }
+        let mut hits = 0usize;
+        for _ in 0..n {
+            if bfs_reaches_within(graph, s, t, d, &mut ws, |e| {
+                coin(rng, graph.prob(e).value())
+            }) {
+                hits += 1;
             }
         }
-        std::mem::swap(&mut frontier, &mut next);
-        next.clear();
+        session.record_hits(hits, n);
+        total_hits += hits;
+        total += n;
     }
-    false
+    session.finish(total_hits as f64 / total as f64, &mem)
 }
 
-/// MC estimate of `R_d(s, t)` with `k` samples (lazy edge instantiation,
-/// early termination — Algorithm 1 with a depth cap).
+/// MC estimate of `R_d(s, t)` with exactly `k` samples — a thin wrapper
+/// over [`distance_constrained_with`] with a fixed budget, bit-identical
+/// to the historical pre-session loop.
 pub fn mc_distance_constrained(
     graph: &UncertainGraph,
     s: NodeId,
@@ -68,18 +83,8 @@ pub fn mc_distance_constrained(
     k: usize,
     rng: &mut dyn RngCore,
 ) -> f64 {
-    assert!(
-        graph.contains_node(s) && graph.contains_node(t),
-        "query nodes out of range"
-    );
     assert!(k > 0, "sample count must be positive");
-    let mut hits = 0usize;
-    for _ in 0..k {
-        if bounded_bfs(graph, s, t, d, |e| coin(rng, graph.prob(e).value())) {
-            hits += 1;
-        }
-    }
-    hits as f64 / k as f64
+    distance_constrained_with(graph, s, t, d, &SampleBudget::fixed(k), rng).reliability
 }
 
 /// Exact `R_d(s, t)` by world enumeration (test oracle, `m <= 26`).
@@ -91,9 +96,10 @@ pub fn exact_distance_constrained(graph: &UncertainGraph, s: NodeId, t: NodeId, 
     if s == t {
         return 1.0;
     }
+    let mut ws = BoundedBfsWorkspace::new(graph.num_nodes());
     let mut total = 0.0;
     for world in enumerate_worlds(graph) {
-        if bounded_bfs(graph, s, t, d, |e| world.contains(e)) {
+        if bfs_reaches_within(graph, s, t, d, &mut ws, |e| world.contains(e)) {
             total += world.probability(graph);
         }
     }
@@ -152,6 +158,42 @@ mod tests {
             let mc = mc_distance_constrained(&g, NodeId(0), NodeId(2), d, 40_000, &mut rng);
             assert!((mc - exact).abs() < 0.01, "d={d}: mc {mc} vs exact {exact}");
         }
+    }
+
+    #[test]
+    fn adaptive_session_converges_and_brackets_exact() {
+        let g = detour();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let exact = exact_distance_constrained(&g, NodeId(0), NodeId(2), 2);
+        let est = distance_constrained_with(
+            &g,
+            NodeId(0),
+            NodeId(2),
+            2,
+            &SampleBudget::adaptive(0.05, 100_000),
+            &mut rng,
+        );
+        assert_eq!(est.stop_reason, crate::StopReason::Converged);
+        assert!(est.samples < 100_000, "stopped early: {}", est.samples);
+        let hw = est.half_width.expect("bernoulli CI");
+        assert!((est.reliability - exact).abs() <= hw + 0.01);
+    }
+
+    #[test]
+    fn session_handles_s_equals_t_without_drawing() {
+        let g = detour();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let est = distance_constrained_with(
+            &g,
+            NodeId(1),
+            NodeId(1),
+            0,
+            &SampleBudget::fixed(500),
+            &mut rng,
+        );
+        assert_eq!(est.reliability, 1.0);
+        assert_eq!(est.samples, 500, "fixed accounting preserved");
+        assert_eq!(est.half_width, Some(0.0));
     }
 
     #[test]

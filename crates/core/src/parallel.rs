@@ -14,23 +14,32 @@
 //!   addition is commutative, so the total — and therefore the estimate —
 //!   is bit-identical for 1, 2, or 64 threads.
 //!
-//! Three entry points cover the serving workloads: plain MC
+//! Five entry-point families cover the serving workloads: plain MC
 //! ([`ParallelSampler::estimate_mc`]), BFS-Sharing with a sharded world
-//! index ([`ParallelSampler::estimate_bfs_sharing`]), and multi-target MC
+//! index ([`ParallelSampler::estimate_bfs_sharing`]), multi-target MC
 //! ([`ParallelSampler::estimate_mc_multi`]) which amortizes possible-world
-//! sampling across queries that share a source node.
+//! sampling across queries that share a source node, top-k reliable
+//! targets ([`ParallelSampler::top_k_targets_with`]), and
+//! distance-constrained reachability
+//! ([`ParallelSampler::estimate_distance_constrained_with`]). The
+//! adaptive variants check convergence at the same deterministic
+//! shard-group barriers, so budget-driven answers are thread-count
+//! invariant too.
 
 use crate::bfs_sharing::BfsSharingIndex;
 use crate::estimator::{validate_query, Estimate};
 use crate::memory::MemoryTracker;
 use crate::sampler::coin;
 use crate::session::{finish_estimate, Convergence, SampleBudget, StopReason, DEFAULT_CONFIDENCE};
+use crate::topk::{boundary_tracker, rank_hits, reachable_targets, TopKResult};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use relcomp_ugraph::traversal::{bfs_reaches, BfsWorkspace};
+use relcomp_ugraph::traversal::{
+    bfs_reaches, bfs_reaches_within, BfsWorkspace, BoundedBfsWorkspace,
+};
 use relcomp_ugraph::{NodeId, UncertainGraph};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Samples per shard. Small enough that a typical budget (thousands)
@@ -124,11 +133,54 @@ impl ParallelSampler {
         self.run_shard_range(&shards, 0, shards.len(), seed, init, work)
     }
 
+    /// The one shard-scheduling loop every sharded workload runs on: run
+    /// `work(state, shard_index, shard_len, rng)` over the global shards
+    /// `[lo, hi)` on the worker pool, then hand each worker's final
+    /// `state` to `merge` (called once per exiting worker; the caller
+    /// supplies its own synchronization). Shard `i` always draws from
+    /// stream `(seed, i)`, so any commutative merge is deterministic
+    /// regardless of thread count.
+    fn run_shard_range_fold<S, I, W, M>(
+        &self,
+        shards: &[(usize, usize)],
+        range: std::ops::Range<usize>,
+        seed: u64,
+        init: I,
+        work: W,
+        merge: M,
+    ) where
+        I: Fn() -> S + Sync,
+        W: Fn(&mut S, usize, usize, &mut ChaCha8Rng) + Sync,
+        M: Fn(S) + Sync,
+    {
+        let (lo, hi) = (range.start, range.end);
+        let cursor = AtomicUsize::new(lo);
+        let workers = self.threads.min(hi.saturating_sub(lo)).max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut state = init();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= hi {
+                            break;
+                        }
+                        let Some(&(_, len)) = shards.get(i) else {
+                            break;
+                        };
+                        let mut rng = shard_rng(seed, i as u64);
+                        work(&mut state, i, len, &mut rng);
+                    }
+                    merge(state);
+                });
+            }
+        });
+    }
+
     /// Run `work` over the global shards `[lo, hi)` of `shards` on the
-    /// worker pool. Shard `i` always draws from stream `(seed, i)`, so a
-    /// range's total is deterministic regardless of thread count — the
-    /// primitive both the fixed full sweep and the adaptive round loop
-    /// are built on.
+    /// worker pool, summing per-shard hit counts. Deterministic
+    /// regardless of thread count — the primitive both the fixed full
+    /// sweep and the adaptive round loop are built on.
     fn run_shard_range<S, I, W>(
         &self,
         shards: &[(usize, usize)],
@@ -142,30 +194,18 @@ impl ParallelSampler {
         I: Fn() -> S + Sync,
         W: Fn(&mut S, usize, usize, &mut ChaCha8Rng) -> usize + Sync,
     {
-        let cursor = AtomicUsize::new(lo);
-        let hits = AtomicUsize::new(0);
-        let workers = self.threads.min(hi.saturating_sub(lo)).max(1);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| {
-                    let mut state = init();
-                    let mut local = 0usize;
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= hi {
-                            break;
-                        }
-                        let Some(&(_, len)) = shards.get(i) else {
-                            break;
-                        };
-                        let mut rng = shard_rng(seed, i as u64);
-                        local += work(&mut state, i, len, &mut rng);
-                    }
-                    hits.fetch_add(local, Ordering::Relaxed);
-                });
-            }
-        });
-        hits.into_inner()
+        let total = AtomicUsize::new(0);
+        self.run_shard_range_fold(
+            shards,
+            lo..hi,
+            seed,
+            || (init(), 0usize),
+            |st: &mut (S, usize), i, len, rng| st.1 += work(&mut st.0, i, len, rng),
+            |st| {
+                total.fetch_add(st.1, Ordering::Relaxed);
+            },
+        );
+        total.into_inner()
     }
 
     /// Drive an adaptive budget over pre-laid-out shards: rounds of
@@ -457,6 +497,214 @@ impl ParallelSampler {
             })
             .collect()
     }
+
+    /// Run full-world sampling over the global shards `[lo, hi)`,
+    /// accumulating per-node hit counts into `hits`. Per-node addition
+    /// is commutative, so the merged counts are deterministic for any
+    /// thread count.
+    fn run_world_hits_range(
+        &self,
+        shards: &[(usize, usize)],
+        lo: usize,
+        hi: usize,
+        seed: u64,
+        s: NodeId,
+        hits: &mut [u64],
+    ) {
+        let graph = &self.graph;
+        let n = graph.num_nodes();
+        let merged = Mutex::new(hits);
+        self.run_shard_range_fold(
+            shards,
+            lo..hi,
+            seed,
+            || (BfsWorkspace::new(n), vec![0u64; n]),
+            |st: &mut (BfsWorkspace, Vec<u64>), _, len, rng| {
+                for _ in 0..len {
+                    sample_world_all(graph, s, &mut st.0, rng, &mut st.1);
+                }
+            },
+            |st| {
+                let mut shared = merged.lock().expect("hit merge poisoned");
+                for (slot, &h) in shared.iter_mut().zip(&st.1) {
+                    *slot += h;
+                }
+            },
+        );
+    }
+
+    /// Top-k reliable targets from `s` under a streaming [`SampleBudget`]:
+    /// the sample cap is sharded up front, shard groups stream through
+    /// the worker pool, and the boundary (k-th ranked) score's
+    /// convergence is checked at deterministic round barriers — the
+    /// ranking, consumed samples, and stop reason are bit-identical for
+    /// any thread count. Semantics (ranking order, boundary choice,
+    /// stopping rule) are shared with the single-threaded
+    /// [`top_k_targets_with`](crate::topk::top_k_targets_with); only the
+    /// RNG layout differs (per-shard streams instead of one stream).
+    pub fn top_k_targets_with(
+        &self,
+        s: NodeId,
+        k: usize,
+        budget: &SampleBudget,
+        seed: u64,
+    ) -> TopKResult {
+        assert!(self.graph.contains_node(s), "source out of range");
+        assert!(k > 0, "k must be positive");
+        let start = Instant::now();
+        let boundary = k.min(reachable_targets(&self.graph, s));
+        if boundary == 0 {
+            let (samples, stop_reason) = crate::session::exact_answer_accounting(budget);
+            return TopKResult {
+                scores: Vec::new(),
+                samples,
+                stop_reason,
+                half_width: Some(0.0),
+                elapsed: start.elapsed(),
+            };
+        }
+        let shards = Self::shards(budget.max_samples());
+        let per_round = if budget.is_fixed() {
+            // No stopping rule to consult: one sweep over every shard.
+            shards.len()
+        } else {
+            budget.batch().div_ceil(SHARD_SAMPLES).max(MIN_ROUND_SHARDS)
+        };
+        let mut hits = vec![0u64; self.graph.num_nodes()];
+        let mut scratch = Vec::new();
+        let mut samples = 0usize;
+        let mut next = 0usize;
+        let stop = loop {
+            // Fixed budgets have no stopping rule to consult: skip the
+            // O(n) boundary-tracker build the cap check can never use.
+            let stop = if budget.is_fixed() {
+                (samples >= budget.max_samples()).then_some(StopReason::FixedK)
+            } else {
+                let tracker = boundary_tracker(
+                    &hits,
+                    s,
+                    boundary,
+                    samples,
+                    budget.confidence(),
+                    &mut scratch,
+                );
+                crate::session::should_stop(budget, &tracker, samples, start)
+            };
+            if let Some(stop) = stop {
+                break stop;
+            }
+            let hi = (next + per_round).min(shards.len());
+            let round_samples: usize = shards[next..hi].iter().map(|&(_, len)| len).sum();
+            self.run_world_hits_range(&shards, next, hi, seed, s, &mut hits);
+            samples += round_samples;
+            next = hi;
+        };
+        let tracker = boundary_tracker(
+            &hits,
+            s,
+            boundary,
+            samples,
+            budget.confidence(),
+            &mut scratch,
+        );
+        let hw = tracker.half_width();
+        TopKResult {
+            scores: rank_hits(&hits, s, k, samples),
+            samples,
+            stop_reason: stop,
+            half_width: hw.is_finite().then_some(hw),
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// Top-k reliable targets with a fixed budget of `samples` worlds —
+    /// [`ParallelSampler::top_k_targets_with`] under
+    /// [`SampleBudget::fixed`].
+    pub fn top_k_targets(&self, s: NodeId, k: usize, samples: usize, seed: u64) -> TopKResult {
+        assert!(samples > 0, "sample count must be positive");
+        self.top_k_targets_with(s, k, &SampleBudget::fixed(samples), seed)
+    }
+
+    /// Distance-constrained reliability `R_d(s, t)` under a streaming
+    /// [`SampleBudget`]: depth-limited lazy-sampling MC over sharded RNG
+    /// streams, convergence checked at deterministic shard-group
+    /// barriers. Bit-identical across thread counts.
+    pub fn estimate_distance_constrained_with(
+        &self,
+        s: NodeId,
+        t: NodeId,
+        d: usize,
+        budget: &SampleBudget,
+        seed: u64,
+    ) -> Estimate {
+        validate_query(&self.graph, s, t);
+        let start = Instant::now();
+        let graph = &self.graph;
+        let mut mem = MemoryTracker::new();
+        mem.baseline(self.threads * BoundedBfsWorkspace::bytes_for(graph.num_nodes()));
+        if s == t {
+            // Deterministic answer: nothing to sample.
+            let (samples, stop_reason) = crate::session::exact_answer_accounting(budget);
+            return Estimate {
+                reliability: 1.0,
+                samples,
+                elapsed: start.elapsed(),
+                aux_bytes: mem.peak(),
+                variance: Some(0.0),
+                half_width: Some(0.0),
+                stop_reason,
+            };
+        }
+        let work = |ws: &mut BoundedBfsWorkspace, _: usize, len: usize, rng: &mut ChaCha8Rng| {
+            let mut h = 0usize;
+            for _ in 0..len {
+                if bfs_reaches_within(graph, s, t, d, ws, |e| coin(rng, graph.prob(e).value())) {
+                    h += 1;
+                }
+            }
+            h
+        };
+        let init = || BoundedBfsWorkspace::new(graph.num_nodes());
+        if budget.is_fixed() {
+            let k = budget.max_samples();
+            let hits = self.run_shards(k, seed, init, work);
+            let mut tracker = Convergence::new(budget.confidence());
+            tracker.observe_hits(hits, k);
+            finish_estimate(
+                hits as f64 / k as f64,
+                k,
+                start,
+                &mem,
+                Some(&tracker),
+                StopReason::FixedK,
+            )
+        } else {
+            let (hits, samples, tracker, stop, start) = self.run_adaptive(budget, seed, init, work);
+            finish_estimate(
+                hits as f64 / samples as f64,
+                samples,
+                start,
+                &mem,
+                Some(&tracker),
+                stop,
+            )
+        }
+    }
+
+    /// Distance-constrained reliability with a fixed budget of `k`
+    /// samples — [`ParallelSampler::estimate_distance_constrained_with`]
+    /// under [`SampleBudget::fixed`].
+    pub fn estimate_distance_constrained(
+        &self,
+        s: NodeId,
+        t: NodeId,
+        d: usize,
+        k: usize,
+        seed: u64,
+    ) -> Estimate {
+        assert!(k > 0, "sample count must be positive");
+        self.estimate_distance_constrained_with(s, t, d, &SampleBudget::fixed(k), seed)
+    }
 }
 
 /// Restate a fixed-budget estimate's CI at the budget's confidence
@@ -467,6 +715,30 @@ fn reconfide(est: Estimate, budget: &SampleBudget) -> Estimate {
         return est;
     }
     crate::session::restate_bernoulli_confidence(est, budget.confidence())
+}
+
+/// Sample one possible world lazily and BFS it from `s`, crediting every
+/// newly visited node in `hits` — the top-k accumulation step, where
+/// every node is a target.
+fn sample_world_all(
+    graph: &UncertainGraph,
+    s: NodeId,
+    ws: &mut BfsWorkspace,
+    rng: &mut ChaCha8Rng,
+    hits: &mut [u64],
+) {
+    ws.reset();
+    ws.visited.insert(s);
+    ws.queue.push_back(s);
+    while let Some(v) = ws.queue.pop_front() {
+        for (e, w) in graph.out_edges(v) {
+            if !ws.visited.contains(w) && coin(rng, graph.prob(e).value()) {
+                ws.visited.insert(w);
+                hits[w.index()] += 1;
+                ws.queue.push_back(w);
+            }
+        }
+    }
 }
 
 /// Sample one possible world lazily and BFS it from `s`, crediting every
@@ -733,6 +1005,111 @@ mod tests {
         let g = Arc::new(b.build());
         let est = ParallelSampler::new(g, 4).estimate_mc(NodeId(0), NodeId(2), 2000, 1);
         assert_eq!(est.reliability, 0.0);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_topk_ranking() {
+        let g = diamond();
+        let k_samples = 3 * SHARD_SAMPLES + 17;
+        let baseline =
+            ParallelSampler::new(Arc::clone(&g), 1).top_k_targets(NodeId(0), 3, k_samples, 11);
+        for threads in [2, 8] {
+            let got = ParallelSampler::new(Arc::clone(&g), threads).top_k_targets(
+                NodeId(0),
+                3,
+                k_samples,
+                11,
+            );
+            assert_eq!(got.scores.len(), baseline.scores.len());
+            for (a, b) in got.scores.iter().zip(&baseline.scores) {
+                assert_eq!(a.node, b.node);
+                assert_eq!(a.reliability.to_bits(), b.reliability.to_bits());
+            }
+        }
+        // Ranking truth on the diamond: 2 (0.6) leads; 3 (0.506) and
+        // 1 (0.5) are a near-tie, so only the leader is asserted.
+        assert_eq!(baseline.scores.len(), 3);
+        assert_eq!(baseline.scores[0].node, NodeId(2));
+    }
+
+    #[test]
+    fn adaptive_topk_is_thread_invariant_and_stops_early() {
+        let g = diamond();
+        let budget = SampleBudget::adaptive(0.1, 100_000);
+        let baseline =
+            ParallelSampler::new(Arc::clone(&g), 1).top_k_targets_with(NodeId(0), 3, &budget, 5);
+        assert_eq!(baseline.stop_reason, StopReason::Converged);
+        assert!(baseline.samples < 100_000, "used {}", baseline.samples);
+        for threads in [2, 8] {
+            let got = ParallelSampler::new(Arc::clone(&g), threads).top_k_targets_with(
+                NodeId(0),
+                3,
+                &budget,
+                5,
+            );
+            assert_eq!(got.samples, baseline.samples);
+            assert_eq!(got.stop_reason, baseline.stop_reason);
+            for (a, b) in got.scores.iter().zip(&baseline.scores) {
+                assert_eq!(a.reliability.to_bits(), b.reliability.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_distance_constrained_matches_exact() {
+        use crate::distance_constrained::exact_distance_constrained;
+        let g = diamond();
+        let sampler = ParallelSampler::new(Arc::clone(&g), 4);
+        for d in [1usize, 2, 3] {
+            let exact = exact_distance_constrained(&g, NodeId(0), NodeId(3), d);
+            let est = sampler.estimate_distance_constrained(NodeId(0), NodeId(3), d, 60_000, 13);
+            assert!(
+                (est.reliability - exact).abs() < 0.01,
+                "d={d}: {} vs {exact}",
+                est.reliability
+            );
+        }
+        // No path of length 1 exists: exactly zero.
+        assert_eq!(
+            sampler
+                .estimate_distance_constrained(NodeId(0), NodeId(3), 1, 2000, 1)
+                .reliability,
+            0.0
+        );
+    }
+
+    #[test]
+    fn thread_count_does_not_change_distance_constrained_estimates() {
+        let g = diamond();
+        let k = 2 * SHARD_SAMPLES + 77;
+        let baseline = ParallelSampler::new(Arc::clone(&g), 1).estimate_distance_constrained(
+            NodeId(0),
+            NodeId(3),
+            2,
+            k,
+            3,
+        );
+        let adaptive_budget = SampleBudget::adaptive(0.08, 50_000);
+        let adaptive_baseline = ParallelSampler::new(Arc::clone(&g), 1)
+            .estimate_distance_constrained_with(NodeId(0), NodeId(3), 2, &adaptive_budget, 3);
+        for threads in [2, 8] {
+            let sampler = ParallelSampler::new(Arc::clone(&g), threads);
+            let est = sampler.estimate_distance_constrained(NodeId(0), NodeId(3), 2, k, 3);
+            assert_eq!(est.reliability.to_bits(), baseline.reliability.to_bits());
+            let ad = sampler.estimate_distance_constrained_with(
+                NodeId(0),
+                NodeId(3),
+                2,
+                &adaptive_budget,
+                3,
+            );
+            assert_eq!(
+                ad.reliability.to_bits(),
+                adaptive_baseline.reliability.to_bits()
+            );
+            assert_eq!(ad.samples, adaptive_baseline.samples);
+            assert_eq!(ad.stop_reason, adaptive_baseline.stop_reason);
+        }
     }
 
     #[test]

@@ -548,6 +548,21 @@ impl EstimationSession {
     }
 }
 
+/// Accounting for a deterministic answer that needs no sampling at all
+/// (`s == t`, an empty top-k ranking): fixed budgets report the full
+/// budget consumed — preserving the historical fixed-`k` `samples`
+/// accounting bit for bit — while adaptive budgets report zero samples
+/// and a converged stop. One home for the rule the single-threaded
+/// sessions ([`EstimationSession::finish_exact`]) and the parallel
+/// sampler's no-draw paths must agree on.
+pub fn exact_answer_accounting(budget: &SampleBudget) -> (usize, StopReason) {
+    if budget.is_fixed() {
+        (budget.max_samples(), StopReason::FixedK)
+    } else {
+        (0, StopReason::Converged)
+    }
+}
+
 /// The one stopping rule every session-driving loop consults — the
 /// single-threaded [`EstimationSession`] and the parallel sampler's
 /// shard-group barriers must agree on it or their answers drift.

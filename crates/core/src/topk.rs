@@ -9,10 +9,12 @@
 
 use crate::bfs_sharing::BfsSharingIndex;
 use crate::sampler::coin;
+use crate::session::{should_stop, Convergence, SampleBudget, StopReason};
 use rand::RngCore;
-use relcomp_ugraph::traversal::VisitSet;
+use relcomp_ugraph::traversal::{reachable_set, VisitSet};
 use relcomp_ugraph::{NodeId, UncertainGraph};
 use std::collections::VecDeque;
+use std::time::{Duration, Instant};
 
 /// A node with its estimated reliability from the query source.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -21,6 +23,184 @@ pub struct TargetScore {
     pub node: NodeId,
     /// Estimated `R(s, node)`.
     pub reliability: f64,
+}
+
+/// Outcome of a budget-driven top-k search ([`top_k_targets_with`] and
+/// the parallel `ParallelSampler::top_k_targets_with`).
+#[derive(Clone, Debug)]
+pub struct TopKResult {
+    /// The k best targets, ranked by estimated reliability (descending,
+    /// ties broken by node id).
+    pub scores: Vec<TargetScore>,
+    /// Possible worlds actually sampled.
+    pub samples: usize,
+    /// Why sampling stopped.
+    pub stop_reason: StopReason,
+    /// Wilson CI half-width of the *boundary* (k-th ranked) target's
+    /// reliability at the budget's confidence — the quantity the adaptive
+    /// stopping rule certifies. `None` when unmeasurable.
+    pub half_width: Option<f64>,
+    /// Wall-clock time of the search.
+    pub elapsed: Duration,
+}
+
+/// Rank per-node hit counts into the top-k score list: nodes with at
+/// least one hit, `s` excluded, sorted by reliability descending with
+/// node-id tie-break, truncated to `k`. Shared by the single-threaded
+/// session and the parallel sharded path so the two can never disagree
+/// on ranking semantics.
+pub(crate) fn rank_hits(hits: &[u64], s: NodeId, k: usize, samples: usize) -> Vec<TargetScore> {
+    let mut scores: Vec<TargetScore> = hits
+        .iter()
+        .enumerate()
+        .filter(|&(i, &h)| h > 0 && i != s.index())
+        .map(|(i, &h)| TargetScore {
+            node: NodeId::from_index(i),
+            reliability: h as f64 / samples as f64,
+        })
+        .collect();
+    scores.sort_by(|a, b| {
+        b.reliability
+            .partial_cmp(&a.reliability)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.node.cmp(&b.node))
+    });
+    scores.truncate(k);
+    scores
+}
+
+/// The convergence tracker of the top-k *boundary*: Wilson statistics of
+/// the `boundary`-th largest hit count among candidate targets. The
+/// adaptive session stops once this score's relative half-width meets
+/// the budget's target — the weakest-certified answer in the returned
+/// ranking. A pure function of `(hits, samples)`, so the single-threaded
+/// batch loop and the parallel shard-group barriers compute identical
+/// stopping decisions. `scratch` is a reusable buffer: the check runs at
+/// every batch barrier, and reallocating an `n`-element vector each time
+/// would dominate the bookkeeping on large graphs.
+pub(crate) fn boundary_tracker(
+    hits: &[u64],
+    s: NodeId,
+    boundary: usize,
+    samples: usize,
+    confidence: f64,
+    scratch: &mut Vec<u64>,
+) -> Convergence {
+    let mut tracker = Convergence::new(confidence);
+    if samples == 0 || boundary == 0 {
+        return tracker;
+    }
+    scratch.clear();
+    scratch.extend(
+        hits.iter()
+            .enumerate()
+            .filter(|&(i, _)| i != s.index())
+            .map(|(_, &h)| h),
+    );
+    let idx = boundary.min(scratch.len()) - 1;
+    let (_, kth, _) = scratch.select_nth_unstable_by(idx, |a, b| b.cmp(a));
+    tracker.observe_hits(*kth as usize, samples);
+    tracker
+}
+
+/// How many distinct targets (excluding `s`) the certain topology can
+/// reach at all — the most a ranking from `s` can ever contain, and
+/// therefore the boundary rank the adaptive stopping rule certifies when
+/// the caller asks for more.
+pub(crate) fn reachable_targets(graph: &UncertainGraph, s: NodeId) -> usize {
+    reachable_set(graph, s).len() - 1
+}
+
+/// Top-k reliable targets via lazily-sampled MC worlds under a streaming
+/// [`SampleBudget`]: draw a batch of worlds, update per-node hit counts,
+/// and stop once the budget is exhausted or the boundary (k-th ranked)
+/// score's relative half-width meets the target. Under
+/// [`SampleBudget::fixed`] the coin stream — and therefore the ranking —
+/// is bit-identical to the historical [`top_k_targets_mc`] loop.
+pub fn top_k_targets_with(
+    graph: &UncertainGraph,
+    s: NodeId,
+    k: usize,
+    budget: &SampleBudget,
+    rng: &mut dyn RngCore,
+) -> TopKResult {
+    assert!(graph.contains_node(s), "source out of range");
+    assert!(k > 0, "k must be positive");
+    let start = Instant::now();
+    let n = graph.num_nodes();
+    let boundary = k.min(reachable_targets(graph, s));
+    if boundary == 0 {
+        // No reachable target exists: the answer is exactly the empty
+        // ranking, with nothing to sample. (A BFS from an out-degree-0
+        // source consumes no randomness, so this matches the historical
+        // loop's RNG stream too.)
+        let (samples, stop_reason) = crate::session::exact_answer_accounting(budget);
+        return TopKResult {
+            scores: Vec::new(),
+            samples,
+            stop_reason,
+            half_width: Some(0.0),
+            elapsed: start.elapsed(),
+        };
+    }
+    let mut hits = vec![0u64; n];
+    let mut scratch = Vec::new();
+    let mut visited = VisitSet::new(n);
+    let mut queue = VecDeque::new();
+    let mut samples = 0usize;
+    let stop = loop {
+        // Fixed budgets have no stopping rule to consult: skip the O(n)
+        // boundary-tracker build the cap check can never use.
+        let stop = if budget.is_fixed() {
+            (samples >= budget.max_samples()).then_some(StopReason::FixedK)
+        } else {
+            let tracker = boundary_tracker(
+                &hits,
+                s,
+                boundary,
+                samples,
+                budget.confidence(),
+                &mut scratch,
+            );
+            should_stop(budget, &tracker, samples, start)
+        };
+        if let Some(stop) = stop {
+            break stop;
+        }
+        let batch = budget.batch().min(budget.max_samples() - samples);
+        for _ in 0..batch {
+            visited.reset();
+            visited.insert(s);
+            queue.clear();
+            queue.push_back(s);
+            while let Some(v) = queue.pop_front() {
+                for (e, w) in graph.out_edges(v) {
+                    if !visited.contains(w) && coin(rng, graph.prob(e).value()) {
+                        visited.insert(w);
+                        hits[w.index()] += 1;
+                        queue.push_back(w);
+                    }
+                }
+            }
+        }
+        samples += batch;
+    };
+    let tracker = boundary_tracker(
+        &hits,
+        s,
+        boundary,
+        samples,
+        budget.confidence(),
+        &mut scratch,
+    );
+    let hw = tracker.half_width();
+    TopKResult {
+        scores: rank_hits(&hits, s, k, samples),
+        samples,
+        stop_reason: stop,
+        half_width: hw.is_finite().then_some(hw),
+        elapsed: start.elapsed(),
+    }
 }
 
 /// Top-k reliable targets via the BFS-Sharing index: one fixpoint pass
@@ -106,8 +286,9 @@ pub fn top_k_targets_indexed(
     scores
 }
 
-/// Top-k reliable targets via plain MC: sample `samples` worlds, count
-/// per-node reachability with a lazily-sampled BFS per world.
+/// Top-k reliable targets via plain MC with exactly `samples` worlds — a
+/// thin wrapper over [`top_k_targets_with`] with a fixed budget,
+/// bit-identical to the historical pre-session loop.
 pub fn top_k_targets_mc(
     graph: &UncertainGraph,
     s: NodeId,
@@ -115,42 +296,8 @@ pub fn top_k_targets_mc(
     samples: usize,
     rng: &mut dyn RngCore,
 ) -> Vec<TargetScore> {
-    assert!(graph.contains_node(s), "source out of range");
     assert!(samples > 0, "need at least one sample");
-    let n = graph.num_nodes();
-    let mut hits = vec![0u32; n];
-    let mut visited = VisitSet::new(n);
-    let mut queue = VecDeque::new();
-    for _ in 0..samples {
-        visited.reset();
-        visited.insert(s);
-        queue.clear();
-        queue.push_back(s);
-        while let Some(v) = queue.pop_front() {
-            for (e, w) in graph.out_edges(v) {
-                if !visited.contains(w) && coin(rng, graph.prob(e).value()) {
-                    visited.insert(w);
-                    hits[w.index()] += 1;
-                    queue.push_back(w);
-                }
-            }
-        }
-    }
-    let mut scores: Vec<TargetScore> = (0..n)
-        .filter(|&i| hits[i] > 0)
-        .map(|i| TargetScore {
-            node: NodeId::from_index(i),
-            reliability: hits[i] as f64 / samples as f64,
-        })
-        .collect();
-    scores.sort_by(|a, b| {
-        b.reliability
-            .partial_cmp(&a.reliability)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.node.cmp(&b.node))
-    });
-    scores.truncate(k);
-    scores
+    top_k_targets_with(graph, s, k, &SampleBudget::fixed(samples), rng).scores
 }
 
 #[cfg(test)]
@@ -211,6 +358,81 @@ mod tests {
         let index = BfsSharingIndex::build(&g, 1000, &mut rng);
         let top = top_k_targets_indexed(&g, &index, NodeId(0), 10, 1000);
         assert!(top.iter().all(|ts| ts.node != NodeId(0)));
+    }
+
+    #[test]
+    fn adaptive_topk_stops_early_with_correct_ranking() {
+        let g = star();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let result = top_k_targets_with(
+            &g,
+            NodeId(0),
+            3,
+            &SampleBudget::adaptive(0.1, 100_000),
+            &mut rng,
+        );
+        assert_eq!(result.stop_reason, StopReason::Converged);
+        assert!(
+            result.samples < 100_000,
+            "stopped early: {}",
+            result.samples
+        );
+        assert_eq!(result.scores[0].node, NodeId(1));
+        assert_eq!(result.scores[1].node, NodeId(3));
+        assert_eq!(result.scores[2].node, NodeId(2));
+        let hw = result.half_width.expect("boundary CI");
+        // The boundary is the 3rd score (~0.5): the target was met.
+        assert!(hw <= 0.1 * result.scores[2].reliability + 1e-12);
+    }
+
+    #[test]
+    fn adaptive_topk_with_unreachable_boundary_runs_to_cap() {
+        // Only node 3 is reachable from 1; asking for k = 5 certifies the
+        // 1-target boundary instead of waiting forever for 5 targets.
+        let g = star();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let result = top_k_targets_with(
+            &g,
+            NodeId(1),
+            5,
+            &SampleBudget::adaptive(0.1, 50_000),
+            &mut rng,
+        );
+        assert_eq!(result.stop_reason, StopReason::Converged);
+        assert_eq!(result.scores.len(), 1);
+        assert_eq!(result.scores[0].node, NodeId(3));
+    }
+
+    #[test]
+    fn isolated_source_answers_empty_without_sampling() {
+        let g = star();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        // Node 2 and 3 have no out-edges.
+        let fixed = top_k_targets_with(&g, NodeId(2), 4, &SampleBudget::fixed(1000), &mut rng);
+        assert!(fixed.scores.is_empty());
+        assert_eq!(fixed.samples, 1000, "fixed accounting preserved");
+        assert_eq!(fixed.stop_reason, StopReason::FixedK);
+        let adaptive = top_k_targets_with(
+            &g,
+            NodeId(3),
+            4,
+            &SampleBudget::adaptive(0.1, 1000),
+            &mut rng,
+        );
+        assert!(adaptive.scores.is_empty());
+        assert_eq!(adaptive.stop_reason, StopReason::Converged);
+        assert_eq!(adaptive.samples, 0, "nothing to certify, nothing drawn");
+    }
+
+    #[test]
+    fn wrapper_matches_session_scores() {
+        let g = star();
+        let mut rng_a = ChaCha8Rng::seed_from_u64(21);
+        let mut rng_b = ChaCha8Rng::seed_from_u64(21);
+        let wrapped = top_k_targets_mc(&g, NodeId(0), 3, 2000, &mut rng_a);
+        let session = top_k_targets_with(&g, NodeId(0), 3, &SampleBudget::fixed(2000), &mut rng_b);
+        assert_eq!(wrapped, session.scores);
+        assert_eq!(session.samples, 2000);
     }
 
     #[test]

@@ -10,8 +10,9 @@
 use crate::metrics::relative_error_pct;
 use crate::report::{fmt_secs, Table};
 use crate::runner::{sweep, ExperimentEnv, RunProfile};
-use relcomp_core::EstimatorKind;
+use relcomp_core::{EstimatorKind, ParallelSampler, SampleBudget, StopReason};
 use relcomp_ugraph::Dataset;
+use std::sync::Arc;
 
 /// Regenerate Figs. 14-15 for the given hop distances.
 pub fn run_hops(profile: RunProfile, seed: u64, hops: &[usize]) -> String {
@@ -78,11 +79,81 @@ pub fn run_hops(profile: RunProfile, seed: u64, hops: &[usize]) -> String {
         time_table.row(row);
     }
     format!(
-        "{}\n{}\n{}",
+        "{}\n{}\n{}\n{}",
         k_table.render(),
         re_table.render(),
-        time_table.render()
+        time_table.render(),
+        run_adaptive_rd(profile, seed, hops).render()
     )
+}
+
+/// Extension table: the *original* distance-constrained query `R_d(s, t)`
+/// (Jin et al., PVLDB'11) as a served workload — adaptive sessions on the
+/// parallel sharded sampler, with the workload's hop distance doubling as
+/// the constraint `d`. Reports how many samples the eps target needs per
+/// distance and the stop-reason mix.
+fn run_adaptive_rd(profile: RunProfile, seed: u64, hops: &[usize]) -> Table {
+    let eps = 0.05;
+    let cap = 50_000;
+    let mut table = Table::new(
+        format!(
+            "Extension — adaptive R_d(s, t) sessions (parallel sharded MC, \
+             eps = {eps}, cap = {cap}), BioMine analog"
+        ),
+        &[
+            "d",
+            "Pairs",
+            "Avg K / pair",
+            "Min K",
+            "Converged",
+            "Avg time / pair",
+        ],
+    );
+    let budget = SampleBudget::adaptive(eps, cap);
+    for &h in hops {
+        let env = ExperimentEnv::prepare(Dataset::BioMine, profile, h, seed);
+        if env.workload.is_empty() {
+            table.row(vec![
+                h.to_string(),
+                "0".into(),
+                "n/a".into(),
+                "n/a".into(),
+                "n/a".into(),
+                "n/a".into(),
+            ]);
+            continue;
+        }
+        let sampler = ParallelSampler::new(Arc::clone(&env.graph), 2);
+        let pairs: Vec<_> = env.workload.pairs.iter().copied().take(8).collect();
+        let mut samples_sum = 0usize;
+        let mut samples_min = usize::MAX;
+        let mut converged = 0usize;
+        let mut secs = 0.0;
+        for (i, &(s, t)) in pairs.iter().enumerate() {
+            let est = sampler.estimate_distance_constrained_with(
+                s,
+                t,
+                h,
+                &budget,
+                seed ^ ((i as u64) << 8),
+            );
+            samples_sum += est.samples;
+            samples_min = samples_min.min(est.samples);
+            if est.stop_reason == StopReason::Converged {
+                converged += 1;
+            }
+            secs += est.elapsed.as_secs_f64();
+        }
+        table.row(vec![
+            h.to_string(),
+            pairs.len().to_string(),
+            format!("{:.0}", samples_sum as f64 / pairs.len() as f64),
+            samples_min.to_string(),
+            format!("{converged}/{}", pairs.len()),
+            fmt_secs(secs / pairs.len() as f64),
+        ]);
+    }
+    table
 }
 
 fn hop_header(hops: &[usize]) -> Vec<&'static str> {

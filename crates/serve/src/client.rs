@@ -2,8 +2,8 @@
 
 use crate::engine::BatchResults;
 use crate::protocol::{
-    EdgeProbUpdate, QueryRequest, QueryResponse, ReloadResponse, Request, Response, StatsResponse,
-    UpdateResponse,
+    DistanceQueryRequest, DistanceQueryResponse, EdgeProbUpdate, QueryRequest, QueryResponse,
+    ReloadResponse, Request, Response, StatsResponse, TopKRequest, TopKResponse, UpdateResponse,
 };
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
@@ -98,6 +98,29 @@ impl Client {
             Response::Query(q) => Ok(q),
             other => Err(ClientError::Protocol(format!(
                 "expected query answer, got {other:?}"
+            ))),
+        }
+    }
+
+    /// One top-k reliability search.
+    pub fn topk(&mut self, request: TopKRequest) -> Result<TopKResponse, ClientError> {
+        match self.request(&Request::TopK(request))? {
+            Response::TopK(r) => Ok(r),
+            other => Err(ClientError::Protocol(format!(
+                "expected topk answer, got {other:?}"
+            ))),
+        }
+    }
+
+    /// One distance-constrained reliability query `R_d(s, t)`.
+    pub fn dquery(
+        &mut self,
+        request: DistanceQueryRequest,
+    ) -> Result<DistanceQueryResponse, ClientError> {
+        match self.request(&Request::DQuery(request))? {
+            Response::DQuery(r) => Ok(r),
+            other => Err(ClientError::Protocol(format!(
+                "expected dquery answer, got {other:?}"
             ))),
         }
     }

@@ -45,7 +45,8 @@
 
 use crate::cache::ShardedLru;
 use crate::protocol::{
-    EdgeProbUpdate, MigratedResident, QueryRequest, QueryResponse, ReloadResponse, StatsResponse,
+    DistanceQueryRequest, DistanceQueryResponse, EdgeProbUpdate, MigratedResident, QueryRequest,
+    QueryResponse, ReloadResponse, StatsResponse, TargetEntry, TopKRequest, TopKResponse,
     UpdateResponse,
 };
 use rand::SeedableRng;
@@ -94,6 +95,8 @@ pub struct EngineConfig {
     /// the client gave neither `samples` nor `eps`: the Fig. 18 pick
     /// then runs until this accuracy instead of a raw default K.
     pub auto_eps: f64,
+    /// `k` used when a `topk` request does not specify one.
+    pub default_top_k: usize,
     /// `estimator:"auto"` policy: memory budget handed to Fig. 18.
     pub memory: MemoryBudget,
     /// `estimator:"auto"` policy: variance need handed to Fig. 18.
@@ -117,11 +120,32 @@ impl Default for EngineConfig {
             default_estimator: EstimatorKind::Mc,
             adaptive_max_samples: DEFAULT_ADAPTIVE_CAP,
             auto_eps: 0.01,
+            default_top_k: 10,
             memory: MemoryBudget::Larger,
             variance: VarianceNeed::Higher,
             speed: SpeedNeed::Faster,
         }
     }
+}
+
+/// Which served workload a cache key answers. The discriminator carries
+/// the workload's own parameter (`k` for top-k, `d` for
+/// distance-constrained), so a `topk` at `k = 5` and one at `k = 10`
+/// from the same source cache separately.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// Plain s-t reliability (`query`).
+    St,
+    /// Top-k reliability search (`topk`); `t` is unused in the key.
+    TopK {
+        /// Number of targets requested.
+        k: usize,
+    },
+    /// Distance-constrained reliability (`dquery`).
+    Distance {
+        /// Hop bound `d`.
+        d: usize,
+    },
 }
 
 /// Everything that determines an answer bit-for-bit.
@@ -133,6 +157,8 @@ impl Default for EngineConfig {
 /// given key, exactly as it does for batch-grouped answers.)
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct QueryKey {
+    /// Which workload (and its `k`/`d` parameter) this key answers.
+    pub workload: WorkloadKind,
     /// Graph epoch (bumped on every update/reload).
     pub epoch: u64,
     /// Source node.
@@ -201,6 +227,9 @@ struct CachedAnswer {
     stop_reason: StopReason,
     half_width: Option<f64>,
     variance: Option<f64>,
+    /// Ranked `(node, reliability)` pairs for top-k answers; `None` for
+    /// the single-value workloads.
+    targets: Option<Vec<(u32, f64)>>,
 }
 
 /// The query raced an epoch swap; re-snapshot and retry.
@@ -347,9 +376,7 @@ impl QueryEngine {
                 ));
             }
         }
-        validate_budget_fields(req.eps, req.confidence, req.time_budget_ms)?;
         let mut eps = req.eps;
-        let confidence = req.confidence.unwrap_or(DEFAULT_CONFIDENCE);
         let is_auto = req.estimator.as_deref() == Some("auto");
         // The Fig. 18 auto planner now picks *budgets*, not raw sample
         // counts: with no explicit samples or eps, it targets the
@@ -357,22 +384,8 @@ impl QueryEngine {
         if is_auto && req.samples.is_none() && eps.is_none() {
             eps = Some(self.config.auto_eps);
         }
-        let adaptive = eps.is_some() || req.time_budget_ms.is_some();
-        let samples = req.samples.unwrap_or(if adaptive {
-            self.config.adaptive_max_samples
-        } else {
-            self.config.default_samples
-        });
-        if samples == 0 {
-            return Err("samples must be positive".into());
-        }
-        if samples > self.config.max_samples {
-            self.rejected.fetch_add(1, Ordering::Relaxed);
-            return Err(format!(
-                "samples {samples} exceeds the admission limit {}",
-                self.config.max_samples
-            ));
-        }
+        let (samples, confidence) =
+            self.resolve_budget(req.samples, eps, req.confidence, req.time_budget_ms)?;
         let kind = match req.estimator.as_deref() {
             None => self.config.default_estimator,
             Some("auto") => recommend(self.config.memory, self.config.variance, self.config.speed)
@@ -393,6 +406,38 @@ impl QueryEngine {
         })
     }
 
+    /// Resolve and admission-check the budget fields every workload
+    /// shares: validates the adaptive knobs, substitutes the configured
+    /// defaults (the adaptive cap when an adaptive knob is present), and
+    /// enforces the `max_samples` admission limit. Returns the resolved
+    /// `(samples, confidence)`.
+    fn resolve_budget(
+        &self,
+        samples: Option<usize>,
+        eps: Option<f64>,
+        confidence: Option<f64>,
+        time_budget_ms: Option<u64>,
+    ) -> Result<(usize, f64), String> {
+        validate_budget_fields(eps, confidence, time_budget_ms)?;
+        let adaptive = eps.is_some() || time_budget_ms.is_some();
+        let samples = samples.unwrap_or(if adaptive {
+            self.config.adaptive_max_samples
+        } else {
+            self.config.default_samples
+        });
+        if samples == 0 {
+            return Err("samples must be positive".into());
+        }
+        if samples > self.config.max_samples {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(format!(
+                "samples {samples} exceeds the admission limit {}",
+                self.config.max_samples
+            ));
+        }
+        Ok((samples, confidence.unwrap_or(DEFAULT_CONFIDENCE)))
+    }
+
     fn admit(&self) -> Result<InflightGuard<'_>, String> {
         let prev = self.inflight.fetch_add(1, Ordering::Acquire);
         if prev >= self.config.max_inflight {
@@ -408,6 +453,7 @@ impl QueryEngine {
 
     fn key(epoch: u64, p: &PlannedQuery) -> QueryKey {
         QueryKey {
+            workload: WorkloadKind::St,
             epoch,
             s: p.s.0,
             t: p.t.0,
@@ -434,6 +480,55 @@ impl QueryEngine {
             reliability: a.reliability,
             samples: a.samples,
             estimator: a.estimator.to_owned(),
+            micros: start.elapsed().as_micros() as u64,
+            cached,
+            stop_reason: a.stop_reason.label().to_owned(),
+            half_width: a.half_width,
+            variance: a.variance,
+        }
+    }
+
+    fn respond_topk(
+        &self,
+        s: u32,
+        k: usize,
+        a: &CachedAnswer,
+        cached: bool,
+        start: Instant,
+    ) -> TopKResponse {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        TopKResponse {
+            s,
+            k,
+            targets: a
+                .targets
+                .as_deref()
+                .unwrap_or_default()
+                .iter()
+                .map(|&(node, reliability)| TargetEntry { node, reliability })
+                .collect(),
+            samples: a.samples,
+            micros: start.elapsed().as_micros() as u64,
+            cached,
+            stop_reason: a.stop_reason.label().to_owned(),
+            half_width: a.half_width,
+        }
+    }
+
+    fn respond_dquery(
+        &self,
+        req: &DistanceQueryRequest,
+        a: &CachedAnswer,
+        cached: bool,
+        start: Instant,
+    ) -> DistanceQueryResponse {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        DistanceQueryResponse {
+            s: req.s,
+            t: req.t,
+            d: req.d,
+            reliability: a.reliability,
+            samples: a.samples,
             micros: start.elapsed().as_micros() as u64,
             cached,
             stop_reason: a.stop_reason.label().to_owned(),
@@ -496,6 +591,7 @@ impl QueryEngine {
             stop_reason: est.stop_reason,
             half_width: est.half_width,
             variance: est.variance,
+            targets: None,
         };
         match p.kind {
             EstimatorKind::Mc => {
@@ -553,6 +649,124 @@ impl QueryEngine {
     pub fn execute(&self, req: &QueryRequest) -> Result<QueryResponse, String> {
         let _guard = self.admit()?;
         self.answer(req)
+    }
+
+    /// Answer one top-k reliability search (admission → plan → cache →
+    /// parallel sharded compute). The answer runs entirely on the
+    /// snapshot's sampler, so it is thread-count invariant and keyed by
+    /// the snapshot's epoch — an `update`/`reload` makes it stale exactly
+    /// like an s-t answer.
+    pub fn execute_topk(&self, req: &TopKRequest) -> Result<TopKResponse, String> {
+        let _guard = self.admit()?;
+        let snap = self.snapshot();
+        let start = Instant::now();
+        if !snap.graph.contains_node(NodeId(req.s)) {
+            return Err(format!(
+                "source node {} out of range (graph has {} nodes)",
+                req.s,
+                snap.graph.num_nodes()
+            ));
+        }
+        let k = req.k.unwrap_or(self.config.default_top_k);
+        if k == 0 {
+            return Err("k must be positive".into());
+        }
+        let (samples, confidence) =
+            self.resolve_budget(req.samples, req.eps, req.confidence, req.time_budget_ms)?;
+        let seed = req.seed.unwrap_or(self.config.default_seed);
+        let key = QueryKey {
+            workload: WorkloadKind::TopK { k },
+            epoch: snap.epoch,
+            s: req.s,
+            t: 0,
+            kind: EstimatorKind::Mc,
+            samples,
+            seed,
+            eps_bits: req.eps.map(f64::to_bits),
+            confidence_bits: Some(confidence.to_bits()),
+            time_budget_ms: req.time_budget_ms,
+        };
+        if let Some(hit) = self.cache.get(&key) {
+            return Ok(self.respond_topk(req.s, k, &hit, true, start));
+        }
+        let budget = SampleBudget::assemble(samples, req.eps, confidence, req.time_budget_ms);
+        let result = snap
+            .sampler
+            .top_k_targets_with(NodeId(req.s), k, &budget, seed);
+        let answer = CachedAnswer {
+            reliability: result.scores.last().map_or(0.0, |ts| ts.reliability),
+            samples: result.samples,
+            estimator: "MC",
+            stop_reason: result.stop_reason,
+            half_width: result.half_width,
+            variance: None,
+            targets: Some(
+                result
+                    .scores
+                    .iter()
+                    .map(|ts| (ts.node.0, ts.reliability))
+                    .collect(),
+            ),
+        };
+        self.cache.insert(key, answer.clone());
+        Ok(self.respond_topk(req.s, k, &answer, false, start))
+    }
+
+    /// Answer one distance-constrained reliability query (admission →
+    /// plan → cache → parallel sharded compute), with the same epoch and
+    /// budget cache-key semantics as `execute`.
+    pub fn execute_dquery(
+        &self,
+        req: &DistanceQueryRequest,
+    ) -> Result<DistanceQueryResponse, String> {
+        let _guard = self.admit()?;
+        let snap = self.snapshot();
+        let start = Instant::now();
+        for (what, id) in [("source", req.s), ("target", req.t)] {
+            if !snap.graph.contains_node(NodeId(id)) {
+                return Err(format!(
+                    "{what} node {id} out of range (graph has {} nodes)",
+                    snap.graph.num_nodes()
+                ));
+            }
+        }
+        let (samples, confidence) =
+            self.resolve_budget(req.samples, req.eps, req.confidence, req.time_budget_ms)?;
+        let seed = req.seed.unwrap_or(self.config.default_seed);
+        let key = QueryKey {
+            workload: WorkloadKind::Distance { d: req.d },
+            epoch: snap.epoch,
+            s: req.s,
+            t: req.t,
+            kind: EstimatorKind::Mc,
+            samples,
+            seed,
+            eps_bits: req.eps.map(f64::to_bits),
+            confidence_bits: Some(confidence.to_bits()),
+            time_budget_ms: req.time_budget_ms,
+        };
+        if let Some(hit) = self.cache.get(&key) {
+            return Ok(self.respond_dquery(req, &hit, true, start));
+        }
+        let budget = SampleBudget::assemble(samples, req.eps, confidence, req.time_budget_ms);
+        let est = snap.sampler.estimate_distance_constrained_with(
+            NodeId(req.s),
+            NodeId(req.t),
+            req.d,
+            &budget,
+            seed,
+        );
+        let answer = CachedAnswer {
+            reliability: est.reliability,
+            samples: est.samples,
+            estimator: "MC",
+            stop_reason: est.stop_reason,
+            half_width: est.half_width,
+            variance: est.variance,
+            targets: None,
+        };
+        self.cache.insert(key, answer.clone());
+        Ok(self.respond_dquery(req, &answer, false, start))
     }
 
     /// Answer a batch in one pass, amortizing MC world sampling across
@@ -634,6 +848,7 @@ impl QueryEngine {
                     stop_reason: est.stop_reason,
                     half_width: est.half_width,
                     variance: est.variance,
+                    targets: None,
                 };
                 self.cache
                     .insert(Self::key(snap.epoch, &plan), answer.clone());
@@ -1101,6 +1316,153 @@ mod tests {
         let single = e.execute(&adaptive).unwrap();
         assert!(single.cached);
         assert_eq!(single.reliability.to_bits(), r.reliability.to_bits());
+    }
+
+    #[test]
+    fn topk_executes_caches_and_respects_epoch() {
+        let e = engine();
+        let req = TopKRequest {
+            k: Some(3),
+            samples: Some(20_000),
+            seed: Some(7),
+            ..TopKRequest::new(0)
+        };
+        let first = e.execute_topk(&req).unwrap();
+        assert!(!first.cached);
+        assert_eq!(first.k, 3);
+        assert_eq!(first.targets.len(), 3);
+        assert_eq!(first.stop_reason, "fixed_k");
+        // Truth on the diamond: node 2 (0.6) leads.
+        assert_eq!(first.targets[0].node, 2);
+        let second = e.execute_topk(&req).unwrap();
+        assert!(second.cached);
+        assert_eq!(second.targets, first.targets);
+        // Same budget at a different k is a different computation.
+        let other_k = e
+            .execute_topk(&TopKRequest {
+                k: Some(1),
+                ..req.clone()
+            })
+            .unwrap();
+        assert!(!other_k.cached);
+        assert_eq!(other_k.targets.len(), 1);
+        // An epoch bump invalidates: nearly sever 0 -> 2 and the ranking
+        // flips.
+        e.apply_updates(&[upd(0, 2, 0.01)]).unwrap();
+        let after = e.execute_topk(&req).unwrap();
+        assert!(!after.cached, "epoch bump must invalidate topk answers");
+        assert_ne!(after.targets[0].node, 2, "ranking must track the update");
+    }
+
+    #[test]
+    fn topk_adaptive_stops_early_and_certifies_boundary() {
+        let e = engine();
+        let req = TopKRequest {
+            k: Some(2),
+            eps: Some(0.1),
+            samples: Some(100_000),
+            seed: Some(3),
+            ..TopKRequest::new(0)
+        };
+        let resp = e.execute_topk(&req).unwrap();
+        assert_eq!(resp.stop_reason, "converged");
+        assert!(resp.samples < 100_000, "used {}", resp.samples);
+        let hw = resp.half_width.expect("boundary CI");
+        let boundary = resp.targets.last().unwrap().reliability;
+        assert!(hw <= 0.1 * boundary + 1e-12);
+        assert!(e.execute_topk(&req).unwrap().cached);
+    }
+
+    #[test]
+    fn dquery_executes_caches_and_keys_by_distance() {
+        let e = engine();
+        let base = DistanceQueryRequest {
+            samples: Some(30_000),
+            seed: Some(7),
+            ..DistanceQueryRequest::new(0, 3, 2)
+        };
+        let two_hop = e.execute_dquery(&base).unwrap();
+        assert!(!two_hop.cached);
+        assert_eq!(two_hop.d, 2);
+        // No 1-hop path to the far corner of the diamond.
+        let one_hop = e
+            .execute_dquery(&DistanceQueryRequest {
+                samples: base.samples,
+                seed: base.seed,
+                ..DistanceQueryRequest::new(0, 3, 1)
+            })
+            .unwrap();
+        assert!(!one_hop.cached, "d is part of the cache key");
+        assert_eq!(one_hop.reliability, 0.0);
+        // R_2 equals the unconstrained truth on the diamond (~0.506).
+        let exact = exact_reliability(&e.graph(), NodeId(0), NodeId(3));
+        assert!((two_hop.reliability - exact).abs() < 0.02);
+        assert!(e.execute_dquery(&base).unwrap().cached);
+    }
+
+    #[test]
+    fn dquery_adaptive_reports_session_fields_and_invalidates_on_update() {
+        let e = engine();
+        let req = DistanceQueryRequest {
+            eps: Some(0.1),
+            samples: Some(100_000),
+            seed: Some(5),
+            ..DistanceQueryRequest::new(0, 3, 2)
+        };
+        let resp = e.execute_dquery(&req).unwrap();
+        assert_eq!(resp.stop_reason, "converged");
+        assert!(resp.samples < 100_000);
+        assert!(resp.half_width.is_some() && resp.variance.is_some());
+        e.apply_updates(&[upd(1, 3, 0.05), upd(2, 3, 0.05)])
+            .unwrap();
+        let after = e.execute_dquery(&req).unwrap();
+        assert!(!after.cached);
+        assert!(
+            after.reliability < 0.12,
+            "answer {} must track the update",
+            after.reliability
+        );
+    }
+
+    #[test]
+    fn extension_workloads_validate_and_admit() {
+        let e = QueryEngine::new(
+            diamond(),
+            EngineConfig {
+                max_samples: 100,
+                ..Default::default()
+            },
+        );
+        assert!(e
+            .execute_topk(&TopKRequest::new(99))
+            .unwrap_err()
+            .contains("out of range"));
+        assert!(e
+            .execute_topk(&TopKRequest {
+                k: Some(0),
+                ..TopKRequest::new(0)
+            })
+            .unwrap_err()
+            .contains("k must be positive"));
+        assert!(e
+            .execute_topk(&TopKRequest {
+                samples: Some(101),
+                ..TopKRequest::new(0)
+            })
+            .unwrap_err()
+            .contains("admission"));
+        assert!(e
+            .execute_dquery(&DistanceQueryRequest::new(0, 99, 2))
+            .unwrap_err()
+            .contains("out of range"));
+        assert!(e
+            .execute_dquery(&DistanceQueryRequest {
+                eps: Some(0.0),
+                ..DistanceQueryRequest::new(0, 3, 2)
+            })
+            .unwrap_err()
+            .contains("eps"));
+        assert_eq!(e.stats().rejected, 1, "admission rejections counted");
     }
 
     #[test]

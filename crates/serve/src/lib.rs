@@ -39,5 +39,8 @@ pub mod server;
 
 pub use client::{Client, ClientError};
 pub use engine::{EngineConfig, QueryEngine};
-pub use protocol::{QueryRequest, QueryResponse, Request, Response, StatsResponse, DEFAULT_PORT};
+pub use protocol::{
+    DistanceQueryRequest, DistanceQueryResponse, QueryRequest, QueryResponse, Request, Response,
+    StatsResponse, TopKRequest, TopKResponse, DEFAULT_PORT,
+};
 pub use server::Server;

@@ -12,6 +12,10 @@
 //! {"cmd":"query","s":0,"t":3,"estimator":"mc","samples":2000,"seed":7}
 //! {"cmd":"query","s":0,"t":3,"eps":0.01,"confidence":0.95,"samples":20000}
 //! {"cmd":"query","s":0,"t":3,"time_budget_ms":50}
+//! {"cmd":"topk","s":0,"k":10,"samples":2000,"seed":7}
+//! {"cmd":"topk","s":0,"k":10,"eps":0.05,"samples":50000}
+//! {"cmd":"dquery","s":0,"t":3,"d":4,"samples":2000,"seed":7}
+//! {"cmd":"dquery","s":0,"t":3,"d":4,"eps":0.01,"time_budget_ms":50}
 //! {"cmd":"batch","queries":[{"s":0,"t":3},{"s":0,"t":5}]}
 //! {"cmd":"update","updates":[{"s":0,"t":3,"prob":0.25}]}
 //! {"cmd":"reload","path":"/data/graph.ug"}
@@ -42,6 +46,19 @@
 //! `eps`, the planner itself picks an adaptive budget (the server's
 //! `auto_eps` policy knob) instead of a raw K.
 //!
+//! ## Extension workloads
+//!
+//! `topk` answers the top-k reliability search BFS Sharing was
+//! originally designed for (Zhu et al., ICDM'15): the `k` nodes with the
+//! highest reliability from source `s`, sampled on the sharded parallel
+//! MC path. `dquery` answers distance-constrained reachability
+//! `R_d(s, t)` — the probability `t` is within `d` hops of `s` (Jin et
+//! al., PVLDB'11; `d` is required). Both accept the same adaptive-budget
+//! fields as `query` (`eps` then targets the boundary — k-th ranked —
+//! score for `topk`), are cached under epoch-tagged keys covering the
+//! workload parameters (`k`/`d`) and the full budget, and go stale on
+//! `update`/`reload` exactly like s-t answers.
+//!
 //! `update` changes existing edges' probabilities in place: the server
 //! snapshots a new graph **epoch** (topology shared, probabilities
 //! copy-on-write), migrates resident estimator indexes incrementally,
@@ -57,6 +74,10 @@
 //! {"ok":true,"kind":"query","s":0,"t":3,"reliability":0.42,"samples":2000,
 //!  "estimator":"MC","micros":1234,"cached":false,
 //!  "stop_reason":"fixed_k","half_width":0.0216,"variance":0.000122}
+//! {"ok":true,"kind":"topk","s":0,"k":2,"targets":[{"node":5,"reliability":0.9},...],
+//!  "samples":2000,"micros":640,"cached":false,"stop_reason":"fixed_k","half_width":0.02}
+//! {"ok":true,"kind":"dquery","s":0,"t":3,"d":4,"reliability":0.31,"samples":1792,
+//!  "micros":410,"cached":false,"stop_reason":"converged","half_width":0.003,"variance":1.2e-7}
 //! {"ok":true,"kind":"batch","results":[...single query objects...]}
 //! {"ok":true,"kind":"update","epoch":3,"edges_updated":1,
 //!  "migrated":[{"estimator":"ProbTree","mode":"incremental","touched":2}]}
@@ -123,6 +144,80 @@ impl QueryRequest {
     }
 }
 
+/// One top-k reliability search as sent on the wire (`cmd":"topk"`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TopKRequest {
+    /// Source node id.
+    pub s: u32,
+    /// How many targets to return; `None` = server default.
+    pub k: Option<usize>,
+    /// Sample budget (exact count for fixed queries, cap when adaptive);
+    /// `None` = server default.
+    pub samples: Option<usize>,
+    /// Master seed; `None` = server default. Part of the cache key.
+    pub seed: Option<u64>,
+    /// Relative half-width target for the boundary (k-th ranked) score.
+    pub eps: Option<f64>,
+    /// Confidence level for the half-width target.
+    pub confidence: Option<f64>,
+    /// Wall-time cap in milliseconds.
+    pub time_budget_ms: Option<u64>,
+}
+
+impl TopKRequest {
+    /// A top-k search with all optional fields left to server defaults.
+    pub fn new(s: u32) -> Self {
+        TopKRequest {
+            s,
+            k: None,
+            samples: None,
+            seed: None,
+            eps: None,
+            confidence: None,
+            time_budget_ms: None,
+        }
+    }
+}
+
+/// One distance-constrained reliability query `R_d(s, t)` as sent on the
+/// wire (`cmd":"dquery"`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DistanceQueryRequest {
+    /// Source node id.
+    pub s: u32,
+    /// Target node id.
+    pub t: u32,
+    /// Hop bound `d` (required; `0` reaches only `s` itself).
+    pub d: usize,
+    /// Sample budget (exact count for fixed queries, cap when adaptive);
+    /// `None` = server default.
+    pub samples: Option<usize>,
+    /// Master seed; `None` = server default. Part of the cache key.
+    pub seed: Option<u64>,
+    /// Relative half-width target.
+    pub eps: Option<f64>,
+    /// Confidence level for the half-width target.
+    pub confidence: Option<f64>,
+    /// Wall-time cap in milliseconds.
+    pub time_budget_ms: Option<u64>,
+}
+
+impl DistanceQueryRequest {
+    /// A distance query with all optional fields left to server defaults.
+    pub fn new(s: u32, t: u32, d: usize) -> Self {
+        DistanceQueryRequest {
+            s,
+            t,
+            d,
+            samples: None,
+            seed: None,
+            eps: None,
+            confidence: None,
+            time_budget_ms: None,
+        }
+    }
+}
+
 /// One edge-probability update as sent on the wire: the existing edge
 /// `s -> t` gets existence probability `prob` in the next epoch.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -142,6 +237,10 @@ pub enum Request {
     Ping,
     /// One s-t reliability query.
     Query(QueryRequest),
+    /// Top-k reliability search from a source node.
+    TopK(TopKRequest),
+    /// Distance-constrained reliability query `R_d(s, t)`.
+    DQuery(DistanceQueryRequest),
     /// Several queries answered in one round trip; the server amortizes
     /// possible-world sampling across MC queries sharing a source (one
     /// shared world stream answers the whole group). A grouped answer is
@@ -192,6 +291,63 @@ pub struct QueryResponse {
     pub half_width: Option<f64>,
     /// Estimated variance of the reported reliability; absent when
     /// unmeasurable.
+    pub variance: Option<f64>,
+}
+
+/// One ranked target inside a [`TopKResponse`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TargetEntry {
+    /// Target node id.
+    pub node: u32,
+    /// Estimated `R(s, node)`.
+    pub reliability: f64,
+}
+
+/// Successful answer to one top-k search.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TopKResponse {
+    /// Echoed source node.
+    pub s: u32,
+    /// The `k` that was answered (after defaulting).
+    pub k: usize,
+    /// Ranked targets, best first (may be shorter than `k` when fewer
+    /// nodes are reachable).
+    pub targets: Vec<TargetEntry>,
+    /// Possible worlds the search consumed.
+    pub samples: usize,
+    /// Server-side wall time of this answer in microseconds.
+    pub micros: u64,
+    /// Whether the answer came from the result cache.
+    pub cached: bool,
+    /// Why sampling stopped.
+    pub stop_reason: String,
+    /// Wilson CI half-width of the boundary (k-th ranked) score; absent
+    /// when unmeasurable.
+    pub half_width: Option<f64>,
+}
+
+/// Successful answer to one distance-constrained query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DistanceQueryResponse {
+    /// Echoed source node.
+    pub s: u32,
+    /// Echoed target node.
+    pub t: u32,
+    /// Echoed hop bound.
+    pub d: usize,
+    /// Estimated `R_d(s, t)` in `[0, 1]`.
+    pub reliability: f64,
+    /// Samples the estimate consumed.
+    pub samples: usize,
+    /// Server-side wall time of this answer in microseconds.
+    pub micros: u64,
+    /// Whether the answer came from the result cache.
+    pub cached: bool,
+    /// Why sampling stopped.
+    pub stop_reason: String,
+    /// Achieved CI half-width; absent when unmeasurable.
+    pub half_width: Option<f64>,
+    /// Estimated variance of the reported reliability.
     pub variance: Option<f64>,
 }
 
@@ -283,6 +439,10 @@ pub enum Response {
     Pong,
     /// Answer to [`Request::Query`].
     Query(QueryResponse),
+    /// Answer to [`Request::TopK`].
+    TopK(TopKResponse),
+    /// Answer to [`Request::DQuery`].
+    DQuery(DistanceQueryResponse),
     /// Answer to [`Request::Batch`]: one entry per query, in order.
     Batch(Vec<Result<QueryResponse, String>>),
     /// Answer to [`Request::Update`].
@@ -335,21 +495,14 @@ impl Serialize for QueryRequest {
         if let Some(e) = &self.estimator {
             fields.push(("estimator".to_owned(), e.to_value()));
         }
-        if let Some(k) = self.samples {
-            fields.push(("samples".to_owned(), k.to_value()));
-        }
-        if let Some(seed) = self.seed {
-            fields.push(("seed".to_owned(), seed.to_value()));
-        }
-        if let Some(eps) = self.eps {
-            fields.push(("eps".to_owned(), eps.to_value()));
-        }
-        if let Some(c) = self.confidence {
-            fields.push(("confidence".to_owned(), c.to_value()));
-        }
-        if let Some(ms) = self.time_budget_ms {
-            fields.push(("time_budget_ms".to_owned(), ms.to_value()));
-        }
+        push_budget_fields(
+            &mut fields,
+            self.samples,
+            self.seed,
+            self.eps,
+            self.confidence,
+            self.time_budget_ms,
+        );
         Value::Object(fields)
     }
 }
@@ -363,6 +516,104 @@ impl Deserialize for QueryRequest {
             s: de(required(fields, "s", "query")?)?,
             t: de(required(fields, "t", "query")?)?,
             estimator: lookup(fields, "estimator").map(de).transpose()?,
+            samples: lookup(fields, "samples").map(de).transpose()?,
+            seed: lookup(fields, "seed").map(de).transpose()?,
+            eps: lookup(fields, "eps").map(de).transpose()?,
+            confidence: lookup(fields, "confidence").map(de).transpose()?,
+            time_budget_ms: lookup(fields, "time_budget_ms").map(de).transpose()?,
+        })
+    }
+}
+
+/// Append the shared adaptive-budget fields (present-only serialization).
+fn push_budget_fields(
+    fields: &mut Vec<(String, Value)>,
+    samples: Option<usize>,
+    seed: Option<u64>,
+    eps: Option<f64>,
+    confidence: Option<f64>,
+    time_budget_ms: Option<u64>,
+) {
+    if let Some(k) = samples {
+        fields.push(("samples".to_owned(), k.to_value()));
+    }
+    if let Some(seed) = seed {
+        fields.push(("seed".to_owned(), seed.to_value()));
+    }
+    if let Some(eps) = eps {
+        fields.push(("eps".to_owned(), eps.to_value()));
+    }
+    if let Some(c) = confidence {
+        fields.push(("confidence".to_owned(), c.to_value()));
+    }
+    if let Some(ms) = time_budget_ms {
+        fields.push(("time_budget_ms".to_owned(), ms.to_value()));
+    }
+}
+
+impl Serialize for TopKRequest {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![("s".to_owned(), self.s.to_value())];
+        if let Some(k) = self.k {
+            fields.push(("k".to_owned(), k.to_value()));
+        }
+        push_budget_fields(
+            &mut fields,
+            self.samples,
+            self.seed,
+            self.eps,
+            self.confidence,
+            self.time_budget_ms,
+        );
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for TopKRequest {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let fields = value
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", "topk", value))?;
+        Ok(TopKRequest {
+            s: de(required(fields, "s", "topk")?)?,
+            k: lookup(fields, "k").map(de).transpose()?,
+            samples: lookup(fields, "samples").map(de).transpose()?,
+            seed: lookup(fields, "seed").map(de).transpose()?,
+            eps: lookup(fields, "eps").map(de).transpose()?,
+            confidence: lookup(fields, "confidence").map(de).transpose()?,
+            time_budget_ms: lookup(fields, "time_budget_ms").map(de).transpose()?,
+        })
+    }
+}
+
+impl Serialize for DistanceQueryRequest {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("s".to_owned(), self.s.to_value()),
+            ("t".to_owned(), self.t.to_value()),
+            ("d".to_owned(), self.d.to_value()),
+        ];
+        push_budget_fields(
+            &mut fields,
+            self.samples,
+            self.seed,
+            self.eps,
+            self.confidence,
+            self.time_budget_ms,
+        );
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for DistanceQueryRequest {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let fields = value
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", "dquery", value))?;
+        Ok(DistanceQueryRequest {
+            s: de(required(fields, "s", "dquery")?)?,
+            t: de(required(fields, "t", "dquery")?)?,
+            d: de(required(fields, "d", "dquery")?)?,
             samples: lookup(fields, "samples").map(de).transpose()?,
             seed: lookup(fields, "seed").map(de).transpose()?,
             eps: lookup(fields, "eps").map(de).transpose()?,
@@ -406,6 +657,20 @@ impl Serialize for Request {
                 }
                 Value::Object(fields)
             }
+            Request::TopK(q) => {
+                let mut fields = vec![("cmd".to_owned(), "topk".to_value())];
+                if let Value::Object(rest) = q.to_value() {
+                    fields.extend(rest);
+                }
+                Value::Object(fields)
+            }
+            Request::DQuery(q) => {
+                let mut fields = vec![("cmd".to_owned(), "dquery".to_value())];
+                if let Value::Object(rest) = q.to_value() {
+                    fields.extend(rest);
+                }
+                Value::Object(fields)
+            }
             Request::Batch(queries) => obj(vec![
                 ("cmd", "batch".to_value()),
                 ("queries", queries.to_value()),
@@ -436,6 +701,8 @@ impl Deserialize for Request {
         match cmd.as_str() {
             "ping" => Ok(Request::Ping),
             "query" => Ok(Request::Query(QueryRequest::from_value(value)?)),
+            "topk" => Ok(Request::TopK(TopKRequest::from_value(value)?)),
+            "dquery" => Ok(Request::DQuery(DistanceQueryRequest::from_value(value)?)),
             "batch" => Ok(Request::Batch(de(required(fields, "queries", "batch")?)?)),
             "update" => Ok(Request::Update(de(required(fields, "updates", "update")?)?)),
             "reload" => Ok(Request::Reload {
@@ -491,6 +758,109 @@ impl Deserialize for QueryResponse {
                 .map(de)
                 .transpose()?
                 .unwrap_or_else(|| "fixed_k".to_owned()),
+            half_width: lookup(fields, "half_width").map(de).transpose()?,
+            variance: lookup(fields, "variance").map(de).transpose()?,
+        })
+    }
+}
+
+impl Serialize for TargetEntry {
+    fn to_value(&self) -> Value {
+        obj(vec![
+            ("node", self.node.to_value()),
+            ("reliability", self.reliability.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for TargetEntry {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let fields = value
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", "target entry", value))?;
+        Ok(TargetEntry {
+            node: de(required(fields, "node", "target entry")?)?,
+            reliability: de(required(fields, "reliability", "target entry")?)?,
+        })
+    }
+}
+
+impl Serialize for TopKResponse {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("ok".to_owned(), true.to_value()),
+            ("kind".to_owned(), "topk".to_value()),
+            ("s".to_owned(), self.s.to_value()),
+            ("k".to_owned(), self.k.to_value()),
+            ("targets".to_owned(), self.targets.to_value()),
+            ("samples".to_owned(), self.samples.to_value()),
+            ("micros".to_owned(), self.micros.to_value()),
+            ("cached".to_owned(), self.cached.to_value()),
+            ("stop_reason".to_owned(), self.stop_reason.to_value()),
+        ];
+        if let Some(hw) = self.half_width {
+            fields.push(("half_width".to_owned(), hw.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for TopKResponse {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let fields = value
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", "topk response", value))?;
+        Ok(TopKResponse {
+            s: de(required(fields, "s", "topk response")?)?,
+            k: de(required(fields, "k", "topk response")?)?,
+            targets: de(required(fields, "targets", "topk response")?)?,
+            samples: de(required(fields, "samples", "topk response")?)?,
+            micros: de(required(fields, "micros", "topk response")?)?,
+            cached: de(required(fields, "cached", "topk response")?)?,
+            stop_reason: de(required(fields, "stop_reason", "topk response")?)?,
+            half_width: lookup(fields, "half_width").map(de).transpose()?,
+        })
+    }
+}
+
+impl Serialize for DistanceQueryResponse {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("ok".to_owned(), true.to_value()),
+            ("kind".to_owned(), "dquery".to_value()),
+            ("s".to_owned(), self.s.to_value()),
+            ("t".to_owned(), self.t.to_value()),
+            ("d".to_owned(), self.d.to_value()),
+            ("reliability".to_owned(), self.reliability.to_value()),
+            ("samples".to_owned(), self.samples.to_value()),
+            ("micros".to_owned(), self.micros.to_value()),
+            ("cached".to_owned(), self.cached.to_value()),
+            ("stop_reason".to_owned(), self.stop_reason.to_value()),
+        ];
+        if let Some(hw) = self.half_width {
+            fields.push(("half_width".to_owned(), hw.to_value()));
+        }
+        if let Some(v) = self.variance {
+            fields.push(("variance".to_owned(), v.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for DistanceQueryResponse {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let fields = value
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", "dquery response", value))?;
+        Ok(DistanceQueryResponse {
+            s: de(required(fields, "s", "dquery response")?)?,
+            t: de(required(fields, "t", "dquery response")?)?,
+            d: de(required(fields, "d", "dquery response")?)?,
+            reliability: de(required(fields, "reliability", "dquery response")?)?,
+            samples: de(required(fields, "samples", "dquery response")?)?,
+            micros: de(required(fields, "micros", "dquery response")?)?,
+            cached: de(required(fields, "cached", "dquery response")?)?,
+            stop_reason: de(required(fields, "stop_reason", "dquery response")?)?,
             half_width: lookup(fields, "half_width").map(de).transpose()?,
             variance: lookup(fields, "variance").map(de).transpose()?,
         })
@@ -621,6 +991,8 @@ impl Serialize for Response {
         match self {
             Response::Pong => obj(vec![("ok", true.to_value()), ("kind", "pong".to_value())]),
             Response::Query(q) => q.to_value(),
+            Response::TopK(q) => q.to_value(),
+            Response::DQuery(q) => q.to_value(),
             Response::Batch(results) => {
                 let items: Vec<Value> = results
                     .iter()
@@ -657,6 +1029,8 @@ impl Deserialize for Response {
         match kind.as_str() {
             "pong" => Ok(Response::Pong),
             "query" => Ok(Response::Query(QueryResponse::from_value(value)?)),
+            "topk" => Ok(Response::TopK(TopKResponse::from_value(value)?)),
+            "dquery" => Ok(Response::DQuery(DistanceQueryResponse::from_value(value)?)),
             "batch" => {
                 let items = required(fields, "results", "batch response")?
                     .as_array()
@@ -740,6 +1114,95 @@ mod tests {
         round_trip(&Request::Reload {
             path: Some("/tmp/graph.ugb".into()),
         });
+    }
+
+    #[test]
+    fn extension_requests_round_trip() {
+        round_trip(&Request::TopK(TopKRequest::new(4)));
+        round_trip(&Request::TopK(TopKRequest {
+            k: Some(10),
+            samples: Some(5000),
+            seed: Some(7),
+            eps: Some(0.05),
+            confidence: Some(0.99),
+            time_budget_ms: Some(100),
+            ..TopKRequest::new(0)
+        }));
+        round_trip(&Request::DQuery(DistanceQueryRequest::new(0, 3, 4)));
+        round_trip(&Request::DQuery(DistanceQueryRequest {
+            samples: Some(2000),
+            seed: Some(1),
+            eps: Some(0.01),
+            ..DistanceQueryRequest::new(2, 5, 0)
+        }));
+        // Hand-written wire text parses; `d` is required.
+        let req: Request =
+            serde_json::from_str(r#"{"cmd":"topk","s":0,"k":3,"samples":100}"#).unwrap();
+        assert_eq!(
+            req,
+            Request::TopK(TopKRequest {
+                k: Some(3),
+                samples: Some(100),
+                ..TopKRequest::new(0)
+            })
+        );
+        let req: Request =
+            serde_json::from_str(r#"{"cmd":"dquery","s":0,"t":3,"d":2,"eps":0.1}"#).unwrap();
+        assert_eq!(
+            req,
+            Request::DQuery(DistanceQueryRequest {
+                eps: Some(0.1),
+                ..DistanceQueryRequest::new(0, 3, 2)
+            })
+        );
+        assert!(serde_json::from_str::<Request>(r#"{"cmd":"dquery","s":0,"t":3}"#).is_err());
+        assert!(serde_json::from_str::<Request>(r#"{"cmd":"topk"}"#).is_err());
+    }
+
+    #[test]
+    fn extension_responses_round_trip() {
+        round_trip(&Response::TopK(TopKResponse {
+            s: 0,
+            k: 2,
+            targets: vec![
+                TargetEntry {
+                    node: 5,
+                    reliability: 0.9,
+                },
+                TargetEntry {
+                    node: 2,
+                    reliability: 0.4,
+                },
+            ],
+            samples: 2000,
+            micros: 640,
+            cached: false,
+            stop_reason: "fixed_k".into(),
+            half_width: Some(0.02),
+        }));
+        // Empty rankings and absent CIs survive the wire.
+        round_trip(&Response::TopK(TopKResponse {
+            s: 7,
+            k: 5,
+            targets: Vec::new(),
+            samples: 0,
+            micros: 3,
+            cached: false,
+            stop_reason: "converged".into(),
+            half_width: None,
+        }));
+        round_trip(&Response::DQuery(DistanceQueryResponse {
+            s: 0,
+            t: 3,
+            d: 4,
+            reliability: 0.31,
+            samples: 1792,
+            micros: 410,
+            cached: true,
+            stop_reason: "converged".into(),
+            half_width: Some(0.003),
+            variance: Some(1.2e-7),
+        }));
     }
 
     #[test]

@@ -148,6 +148,14 @@ pub fn dispatch(line: &str, engine: &QueryEngine) -> Response {
             Ok(resp) => Response::Query(resp),
             Err(e) => Response::Error(e),
         },
+        Request::TopK(q) => match engine.execute_topk(&q) {
+            Ok(resp) => Response::TopK(resp),
+            Err(e) => Response::Error(e),
+        },
+        Request::DQuery(q) => match engine.execute_dquery(&q) {
+            Ok(resp) => Response::DQuery(resp),
+            Err(e) => Response::Error(e),
+        },
         Request::Batch(queries) => match engine.execute_batch(&queries) {
             Ok(results) => Response::Batch(results),
             Err(e) => Response::Error(e),
@@ -248,6 +256,19 @@ mod tests {
                 &e
             ),
             Response::Batch(_)
+        ));
+        assert!(matches!(
+            dispatch(r#"{"cmd":"topk","s":0,"k":2,"samples":500,"seed":1}"#, &e),
+            Response::TopK(_)
+        ));
+        assert!(matches!(
+            dispatch(r#"{"cmd":"dquery","s":0,"t":2,"d":2,"samples":500}"#, &e),
+            Response::DQuery(_)
+        ));
+        // `dquery` without the required hop bound is a parse error.
+        assert!(matches!(
+            dispatch(r#"{"cmd":"dquery","s":0,"t":2}"#, &e),
+            Response::Error(_)
         ));
         assert!(matches!(
             dispatch(r#"{"cmd":"stats"}"#, &e),

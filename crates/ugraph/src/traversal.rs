@@ -142,6 +142,87 @@ where
     false
 }
 
+/// Reusable workspace for depth-bounded BFS (level-synchronous frontier
+/// swap), sized for one graph. The epoch-reset [`VisitSet`] keeps the
+/// per-sample cost of distance-constrained estimators allocation-free.
+#[derive(Clone, Debug)]
+pub struct BoundedBfsWorkspace {
+    visited: VisitSet,
+    frontier: Vec<NodeId>,
+    next: Vec<NodeId>,
+}
+
+impl BoundedBfsWorkspace {
+    /// Workspace for a graph with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        BoundedBfsWorkspace {
+            visited: VisitSet::new(n),
+            frontier: Vec::new(),
+            next: Vec::new(),
+        }
+    }
+
+    /// Approximate resident bytes (for memory accounting).
+    pub fn resident_bytes(&self) -> usize {
+        self.visited.resident_bytes()
+            + (self.frontier.capacity() + self.next.capacity()) * std::mem::size_of::<NodeId>()
+    }
+
+    /// Resident bytes a fresh workspace for `n` nodes would hold, without
+    /// allocating one (memory accounting on hot paths).
+    pub fn bytes_for(n: usize) -> usize {
+        n * std::mem::size_of::<u32>()
+    }
+}
+
+/// Depth-bounded BFS over edges accepted by `edge_exists`: is `t` within
+/// at most `d` hops of `s`? Early-terminates the moment `t` is reached.
+///
+/// The edge-probe order (frontier nodes in discovery order, each node's
+/// out-edges in CSR order, `edge_exists` consulted only for unvisited
+/// heads) is part of the contract: samplers rely on it so that the same
+/// RNG stream produces the same world regardless of which workspace or
+/// caller drives the walk.
+pub fn bfs_reaches_within<F>(
+    graph: &UncertainGraph,
+    s: NodeId,
+    t: NodeId,
+    d: usize,
+    ws: &mut BoundedBfsWorkspace,
+    mut edge_exists: F,
+) -> bool
+where
+    F: FnMut(crate::ids::EdgeId) -> bool,
+{
+    if s == t {
+        return true;
+    }
+    ws.visited.reset();
+    ws.frontier.clear();
+    ws.next.clear();
+    ws.visited.insert(s);
+    ws.frontier.push(s);
+    let mut h = 0usize;
+    while !ws.frontier.is_empty() && h < d {
+        h += 1;
+        for i in 0..ws.frontier.len() {
+            let v = ws.frontier[i];
+            for (e, w) in graph.out_edges(v) {
+                if !ws.visited.contains(w) && edge_exists(e) {
+                    if w == t {
+                        return true;
+                    }
+                    ws.visited.insert(w);
+                    ws.next.push(w);
+                }
+            }
+        }
+        std::mem::swap(&mut ws.frontier, &mut ws.next);
+        ws.next.clear();
+    }
+    false
+}
+
 /// Hop distances from `s` over *all* edges (ignoring probabilities), up to
 /// `max_hops`. Returns `dist[v] = Some(h)` for reachable `v` within the
 /// bound. Used by the workload generator (§3.1.3: s-t pairs at exactly
@@ -236,6 +317,66 @@ mod tests {
         let g = chain(3);
         let mut ws = BfsWorkspace::new(3);
         assert!(bfs_reaches(&g, NodeId(1), NodeId(1), &mut ws, |_| false));
+    }
+
+    #[test]
+    fn bounded_bfs_respects_the_hop_cap() {
+        let g = chain(5);
+        let mut ws = BoundedBfsWorkspace::new(5);
+        assert!(!bfs_reaches_within(
+            &g,
+            NodeId(0),
+            NodeId(4),
+            3,
+            &mut ws,
+            |_| true
+        ));
+        assert!(bfs_reaches_within(
+            &g,
+            NodeId(0),
+            NodeId(4),
+            4,
+            &mut ws,
+            |_| true
+        ));
+        // d = 0 reaches only the source itself.
+        assert!(bfs_reaches_within(
+            &g,
+            NodeId(2),
+            NodeId(2),
+            0,
+            &mut ws,
+            |_| true
+        ));
+        assert!(!bfs_reaches_within(
+            &g,
+            NodeId(0),
+            NodeId(1),
+            0,
+            &mut ws,
+            |_| true
+        ));
+        // Edge filters still apply under the bound.
+        assert!(!bfs_reaches_within(
+            &g,
+            NodeId(0),
+            NodeId(2),
+            4,
+            &mut ws,
+            |e| e.index() != 1
+        ));
+    }
+
+    #[test]
+    fn bounded_workspace_reuse_across_traversals() {
+        let g = chain(4);
+        let mut ws = BoundedBfsWorkspace::new(4);
+        for d in [1usize, 2, 3] {
+            assert_eq!(
+                bfs_reaches_within(&g, NodeId(0), NodeId(3), d, &mut ws, |_| true),
+                d >= 3
+            );
+        }
     }
 
     #[test]

@@ -7,10 +7,17 @@
 //!                 [--eps E] [--confidence C] [--time-budget-ms MS]
 //! relcomp bounds <file> <s> <t>
 //! relcomp path <file> <s> <t>
-//! relcomp topk <file> <s> [--k N] [--samples N] [--seed N]
+//! relcomp topk <file> <s> [--k N] [--samples N] [--seed N] [--threads N]
+//!                [--eps E] [--confidence C] [--time-budget-ms MS]
+//! relcomp dquery <file> <s> <t> <d> [--samples N] [--seed N] [--threads N]
+//!                [--eps E] [--confidence C] [--time-budget-ms MS]
 //! relcomp recommend --memory smaller|larger --variance lower|slight|higher --speed faster|slower
 //! relcomp serve <file> [--port P] [--threads N] [--cache N] [--seed N]
 //! relcomp client <s> <t> [--addr HOST:PORT] [--estimator NAME] [--samples N] [--seed N]
+//!                  [--eps E] [--confidence C] [--time-budget-ms MS]
+//! relcomp client topk <s> [--k N] [--addr HOST:PORT] [--samples N] [--seed N]
+//!                  [--eps E] [--confidence C] [--time-budget-ms MS]
+//! relcomp client dquery <s> <t> <d> [--addr HOST:PORT] [--samples N] [--seed N]
 //!                  [--eps E] [--confidence C] [--time-budget-ms MS]
 //! relcomp client update <s> <t> <prob> [--addr HOST:PORT]
 //! relcomp client reload [--path FILE] [--addr HOST:PORT]
@@ -24,7 +31,6 @@ use rand_chacha::ChaCha8Rng;
 use relcomp::prelude::*;
 use relcomp_core::bounds::reliability_bounds;
 use relcomp_core::paths::most_reliable_path;
-use relcomp_core::topk::top_k_targets_mc;
 use relcomp_eval::recommend::{recommend, MemoryBudget, SpeedNeed, VarianceNeed};
 use relcomp_serve::engine::{EngineConfig, QueryEngine};
 use relcomp_serve::protocol::{QueryRequest, DEFAULT_PORT};
@@ -56,10 +62,17 @@ usage:
                   [--eps E] [--confidence C] [--time-budget-ms MS]
   relcomp bounds <file> <s> <t>
   relcomp path <file> <s> <t>
-  relcomp topk <file> <s> [--k N] [--samples N] [--seed N]
+  relcomp topk <file> <s> [--k N] [--samples N] [--seed N] [--threads N]
+                 [--eps E] [--confidence C] [--time-budget-ms MS]
+  relcomp dquery <file> <s> <t> <d> [--samples N] [--seed N] [--threads N]
+                 [--eps E] [--confidence C] [--time-budget-ms MS]
   relcomp recommend --memory smaller|larger --variance lower|slight|higher --speed faster|slower
   relcomp serve <file> [--port P] [--threads N] [--cache N] [--seed N]
   relcomp client <s> <t> [--addr HOST:PORT] [--estimator NAME] [--samples N] [--seed N]
+                   [--eps E] [--confidence C] [--time-budget-ms MS]
+  relcomp client topk <s> [--k N] [--addr HOST:PORT] [--samples N] [--seed N]
+                   [--eps E] [--confidence C] [--time-budget-ms MS]
+  relcomp client dquery <s> <t> <d> [--addr HOST:PORT] [--samples N] [--seed N]
                    [--eps E] [--confidence C] [--time-budget-ms MS]
   relcomp client update <s> <t> <prob> [--addr HOST:PORT]
   relcomp client reload [--path FILE] [--addr HOST:PORT]
@@ -130,6 +143,94 @@ fn parse_node(graph: &UncertainGraph, raw: &str, what: &str) -> Result<NodeId, S
 fn parse_estimator(name: &str) -> Result<EstimatorKind, String> {
     // The core parser's error already lists every valid spelling.
     EstimatorKind::parse(name)
+}
+
+/// The shared `--samples/--eps/--confidence/--time-budget-ms` budget
+/// flags, parsed and validated (shared by `query`, `topk`, `dquery`, and
+/// the matching `client` forms so their budget semantics cannot drift).
+#[derive(Clone, Copy, Debug, Default)]
+struct BudgetFlags {
+    samples: Option<usize>,
+    eps: Option<f64>,
+    confidence: Option<f64>,
+    time_ms: Option<u64>,
+}
+
+impl BudgetFlags {
+    fn parse(opts: &HashMap<&str, &str>) -> Result<Self, String> {
+        let flags = BudgetFlags {
+            samples: opts
+                .get("samples")
+                .map(|v| v.parse())
+                .transpose()
+                .map_err(|_| "bad --samples")?,
+            eps: opts
+                .get("eps")
+                .map(|v| v.parse())
+                .transpose()
+                .map_err(|_| "bad --eps")?,
+            confidence: opts
+                .get("confidence")
+                .map(|v| v.parse())
+                .transpose()
+                .map_err(|_| "bad --confidence")?,
+            time_ms: opts
+                .get("time-budget-ms")
+                .map(|v| v.parse())
+                .transpose()
+                .map_err(|_| "bad --time-budget-ms")?,
+        };
+        // A bad value is a usage error, not a panic (the rule set is the
+        // serve engine's, so the two entry points cannot drift).
+        relcomp_core::session::validate_budget_fields(flags.eps, flags.confidence, flags.time_ms)
+            .map_err(|e| format!("--{}", e.replacen("time_budget_ms", "time-budget-ms", 1)))?;
+        Ok(flags)
+    }
+
+    fn is_adaptive(&self) -> bool {
+        self.eps.is_some() || self.time_ms.is_some()
+    }
+
+    /// Resolve the sample budget: `default_fixed` when no flag names one
+    /// and no adaptive knob raises the cap to the adaptive default.
+    fn resolve_samples(&self, default_fixed: usize) -> Result<usize, String> {
+        let k = self.samples.unwrap_or(if self.is_adaptive() {
+            relcomp_core::session::DEFAULT_ADAPTIVE_CAP
+        } else {
+            default_fixed
+        });
+        if k == 0 {
+            return Err("--samples must be positive".into());
+        }
+        Ok(k)
+    }
+
+    /// Assemble the [`SampleBudget`] for `samples` (see
+    /// [`BudgetFlags::resolve_samples`]).
+    fn budget(&self, samples: usize) -> SampleBudget {
+        SampleBudget::assemble(
+            samples,
+            self.eps,
+            self.confidence
+                .unwrap_or(relcomp_core::session::DEFAULT_CONFIDENCE),
+            self.time_ms,
+        )
+    }
+}
+
+/// Resolve a `--threads` flag (0 or absent = all available cores).
+fn parse_threads(opts: &HashMap<&str, &str>) -> Result<usize, String> {
+    let threads: usize = opts
+        .get("threads")
+        .map(|v| v.parse())
+        .transpose()
+        .map_err(|_| "bad --threads")?
+        .unwrap_or(0);
+    Ok(if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    })
 }
 
 /// Load a graph, choosing the format by extension (`.ugb` = binary).
@@ -246,49 +347,18 @@ fn run(args: Vec<String>) -> Result<(), String> {
             if opts.contains_key("k") {
                 eprintln!("note: `query --k` is deprecated; use `--samples` instead");
             }
-            let samples: Option<usize> = opts
-                .get("samples")
-                .or_else(|| opts.get("k"))
-                .map(|v| v.parse())
-                .transpose()
-                .map_err(|_| "bad --samples")?;
-            let eps: Option<f64> = opts
-                .get("eps")
-                .map(|v| v.parse())
-                .transpose()
-                .map_err(|_| "bad --eps")?;
-            let confidence: Option<f64> = opts
-                .get("confidence")
-                .map(|v| v.parse())
-                .transpose()
-                .map_err(|_| "bad --confidence")?;
-            let time_ms: Option<u64> = opts
-                .get("time-budget-ms")
-                .map(|v| v.parse())
-                .transpose()
-                .map_err(|_| "bad --time-budget-ms")?;
-            // Validate adaptive knobs up front: a bad value is a usage
-            // error, not a panic (shared with the serve engine's planner
-            // so the two entry points cannot drift).
-            relcomp_core::session::validate_budget_fields(eps, confidence, time_ms)
-                .map_err(|e| format!("--{}", e.replacen("time_budget_ms", "time-budget-ms", 1)))?;
+            let mut flags = BudgetFlags::parse(&opts)?;
+            if flags.samples.is_none() {
+                flags.samples = opts
+                    .get("k")
+                    .map(|v| v.parse())
+                    .transpose()
+                    .map_err(|_| "bad --samples")?;
+            }
             // Fixed budget unless an adaptive knob appears; `--samples`
             // is then the cap rather than the exact count.
-            let adaptive = eps.is_some() || time_ms.is_some();
-            let k = samples.unwrap_or(if adaptive {
-                relcomp_core::session::DEFAULT_ADAPTIVE_CAP
-            } else {
-                1000
-            });
-            if k == 0 {
-                return Err("--samples must be positive".into());
-            }
-            let budget = SampleBudget::assemble(
-                k,
-                eps,
-                confidence.unwrap_or(relcomp_core::session::DEFAULT_CONFIDENCE),
-                time_ms,
-            );
+            let k = flags.resolve_samples(1000)?;
+            let budget = flags.budget(k);
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
             let params = SuiteParams {
                 // Fixed budgets need an index covering exactly K worlds,
@@ -296,7 +366,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 // the *implicit* adaptive cap is trimmed: the 50k-world
                 // default would materialize gigabytes of index on a large
                 // graph for a query that may stop after a few hundred.
-                bfs_sharing_worlds: if adaptive && samples.is_none() {
+                bfs_sharing_worlds: if flags.is_adaptive() && flags.samples.is_none() {
                     k.clamp(1, 10_000)
                 } else {
                     k.max(1)
@@ -362,11 +432,23 @@ fn run(args: Vec<String>) -> Result<(), String> {
             Ok(())
         }
         "topk" => {
-            check_options(cmd, &opts, &["k", "samples", "seed"])?;
+            check_options(
+                cmd,
+                &opts,
+                &[
+                    "k",
+                    "samples",
+                    "seed",
+                    "threads",
+                    "eps",
+                    "confidence",
+                    "time-budget-ms",
+                ],
+            )?;
             let [file, s_raw] = pos[..] else {
                 return Err("topk needs <file> <s>".into());
             };
-            let graph = load_any(file)?;
+            let graph = Arc::new(load_any(file)?);
             let s = parse_node(&graph, s_raw, "source")?;
             let k: usize = opts
                 .get("k")
@@ -374,22 +456,80 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 .transpose()
                 .map_err(|_| "bad --k")?
                 .unwrap_or(10);
-            let samples: usize = opts
-                .get("samples")
-                .map(|v| v.parse())
-                .transpose()
-                .map_err(|_| "bad --samples")?
-                .unwrap_or(2000);
-            let mut rng = ChaCha8Rng::seed_from_u64(seed);
-            let top = top_k_targets_mc(&graph, s, k, samples, &mut rng);
-            println!("top-{k} most reliable targets from {s} ({samples} samples):");
-            for ts in top {
+            if k == 0 {
+                return Err("--k must be positive".into());
+            }
+            let flags = BudgetFlags::parse(&opts)?;
+            let samples = flags.resolve_samples(2000)?;
+            let budget = flags.budget(samples);
+            let threads = parse_threads(&opts)?;
+            let sampler = ParallelSampler::new(Arc::clone(&graph), threads);
+            let result = sampler.top_k_targets_with(s, k, &budget, seed);
+            let stop = if result.stop_reason == StopReason::FixedK {
+                String::new()
+            } else {
+                format!("; {}", result.stop_reason.label())
+            };
+            println!(
+                "top-{k} most reliable targets from {s}   [K = {}{stop}; {threads} threads; {:.2} ms]",
+                result.samples,
+                result.elapsed.as_secs_f64() * 1e3
+            );
+            if let Some(hw) = result.half_width {
+                println!("boundary half-width: {hw:.6}");
+            }
+            for ts in result.scores {
                 println!(
                     "  node {:<8} R ≈ {:.4}",
                     ts.node.to_string(),
                     ts.reliability
                 );
             }
+            Ok(())
+        }
+        "dquery" => {
+            check_options(
+                cmd,
+                &opts,
+                &[
+                    "samples",
+                    "seed",
+                    "threads",
+                    "eps",
+                    "confidence",
+                    "time-budget-ms",
+                ],
+            )?;
+            let [file, s_raw, t_raw, d_raw] = pos[..] else {
+                return Err("dquery needs <file> <s> <t> <d>".into());
+            };
+            let graph = Arc::new(load_any(file)?);
+            let s = parse_node(&graph, s_raw, "source")?;
+            let t = parse_node(&graph, t_raw, "target")?;
+            let d: usize = d_raw
+                .parse()
+                .map_err(|_| format!("cannot parse hop bound `{d_raw}`"))?;
+            let flags = BudgetFlags::parse(&opts)?;
+            let samples = flags.resolve_samples(1000)?;
+            let budget = flags.budget(samples);
+            let threads = parse_threads(&opts)?;
+            let sampler = ParallelSampler::new(Arc::clone(&graph), threads);
+            let result = sampler.estimate_distance_constrained_with(s, t, d, &budget, seed);
+            let ci = result
+                .half_width
+                .map(|hw| format!(" ± {hw:.6}"))
+                .unwrap_or_default();
+            let stop = if result.stop_reason == StopReason::FixedK {
+                String::new()
+            } else {
+                format!("; {}", result.stop_reason.label())
+            };
+            println!(
+                "R_{d}({s}, {t}) ≈ {:.6}{ci}   [MC, d <= {d}; K = {}{stop}; {:.2} ms]",
+                result.reliability,
+                result.samples,
+                result.elapsed.as_secs_f64() * 1e3
+            );
             Ok(())
         }
         "recommend" => {
@@ -477,6 +617,31 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 }
                 ["update", ..] => check_options("client update", &opts, &["addr"])?,
                 ["reload", ..] => check_options("client reload", &opts, &["addr", "path"])?,
+                ["topk", ..] => check_options(
+                    "client topk",
+                    &opts,
+                    &[
+                        "addr",
+                        "k",
+                        "samples",
+                        "seed",
+                        "eps",
+                        "confidence",
+                        "time-budget-ms",
+                    ],
+                )?,
+                ["dquery", ..] => check_options(
+                    "client dquery",
+                    &opts,
+                    &[
+                        "addr",
+                        "samples",
+                        "seed",
+                        "eps",
+                        "confidence",
+                        "time-budget-ms",
+                    ],
+                )?,
                 _ => check_options(
                     cmd,
                     &opts,
@@ -573,34 +738,108 @@ fn run(args: Vec<String>) -> Result<(), String> {
                     println!("server at {addr} shutting down");
                     Ok(())
                 }
+                ["topk", s_raw] => {
+                    let s: u32 = s_raw
+                        .parse()
+                        .map_err(|_| format!("cannot parse source node `{s_raw}`"))?;
+                    let flags = BudgetFlags::parse(&opts)?;
+                    let request = relcomp_serve::protocol::TopKRequest {
+                        s,
+                        k: opts
+                            .get("k")
+                            .map(|v| v.parse().map_err(|_| "bad --k"))
+                            .transpose()?,
+                        samples: flags.samples,
+                        // Only forward a seed the user actually gave;
+                        // otherwise the server's default applies.
+                        seed: opts.contains_key("seed").then_some(seed),
+                        eps: flags.eps,
+                        confidence: flags.confidence,
+                        time_budget_ms: flags.time_ms,
+                    };
+                    let r = client.topk(request).map_err(|e| e.to_string())?;
+                    let stop = if r.stop_reason == "fixed_k" {
+                        String::new()
+                    } else {
+                        format!("; {}", r.stop_reason)
+                    };
+                    println!(
+                        "top-{} most reliable targets from {}   [K = {}{stop}; {:.2} ms{}]",
+                        r.k,
+                        r.s,
+                        r.samples,
+                        r.micros as f64 / 1e3,
+                        if r.cached { "; cached" } else { "" }
+                    );
+                    if let Some(hw) = r.half_width {
+                        println!("boundary half-width: {hw:.6}");
+                    }
+                    for ts in &r.targets {
+                        println!("  node {:<8} R ≈ {:.4}", ts.node, ts.reliability);
+                    }
+                    Ok(())
+                }
+                ["topk", ..] => Err("client topk needs <s>".into()),
+                ["dquery", s_raw, t_raw, d_raw] => {
+                    let parse_id = |raw: &str, what: &str| -> Result<u32, String> {
+                        raw.parse()
+                            .map_err(|_| format!("cannot parse {what} node `{raw}`"))
+                    };
+                    let d: usize = d_raw
+                        .parse()
+                        .map_err(|_| format!("cannot parse hop bound `{d_raw}`"))?;
+                    let flags = BudgetFlags::parse(&opts)?;
+                    let request = relcomp_serve::protocol::DistanceQueryRequest {
+                        s: parse_id(s_raw, "source")?,
+                        t: parse_id(t_raw, "target")?,
+                        d,
+                        samples: flags.samples,
+                        seed: opts.contains_key("seed").then_some(seed),
+                        eps: flags.eps,
+                        confidence: flags.confidence,
+                        time_budget_ms: flags.time_ms,
+                    };
+                    let r = client.dquery(request).map_err(|e| e.to_string())?;
+                    let ci = r
+                        .half_width
+                        .map(|hw| format!(" ± {hw:.6}"))
+                        .unwrap_or_default();
+                    let stop = if r.stop_reason == "fixed_k" {
+                        String::new()
+                    } else {
+                        format!("; {}", r.stop_reason)
+                    };
+                    println!(
+                        "R_{}({}, {}) ≈ {:.6}{ci}   [MC, d <= {}; K = {}{stop}; {:.2} ms{}]",
+                        r.d,
+                        r.s,
+                        r.t,
+                        r.reliability,
+                        r.d,
+                        r.samples,
+                        r.micros as f64 / 1e3,
+                        if r.cached { "; cached" } else { "" }
+                    );
+                    Ok(())
+                }
+                ["dquery", ..] => Err("client dquery needs <s> <t> <d>".into()),
                 [s_raw, t_raw] => {
                     let parse_id = |raw: &str, what: &str| -> Result<u32, String> {
                         raw.parse()
                             .map_err(|_| format!("cannot parse {what} node `{raw}`"))
                     };
+                    let flags = BudgetFlags::parse(&opts)?;
                     let request = QueryRequest {
                         s: parse_id(s_raw, "source")?,
                         t: parse_id(t_raw, "target")?,
                         estimator: opts.get("estimator").map(|e| e.to_string()),
-                        samples: opts
-                            .get("samples")
-                            .map(|v| v.parse().map_err(|_| "bad --samples"))
-                            .transpose()?,
+                        samples: flags.samples,
                         // Only forward a seed the user actually gave;
                         // otherwise the server's default applies.
                         seed: opts.contains_key("seed").then_some(seed),
-                        eps: opts
-                            .get("eps")
-                            .map(|v| v.parse().map_err(|_| "bad --eps"))
-                            .transpose()?,
-                        confidence: opts
-                            .get("confidence")
-                            .map(|v| v.parse().map_err(|_| "bad --confidence"))
-                            .transpose()?,
-                        time_budget_ms: opts
-                            .get("time-budget-ms")
-                            .map(|v| v.parse().map_err(|_| "bad --time-budget-ms"))
-                            .transpose()?,
+                        eps: flags.eps,
+                        confidence: flags.confidence,
+                        time_budget_ms: flags.time_ms,
                     };
                     let r = client.query(request).map_err(|e| e.to_string())?;
                     let ci = r
@@ -625,7 +864,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
                     Ok(())
                 }
                 _ => Err("client needs <s> <t>, or one of: stats, ping, shutdown, \
-                     update <s> <t> <prob>, reload"
+                     topk <s>, dquery <s> <t> <d>, update <s> <t> <prob>, reload"
                     .into()),
             }
         }

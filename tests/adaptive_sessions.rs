@@ -47,6 +47,97 @@ fn reference_mc(g: &UncertainGraph, s: NodeId, t: NodeId, k: usize, rng: &mut dy
     hits as f64 / k as f64
 }
 
+/// The historical (pre-session) top-k MC loop, verbatim from the seed
+/// implementation: per-world lazy BFS counting every newly visited node,
+/// then rank by hit fraction (descending, node-id tie-break).
+fn reference_topk(
+    g: &UncertainGraph,
+    s: NodeId,
+    k: usize,
+    samples: usize,
+    rng: &mut dyn RngCore,
+) -> Vec<(NodeId, f64)> {
+    use relcomp_ugraph::traversal::VisitSet;
+    use std::collections::VecDeque;
+    let n = g.num_nodes();
+    let mut hits = vec![0u32; n];
+    let mut visited = VisitSet::new(n);
+    let mut queue = VecDeque::new();
+    for _ in 0..samples {
+        visited.reset();
+        visited.insert(s);
+        queue.clear();
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            for (e, w) in g.out_edges(v) {
+                if !visited.contains(w) && coin(rng, g.prob(e).value()) {
+                    visited.insert(w);
+                    hits[w.index()] += 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    let mut scores: Vec<(NodeId, f64)> = (0..n)
+        .filter(|&i| hits[i] > 0)
+        .map(|i| (NodeId::from_index(i), hits[i] as f64 / samples as f64))
+        .collect();
+    scores.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+    scores.truncate(k);
+    scores
+}
+
+/// The historical (pre-session) depth-bounded MC loop, verbatim from the
+/// seed implementation: per-sample level-synchronous BFS with a hop cap.
+fn reference_distance_constrained(
+    g: &UncertainGraph,
+    s: NodeId,
+    t: NodeId,
+    d: usize,
+    k: usize,
+    rng: &mut dyn RngCore,
+) -> f64 {
+    let bounded = |rng: &mut dyn RngCore| -> bool {
+        if s == t {
+            return true;
+        }
+        let n = g.num_nodes();
+        let mut depth: Vec<Option<u32>> = vec![None; n];
+        depth[s.index()] = Some(0);
+        let mut frontier = vec![s];
+        let mut next = Vec::new();
+        let mut h = 0usize;
+        while !frontier.is_empty() && h < d {
+            h += 1;
+            for &v in &frontier {
+                for (e, w) in g.out_edges(v) {
+                    if depth[w.index()].is_none() && coin(rng, g.prob(e).value()) {
+                        if w == t {
+                            return true;
+                        }
+                        depth[w.index()] = Some(h as u32);
+                        next.push(w);
+                    }
+                }
+            }
+            std::mem::swap(&mut frontier, &mut next);
+            next.clear();
+        }
+        false
+    };
+    let mut hits = 0usize;
+    for _ in 0..k {
+        if bounded(rng) {
+            hits += 1;
+        }
+    }
+    hits as f64 / k as f64
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -159,6 +250,63 @@ proptest! {
             prop_assert_eq!(est.reliability.to_bits(), baseline.reliability.to_bits());
             prop_assert_eq!(est.samples, k);
         }
+    }
+
+    /// (b) `top_k_targets_with(SampleBudget::fixed(n))` — and therefore
+    /// the `top_k_targets_mc` wrapper — is bit-identical to the
+    /// historical pre-session top-k loop: same coin stream, same hit
+    /// counts, same ranking.
+    #[test]
+    fn fixed_budget_topk_matches_historical_loop(
+        (n, edges) in small_digraph(),
+        seed in 0u64..300,
+        samples in 1usize..2000,
+        k in 1usize..6,
+    ) {
+        let g = build(n, &edges);
+        let s = NodeId(0);
+        let mut reference_rng = ChaCha8Rng::seed_from_u64(seed);
+        let reference = reference_topk(&g, s, k, samples, &mut reference_rng);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let session = relcomp_core::topk::top_k_targets_with(
+            &g, s, k, &SampleBudget::fixed(samples), &mut rng);
+        prop_assert_eq!(session.samples, samples);
+        prop_assert_eq!(session.stop_reason, StopReason::FixedK);
+        prop_assert_eq!(session.scores.len(), reference.len());
+        for (got, want) in session.scores.iter().zip(&reference) {
+            prop_assert_eq!(got.node, want.0);
+            prop_assert_eq!(got.reliability.to_bits(), want.1.to_bits());
+        }
+        // The wrapper is the same call.
+        let mut rng2 = ChaCha8Rng::seed_from_u64(seed);
+        let wrapped = relcomp_core::topk::top_k_targets_mc(&g, s, k, samples, &mut rng2);
+        prop_assert_eq!(wrapped, session.scores);
+    }
+
+    /// (b) `distance_constrained_with(SampleBudget::fixed(k))` — and
+    /// therefore the `mc_distance_constrained` wrapper — is bit-identical
+    /// to the historical pre-session depth-bounded loop.
+    #[test]
+    fn fixed_budget_distance_constrained_matches_historical_loop(
+        (n, edges) in small_digraph(),
+        seed in 0u64..300,
+        k in 1usize..2000,
+        d in 0usize..6,
+    ) {
+        let g = build(n, &edges);
+        let (s, t) = (NodeId(0), NodeId((n - 1) as u32));
+        let mut reference_rng = ChaCha8Rng::seed_from_u64(seed);
+        let reference = reference_distance_constrained(&g, s, t, d, k, &mut reference_rng);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let est = relcomp_core::distance_constrained::distance_constrained_with(
+            &g, s, t, d, &SampleBudget::fixed(k), &mut rng);
+        prop_assert_eq!(est.reliability.to_bits(), reference.to_bits());
+        prop_assert_eq!(est.samples, k);
+        prop_assert_eq!(est.stop_reason, StopReason::FixedK);
+        let mut rng2 = ChaCha8Rng::seed_from_u64(seed);
+        let wrapped = relcomp_core::distance_constrained::mc_distance_constrained(
+            &g, s, t, d, k, &mut rng2);
+        prop_assert_eq!(wrapped.to_bits(), est.reliability.to_bits());
     }
 
     /// Adaptive parallel MC is also thread-count invariant: convergence

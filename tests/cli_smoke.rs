@@ -200,6 +200,130 @@ fn adaptive_query_reports_ci_and_stop_reason() {
 }
 
 #[test]
+fn topk_and_dquery_subcommands_cover_fixed_and_adaptive_budgets() {
+    let path = temp_graph_path("workloads.txt");
+    let path_str = path.to_str().expect("utf-8 temp path");
+    stdout(&relcomp(&[
+        "generate", "lastfm", "--out", path_str, "--scale", "0.02", "--seed", "42",
+    ]));
+
+    // Fixed topk: header carries the consumed K, rows carry estimates.
+    let out = stdout(&relcomp(&[
+        "topk",
+        path_str,
+        "0",
+        "--k",
+        "3",
+        "--samples",
+        "1000",
+        "--seed",
+        "7",
+    ]));
+    assert!(out.contains("top-3 most reliable targets"), "{out}");
+    assert!(out.contains("K = 1000"), "missing sample count: {out}");
+    assert!(out.contains("R ≈"), "missing estimates: {out}");
+
+    // Deterministic per seed.
+    let again = stdout(&relcomp(&[
+        "topk",
+        path_str,
+        "0",
+        "--k",
+        "3",
+        "--samples",
+        "1000",
+        "--seed",
+        "7",
+    ]));
+    let rows = |s: &str| -> Vec<String> {
+        s.lines()
+            .filter(|l| l.contains("R ≈"))
+            .map(str::to_owned)
+            .collect()
+    };
+    assert_eq!(
+        rows(&out),
+        rows(&again),
+        "topk is not deterministic per seed"
+    );
+
+    // eps-adaptive topk: the output reports the session's stop reason
+    // and the boundary half-width.
+    let out = stdout(&relcomp(&[
+        "topk",
+        path_str,
+        "0",
+        "--k",
+        "3",
+        "--eps",
+        "0.2",
+        "--samples",
+        "30000",
+        "--seed",
+        "7",
+    ]));
+    assert!(
+        out.contains("converged") || out.contains("max_samples"),
+        "missing stop reason: {out}"
+    );
+    assert!(out.contains("boundary half-width"), "{out}");
+
+    // Fixed dquery: R_d line with the hop bound echoed.
+    let out = stdout(&relcomp(&[
+        "dquery",
+        path_str,
+        "0",
+        "3",
+        "2",
+        "--samples",
+        "1000",
+        "--seed",
+        "7",
+    ]));
+    assert!(out.contains("R_2(0, 3)"), "{out}");
+    assert!(out.contains("K = 1000"), "{out}");
+
+    // eps-adaptive dquery: stop reason and a ± half-width in the output.
+    let out = stdout(&relcomp(&[
+        "dquery",
+        path_str,
+        "0",
+        "3",
+        "4",
+        "--eps",
+        "0.2",
+        "--samples",
+        "30000",
+        "--seed",
+        "7",
+    ]));
+    assert!(
+        out.contains("converged") || out.contains("max_samples"),
+        "missing stop reason: {out}"
+    );
+    assert!(out.contains('±'), "missing half-width: {out}");
+
+    // Bad values and unknown options are usage errors for both commands.
+    let bad = relcomp(&["topk", path_str, "0", "--eps", "0"]);
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("--eps must be a positive"));
+    let unknown = relcomp(&["topk", path_str, "0", "--estimator", "mc"]);
+    assert!(!unknown.status.success());
+    let err = String::from_utf8_lossy(&unknown.stderr);
+    assert!(err.contains("unknown option `--estimator`"), "{err}");
+    assert!(err.contains("--eps"), "should list valid options: {err}");
+    let unknown = relcomp(&["dquery", path_str, "0", "3", "2", "--k", "5"]);
+    assert!(!unknown.status.success());
+    let err = String::from_utf8_lossy(&unknown.stderr);
+    assert!(err.contains("unknown option `--k`"), "{err}");
+    let missing = relcomp(&["dquery", path_str, "0", "3"]);
+    assert!(!missing.status.success());
+    assert!(String::from_utf8_lossy(&missing.stderr).contains("dquery needs <file> <s> <t> <d>"));
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn bad_usage_exits_nonzero_with_usage() {
     let out = relcomp(&["no-such-command"]);
     assert!(!out.status.success());
@@ -312,6 +436,30 @@ fn serve_and_client_round_trip() {
 
     let stats = stdout(&relcomp(&["client", "stats", "--addr", &addr]));
     assert!(stats.contains("hit rate"), "{stats}");
+
+    // The extension workloads ride the same connection machinery.
+    let topk = stdout(&relcomp(&[
+        "client",
+        "topk",
+        "0",
+        "--k",
+        "2",
+        "--samples",
+        "500",
+        "--seed",
+        "7",
+        "--addr",
+        &addr,
+    ]));
+    assert!(topk.contains("top-2 most reliable targets"), "{topk}");
+    let dq = stdout(&relcomp(&[
+        "client", "dquery", "0", "3", "2", "--eps", "0.3", "--seed", "7", "--addr", &addr,
+    ]));
+    assert!(dq.contains("R_2(0, 3)"), "{dq}");
+    assert!(
+        dq.contains("converged") || dq.contains("max_samples"),
+        "client dquery must surface the stop reason: {dq}"
+    );
 
     stdout(&relcomp(&["client", "shutdown", "--addr", &addr]));
     server.wait().expect("server exits after shutdown");

@@ -6,13 +6,16 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use relcomp::prelude::*;
 use relcomp_core::bounds::{disjoint_paths_lower_bound, reliability_bounds};
-use relcomp_core::distance_constrained::{exact_distance_constrained, mc_distance_constrained};
+use relcomp_core::distance_constrained::{
+    distance_constrained_with, exact_distance_constrained, mc_distance_constrained,
+};
 use relcomp_core::exact::exact_reliability;
 use relcomp_core::paths::most_reliable_path;
 use relcomp_core::representative::{average_degree_world, degree_discrepancy, most_probable_world};
 use relcomp_core::topk::{top_k_targets_indexed, top_k_targets_mc};
 use relcomp_ugraph::generators::erdos_renyi;
 use relcomp_ugraph::probmodel::{Direction, ProbModel};
+use std::sync::Arc;
 
 fn random_graph(seed: u64, n: usize, m: usize) -> UncertainGraph {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -66,6 +69,57 @@ proptest! {
             prev = r;
         }
         prop_assert!((prev - unconstrained).abs() < 1e-9);
+    }
+
+    /// Adaptive `R_d` sessions land within the reported Wilson half-width
+    /// of the exact enumeration oracle. The budget runs at 99.9%
+    /// confidence so that, over the deterministic proptest seeds, a
+    /// correct interval essentially never excludes the truth.
+    #[test]
+    fn adaptive_distance_constrained_brackets_exact(seed in 0u64..300) {
+        let g = random_graph(seed, 7, 10);
+        prop_assume!(g.num_edges() <= 18);
+        let (s, t) = (NodeId(0), NodeId(6));
+        for d in [1usize, 2, 4] {
+            let exact = exact_distance_constrained(&g, s, t, d);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xD15);
+            let budget = SampleBudget::adaptive(0.05, 30_000).with_confidence(0.999);
+            let est = distance_constrained_with(&g, s, t, d, &budget, &mut rng);
+            prop_assert!(est.samples <= 30_000);
+            let hw = est.half_width.expect("wilson CI");
+            prop_assert!(
+                (est.reliability - exact).abs() <= hw,
+                "d={d}: {} vs exact {exact} outside half-width {hw} ({} samples, {:?})",
+                est.reliability, est.samples, est.stop_reason
+            );
+        }
+    }
+
+    /// Top-k rankings from the parallel sharded path are bit-identical to
+    /// the single-thread path for any thread count — fixed and adaptive
+    /// budgets alike (the adaptive stopping decision happens at
+    /// deterministic shard-group barriers).
+    #[test]
+    fn parallel_topk_is_thread_count_invariant(seed in 0u64..100, k in 1usize..6) {
+        let g = Arc::new(random_graph(seed, 9, 16));
+        let s = NodeId(0);
+        let fixed = SampleBudget::fixed(2 * relcomp_core::parallel::SHARD_SAMPLES + 31);
+        let adaptive = SampleBudget::adaptive(0.1, 20_000);
+        for budget in [fixed, adaptive] {
+            let baseline =
+                ParallelSampler::new(Arc::clone(&g), 1).top_k_targets_with(s, k, &budget, seed);
+            for threads in [2usize, 5, 8] {
+                let got = ParallelSampler::new(Arc::clone(&g), threads)
+                    .top_k_targets_with(s, k, &budget, seed);
+                prop_assert_eq!(got.samples, baseline.samples);
+                prop_assert_eq!(got.stop_reason, baseline.stop_reason);
+                prop_assert_eq!(got.scores.len(), baseline.scores.len());
+                for (a, b) in got.scores.iter().zip(&baseline.scores) {
+                    prop_assert_eq!(a.node, b.node);
+                    prop_assert_eq!(a.reliability.to_bits(), b.reliability.to_bits());
+                }
+            }
+        }
     }
 
     /// Representative worlds are subsets of the edge set with valid

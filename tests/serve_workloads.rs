@@ -1,0 +1,258 @@
+//! End-to-end tests of the served extension workloads: a live TCP server
+//! answering `topk` and `dquery` over the **raw** line-delimited JSON
+//! protocol (hand-written request lines, no typed client), with every
+//! answer checked against the exact enumeration oracles on graphs small
+//! enough to enumerate (`m <= 26`). Covers the cache/epoch story too:
+//! repeats hit the cache, an `update` that flips the ground truth makes
+//! the next answer a cache miss that tracks the *new* truth.
+
+use relcomp_core::distance_constrained::exact_distance_constrained;
+use relcomp_core::exact::exact_reliability;
+use relcomp_serve::engine::{EngineConfig, QueryEngine};
+use relcomp_serve::protocol::Response;
+use relcomp_serve::Server;
+use relcomp_ugraph::{GraphBuilder, NodeId, UncertainGraph};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// s -> 1 (0.9), s -> 2 (0.5), 1 -> 3 (0.9): exact ranking from 0 is
+/// 1 (0.9), 3 (0.81), 2 (0.5). Three edges — trivially enumerable.
+fn star() -> UncertainGraph {
+    let mut b = GraphBuilder::new(4);
+    b.add_edge(NodeId(0), NodeId(1), 0.9).unwrap();
+    b.add_edge(NodeId(0), NodeId(2), 0.5).unwrap();
+    b.add_edge(NodeId(1), NodeId(3), 0.9).unwrap();
+    b.build()
+}
+
+/// Direct edge 0 -> 2 (0.2) plus the two-hop detour 0 -> 1 -> 2 (0.9
+/// each): `R_1(0, 2) = 0.2` while `R_2` sees the detour too.
+fn detour() -> UncertainGraph {
+    let mut b = GraphBuilder::new(3);
+    b.add_edge(NodeId(0), NodeId(2), 0.2).unwrap();
+    b.add_edge(NodeId(0), NodeId(1), 0.9).unwrap();
+    b.add_edge(NodeId(1), NodeId(2), 0.9).unwrap();
+    b.build()
+}
+
+fn start(graph: UncertainGraph) -> (std::net::SocketAddr, Arc<QueryEngine>) {
+    let engine = Arc::new(QueryEngine::new(
+        Arc::new(graph),
+        EngineConfig {
+            threads: 2,
+            ..Default::default()
+        },
+    ));
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&engine)).expect("bind");
+    let (addr, _handle) = server.spawn().expect("spawn");
+    (addr, engine)
+}
+
+/// A raw protocol session: hand-written JSON lines out, typed parses in.
+struct RawClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl RawClient {
+    fn connect(addr: std::net::SocketAddr) -> RawClient {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .expect("timeout");
+        let writer = stream.try_clone().expect("clone");
+        RawClient {
+            reader: BufReader::new(stream),
+            writer,
+        }
+    }
+
+    fn send(&mut self, line: &str) -> Response {
+        self.writer.write_all(line.as_bytes()).expect("write");
+        self.writer.write_all(b"\n").expect("write newline");
+        self.writer.flush().expect("flush");
+        let mut answer = String::new();
+        self.reader.read_line(&mut answer).expect("read");
+        serde_json::from_str(answer.trim_end())
+            .unwrap_or_else(|e| panic!("unparsable response `{answer}`: {e}"))
+    }
+}
+
+#[test]
+fn topk_over_raw_json_matches_exact_and_tracks_updates() {
+    let (addr, engine) = start(star());
+    let mut client = RawClient::connect(addr);
+
+    // Fresh answer: exact ranking 1 (0.9) > 3 (0.81) > 2 (0.5), each
+    // score within MC noise of the enumeration oracle.
+    let line = r#"{"cmd":"topk","s":0,"k":3,"samples":60000,"seed":7}"#;
+    let Response::TopK(first) = client.send(line) else {
+        panic!("expected a topk answer");
+    };
+    assert!(!first.cached);
+    assert_eq!(first.stop_reason, "fixed_k");
+    assert_eq!(first.samples, 60_000);
+    let ranked: Vec<u32> = first.targets.iter().map(|t| t.node).collect();
+    assert_eq!(ranked, vec![1, 3, 2]);
+    let graph = engine.graph();
+    for entry in &first.targets {
+        let exact = exact_reliability(&graph, NodeId(0), NodeId(entry.node));
+        assert!(
+            (entry.reliability - exact).abs() < 0.01,
+            "node {}: {} vs exact {exact}",
+            entry.node,
+            entry.reliability
+        );
+    }
+
+    // The identical request replays from the cache bit for bit.
+    let Response::TopK(second) = client.send(line) else {
+        panic!("expected a topk answer");
+    };
+    assert!(second.cached, "repeat must hit the cache");
+    assert_eq!(second.targets, first.targets);
+
+    // Throttle 0 -> 1 to 0.05: the truth flips to 2 (0.5) > 1 (0.05) >
+    // 3 (0.045). The epoch bump makes the same request a cache miss and
+    // its answer must track the *new* exact oracle.
+    let Response::Update(update) =
+        client.send(r#"{"cmd":"update","updates":[{"s":0,"t":1,"prob":0.05}]}"#)
+    else {
+        panic!("expected an update answer");
+    };
+    assert_eq!(update.epoch, 1);
+    let Response::TopK(after) = client.send(line) else {
+        panic!("expected a topk answer");
+    };
+    assert!(!after.cached, "epoch bump must invalidate the topk answer");
+    let ranked: Vec<u32> = after.targets.iter().map(|t| t.node).collect();
+    assert_eq!(ranked, vec![2, 1, 3], "ranking must flip with the update");
+    let graph = engine.graph();
+    for entry in &after.targets {
+        let exact = exact_reliability(&graph, NodeId(0), NodeId(entry.node));
+        assert!(
+            (entry.reliability - exact).abs() < 0.01,
+            "node {} after update: {} vs exact {exact}",
+            entry.node,
+            entry.reliability
+        );
+    }
+
+    client.send(r#"{"cmd":"shutdown"}"#);
+}
+
+#[test]
+fn dquery_over_raw_json_matches_exact_and_tracks_updates() {
+    let (addr, engine) = start(detour());
+    let mut client = RawClient::connect(addr);
+
+    // d = 1 counts only the direct edge: exactly 0.2 in truth.
+    let line = r#"{"cmd":"dquery","s":0,"t":2,"d":1,"samples":60000,"seed":3}"#;
+    let Response::DQuery(first) = client.send(line) else {
+        panic!("expected a dquery answer");
+    };
+    assert!(!first.cached);
+    assert_eq!((first.s, first.t, first.d), (0, 2, 1));
+    let graph = engine.graph();
+    let exact_d1 = exact_distance_constrained(&graph, NodeId(0), NodeId(2), 1);
+    assert!((exact_d1 - 0.2).abs() < 1e-12, "oracle sanity");
+    assert!(
+        (first.reliability - exact_d1).abs() < 0.01,
+        "{} vs exact {exact_d1}",
+        first.reliability
+    );
+
+    // d = 2 admits the detour and is a *different cache key*: a fresh
+    // computation matching its own oracle.
+    let Response::DQuery(two_hop) =
+        client.send(r#"{"cmd":"dquery","s":0,"t":2,"d":2,"samples":60000,"seed":3}"#)
+    else {
+        panic!("expected a dquery answer");
+    };
+    assert!(!two_hop.cached, "d is part of the cache key");
+    let exact_d2 = exact_distance_constrained(&graph, NodeId(0), NodeId(2), 2);
+    assert!(exact_d2 > exact_d1 + 0.5, "oracle sanity: monotone in d");
+    assert!((two_hop.reliability - exact_d2).abs() < 0.01);
+
+    // The d = 1 repeat replays from the cache.
+    let Response::DQuery(second) = client.send(line) else {
+        panic!("expected a dquery answer");
+    };
+    assert!(second.cached);
+    assert_eq!(second.reliability.to_bits(), first.reliability.to_bits());
+
+    // Raise the direct edge to 0.8: R_1 flips from 0.2 to 0.8. Cache
+    // miss, answer tracks the new truth.
+    let Response::Update(update) =
+        client.send(r#"{"cmd":"update","updates":[{"s":0,"t":2,"prob":0.8}]}"#)
+    else {
+        panic!("expected an update answer");
+    };
+    assert_eq!(update.epoch, 1);
+    let Response::DQuery(after) = client.send(line) else {
+        panic!("expected a dquery answer");
+    };
+    assert!(
+        !after.cached,
+        "epoch bump must invalidate the dquery answer"
+    );
+    let graph = engine.graph();
+    let exact_new = exact_distance_constrained(&graph, NodeId(0), NodeId(2), 1);
+    assert!(
+        (exact_new - 0.8).abs() < 1e-12,
+        "oracle sanity after update"
+    );
+    assert!(
+        (after.reliability - exact_new).abs() < 0.01,
+        "{} vs new exact {exact_new}",
+        after.reliability
+    );
+
+    client.send(r#"{"cmd":"shutdown"}"#);
+}
+
+#[test]
+fn adaptive_extension_workloads_over_raw_json_report_sessions() {
+    let (addr, engine) = start(star());
+    let mut client = RawClient::connect(addr);
+
+    // eps-adaptive topk: stops before the cap, certifies the boundary.
+    let Response::TopK(topk) =
+        client.send(r#"{"cmd":"topk","s":0,"k":2,"eps":0.05,"samples":200000,"seed":9}"#)
+    else {
+        panic!("expected a topk answer");
+    };
+    assert_eq!(topk.stop_reason, "converged");
+    assert!(topk.samples < 200_000, "used {}", topk.samples);
+    let hw = topk.half_width.expect("boundary CI on the wire");
+    let boundary = topk.targets.last().expect("two targets").reliability;
+    assert!(
+        hw <= 0.05 * boundary + 1e-12,
+        "hw {hw} vs boundary {boundary}"
+    );
+
+    // eps-adaptive dquery: converges and the reported interval brackets
+    // the exact oracle (generous 3x slack — a single 95% interval).
+    let Response::DQuery(dq) =
+        client.send(r#"{"cmd":"dquery","s":0,"t":3,"d":2,"eps":0.05,"samples":200000,"seed":11}"#)
+    else {
+        panic!("expected a dquery answer");
+    };
+    assert_eq!(dq.stop_reason, "converged");
+    assert!(dq.samples < 200_000);
+    let exact = exact_distance_constrained(&engine.graph(), NodeId(0), NodeId(3), 2);
+    let hw = dq.half_width.expect("wilson CI on the wire");
+    assert!(
+        (dq.reliability - exact).abs() <= 3.0 * hw,
+        "{} vs exact {exact} (hw {hw})",
+        dq.reliability
+    );
+
+    // Unknown-field-free malformed requests still answer with errors.
+    let err = client.send(r#"{"cmd":"dquery","s":0,"t":3}"#);
+    assert!(matches!(err, Response::Error(_)), "missing d must error");
+
+    client.send(r#"{"cmd":"shutdown"}"#);
+}
