@@ -36,5 +36,40 @@ fn bench_per_sample(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_per_sample);
+/// Scalar MC vs the packed 64-world kernel at a packed-friendly budget
+/// (k = 1024 is a multiple of 64, so every packed batch is word-sized).
+fn bench_packed_vs_scalar(c: &mut Criterion) {
+    let graph = Arc::new(Dataset::LastFm.generate_with_scale(0.2, 42));
+    let workload = Workload::generate(&graph, 4, 2, 7);
+    let k = 1024;
+
+    let mut group = c.benchmark_group("packed_vs_scalar_k1024");
+    group.sample_size(10);
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let mut scalar = relcomp_core::mc::McSampling::new(Arc::clone(&graph));
+    group.bench_function("mc_scalar", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for &(s, t) in &workload.pairs {
+                total +=
+                    relcomp_core::Estimator::estimate(&mut scalar, s, t, k, &mut rng).reliability;
+            }
+            total
+        })
+    });
+    let mut packed = relcomp_core::PackedMcSampling::new(Arc::clone(&graph));
+    group.bench_function("mc_packed", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for &(s, t) in &workload.pairs {
+                total +=
+                    relcomp_core::Estimator::estimate(&mut packed, s, t, k, &mut rng).reliability;
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_per_sample, bench_packed_vs_scalar);
 criterion_main!(benches);

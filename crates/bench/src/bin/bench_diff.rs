@@ -1,0 +1,258 @@
+//! Compare a fresh `BENCH_summary.json` against the committed
+//! `BENCH_baseline.json`, row by row, and fail on perf regressions.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_diff [--baseline PATH] [--summary PATH] [--tolerance F]
+//!            [--min-ms F] [--report-only]
+//! ```
+//!
+//! Three row families are matched by name: per-estimator wall times
+//! (`estimators`), served-workload wall times (`workloads`, keyed by
+//! `workload/mode`), and per-sample costs (`per_sample`, compared on
+//! `ns_per_sample`). A row regresses when the fresh value exceeds
+//! `baseline * (1 + tolerance)`; wall-time rows faster than `--min-ms`
+//! in both runs are skipped as noise. Exits nonzero on any regression
+//! unless `--report-only` is given. Rows present on only one side are
+//! reported but never fail the gate (estimator sets may grow).
+
+use relcomp_bench::summary::{load, BenchSummary};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    baseline: PathBuf,
+    summary: PathBuf,
+    tolerance: f64,
+    min_ms: f64,
+    report_only: bool,
+}
+
+fn parse_options() -> Result<Options, String> {
+    let mut opts = Options {
+        baseline: relcomp_bench::repo_root().join("BENCH_baseline.json"),
+        summary: relcomp_bench::repo_root().join("BENCH_summary.json"),
+        tolerance: 0.3,
+        min_ms: 1.0,
+        report_only: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} requires a value"));
+        match arg.as_str() {
+            "--baseline" => opts.baseline = PathBuf::from(value("--baseline")?),
+            "--summary" => opts.summary = PathBuf::from(value("--summary")?),
+            "--tolerance" => {
+                let v = value("--tolerance")?;
+                opts.tolerance = v.parse().map_err(|_| format!("bad tolerance: {v}"))?;
+            }
+            "--min-ms" => {
+                let v = value("--min-ms")?;
+                opts.min_ms = v.parse().map_err(|_| format!("bad min-ms: {v}"))?;
+            }
+            "--report-only" => opts.report_only = true,
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// One comparison row: `(section, name, baseline, fresh)` in the
+/// section's native unit. `None` marks a side that lacks the row.
+struct DiffRow {
+    section: &'static str,
+    name: String,
+    unit: &'static str,
+    base: Option<f64>,
+    fresh: Option<f64>,
+    /// Whether the noise floor applies (wall-time rows only).
+    floored: bool,
+}
+
+fn collect_rows(base: &BenchSummary, fresh: &BenchSummary) -> Vec<DiffRow> {
+    let mut rows = Vec::new();
+    let mut push = |section, name: String, unit, b, f, floored| {
+        rows.push(DiffRow {
+            section,
+            name,
+            unit,
+            base: b,
+            fresh: f,
+            floored,
+        });
+    };
+    let names: Vec<String> = {
+        let mut v: Vec<String> = base
+            .estimators
+            .iter()
+            .map(|r| r.estimator.clone())
+            .collect();
+        for r in &fresh.estimators {
+            if !v.contains(&r.estimator) {
+                v.push(r.estimator.clone());
+            }
+        }
+        v
+    };
+    for name in names {
+        let b = base
+            .estimators
+            .iter()
+            .find(|r| r.estimator == name)
+            .map(|r| r.wall_ms);
+        let f = fresh
+            .estimators
+            .iter()
+            .find(|r| r.estimator == name)
+            .map(|r| r.wall_ms);
+        push("estimators", name, "ms", b, f, true);
+    }
+    let keys: Vec<String> = {
+        let key =
+            |r: &relcomp_bench::adaptive::WorkloadTiming| format!("{}/{}", r.workload, r.mode);
+        let mut v: Vec<String> = base.workloads.iter().map(key).collect();
+        for r in &fresh.workloads {
+            let k = key(r);
+            if !v.contains(&k) {
+                v.push(k);
+            }
+        }
+        v
+    };
+    for name in keys {
+        let find = |s: &BenchSummary| {
+            s.workloads
+                .iter()
+                .find(|r| format!("{}/{}", r.workload, r.mode) == name)
+                .map(|r| r.wall_ms)
+        };
+        push(
+            "workloads",
+            name.clone(),
+            "ms",
+            find(base),
+            find(fresh),
+            true,
+        );
+    }
+    let paths: Vec<String> = {
+        let mut v: Vec<String> = base.per_sample.iter().map(|r| r.path.clone()).collect();
+        for r in &fresh.per_sample {
+            if !v.contains(&r.path) {
+                v.push(r.path.clone());
+            }
+        }
+        v
+    };
+    for name in paths {
+        let find = |s: &BenchSummary| {
+            s.per_sample
+                .iter()
+                .find(|r| r.path == name)
+                .map(|r| r.ns_per_sample)
+        };
+        push(
+            "per_sample",
+            name.clone(),
+            "ns/sample",
+            find(base),
+            find(fresh),
+            false,
+        );
+    }
+    rows
+}
+
+fn main() -> ExitCode {
+    let opts = parse_options().unwrap_or_else(|msg| {
+        eprintln!("{msg}");
+        eprintln!(
+            "usage: bench_diff [--baseline PATH] [--summary PATH] [--tolerance F] \
+             [--min-ms F] [--report-only]"
+        );
+        std::process::exit(2);
+    });
+    let base = load(&opts.baseline).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let fresh = load(&opts.summary).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+
+    let mut report = String::new();
+    report.push_str(&format!(
+        "bench_diff: {} (baseline) vs {} (fresh), tolerance +{:.0}%, noise floor {} ms\n\n",
+        opts.baseline.display(),
+        opts.summary.display(),
+        opts.tolerance * 100.0,
+        opts.min_ms,
+    ));
+    report.push_str(&format!(
+        "{:<12} {:<24} {:>12} {:>12} {:>9}  {}\n",
+        "section", "row", "baseline", "fresh", "delta", "status"
+    ));
+    let mut regressions = 0usize;
+    for row in collect_rows(&base, &fresh) {
+        let (base_s, fresh_s, delta_s, status) = match (row.base, row.fresh) {
+            (Some(b), Some(f)) => {
+                let delta = if b > 0.0 { (f - b) / b * 100.0 } else { 0.0 };
+                let noise = row.floored && b < opts.min_ms && f < opts.min_ms;
+                let status = if noise {
+                    "ok (below floor)"
+                } else if f > b * (1.0 + opts.tolerance) {
+                    regressions += 1;
+                    "REGRESSED"
+                } else if b > f * (1.0 + opts.tolerance) {
+                    "improved"
+                } else {
+                    "ok"
+                };
+                (
+                    format!("{b:.2} {}", row.unit),
+                    format!("{f:.2} {}", row.unit),
+                    format!("{delta:+.1}%"),
+                    status,
+                )
+            }
+            (None, Some(f)) => (
+                "-".to_string(),
+                format!("{f:.2} {}", row.unit),
+                "-".to_string(),
+                "new row",
+            ),
+            (Some(b), None) => (
+                format!("{b:.2} {}", row.unit),
+                "-".to_string(),
+                "-".to_string(),
+                "missing in fresh",
+            ),
+            (None, None) => continue,
+        };
+        report.push_str(&format!(
+            "{:<12} {:<24} {:>12} {:>12} {:>9}  {}\n",
+            row.section, row.name, base_s, fresh_s, delta_s, status
+        ));
+    }
+    report.push('\n');
+    if regressions > 0 {
+        report.push_str(&format!(
+            "{regressions} row(s) regressed beyond +{:.0}%",
+            opts.tolerance * 100.0
+        ));
+        if opts.report_only {
+            report.push_str(" (report-only mode: exit 0)");
+        }
+        report.push('\n');
+    } else {
+        report.push_str("no regressions\n");
+    }
+    relcomp_bench::emit("bench_diff", &report);
+    if regressions > 0 && !opts.report_only {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,45 @@
+//! Probe-only `BENCH_summary.json`: the per-estimator timing probe, the
+//! served-workload probe, and the packed-vs-scalar per-sample probe —
+//! exactly the rows `bench_diff` compares against `BENCH_baseline.json`,
+//! without the full `run_all` experiment sweep. This is what the CI
+//! `perf-gate` job runs on every PR (minutes, not the sweep's hours).
+//!
+//! Usage: `perf_probe [quick|paper] [--seed N]`.
+
+use relcomp_bench::adaptive::{packed_speedup, per_sample_probe, timing_probe, workload_probe};
+use relcomp_bench::summary::BenchSummary;
+use relcomp_eval::{ExperimentEnv, RunProfile};
+use relcomp_ugraph::Dataset;
+
+fn main() {
+    let cli = relcomp_bench::cli();
+    let (profile, seed) = (cli.profile, cli.seed);
+    let start = std::time::Instant::now();
+
+    // Same environment as `run_all`'s probe section, so probe-only
+    // summaries are row-compatible with full-sweep ones.
+    eprintln!(">>> timing probe (paper six @ K = 1000, LastFM analog) ...");
+    let mut env = ExperimentEnv::prepare(Dataset::LastFm, profile, 2, seed);
+    env.workload.pairs.truncate(10);
+    let estimators = timing_probe(&env, 1000);
+    eprintln!(">>> workload probe (topk / dquery, fixed vs eps-adaptive) ...");
+    let workloads = workload_probe(&env, 10_000, 0.05, 50_000);
+    eprintln!(">>> per-sample probe (scalar vs packed sampling, five datasets) ...");
+    let per_sample = per_sample_probe(profile, seed, 10_000);
+    let mc_packed_speedup = packed_speedup(&per_sample).unwrap_or(0.0);
+    eprintln!("    packed MC speedup (geomean): {mc_packed_speedup:.2}x");
+
+    relcomp_bench::summary::write(&BenchSummary {
+        profile: match profile {
+            RunProfile::Quick => "quick".to_string(),
+            RunProfile::Paper => "paper".to_string(),
+        },
+        seed,
+        total_secs: start.elapsed().as_secs_f64(),
+        jobs: Vec::new(),
+        estimators,
+        workloads,
+        per_sample,
+        mc_packed_speedup,
+    });
+}

@@ -6,36 +6,14 @@
 //! (per-job wall time plus a per-estimator timing probe) lands at the
 //! repo root so the perf trajectory across commits has data points.
 
-use relcomp_bench::adaptive::{timing_probe, workload_probe, EstimatorTiming, WorkloadTiming};
+use relcomp_bench::adaptive::{packed_speedup, per_sample_probe, timing_probe, workload_probe};
+use relcomp_bench::summary::{BenchSummary, JobTiming};
 use relcomp_eval::experiments as exp;
 use relcomp_eval::{ExperimentEnv, RunProfile};
 use relcomp_ugraph::Dataset;
-use serde::Serialize;
 
 /// An experiment entry point: `(profile, seed) -> report text`.
 type Job = fn(RunProfile, u64) -> String;
-
-/// One experiment binary's wall time.
-#[derive(Serialize)]
-struct JobTiming {
-    name: String,
-    secs: f64,
-}
-
-/// The machine-readable sweep summary written to `BENCH_summary.json`.
-#[derive(Serialize)]
-struct BenchSummary {
-    profile: String,
-    seed: u64,
-    total_secs: f64,
-    jobs: Vec<JobTiming>,
-    /// Fixed-K timing probe per estimator (samples + wall ms) on the
-    /// LastFM analog — the stable cross-commit perf signal.
-    estimators: Vec<EstimatorTiming>,
-    /// Served extension workloads (top-k / distance-constrained), fixed
-    /// vs adaptive, on the parallel sharded sampler.
-    workloads: Vec<WorkloadTiming>,
-}
 
 fn main() {
     let cli = relcomp_bench::cli();
@@ -83,8 +61,12 @@ fn main() {
     let estimators = timing_probe(&env, 1000);
     eprintln!(">>> workload probe (topk / dquery, fixed vs eps-adaptive) ...");
     let workloads = workload_probe(&env, 10_000, 0.05, 50_000);
+    eprintln!(">>> per-sample probe (scalar vs packed sampling, five datasets) ...");
+    let per_sample = per_sample_probe(profile, seed, 10_000);
+    let mc_packed_speedup = packed_speedup(&per_sample).unwrap_or(0.0);
+    eprintln!("    packed MC speedup (geomean): {mc_packed_speedup:.2}x");
 
-    let summary = BenchSummary {
+    relcomp_bench::summary::write(&BenchSummary {
         profile: match profile {
             RunProfile::Quick => "quick".to_string(),
             RunProfile::Paper => "paper".to_string(),
@@ -94,13 +76,7 @@ fn main() {
         jobs: timings,
         estimators,
         workloads,
-    };
-    let path = relcomp_bench::repo_root().join("BENCH_summary.json");
-    match serde_json::to_string_pretty(&summary) {
-        Ok(json) => match std::fs::write(&path, json) {
-            Ok(()) => eprintln!("[saved {}]", path.display()),
-            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
-        },
-        Err(e) => eprintln!("warning: could not serialize BENCH_summary: {e}"),
-    }
+        per_sample,
+        mc_packed_speedup,
+    });
 }

@@ -101,10 +101,13 @@ pub fn repo_root() -> PathBuf {
 /// `adaptive_stopping` bin and `run_all`'s `BENCH_summary.json` emission.
 pub mod adaptive {
     use rand::RngCore;
-    use relcomp_core::{EstimatorKind, ParallelSampler, SampleBudget, StopReason};
+    use relcomp_core::mc::McSampling;
+    use relcomp_core::{
+        Estimator, EstimatorKind, PackedMcSampling, ParallelSampler, SampleBudget, StopReason,
+    };
     use relcomp_eval::{ExperimentEnv, RunProfile};
     use relcomp_ugraph::Dataset;
-    use serde::Serialize;
+    use serde::{Deserialize, Serialize};
     use std::sync::Arc;
 
     /// One (dataset, estimator) comparison row.
@@ -218,7 +221,7 @@ pub mod adaptive {
 
     /// Quick per-estimator timing probe for `BENCH_summary.json`: one
     /// fixed pass at `fixed_k` per estimator on a small workload.
-    #[derive(Clone, Debug, Serialize)]
+    #[derive(Clone, Debug, Serialize, Deserialize)]
     pub struct EstimatorTiming {
         /// Estimator display name.
         pub estimator: String,
@@ -230,7 +233,7 @@ pub mod adaptive {
 
     /// One extension-workload measurement for `BENCH_summary.json`
     /// (top-k / distance-constrained, fixed vs adaptive).
-    #[derive(Clone, Debug, Serialize)]
+    #[derive(Clone, Debug, Serialize, Deserialize)]
     pub struct WorkloadTiming {
         /// Served workload name (`topk` / `dquery`).
         pub workload: String,
@@ -304,6 +307,207 @@ pub mod adaptive {
         out
     }
 
+    /// One per-sample cost row of the packed-vs-scalar MC probe.
+    #[derive(Clone, Debug, Serialize, Deserialize)]
+    pub struct PerSampleRow {
+        /// Sampling path and dataset: `mc_scalar/<dataset>` (historical
+        /// one-world lazy BFS) or `mc_packed/<dataset>` (bit-packed
+        /// 64-world kernel).
+        pub path: String,
+        /// Worlds sampled across the workload.
+        pub samples: usize,
+        /// Wall milliseconds across the workload.
+        pub wall_ms: f64,
+        /// Nanoseconds per sampled world — the headline metric the CI
+        /// perf gate tracks.
+        pub ns_per_sample: f64,
+    }
+
+    /// Datasets the per-sample probe sweeps: the quick-profile graphs
+    /// small enough to time in seconds, chosen because they span the
+    /// percolation regimes where packed sampling behaves differently.
+    /// LastFm's `1/out_degree` probabilities put the process exactly at
+    /// criticality (little world overlap, the packed kernel's hardest
+    /// case); NetHept's `{0.1, 0.01, 0.001}` tiers are the
+    /// geometric-jump showcase; AsTopology's snapshot ratios sit near
+    /// the threshold with heavier overlap; Dblp02's collaboration
+    /// probabilities (mean 0.33 on a mean-degree-6 graph) and BioMine's
+    /// three-criteria combination (mean 0.32 on a mean-degree-12 graph)
+    /// are supercritical — sampled worlds share a giant component and
+    /// the 64-way traversal sharing dominates.
+    pub const PER_SAMPLE_DATASETS: &[Dataset] = &[
+        Dataset::LastFm,
+        Dataset::NetHept,
+        Dataset::AsTopology,
+        Dataset::Dblp02,
+        Dataset::BioMine,
+    ];
+
+    /// Per-sample cost of scalar vs packed sampling across
+    /// [`PER_SAMPLE_DATASETS`], four workloads per dataset:
+    ///
+    /// * `mc_*` — plain s-t MC (early-terminating lazy BFS) on the same
+    ///   10-pair workload at `fixed_k` samples per pair, single threaded,
+    ///   from equally-seeded streams.
+    /// * `mcm_*` — multi-target MC: one stream of `fixed_k` worlds
+    ///   scored against all ten workload targets. The scalar baseline
+    ///   already shares worlds across targets (one full BFS per world —
+    ///   no early exit is possible with many targets), so the ratio
+    ///   isolates the 64-world packing itself, not target amortization.
+    /// * `topk_*` — the full-reach per-world primitive behind top-k and
+    ///   multi-target serving (no early termination, every node scored),
+    ///   at `fixed_k` samples from one source. This is where 64-world
+    ///   sharing pays most on dense graphs: the scalar loop re-explores
+    ///   the whole reachable cluster per world.
+    /// * `rd_*` — distance-constrained `R_d` at `d = 4`, `fixed_k`
+    ///   samples on the first pair. The bounded exploration keeps every
+    ///   world inside the same `d`-ball around the source, so the
+    ///   64-world union traversal revisits heavily shared structure.
+    ///
+    /// Per row pair, the ratio of the two `ns_per_sample` values is the
+    /// packed kernel's speedup there; [`packed_speedup`] reduces the rows
+    /// to one headline number.
+    pub fn per_sample_probe(profile: RunProfile, seed: u64, fixed_k: usize) -> Vec<PerSampleRow> {
+        let mut rows = Vec::new();
+        let row = |path: String, samples: usize, wall_ms: f64| PerSampleRow {
+            path,
+            samples,
+            wall_ms,
+            ns_per_sample: wall_ms * 1e6 / samples.max(1) as f64,
+        };
+        for &dataset in PER_SAMPLE_DATASETS {
+            let mut env = ExperimentEnv::prepare(dataset, profile, 2, seed);
+            env.workload.pairs.truncate(10);
+            let slug = dataset.short_name();
+            let run_st = |path: String, est: &mut dyn Estimator| {
+                let mut rng = env.rng(0x9acced);
+                let start = std::time::Instant::now();
+                let mut samples = 0usize;
+                for &(s, t) in &env.workload.pairs {
+                    samples += est.estimate(s, t, fixed_k, &mut rng).samples;
+                }
+                row(path, samples, start.elapsed().as_secs_f64() * 1e3)
+            };
+            rows.push(run_st(
+                format!("mc_scalar/{slug}"),
+                &mut McSampling::new(Arc::clone(&env.graph)),
+            ));
+            rows.push(run_st(
+                format!("mc_packed/{slug}"),
+                &mut PackedMcSampling::new(Arc::clone(&env.graph)),
+            ));
+
+            let budget = SampleBudget::fixed(fixed_k.max(256));
+            let (s, t) = env.workload.pairs[0];
+            let mut rng = env.rng(0x9acced);
+            let scalar =
+                relcomp_core::topk::top_k_targets_with(&env.graph, s, 10, &budget, &mut rng);
+            rows.push(row(
+                format!("topk_scalar/{slug}"),
+                scalar.samples,
+                scalar.elapsed.as_secs_f64() * 1e3,
+            ));
+            let sampler = ParallelSampler::new(Arc::clone(&env.graph), 1);
+            let packed = sampler.top_k_targets_with(s, 10, &budget, 0x9acced);
+            rows.push(row(
+                format!("topk_packed/{slug}"),
+                packed.samples,
+                packed.elapsed.as_secs_f64() * 1e3,
+            ));
+
+            let d = 4;
+            let mut rng = env.rng(0x9acced);
+            let start = std::time::Instant::now();
+            let rd_scalar = relcomp_core::distance_constrained::distance_constrained_with(
+                &env.graph, s, t, d, &budget, &mut rng,
+            );
+            rows.push(row(
+                format!("rd_scalar/{slug}"),
+                rd_scalar.samples,
+                start.elapsed().as_secs_f64() * 1e3,
+            ));
+            let rd_packed = sampler.estimate_distance_constrained_with(s, t, d, &budget, 0x9acced);
+            rows.push(row(
+                format!("rd_packed/{slug}"),
+                rd_packed.samples,
+                rd_packed.elapsed.as_secs_f64() * 1e3,
+            ));
+
+            // Multi-target MC: both sides sample `fixed_k` worlds from
+            // the first source and score every workload target per world.
+            let targets: Vec<relcomp_ugraph::NodeId> =
+                env.workload.pairs.iter().map(|&(_, t)| t).collect();
+            let graph = &env.graph;
+            let mut rng = env.rng(0x9acced);
+            let mut ws = relcomp_ugraph::traversal::BfsWorkspace::new(graph.num_nodes());
+            let start = std::time::Instant::now();
+            let mut hits = vec![0usize; targets.len()];
+            for _ in 0..fixed_k {
+                ws.reset();
+                ws.visited.insert(s);
+                ws.queue.push_back(s);
+                while let Some(v) = ws.queue.pop_front() {
+                    for (e, w) in graph.out_edges(v) {
+                        if !ws.visited.contains(w)
+                            && rand::Rng::gen::<f64>(&mut rng) < graph.prob(e).value()
+                        {
+                            ws.visited.insert(w);
+                            ws.queue.push_back(w);
+                        }
+                    }
+                }
+                for (h, &t) in hits.iter_mut().zip(&targets) {
+                    *h += usize::from(ws.visited.contains(t));
+                }
+            }
+            std::hint::black_box(&hits);
+            rows.push(row(
+                format!("mcm_scalar/{slug}"),
+                fixed_k,
+                start.elapsed().as_secs_f64() * 1e3,
+            ));
+            let start = std::time::Instant::now();
+            let ests = sampler.estimate_mc_multi(s, &targets, fixed_k, 0x9acced);
+            std::hint::black_box(&ests);
+            rows.push(row(
+                format!("mcm_packed/{slug}"),
+                fixed_k,
+                start.elapsed().as_secs_f64() * 1e3,
+            ));
+        }
+        rows
+    }
+
+    /// Packed-over-scalar speedup from a [`per_sample_probe`] result:
+    /// the geometric mean of every `<workload>_scalar/<dataset>` over
+    /// `<workload>_packed/<dataset>` ratio, so each probability regime
+    /// and workload carries equal weight regardless of its absolute
+    /// per-sample cost. `None` when no pair is complete or a row is
+    /// degenerate.
+    pub fn packed_speedup(rows: &[PerSampleRow]) -> Option<f64> {
+        let ns = |path: &str| {
+            rows.iter()
+                .find(|r| r.path == path)
+                .map(|r| r.ns_per_sample)
+                .filter(|&ns| ns > 0.0)
+        };
+        let mut log_sum = 0.0f64;
+        let mut count = 0usize;
+        for row in rows {
+            let Some((workload, slug)) = row.path.split_once("_scalar/") else {
+                continue;
+            };
+            let (Some(scalar), Some(packed)) =
+                (ns(&row.path), ns(&format!("{workload}_packed/{slug}")))
+            else {
+                continue;
+            };
+            log_sum += (scalar / packed).ln();
+            count += 1;
+        }
+        (count > 0).then(|| (log_sum / count as f64).exp())
+    }
+
     /// Measure every paper-six estimator at `fixed_k` on `env`'s
     /// workload (refresh excluded from timing, as in the paper).
     pub fn timing_probe(env: &ExperimentEnv, fixed_k: usize) -> Vec<EstimatorTiming> {
@@ -327,6 +531,67 @@ pub mod adaptive {
                 }
             })
             .collect()
+    }
+}
+
+/// The machine-readable `BENCH_summary.json` schema shared by `run_all`
+/// (full sweep), `perf_probe` (probes only, for the CI perf gate), and
+/// `bench_diff` (baseline comparison).
+pub mod summary {
+    use crate::adaptive::{EstimatorTiming, PerSampleRow, WorkloadTiming};
+    use serde::{Deserialize, Serialize};
+    use std::path::Path;
+
+    /// One experiment binary's wall time.
+    #[derive(Clone, Debug, Serialize, Deserialize)]
+    pub struct JobTiming {
+        /// Experiment job name (`table02_datasets`, ...).
+        pub name: String,
+        /// Wall seconds the job took.
+        pub secs: f64,
+    }
+
+    /// The machine-readable sweep summary written to `BENCH_summary.json`.
+    #[derive(Clone, Debug, Serialize, Deserialize)]
+    pub struct BenchSummary {
+        /// Run profile (`quick` / `paper`).
+        pub profile: String,
+        /// Master seed of the run.
+        pub seed: u64,
+        /// Wall seconds for the whole sweep (probes only for `perf_probe`).
+        pub total_secs: f64,
+        /// Per-job wall times (empty for probe-only summaries).
+        pub jobs: Vec<JobTiming>,
+        /// Fixed-K timing probe per estimator (samples + wall ms) on the
+        /// LastFM analog — the stable cross-commit perf signal.
+        pub estimators: Vec<EstimatorTiming>,
+        /// Served extension workloads (top-k / distance-constrained),
+        /// fixed vs adaptive, on the parallel sharded sampler.
+        pub workloads: Vec<WorkloadTiming>,
+        /// Per-sample cost of scalar vs packed MC sampling.
+        pub per_sample: Vec<PerSampleRow>,
+        /// Packed-over-scalar MC per-sample speedup (0.0 when the probe
+        /// was degenerate).
+        pub mc_packed_speedup: f64,
+    }
+
+    /// Write `summary` to `BENCH_summary.json` at the repo root.
+    pub fn write(summary: &BenchSummary) {
+        let path = crate::repo_root().join("BENCH_summary.json");
+        match serde_json::to_string_pretty(summary) {
+            Ok(json) => match std::fs::write(&path, json) {
+                Ok(()) => eprintln!("[saved {}]", path.display()),
+                Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+            },
+            Err(e) => eprintln!("warning: could not serialize BENCH_summary: {e}"),
+        }
+    }
+
+    /// Load a summary from `path`.
+    pub fn load(path: &Path) -> Result<BenchSummary, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("could not read {}: {e}", path.display()))?;
+        serde_json::from_str(&text).map_err(|e| format!("could not parse {}: {e}", path.display()))
     }
 }
 

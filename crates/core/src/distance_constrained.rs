@@ -16,6 +16,13 @@
 //!
 //! `R_d` is monotone in `d` and converges to plain `R(s, t)` once `d`
 //! reaches the number of nodes (any simple path fits).
+//!
+//! The served and parallel paths
+//! (`ParallelSampler::estimate_distance_constrained_with`)
+//! sample `R_d` through the packed 64-world kernel
+//! ([`crate::packed::packed_reach_within`], always lazily probed — the
+//! hop bound caps how much of the graph a batch touches); the session
+//! loop and stopping rules are the same.
 
 use crate::estimator::Estimate;
 use crate::memory::MemoryTracker;

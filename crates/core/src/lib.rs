@@ -45,6 +45,7 @@ pub mod exact;
 pub mod lazy;
 pub mod mc;
 pub mod memory;
+pub mod packed;
 pub mod parallel;
 pub mod paths;
 pub mod probtree;
@@ -57,6 +58,7 @@ pub mod suite;
 pub mod topk;
 
 pub use estimator::{Estimate, Estimator, UpdateOutcome};
+pub use packed::{PackedMcSampling, PackedWorkspace};
 pub use parallel::ParallelSampler;
 pub use session::{Convergence, EstimationSession, SampleBudget, StopReason};
 pub use suite::{build_estimator, EstimatorKind, SuiteParams};

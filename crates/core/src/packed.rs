@@ -1,0 +1,923 @@
+//! Bit-packed 64-world Monte Carlo sampling.
+//!
+//! The paper's central finding is that world *sampling* dominates
+//! end-to-end cost for every s-t reliability estimator. This module
+//! amortizes that cost 64 ways: each pass samples 64 possible worlds into
+//! per-edge `u64` masks (bit `b` = world `b`) and runs one word-parallel
+//! BFS over all of them at once (see
+//! [`relcomp_ugraph::traversal::word_reach_worlds`]).
+//!
+//! Two mask generators, chosen per edge by [`sample_mask`]:
+//!
+//! * **Dense bit-compare** (`p > `[`GEOMETRIC_THRESHOLD`]): compare a
+//!   uniform bitstream against fixed-point `p` word-parallel, most
+//!   significant bit first. Each `next_u64` draw supplies one comparison
+//!   bit to all 64 worlds and halves the undecided set, so a full mask
+//!   costs ~2 draws in expectation plus one per tie-break round (~8 total
+//!   worst-typical) instead of 64 scalar coins.
+//! * **Geometric jump** (`p <= `[`GEOMETRIC_THRESHOLD`]): walk the 64 world
+//!   bits by sampling the gap to the next *surviving* world from
+//!   Geometric(p) — expected `64 p + 1` draws, so rarely-existing edges
+//!   cost almost nothing.
+//!
+//! Masks are generated **lazily and partially** during traversal (the
+//! packed analogue of Algorithm 1's lazy edge instantiation): when the
+//! BFS probes an edge, only the world bits the traversal can actually use
+//! — the candidate set, minus bits already decided earlier in the batch —
+//! are drawn, and [`MaskCache`] remembers the decisions for the batch's
+//! remainder. Generation cost is therefore proportional to the *useful*
+//! probes across the 64 worlds, not to `m` and not even to 64 bits per
+//! touched edge. On graphs near the percolation threshold (mean offspring
+//! ≈ 1, e.g. `p = 1/out_degree` assignments) this matters a lot: the 64
+//! worlds overlap little, and drawing full words would cost *more*
+//! randomness than 64 scalar samples.
+//!
+//! In-batch mask randomness comes from a [`SplitMix64`] stream seeded
+//! with one draw of the session's primary RNG per batch, so the primary
+//! stream advances by exactly one word per 64 worlds regardless of
+//! traversal shape.
+//!
+//! # Determinism contract
+//!
+//! A packed 64-world batch consumes exactly one `next_u64` of the
+//! session's primary stream (the in-batch [`SplitMix64`] seed), making
+//! the batch one indivisible draw: results are deterministic in
+//! `(graph, s, t, seed)` but the stream differs from 64 scalar samples.
+//! Sessions that mix packed words with a scalar tail (fewer than 64
+//! remaining samples) run the tail through the historical scalar loop on
+//! the *same* stream — so a fixed budget below 64 samples is bit-identical
+//! to [`McSampling`](crate::mc::McSampling).
+
+use crate::estimator::{validate_query, Estimate, Estimator, UpdateOutcome};
+use crate::memory::MemoryTracker;
+use crate::sampler::coin;
+use crate::session::{EstimationSession, SampleBudget};
+use rand::{Rng, RngCore};
+use relcomp_ugraph::traversal::{
+    bfs_reaches, word_reach_all, word_reach_all_sweep, word_reach_within, word_reach_worlds,
+    word_reach_worlds_sweep, BfsWorkspace, WordBfsWorkspace, WORLD_WORD_BITS,
+};
+use relcomp_ugraph::{EdgeId, EdgeUpdate, NodeId, UncertainGraph};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Worlds per packed batch (the `u64` word width).
+pub const WORLD_BATCH: usize = WORLD_WORD_BITS;
+
+/// Edge probability at or below which [`sample_mask`] switches from the
+/// dense bit-compare fill to geometric-jump skipping.
+///
+/// The two paths cost differently per *variate*, not just per word: the
+/// dense fill burns ~8 raw draws regardless of `p` (the undecided set
+/// halves per draw), while each geometric jump pays for a draw plus an
+/// `ln()` and a division — roughly five times a raw [`SplitMix64`] draw.
+/// With `64 p + 1` jumps per word, skipping only beats the fixed-cost
+/// dense fill for `p` ≲ 0.02; below that its cost keeps falling linearly
+/// in `p`, which is where rarely-existing edges become near-free.
+pub const GEOMETRIC_THRESHOLD: f64 = 0.02;
+
+// Process-global tally of worlds sampled through the packed kernels vs
+// scalar loops (tails and unpacked paths), surfaced by the serve engine's
+// `stats` response.
+static PACKED_SAMPLES: AtomicU64 = AtomicU64::new(0);
+static SCALAR_SAMPLES: AtomicU64 = AtomicU64::new(0);
+
+#[inline]
+fn note_packed_batch() {
+    PACKED_SAMPLES.fetch_add(WORLD_BATCH as u64, Ordering::Relaxed);
+}
+
+/// Record `n` worlds sampled through a scalar (one-world-at-a-time) loop.
+/// Called by the packed session tails and the parallel sampler.
+#[inline]
+pub fn note_scalar_samples(n: u64) {
+    if n > 0 {
+        SCALAR_SAMPLES.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Process-wide `(packed, scalar)` world-sample counts since start.
+///
+/// Packed counts grow in steps of [`WORLD_BATCH`]; scalar counts cover
+/// session tails and any sampling that bypasses the packed kernels.
+pub fn sample_counts() -> (u64, u64) {
+    (
+        PACKED_SAMPLES.load(Ordering::Relaxed),
+        SCALAR_SAMPLES.load(Ordering::Relaxed),
+    )
+}
+
+/// Split a batch of `n` samples into `(packed_words, scalar_tail)`:
+/// `packed_words * 64 + scalar_tail == n` with `scalar_tail < 64`.
+#[inline]
+pub fn split_batch(n: usize) -> (usize, usize) {
+    (n / WORLD_BATCH, n % WORLD_BATCH)
+}
+
+/// One 64-world existence mask via the dense bit-compare fill: bit `b` is
+/// set with probability `p` (to within fixed-point `2^-64` resolution),
+/// independently across bits. Exactly equivalent to comparing 64
+/// independent uniform bitstreams against `p`, most significant bit first.
+pub fn dense_mask<R: Rng + ?Sized>(rng: &mut R, p: f64) -> u64 {
+    if p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return !0;
+    }
+    // p as a 64-bit fixed-point fraction (saturating; exact for dyadic p).
+    let p_fixed = (p * (u64::MAX as f64 + 1.0)) as u64;
+    let mut undecided = !0u64;
+    let mut mask = 0u64;
+    for j in (0..64).rev() {
+        let r = rng.next_u64();
+        // Branch-free select on bit `j` of p: the bit values are as good
+        // as random across edges, so a data branch here mispredicts half
+        // the time and costs more than both arms. With p's bit set,
+        // worlds whose uniform bit is 0 are strictly below p; with it
+        // clear, worlds whose uniform bit is 1 are strictly above.
+        let sel = ((p_fixed >> j) & 1).wrapping_neg();
+        mask |= undecided & !r & sel;
+        undecided &= r ^ !sel;
+        if undecided == 0 {
+            break;
+        }
+    }
+    // Exhausting all 64 bits means uniform == p exactly: not below p.
+    mask
+}
+
+/// One 64-world existence mask via geometric-jump skipping: jump from one
+/// surviving world to the next with Geometric(p) gaps. Distributionally
+/// identical to [`dense_mask`] (each bit is an independent Bernoulli(p))
+/// but costs `64 p + 1` variates in expectation — the win for small `p`.
+pub fn geometric_mask<R: Rng + ?Sized>(rng: &mut R, p: f64) -> u64 {
+    if p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return !0;
+    }
+    // Inverse-CDF jumps as in [`crate::sampler::geometric`], with
+    // `ln(1 - p)` hoisted out of the loop: recomputing it per jump
+    // doubles the `ln` count, which is most of a jump's cost at small p.
+    let denom = (1.0 - p).ln();
+    let mut mask = 0u64;
+    let mut pos = 0u64;
+    loop {
+        let u: f64 = 1.0 - rng.gen::<f64>(); // in (0, 1]
+        pos += (u.ln() / denom) as u64; // floor; saturating cast guards huge jumps
+        if pos >= WORLD_BATCH as u64 {
+            break;
+        }
+        mask |= 1u64 << pos;
+        pos += 1;
+    }
+    mask
+}
+
+/// One 64-world existence mask for an edge with probability `p`,
+/// dispatching to [`geometric_mask`] below [`GEOMETRIC_THRESHOLD`] and
+/// [`dense_mask`] above it.
+#[inline]
+pub fn sample_mask<R: Rng + ?Sized>(rng: &mut R, p: f64) -> u64 {
+    if p <= GEOMETRIC_THRESHOLD {
+        geometric_mask(rng, p)
+    } else {
+        dense_mask(rng, p)
+    }
+}
+
+/// The cheap in-batch generator behind packed mask drawing (SplitMix64).
+///
+/// Each packed 64-world batch seeds one `SplitMix64` from a single
+/// `next_u64` of the session's primary stream and draws all of the
+/// batch's mask randomness from it. Two wins: the primary stream advances
+/// by exactly one word per batch regardless of traversal shape, and each
+/// variate costs one add plus three xor-shift-multiplies — a fraction of
+/// a buffered ChaCha8 word. The packed kernels are draw-bound on dense
+/// graphs, so the cheaper generator is a measured part of the per-sample
+/// speedup. SplitMix64 is statistically solid for Monte Carlo use;
+/// nothing here needs a cryptographic stream.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A stream seeded with `seed` (all seeds are valid, including 0).
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+}
+
+impl RngCore for SplitMix64 {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Per-bit coin threshold: candidate sets with fewer undecided bits than
+/// this are drawn bit-by-bit (one variate per bit); at or above it the
+/// whole word is settled by [`sample_mask`], whose ~8-draw dense fill
+/// beats 8+ individual coins.
+const PER_BIT_LIMIT: u32 = 8;
+
+/// Lazy per-batch cache of *partially drawn* edge masks.
+///
+/// The word-parallel BFS probes an edge with a candidate world-set (the
+/// worlds that would newly cross it). Drawing the full 64-world mask on
+/// first probe spends randomness on worlds that never reach the edge —
+/// near the percolation threshold that more than doubles the draw count
+/// and makes packing slower than scalar sampling. Instead the cache
+/// tracks per edge which world bits are *decided* and which of those
+/// survived, and a probe draws only `cand & !decided`:
+///
+/// * fewer than [`PER_BIT_LIMIT`] undecided bits: branchless per-bit
+///   coins, one variate per bit;
+/// * otherwise the rest of the word is settled at once by
+///   [`sample_mask`] (dense fill or geometric jumps).
+///
+/// Re-probes replay decided bits, so an edge stays consistent across the
+/// 64 worlds within a batch. Reset is O(edges touched), not O(m):
+/// `begin_batch` clears only the edges the previous batch drew.
+#[derive(Clone, Debug)]
+pub struct MaskCache {
+    /// Per-edge `(decided, mask)` pairs, interleaved so a probe's two
+    /// random-access words share one cache line — on sparse-regime graphs
+    /// the lazy path is probe-bound and the split-array layout paid two
+    /// cache misses per first touch.
+    slots: Vec<MaskSlot>,
+    touched: Vec<EdgeId>,
+}
+
+/// One edge's lazy-draw state: which world bits are decided, and which of
+/// the decided bits survived.
+#[derive(Clone, Copy, Debug, Default)]
+struct MaskSlot {
+    decided: u64,
+    mask: u64,
+}
+
+impl MaskCache {
+    /// Cache for a graph with `m` edges.
+    pub fn new(m: usize) -> Self {
+        MaskCache {
+            slots: vec![MaskSlot::default(); m],
+            touched: Vec::new(),
+        }
+    }
+
+    /// Start a fresh 64-world batch, forgetting the previous batch's
+    /// decisions in O(edges touched), not O(m): only the edges the
+    /// previous batch drew are cleared. When the previous batch touched
+    /// most of the graph (the dense regime) a wholesale memset beats the
+    /// scattered per-edge writes.
+    #[inline]
+    pub fn begin_batch(&mut self) {
+        if self.touched.len() * 2 >= self.slots.len() {
+            self.slots.fill(MaskSlot::default());
+        } else {
+            for &e in &self.touched {
+                self.slots[e.index()] = MaskSlot::default();
+            }
+        }
+        self.touched.clear();
+    }
+
+    /// The edge's full 64-world existence mask, drawing every undecided
+    /// bit now — the dense-batch strategy for supercritical graphs, where
+    /// the fixed-point sweep revisits each reached edge a handful of times
+    /// and candidate-set bookkeeping costs more than it saves. The first
+    /// touch settles the whole word with one [`sample_mask`] call; later
+    /// touches replay it from the slot. Edges the sweep never scans are
+    /// never drawn, which matters on directed graphs whose worlds reach a
+    /// fraction of the nodes. Shares `decided`/`touched` bookkeeping with
+    /// [`MaskCache::probe`], so the two can serve the same cache across
+    /// batches.
+    #[inline]
+    pub fn probe_full<R: Rng + ?Sized>(
+        &mut self,
+        e: EdgeId,
+        graph: &UncertainGraph,
+        rng: &mut R,
+    ) -> u64 {
+        let slot = &mut self.slots[e.index()];
+        if slot.decided == 0 {
+            self.touched.push(e);
+            slot.mask = sample_mask(rng, graph.prob(e).value());
+            slot.decided = !0;
+        } else if slot.decided != !0 {
+            // A lazy probe partially decided this edge earlier in the
+            // batch (mixed-strategy use); settle the remainder once.
+            slot.mask |= sample_mask(rng, graph.prob(e).value()) & !slot.decided;
+            slot.decided = !0;
+        }
+        slot.mask
+    }
+
+    /// The edge's existence mask restricted to the candidate worlds
+    /// `cand`, drawing any not-yet-decided candidate bits now. Decided
+    /// bits replay their earlier outcome, so probes compose into one
+    /// consistent 64-world mask per edge per batch.
+    #[inline]
+    pub fn probe<R: Rng + ?Sized>(&mut self, e: EdgeId, p: f64, cand: u64, rng: &mut R) -> u64 {
+        let slot = &mut self.slots[e.index()];
+        let undecided = cand & !slot.decided;
+        if undecided != 0 {
+            if slot.decided == 0 {
+                self.touched.push(e);
+            }
+            if undecided.count_ones() < PER_BIT_LIMIT && p > 0.0 && p < 1.0 {
+                // Branchless Bernoulli(p) per candidate bit: set the bit
+                // when a fresh uniform word falls below fixed-point p —
+                // the same accept rule the dense fill resolves bitwise.
+                let p_fixed = (p * (u64::MAX as f64 + 1.0)) as u64;
+                let mut drawn = 0u64;
+                let mut bits = undecided;
+                while bits != 0 {
+                    let b = bits & bits.wrapping_neg();
+                    drawn |= b & ((rng.next_u64() < p_fixed) as u64).wrapping_neg();
+                    bits ^= b;
+                }
+                slot.mask |= drawn;
+                slot.decided |= undecided;
+            } else {
+                // Settle every still-undecided bit of the word in one go;
+                // previously decided bits keep their recorded outcome.
+                slot.mask |= sample_mask(rng, p) & !slot.decided;
+                slot.decided = !0;
+            }
+        }
+        slot.mask & cand
+    }
+
+    /// Approximate resident bytes (for memory accounting).
+    pub fn resident_bytes(&self) -> usize {
+        self.slots.len() * 16 + self.touched.capacity() * std::mem::size_of::<EdgeId>()
+    }
+}
+
+/// Mean percolation offspring number (sum of edge probabilities over node
+/// count) at or above which [`PackedWorkspace::for_graph`] picks the dense
+/// batch strategy. Above ~1 a sampled world has a giant component, batches
+/// touch most edges, and the upfront fill + CSR sweep beats lazy probing;
+/// well below 1 worlds are shards and lazy probing skips most of the graph.
+pub const DENSE_OFFSPRING_THRESHOLD: f64 = 1.25;
+
+/// Reusable state for packed sampling over one graph: the word-parallel
+/// BFS workspace plus the edge-mask cache, and the batch strategy chosen
+/// for the graph.
+#[derive(Clone, Debug)]
+pub struct PackedWorkspace {
+    words: WordBfsWorkspace,
+    masks: MaskCache,
+    dense: bool,
+}
+
+impl PackedWorkspace {
+    /// Workspace for a graph with `n` nodes and `m` edges, using the lazy
+    /// (sparse-regime) batch strategy.
+    pub fn new(n: usize, m: usize) -> Self {
+        PackedWorkspace {
+            words: WordBfsWorkspace::new(n),
+            masks: MaskCache::new(m),
+            dense: false,
+        }
+    }
+
+    /// Workspace sized for `graph`, choosing the batch strategy from the
+    /// graph's mean offspring number (≥ [`DENSE_OFFSPRING_THRESHOLD`] goes
+    /// dense). The choice is a pure function of the graph — never of batch
+    /// history — so estimates stay deterministic per seed and
+    /// [`ParallelSampler`](crate::parallel::ParallelSampler) results stay
+    /// bit-identical across thread counts. Both strategies draw each
+    /// edge's existence from the same per-edge Bernoulli, so only speed
+    /// (and which equally-distributed worlds a given seed yields)
+    /// differs.
+    pub fn for_graph(graph: &UncertainGraph) -> Self {
+        let mut ws = PackedWorkspace::new(graph.num_nodes(), graph.num_edges());
+        ws.retune(graph);
+        ws
+    }
+
+    /// Re-pick the batch strategy for `graph` (same node and edge
+    /// counts), e.g. after live probability updates shift the offspring
+    /// number across the threshold. O(m).
+    pub fn retune(&mut self, graph: &UncertainGraph) {
+        let offspring: f64 = graph.edges().map(|(_, _, _, p)| p.value()).sum::<f64>()
+            / graph.num_nodes().max(1) as f64;
+        self.dense = offspring >= DENSE_OFFSPRING_THRESHOLD;
+    }
+
+    /// Whether this workspace uses the dense (full-word draws + fixed-point
+    /// sweep) batch strategy for full-reachability batches.
+    pub fn dense_mode(&self) -> bool {
+        self.dense
+    }
+
+    /// Approximate resident bytes (for memory accounting).
+    pub fn resident_bytes(&self) -> usize {
+        self.words.resident_bytes() + self.masks.resident_bytes()
+    }
+
+    /// Resident bytes a fresh workspace would hold, without allocating one.
+    pub fn bytes_for(n: usize, m: usize) -> usize {
+        WordBfsWorkspace::bytes_for(n) + m * 16
+    }
+}
+
+/// Sample one packed batch of 64 worlds and count those in which `t` is
+/// reachable from `s`. Returns the hit count in `0..=64`. Consumes
+/// exactly one `next_u64` of `rng` (the batch's [`SplitMix64`] seed) in
+/// either batch strategy.
+pub fn packed_reach_worlds<R: Rng + ?Sized>(
+    graph: &UncertainGraph,
+    s: NodeId,
+    t: NodeId,
+    ws: &mut PackedWorkspace,
+    rng: &mut R,
+) -> u32 {
+    let PackedWorkspace {
+        words,
+        masks,
+        dense,
+    } = ws;
+    let mut mask_rng = SplitMix64::new(rng.next_u64());
+    masks.begin_batch();
+    let reached = if *dense {
+        word_reach_worlds_sweep(graph, s, t, words, |e| {
+            masks.probe_full(e, graph, &mut mask_rng)
+        })
+    } else {
+        word_reach_worlds(graph, s, t, words, |e, cand| {
+            masks.probe(e, graph.prob(e).value(), cand, &mut mask_rng)
+        })
+    };
+    note_packed_batch();
+    reached.count_ones()
+}
+
+/// Sample one packed batch of 64 worlds and compute full reachability from
+/// `s` in each: returns the word BFS workspace, whose `reach()` words
+/// (bit `b` of `[v]` set when `v` is reachable in world `b`) and
+/// `reached_nodes()` union back multi-target and top-k sampling — scoring
+/// iterates the reached union, not all `n` nodes. Consumes exactly one
+/// `next_u64` of `rng`.
+pub fn packed_sample_worlds<'a, R: Rng + ?Sized>(
+    graph: &UncertainGraph,
+    s: NodeId,
+    ws: &'a mut PackedWorkspace,
+    rng: &mut R,
+) -> &'a WordBfsWorkspace {
+    let PackedWorkspace {
+        words,
+        masks,
+        dense,
+    } = ws;
+    let mut mask_rng = SplitMix64::new(rng.next_u64());
+    masks.begin_batch();
+    if *dense {
+        word_reach_all_sweep(graph, s, words, |e| {
+            masks.probe_full(e, graph, &mut mask_rng)
+        });
+    } else {
+        word_reach_all(graph, s, words, |e, cand| {
+            masks.probe(e, graph.prob(e).value(), cand, &mut mask_rng)
+        });
+    }
+    note_packed_batch();
+    words
+}
+
+/// Sample one packed batch of 64 worlds and count those in which `t` is
+/// within `d` hops of `s` (the distance-constrained workload's `R_d`).
+/// Consumes exactly one `next_u64` of `rng`. Always probes lazily — the
+/// hop bound caps how much of the graph a batch can touch, so the dense
+/// fill-everything strategy has nothing to amortize here.
+pub fn packed_reach_within<R: Rng + ?Sized>(
+    graph: &UncertainGraph,
+    s: NodeId,
+    t: NodeId,
+    d: usize,
+    ws: &mut PackedWorkspace,
+    rng: &mut R,
+) -> u32 {
+    let PackedWorkspace { words, masks, .. } = ws;
+    masks.begin_batch();
+    let mut mask_rng = SplitMix64::new(rng.next_u64());
+    let reached = word_reach_within(graph, s, t, d, words, |e, cand| {
+        masks.probe(e, graph.prob(e).value(), cand, &mut mask_rng)
+    });
+    note_packed_batch();
+    reached.count_ones()
+}
+
+/// Monte Carlo s-t estimator running the packed 64-world kernel inside the
+/// standard [`SampleBudget`] session loop.
+///
+/// Each session batch splits into `batch / 64` packed words plus a scalar
+/// tail of `batch % 64` historical lazy-BFS samples from the same RNG
+/// stream; adaptive stopping is checked at batch (hence word) boundaries.
+/// For fixed budgets below 64 samples the packed path never engages, and
+/// the result is bit-identical to [`McSampling`](crate::mc::McSampling).
+pub struct PackedMcSampling {
+    graph: Arc<UncertainGraph>,
+    ws: PackedWorkspace,
+    scalar_ws: BfsWorkspace,
+}
+
+impl PackedMcSampling {
+    /// Create a packed MC estimator over `graph`.
+    pub fn new(graph: Arc<UncertainGraph>) -> Self {
+        let ws = PackedWorkspace::for_graph(&graph);
+        let n = graph.num_nodes();
+        PackedMcSampling {
+            graph,
+            ws,
+            scalar_ws: BfsWorkspace::new(n),
+        }
+    }
+}
+
+impl Estimator for PackedMcSampling {
+    fn name(&self) -> &'static str {
+        // The packed kernel is an implementation of plain MC sampling —
+        // same estimator in the paper's tables, faster per world.
+        "MC"
+    }
+
+    fn estimate_with(
+        &mut self,
+        s: NodeId,
+        t: NodeId,
+        budget: &SampleBudget,
+        rng: &mut dyn RngCore,
+    ) -> Estimate {
+        validate_query(&self.graph, s, t);
+        let mut session = EstimationSession::begin(budget);
+
+        let mut mem = MemoryTracker::new();
+        mem.baseline(self.ws.resident_bytes() + self.scalar_ws.resident_bytes());
+
+        let mut hits = 0usize;
+        let graph = &self.graph;
+        loop {
+            let n = session.next_batch();
+            if n == 0 {
+                break;
+            }
+            let (words, tail) = split_batch(n);
+            let mut batch_hits = 0usize;
+            for _ in 0..words {
+                batch_hits += packed_reach_worlds(graph, s, t, &mut self.ws, rng) as usize;
+            }
+            for _ in 0..tail {
+                if bfs_reaches(graph, s, t, &mut self.scalar_ws, |e| {
+                    coin(rng, graph.prob(e).value())
+                }) {
+                    batch_hits += 1;
+                }
+            }
+            note_scalar_samples(tail as u64);
+            hits += batch_hits;
+            session.record_hits(batch_hits, n);
+        }
+
+        session.finish(hits as f64 / session.samples() as f64, &mem)
+    }
+
+    fn apply_updates(
+        &mut self,
+        graph: &Arc<UncertainGraph>,
+        _updates: &[EdgeUpdate],
+        _rng: &mut dyn RngCore,
+    ) -> UpdateOutcome {
+        if graph.num_nodes() != self.graph.num_nodes()
+            || graph.num_edges() != self.graph.num_edges()
+        {
+            return UpdateOutcome::Rebuild;
+        }
+        self.graph = Arc::clone(graph);
+        // Probability updates can move the offspring number across the
+        // dense threshold; the strategy must stay a pure function of the
+        // graph being sampled.
+        self.ws.retune(&self.graph);
+        UpdateOutcome::Rebound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_reliability;
+    use crate::mc::McSampling;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use relcomp_ugraph::GraphBuilder;
+
+    fn diamond() -> Arc<UncertainGraph> {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1), 0.8).unwrap();
+        b.add_edge(NodeId(0), NodeId(2), 0.6).unwrap();
+        b.add_edge(NodeId(1), NodeId(3), 0.7).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), 0.5).unwrap();
+        Arc::new(b.build())
+    }
+
+    #[test]
+    fn dense_mask_frequency_matches_p() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for &p in &[0.15, 0.5, 0.85] {
+            let n = 20_000;
+            let ones: u32 = (0..n).map(|_| dense_mask(&mut rng, p).count_ones()).sum();
+            let freq = ones as f64 / (n as f64 * 64.0);
+            assert!((freq - p).abs() < 0.01, "p={p}: freq {freq}");
+        }
+    }
+
+    #[test]
+    fn geometric_mask_frequency_matches_p() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for &p in &[0.01, 0.05, 0.1] {
+            let n = 40_000;
+            let ones: u32 = (0..n)
+                .map(|_| geometric_mask(&mut rng, p).count_ones())
+                .sum();
+            let freq = ones as f64 / (n as f64 * 64.0);
+            assert!((freq - p).abs() < 0.005, "p={p}: freq {freq}");
+        }
+    }
+
+    #[test]
+    fn masks_handle_degenerate_probabilities() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        assert_eq!(dense_mask(&mut rng, 0.0), 0);
+        assert_eq!(dense_mask(&mut rng, 1.0), !0);
+        assert_eq!(geometric_mask(&mut rng, 0.0), 0);
+        assert_eq!(geometric_mask(&mut rng, 1.0), !0);
+    }
+
+    #[test]
+    fn dense_mask_bit_positions_are_unbiased() {
+        // Every bit position should carry probability p, not just the
+        // aggregate popcount.
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let p = 0.3;
+        let n = 50_000;
+        let mut per_bit = [0u32; 64];
+        for _ in 0..n {
+            let m = dense_mask(&mut rng, p);
+            for (b, slot) in per_bit.iter_mut().enumerate() {
+                *slot += ((m >> b) & 1) as u32;
+            }
+        }
+        for (b, &ones) in per_bit.iter().enumerate() {
+            let freq = ones as f64 / n as f64;
+            assert!((freq - p).abs() < 0.02, "bit {b}: freq {freq}");
+        }
+    }
+
+    #[test]
+    fn mask_cache_replays_within_a_batch_and_refreshes_across() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut cache = MaskCache::new(2);
+        cache.begin_batch();
+        let a = cache.probe(EdgeId(0), 0.5, !0, &mut rng);
+        let b = cache.probe(EdgeId(0), 0.5, !0, &mut rng);
+        assert_eq!(a, b, "same batch must replay the decided mask");
+        // A narrower re-probe replays the matching slice.
+        let lo = cache.probe(EdgeId(0), 0.5, 0xFFFF, &mut rng);
+        assert_eq!(lo, a & 0xFFFF);
+        cache.begin_batch();
+        let c = cache.probe(EdgeId(0), 0.5, !0, &mut rng);
+        // With overwhelming probability a fresh 64-bit draw differs.
+        assert_ne!(a, c, "new batch must redraw");
+    }
+
+    #[test]
+    fn mask_cache_partial_probes_compose_consistently() {
+        // Probing world subsets in pieces (exercising both the per-bit
+        // coin path and the full-word settle path) must agree with the
+        // union probe of the same batch.
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let mut cache = MaskCache::new(1);
+        for p in [0.015, 0.3, 0.9] {
+            cache.begin_batch();
+            let few = cache.probe(EdgeId(0), p, 0b101, &mut rng); // per-bit path
+            let more = cache.probe(EdgeId(0), p, 0xFF00, &mut rng); // full-word path
+            let all = cache.probe(EdgeId(0), p, !0, &mut rng);
+            assert_eq!(all & 0b101, few, "p={p}");
+            assert_eq!(all & 0xFF00, more, "p={p}");
+        }
+    }
+
+    #[test]
+    fn mask_cache_partial_probes_are_unbiased() {
+        // Per-bit frequency must stay p whether bits are drawn by the
+        // branchless coin path or the full-word generators.
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut cache = MaskCache::new(1);
+        let p = 0.3;
+        let n = 30_000;
+        let mut ones = 0u64;
+        for _ in 0..n {
+            cache.begin_batch();
+            // Three-bit probe first (coin path), then the remainder.
+            let lo = cache.probe(EdgeId(0), p, 0b111, &mut rng);
+            let hi = cache.probe(EdgeId(0), p, !0b111, &mut rng);
+            ones += u64::from((lo | hi).count_ones());
+        }
+        let freq = ones as f64 / (n as f64 * 64.0);
+        assert!((freq - p).abs() < 0.01, "freq {freq}");
+    }
+
+    #[test]
+    fn mask_cache_degenerate_probabilities() {
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let mut cache = MaskCache::new(2);
+        cache.begin_batch();
+        assert_eq!(cache.probe(EdgeId(0), 0.0, 0b11, &mut rng), 0);
+        assert_eq!(cache.probe(EdgeId(1), 1.0, 0b11, &mut rng), 0b11);
+    }
+
+    #[test]
+    fn splitmix_streams_are_deterministic_and_distinct() {
+        use rand::RngCore;
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = SplitMix64::new(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn packed_estimate_converges_to_exact() {
+        let g = diamond();
+        let exact = exact_reliability(&g, NodeId(0), NodeId(3));
+        let mut packed = PackedMcSampling::new(Arc::clone(&g));
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let est = packed.estimate(NodeId(0), NodeId(3), 60_000, &mut rng);
+        assert!(est.is_valid());
+        assert!(
+            (est.reliability - exact).abs() < 0.01,
+            "{} vs {exact}",
+            est.reliability
+        );
+    }
+
+    #[test]
+    fn packed_fixed_k_below_word_width_is_bit_identical_to_scalar() {
+        let g = diamond();
+        for k in [1usize, 7, 63] {
+            let mut scalar = McSampling::new(Arc::clone(&g));
+            let mut packed = PackedMcSampling::new(Arc::clone(&g));
+            let mut r1 = ChaCha8Rng::seed_from_u64(7);
+            let mut r2 = ChaCha8Rng::seed_from_u64(7);
+            let a = scalar.estimate(NodeId(0), NodeId(3), k, &mut r1);
+            let b = packed.estimate(NodeId(0), NodeId(3), k, &mut r2);
+            assert_eq!(a.reliability.to_bits(), b.reliability.to_bits(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn packed_s_equals_t_and_disconnected() {
+        let g = diamond();
+        let mut packed = PackedMcSampling::new(Arc::clone(&g));
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        assert_eq!(
+            packed
+                .estimate(NodeId(2), NodeId(2), 320, &mut rng)
+                .reliability,
+            1.0
+        );
+        assert_eq!(
+            packed
+                .estimate(NodeId(3), NodeId(0), 320, &mut rng)
+                .reliability,
+            0.0
+        );
+    }
+
+    fn dense_diamond() -> Arc<UncertainGraph> {
+        // Diamond plus a bidirected chord: sum(p)/n = 5.4/4 = 1.35, past
+        // the dense threshold.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1), 0.8).unwrap();
+        b.add_edge(NodeId(0), NodeId(2), 0.6).unwrap();
+        b.add_edge(NodeId(1), NodeId(3), 0.7).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), 0.5).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 0.9).unwrap();
+        b.add_edge(NodeId(2), NodeId(1), 0.9).unwrap();
+        b.add_edge(NodeId(3), NodeId(0), 1.0).unwrap();
+        Arc::new(b.build())
+    }
+
+    #[test]
+    fn for_graph_picks_mode_from_offspring_number() {
+        assert!(!PackedWorkspace::for_graph(&diamond()).dense_mode());
+        assert!(PackedWorkspace::for_graph(&dense_diamond()).dense_mode());
+    }
+
+    #[test]
+    fn dense_batches_converge_to_exact() {
+        let g = dense_diamond();
+        let exact = exact_reliability(&g, NodeId(0), NodeId(3));
+        let mut ws = PackedWorkspace::for_graph(&g);
+        assert!(ws.dense_mode());
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let batches = 1500u32;
+        let hits: u32 = (0..batches)
+            .map(|_| packed_reach_worlds(&g, NodeId(0), NodeId(3), &mut ws, &mut rng))
+            .sum();
+        let freq = hits as f64 / (batches as f64 * 64.0);
+        assert!((freq - exact).abs() < 0.01, "{freq} vs {exact}");
+    }
+
+    #[test]
+    fn dense_and_lazy_strategies_agree_in_distribution() {
+        // Force both strategies onto the same graph: each must hit the
+        // exact reliability, i.e. the strategies draw the same per-edge
+        // Bernoullis (only the world stream differs).
+        let g = diamond();
+        let exact = exact_reliability(&g, NodeId(0), NodeId(3));
+        for dense in [false, true] {
+            let mut ws = PackedWorkspace::for_graph(&g);
+            ws.dense = dense;
+            let mut rng = ChaCha8Rng::seed_from_u64(14);
+            let batches = 1500u32;
+            let hits: u32 = (0..batches)
+                .map(|_| packed_reach_worlds(&g, NodeId(0), NodeId(3), &mut ws, &mut rng))
+                .sum();
+            let freq = hits as f64 / (batches as f64 * 64.0);
+            assert!(
+                (freq - exact).abs() < 0.01,
+                "dense={dense}: {freq} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn dense_sample_worlds_matches_st_kernel() {
+        // Full-reachability batches on the dense path must report the
+        // same per-world hit structure the s-t kernel distribution does.
+        let g = dense_diamond();
+        let exact = exact_reliability(&g, NodeId(0), NodeId(3));
+        let mut ws = PackedWorkspace::for_graph(&g);
+        let mut rng = ChaCha8Rng::seed_from_u64(15);
+        let batches = 1500u32;
+        let mut hits = 0u32;
+        for _ in 0..batches {
+            let words = packed_sample_worlds(&g, NodeId(0), &mut ws, &mut rng);
+            hits += words.reach()[NodeId(3).index()].count_ones();
+        }
+        let freq = hits as f64 / (batches as f64 * 64.0);
+        assert!((freq - exact).abs() < 0.01, "{freq} vs {exact}");
+    }
+
+    #[test]
+    fn probe_full_replays_and_resets_like_probe() {
+        // Full-word draws must share batch semantics with lazy probes:
+        // replay within a batch, compose with partial probes, and clear
+        // on begin_batch so stale bits never leak into the next batch.
+        let g = dense_diamond();
+        let mut cache = MaskCache::new(g.num_edges());
+        let mut rng = ChaCha8Rng::seed_from_u64(16);
+        let full = cache.probe_full(EdgeId(6), &g, &mut rng);
+        assert_eq!(full, !0, "p=1.0 edge must fill every world");
+        assert_eq!(cache.probe_full(EdgeId(6), &g, &mut rng), full);
+        // A lazy probe after a full draw replays the same bits.
+        assert_eq!(cache.probe(EdgeId(6), 1.0, 0xff, &mut rng), full & 0xff);
+        // A full draw after a partial lazy probe keeps the decided bits.
+        let part = cache.probe(EdgeId(0), g.prob(EdgeId(0)).value(), 0xf, &mut rng);
+        let whole = cache.probe_full(EdgeId(0), &g, &mut rng);
+        assert_eq!(whole & 0xf, part);
+        assert_eq!(cache.probe_full(EdgeId(0), &g, &mut rng), whole);
+        cache.begin_batch();
+        // After the reset the p=1.0 edge redraws (still all-ones), and a
+        // p=0 lazy probe of a previously full edge sees nothing stale.
+        assert_eq!(cache.probe(EdgeId(6), 0.0, !0, &mut rng), 0);
+    }
+
+    #[test]
+    fn sample_counters_advance() {
+        let g = diamond();
+        let (p0, s0) = sample_counts();
+        let mut packed = PackedMcSampling::new(Arc::clone(&g));
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let _ = packed.estimate(NodeId(0), NodeId(3), 100, &mut rng);
+        let (p1, s1) = sample_counts();
+        assert!(p1 >= p0 + 64, "packed counter should grow by a word");
+        assert!(s1 >= s0 + 36, "scalar tail should be counted");
+    }
+}

@@ -25,10 +25,22 @@
 //! adaptive variants check convergence at the same deterministic
 //! shard-group barriers, so budget-driven answers are thread-count
 //! invariant too.
+//!
+//! The MC-family entry points draw their worlds through the bit-packed
+//! kernel of [`crate::packed`]: each [`SHARD_SAMPLES`]-sample shard runs
+//! as `SHARD_SAMPLES / 64` packed 64-world batches (the tail shard adds a
+//! scalar remainder loop on the same stream). Shard `i` still owns stream
+//! `(seed, i)` exclusively, so thread-count invariance and `(seed,
+//! budget)` determinism are untouched — only the per-stream draw order
+//! changed relative to the scalar loops.
 
 use crate::bfs_sharing::BfsSharingIndex;
 use crate::estimator::{validate_query, Estimate};
 use crate::memory::MemoryTracker;
+use crate::packed::{
+    note_scalar_samples, packed_reach_within, packed_reach_worlds, packed_sample_worlds,
+    split_batch, PackedWorkspace,
+};
 use crate::sampler::coin;
 use crate::session::{finish_estimate, Convergence, SampleBudget, StopReason, DEFAULT_CONFIDENCE};
 use crate::topk::{boundary_tracker, rank_hits, reachable_targets, TopKResult};
@@ -250,8 +262,26 @@ impl ParallelSampler {
         (hits, samples, tracker, stop, start)
     }
 
+    /// Per-worker reusable state for the packed MC shard kernel: the
+    /// packed 64-world workspace plus a scalar workspace for tails.
+    fn packed_mc_state(&self) -> (PackedWorkspace, BfsWorkspace) {
+        (
+            PackedWorkspace::for_graph(&self.graph),
+            BfsWorkspace::new(self.graph.num_nodes()),
+        )
+    }
+
+    /// Workspace bytes one worker's packed MC state holds (for memory
+    /// accounting without allocating).
+    fn packed_mc_state_bytes(&self) -> usize {
+        PackedWorkspace::bytes_for(self.graph.num_nodes(), self.graph.num_edges())
+            + BfsWorkspace::bytes_for(self.graph.num_nodes())
+    }
+
     /// Monte-Carlo estimate of `R(s, t)` with `k` samples under master
-    /// seed `seed`. Bit-identical across thread counts.
+    /// seed `seed`, drawn through the packed 64-world kernel (shards
+    /// split into packed batches plus a scalar tail on the same stream).
+    /// Bit-identical across thread counts.
     pub fn estimate_mc(&self, s: NodeId, t: NodeId, k: usize, seed: u64) -> Estimate {
         validate_query(&self.graph, s, t);
         assert!(k > 0, "sample count must be positive");
@@ -260,21 +290,13 @@ impl ParallelSampler {
         let hits = self.run_shards(
             k,
             seed,
-            || BfsWorkspace::new(graph.num_nodes()),
-            |ws, _, len, rng| {
-                let mut h = 0usize;
-                for _ in 0..len {
-                    if bfs_reaches(graph, s, t, ws, |e| coin(rng, graph.prob(e).value())) {
-                        h += 1;
-                    }
-                }
-                h
-            },
+            || self.packed_mc_state(),
+            |st, _, len, rng| packed_shard_st(graph, s, t, len, st, rng),
         );
         let mut tracker = Convergence::new(DEFAULT_CONFIDENCE);
         tracker.observe_hits(hits, k);
         let mut mem = MemoryTracker::new();
-        mem.baseline(self.threads * BfsWorkspace::bytes_for(graph.num_nodes()));
+        mem.baseline(self.threads * self.packed_mc_state_bytes());
         finish_estimate(
             hits as f64 / k as f64,
             k,
@@ -304,19 +326,11 @@ impl ParallelSampler {
         let (hits, samples, tracker, stop, start) = self.run_adaptive(
             budget,
             seed,
-            || BfsWorkspace::new(graph.num_nodes()),
-            |ws, _, len, rng| {
-                let mut h = 0usize;
-                for _ in 0..len {
-                    if bfs_reaches(graph, s, t, ws, |e| coin(rng, graph.prob(e).value())) {
-                        h += 1;
-                    }
-                }
-                h
-            },
+            || self.packed_mc_state(),
+            |st, _, len, rng| packed_shard_st(graph, s, t, len, st, rng),
         );
         let mut mem = MemoryTracker::new();
-        mem.baseline(self.threads * BfsWorkspace::bytes_for(graph.num_nodes()));
+        mem.baseline(self.threads * self.packed_mc_state_bytes());
         finish_estimate(
             hits as f64 / samples as f64,
             samples,
@@ -446,39 +460,80 @@ impl ParallelSampler {
         let shards = Self::shards(k);
         let cursor = AtomicUsize::new(0);
         let hit_counts: Vec<AtomicUsize> = targets.iter().map(|_| AtomicUsize::new(0)).collect();
-        let workers = self.threads.min(shards.len()).max(1);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| {
-                    let mut ws = BfsWorkspace::new(graph.num_nodes());
-                    let mut local = vec![0usize; targets.len()];
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(&(_, len)) = shards.get(i) else {
-                            break;
-                        };
-                        let mut rng = shard_rng(seed, i as u64);
-                        for _ in 0..len {
-                            sample_world_multi(
-                                graph,
-                                s,
-                                &target_slots,
-                                distinct,
-                                &mut ws,
-                                &mut rng,
-                                &mut local,
-                            );
-                        }
-                    }
-                    for (slot, &h) in hit_counts.iter().zip(&local) {
-                        slot.fetch_add(h, Ordering::Relaxed);
-                    }
-                });
+        if distinct == 1 {
+            // One distinct target node: run the exact packed s-t kernel a
+            // plain `estimate_mc` with the same `(k, seed)` runs, so a
+            // batch that collapses to one query answers bit-identically
+            // to the single-query path.
+            let t = targets[0];
+            let hits = self.run_shards(
+                k,
+                seed,
+                || self.packed_mc_state(),
+                |st, _, len, rng| packed_shard_st(graph, s, t, len, st, rng),
+            );
+            for slot in &hit_counts {
+                slot.store(hits, Ordering::Relaxed);
             }
-        });
+        } else {
+            let workers = self.threads.min(shards.len()).max(1);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| {
+                        let mut packed_ws = PackedWorkspace::for_graph(graph);
+                        let mut ws = BfsWorkspace::new(graph.num_nodes());
+                        let mut local = vec![0usize; targets.len()];
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(&(_, len)) = shards.get(i) else {
+                                break;
+                            };
+                            let mut rng = shard_rng(seed, i as u64);
+                            let (words, tail) = split_batch(len);
+                            for _ in 0..words {
+                                // Full 64-world fixpoint, then score every
+                                // target slot by its node's popcount (the
+                                // source's reach word is all-ones, so s as
+                                // its own target still hits every world).
+                                // Only nodes in the reached union can
+                                // score, so iterate that — not 0..n.
+                                let words_ws =
+                                    packed_sample_worlds(graph, s, &mut packed_ws, &mut rng);
+                                let reach = words_ws.reach();
+                                for &v in words_ws.reached_nodes() {
+                                    let slots = &target_slots[v.index()];
+                                    if slots.is_empty() {
+                                        continue;
+                                    }
+                                    let c = reach[v.index()].count_ones() as usize;
+                                    for &slot in slots {
+                                        local[slot] += c;
+                                    }
+                                }
+                            }
+                            for _ in 0..tail {
+                                sample_world_multi(
+                                    graph,
+                                    s,
+                                    &target_slots,
+                                    distinct,
+                                    &mut ws,
+                                    &mut rng,
+                                    &mut local,
+                                );
+                            }
+                            note_scalar_samples(tail as u64);
+                        }
+                        for (slot, &h) in hit_counts.iter().zip(&local) {
+                            slot.fetch_add(h, Ordering::Relaxed);
+                        }
+                    });
+                }
+            });
+        }
 
         let elapsed = start.elapsed();
-        let aux = self.threads * BfsWorkspace::bytes_for(graph.num_nodes()) + targets.len() * 8;
+        let aux = self.threads * self.packed_mc_state_bytes() + targets.len() * 8;
         hit_counts
             .into_iter()
             .map(|h| {
@@ -518,15 +573,35 @@ impl ParallelSampler {
             shards,
             lo..hi,
             seed,
-            || (BfsWorkspace::new(n), vec![0u64; n]),
-            |st: &mut (BfsWorkspace, Vec<u64>), _, len, rng| {
-                for _ in 0..len {
-                    sample_world_all(graph, s, &mut st.0, rng, &mut st.1);
+            || {
+                (
+                    PackedWorkspace::for_graph(graph),
+                    BfsWorkspace::new(n),
+                    vec![0u64; n],
+                )
+            },
+            |st: &mut (PackedWorkspace, BfsWorkspace, Vec<u64>), _, len, rng| {
+                let (words, tail) = split_batch(len);
+                for _ in 0..words {
+                    let words_ws = packed_sample_worlds(graph, s, &mut st.0, rng);
+                    let reach = words_ws.reach();
+                    // The source's word is all-ones by construction; skip
+                    // it to match the scalar loop, which never credits s.
+                    // Only the reached union can have nonzero words.
+                    for &v in words_ws.reached_nodes() {
+                        if v != s {
+                            st.2[v.index()] += u64::from(reach[v.index()].count_ones());
+                        }
+                    }
                 }
+                for _ in 0..tail {
+                    sample_world_all(graph, s, &mut st.1, rng, &mut st.2);
+                }
+                note_scalar_samples(tail as u64);
             },
             |st| {
                 let mut shared = merged.lock().expect("hit merge poisoned");
-                for (slot, &h) in shared.iter_mut().zip(&st.1) {
+                for (slot, &h) in shared.iter_mut().zip(&st.2) {
                     *slot += h;
                 }
             },
@@ -641,7 +716,11 @@ impl ParallelSampler {
         let start = Instant::now();
         let graph = &self.graph;
         let mut mem = MemoryTracker::new();
-        mem.baseline(self.threads * BoundedBfsWorkspace::bytes_for(graph.num_nodes()));
+        mem.baseline(
+            self.threads
+                * (PackedWorkspace::bytes_for(graph.num_nodes(), graph.num_edges())
+                    + BoundedBfsWorkspace::bytes_for(graph.num_nodes())),
+        );
         if s == t {
             // Deterministic answer: nothing to sample.
             let (samples, stop_reason) = crate::session::exact_answer_accounting(budget);
@@ -655,16 +734,31 @@ impl ParallelSampler {
                 stop_reason,
             };
         }
-        let work = |ws: &mut BoundedBfsWorkspace, _: usize, len: usize, rng: &mut ChaCha8Rng| {
+        let work = |st: &mut (PackedWorkspace, BoundedBfsWorkspace),
+                    _: usize,
+                    len: usize,
+                    rng: &mut ChaCha8Rng| {
+            let (words, tail) = split_batch(len);
             let mut h = 0usize;
-            for _ in 0..len {
-                if bfs_reaches_within(graph, s, t, d, ws, |e| coin(rng, graph.prob(e).value())) {
+            for _ in 0..words {
+                h += packed_reach_within(graph, s, t, d, &mut st.0, rng) as usize;
+            }
+            for _ in 0..tail {
+                if bfs_reaches_within(graph, s, t, d, &mut st.1, |e| {
+                    coin(rng, graph.prob(e).value())
+                }) {
                     h += 1;
                 }
             }
+            note_scalar_samples(tail as u64);
             h
         };
-        let init = || BoundedBfsWorkspace::new(graph.num_nodes());
+        let init = || {
+            (
+                PackedWorkspace::for_graph(graph),
+                BoundedBfsWorkspace::new(graph.num_nodes()),
+            )
+        };
         if budget.is_fixed() {
             let k = budget.max_samples();
             let hits = self.run_shards(k, seed, init, work);
@@ -715,6 +809,33 @@ fn reconfide(est: Estimate, budget: &SampleBudget) -> Estimate {
         return est;
     }
     crate::session::restate_bernoulli_confidence(est, budget.confidence())
+}
+
+/// Run `len` s-t MC samples of one shard's stream: `len / 64` packed
+/// 64-world batches followed by a scalar lazy-BFS tail on the same
+/// stream. The per-shard unit every packed MC entry point shares —
+/// `estimate_mc`, adaptive MC, and the collapsed (single-distinct-target)
+/// multi-target path all answer from this exact draw sequence.
+fn packed_shard_st(
+    graph: &UncertainGraph,
+    s: NodeId,
+    t: NodeId,
+    len: usize,
+    st: &mut (PackedWorkspace, BfsWorkspace),
+    rng: &mut ChaCha8Rng,
+) -> usize {
+    let (words, tail) = split_batch(len);
+    let mut h = 0usize;
+    for _ in 0..words {
+        h += packed_reach_worlds(graph, s, t, &mut st.0, rng) as usize;
+    }
+    for _ in 0..tail {
+        if bfs_reaches(graph, s, t, &mut st.1, |e| coin(rng, graph.prob(e).value())) {
+            h += 1;
+        }
+    }
+    note_scalar_samples(tail as u64);
+    h
 }
 
 /// Sample one possible world lazily and BFS it from `s`, crediting every
@@ -996,6 +1117,21 @@ mod tests {
             9,
         );
         assert_eq!(ests[0].reliability.to_bits(), ests[1].reliability.to_bits());
+    }
+
+    #[test]
+    fn multi_with_one_distinct_target_matches_estimate_mc() {
+        // The engine folds a batch of queries sharing (s, budget, seed)
+        // into one multi-target call; when that batch collapses to a
+        // single distinct target it must answer bit-identically to the
+        // single-query path.
+        let g = diamond();
+        let sampler = ParallelSampler::new(Arc::clone(&g), 4);
+        let single = sampler.estimate_mc(NodeId(0), NodeId(3), 4000, 7);
+        let multi = sampler.estimate_mc_multi(NodeId(0), &[NodeId(3), NodeId(3)], 4000, 7);
+        for est in &multi {
+            assert_eq!(single.reliability.to_bits(), est.reliability.to_bits());
+        }
     }
 
     #[test]

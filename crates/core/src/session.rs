@@ -25,8 +25,15 @@ use crate::estimator::Estimate;
 use crate::memory::MemoryTracker;
 use std::time::{Duration, Instant};
 
-/// Default samples drawn between convergence checks.
+/// Default samples drawn between convergence checks. A multiple of 64 so
+/// estimators that batch 64 worlds per machine word (see
+/// [`crate::packed`]) fill whole words between checks with no scalar
+/// tail.
 pub const DEFAULT_BATCH: usize = 256;
+const _: () = assert!(
+    DEFAULT_BATCH % 64 == 0,
+    "session batches must pack whole 64-world words"
+);
 
 /// Default confidence level for half-width targets.
 pub const DEFAULT_CONFIDENCE: f64 = 0.95;

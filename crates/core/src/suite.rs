@@ -9,7 +9,7 @@
 use crate::bfs_sharing::BfsSharing;
 use crate::estimator::Estimator;
 use crate::lazy::LazyPropagation;
-use crate::mc::McSampling;
+use crate::packed::PackedMcSampling;
 use crate::probtree::{InnerEstimator, ProbTree};
 use crate::recursive::{RecursiveSampling, RecursiveStratified};
 use rand::RngCore;
@@ -154,7 +154,7 @@ pub fn build_estimator(
     rng: &mut dyn RngCore,
 ) -> Box<dyn Estimator + Send> {
     match kind {
-        EstimatorKind::Mc => Box::new(McSampling::new(graph)),
+        EstimatorKind::Mc => Box::new(PackedMcSampling::new(graph)),
         EstimatorKind::BfsSharing => {
             Box::new(BfsSharing::new(graph, params.bfs_sharing_worlds, rng))
         }

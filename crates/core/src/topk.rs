@@ -6,6 +6,11 @@
 //! answers it almost for free: one shared-BFS pass computes `I_v` for
 //! *every* reached node, and the answer is the k largest popcounts. A
 //! plain-MC variant is provided as the unindexed baseline.
+//!
+//! The scalar MC loop here is the reference implementation; the served
+//! and parallel paths (`ParallelSampler::top_k_targets_with`) run the
+//! same search through the packed 64-world kernel of [`crate::packed`],
+//! scoring every node of each batch's reached union at once.
 
 use crate::bfs_sharing::BfsSharingIndex;
 use crate::sampler::coin;

@@ -1,0 +1,152 @@
+//! Property tests for the packed 64-world sampling layer: sub-word fixed
+//! budgets are bit-identical to scalar MC, word-sized and adaptive
+//! budgets agree statistically, and the two mask-drawing strategies
+//! (geometric skipping vs dense fill) draw the same distribution.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use relcomp_core::exact::exact_reliability;
+use relcomp_core::mc::McSampling;
+use relcomp_core::packed::{dense_mask, geometric_mask, PackedMcSampling};
+use relcomp_core::session::SampleBudget;
+use relcomp_core::Estimator;
+use relcomp_ugraph::{GraphBuilder, NodeId, UncertainGraph};
+use std::sync::Arc;
+
+/// Strategy: a random small digraph as (n, edge list) with valid probs.
+fn small_digraph() -> impl Strategy<Value = (usize, Vec<(u32, u32, f64)>)> {
+    (4usize..9).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32, 0.05f64..1.0);
+        (Just(n), proptest::collection::vec(edge, 1..14))
+    })
+}
+
+fn build(n: usize, edges: &[(u32, u32, f64)]) -> UncertainGraph {
+    let mut b = GraphBuilder::new(n).duplicate_policy(relcomp_ugraph::DuplicatePolicy::CombineOr);
+    for &(u, v, p) in edges {
+        if u != v {
+            b.add_edge(NodeId(u), NodeId(v), p).unwrap();
+        }
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fixed budgets below one 64-world word never engage the packed
+    /// path, so the packed estimator must reproduce scalar MC bit for
+    /// bit: same coin stream, same hit fraction, same sample count.
+    #[test]
+    fn sub_word_fixed_k_is_bit_identical_to_scalar(
+        (n, edges) in small_digraph(),
+        seed in 0u64..500,
+        k in 1usize..64,
+    ) {
+        let g = Arc::new(build(n, &edges));
+        let (s, t) = (NodeId(0), NodeId((n - 1) as u32));
+        let mut scalar = McSampling::new(Arc::clone(&g));
+        let mut packed = PackedMcSampling::new(Arc::clone(&g));
+        let a = scalar.estimate(s, t, k, &mut ChaCha8Rng::seed_from_u64(seed));
+        let b = packed.estimate(s, t, k, &mut ChaCha8Rng::seed_from_u64(seed));
+        prop_assert_eq!(a.reliability.to_bits(), b.reliability.to_bits());
+        prop_assert_eq!(a.samples, b.samples);
+    }
+
+    /// Word-sized fixed budgets run the packed kernel; the worlds differ
+    /// from scalar MC's but the estimate concentrates on the same truth.
+    /// 2.5 / sqrt(k) is five Bernoulli standard deviations at the
+    /// worst-case variance p = 1/2.
+    #[test]
+    fn packed_fixed_k_concentrates_near_exact(
+        (n, edges) in small_digraph(),
+        seed in 0u64..500,
+        words in 2usize..24,
+    ) {
+        let g = Arc::new(build(n, &edges));
+        let (s, t) = (NodeId(0), NodeId((n - 1) as u32));
+        let exact = exact_reliability(&g, s, t);
+        let k = words * 64;
+        let mut packed = PackedMcSampling::new(Arc::clone(&g));
+        let est = packed.estimate(s, t, k, &mut ChaCha8Rng::seed_from_u64(seed));
+        prop_assert_eq!(est.samples, k);
+        prop_assert!(
+            (est.reliability - exact).abs() <= 2.5 / (k as f64).sqrt(),
+            "packed {} vs exact {} at k = {k}", est.reliability, exact,
+        );
+    }
+
+    /// Under adaptive budgets the packed session stops on its Wilson
+    /// interval; the reported estimate must sit within a small multiple
+    /// of that half-width of the exact reliability (slack covers runs
+    /// that hit the hard cap before converging).
+    #[test]
+    fn packed_adaptive_tracks_exact_within_half_width(
+        (n, edges) in small_digraph(),
+        seed in 0u64..500,
+        eps in 0.05f64..0.4,
+    ) {
+        let g = Arc::new(build(n, &edges));
+        let (s, t) = (NodeId(0), NodeId((n - 1) as u32));
+        let exact = exact_reliability(&g, s, t);
+        let mut packed = PackedMcSampling::new(Arc::clone(&g));
+        let budget = SampleBudget::adaptive(eps, 20_000);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let est = packed.estimate_with(s, t, &budget, &mut rng);
+        prop_assert!(est.is_valid());
+        prop_assert!(est.samples <= 20_000);
+        let hw = est.half_width.expect("bernoulli CI");
+        prop_assert!(
+            (est.reliability - exact).abs() <= 3.0 * hw + 0.02,
+            "packed {} vs exact {} (half-width {hw})", est.reliability, exact,
+        );
+    }
+}
+
+/// The per-edge mask strategies must be interchangeable: a geometric-jump
+/// word and a dense-fill word at the same `p` are both 64 independent
+/// Bernoulli(p) bits. Compare overall hit frequency and every bit
+/// position's frequency across many draws of each.
+#[test]
+fn geometric_and_dense_masks_are_identically_distributed() {
+    // Below GEOMETRIC_THRESHOLD, so the production dispatch would pick
+    // the geometric path and the dense fill is the cross-check.
+    let p = 0.015;
+    let draws = 200_000usize;
+    let mut per_bit = [[0u32; 64]; 2];
+    let mut totals = [0u64; 2];
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    for _ in 0..draws {
+        let words = [geometric_mask(&mut rng, p), dense_mask(&mut rng, p)];
+        for (strategy, &w) in words.iter().enumerate() {
+            totals[strategy] += u64::from(w.count_ones());
+            let mut bits = w;
+            while bits != 0 {
+                per_bit[strategy][bits.trailing_zeros() as usize] += 1;
+                bits &= bits - 1;
+            }
+        }
+    }
+    let expected_total = draws as f64 * 64.0 * p;
+    for (name, total) in [("geometric", totals[0]), ("dense", totals[1])] {
+        let err = (total as f64 - expected_total).abs() / expected_total;
+        assert!(
+            err < 0.02,
+            "{name} total {total} vs expected {expected_total}"
+        );
+    }
+    // Each bit position: expected 3000 hits, ±15% is > 8 standard
+    // deviations — a positional bias (e.g. a low-bits-only bug in the
+    // geometric jump) would blow far past it.
+    let expected_bit = draws as f64 * p;
+    for (strategy, counts) in per_bit.iter().enumerate() {
+        for (bit, &count) in counts.iter().enumerate() {
+            let err = (f64::from(count) - expected_bit).abs() / expected_bit;
+            assert!(
+                err < 0.15,
+                "strategy {strategy} bit {bit}: {count} vs expected {expected_bit}",
+            );
+        }
+    }
+}

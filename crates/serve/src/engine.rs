@@ -974,6 +974,9 @@ impl QueryEngine {
                     .resident_bytes()
             })
             .sum();
+        // Process-wide sampling-path counters: how many worlds went
+        // through the packed 64-world kernel vs one-at-a-time BFS.
+        let (packed_samples, scalar_samples) = relcomp_core::packed::sample_counts();
         StatsResponse {
             queries: self.queries.load(Ordering::Relaxed),
             cache_hits: self.cache.hits(),
@@ -987,6 +990,8 @@ impl QueryEngine {
             edges,
             resident_estimators: cells.len(),
             resident_bytes,
+            packed_samples,
+            scalar_samples,
             uptime_micros: self.started.elapsed().as_micros() as u64,
         }
     }

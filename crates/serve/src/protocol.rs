@@ -416,6 +416,13 @@ pub struct StatsResponse {
     /// Total bytes held by resident estimator indexes/workspaces — the
     /// index memory an operator pays per epoch, beyond the graph itself.
     pub resident_bytes: usize,
+    /// Worlds sampled through the packed 64-world kernel, process-wide
+    /// (each packed batch adds 64). With `scalar_samples` this shows how
+    /// much sampling work rides the word-parallel path.
+    pub packed_samples: u64,
+    /// Worlds sampled one at a time (scalar BFS tails and sub-word
+    /// budgets), process-wide.
+    pub scalar_samples: u64,
     /// Microseconds since the engine started.
     pub uptime_micros: u64,
 }
@@ -957,6 +964,8 @@ impl Serialize for StatsResponse {
             ("edges", self.edges.to_value()),
             ("resident_estimators", self.resident_estimators.to_value()),
             ("resident_bytes", self.resident_bytes.to_value()),
+            ("packed_samples", self.packed_samples.to_value()),
+            ("scalar_samples", self.scalar_samples.to_value()),
             ("uptime_micros", self.uptime_micros.to_value()),
         ])
     }
@@ -981,6 +990,8 @@ impl Deserialize for StatsResponse {
             edges: de(f("edges")?)?,
             resident_estimators: de(f("resident_estimators")?)?,
             resident_bytes: de(f("resident_bytes")?)?,
+            packed_samples: de(f("packed_samples")?)?,
+            scalar_samples: de(f("scalar_samples")?)?,
             uptime_micros: de(f("uptime_micros")?)?,
         })
     }
@@ -1266,6 +1277,8 @@ mod tests {
             edges: 300,
             resident_estimators: 2,
             resident_bytes: 4096,
+            packed_samples: 6400,
+            scalar_samples: 36,
             uptime_micros: 99,
         }));
     }
@@ -1342,6 +1355,8 @@ mod tests {
             edges: 0,
             resident_estimators: 0,
             resident_bytes: 0,
+            packed_samples: 0,
+            scalar_samples: 0,
             uptime_micros: 0,
         };
         assert_eq!(s.hit_rate(), 0.0);

@@ -223,6 +223,451 @@ where
     false
 }
 
+/// How many possible worlds one packed traversal covers: the width of the
+/// `u64` words that [`WordBfsWorkspace`] and the `word_reach_*` functions
+/// operate on. Bit `b` of every word belongs to world `b`.
+pub const WORLD_WORD_BITS: usize = 64;
+
+/// Reusable workspace for 64-world bit-packed BFS.
+///
+/// Each node carries a `u64` *reach word*: bit `b` is set when the node is
+/// reachable from the source in world `b`. One traversal therefore settles
+/// [`WORLD_WORD_BITS`] sampled worlds at once.
+///
+/// Resetting between batches is O(union), not O(n): the workspace keeps a
+/// deduplicated list of nodes whose reach word went nonzero, and the next
+/// `begin` clears exactly those words. On graphs where a 64-world batch
+/// touches a few hundred nodes out of hundreds of thousands, the old
+/// full-array clear dominated the whole batch.
+#[derive(Clone, Debug)]
+pub struct WordBfsWorkspace {
+    reach: Vec<u64>,
+    /// Nodes with a nonzero reach word, deduplicated, discovery order
+    /// (source first). Every nonzero `reach` write pushes here exactly
+    /// once, so `reach[v] != 0` iff `v` is listed.
+    touched: Vec<NodeId>,
+    // Level-synchronous frontier state: the frontier word holds the bits
+    // that arrived at this node on the current level; a node re-enters a
+    // later frontier only if new worlds reach it there. This bounds the
+    // out-edge rescans per node by the spread of its per-world BFS depths
+    // (typically 1-3 levels), where an arrival-ordered worklist rescans
+    // once per *bit* arrival — up to 64x on heavily-overlapping worlds.
+    // Invariant between traversals: both word arrays are all-zero.
+    word: Vec<u64>,
+    next_word: Vec<u64>,
+    frontier: Vec<NodeId>,
+    next: Vec<NodeId>,
+    // One bit per node, set while the node's reach word has grown since
+    // the node was last scanned by a sweep walk. Sweeps scan only dirty
+    // nodes (in id order, word-at-a-time), so each node is rescanned once
+    // per actual change instead of once per sweep — the fixed point costs
+    // O(sum of per-node changes × degree), not O(sweeps × m).
+    // Invariant between traversals: all-zero.
+    dirty: Vec<u64>,
+}
+
+impl WordBfsWorkspace {
+    /// Workspace for a graph with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        WordBfsWorkspace {
+            reach: vec![0; n],
+            touched: Vec::new(),
+            word: vec![0; n],
+            next_word: vec![0; n],
+            frontier: Vec::new(),
+            next: Vec::new(),
+            dirty: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// Per-node reach words of the most recent traversal: bit `b` of
+    /// `reach()[v]` is set when node `v` was reached in world `b`.
+    /// Unreached nodes hold zero.
+    pub fn reach(&self) -> &[u64] {
+        &self.reach
+    }
+
+    /// Nodes reached in at least one world by the most recent traversal —
+    /// the union across all 64 worlds, deduplicated, in discovery order
+    /// with the source first. Iterating this instead of `0..n` keeps
+    /// consumers (top-k scoring, multi-target crediting) proportional to
+    /// the reached set.
+    pub fn reached_nodes(&self) -> &[NodeId] {
+        &self.touched
+    }
+
+    /// Approximate resident bytes (for memory accounting).
+    pub fn resident_bytes(&self) -> usize {
+        self.reach.len() * 8 * 3
+            + self.dirty.len() * 8
+            + (self.touched.capacity() + self.frontier.capacity() + self.next.capacity())
+                * std::mem::size_of::<NodeId>()
+    }
+
+    /// Resident bytes a fresh workspace for `n` nodes would hold, without
+    /// allocating one (memory accounting on hot paths).
+    pub fn bytes_for(n: usize) -> usize {
+        n * 3 * std::mem::size_of::<u64>() + n.div_ceil(64) * 8
+    }
+
+    /// Clear the previous traversal's reach words (O(union)) and seed the
+    /// source. Frontier state is set up by the frontier-driven walks; the
+    /// sweep walks need only the reach words.
+    fn begin(&mut self, s: NodeId) {
+        for &v in &self.touched {
+            self.reach[v.index()] = 0;
+        }
+        self.touched.clear();
+        self.reach[s.index()] = !0;
+        self.touched.push(s);
+    }
+
+    /// Seed the level-synchronous frontier at `s` (after [`Self::begin`]).
+    fn begin_frontier(&mut self, s: NodeId) {
+        self.frontier.clear();
+        self.next.clear();
+        self.word[s.index()] = !0;
+        self.frontier.push(s);
+    }
+}
+
+/// Bit-packed s-t reachability over 64 sampled worlds at once.
+///
+/// `edge_mask(e, cand)` receives the *candidate* world-set — worlds that
+/// would newly reach the edge's head if the edge exists — and returns the
+/// subset in which the edge survives (any bits outside `cand` are
+/// ignored). Passing the candidate set in lets mask generators draw only
+/// the worlds the traversal can actually use, instead of all 64 bits of
+/// every probed edge. Probes happen lazily and their order depends on the
+/// traversal — callers that need a stable RNG stream must treat the whole
+/// 64-world batch as one draw.
+///
+/// Returns the reach word of `t`: `popcount` of the result is the number
+/// of worlds (out of 64) in which `t` is reachable from `s`. Worlds whose
+/// target is already reached are pruned from further propagation (their
+/// bits drop out of every frontier word via the `active` mask), and the
+/// walk stops outright once all 64 worlds have converged.
+///
+/// Level-synchronous: each frontier node is expanded once per level with
+/// every world bit that arrived there on the previous level, so a node's
+/// out-edges are rescanned at most once per distinct per-world BFS depth
+/// — not once per arriving bit, which degenerates to 64 rescans per node
+/// on supercritical graphs where the worlds share a giant component.
+pub fn word_reach_worlds<F>(
+    graph: &UncertainGraph,
+    s: NodeId,
+    t: NodeId,
+    ws: &mut WordBfsWorkspace,
+    mut edge_mask: F,
+) -> u64
+where
+    F: FnMut(crate::ids::EdgeId, u64) -> u64,
+{
+    if s == t {
+        return !0;
+    }
+    ws.begin(s);
+    ws.begin_frontier(s);
+    let ti = t.index();
+    while !ws.frontier.is_empty() {
+        let active = !ws.reach[ti];
+        if active == 0 {
+            break;
+        }
+        for i in 0..ws.frontier.len() {
+            let v = ws.frontier[i];
+            let fw = std::mem::take(&mut ws.word[v.index()]) & active;
+            if fw == 0 {
+                continue;
+            }
+            for (e, w) in graph.out_edges(v) {
+                let old = ws.reach[w.index()];
+                let cand = fw & !old;
+                if cand == 0 {
+                    continue;
+                }
+                let add = edge_mask(e, cand) & cand;
+                if add != 0 {
+                    if old == 0 {
+                        ws.touched.push(w);
+                    }
+                    ws.reach[w.index()] = old | add;
+                    if ws.next_word[w.index()] == 0 {
+                        ws.next.push(w);
+                    }
+                    ws.next_word[w.index()] |= add;
+                }
+            }
+        }
+        std::mem::swap(&mut ws.frontier, &mut ws.next);
+        ws.next.clear();
+        std::mem::swap(&mut ws.word, &mut ws.next_word);
+    }
+    // Clear any frontier words left by the early close so the next
+    // traversal starts from a clean slate.
+    for i in 0..ws.frontier.len() {
+        let v = ws.frontier[i];
+        ws.word[v.index()] = 0;
+    }
+    ws.reach[ti]
+}
+
+/// Bit-packed full reachability over 64 sampled worlds at once: computes,
+/// for every node, the worlds in which it is reachable from `s` (read the
+/// result via [`WordBfsWorkspace::reach`], or iterate just the reached
+/// union via [`WordBfsWorkspace::reached_nodes`]). No target pruning —
+/// this is the packed analogue of a full per-world BFS, used by top-k and
+/// multi-target sampling. `edge_mask` follows the candidate-set contract
+/// of [`word_reach_worlds`]; the traversal is level-synchronous for the
+/// same rescan-bound reason.
+pub fn word_reach_all<F>(
+    graph: &UncertainGraph,
+    s: NodeId,
+    ws: &mut WordBfsWorkspace,
+    mut edge_mask: F,
+) where
+    F: FnMut(crate::ids::EdgeId, u64) -> u64,
+{
+    ws.begin(s);
+    ws.begin_frontier(s);
+    while !ws.frontier.is_empty() {
+        for i in 0..ws.frontier.len() {
+            let v = ws.frontier[i];
+            let fw = std::mem::take(&mut ws.word[v.index()]);
+            if fw == 0 {
+                continue;
+            }
+            for (e, w) in graph.out_edges(v) {
+                let old = ws.reach[w.index()];
+                let cand = fw & !old;
+                if cand == 0 {
+                    continue;
+                }
+                let add = edge_mask(e, cand) & cand;
+                if add != 0 {
+                    if old == 0 {
+                        ws.touched.push(w);
+                    }
+                    ws.reach[w.index()] = old | add;
+                    if ws.next_word[w.index()] == 0 {
+                        ws.next.push(w);
+                    }
+                    ws.next_word[w.index()] |= add;
+                }
+            }
+        }
+        std::mem::swap(&mut ws.frontier, &mut ws.next);
+        ws.next.clear();
+        std::mem::swap(&mut ws.word, &mut ws.next_word);
+    }
+}
+
+/// Bit-packed depth-bounded s-t reachability over 64 sampled worlds: in
+/// which worlds is `t` within at most `d` hops of `s`?
+///
+/// Level-synchronous: each node's *frontier word* holds the worlds that
+/// first reached it on the current level, and only those bits propagate to
+/// the next level — a world reaches each node at its per-world BFS depth,
+/// so the hop cap is exact per world. `edge_mask` follows the
+/// candidate-set contract of [`word_reach_worlds`]. Returns the reach
+/// word of `t`.
+pub fn word_reach_within<F>(
+    graph: &UncertainGraph,
+    s: NodeId,
+    t: NodeId,
+    d: usize,
+    ws: &mut WordBfsWorkspace,
+    mut edge_mask: F,
+) -> u64
+where
+    F: FnMut(crate::ids::EdgeId, u64) -> u64,
+{
+    if s == t {
+        return !0;
+    }
+    // `word`/`next_word` are all-zero between traversals (taken during the
+    // walk, leftovers cleared at exit), so only the reach words — cleared
+    // by `begin` in O(union) — carry state in.
+    ws.begin(s);
+    ws.begin_frontier(s);
+    let mut h = 0usize;
+    while !ws.frontier.is_empty() && h < d {
+        h += 1;
+        let active = !ws.reach[t.index()];
+        if active == 0 {
+            break;
+        }
+        for i in 0..ws.frontier.len() {
+            let v = ws.frontier[i];
+            let fw = std::mem::take(&mut ws.word[v.index()]) & active;
+            if fw == 0 {
+                continue;
+            }
+            for (e, w) in graph.out_edges(v) {
+                let old = ws.reach[w.index()];
+                let cand = fw & !old;
+                if cand == 0 {
+                    continue;
+                }
+                let add = edge_mask(e, cand) & cand;
+                if add != 0 {
+                    if old == 0 {
+                        ws.touched.push(w);
+                    }
+                    ws.reach[w.index()] = old | add;
+                    if ws.next_word[w.index()] == 0 {
+                        ws.next.push(w);
+                    }
+                    ws.next_word[w.index()] |= add;
+                }
+            }
+        }
+        std::mem::swap(&mut ws.frontier, &mut ws.next);
+        ws.next.clear();
+        std::mem::swap(&mut ws.word, &mut ws.next_word);
+    }
+    // Clear any frontier words left by an early exit so the next traversal
+    // starts from a clean slate.
+    for i in 0..ws.frontier.len() {
+        let v = ws.frontier[i];
+        ws.word[v.index()] = 0;
+    }
+    ws.reach[t.index()]
+}
+
+/// Bit-packed s-t reachability over 64 sampled worlds via fixed-point
+/// sweeps over a dirty-node bitset, for *dense* batches where the reached
+/// union approaches the whole graph (supercritical edge probabilities).
+///
+/// A node is *dirty* while its reach word has grown since the node's
+/// out-edges were last scanned. Each sweep walks the dirty bitset in id
+/// order — sequential, prefetch-friendly — and ORs `reach[v] & mask(e)`
+/// into each out-neighbor, marking changed neighbors dirty; the walk ends
+/// when a sweep leaves nothing dirty. Rescans are therefore proportional
+/// to how often a node's reach actually changes (a few level arrivals),
+/// not to the total sweep count, with none of the frontier-respread and
+/// cache-miss overhead that makes [`word_reach_worlds`]
+/// quadratic-feeling on supercritical graphs.
+///
+/// `edge_mask(e)` returns the edge's 64-world existence mask — callers
+/// draw all masks up front (no candidate set: a dense batch touches
+/// nearly every edge anyway). Worlds whose target is already reached are
+/// pruned from propagation, and the walk stops once all 64 converge.
+/// Returns the reach word of `t`.
+pub fn word_reach_worlds_sweep<F>(
+    graph: &UncertainGraph,
+    s: NodeId,
+    t: NodeId,
+    ws: &mut WordBfsWorkspace,
+    mut edge_mask: F,
+) -> u64
+where
+    F: FnMut(crate::ids::EdgeId) -> u64,
+{
+    if s == t {
+        return !0;
+    }
+    ws.begin(s);
+    let ti = t.index();
+    let WordBfsWorkspace {
+        reach,
+        touched,
+        dirty,
+        ..
+    } = ws;
+    dirty[s.index() / 64] = 1 << (s.index() % 64);
+    let mut any = true;
+    while any {
+        let active = !reach[ti];
+        if active == 0 {
+            break;
+        }
+        any = false;
+        for wi in 0..dirty.len() {
+            let mut bits = dirty[wi];
+            if bits == 0 {
+                continue;
+            }
+            dirty[wi] = 0;
+            while bits != 0 {
+                let vi = wi * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let rv = reach[vi] & active;
+                if rv == 0 {
+                    continue;
+                }
+                for (e, w) in graph.out_edges(NodeId(vi as u32)) {
+                    let old = reach[w.index()];
+                    let add = rv & !old & edge_mask(e);
+                    if add != 0 {
+                        if old == 0 {
+                            touched.push(w);
+                        }
+                        reach[w.index()] = old | add;
+                        dirty[w.index() / 64] |= 1 << (w.index() % 64);
+                        any = true;
+                    }
+                }
+            }
+        }
+    }
+    // Early close can leave dirty bits behind; restore the all-zero
+    // invariant (the bitset is n/8 bytes — a trivial memset).
+    dirty.fill(0);
+    reach[ti]
+}
+
+/// Bit-packed full reachability over 64 sampled worlds via fixed-point
+/// dirty-bitset sweeps — the dense-batch analogue of [`word_reach_all`],
+/// with the same cost model and `edge_mask` contract as
+/// [`word_reach_worlds_sweep`]. Results land in
+/// [`WordBfsWorkspace::reach`] / [`WordBfsWorkspace::reached_nodes`].
+pub fn word_reach_all_sweep<F>(
+    graph: &UncertainGraph,
+    s: NodeId,
+    ws: &mut WordBfsWorkspace,
+    mut edge_mask: F,
+) where
+    F: FnMut(crate::ids::EdgeId) -> u64,
+{
+    ws.begin(s);
+    let WordBfsWorkspace {
+        reach,
+        touched,
+        dirty,
+        ..
+    } = ws;
+    dirty[s.index() / 64] = 1 << (s.index() % 64);
+    let mut any = true;
+    while any {
+        any = false;
+        for wi in 0..dirty.len() {
+            let mut bits = dirty[wi];
+            if bits == 0 {
+                continue;
+            }
+            dirty[wi] = 0;
+            while bits != 0 {
+                let vi = wi * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let rv = reach[vi];
+                for (e, w) in graph.out_edges(NodeId(vi as u32)) {
+                    let old = reach[w.index()];
+                    let add = rv & !old & edge_mask(e);
+                    if add != 0 {
+                        if old == 0 {
+                            touched.push(w);
+                        }
+                        reach[w.index()] = old | add;
+                        dirty[w.index() / 64] |= 1 << (w.index() % 64);
+                        any = true;
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Hop distances from `s` over *all* edges (ignoring probabilities), up to
 /// `max_hops`. Returns `dist[v] = Some(h)` for reachable `v` within the
 /// bound. Used by the workload generator (§3.1.3: s-t pairs at exactly
@@ -405,5 +850,208 @@ mod tests {
         for _ in 0..100 {
             assert!(bfs_reaches(&g, NodeId(0), NodeId(3), &mut ws, |_| true));
         }
+    }
+
+    #[test]
+    fn word_reach_matches_scalar_per_world() {
+        // Chain of 4 edges; give each world `b` a mask that keeps edge `e`
+        // iff bit `e` of `b` is set. World b then connects 0 -> 4 exactly
+        // when its low 4 bits are all ones.
+        let g = chain(5);
+        let mut ws = WordBfsWorkspace::new(5);
+        let got = word_reach_worlds(&g, NodeId(0), NodeId(4), &mut ws, |e, cand| {
+            let mut m = 0u64;
+            for b in 0..64u64 {
+                if b & (1 << e.index()) != 0 {
+                    m |= 1 << b;
+                }
+            }
+            m & cand
+        });
+        let mut want = 0u64;
+        for b in 0..64u64 {
+            if b & 0b1111 == 0b1111 {
+                want |= 1 << b;
+            }
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn word_reach_s_equals_t_and_all_edges() {
+        let g = chain(4);
+        let mut ws = WordBfsWorkspace::new(4);
+        assert_eq!(
+            word_reach_worlds(&g, NodeId(1), NodeId(1), &mut ws, |_, _| 0),
+            !0
+        );
+        assert_eq!(
+            word_reach_worlds(&g, NodeId(0), NodeId(3), &mut ws, |_, _| !0),
+            !0
+        );
+        assert_eq!(
+            word_reach_worlds(&g, NodeId(3), NodeId(0), &mut ws, |_, _| !0),
+            0
+        );
+    }
+
+    #[test]
+    fn word_reach_all_credits_every_node() {
+        let g = chain(4);
+        let mut ws = WordBfsWorkspace::new(4);
+        // Kill edge 1 -> 2 in the low 32 worlds only.
+        word_reach_all(&g, NodeId(0), &mut ws, |e, cand| {
+            if e.index() == 1 {
+                (!0u64 << 32) & cand
+            } else {
+                cand
+            }
+        });
+        let r = ws.reach();
+        assert_eq!(r[0], !0);
+        assert_eq!(r[1], !0);
+        assert_eq!(r[2], !0u64 << 32);
+        assert_eq!(r[3], !0u64 << 32);
+        // The reached union is deduplicated and covers exactly the nodes
+        // with nonzero reach words, source first.
+        let touched = ws.reached_nodes();
+        assert_eq!(touched[0], NodeId(0));
+        assert_eq!(touched.len(), 4);
+        let mut sorted: Vec<u32> = touched.iter().map(|v| v.0).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn word_reach_reuse_clears_only_touched_words() {
+        // After a traversal that reached nodes 1..3, a second traversal
+        // from a different source must not see stale reach words.
+        let g = chain(4);
+        let mut ws = WordBfsWorkspace::new(4);
+        word_reach_all(&g, NodeId(0), &mut ws, |_, cand| cand);
+        assert_eq!(ws.reach()[3], !0);
+        word_reach_all(&g, NodeId(2), &mut ws, |_, cand| cand);
+        assert_eq!(ws.reach()[0], 0);
+        assert_eq!(ws.reach()[1], 0);
+        assert_eq!(ws.reach()[2], !0);
+        assert_eq!(ws.reach()[3], !0);
+        assert_eq!(ws.reached_nodes().len(), 2);
+    }
+
+    #[test]
+    fn sweep_matches_frontier_walk_on_deterministic_masks() {
+        // Same per-edge world masks through both traversal strategies
+        // must yield identical reach words (the closures are pure, so
+        // probe order cannot matter).
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 0.5).unwrap();
+        b.add_edge(NodeId(0), NodeId(3), 0.5).unwrap();
+        b.add_edge(NodeId(3), NodeId(2), 0.5).unwrap();
+        b.add_edge(NodeId(2), NodeId(4), 0.5).unwrap();
+        let g = b.build();
+        let mask = |e: crate::ids::EdgeId| 0x5a5a_5a5a_0f0f_3c3cu64.rotate_left(e.index() as u32);
+        let mut a = WordBfsWorkspace::new(5);
+        let mut bfs = WordBfsWorkspace::new(5);
+        let st_sweep = word_reach_worlds_sweep(&g, NodeId(0), NodeId(4), &mut a, mask);
+        let st_front =
+            word_reach_worlds(&g, NodeId(0), NodeId(4), &mut bfs, |e, cand| mask(e) & cand);
+        assert_eq!(st_sweep, st_front);
+        word_reach_all_sweep(&g, NodeId(0), &mut a, mask);
+        word_reach_all(&g, NodeId(0), &mut bfs, |e, cand| mask(e) & cand);
+        assert_eq!(a.reach(), bfs.reach());
+        assert_eq!(a.reached_nodes().len(), bfs.reached_nodes().len());
+    }
+
+    #[test]
+    fn sweep_converges_against_edge_order() {
+        // 3 -> 2 -> 1 -> 0: every edge goes from a higher to a lower id,
+        // so each forward sweep advances exactly one hop and the fixed
+        // point needs the full chain of sweeps.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(3), NodeId(2), 0.5).unwrap();
+        b.add_edge(NodeId(2), NodeId(1), 0.5).unwrap();
+        b.add_edge(NodeId(1), NodeId(0), 0.5).unwrap();
+        let g = b.build();
+        let mut ws = WordBfsWorkspace::new(4);
+        assert_eq!(
+            word_reach_worlds_sweep(&g, NodeId(3), NodeId(0), &mut ws, |_| !0),
+            !0
+        );
+        word_reach_all_sweep(&g, NodeId(3), &mut ws, |_| !0);
+        assert_eq!(ws.reach(), &[!0u64, !0, !0, !0]);
+    }
+
+    #[test]
+    fn sweep_reuse_clears_only_touched_words() {
+        let g = chain(4);
+        let mut ws = WordBfsWorkspace::new(4);
+        word_reach_all_sweep(&g, NodeId(0), &mut ws, |_| !0);
+        assert_eq!(ws.reach()[3], !0);
+        word_reach_all_sweep(&g, NodeId(2), &mut ws, |_| !0);
+        assert_eq!(ws.reach()[0], 0);
+        assert_eq!(ws.reach()[1], 0);
+        assert_eq!(ws.reach()[2], !0);
+        assert_eq!(ws.reach()[3], !0);
+        assert_eq!(ws.reached_nodes().len(), 2);
+    }
+
+    #[test]
+    fn word_reach_within_honours_per_world_depth() {
+        let g = chain(5);
+        let mut ws = WordBfsWorkspace::new(5);
+        // All edges on in every world: 0 -> 4 takes exactly 4 hops.
+        assert_eq!(
+            word_reach_within(&g, NodeId(0), NodeId(4), 3, &mut ws, |_, c| c),
+            0
+        );
+        assert_eq!(
+            word_reach_within(&g, NodeId(0), NodeId(4), 4, &mut ws, |_, c| c),
+            !0
+        );
+        assert_eq!(
+            word_reach_within(&g, NodeId(2), NodeId(2), 0, &mut ws, |_, c| c),
+            !0
+        );
+        // Workspace reuse after an early-exit traversal stays clean.
+        assert_eq!(
+            word_reach_within(&g, NodeId(0), NodeId(1), 1, &mut ws, |_, c| c),
+            !0
+        );
+        assert_eq!(
+            word_reach_within(&g, NodeId(0), NodeId(4), 2, &mut ws, |_, c| c),
+            0
+        );
+    }
+
+    #[test]
+    fn word_reach_within_shortcut_vs_long_way() {
+        // 0 -> 1 -> 3 plus a direct 0 -> 3 shortcut that exists in half
+        // the worlds: depth 1 reaches 3 only where the shortcut is on.
+        // CSR sorts edges by (src, dst): 0->1 is id 0, 0->3 is id 1,
+        // 1->3 is id 2.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+        b.add_edge(NodeId(1), NodeId(3), 0.5).unwrap();
+        b.add_edge(NodeId(0), NodeId(3), 0.5).unwrap();
+        let g = b.build();
+        let mut ws = WordBfsWorkspace::new(4);
+        let shortcut = 0xAAAA_AAAA_AAAA_AAAAu64;
+        let mask = |e: crate::ids::EdgeId, cand: u64| {
+            if e.index() == 1 {
+                shortcut & cand
+            } else {
+                cand
+            }
+        };
+        assert_eq!(
+            word_reach_within(&g, NodeId(0), NodeId(3), 1, &mut ws, mask),
+            shortcut
+        );
+        assert_eq!(
+            word_reach_within(&g, NodeId(0), NodeId(3), 2, &mut ws, mask),
+            !0
+        );
     }
 }

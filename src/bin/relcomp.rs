@@ -688,6 +688,10 @@ fn run(args: Vec<String>) -> Result<(), String> {
                         s.resident_estimators,
                         s.resident_bytes as f64 / 1024.0
                     );
+                    println!(
+                        "samples:       {} packed worlds, {} scalar worlds",
+                        s.packed_samples, s.scalar_samples
+                    );
                     println!("uptime:        {:.1} s", s.uptime_micros as f64 / 1e6);
                     Ok(())
                 }

@@ -154,5 +154,8 @@ fn indexed_estimators_report_resident_memory() {
     let mc = build_estimator(EstimatorKind::Mc, Arc::clone(&graph), params, &mut rng);
     assert!(bfss.resident_bytes() > pt.resident_bytes() / 10);
     assert!(pt.resident_bytes() > 0);
-    assert_eq!(mc.resident_bytes(), 0);
+    // MC carries only its packed-sampling workspace — no offline index,
+    // so it must stay far below the index-building estimators.
+    assert!(mc.resident_bytes() < pt.resident_bytes());
+    assert!(mc.resident_bytes() < bfss.resident_bytes());
 }
