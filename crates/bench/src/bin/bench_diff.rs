@@ -8,12 +8,17 @@
 //!            [--min-ms F] [--report-only]
 //! ```
 //!
-//! Three row families are matched by name: per-estimator wall times
+//! Four row families are matched by name: per-estimator wall times
 //! (`estimators`), served-workload wall times (`workloads`, keyed by
-//! `workload/mode`), and per-sample costs (`per_sample`, compared on
-//! `ns_per_sample`). A row regresses when the fresh value exceeds
+//! `workload/mode`), per-sample costs (`per_sample`, compared on
+//! `ns_per_sample`), and serve registry latency percentiles
+//! (`serve_metrics`, keyed by workload, compared on `p50_micros`).
+//! A row regresses when the fresh value exceeds
 //! `baseline * (1 + tolerance)`; wall-time rows faster than `--min-ms`
-//! in both runs are skipped as noise. Exits nonzero on any regression
+//! in both runs are skipped as noise. `serve_metrics` rows are
+//! informational only — the registry's log2 histogram buckets quantize
+//! percentiles in 2x jumps, far coarser than the gate tolerance — so
+//! they are printed but never fail. Exits nonzero on any regression
 //! unless `--report-only` is given. Rows present on only one side are
 //! reported but never fail the gate (estimator sets may grow).
 
@@ -68,11 +73,14 @@ struct DiffRow {
     fresh: Option<f64>,
     /// Whether the noise floor applies (wall-time rows only).
     floored: bool,
+    /// Informational rows are printed but never counted as regressions
+    /// (used for log2-quantized registry percentiles).
+    info: bool,
 }
 
 fn collect_rows(base: &BenchSummary, fresh: &BenchSummary) -> Vec<DiffRow> {
     let mut rows = Vec::new();
-    let mut push = |section, name: String, unit, b, f, floored| {
+    let mut push = |section, name: String, unit, b, f, floored, info| {
         rows.push(DiffRow {
             section,
             name,
@@ -80,6 +88,7 @@ fn collect_rows(base: &BenchSummary, fresh: &BenchSummary) -> Vec<DiffRow> {
             base: b,
             fresh: f,
             floored,
+            info,
         });
     };
     let names: Vec<String> = {
@@ -106,7 +115,7 @@ fn collect_rows(base: &BenchSummary, fresh: &BenchSummary) -> Vec<DiffRow> {
             .iter()
             .find(|r| r.estimator == name)
             .map(|r| r.wall_ms);
-        push("estimators", name, "ms", b, f, true);
+        push("estimators", name, "ms", b, f, true, false);
     }
     let keys: Vec<String> = {
         let key =
@@ -134,6 +143,7 @@ fn collect_rows(base: &BenchSummary, fresh: &BenchSummary) -> Vec<DiffRow> {
             find(base),
             find(fresh),
             true,
+            false,
         );
     }
     let paths: Vec<String> = {
@@ -159,6 +169,39 @@ fn collect_rows(base: &BenchSummary, fresh: &BenchSummary) -> Vec<DiffRow> {
             find(base),
             find(fresh),
             false,
+            false,
+        );
+    }
+    let serve_keys: Vec<String> = {
+        let mut v: Vec<String> = base
+            .serve_metrics
+            .iter()
+            .map(|r| r.workload.clone())
+            .collect();
+        for r in &fresh.serve_metrics {
+            if !v.contains(&r.workload) {
+                v.push(r.workload.clone());
+            }
+        }
+        v
+    };
+    for name in serve_keys {
+        let find = |s: &BenchSummary| {
+            s.serve_metrics
+                .iter()
+                .find(|r| r.workload == name)
+                .map(|r| r.p50_micros)
+        };
+        // Informational: log2 buckets quantize p50 in 2x steps, so the
+        // gate tolerance cannot meaningfully apply.
+        push(
+            "serve_metrics",
+            format!("{name}/p50"),
+            "us",
+            find(base),
+            find(fresh),
+            false,
+            true,
         );
     }
     rows
@@ -200,7 +243,9 @@ fn main() -> ExitCode {
             (Some(b), Some(f)) => {
                 let delta = if b > 0.0 { (f - b) / b * 100.0 } else { 0.0 };
                 let noise = row.floored && b < opts.min_ms && f < opts.min_ms;
-                let status = if noise {
+                let status = if row.info {
+                    "info"
+                } else if noise {
                     "ok (below floor)"
                 } else if f > b * (1.0 + opts.tolerance) {
                     regressions += 1;

@@ -28,6 +28,8 @@ fn main() {
     let per_sample = per_sample_probe(profile, seed, 10_000);
     let mc_packed_speedup = packed_speedup(&per_sample).unwrap_or(0.0);
     eprintln!("    packed MC speedup (geomean): {mc_packed_speedup:.2}x");
+    eprintln!(">>> serve metrics probe (mixed st/topk/dquery, registry percentiles) ...");
+    let serve_metrics = relcomp_bench::serve_probe::serve_metrics_probe(profile, seed);
 
     relcomp_bench::summary::write(&BenchSummary {
         profile: match profile {
@@ -41,5 +43,6 @@ fn main() {
         workloads,
         per_sample,
         mc_packed_speedup,
+        serve_metrics,
     });
 }

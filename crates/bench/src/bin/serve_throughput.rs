@@ -2,12 +2,19 @@
 //! `relcomp-serve` query service.
 //!
 //! Spins up an in-process server over a generated LastFM analog, then
-//! hammers it with `C` closed-loop client connections replaying a
-//! repeated-query workload (each (s, t) pair is asked `R` times, shuffled,
-//! so the result cache sees real re-use). Reports QPS, latency
-//! percentiles, cache hit rate, and a determinism cross-check
-//! (multi-threaded estimates must be bit-identical to single-threaded
-//! ones) to stdout and `results/serve_throughput.txt`.
+//! hammers it with `C` closed-loop client connections replaying a mixed
+//! st / top-k / distance-query workload (a small slice of the st pairs
+//! repeats, so the result cache sees real re-use). Reports QPS, latency
+//! percentiles per workload, cache hit rate, and three cross-checks:
+//!
+//! - determinism: multi-threaded estimates are bit-identical to
+//!   single-threaded ones for the same seed;
+//! - latency agreement: client-measured p50/p99 per workload land
+//!   within one log2 bucket of the server registry's histogram
+//!   percentiles (the wire adds tens of microseconds, the bucket
+//!   grid is 2x — so a mismatch means the histograms are wrong);
+//! - exposition: the Prometheus text rendering parses line by line
+//!   and contains no duplicate metric/label series.
 //!
 //! ```text
 //! cargo run --release --bin serve_throughput -- [quick|paper] [--seed N]
@@ -19,8 +26,9 @@ use rand_chacha::ChaCha8Rng;
 use relcomp_bench::{cli, emit, percentile};
 use relcomp_core::parallel::ParallelSampler;
 use relcomp_eval::RunProfile;
+use relcomp_obs::bucket_index;
 use relcomp_serve::engine::{EngineConfig, QueryEngine};
-use relcomp_serve::protocol::QueryRequest;
+use relcomp_serve::protocol::{DistanceQueryRequest, MetricsReport, QueryRequest, TopKRequest};
 use relcomp_serve::{Client, Server};
 use relcomp_ugraph::{Dataset, NodeId};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -30,9 +38,44 @@ use std::time::Instant;
 struct Params {
     scale: f64,
     clients: usize,
-    pairs: usize,
-    repeats: usize,
-    samples: usize,
+    /// Unique st pairs (each asked once in the shuffled loop).
+    st_pairs: usize,
+    /// Leading st pairs re-asked once to exercise the result cache.
+    hit_pairs: usize,
+    topk_sources: usize,
+    dquery_pairs: usize,
+    st_samples: usize,
+    topk_samples: usize,
+    dquery_samples: usize,
+}
+
+/// One wire request in the shuffled mixed workload.
+#[derive(Clone, Copy)]
+enum Work {
+    St(u32, u32),
+    TopK(u32),
+    DQuery(u32, u32),
+}
+
+impl Work {
+    fn kind(self) -> usize {
+        match self {
+            Work::St(..) => 0,
+            Work::TopK(..) => 1,
+            Work::DQuery(..) => 2,
+        }
+    }
+}
+
+const KINDS: [&str; 3] = ["st", "topk", "dquery"];
+const DQUERY_HOPS: usize = 4;
+
+/// `|log2 bucket(client) - log2 bucket(server)| <= 1`, the agreement
+/// criterion between wire-side and registry-side percentiles.
+fn within_one_bucket(client_us: u64, server_us: u64) -> bool {
+    let c = bucket_index(client_us) as i64;
+    let s = bucket_index(server_us) as i64;
+    (c - s).abs() <= 1
 }
 
 fn main() {
@@ -41,16 +84,24 @@ fn main() {
         RunProfile::Quick => Params {
             scale: 0.05,
             clients: 4,
-            pairs: 16,
-            repeats: 8,
-            samples: 1000,
+            st_pairs: 64,
+            hit_pairs: 8,
+            topk_sources: 12,
+            dquery_pairs: 16,
+            st_samples: 10_000,
+            topk_samples: 2000,
+            dquery_samples: 4000,
         },
         RunProfile::Paper => Params {
             scale: 0.3,
             clients: 8,
-            pairs: 64,
-            repeats: 25,
-            samples: 5000,
+            st_pairs: 256,
+            hit_pairs: 16,
+            topk_sources: 32,
+            dquery_pairs: 64,
+            st_samples: 20_000,
+            topk_samples: 5000,
+            dquery_samples: 10_000,
         },
     };
 
@@ -58,22 +109,24 @@ fn main() {
     let n = graph.num_nodes() as u32;
     let mut rng = ChaCha8Rng::seed_from_u64(cli.seed);
 
-    // Query pairs (s != t), each repeated `repeats` times, shuffled: a
-    // closed-loop workload with guaranteed re-use for the cache.
-    let pairs: Vec<(u32, u32)> = (0..p.pairs)
-        .map(|_| {
-            let s = rng.gen_range(0..n);
-            let mut t = rng.gen_range(0..n);
-            while t == s {
-                t = rng.gen_range(0..n);
-            }
-            (s, t)
-        })
-        .collect();
-    let mut workload: Vec<(u32, u32)> = pairs
-        .iter()
-        .flat_map(|&pair| std::iter::repeat(pair).take(p.repeats))
-        .collect();
+    let pair = |rng: &mut ChaCha8Rng| {
+        let s = rng.gen_range(0..n);
+        let mut t = rng.gen_range(0..n);
+        while t == s {
+            t = rng.gen_range(0..n);
+        }
+        (s, t)
+    };
+    let st_pairs: Vec<(u32, u32)> = (0..p.st_pairs).map(|_| pair(&mut rng)).collect();
+    let mut workload: Vec<Work> = st_pairs.iter().map(|&(s, t)| Work::St(s, t)).collect();
+    // Re-ask the leading pairs once: shuffled in, they give the result
+    // cache real re-use without dominating the latency distribution.
+    workload.extend(st_pairs[..p.hit_pairs].iter().map(|&(s, t)| Work::St(s, t)));
+    workload.extend((0..p.topk_sources).map(|_| Work::TopK(rng.gen_range(0..n))));
+    workload.extend((0..p.dquery_pairs).map(|_| {
+        let (s, t) = pair(&mut rng);
+        Work::DQuery(s, t)
+    }));
     workload.shuffle(&mut rng);
 
     // Determinism cross-check before serving: multi-threaded sampling must
@@ -83,9 +136,9 @@ fn main() {
     let check_threads = threads.max(4);
     let single = ParallelSampler::new(Arc::clone(&graph), 1);
     let multi = ParallelSampler::new(Arc::clone(&graph), check_threads);
-    for &(s, t) in pairs.iter().take(3) {
-        let a = single.estimate_mc(NodeId(s), NodeId(t), p.samples, cli.seed);
-        let b = multi.estimate_mc(NodeId(s), NodeId(t), p.samples, cli.seed);
+    for &(s, t) in st_pairs.iter().take(3) {
+        let a = single.estimate_mc(NodeId(s), NodeId(t), p.st_samples, cli.seed);
+        let b = multi.estimate_mc(NodeId(s), NodeId(t), p.st_samples, cli.seed);
         assert_eq!(
             a.reliability.to_bits(),
             b.reliability.to_bits(),
@@ -106,7 +159,7 @@ fn main() {
 
     // Closed loop: `clients` connections race through the shared workload.
     let cursor = AtomicUsize::new(0);
-    let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(workload.len()));
+    let latencies: Mutex<Vec<(usize, u64)>> = Mutex::new(Vec::with_capacity(workload.len()));
     let start = Instant::now();
     std::thread::scope(|scope| {
         for _ in 0..p.clients {
@@ -115,20 +168,45 @@ fn main() {
                 let mut local = Vec::new();
                 loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(&(s, t)) = workload.get(i) else {
+                    let Some(&work) = workload.get(i) else {
                         break;
                     };
                     let sent = Instant::now();
-                    let resp = client
-                        .query(QueryRequest {
-                            estimator: Some("mc".into()),
-                            samples: Some(p.samples),
-                            seed: Some(cli.seed),
-                            ..QueryRequest::new(s, t)
-                        })
-                        .expect("query");
-                    local.push(sent.elapsed().as_micros() as u64);
-                    assert!((0.0..=1.0).contains(&resp.reliability));
+                    match work {
+                        Work::St(s, t) => {
+                            let resp = client
+                                .query(QueryRequest {
+                                    estimator: Some("mc".into()),
+                                    samples: Some(p.st_samples),
+                                    seed: Some(cli.seed),
+                                    ..QueryRequest::new(s, t)
+                                })
+                                .expect("query");
+                            assert!((0.0..=1.0).contains(&resp.reliability));
+                        }
+                        Work::TopK(s) => {
+                            let resp = client
+                                .topk(TopKRequest {
+                                    k: Some(8),
+                                    samples: Some(p.topk_samples),
+                                    seed: Some(cli.seed),
+                                    ..TopKRequest::new(s)
+                                })
+                                .expect("topk");
+                            assert!(!resp.targets.is_empty());
+                        }
+                        Work::DQuery(s, t) => {
+                            let resp = client
+                                .dquery(DistanceQueryRequest {
+                                    samples: Some(p.dquery_samples),
+                                    seed: Some(cli.seed),
+                                    ..DistanceQueryRequest::new(s, t, DQUERY_HOPS)
+                                })
+                                .expect("dquery");
+                            assert!((0.0..=1.0).contains(&resp.reliability));
+                        }
+                    }
+                    local.push((work.kind(), sent.elapsed().as_micros() as u64));
                 }
                 latencies.lock().unwrap().extend(local);
             });
@@ -136,30 +214,137 @@ fn main() {
     });
     let wall = start.elapsed();
 
-    let mut lat = latencies.into_inner().unwrap();
-    lat.sort_unstable();
-    assert_eq!(lat.len(), workload.len(), "every query must be answered");
+    let all = latencies.into_inner().unwrap();
+    assert_eq!(all.len(), workload.len(), "every query must be answered");
 
+    // One guaranteed cache hit after the race: the first st pair again,
+    // sequentially, so `cache_hits > 0` holds regardless of interleaving.
+    let mut tail_client = Client::connect(addr).expect("connect tail client");
+    let (s0, t0) = st_pairs[0];
+    let sent = Instant::now();
+    let hit = tail_client
+        .query(QueryRequest {
+            estimator: Some("mc".into()),
+            samples: Some(p.st_samples),
+            seed: Some(cli.seed),
+            ..QueryRequest::new(s0, t0)
+        })
+        .expect("tail query");
+    let tail_us = (sent.elapsed().as_micros() as u64).max(1);
+    assert!(hit.cached, "sequential re-ask of a served pair must hit");
+
+    // Per-kind client-side latency vectors, sorted for percentiles. The
+    // tail hit joins the st vector so both sides count the same queries.
+    let mut by_kind: [Vec<u64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for &(kind, us) in &all {
+        by_kind[kind].push(us);
+    }
+    by_kind[0].push(tail_us);
+    let mut flat: Vec<u64> = Vec::new();
+    for v in &mut by_kind {
+        v.sort_unstable();
+        flat.extend(v.iter().copied());
+    }
+    flat.sort_unstable();
+
+    // Server-side view: the registry histograms behind the `metrics` verb.
+    let report: MetricsReport = tail_client.metrics().expect("metrics verb");
     let stats = engine.stats();
     assert!(
         stats.cache_hits > 0,
         "repeated-query workload must produce cache hits"
     );
+    assert!(
+        report.counter_total("relcomp_cache_hits_total") > 0,
+        "registry must mirror the cache hits"
+    );
+
+    let mut agreement = String::new();
+    let mut check =
+        |label: &str, client: &[u64], server: &relcomp_serve::protocol::HistogramRow| {
+            assert_eq!(
+                server.count,
+                client.len() as u64,
+                "{label}: server histogram count must equal client request count"
+            );
+            let cp50 = percentile(client, 0.50);
+            let cp99 = percentile(client, 0.99);
+            assert!(
+                within_one_bucket(cp50, server.p50),
+                "{label}: client p50 {cp50}us vs server p50 {server:?} off by >1 bucket",
+            );
+            assert!(
+                within_one_bucket(cp99, server.p99),
+                "{label}: client p99 {cp99}us vs server p99 {server:?} off by >1 bucket",
+            );
+            agreement.push_str(&format!(
+                "  {:<7} n {:>5}   client p50/p99 {:>7}/{:>7} us   server p50/p99 {:>7}/{:>7} us\n",
+                label,
+                client.len(),
+                cp50,
+                cp99,
+                server.p50,
+                server.p99,
+            ));
+        };
+    for (kind, label) in KINDS.iter().enumerate() {
+        let row = report
+            .histogram("relcomp_query_latency_micros", &[("workload", label)])
+            .unwrap_or_else(|| panic!("{label} latency histogram missing"));
+        check(label, &by_kind[kind], row);
+    }
+    let row_all = report
+        .histogram("relcomp_query_latency_micros", &[("workload", "all")])
+        .expect("merged latency histogram missing");
+    check("all", &flat, row_all);
+
+    // Prometheus exposition: every sample line parses, no duplicate series.
+    let prom = tail_client.metrics_prom().expect("prom exposition");
+    let mut series: Vec<&str> = Vec::new();
+    for line in prom
+        .lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+    {
+        let (name, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("unparseable prom line: {line}"));
+        value
+            .parse::<f64>()
+            .unwrap_or_else(|_| panic!("non-numeric prom value: {line}"));
+        series.push(name);
+    }
+    let total_series = series.len();
+    series.sort_unstable();
+    series.dedup();
+    assert_eq!(
+        series.len(),
+        total_series,
+        "duplicate metric/label series in prom exposition"
+    );
+    assert!(
+        prom.contains("# TYPE relcomp_query_latency_micros histogram"),
+        "prom exposition must declare the latency histogram family"
+    );
+
     let mut shutdown_client = Client::connect(addr).expect("connect for shutdown");
     shutdown_client.shutdown().ok();
 
-    let qps = lat.len() as f64 / wall.as_secs_f64();
-    let report = format!(
+    let qps = all.len() as f64 / wall.as_secs_f64();
+    let report_text = format!(
         "serve_throughput ({:?} profile, seed {})\n\
          =============================================\n\
          graph:        LastFM analog, scale {} ({} nodes, {} edges)\n\
          server:       {} sampling threads, {}-entry cache, addr {}\n\
-         workload:     {} queries ({} pairs x {} repeats, K = {}), {} closed-loop clients\n\
+         workload:     {} queries ({} st + {} repeats + {} topk + {} dquery), {} closed-loop clients\n\
          \n\
          throughput:   {:.0} queries/s  ({} queries in {:.2} s)\n\
          latency (us): p50 {}  p90 {}  p99 {}  max {}\n\
          cache:        {} hits / {} misses ({:.1}% hit rate), {} entries resident\n\
-         determinism:  {}-thread estimates bit-identical to 1-thread (checked {} pairs)\n",
+         determinism:  {}-thread estimates bit-identical to 1-thread (checked {} pairs)\n\
+         exposition:   {} prom series, all unique and numeric\n\
+         \n\
+         client vs server registry percentiles (agree within one log2 bucket):\n\
+         {}",
         cli.profile,
         cli.seed,
         p.scale,
@@ -168,24 +353,27 @@ fn main() {
         stats.threads,
         engine.config().cache_capacity,
         addr,
-        lat.len(),
-        p.pairs,
-        p.repeats,
-        p.samples,
+        all.len(),
+        p.st_pairs,
+        p.hit_pairs,
+        p.topk_sources,
+        p.dquery_pairs,
         p.clients,
         qps,
-        lat.len(),
+        all.len(),
         wall.as_secs_f64(),
-        percentile(&lat, 0.50),
-        percentile(&lat, 0.90),
-        percentile(&lat, 0.99),
-        lat.last().copied().unwrap_or(0),
+        percentile(&flat, 0.50),
+        percentile(&flat, 0.90),
+        percentile(&flat, 0.99),
+        flat.last().copied().unwrap_or(0),
         stats.cache_hits,
         stats.cache_misses,
         stats.hit_rate() * 100.0,
         stats.cache_entries,
         check_threads,
-        3.min(pairs.len()),
+        3.min(st_pairs.len()),
+        total_series,
+        agreement,
     );
-    emit("serve_throughput", &report);
+    emit("serve_throughput", &report_text);
 }

@@ -534,11 +534,111 @@ pub mod adaptive {
     }
 }
 
+/// Serving-layer latency probe for `BENCH_summary.json`: drive a mixed
+/// `st`/`topk`/`dquery` workload through an in-process [`QueryEngine`]
+/// and read the per-workload latency percentiles back out of its metrics
+/// registry — the same numbers the `metrics` protocol verb serves.
+///
+/// [`QueryEngine`]: relcomp_serve::engine::QueryEngine
+pub mod serve_probe {
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+    use relcomp_eval::RunProfile;
+    use relcomp_serve::engine::{EngineConfig, QueryEngine};
+    use relcomp_serve::protocol::{DistanceQueryRequest, QueryRequest, TopKRequest};
+    use relcomp_ugraph::Dataset;
+    use serde::{Deserialize, Serialize};
+    use std::sync::Arc;
+
+    /// One per-workload latency row read from the serve registry.
+    #[derive(Clone, Debug, Serialize, Deserialize)]
+    pub struct ServeMetricRow {
+        /// Workload label (`st` / `topk` / `dquery` / `all`).
+        pub workload: String,
+        /// Queries the histogram observed.
+        pub queries: u64,
+        /// Median server-side latency, microseconds (log2-bucket upper
+        /// bound, the registry's native resolution).
+        pub p50_micros: f64,
+        /// 99th-percentile server-side latency, microseconds.
+        pub p99_micros: f64,
+    }
+
+    /// Run the mixed workload and return one row per latency histogram
+    /// series (`st`, `topk`, `dquery`, and the merged `all`).
+    pub fn serve_metrics_probe(profile: RunProfile, seed: u64) -> Vec<ServeMetricRow> {
+        let (scale, rounds, samples) = match profile {
+            RunProfile::Quick => (0.05, 8, 1000),
+            RunProfile::Paper => (0.2, 24, 5000),
+        };
+        let graph = Arc::new(Dataset::LastFm.generate_with_scale(scale, seed));
+        let n = graph.num_nodes() as u32;
+        let engine = QueryEngine::new(
+            Arc::clone(&graph),
+            EngineConfig {
+                threads: 2,
+                default_seed: seed,
+                ..Default::default()
+            },
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5e7e);
+        for _ in 0..rounds {
+            let s = rng.gen_range(0..n);
+            let mut t = rng.gen_range(0..n);
+            while t == s {
+                t = rng.gen_range(0..n);
+            }
+            let q = QueryRequest {
+                estimator: Some("mc".into()),
+                samples: Some(samples),
+                seed: Some(seed),
+                ..QueryRequest::new(s, t)
+            };
+            engine.execute(&q).expect("st query");
+            // The repeat is a cache hit: the histogram sees both outcomes.
+            engine.execute(&q).expect("repeated st query");
+            engine
+                .execute_topk(&TopKRequest {
+                    k: Some(5),
+                    samples: Some(samples / 2),
+                    seed: Some(seed),
+                    ..TopKRequest::new(s)
+                })
+                .expect("topk query");
+            engine
+                .execute_dquery(&DistanceQueryRequest {
+                    samples: Some(samples / 2),
+                    seed: Some(seed),
+                    ..DistanceQueryRequest::new(s, t, 4)
+                })
+                .expect("dquery");
+        }
+        engine
+            .metrics()
+            .histograms
+            .iter()
+            .filter(|h| h.name == "relcomp_query_latency_micros")
+            .map(|h| ServeMetricRow {
+                workload: h
+                    .labels
+                    .iter()
+                    .find(|(k, _)| *k == "workload")
+                    .map(|(_, v)| v.clone())
+                    .unwrap_or_default(),
+                queries: h.count,
+                p50_micros: h.p50 as f64,
+                p99_micros: h.p99 as f64,
+            })
+            .collect()
+    }
+}
+
 /// The machine-readable `BENCH_summary.json` schema shared by `run_all`
 /// (full sweep), `perf_probe` (probes only, for the CI perf gate), and
 /// `bench_diff` (baseline comparison).
 pub mod summary {
     use crate::adaptive::{EstimatorTiming, PerSampleRow, WorkloadTiming};
+    use crate::serve_probe::ServeMetricRow;
     use serde::{Deserialize, Serialize};
     use std::path::Path;
 
@@ -573,6 +673,10 @@ pub mod summary {
         /// Packed-over-scalar MC per-sample speedup (0.0 when the probe
         /// was degenerate).
         pub mc_packed_speedup: f64,
+        /// Server-side latency percentiles per workload, read from the
+        /// serve metrics registry (informational in `bench_diff`: log2
+        /// buckets quantize too coarsely to gate on).
+        pub serve_metrics: Vec<ServeMetricRow>,
     }
 
     /// Write `summary` to `BENCH_summary.json` at the repo root.

@@ -45,6 +45,7 @@ pub mod exact;
 pub mod lazy;
 pub mod mc;
 pub mod memory;
+pub mod metrics;
 pub mod packed;
 pub mod parallel;
 pub mod paths;

@@ -58,7 +58,6 @@ use relcomp_ugraph::traversal::{
     word_reach_worlds_sweep, BfsWorkspace, WordBfsWorkspace, WORLD_WORD_BITS,
 };
 use relcomp_ugraph::{EdgeId, EdgeUpdate, NodeId, UncertainGraph};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Worlds per packed batch (the `u64` word width).
@@ -76,15 +75,13 @@ pub const WORLD_BATCH: usize = WORLD_WORD_BITS;
 /// in `p`, which is where rarely-existing edges become near-free.
 pub const GEOMETRIC_THRESHOLD: f64 = 0.02;
 
-// Process-global tally of worlds sampled through the packed kernels vs
-// scalar loops (tails and unpacked paths), surfaced by the serve engine's
-// `stats` response.
-static PACKED_SAMPLES: AtomicU64 = AtomicU64::new(0);
-static SCALAR_SAMPLES: AtomicU64 = AtomicU64::new(0);
-
+// The process-global tally of worlds sampled through the packed kernels vs
+// scalar loops now lives in the `relcomp-obs` registry (`obs::sampler`), so
+// `stats` and `metrics` report from one source of truth. These wrappers keep
+// the historical call sites and public API.
 #[inline]
 fn note_packed_batch() {
-    PACKED_SAMPLES.fetch_add(WORLD_BATCH as u64, Ordering::Relaxed);
+    relcomp_obs::note_packed_samples(WORLD_BATCH as u64);
 }
 
 /// Record `n` worlds sampled through a scalar (one-world-at-a-time) loop.
@@ -92,7 +89,7 @@ fn note_packed_batch() {
 #[inline]
 pub fn note_scalar_samples(n: u64) {
     if n > 0 {
-        SCALAR_SAMPLES.fetch_add(n, Ordering::Relaxed);
+        relcomp_obs::note_scalar_samples(n);
     }
 }
 
@@ -101,10 +98,7 @@ pub fn note_scalar_samples(n: u64) {
 /// Packed counts grow in steps of [`WORLD_BATCH`]; scalar counts cover
 /// session tails and any sampling that bypasses the packed kernels.
 pub fn sample_counts() -> (u64, u64) {
-    (
-        PACKED_SAMPLES.load(Ordering::Relaxed),
-        SCALAR_SAMPLES.load(Ordering::Relaxed),
-    )
+    relcomp_obs::sample_counts()
 }
 
 /// Split a batch of `n` samples into `(packed_words, scalar_tail)`:

@@ -311,6 +311,7 @@ pub struct Convergence {
     mean: f64,
     m2: f64,
     bernoulli: bool,
+    batches: u64,
 }
 
 impl Convergence {
@@ -322,6 +323,7 @@ impl Convergence {
             mean: 0.0,
             m2: 0.0,
             bernoulli: true,
+            batches: 0,
         }
     }
 
@@ -329,6 +331,7 @@ impl Convergence {
     /// half-width to the normal CI over observations.
     pub fn observe(&mut self, x: f64) {
         self.bernoulli = false;
+        self.batches += 1;
         self.count += 1;
         let delta = x - self.mean;
         self.mean += delta / self.count as f64;
@@ -343,6 +346,7 @@ impl Convergence {
             return;
         }
         assert!(hits <= n, "hits cannot exceed draws");
+        self.batches += 1;
         let (h, n_b) = (hits as f64, n as f64);
         let mean_b = h / n_b;
         let m2_b = h - h * h / n_b;
@@ -358,6 +362,12 @@ impl Convergence {
     /// batches for continuous observations).
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Batches recorded so far (one per `observe`/`observe_hits` call) —
+    /// the "batches to convergence" observability probe.
+    pub fn batches(&self) -> u64 {
+        self.batches
     }
 
     /// Running mean.
@@ -580,6 +590,18 @@ pub fn should_stop(
     samples: usize,
     start: Instant,
 ) -> Option<StopReason> {
+    let rule_start = Instant::now();
+    let decision = should_stop_inner(budget, tracker, samples, start);
+    crate::metrics::note_convergence_nanos(rule_start.elapsed().as_nanos() as u64);
+    decision
+}
+
+fn should_stop_inner(
+    budget: &SampleBudget,
+    tracker: &Convergence,
+    samples: usize,
+    start: Instant,
+) -> Option<StopReason> {
     if samples >= budget.max_samples() {
         return Some(if budget.is_fixed() {
             StopReason::FixedK
@@ -661,10 +683,18 @@ pub fn finish_estimate(
         }
         _ => (None, None),
     };
+    let elapsed = start.elapsed();
+    crate::metrics::emit_session(crate::metrics::SessionObservation {
+        samples: samples as u64,
+        batches: tracker.map(|t| t.batches()).unwrap_or(0),
+        micros: elapsed.as_micros() as u64,
+        convergence_nanos: crate::metrics::take_convergence_nanos(),
+        stop_reason: stop_reason.label(),
+    });
     Estimate {
         reliability,
         samples,
-        elapsed: start.elapsed(),
+        elapsed,
         aux_bytes: mem.peak(),
         variance,
         half_width,

@@ -1,0 +1,247 @@
+//! Metrics exposition: a plain-data snapshot model plus a Prometheus
+//! text-format renderer.
+//!
+//! The snapshot is deliberately serde-free (this crate has zero deps); the
+//! serving layer mirrors it into wire types for the JSON `metrics` verb and
+//! calls [`render_prometheus`] for `--format prom`.
+
+use crate::hist::HistogramSnapshot;
+
+/// One label pair: static key, owned value.
+pub type Label = (&'static str, String);
+
+#[derive(Debug, Clone)]
+pub struct CounterSample {
+    pub name: &'static str,
+    pub labels: Vec<Label>,
+    pub value: u64,
+}
+
+#[derive(Debug, Clone)]
+pub struct GaugeSample {
+    pub name: &'static str,
+    pub labels: Vec<Label>,
+    pub value: u64,
+}
+
+#[derive(Debug, Clone)]
+pub struct HistogramSample {
+    pub name: &'static str,
+    pub labels: Vec<Label>,
+    pub count: u64,
+    pub sum: u64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+    pub p999: u64,
+    /// Cumulative `(le, count)` pairs over non-empty buckets.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSample {
+    pub fn from_snapshot(name: &'static str, labels: Vec<Label>, snap: &HistogramSnapshot) -> Self {
+        HistogramSample {
+            name,
+            labels,
+            count: snap.count,
+            sum: snap.sum,
+            p50: snap.quantile(0.50),
+            p90: snap.quantile(0.90),
+            p99: snap.quantile(0.99),
+            p999: snap.quantile(0.999),
+            buckets: snap.cumulative_buckets(),
+        }
+    }
+}
+
+/// Everything the `metrics` verb exposes, in one plain-data bundle.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<CounterSample>,
+    pub gauges: Vec<GaugeSample>,
+    pub histograms: Vec<HistogramSample>,
+}
+
+impl MetricsSnapshot {
+    pub fn counter(&mut self, name: &'static str, labels: Vec<Label>, value: u64) {
+        self.counters.push(CounterSample {
+            name,
+            labels,
+            value,
+        });
+    }
+
+    pub fn gauge(&mut self, name: &'static str, labels: Vec<Label>, value: u64) {
+        self.gauges.push(GaugeSample {
+            name,
+            labels,
+            value,
+        });
+    }
+
+    pub fn histogram(&mut self, name: &'static str, labels: Vec<Label>, snap: &HistogramSnapshot) {
+        self.histograms
+            .push(HistogramSample::from_snapshot(name, labels, snap));
+    }
+
+    /// Value of the first counter with this name (labels summed), handy in
+    /// tests and smoke checks.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|c| c.name == name)
+            .map(|c| c.value)
+            .sum()
+    }
+}
+
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn format_labels(labels: &[Label], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", k, escape_label_value(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{}=\"{}\"", k, v));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Render the snapshot in the Prometheus text exposition format: `# TYPE`
+/// headers per metric family, one sample line per label set, histograms as
+/// cumulative `_bucket{le=...}` series plus `_sum`/`_count`.
+pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut typed: Vec<&'static str> = Vec::new();
+    let mut type_header = |out: &mut String, name: &'static str, kind: &str| {
+        if !typed.contains(&name) {
+            typed.push(name);
+            out.push_str(&format!("# TYPE {} {}\n", name, kind));
+        }
+    };
+
+    for c in &snap.counters {
+        type_header(&mut out, c.name, "counter");
+        out.push_str(&format!(
+            "{}{} {}\n",
+            c.name,
+            format_labels(&c.labels, None),
+            c.value
+        ));
+    }
+    for g in &snap.gauges {
+        type_header(&mut out, g.name, "gauge");
+        out.push_str(&format!(
+            "{}{} {}\n",
+            g.name,
+            format_labels(&g.labels, None),
+            g.value
+        ));
+    }
+    for h in &snap.histograms {
+        type_header(&mut out, h.name, "histogram");
+        let bucket_name = format!("{}_bucket", h.name);
+        for (le, cum) in &h.buckets {
+            out.push_str(&format!(
+                "{}{} {}\n",
+                bucket_name,
+                format_labels(&h.labels, Some(("le", &le.to_string()))),
+                cum
+            ));
+        }
+        out.push_str(&format!(
+            "{}{} {}\n",
+            bucket_name,
+            format_labels(&h.labels, Some(("le", "+Inf"))),
+            h.count
+        ));
+        out.push_str(&format!(
+            "{}_sum{} {}\n",
+            h.name,
+            format_labels(&h.labels, None),
+            h.sum
+        ));
+        out.push_str(&format!(
+            "{}_count{} {}\n",
+            h.name,
+            format_labels(&h.labels, None),
+            h.count
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let mut m = MetricsSnapshot::default();
+        m.counter(
+            "relcomp_queries_total",
+            vec![("workload", "st".into()), ("outcome", "miss".into())],
+            7,
+        );
+        m.counter(
+            "relcomp_queries_total",
+            vec![("workload", "st".into()), ("outcome", "hit".into())],
+            3,
+        );
+        m.gauge("relcomp_inflight", vec![], 1);
+        let h = Histogram::new();
+        h.record(10);
+        h.record(900);
+        m.histogram(
+            "relcomp_query_latency_micros",
+            vec![("workload", "st".into())],
+            &h.snapshot(),
+        );
+        m
+    }
+
+    #[test]
+    fn counter_total_sums_label_sets() {
+        assert_eq!(sample_snapshot().counter_total("relcomp_queries_total"), 10);
+    }
+
+    #[test]
+    fn prometheus_rendering_shape() {
+        let text = render_prometheus(&sample_snapshot());
+        assert!(text.contains("# TYPE relcomp_queries_total counter"));
+        // TYPE header appears once even with two label sets.
+        assert_eq!(text.matches("# TYPE relcomp_queries_total").count(), 1);
+        assert!(text.contains("relcomp_queries_total{workload=\"st\",outcome=\"miss\"} 7"));
+        assert!(text.contains("relcomp_inflight 1"));
+        assert!(text.contains("# TYPE relcomp_query_latency_micros histogram"));
+        assert!(text.contains("relcomp_query_latency_micros_bucket{workload=\"st\",le=\"+Inf\"} 2"));
+        assert!(text.contains("relcomp_query_latency_micros_sum{workload=\"st\"} 910"));
+        assert!(text.contains("relcomp_query_latency_micros_count{workload=\"st\"} 2"));
+        // Cumulative le buckets: 10 -> le=15 cum 1, 900 -> le=1023 cum 2.
+        assert!(text.contains("le=\"15\"} 1"));
+        assert!(text.contains("le=\"1023\"} 2"));
+        // Every non-comment line is `name_or_name{labels} value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (series, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(!series.is_empty());
+            assert!(value.parse::<f64>().is_ok(), "bad value in {:?}", line);
+        }
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut m = MetricsSnapshot::default();
+        m.counter("x_total", vec![("estimator", "a\"b\\c".into())], 1);
+        let text = render_prometheus(&m);
+        assert!(text.contains("x_total{estimator=\"a\\\"b\\\\c\"} 1"));
+    }
+}

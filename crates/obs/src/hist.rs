@@ -1,0 +1,232 @@
+//! Log2-bucketed latency histogram with lock-free recording.
+//!
+//! Bucket `i` covers the half-open value range `[2^i, 2^(i+1))`; zero lands
+//! in bucket 0 alongside `1`. With [`BUCKETS`] = 32 buckets the histogram
+//! resolves values up to `2^31` (values beyond clamp into the last bucket),
+//! which for microsecond latencies is ~35 minutes — far past any sane query.
+//! Memory is constant (32 atomics + count + sum) regardless of sample count,
+//! and [`Histogram::merge_from`] adds bucket-wise, so per-shard histograms
+//! aggregate exactly (merge is associative and commutative by construction).
+//!
+//! Quantile estimates are *upper bounds*: [`Histogram::quantile`] returns the
+//! inclusive upper edge of the bucket holding the requested rank, so the
+//! estimate is always within one log2 bucket of the exact order statistic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log2 buckets. Values `>= 2^(BUCKETS-1)` clamp into the last.
+pub const BUCKETS: usize = 32;
+
+/// Bucket index for a value: `floor(log2(v))` clamped to the bucket range,
+/// with 0 mapping to bucket 0.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        return 0;
+    }
+    ((63 - v.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// Inclusive upper edge of bucket `i` (`2^(i+1) - 1`); the last bucket is
+/// unbounded and reports `u64::MAX`.
+#[inline]
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << (i + 1)) - 1
+    }
+}
+
+/// Fixed-memory log2 histogram. All mutation is relaxed-atomic: `record` is
+/// wait-free and safe to call from any thread without external locking.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            buckets: [ZERO; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Add every bucket of `other` into `self`. Because merging is plain
+    /// bucket-wise addition it is associative and commutative, so per-shard
+    /// histograms can be folded in any order with identical results.
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n != 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Quantile estimate for `q` in `[0, 1]`: the upper edge of the bucket
+    /// containing the `ceil(q * count)`-th smallest observation. Returns 0
+    /// for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let snap = self.snapshot();
+        snap.quantile(q)
+    }
+
+    /// Consistent-enough point-in-time copy (buckets are read one by one, so
+    /// a concurrent `record` may straddle the read; counts never go backward).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (dst, src) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data copy of a histogram, used for quantile math and exposition.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    pub buckets: [u64; BUCKETS],
+    pub count: u64,
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total: u64 = self.buckets.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        bucket_upper_bound(BUCKETS - 1)
+    }
+
+    /// Cumulative `(upper_bound, count <= upper_bound)` pairs for every
+    /// non-empty prefix of buckets, in Prometheus `le` style.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if n != 0 {
+                out.push((bucket_upper_bound(i), cum));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_one_share_bucket_zero() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn upper_bounds_cover_their_bucket() {
+        for i in 0..BUCKETS - 1 {
+            let ub = bucket_upper_bound(i);
+            assert_eq!(bucket_index(ub), i);
+            assert_eq!(bucket_index(ub + 1), i + 1);
+        }
+        assert_eq!(bucket_upper_bound(BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn record_and_quantile() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1106);
+        // p50 rank = 3 -> value 3 lives in bucket [2,4), upper bound 3.
+        assert_eq!(h.quantile(0.5), 3);
+        // p99 rank = 5 -> 1000 lives in [512,1024), upper bound 1023.
+        assert_eq!(h.quantile(0.99), 1023);
+        assert_eq!(h.quantile(0.0), 1);
+    }
+
+    #[test]
+    fn empty_quantile_is_zero() {
+        assert_eq!(Histogram::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn merge_adds_bucketwise() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(5);
+        b.record(5);
+        b.record(4096);
+        a.merge_from(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 5 + 5 + 4096);
+        let snap = a.snapshot();
+        assert_eq!(snap.buckets[bucket_index(5)], 2);
+        assert_eq!(snap.buckets[bucket_index(4096)], 1);
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone() {
+        let h = Histogram::new();
+        for v in [1u64, 7, 7, 300, 90000] {
+            h.record(v);
+        }
+        let cum = h.snapshot().cumulative_buckets();
+        assert!(cum.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1));
+        assert_eq!(cum.last().unwrap().1, 5);
+    }
+}

@@ -1,0 +1,34 @@
+//! `relcomp-obs` — zero-dependency observability primitives for the relcomp
+//! workspace.
+//!
+//! Three layers, all std-only:
+//!
+//! - [`hist`] / [`registry`]: lock-free atomic counters over closed label
+//!   dimensions (workload × outcome, estimator) and constant-memory
+//!   log2-bucketed latency histograms with exact counts and mergeable
+//!   per-shard aggregation.
+//! - [`trace`]: RAII [`trace::Span`]s recording per-query stage breakdowns
+//!   (parse → admission → cache lookup → plan → sample → convergence-check →
+//!   serialize) into a bounded ring of recent [`trace::QueryTrace`]s.
+//! - [`sampler`]: process-global sampling-rate probes (packed-vs-scalar world
+//!   counts, adaptive-session batches/stop reasons, time inside the
+//!   convergence rule), fed by `relcomp_core`.
+//!
+//! [`expo`] turns any of it into a [`expo::MetricsSnapshot`] and renders the
+//! Prometheus text format. This crate deliberately has no serde dependency;
+//! wire serialization lives in `relcomp-serve`.
+
+pub mod expo;
+pub mod hist;
+pub mod registry;
+pub mod sampler;
+pub mod trace;
+
+pub use expo::{render_prometheus, CounterSample, GaugeSample, HistogramSample, MetricsSnapshot};
+pub use hist::{bucket_index, bucket_upper_bound, Histogram, HistogramSnapshot, BUCKETS};
+pub use registry::{Outcome, Registry, Workload, ESTIMATOR_LABELS};
+pub use sampler::{
+    note_packed_samples, note_scalar_samples, note_session, sample_counts, sampler_snapshot,
+    SamplerSnapshot, SessionObservation, STOP_REASON_LABELS,
+};
+pub use trace::{QueryTrace, Span, Stage, StageTiming, TraceBuilder, TraceRing, TRACE_RING_CAP};

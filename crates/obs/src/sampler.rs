@@ -1,0 +1,170 @@
+//! Process-global sampling-rate probes.
+//!
+//! Sampling happens deep inside `relcomp_core` on engine threads and worker
+//! pools alike, so these counters are process-wide statics rather than
+//! per-engine registry state: one source of truth for the packed-vs-scalar
+//! sample split (formerly ad-hoc atomics in `relcomp_core::packed`) and for
+//! adaptive-session accounting (sessions by stop reason, batches to
+//! convergence, time spent sampling vs evaluating the stopping rule).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Stop-reason labels as emitted by `StopReason::label()` in core; sessions
+/// with an unrecognized label fall into the trailing `"other"` slot.
+pub const STOP_REASON_LABELS: [&str; 5] =
+    ["fixed_k", "converged", "max_samples", "time_limit", "other"];
+
+static PACKED_SAMPLES: AtomicU64 = AtomicU64::new(0);
+static SCALAR_SAMPLES: AtomicU64 = AtomicU64::new(0);
+static SESSIONS: [AtomicU64; STOP_REASON_LABELS.len()] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
+static SESSION_BATCHES: AtomicU64 = AtomicU64::new(0);
+static SESSION_SAMPLES: AtomicU64 = AtomicU64::new(0);
+static SESSION_MICROS: AtomicU64 = AtomicU64::new(0);
+static CONVERGENCE_NANOS: AtomicU64 = AtomicU64::new(0);
+
+/// Record `n` worlds sampled through the packed 64-world kernel.
+#[inline]
+pub fn note_packed_samples(n: u64) {
+    PACKED_SAMPLES.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Record `n` worlds sampled through the scalar path.
+#[inline]
+pub fn note_scalar_samples(n: u64) {
+    SCALAR_SAMPLES.fetch_add(n, Ordering::Relaxed);
+}
+
+/// `(packed, scalar)` lifetime sample counts.
+pub fn sample_counts() -> (u64, u64) {
+    (
+        PACKED_SAMPLES.load(Ordering::Relaxed),
+        SCALAR_SAMPLES.load(Ordering::Relaxed),
+    )
+}
+
+/// One finished estimation session, as reported by core's `finish_estimate`.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionObservation {
+    /// Worlds sampled by the session.
+    pub samples: u64,
+    /// Sampling batches taken before stopping.
+    pub batches: u64,
+    /// Session wall time in microseconds.
+    pub micros: u64,
+    /// Nanoseconds spent inside the convergence stopping rule.
+    pub convergence_nanos: u64,
+    /// `StopReason::label()` of the reason the session ended.
+    pub stop_reason: &'static str,
+}
+
+/// Fold one finished session into the global probes.
+pub fn note_session(obs: &SessionObservation) {
+    let idx = STOP_REASON_LABELS
+        .iter()
+        .position(|l| *l == obs.stop_reason)
+        .unwrap_or(STOP_REASON_LABELS.len() - 1);
+    SESSIONS[idx].fetch_add(1, Ordering::Relaxed);
+    SESSION_BATCHES.fetch_add(obs.batches, Ordering::Relaxed);
+    SESSION_SAMPLES.fetch_add(obs.samples, Ordering::Relaxed);
+    SESSION_MICROS.fetch_add(obs.micros, Ordering::Relaxed);
+    CONVERGENCE_NANOS.fetch_add(obs.convergence_nanos, Ordering::Relaxed);
+}
+
+/// Point-in-time copy of every sampler probe.
+#[derive(Debug, Clone)]
+pub struct SamplerSnapshot {
+    pub packed_samples: u64,
+    pub scalar_samples: u64,
+    /// `(stop_reason label, sessions)` in [`STOP_REASON_LABELS`] order.
+    pub sessions: Vec<(&'static str, u64)>,
+    pub session_batches: u64,
+    pub session_samples: u64,
+    pub session_micros: u64,
+    pub convergence_nanos: u64,
+}
+
+impl SamplerSnapshot {
+    pub fn sessions_total(&self) -> u64 {
+        self.sessions.iter().map(|(_, n)| n).sum()
+    }
+
+    /// Lifetime average sampling rate over all sessions, in samples/sec.
+    pub fn samples_per_sec(&self) -> f64 {
+        if self.session_micros == 0 {
+            return 0.0;
+        }
+        self.session_samples as f64 / (self.session_micros as f64 / 1e6)
+    }
+}
+
+pub fn sampler_snapshot() -> SamplerSnapshot {
+    SamplerSnapshot {
+        packed_samples: PACKED_SAMPLES.load(Ordering::Relaxed),
+        scalar_samples: SCALAR_SAMPLES.load(Ordering::Relaxed),
+        sessions: STOP_REASON_LABELS
+            .iter()
+            .zip(SESSIONS.iter())
+            .map(|(l, n)| (*l, n.load(Ordering::Relaxed)))
+            .collect(),
+        session_batches: SESSION_BATCHES.load(Ordering::Relaxed),
+        session_samples: SESSION_SAMPLES.load(Ordering::Relaxed),
+        session_micros: SESSION_MICROS.load(Ordering::Relaxed),
+        convergence_nanos: CONVERGENCE_NANOS.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // All tests share process-global state, so assert on deltas only.
+    #[test]
+    fn sample_counts_accumulate() {
+        let (p0, s0) = sample_counts();
+        note_packed_samples(64);
+        note_scalar_samples(3);
+        let (p1, s1) = sample_counts();
+        assert!(p1 >= p0 + 64);
+        assert!(s1 >= s0 + 3);
+    }
+
+    #[test]
+    fn sessions_fold_by_stop_reason() {
+        let before = sampler_snapshot();
+        note_session(&SessionObservation {
+            samples: 1000,
+            batches: 4,
+            micros: 2000,
+            convergence_nanos: 500,
+            stop_reason: "converged",
+        });
+        note_session(&SessionObservation {
+            samples: 10,
+            batches: 1,
+            micros: 5,
+            convergence_nanos: 0,
+            stop_reason: "definitely-not-a-reason",
+        });
+        let after = sampler_snapshot();
+        assert_eq!(after.sessions_total(), before.sessions_total() + 2);
+        let count = |snap: &SamplerSnapshot, label: &str| {
+            snap.sessions
+                .iter()
+                .find(|(l, _)| *l == label)
+                .map(|(_, n)| *n)
+                .unwrap()
+        };
+        assert_eq!(count(&after, "converged"), count(&before, "converged") + 1);
+        assert_eq!(count(&after, "other"), count(&before, "other") + 1);
+        assert!(after.session_samples >= before.session_samples + 1010);
+        assert!(after.session_batches >= before.session_batches + 5);
+        assert!(after.convergence_nanos >= before.convergence_nanos + 500);
+        assert!(after.samples_per_sec() > 0.0);
+    }
+}

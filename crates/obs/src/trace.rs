@@ -1,0 +1,271 @@
+//! Per-query stage tracing: RAII spans recording a fixed pipeline of stages
+//! into a bounded ring buffer of recent query traces.
+//!
+//! The tracer is deliberately heavier-touch than the counters in
+//! [`crate::registry`] — it allocates a small `Vec` per query and takes one
+//! mutex hit to publish the finished trace — but it only runs once per
+//! query, never per sample, and the ring is bounded ([`TRACE_RING_CAP`]) so
+//! memory stays constant under any load.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Maximum number of recent traces retained; older traces are evicted.
+pub const TRACE_RING_CAP: usize = 256;
+
+/// The stages a served query moves through, in pipeline order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Wire-line JSON parsing into a request.
+    Parse,
+    /// Admission control (inflight limit, batch caps).
+    Admission,
+    /// Result-cache probe.
+    CacheLookup,
+    /// Estimator planning (auto selection, budget resolution).
+    Plan,
+    /// Sampling / estimation proper.
+    Sample,
+    /// Convergence-rule evaluation inside the adaptive session.
+    ConvergenceCheck,
+    /// Response serialization back to wire JSON.
+    Serialize,
+}
+
+impl Stage {
+    pub const ALL: [Stage; 7] = [
+        Stage::Parse,
+        Stage::Admission,
+        Stage::CacheLookup,
+        Stage::Plan,
+        Stage::Sample,
+        Stage::ConvergenceCheck,
+        Stage::Serialize,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Parse => "parse",
+            Stage::Admission => "admission",
+            Stage::CacheLookup => "cache_lookup",
+            Stage::Plan => "plan",
+            Stage::Sample => "sample",
+            Stage::ConvergenceCheck => "convergence_check",
+            Stage::Serialize => "serialize",
+        }
+    }
+}
+
+/// One timed stage within a query trace.
+#[derive(Debug, Clone)]
+pub struct StageTiming {
+    pub stage: Stage,
+    pub nanos: u64,
+}
+
+/// A completed per-query breakdown.
+#[derive(Debug, Clone)]
+pub struct QueryTrace {
+    /// Workload label (`st` / `topk` / `dquery`) or `"?"` if it failed
+    /// before classification.
+    pub workload: &'static str,
+    pub s: u64,
+    pub t: u64,
+    pub ok: bool,
+    pub cached: bool,
+    /// Wall time from builder creation to finish.
+    pub nanos: u64,
+    /// Stages in the order they were recorded; stages that did not run for
+    /// this query (e.g. `sample` on a cache hit) are absent.
+    pub stages: Vec<StageTiming>,
+}
+
+/// Accumulates stage timings for one query. Create at the top of the request
+/// path, open [`Span`]s (or call [`TraceBuilder::record`]) around each stage,
+/// then [`TraceBuilder::finish`] and push the trace into a [`TraceRing`].
+#[derive(Debug)]
+pub struct TraceBuilder {
+    start: Instant,
+    workload: &'static str,
+    s: u64,
+    t: u64,
+    ok: bool,
+    cached: bool,
+    stages: Vec<StageTiming>,
+}
+
+impl Default for TraceBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceBuilder {
+    pub fn new() -> Self {
+        TraceBuilder {
+            start: Instant::now(),
+            workload: "?",
+            s: 0,
+            t: 0,
+            ok: false,
+            cached: false,
+            stages: Vec::with_capacity(Stage::ALL.len()),
+        }
+    }
+
+    pub fn set_workload(&mut self, workload: &'static str) {
+        self.workload = workload;
+    }
+
+    pub fn set_pair(&mut self, s: u64, t: u64) {
+        self.s = s;
+        self.t = t;
+    }
+
+    pub fn set_outcome(&mut self, ok: bool, cached: bool) {
+        self.ok = ok;
+        self.cached = cached;
+    }
+
+    /// Record a stage timing measured externally (e.g. handed over from the
+    /// sampling session, which splits its own time into sample vs
+    /// convergence-check).
+    pub fn record(&mut self, stage: Stage, nanos: u64) {
+        self.stages.push(StageTiming { stage, nanos });
+    }
+
+    pub fn finish(self) -> QueryTrace {
+        QueryTrace {
+            workload: self.workload,
+            s: self.s,
+            t: self.t,
+            ok: self.ok,
+            cached: self.cached,
+            nanos: self.start.elapsed().as_nanos() as u64,
+            stages: self.stages,
+        }
+    }
+}
+
+/// RAII stage timer: measures from [`Span::enter`] until drop and records
+/// into the builder.
+pub struct Span<'a> {
+    builder: &'a mut TraceBuilder,
+    stage: Stage,
+    start: Instant,
+}
+
+impl<'a> Span<'a> {
+    pub fn enter(builder: &'a mut TraceBuilder, stage: Stage) -> Self {
+        Span {
+            builder,
+            stage,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let nanos = self.start.elapsed().as_nanos() as u64;
+        self.builder.record(self.stage, nanos);
+    }
+}
+
+/// Bounded, lock-protected ring of recent query traces.
+#[derive(Debug)]
+pub struct TraceRing {
+    inner: Mutex<VecDeque<QueryTrace>>,
+    cap: usize,
+}
+
+impl Default for TraceRing {
+    fn default() -> Self {
+        Self::new(TRACE_RING_CAP)
+    }
+}
+
+impl TraceRing {
+    pub fn new(cap: usize) -> Self {
+        TraceRing {
+            inner: Mutex::new(VecDeque::with_capacity(cap.min(TRACE_RING_CAP))),
+            cap: cap.max(1),
+        }
+    }
+
+    pub fn push(&self, trace: QueryTrace) {
+        let mut q = self.inner.lock().unwrap();
+        if q.len() == self.cap {
+            q.pop_front();
+        }
+        q.push_back(trace);
+    }
+
+    /// The most recent `n` traces, newest first.
+    pub fn recent(&self, n: usize) -> Vec<QueryTrace> {
+        let q = self.inner.lock().unwrap();
+        q.iter().rev().take(n).cloned().collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn span_records_on_drop() {
+        let mut b = TraceBuilder::new();
+        b.set_workload("st");
+        b.set_pair(3, 9);
+        {
+            let _span = Span::enter(&mut b, Stage::Plan);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        b.record(Stage::Sample, 42);
+        b.set_outcome(true, false);
+        let t = b.finish();
+        assert_eq!(t.workload, "st");
+        assert_eq!((t.s, t.t), (3, 9));
+        assert!(t.ok && !t.cached);
+        assert_eq!(t.stages.len(), 2);
+        assert_eq!(t.stages[0].stage, Stage::Plan);
+        assert!(t.stages[0].nanos >= 1_000_000);
+        assert_eq!(t.stages[1].stage, Stage::Sample);
+        assert_eq!(t.stages[1].nanos, 42);
+        assert!(t.nanos >= t.stages[0].nanos);
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let ring = TraceRing::new(2);
+        for i in 0..3u64 {
+            let mut b = TraceBuilder::new();
+            b.set_pair(i, i);
+            ring.push(b.finish());
+        }
+        assert_eq!(ring.len(), 2);
+        let recent = ring.recent(10);
+        assert_eq!(recent.len(), 2);
+        // Newest first.
+        assert_eq!(recent[0].s, 2);
+        assert_eq!(recent[1].s, 1);
+    }
+
+    #[test]
+    fn stage_labels_are_unique() {
+        let mut labels: Vec<_> = Stage::ALL.iter().map(|s| s.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), Stage::ALL.len());
+    }
+}

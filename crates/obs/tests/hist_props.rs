@@ -1,0 +1,89 @@
+//! Property tests for the log2 histogram: merge is associative and
+//! commutative, and quantile estimates stay within one bucket of the exact
+//! sorted-sample quantile.
+
+use proptest::prelude::*;
+use relcomp_obs::hist::{bucket_index, Histogram, BUCKETS};
+
+fn fill(values: &[u64]) -> Histogram {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+fn buckets_of(h: &Histogram) -> ([u64; BUCKETS], u64, u64) {
+    let s = h.snapshot();
+    (s.buckets, s.count, s.sum)
+}
+
+/// Exact order statistic matching the histogram's rank convention:
+/// the `ceil(q * n)`-th smallest sample (1-indexed).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+fn values() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..2_000_000, 1..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// merge(a, merge(b, c)) == merge(merge(a, b), c), bucket-for-bucket.
+    #[test]
+    fn merge_is_associative(a in values(), b in values(), c in values()) {
+        let left = fill(&a);
+        let bc = fill(&b);
+        bc.merge_from(&fill(&c));
+        left.merge_from(&bc);
+
+        let right = fill(&a);
+        right.merge_from(&fill(&b));
+        right.merge_from(&fill(&c));
+
+        prop_assert_eq!(buckets_of(&left), buckets_of(&right));
+    }
+
+    /// merge(a, b) == merge(b, a), bucket-for-bucket.
+    #[test]
+    fn merge_is_commutative(a in values(), b in values()) {
+        let ab = fill(&a);
+        ab.merge_from(&fill(&b));
+        let ba = fill(&b);
+        ba.merge_from(&fill(&a));
+        prop_assert_eq!(buckets_of(&ab), buckets_of(&ba));
+    }
+
+    /// A quantile estimate lands in the same log2 bucket as the exact
+    /// order statistic (the estimate is that bucket's upper bound).
+    #[test]
+    fn quantile_within_one_bucket_of_exact(vals in values(), q in 0.0f64..1.0) {
+        let h = fill(&vals);
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        let exact = exact_quantile(&sorted, q);
+        let est = h.quantile(q);
+        prop_assert_eq!(
+            bucket_index(est),
+            bucket_index(exact),
+            "estimate {} vs exact {} for q={}",
+            est,
+            exact,
+            q
+        );
+        prop_assert!(est >= exact);
+    }
+
+    /// Merging never loses observations: counts and sums add exactly.
+    #[test]
+    fn merge_preserves_count_and_sum(a in values(), b in values()) {
+        let h = fill(&a);
+        h.merge_from(&fill(&b));
+        prop_assert_eq!(h.count(), (a.len() + b.len()) as u64);
+        let want: u64 = a.iter().chain(b.iter()).sum();
+        prop_assert_eq!(h.sum(), want);
+    }
+}

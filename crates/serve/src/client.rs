@@ -2,8 +2,9 @@
 
 use crate::engine::BatchResults;
 use crate::protocol::{
-    DistanceQueryRequest, DistanceQueryResponse, EdgeProbUpdate, QueryRequest, QueryResponse,
-    ReloadResponse, Request, Response, StatsResponse, TopKRequest, TopKResponse, UpdateResponse,
+    DistanceQueryRequest, DistanceQueryResponse, EdgeProbUpdate, MetricsFormat, MetricsReport,
+    QueryRequest, QueryResponse, ReloadResponse, Request, Response, StatsResponse, TopKRequest,
+    TopKResponse, TraceRow, UpdateResponse,
 };
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
@@ -163,6 +164,41 @@ impl Client {
             Response::Stats(s) => Ok(s),
             other => Err(ClientError::Protocol(format!(
                 "expected stats, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The full metrics registry: counters, gauges, latency histograms.
+    pub fn metrics(&mut self) -> Result<MetricsReport, ClientError> {
+        match self.request(&Request::Metrics {
+            format: MetricsFormat::Json,
+        })? {
+            Response::Metrics(m) => Ok(m),
+            other => Err(ClientError::Protocol(format!(
+                "expected metrics, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The metrics registry rendered as Prometheus text exposition.
+    pub fn metrics_prom(&mut self) -> Result<String, ClientError> {
+        match self.request(&Request::Metrics {
+            format: MetricsFormat::Prom,
+        })? {
+            Response::MetricsText(text) => Ok(text),
+            other => Err(ClientError::Protocol(format!(
+                "expected metrics text, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The server's most recent per-query stage traces, newest first
+    /// (`None` = server default count).
+    pub fn traces(&mut self, n: Option<usize>) -> Result<Vec<TraceRow>, ClientError> {
+        match self.request(&Request::Trace { n })? {
+            Response::Traces(traces) => Ok(traces),
+            other => Err(ClientError::Protocol(format!(
+                "expected traces, got {other:?}"
             ))),
         }
     }

@@ -51,6 +51,7 @@ use crate::protocol::{
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use relcomp_core::metrics::take_thread_session_stats;
 use relcomp_core::parallel::{shard_rng, ParallelSampler};
 use relcomp_core::session::{
     restate_bernoulli_confidence, validate_budget_fields, DEFAULT_ADAPTIVE_CAP, DEFAULT_CONFIDENCE,
@@ -59,9 +60,13 @@ use relcomp_core::{
     build_estimator, Estimator, EstimatorKind, SampleBudget, StopReason, SuiteParams, UpdateOutcome,
 };
 use relcomp_eval::recommend::{recommend, MemoryBudget, SpeedNeed, VarianceNeed};
+use relcomp_obs::{
+    MetricsSnapshot, Outcome, QueryTrace, Registry, Span, Stage, TraceBuilder,
+    Workload as ObsWorkload,
+};
 use relcomp_ugraph::{EdgeUpdate, NodeId, UncertainGraph};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
@@ -283,10 +288,32 @@ pub struct QueryEngine {
     /// source.
     source: Mutex<Option<String>>,
     inflight: AtomicUsize,
-    queries: AtomicU64,
-    rejected: AtomicU64,
-    updates: AtomicU64,
+    /// Per-engine metrics registry (counters, latency histograms, trace
+    /// ring). `stats()` is a view over it; `metrics()` exposes all of it.
+    obs: Registry,
     started: Instant,
+}
+
+/// How a query failed, so the registry can count admission-control
+/// rejections (`rejected` outcome) apart from other failures (`error`).
+/// Collapses back to the plain `String` error at the public API boundary.
+enum Fail {
+    Rejected(String),
+    Error(String),
+}
+
+impl Fail {
+    fn into_message(self) -> String {
+        match self {
+            Fail::Rejected(m) | Fail::Error(m) => m,
+        }
+    }
+}
+
+impl From<String> for Fail {
+    fn from(m: String) -> Self {
+        Fail::Error(m)
+    }
 }
 
 impl QueryEngine {
@@ -319,9 +346,7 @@ impl QueryEngine {
             threads,
             source: Mutex::new(None),
             inflight: AtomicUsize::new(0),
-            queries: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            updates: AtomicU64::new(0),
+            obs: Registry::new(),
             started: Instant::now(),
         }
     }
@@ -365,15 +390,16 @@ impl QueryEngine {
     /// against the current epoch's graph.
     pub fn plan(&self, req: &QueryRequest) -> Result<PlannedQuery, String> {
         self.plan_on(&self.snapshot().graph, req)
+            .map_err(Fail::into_message)
     }
 
-    fn plan_on(&self, graph: &UncertainGraph, req: &QueryRequest) -> Result<PlannedQuery, String> {
+    fn plan_on(&self, graph: &UncertainGraph, req: &QueryRequest) -> Result<PlannedQuery, Fail> {
         let n = graph.num_nodes();
         for (what, id) in [("source", req.s), ("target", req.t)] {
             if !graph.contains_node(NodeId(id)) {
-                return Err(format!(
+                return Err(Fail::Error(format!(
                     "{what} node {id} out of range (graph has {n} nodes)"
-                ));
+                )));
             }
         }
         let mut eps = req.eps;
@@ -392,7 +418,7 @@ impl QueryEngine {
                 .first()
                 .copied()
                 .unwrap_or(self.config.default_estimator),
-            Some(name) => EstimatorKind::parse(name)?,
+            Some(name) => EstimatorKind::parse(name).map_err(Fail::Error)?,
         };
         Ok(PlannedQuery {
             s: NodeId(req.s),
@@ -417,8 +443,8 @@ impl QueryEngine {
         eps: Option<f64>,
         confidence: Option<f64>,
         time_budget_ms: Option<u64>,
-    ) -> Result<(usize, f64), String> {
-        validate_budget_fields(eps, confidence, time_budget_ms)?;
+    ) -> Result<(usize, f64), Fail> {
+        validate_budget_fields(eps, confidence, time_budget_ms).map_err(Fail::Error)?;
         let adaptive = eps.is_some() || time_budget_ms.is_some();
         let samples = samples.unwrap_or(if adaptive {
             self.config.adaptive_max_samples
@@ -426,29 +452,37 @@ impl QueryEngine {
             self.config.default_samples
         });
         if samples == 0 {
-            return Err("samples must be positive".into());
+            return Err(Fail::Error("samples must be positive".into()));
         }
         if samples > self.config.max_samples {
-            self.rejected.fetch_add(1, Ordering::Relaxed);
-            return Err(format!(
+            return Err(Fail::Rejected(format!(
                 "samples {samples} exceeds the admission limit {}",
                 self.config.max_samples
-            ));
+            )));
         }
         Ok((samples, confidence.unwrap_or(DEFAULT_CONFIDENCE)))
     }
 
-    fn admit(&self) -> Result<InflightGuard<'_>, String> {
+    fn admit(&self) -> Result<InflightGuard<'_>, Fail> {
         let prev = self.inflight.fetch_add(1, Ordering::Acquire);
         if prev >= self.config.max_inflight {
             self.inflight.fetch_sub(1, Ordering::Release);
-            self.rejected.fetch_add(1, Ordering::Relaxed);
-            return Err(format!(
+            return Err(Fail::Rejected(format!(
                 "server overloaded: {} queries in flight (limit {})",
                 prev, self.config.max_inflight
-            ));
+            )));
         }
         Ok(InflightGuard(&self.inflight))
+    }
+
+    /// Count a failed query under its outcome label and surface the
+    /// message — the single exit every failing public path goes through.
+    fn fail(&self, workload: ObsWorkload, fail: Fail) -> String {
+        match &fail {
+            Fail::Rejected(_) => self.obs.record_rejected(workload),
+            Fail::Error(_) => self.obs.record_error(workload),
+        }
+        fail.into_message()
     }
 
     fn key(epoch: u64, p: &PlannedQuery) -> QueryKey {
@@ -466,6 +500,23 @@ impl QueryEngine {
         }
     }
 
+    /// The shared success epilogue the three `respond*` helpers used to
+    /// copy-paste: stamp the elapsed time and record the query in the
+    /// registry (outcome counter, estimator counter, latency histogram).
+    /// Returns the elapsed microseconds for the wire response.
+    fn observe(
+        &self,
+        workload: ObsWorkload,
+        estimator: &'static str,
+        cached: bool,
+        start: Instant,
+    ) -> u64 {
+        let micros = start.elapsed().as_micros() as u64;
+        let outcome = if cached { Outcome::Hit } else { Outcome::Miss };
+        self.obs.observe_query(workload, outcome, estimator, micros);
+        micros
+    }
+
     fn respond(
         &self,
         p: &PlannedQuery,
@@ -473,14 +524,14 @@ impl QueryEngine {
         cached: bool,
         start: Instant,
     ) -> QueryResponse {
-        self.queries.fetch_add(1, Ordering::Relaxed);
+        let micros = self.observe(ObsWorkload::St, a.estimator, cached, start);
         QueryResponse {
             s: p.s.0,
             t: p.t.0,
             reliability: a.reliability,
             samples: a.samples,
             estimator: a.estimator.to_owned(),
-            micros: start.elapsed().as_micros() as u64,
+            micros,
             cached,
             stop_reason: a.stop_reason.label().to_owned(),
             half_width: a.half_width,
@@ -496,7 +547,7 @@ impl QueryEngine {
         cached: bool,
         start: Instant,
     ) -> TopKResponse {
-        self.queries.fetch_add(1, Ordering::Relaxed);
+        let micros = self.observe(ObsWorkload::TopK, a.estimator, cached, start);
         TopKResponse {
             s,
             k,
@@ -508,7 +559,7 @@ impl QueryEngine {
                 .map(|&(node, reliability)| TargetEntry { node, reliability })
                 .collect(),
             samples: a.samples,
-            micros: start.elapsed().as_micros() as u64,
+            micros,
             cached,
             stop_reason: a.stop_reason.label().to_owned(),
             half_width: a.half_width,
@@ -522,14 +573,14 @@ impl QueryEngine {
         cached: bool,
         start: Instant,
     ) -> DistanceQueryResponse {
-        self.queries.fetch_add(1, Ordering::Relaxed);
+        let micros = self.observe(ObsWorkload::Distance, a.estimator, cached, start);
         DistanceQueryResponse {
             s: req.s,
             t: req.t,
             d: req.d,
             reliability: a.reliability,
             samples: a.samples,
-            micros: start.elapsed().as_micros() as u64,
+            micros,
             cached,
             stop_reason: a.stop_reason.label().to_owned(),
             half_width: a.half_width,
@@ -623,18 +674,58 @@ impl QueryEngine {
         }
     }
 
+    /// Run an estimation step with its time split into the `sample` and
+    /// `convergence_check` trace stages. The split comes from the
+    /// thread-local session stats core accumulates while estimating — every
+    /// estimation path (residents, `run_adaptive`'s caller-thread stopping
+    /// checks, the fixed paths) finishes its sessions on this thread.
+    fn sample_span<T>(&self, tb: &mut TraceBuilder, step: impl FnOnce() -> T) -> T {
+        let _ = take_thread_session_stats();
+        let sample_start = Instant::now();
+        let out = step();
+        let elapsed = sample_start.elapsed().as_nanos() as u64;
+        let sessions = take_thread_session_stats();
+        let convergence = sessions.convergence_nanos.min(elapsed);
+        tb.record(Stage::Sample, elapsed - convergence);
+        if sessions.sessions > 0 {
+            tb.record(Stage::ConvergenceCheck, convergence);
+        }
+        out
+    }
+
+    fn compute_traced(
+        &self,
+        snap: &Snapshot,
+        p: &PlannedQuery,
+        tb: &mut TraceBuilder,
+    ) -> Result<CachedAnswer, Stale> {
+        self.sample_span(tb, || self.compute(snap, p))
+    }
+
     /// Answer one query against the current epoch, retrying transparently
-    /// if an epoch swap races the computation.
-    fn answer(&self, req: &QueryRequest) -> Result<QueryResponse, String> {
+    /// if an epoch swap races the computation. Stage timings (plan, cache
+    /// lookup, sample, convergence check) land in `tb`.
+    fn answer_traced(
+        &self,
+        req: &QueryRequest,
+        tb: &mut TraceBuilder,
+    ) -> Result<QueryResponse, Fail> {
         for _ in 0..MAX_EPOCH_RETRIES {
             let snap = self.snapshot();
-            let plan = self.plan_on(&snap.graph, req)?;
+            let plan = {
+                let _span = Span::enter(tb, Stage::Plan);
+                self.plan_on(&snap.graph, req)?
+            };
             let start = Instant::now();
             let key = Self::key(snap.epoch, &plan);
-            if let Some(hit) = self.cache.get(&key) {
+            let hit = {
+                let _span = Span::enter(tb, Stage::CacheLookup);
+                self.cache.get(&key)
+            };
+            if let Some(hit) = hit {
                 return Ok(self.respond(&plan, &hit, true, start));
             }
-            match self.compute(&snap, &plan) {
+            match self.compute_traced(&snap, &plan, tb) {
                 Ok(answer) => {
                     self.cache.insert(key, answer.clone());
                     return Ok(self.respond(&plan, &answer, false, start));
@@ -642,13 +733,56 @@ impl QueryEngine {
                 Err(Stale) => continue,
             }
         }
-        Err("graph is being updated faster than this query can retry".into())
+        Err(Fail::Error(
+            "graph is being updated faster than this query can retry".into(),
+        ))
+    }
+
+    fn answer(&self, req: &QueryRequest) -> Result<QueryResponse, Fail> {
+        self.answer_traced(req, &mut TraceBuilder::new())
     }
 
     /// Answer one query (admission → plan → cache → compute).
     pub fn execute(&self, req: &QueryRequest) -> Result<QueryResponse, String> {
-        let _guard = self.admit()?;
-        self.answer(req)
+        let mut tb = TraceBuilder::new();
+        let out = self.execute_traced(req, &mut tb);
+        self.record_trace(tb);
+        out
+    }
+
+    /// [`QueryEngine::execute`] with caller-supplied stage tracing: the
+    /// server's dispatch loop uses this to add its own `parse`/`serialize`
+    /// stages before pushing the trace via [`QueryEngine::record_trace`].
+    /// Failures are counted under the right outcome label here.
+    pub fn execute_traced(
+        &self,
+        req: &QueryRequest,
+        tb: &mut TraceBuilder,
+    ) -> Result<QueryResponse, String> {
+        tb.set_workload(ObsWorkload::St.label());
+        tb.set_pair(req.s as u64, req.t as u64);
+        let res = (|| {
+            let _guard = {
+                let _span = Span::enter(tb, Stage::Admission);
+                self.admit()?
+            };
+            self.answer_traced(req, tb)
+        })();
+        match res {
+            Ok(resp) => {
+                tb.set_outcome(true, resp.cached);
+                Ok(resp)
+            }
+            Err(f) => {
+                tb.set_outcome(false, false);
+                Err(self.fail(ObsWorkload::St, f))
+            }
+        }
+    }
+
+    /// Push a finished trace into the engine's ring of recent query traces.
+    pub fn record_trace(&self, tb: TraceBuilder) {
+        self.obs.traces.push(tb.finish());
     }
 
     /// Answer one top-k reliability search (admission → plan → cache →
@@ -657,23 +791,62 @@ impl QueryEngine {
     /// the snapshot's epoch — an `update`/`reload` makes it stale exactly
     /// like an s-t answer.
     pub fn execute_topk(&self, req: &TopKRequest) -> Result<TopKResponse, String> {
-        let _guard = self.admit()?;
+        let mut tb = TraceBuilder::new();
+        let out = self.execute_topk_traced(req, &mut tb);
+        self.record_trace(tb);
+        out
+    }
+
+    /// [`QueryEngine::execute_topk`] with caller-supplied stage tracing
+    /// (see [`QueryEngine::execute_traced`]).
+    pub fn execute_topk_traced(
+        &self,
+        req: &TopKRequest,
+        tb: &mut TraceBuilder,
+    ) -> Result<TopKResponse, String> {
+        tb.set_workload(ObsWorkload::TopK.label());
+        tb.set_pair(req.s as u64, 0);
+        match self.topk_inner(req, tb) {
+            Ok(resp) => {
+                tb.set_outcome(true, resp.cached);
+                Ok(resp)
+            }
+            Err(f) => {
+                tb.set_outcome(false, false);
+                Err(self.fail(ObsWorkload::TopK, f))
+            }
+        }
+    }
+
+    fn topk_inner(&self, req: &TopKRequest, tb: &mut TraceBuilder) -> Result<TopKResponse, Fail> {
+        let _guard = {
+            let _span = Span::enter(tb, Stage::Admission);
+            self.admit()?
+        };
         let snap = self.snapshot();
         let start = Instant::now();
-        if !snap.graph.contains_node(NodeId(req.s)) {
-            return Err(format!(
-                "source node {} out of range (graph has {} nodes)",
-                req.s,
-                snap.graph.num_nodes()
-            ));
-        }
-        let k = req.k.unwrap_or(self.config.default_top_k);
-        if k == 0 {
-            return Err("k must be positive".into());
-        }
-        let (samples, confidence) =
-            self.resolve_budget(req.samples, req.eps, req.confidence, req.time_budget_ms)?;
-        let seed = req.seed.unwrap_or(self.config.default_seed);
+        let (k, samples, confidence, seed) = {
+            let _span = Span::enter(tb, Stage::Plan);
+            if !snap.graph.contains_node(NodeId(req.s)) {
+                return Err(Fail::Error(format!(
+                    "source node {} out of range (graph has {} nodes)",
+                    req.s,
+                    snap.graph.num_nodes()
+                )));
+            }
+            let k = req.k.unwrap_or(self.config.default_top_k);
+            if k == 0 {
+                return Err(Fail::Error("k must be positive".into()));
+            }
+            let (samples, confidence) =
+                self.resolve_budget(req.samples, req.eps, req.confidence, req.time_budget_ms)?;
+            (
+                k,
+                samples,
+                confidence,
+                req.seed.unwrap_or(self.config.default_seed),
+            )
+        };
         let key = QueryKey {
             workload: WorkloadKind::TopK { k },
             epoch: snap.epoch,
@@ -686,13 +859,18 @@ impl QueryEngine {
             confidence_bits: Some(confidence.to_bits()),
             time_budget_ms: req.time_budget_ms,
         };
-        if let Some(hit) = self.cache.get(&key) {
+        let hit = {
+            let _span = Span::enter(tb, Stage::CacheLookup);
+            self.cache.get(&key)
+        };
+        if let Some(hit) = hit {
             return Ok(self.respond_topk(req.s, k, &hit, true, start));
         }
         let budget = SampleBudget::assemble(samples, req.eps, confidence, req.time_budget_ms);
-        let result = snap
-            .sampler
-            .top_k_targets_with(NodeId(req.s), k, &budget, seed);
+        let result = self.sample_span(tb, || {
+            snap.sampler
+                .top_k_targets_with(NodeId(req.s), k, &budget, seed)
+        });
         let answer = CachedAnswer {
             reliability: result.scores.last().map_or(0.0, |ts| ts.reliability),
             samples: result.samples,
@@ -719,20 +897,62 @@ impl QueryEngine {
         &self,
         req: &DistanceQueryRequest,
     ) -> Result<DistanceQueryResponse, String> {
-        let _guard = self.admit()?;
-        let snap = self.snapshot();
-        let start = Instant::now();
-        for (what, id) in [("source", req.s), ("target", req.t)] {
-            if !snap.graph.contains_node(NodeId(id)) {
-                return Err(format!(
-                    "{what} node {id} out of range (graph has {} nodes)",
-                    snap.graph.num_nodes()
-                ));
+        let mut tb = TraceBuilder::new();
+        let out = self.execute_dquery_traced(req, &mut tb);
+        self.record_trace(tb);
+        out
+    }
+
+    /// [`QueryEngine::execute_dquery`] with caller-supplied stage tracing
+    /// (see [`QueryEngine::execute_traced`]).
+    pub fn execute_dquery_traced(
+        &self,
+        req: &DistanceQueryRequest,
+        tb: &mut TraceBuilder,
+    ) -> Result<DistanceQueryResponse, String> {
+        tb.set_workload(ObsWorkload::Distance.label());
+        tb.set_pair(req.s as u64, req.t as u64);
+        match self.dquery_inner(req, tb) {
+            Ok(resp) => {
+                tb.set_outcome(true, resp.cached);
+                Ok(resp)
+            }
+            Err(f) => {
+                tb.set_outcome(false, false);
+                Err(self.fail(ObsWorkload::Distance, f))
             }
         }
-        let (samples, confidence) =
-            self.resolve_budget(req.samples, req.eps, req.confidence, req.time_budget_ms)?;
-        let seed = req.seed.unwrap_or(self.config.default_seed);
+    }
+
+    fn dquery_inner(
+        &self,
+        req: &DistanceQueryRequest,
+        tb: &mut TraceBuilder,
+    ) -> Result<DistanceQueryResponse, Fail> {
+        let _guard = {
+            let _span = Span::enter(tb, Stage::Admission);
+            self.admit()?
+        };
+        let snap = self.snapshot();
+        let start = Instant::now();
+        let (samples, confidence, seed) = {
+            let _span = Span::enter(tb, Stage::Plan);
+            for (what, id) in [("source", req.s), ("target", req.t)] {
+                if !snap.graph.contains_node(NodeId(id)) {
+                    return Err(Fail::Error(format!(
+                        "{what} node {id} out of range (graph has {} nodes)",
+                        snap.graph.num_nodes()
+                    )));
+                }
+            }
+            let (samples, confidence) =
+                self.resolve_budget(req.samples, req.eps, req.confidence, req.time_budget_ms)?;
+            (
+                samples,
+                confidence,
+                req.seed.unwrap_or(self.config.default_seed),
+            )
+        };
         let key = QueryKey {
             workload: WorkloadKind::Distance { d: req.d },
             epoch: snap.epoch,
@@ -745,17 +965,23 @@ impl QueryEngine {
             confidence_bits: Some(confidence.to_bits()),
             time_budget_ms: req.time_budget_ms,
         };
-        if let Some(hit) = self.cache.get(&key) {
+        let hit = {
+            let _span = Span::enter(tb, Stage::CacheLookup);
+            self.cache.get(&key)
+        };
+        if let Some(hit) = hit {
             return Ok(self.respond_dquery(req, &hit, true, start));
         }
         let budget = SampleBudget::assemble(samples, req.eps, confidence, req.time_budget_ms);
-        let est = snap.sampler.estimate_distance_constrained_with(
-            NodeId(req.s),
-            NodeId(req.t),
-            req.d,
-            &budget,
-            seed,
-        );
+        let est = self.sample_span(tb, || {
+            snap.sampler.estimate_distance_constrained_with(
+                NodeId(req.s),
+                NodeId(req.t),
+                req.d,
+                &budget,
+                seed,
+            )
+        });
         let answer = CachedAnswer {
             reliability: est.reliability,
             samples: est.samples,
@@ -773,13 +999,18 @@ impl QueryEngine {
     /// queries that share `(s, samples, seed)`. Results keep input order;
     /// per-query failures do not fail the batch.
     pub fn execute_batch(&self, reqs: &[QueryRequest]) -> Result<BatchResults, String> {
-        let _guard = self.admit()?;
+        let _guard = match self.admit() {
+            Ok(g) => g,
+            Err(f) => return Err(self.fail(ObsWorkload::St, f)),
+        };
         if reqs.len() > self.config.max_batch {
-            self.rejected.fetch_add(1, Ordering::Relaxed);
-            return Err(format!(
-                "batch of {} exceeds the admission limit {}",
-                reqs.len(),
-                self.config.max_batch
+            return Err(self.fail(
+                ObsWorkload::St,
+                Fail::Rejected(format!(
+                    "batch of {} exceeds the admission limit {}",
+                    reqs.len(),
+                    self.config.max_batch
+                )),
             ));
         }
         let snap = self.snapshot();
@@ -791,7 +1022,7 @@ impl QueryEngine {
 
         for (i, req) in reqs.iter().enumerate() {
             match self.plan_on(&snap.graph, req) {
-                Err(e) => out[i] = Some(Err(e)),
+                Err(e) => out[i] = Some(Err(self.fail(ObsWorkload::St, e))),
                 Ok(plan) => {
                     let key = Self::key(snap.epoch, &plan);
                     if let Some(hit) = self.cache.get(&key) {
@@ -812,7 +1043,11 @@ impl QueryEngine {
                             }
                             // Raced an epoch swap: answer this query alone
                             // at the new epoch (re-planned and re-keyed).
-                            Err(Stale) => out[i] = Some(self.answer(req)),
+                            Err(Stale) => {
+                                out[i] = Some(
+                                    self.answer(req).map_err(|f| self.fail(ObsWorkload::St, f)),
+                                )
+                            }
                         }
                     }
                 }
@@ -925,7 +1160,7 @@ impl QueryEngine {
         state.sampler = Arc::new(ParallelSampler::new(Arc::clone(&new_graph), self.threads));
         state.graph = new_graph;
         state.epoch = new_epoch;
-        self.updates.fetch_add(1, Ordering::Relaxed);
+        self.obs.note_update();
         Ok(UpdateResponse {
             epoch: new_epoch,
             edges_updated: resolved.len(),
@@ -942,7 +1177,7 @@ impl QueryEngine {
         state.resident.clear();
         state.sampler = Arc::new(ParallelSampler::new(Arc::clone(&graph), self.threads));
         state.graph = graph;
-        self.updates.fetch_add(1, Ordering::Relaxed);
+        self.obs.note_update();
         ReloadResponse {
             epoch: state.epoch,
             nodes: state.graph.num_nodes(),
@@ -950,8 +1185,9 @@ impl QueryEngine {
         }
     }
 
-    /// Current counters.
-    pub fn stats(&self) -> StatsResponse {
+    /// Gauges that are engine state rather than registry counters:
+    /// `(epoch, nodes, edges, resident_estimators, resident_bytes)`.
+    fn state_gauges(&self) -> (u64, usize, usize, usize, usize) {
         // Copy the registry's cell handles out of the state lock before
         // touching any estimator mutex: a long-running resident query
         // must be able to delay this stats answer, but never a queued
@@ -974,26 +1210,154 @@ impl QueryEngine {
                     .resident_bytes()
             })
             .sum();
+        (epoch, nodes, edges, cells.len(), resident_bytes)
+    }
+
+    /// Current counters — a wire-compatible view over the metrics registry
+    /// (plus cache, graph, and process-wide sampler state).
+    pub fn stats(&self) -> StatsResponse {
+        let (epoch, nodes, edges, resident_estimators, resident_bytes) = self.state_gauges();
         // Process-wide sampling-path counters: how many worlds went
         // through the packed 64-world kernel vs one-at-a-time BFS.
         let (packed_samples, scalar_samples) = relcomp_core::packed::sample_counts();
         StatsResponse {
-            queries: self.queries.load(Ordering::Relaxed),
+            queries: self.obs.queries_total(),
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
             cache_entries: self.cache.len(),
-            rejected: self.rejected.load(Ordering::Relaxed),
+            rejected: self.obs.rejected_total(),
             threads: self.threads,
             epoch,
-            updates: self.updates.load(Ordering::Relaxed),
+            updates: self.obs.updates(),
             nodes,
             edges,
-            resident_estimators: cells.len(),
+            resident_estimators,
             resident_bytes,
             packed_samples,
             scalar_samples,
             uptime_micros: self.started.elapsed().as_micros() as u64,
         }
+    }
+
+    /// The last `n` per-query stage traces, newest first.
+    pub fn traces(&self, n: usize) -> Vec<QueryTrace> {
+        self.obs.traces.recent(n)
+    }
+
+    /// The engine's metrics registry (counters, latency histograms, trace
+    /// ring) — benches and tests read histograms from it directly.
+    pub fn registry(&self) -> &Registry {
+        &self.obs
+    }
+
+    /// Everything observable about this engine as one exposition-ready
+    /// snapshot: registry counters per `(workload, outcome)` and estimator,
+    /// per-workload latency histograms (plus a merged `workload="all"`
+    /// view), engine/cache gauges, and the process-wide sampler probes.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut m = MetricsSnapshot::default();
+        for w in ObsWorkload::ALL {
+            for o in Outcome::ALL {
+                m.counter(
+                    "relcomp_queries_total",
+                    vec![
+                        ("workload", w.label().into()),
+                        ("outcome", o.label().into()),
+                    ],
+                    self.obs.count(w, o),
+                );
+            }
+        }
+        for label in relcomp_obs::ESTIMATOR_LABELS {
+            let n = self.obs.estimator_count(label);
+            if n > 0 {
+                m.counter(
+                    "relcomp_queries_by_estimator_total",
+                    vec![("estimator", label.into())],
+                    n,
+                );
+            }
+        }
+        m.counter("relcomp_cache_hits_total", vec![], self.cache.hits());
+        m.counter("relcomp_cache_misses_total", vec![], self.cache.misses());
+        m.counter("relcomp_updates_total", vec![], self.obs.updates());
+
+        let (epoch, nodes, edges, resident_estimators, resident_bytes) = self.state_gauges();
+        m.gauge("relcomp_cache_entries", vec![], self.cache.len() as u64);
+        m.gauge(
+            "relcomp_inflight",
+            vec![],
+            self.inflight.load(Ordering::Relaxed) as u64,
+        );
+        m.gauge("relcomp_epoch", vec![], epoch);
+        m.gauge("relcomp_threads", vec![], self.threads as u64);
+        m.gauge("relcomp_graph_nodes", vec![], nodes as u64);
+        m.gauge("relcomp_graph_edges", vec![], edges as u64);
+        m.gauge(
+            "relcomp_resident_estimators",
+            vec![],
+            resident_estimators as u64,
+        );
+        m.gauge("relcomp_resident_bytes", vec![], resident_bytes as u64);
+        m.gauge(
+            "relcomp_uptime_micros",
+            vec![],
+            self.started.elapsed().as_micros() as u64,
+        );
+
+        for w in ObsWorkload::ALL {
+            m.histogram(
+                "relcomp_query_latency_micros",
+                vec![("workload", w.label().into())],
+                &self.obs.latency(w).snapshot(),
+            );
+        }
+        // The merged view doubles as a live check of histogram mergeability.
+        m.histogram(
+            "relcomp_query_latency_micros",
+            vec![("workload", "all".into())],
+            &self.obs.merged_latency(),
+        );
+
+        let sampler = relcomp_obs::sampler_snapshot();
+        m.counter(
+            "relcomp_samples_total",
+            vec![("path", "packed".into())],
+            sampler.packed_samples,
+        );
+        m.counter(
+            "relcomp_samples_total",
+            vec![("path", "scalar".into())],
+            sampler.scalar_samples,
+        );
+        for (reason, n) in &sampler.sessions {
+            m.counter(
+                "relcomp_sessions_total",
+                vec![("stop_reason", (*reason).into())],
+                *n,
+            );
+        }
+        m.counter(
+            "relcomp_session_batches_total",
+            vec![],
+            sampler.session_batches,
+        );
+        m.counter(
+            "relcomp_session_samples_total",
+            vec![],
+            sampler.session_samples,
+        );
+        m.counter(
+            "relcomp_sampling_micros_total",
+            vec![],
+            sampler.session_micros,
+        );
+        m.counter(
+            "relcomp_convergence_nanos_total",
+            vec![],
+            sampler.convergence_nanos,
+        );
+        m
     }
 }
 

@@ -40,7 +40,8 @@ pub mod server;
 pub use client::{Client, ClientError};
 pub use engine::{EngineConfig, QueryEngine};
 pub use protocol::{
-    DistanceQueryRequest, DistanceQueryResponse, QueryRequest, QueryResponse, Request, Response,
-    StatsResponse, TopKRequest, TopKResponse, DEFAULT_PORT,
+    DistanceQueryRequest, DistanceQueryResponse, MetricsFormat, MetricsReport, QueryRequest,
+    QueryResponse, Request, Response, StatsResponse, TopKRequest, TopKResponse, TraceRow,
+    DEFAULT_PORT,
 };
 pub use server::Server;

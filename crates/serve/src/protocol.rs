@@ -20,6 +20,9 @@
 //! {"cmd":"update","updates":[{"s":0,"t":3,"prob":0.25}]}
 //! {"cmd":"reload","path":"/data/graph.ug"}
 //! {"cmd":"stats"}
+//! {"cmd":"metrics"}
+//! {"cmd":"metrics","format":"prom"}
+//! {"cmd":"trace","last":5}
 //! {"cmd":"shutdown"}
 //! ```
 //!
@@ -59,6 +62,28 @@
 //! workload parameters (`k`/`d`) and the full budget, and go stale on
 //! `update`/`reload` exactly like s-t answers.
 //!
+//! ## Observability verbs
+//!
+//! `metrics` exposes the server's full metrics registry. The default JSON
+//! form returns counters (`relcomp_queries_total` by `workload` ∈
+//! `st`/`topk`/`dquery` and `outcome` ∈ `hit`/`miss`/`rejected`/`error`,
+//! `relcomp_queries_by_estimator_total`, cache and sampler totals), gauges
+//! (inflight, epoch, graph size, resident-index bytes), and log2-bucketed
+//! latency histograms per workload plus a merged `workload="all"` series —
+//! each with exact `count`/`sum`, p50/p90/p99/p99.9, and cumulative
+//! `le`-buckets. The top-level `queries_total` field repeats the summed
+//! query counter for cheap smoke checks. With `"format":"prom"` the same
+//! snapshot is rendered as Prometheus text exposition and returned in a
+//! `metrics_text` response's `text` field. `stats` remains a compact,
+//! wire-stable view of the same registry.
+//!
+//! `trace` returns the most recent per-query stage breakdowns (newest
+//! first, up to `last`, default 16, from a bounded in-memory ring): wall
+//! `nanos` plus per-stage timings over `parse` → `admission` →
+//! `cache_lookup` → `plan` → `sample` → `convergence_check` → `serialize`.
+//! Stages that did not run for a query (e.g. `sample` on a cache hit) are
+//! absent.
+//!
 //! `update` changes existing edges' probabilities in place: the server
 //! snapshots a new graph **epoch** (topology shared, probabilities
 //! copy-on-write), migrates resident estimator indexes incrementally,
@@ -83,6 +108,15 @@
 //!  "migrated":[{"estimator":"ProbTree","mode":"incremental","touched":2}]}
 //! {"ok":true,"kind":"reload","epoch":4,"nodes":100,"edges":320}
 //! {"ok":true,"kind":"stats","queries":10,...}
+//! {"ok":true,"kind":"metrics","queries_total":10,"counters":[
+//!  {"name":"relcomp_queries_total","labels":{"workload":"st","outcome":"miss"},"value":7},...],
+//!  "gauges":[...],"histograms":[{"name":"relcomp_query_latency_micros",
+//!  "labels":{"workload":"st"},"count":10,"sum":5120,"p50":511,"p90":1023,
+//!  "p99":1023,"p999":1023,"buckets":[{"le":511,"count":6},{"le":1023,"count":10}]}]}
+//! {"ok":true,"kind":"metrics_text","text":"# TYPE relcomp_queries_total counter\n..."}
+//! {"ok":true,"kind":"trace","traces":[{"workload":"st","s":0,"t":3,"ok":true,
+//!  "cached":false,"nanos":152000,"stages":[{"stage":"admission","nanos":210},
+//!  {"stage":"plan","nanos":3400},{"stage":"sample","nanos":140000}]}]}
 //! {"ok":true,"kind":"bye"}
 //! {"ok":false,"error":"unknown estimator `mcmc`"}
 //! ```
@@ -91,6 +125,7 @@
 //! because requests have optional fields and data-carrying variants,
 //! which the vendored derive deliberately does not cover.
 
+use relcomp_obs::{MetricsSnapshot, QueryTrace};
 use serde::{DeError, Deserialize, Serialize, Value};
 
 /// Default TCP port of `relcomp serve`.
@@ -261,8 +296,31 @@ pub enum Request {
     },
     /// Server / cache counters.
     Stats,
+    /// Full metrics registry: counters, gauges, and latency histograms.
+    Metrics {
+        /// Exposition format; `Json` (the default when the wire field is
+        /// absent) answers with [`Response::Metrics`], `Prom` with
+        /// Prometheus text in [`Response::MetricsText`].
+        format: MetricsFormat,
+    },
+    /// Most recent per-query stage traces, newest first.
+    Trace {
+        /// How many traces to return (`last` on the wire); `None` = server
+        /// default (16).
+        n: Option<usize>,
+    },
     /// Stop the server after acknowledging.
     Shutdown,
+}
+
+/// How [`Request::Metrics`] wants the registry rendered.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// Structured JSON ([`Response::Metrics`]).
+    #[default]
+    Json,
+    /// Prometheus text exposition ([`Response::MetricsText`]).
+    Prom,
 }
 
 /// Successful answer to one query.
@@ -439,6 +497,192 @@ impl StatsResponse {
     }
 }
 
+/// One counter or gauge sample inside a [`MetricsReport`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricRow {
+    /// Metric family name (e.g. `relcomp_queries_total`).
+    pub name: String,
+    /// Label pairs identifying this sample within the family, in stable
+    /// order (serialized as a JSON object).
+    pub labels: Vec<(String, String)>,
+    /// Current value.
+    pub value: u64,
+}
+
+/// One cumulative histogram bucket inside a [`HistogramRow`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BucketRow {
+    /// Inclusive upper bound of the bucket.
+    pub le: u64,
+    /// Observations at or below `le` (cumulative).
+    pub count: u64,
+}
+
+/// One latency histogram inside a [`MetricsReport`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramRow {
+    /// Metric family name (e.g. `relcomp_query_latency_micros`).
+    pub name: String,
+    /// Label pairs identifying this series within the family.
+    pub labels: Vec<(String, String)>,
+    /// Exact number of observations.
+    pub count: u64,
+    /// Exact sum of all observed values.
+    pub sum: u64,
+    /// Median estimate (upper bound of the bucket holding the quantile).
+    pub p50: u64,
+    /// 90th-percentile estimate.
+    pub p90: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+    /// 99.9th-percentile estimate.
+    pub p999: u64,
+    /// Cumulative `le`-buckets over non-empty buckets only.
+    pub buckets: Vec<BucketRow>,
+}
+
+/// The full metrics registry returned by [`Request::Metrics`] in JSON form.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsReport {
+    /// Queries answered (hits + misses across all workloads) — repeated at
+    /// the top level so smoke checks can grep one scalar.
+    pub queries_total: u64,
+    /// All counter samples.
+    pub counters: Vec<MetricRow>,
+    /// All gauge samples.
+    pub gauges: Vec<MetricRow>,
+    /// All latency histograms (per workload plus the merged
+    /// `workload="all"` series).
+    pub histograms: Vec<HistogramRow>,
+}
+
+fn mirror_labels(labels: &[(&'static str, String)]) -> Vec<(String, String)> {
+    labels
+        .iter()
+        .map(|(k, v)| ((*k).to_owned(), v.clone()))
+        .collect()
+}
+
+impl From<&MetricsSnapshot> for MetricsReport {
+    fn from(snap: &MetricsSnapshot) -> Self {
+        MetricsReport {
+            queries_total: snap.counter_total("relcomp_queries_total"),
+            counters: snap
+                .counters
+                .iter()
+                .map(|c| MetricRow {
+                    name: c.name.to_owned(),
+                    labels: mirror_labels(&c.labels),
+                    value: c.value,
+                })
+                .collect(),
+            gauges: snap
+                .gauges
+                .iter()
+                .map(|g| MetricRow {
+                    name: g.name.to_owned(),
+                    labels: mirror_labels(&g.labels),
+                    value: g.value,
+                })
+                .collect(),
+            histograms: snap
+                .histograms
+                .iter()
+                .map(|h| HistogramRow {
+                    name: h.name.to_owned(),
+                    labels: mirror_labels(&h.labels),
+                    count: h.count,
+                    sum: h.sum,
+                    p50: h.p50,
+                    p90: h.p90,
+                    p99: h.p99,
+                    p999: h.p999,
+                    buckets: h
+                        .buckets
+                        .iter()
+                        .map(|&(le, count)| BucketRow { le, count })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl MetricsReport {
+    /// The first histogram with this name and an exactly matching label
+    /// set, if any.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistogramRow> {
+        self.histograms.iter().find(|h| {
+            h.name == name
+                && h.labels.len() == labels.len()
+                && h.labels
+                    .iter()
+                    .zip(labels)
+                    .all(|((k, v), (wk, wv))| k == wk && v == wv)
+        })
+    }
+
+    /// Summed value of every counter sample in this family.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|c| c.name == name)
+            .map(|c| c.value)
+            .sum()
+    }
+}
+
+/// One timed stage inside a [`TraceRow`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct StageRow {
+    /// Stage label: `parse`, `admission`, `cache_lookup`, `plan`,
+    /// `sample`, `convergence_check`, or `serialize`.
+    pub stage: String,
+    /// Time spent in the stage, nanoseconds.
+    pub nanos: u64,
+}
+
+/// One per-query stage breakdown returned by [`Request::Trace`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceRow {
+    /// Workload label (`st` / `topk` / `dquery`), or `"?"` if the query
+    /// failed before classification.
+    pub workload: String,
+    /// Source node (0 when not applicable).
+    pub s: u64,
+    /// Target node (for `topk`: 0).
+    pub t: u64,
+    /// Whether the query succeeded.
+    pub ok: bool,
+    /// Whether the answer came from the result cache.
+    pub cached: bool,
+    /// End-to-end wall time, nanoseconds.
+    pub nanos: u64,
+    /// Stages in recorded order; stages that did not run are absent.
+    pub stages: Vec<StageRow>,
+}
+
+impl From<&QueryTrace> for TraceRow {
+    fn from(t: &QueryTrace) -> Self {
+        TraceRow {
+            workload: t.workload.to_owned(),
+            s: t.s,
+            t: t.t,
+            ok: t.ok,
+            cached: t.cached,
+            nanos: t.nanos,
+            stages: t
+                .stages
+                .iter()
+                .map(|s| StageRow {
+                    stage: s.stage.label().to_owned(),
+                    nanos: s.nanos,
+                })
+                .collect(),
+        }
+    }
+}
+
 /// Every response the server sends.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Response {
@@ -458,6 +702,14 @@ pub enum Response {
     Reload(ReloadResponse),
     /// Answer to [`Request::Stats`].
     Stats(StatsResponse),
+    /// Answer to [`Request::Metrics`] with [`MetricsFormat::Json`].
+    Metrics(MetricsReport),
+    /// Answer to [`Request::Metrics`] with [`MetricsFormat::Prom`]:
+    /// Prometheus text exposition (embedded newlines are JSON-escaped, so
+    /// the wire stays one line per response).
+    MetricsText(String),
+    /// Answer to [`Request::Trace`], newest first.
+    Traces(Vec<TraceRow>),
     /// Acknowledgement of [`Request::Shutdown`].
     Bye,
     /// Any failure (parse error, admission rejection, bad query).
@@ -694,6 +946,20 @@ impl Serialize for Request {
                 obj(fields)
             }
             Request::Stats => obj(vec![("cmd", "stats".to_value())]),
+            Request::Metrics { format } => {
+                let mut fields = vec![("cmd", "metrics".to_value())];
+                if *format == MetricsFormat::Prom {
+                    fields.push(("format", "prom".to_value()));
+                }
+                obj(fields)
+            }
+            Request::Trace { n } => {
+                let mut fields = vec![("cmd", "trace".to_value())];
+                if let Some(n) = n {
+                    fields.push(("last", n.to_value()));
+                }
+                obj(fields)
+            }
             Request::Shutdown => obj(vec![("cmd", "shutdown".to_value())]),
         }
     }
@@ -716,6 +982,27 @@ impl Deserialize for Request {
                 path: lookup(fields, "path").map(de).transpose()?,
             }),
             "stats" => Ok(Request::Stats),
+            "metrics" => {
+                let format = match lookup(fields, "format") {
+                    None => MetricsFormat::Json,
+                    Some(v) => {
+                        let name: String = de(v)?;
+                        match name.as_str() {
+                            "json" => MetricsFormat::Json,
+                            "prom" => MetricsFormat::Prom,
+                            other => {
+                                return Err(DeError::custom(format!(
+                                    "unknown metrics format `{other}` (expected `json` or `prom`)"
+                                )))
+                            }
+                        }
+                    }
+                };
+                Ok(Request::Metrics { format })
+            }
+            "trace" => Ok(Request::Trace {
+                n: lookup(fields, "last").map(de).transpose()?,
+            }),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(DeError::custom(format!("unknown cmd `{other}`"))),
         }
@@ -997,6 +1284,184 @@ impl Deserialize for StatsResponse {
     }
 }
 
+fn labels_to_value(labels: &[(String, String)]) -> Value {
+    Value::Object(
+        labels
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect(),
+    )
+}
+
+fn labels_from_value(value: &Value, context: &str) -> Result<Vec<(String, String)>, DeError> {
+    let fields = value
+        .as_object()
+        .ok_or_else(|| DeError::expected("object", context, value))?;
+    fields
+        .iter()
+        .map(|(k, v)| Ok((k.clone(), de::<String>(v)?)))
+        .collect()
+}
+
+impl Serialize for MetricRow {
+    fn to_value(&self) -> Value {
+        obj(vec![
+            ("name", self.name.to_value()),
+            ("labels", labels_to_value(&self.labels)),
+            ("value", self.value.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for MetricRow {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let fields = value
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", "metric row", value))?;
+        Ok(MetricRow {
+            name: de(required(fields, "name", "metric row")?)?,
+            labels: labels_from_value(required(fields, "labels", "metric row")?, "metric labels")?,
+            value: de(required(fields, "value", "metric row")?)?,
+        })
+    }
+}
+
+impl Serialize for BucketRow {
+    fn to_value(&self) -> Value {
+        obj(vec![
+            ("le", self.le.to_value()),
+            ("count", self.count.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for BucketRow {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let fields = value
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", "bucket row", value))?;
+        Ok(BucketRow {
+            le: de(required(fields, "le", "bucket row")?)?,
+            count: de(required(fields, "count", "bucket row")?)?,
+        })
+    }
+}
+
+impl Serialize for HistogramRow {
+    fn to_value(&self) -> Value {
+        obj(vec![
+            ("name", self.name.to_value()),
+            ("labels", labels_to_value(&self.labels)),
+            ("count", self.count.to_value()),
+            ("sum", self.sum.to_value()),
+            ("p50", self.p50.to_value()),
+            ("p90", self.p90.to_value()),
+            ("p99", self.p99.to_value()),
+            ("p999", self.p999.to_value()),
+            ("buckets", self.buckets.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for HistogramRow {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let fields = value
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", "histogram row", value))?;
+        let f = |name| required(fields, name, "histogram row");
+        Ok(HistogramRow {
+            name: de(f("name")?)?,
+            labels: labels_from_value(f("labels")?, "histogram labels")?,
+            count: de(f("count")?)?,
+            sum: de(f("sum")?)?,
+            p50: de(f("p50")?)?,
+            p90: de(f("p90")?)?,
+            p99: de(f("p99")?)?,
+            p999: de(f("p999")?)?,
+            buckets: de(f("buckets")?)?,
+        })
+    }
+}
+
+impl Serialize for MetricsReport {
+    fn to_value(&self) -> Value {
+        obj(vec![
+            ("ok", true.to_value()),
+            ("kind", "metrics".to_value()),
+            ("queries_total", self.queries_total.to_value()),
+            ("counters", self.counters.to_value()),
+            ("gauges", self.gauges.to_value()),
+            ("histograms", self.histograms.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for MetricsReport {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let fields = value
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", "metrics response", value))?;
+        Ok(MetricsReport {
+            queries_total: de(required(fields, "queries_total", "metrics response")?)?,
+            counters: de(required(fields, "counters", "metrics response")?)?,
+            gauges: de(required(fields, "gauges", "metrics response")?)?,
+            histograms: de(required(fields, "histograms", "metrics response")?)?,
+        })
+    }
+}
+
+impl Serialize for StageRow {
+    fn to_value(&self) -> Value {
+        obj(vec![
+            ("stage", self.stage.to_value()),
+            ("nanos", self.nanos.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for StageRow {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let fields = value
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", "stage row", value))?;
+        Ok(StageRow {
+            stage: de(required(fields, "stage", "stage row")?)?,
+            nanos: de(required(fields, "nanos", "stage row")?)?,
+        })
+    }
+}
+
+impl Serialize for TraceRow {
+    fn to_value(&self) -> Value {
+        obj(vec![
+            ("workload", self.workload.to_value()),
+            ("s", self.s.to_value()),
+            ("t", self.t.to_value()),
+            ("ok", self.ok.to_value()),
+            ("cached", self.cached.to_value()),
+            ("nanos", self.nanos.to_value()),
+            ("stages", self.stages.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for TraceRow {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let fields = value
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", "trace row", value))?;
+        Ok(TraceRow {
+            workload: de(required(fields, "workload", "trace row")?)?,
+            s: de(required(fields, "s", "trace row")?)?,
+            t: de(required(fields, "t", "trace row")?)?,
+            ok: de(required(fields, "ok", "trace row")?)?,
+            cached: de(required(fields, "cached", "trace row")?)?,
+            nanos: de(required(fields, "nanos", "trace row")?)?,
+            stages: de(required(fields, "stages", "trace row")?)?,
+        })
+    }
+}
+
 impl Serialize for Response {
     fn to_value(&self) -> Value {
         match self {
@@ -1021,6 +1486,17 @@ impl Serialize for Response {
             Response::Update(u) => u.to_value(),
             Response::Reload(r) => r.to_value(),
             Response::Stats(s) => s.to_value(),
+            Response::Metrics(m) => m.to_value(),
+            Response::MetricsText(text) => obj(vec![
+                ("ok", true.to_value()),
+                ("kind", "metrics_text".to_value()),
+                ("text", text.to_value()),
+            ]),
+            Response::Traces(traces) => obj(vec![
+                ("ok", true.to_value()),
+                ("kind", "trace".to_value()),
+                ("traces", traces.to_value()),
+            ]),
             Response::Bye => obj(vec![("ok", true.to_value()), ("kind", "bye".to_value())]),
             Response::Error(e) => obj(vec![("ok", false.to_value()), ("error", e.to_value())]),
         }
@@ -1065,6 +1541,17 @@ impl Deserialize for Response {
             "update" => Ok(Response::Update(UpdateResponse::from_value(value)?)),
             "reload" => Ok(Response::Reload(ReloadResponse::from_value(value)?)),
             "stats" => Ok(Response::Stats(StatsResponse::from_value(value)?)),
+            "metrics" => Ok(Response::Metrics(MetricsReport::from_value(value)?)),
+            "metrics_text" => Ok(Response::MetricsText(de(required(
+                fields,
+                "text",
+                "metrics_text response",
+            )?)?)),
+            "trace" => Ok(Response::Traces(de(required(
+                fields,
+                "traces",
+                "trace response",
+            )?)?)),
             "bye" => Ok(Response::Bye),
             other => Err(DeError::custom(format!("unknown response kind `{other}`"))),
         }
@@ -1281,6 +1768,142 @@ mod tests {
             scalar_samples: 36,
             uptime_micros: 99,
         }));
+    }
+
+    #[test]
+    fn metrics_requests_round_trip() {
+        round_trip(&Request::Metrics {
+            format: MetricsFormat::Json,
+        });
+        round_trip(&Request::Metrics {
+            format: MetricsFormat::Prom,
+        });
+        round_trip(&Request::Trace { n: None });
+        round_trip(&Request::Trace { n: Some(5) });
+
+        // A bare `{"cmd":"metrics"}` means JSON, and `last` is optional.
+        let req: Request = serde_json::from_str(r#"{"cmd":"metrics"}"#).unwrap();
+        assert_eq!(
+            req,
+            Request::Metrics {
+                format: MetricsFormat::Json
+            }
+        );
+        let req: Request = serde_json::from_str(r#"{"cmd":"metrics","format":"prom"}"#).unwrap();
+        assert_eq!(
+            req,
+            Request::Metrics {
+                format: MetricsFormat::Prom
+            }
+        );
+        assert!(serde_json::from_str::<Request>(r#"{"cmd":"metrics","format":"xml"}"#).is_err());
+        let req: Request = serde_json::from_str(r#"{"cmd":"trace","last":3}"#).unwrap();
+        assert_eq!(req, Request::Trace { n: Some(3) });
+    }
+
+    #[test]
+    fn metrics_responses_round_trip() {
+        round_trip(&Response::Metrics(MetricsReport {
+            queries_total: 10,
+            counters: vec![
+                MetricRow {
+                    name: "relcomp_queries_total".into(),
+                    labels: vec![
+                        ("workload".into(), "st".into()),
+                        ("outcome".into(), "miss".into()),
+                    ],
+                    value: 7,
+                },
+                MetricRow {
+                    name: "relcomp_updates_total".into(),
+                    labels: vec![],
+                    value: 1,
+                },
+            ],
+            gauges: vec![MetricRow {
+                name: "relcomp_inflight".into(),
+                labels: vec![],
+                value: 2,
+            }],
+            histograms: vec![HistogramRow {
+                name: "relcomp_query_latency_micros".into(),
+                labels: vec![("workload".into(), "st".into())],
+                count: 10,
+                sum: 5120,
+                p50: 511,
+                p90: 1023,
+                p99: 1023,
+                p999: 1023,
+                buckets: vec![
+                    BucketRow { le: 511, count: 6 },
+                    BucketRow {
+                        le: 1023,
+                        count: 10,
+                    },
+                ],
+            }],
+        }));
+        round_trip(&Response::MetricsText(
+            "# TYPE relcomp_queries_total counter\nrelcomp_queries_total 10\n".into(),
+        ));
+        round_trip(&Response::Traces(vec![TraceRow {
+            workload: "st".into(),
+            s: 0,
+            t: 3,
+            ok: true,
+            cached: false,
+            nanos: 152_000,
+            stages: vec![
+                StageRow {
+                    stage: "admission".into(),
+                    nanos: 210,
+                },
+                StageRow {
+                    stage: "sample".into(),
+                    nanos: 140_000,
+                },
+            ],
+        }]));
+        round_trip(&Response::Traces(vec![]));
+    }
+
+    #[test]
+    fn metrics_report_mirrors_snapshot() {
+        let mut snap = relcomp_obs::MetricsSnapshot::default();
+        snap.counter(
+            "relcomp_queries_total",
+            vec![("workload", "st".into()), ("outcome", "hit".into())],
+            3,
+        );
+        snap.counter(
+            "relcomp_queries_total",
+            vec![("workload", "topk".into()), ("outcome", "miss".into())],
+            4,
+        );
+        snap.gauge("relcomp_epoch", vec![], 2);
+        let h = relcomp_obs::Histogram::new();
+        h.record(100);
+        h.record(700);
+        snap.histogram(
+            "relcomp_query_latency_micros",
+            vec![("workload", "st".into())],
+            &h.snapshot(),
+        );
+
+        let report = MetricsReport::from(&snap);
+        assert_eq!(report.queries_total, 7);
+        assert_eq!(report.counter_total("relcomp_queries_total"), 7);
+        assert_eq!(report.counters.len(), 2);
+        assert_eq!(report.gauges.len(), 1);
+        let hist = report
+            .histogram("relcomp_query_latency_micros", &[("workload", "st")])
+            .unwrap();
+        assert_eq!(hist.count, 2);
+        assert_eq!(hist.sum, 800);
+        assert!(report
+            .histogram("relcomp_query_latency_micros", &[("workload", "topk")])
+            .is_none());
+        round_trip(&Response::Metrics(report));
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! observes it.
 
 use crate::engine::QueryEngine;
-use crate::protocol::{ReloadResponse, Request, Response};
+use crate::protocol::{MetricsFormat, MetricsReport, ReloadResponse, Request, Response, TraceRow};
+use relcomp_obs::{render_prometheus, Span, Stage, TraceBuilder};
 use relcomp_ugraph::io::{load_graph, load_graph_binary};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -116,9 +117,8 @@ fn handle_connection(stream: TcpStream, engine: Arc<QueryEngine>, shutdown: Shut
         if line.trim().is_empty() {
             continue;
         }
-        let response = dispatch(&line, &engine);
-        let is_bye = matches!(response, Response::Bye);
-        if write_response(&mut writer, &response).is_err() {
+        let (text, is_bye) = dispatch_line(&line, &engine);
+        if write_line(&mut writer, &text).is_err() {
             break;
         }
         if is_bye {
@@ -128,20 +128,87 @@ fn handle_connection(stream: TcpStream, engine: Arc<QueryEngine>, shutdown: Shut
     }
 }
 
-fn write_response<W: Write>(writer: &mut W, response: &Response) -> std::io::Result<()> {
-    let text = serde_json::to_string(response)
-        .unwrap_or_else(|e| format!(r#"{{"ok":false,"error":"serialize: {e}"}}"#));
+fn write_line<W: Write>(writer: &mut W, text: &str) -> std::io::Result<()> {
     writer.write_all(text.as_bytes())?;
     writer.write_all(b"\n")?;
     writer.flush()
 }
 
+fn response_text(response: &Response) -> String {
+    serde_json::to_string(response)
+        .unwrap_or_else(|e| format!(r#"{{"ok":false,"error":"serialize: {e}"}}"#))
+}
+
+/// Traces returned by a `trace` request that does not say how many.
+const DEFAULT_TRACE_COUNT: usize = 16;
+
 /// Parse one request line and run it against the engine.
 pub fn dispatch(line: &str, engine: &QueryEngine) -> Response {
-    let request: Request = match serde_json::from_str(line) {
-        Ok(r) => r,
-        Err(e) => return Response::Error(format!("bad request: {e}")),
+    match serde_json::from_str(line) {
+        Ok(request) => execute_request(request, engine),
+        Err(e) => Response::Error(format!("bad request: {e}")),
+    }
+}
+
+/// Serve one request line end to end — parse, execute, serialize — and
+/// return the serialized response plus whether it acknowledged a shutdown.
+/// Query workloads (`query` / `topk` / `dquery`) record a stage trace that
+/// additionally covers `parse` and `serialize`, the two wire stages only
+/// this layer can see.
+pub fn dispatch_line(line: &str, engine: &QueryEngine) -> (String, bool) {
+    let mut tb = TraceBuilder::new();
+    let parsed: Result<Request, _> = {
+        let _span = Span::enter(&mut tb, Stage::Parse);
+        serde_json::from_str(line)
     };
+    let request = match parsed {
+        Ok(r) => r,
+        // Malformed lines carry no workload to attribute a trace to.
+        Err(e) => {
+            return (
+                response_text(&Response::Error(format!("bad request: {e}"))),
+                false,
+            )
+        }
+    };
+    let (response, traced) = match request {
+        Request::Query(q) => (
+            match engine.execute_traced(&q, &mut tb) {
+                Ok(resp) => Response::Query(resp),
+                Err(e) => Response::Error(e),
+            },
+            true,
+        ),
+        Request::TopK(q) => (
+            match engine.execute_topk_traced(&q, &mut tb) {
+                Ok(resp) => Response::TopK(resp),
+                Err(e) => Response::Error(e),
+            },
+            true,
+        ),
+        Request::DQuery(q) => (
+            match engine.execute_dquery_traced(&q, &mut tb) {
+                Ok(resp) => Response::DQuery(resp),
+                Err(e) => Response::Error(e),
+            },
+            true,
+        ),
+        other => (execute_request(other, engine), false),
+    };
+    let is_bye = matches!(response, Response::Bye);
+    let text = {
+        let _span = Span::enter(&mut tb, Stage::Serialize);
+        response_text(&response)
+    };
+    if traced {
+        engine.record_trace(tb);
+    }
+    (text, is_bye)
+}
+
+/// Run one parsed request against the engine (query workloads take their
+/// untraced paths; [`dispatch_line`] routes them through the traced ones).
+fn execute_request(request: Request, engine: &QueryEngine) -> Response {
     match request {
         Request::Ping => Response::Pong,
         Request::Query(q) => match engine.execute(&q) {
@@ -169,6 +236,17 @@ pub fn dispatch(line: &str, engine: &QueryEngine) -> Response {
             Err(e) => Response::Error(e),
         },
         Request::Stats => Response::Stats(engine.stats()),
+        Request::Metrics { format } => match format {
+            MetricsFormat::Json => Response::Metrics(MetricsReport::from(&engine.metrics())),
+            MetricsFormat::Prom => Response::MetricsText(render_prometheus(&engine.metrics())),
+        },
+        Request::Trace { n } => Response::Traces(
+            engine
+                .traces(n.unwrap_or(DEFAULT_TRACE_COUNT))
+                .iter()
+                .map(TraceRow::from)
+                .collect(),
+        ),
         Request::Shutdown => Response::Bye,
     }
 }
@@ -280,5 +358,61 @@ mod tests {
             dispatch(r#"{"cmd":"query","s":0,"t":77}"#, &e),
             Response::Error(_)
         ));
+    }
+
+    #[test]
+    fn dispatch_covers_metrics_and_trace() {
+        let e = engine();
+        assert!(matches!(
+            dispatch(r#"{"cmd":"query","s":0,"t":2,"samples":500,"seed":1}"#, &e),
+            Response::Query(_)
+        ));
+        let Response::Metrics(report) = dispatch(r#"{"cmd":"metrics"}"#, &e) else {
+            panic!("expected metrics response");
+        };
+        assert_eq!(report.queries_total, 1);
+        assert!(report
+            .histogram("relcomp_query_latency_micros", &[("workload", "st")])
+            .is_some());
+        let Response::MetricsText(text) = dispatch(r#"{"cmd":"metrics","format":"prom"}"#, &e)
+        else {
+            panic!("expected prometheus text response");
+        };
+        assert!(text.contains("# TYPE relcomp_queries_total counter"));
+        let Response::Traces(traces) = dispatch(r#"{"cmd":"trace","last":5}"#, &e) else {
+            panic!("expected trace response");
+        };
+        assert_eq!(traces.len(), 1);
+        assert_eq!(traces[0].workload, "st");
+        assert!(matches!(
+            dispatch(r#"{"cmd":"metrics","format":"xml"}"#, &e),
+            Response::Error(_)
+        ));
+    }
+
+    #[test]
+    fn dispatch_line_traces_wire_stages() {
+        let e = engine();
+        let (text, bye) =
+            dispatch_line(r#"{"cmd":"query","s":0,"t":2,"samples":500,"seed":1}"#, &e);
+        assert!(!bye);
+        assert!(text.contains(r#""kind":"query""#));
+
+        let traces = e.traces(4);
+        assert_eq!(traces.len(), 1);
+        let stages: Vec<&str> = traces[0].stages.iter().map(|s| s.stage.label()).collect();
+        assert!(stages.contains(&"parse"));
+        assert!(stages.contains(&"serialize"));
+        assert!(stages.contains(&"sample"));
+
+        // Non-query verbs serve without recording traces.
+        let (text, bye) = dispatch_line(r#"{"cmd":"stats"}"#, &e);
+        assert!(!bye && text.contains(r#""kind":"stats""#));
+        assert_eq!(e.traces(16).len(), 1);
+
+        let (text, bye) = dispatch_line(r#"{"cmd":"shutdown"}"#, &e);
+        assert!(bye && text.contains(r#""kind":"bye""#));
+        let (text, bye) = dispatch_line("garbage", &e);
+        assert!(!bye && text.contains("bad request"));
     }
 }

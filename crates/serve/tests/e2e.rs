@@ -3,7 +3,7 @@
 //! wires them.
 
 use relcomp_serve::engine::{EngineConfig, QueryEngine};
-use relcomp_serve::protocol::{EdgeProbUpdate, QueryRequest};
+use relcomp_serve::protocol::{DistanceQueryRequest, EdgeProbUpdate, QueryRequest, TopKRequest};
 use relcomp_serve::{Client, Server};
 use relcomp_ugraph::{Dataset, GraphBuilder, NodeId, UncertainGraph};
 use std::sync::Arc;
@@ -232,6 +232,134 @@ fn live_update_bumps_epoch_invalidates_cache_and_migrates_residents() {
         );
         assert!(client.query(req).expect(label).cached, "{label} re-caches");
     }
+
+    client.shutdown().expect("shutdown");
+}
+
+#[test]
+fn metrics_and_traces_reflect_a_query_burst() {
+    let (addr, _engine) = start(diamond(), 2);
+    let mut client = connect(addr);
+
+    let before = client.metrics().expect("metrics before");
+    assert_eq!(before.queries_total, 0);
+
+    // Burst over every workload: three distinct st queries, one repeat
+    // (cache hit), a topk, and a dquery.
+    for t in [1u32, 2, 3] {
+        client
+            .query(QueryRequest {
+                estimator: Some("mc".into()),
+                samples: Some(2000),
+                seed: Some(1),
+                ..QueryRequest::new(0, t)
+            })
+            .expect("query");
+    }
+    let repeat = QueryRequest {
+        estimator: Some("mc".into()),
+        samples: Some(2000),
+        seed: Some(1),
+        ..QueryRequest::new(0, 3)
+    };
+    assert!(client.query(repeat).expect("repeat").cached);
+    client
+        .topk(TopKRequest {
+            k: Some(2),
+            samples: Some(1000),
+            seed: Some(2),
+            ..TopKRequest::new(0)
+        })
+        .expect("topk");
+    client
+        .dquery(DistanceQueryRequest {
+            samples: Some(1000),
+            seed: Some(3),
+            ..DistanceQueryRequest::new(0, 3, 2)
+        })
+        .expect("dquery");
+
+    let after = client.metrics().expect("metrics after burst");
+    assert_eq!(after.queries_total, 6);
+
+    // The cache hit lands under the st workload's `hit` outcome.
+    let hit = after
+        .counters
+        .iter()
+        .find(|c| {
+            c.name == "relcomp_queries_total"
+                && c.labels.contains(&("workload".into(), "st".into()))
+                && c.labels.contains(&("outcome".into(), "hit".into()))
+        })
+        .expect("hit counter");
+    assert_eq!(hit.value, 1);
+
+    // Latency histograms moved, per workload and merged.
+    let st = after
+        .histogram("relcomp_query_latency_micros", &[("workload", "st")])
+        .expect("st histogram");
+    assert_eq!(st.count, 4);
+    assert!(st.p50 > 0);
+    assert!(st.p99 >= st.p50);
+    for (workload, count) in [("topk", 1), ("dquery", 1), ("all", 6)] {
+        let h = after
+            .histogram("relcomp_query_latency_micros", &[("workload", workload)])
+            .unwrap_or_else(|| panic!("{workload} histogram"));
+        assert_eq!(h.count, count, "{workload}");
+    }
+
+    // Wire traces: newest first, wire stages included, cache hit visible.
+    let traces = client.traces(Some(3)).expect("traces");
+    assert_eq!(traces.len(), 3);
+    assert_eq!(traces[0].workload, "dquery");
+    assert_eq!(traces[1].workload, "topk");
+    assert_eq!(traces[2].workload, "st");
+    assert!(traces[2].cached, "repeat query traced as a cache hit");
+    for t in &traces {
+        assert!(t.ok);
+        let stages: Vec<&str> = t.stages.iter().map(|s| s.stage.as_str()).collect();
+        assert!(stages.contains(&"parse"), "{stages:?}");
+        assert!(stages.contains(&"serialize"), "{stages:?}");
+        assert!(t.nanos > 0);
+    }
+    // The uncached dquery actually sampled; the cache hit did not.
+    assert!(traces[0]
+        .stages
+        .iter()
+        .any(|s| s.stage == "sample" && s.nanos > 0));
+    assert!(!traces[2].stages.iter().any(|s| s.stage == "sample"));
+
+    // Prometheus exposition over the wire: well-formed, no duplicate
+    // series under the mixed workload.
+    let prom = client.metrics_prom().expect("prom");
+    assert!(prom.contains("# TYPE relcomp_queries_total counter"));
+    assert!(prom.contains("# TYPE relcomp_query_latency_micros histogram"));
+    let mut series: Vec<&str> = prom
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+        .map(|l| l.rsplit_once(' ').expect("sample line").0)
+        .collect();
+    let total = series.len();
+    series.sort_unstable();
+    series.dedup();
+    assert_eq!(series.len(), total, "duplicate series in prom exposition");
+
+    // `update` bumps the epoch but must not reset counters or histograms.
+    client
+        .update(vec![EdgeProbUpdate {
+            s: 1,
+            t: 3,
+            prob: 0.3,
+        }])
+        .expect("update");
+    let post = client.metrics().expect("metrics after update");
+    assert_eq!(post.queries_total, 6);
+    assert_eq!(post.counter_total("relcomp_updates_total"), 1);
+    let st_post = post
+        .histogram("relcomp_query_latency_micros", &[("workload", "st")])
+        .expect("st histogram after update");
+    assert_eq!(st_post.count, 4);
+    assert_eq!(st_post.sum, st.sum);
 
     client.shutdown().expect("shutdown");
 }

@@ -21,6 +21,8 @@
 //!                  [--eps E] [--confidence C] [--time-budget-ms MS]
 //! relcomp client update <s> <t> <prob> [--addr HOST:PORT]
 //! relcomp client reload [--path FILE] [--addr HOST:PORT]
+//! relcomp client metrics [--format json|prom] [--addr HOST:PORT]
+//! relcomp client trace [--last N] [--addr HOST:PORT]
 //! relcomp client stats|ping|shutdown [--addr HOST:PORT]
 //! ```
 //!
@@ -76,6 +78,8 @@ usage:
                    [--eps E] [--confidence C] [--time-budget-ms MS]
   relcomp client update <s> <t> <prob> [--addr HOST:PORT]
   relcomp client reload [--path FILE] [--addr HOST:PORT]
+  relcomp client metrics [--format json|prom] [--addr HOST:PORT]
+  relcomp client trace [--last N] [--addr HOST:PORT]
   relcomp client stats|ping|shutdown [--addr HOST:PORT]
 
 datasets:   lastfm nethept as_topology dblp02 dblp005 biomine
@@ -617,6 +621,8 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 }
                 ["update", ..] => check_options("client update", &opts, &["addr"])?,
                 ["reload", ..] => check_options("client reload", &opts, &["addr", "path"])?,
+                ["metrics", ..] => check_options("client metrics", &opts, &["addr", "format"])?,
+                ["trace", ..] => check_options("client trace", &opts, &["addr", "last"])?,
                 ["topk", ..] => check_options(
                     "client topk",
                     &opts,
@@ -694,6 +700,92 @@ fn run(args: Vec<String>) -> Result<(), String> {
                     );
                     println!("uptime:        {:.1} s", s.uptime_micros as f64 / 1e6);
                     Ok(())
+                }
+                ["metrics"] => match opts.get("format").copied() {
+                    Some("prom") => {
+                        let text = client.metrics_prom().map_err(|e| e.to_string())?;
+                        print!("{text}");
+                        Ok(())
+                    }
+                    Some("json") => {
+                        let m = client.metrics().map_err(|e| e.to_string())?;
+                        let line = serde_json::to_string(&m).map_err(|e| e.to_string())?;
+                        println!("{line}");
+                        Ok(())
+                    }
+                    Some(other) => Err(format!(
+                        "unknown --format `{other}` (expected json or prom)"
+                    )),
+                    // No --format: a human-readable summary of the registry.
+                    None => {
+                        let m = client.metrics().map_err(|e| e.to_string())?;
+                        println!("queries_total: {}", m.queries_total);
+                        let label_text = |labels: &[(String, String)]| {
+                            if labels.is_empty() {
+                                String::new()
+                            } else {
+                                let parts: Vec<String> =
+                                    labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                                format!("{{{}}}", parts.join(","))
+                            }
+                        };
+                        println!("counters:");
+                        for c in &m.counters {
+                            println!("  {}{} {}", c.name, label_text(&c.labels), c.value);
+                        }
+                        println!("gauges:");
+                        for g in &m.gauges {
+                            println!("  {}{} {}", g.name, label_text(&g.labels), g.value);
+                        }
+                        println!("histograms:");
+                        for h in &m.histograms {
+                            println!(
+                                "  {}{} count={} p50={} p90={} p99={} p99.9={}",
+                                h.name,
+                                label_text(&h.labels),
+                                h.count,
+                                h.p50,
+                                h.p90,
+                                h.p99,
+                                h.p999
+                            );
+                        }
+                        Ok(())
+                    }
+                },
+                ["metrics", ..] => {
+                    Err("client metrics takes no positional arguments (use --format)".into())
+                }
+                ["trace"] => {
+                    let n = opts
+                        .get("last")
+                        .map(|v| v.parse().map_err(|_| "bad --last"))
+                        .transpose()?;
+                    let traces = client.traces(n).map_err(|e| e.to_string())?;
+                    if traces.is_empty() {
+                        println!("no traces recorded yet");
+                    }
+                    for t in &traces {
+                        let stages: Vec<String> = t
+                            .stages
+                            .iter()
+                            .map(|s| format!("{} {:.1}us", s.stage, s.nanos as f64 / 1e3))
+                            .collect();
+                        println!(
+                            "{:<7} s={:<6} t={:<6} {}{} {:>9.2} ms  [{}]",
+                            t.workload,
+                            t.s,
+                            t.t,
+                            if t.ok { "ok" } else { "err" },
+                            if t.cached { " cached" } else { "" },
+                            t.nanos as f64 / 1e6,
+                            stages.join(" | ")
+                        );
+                    }
+                    Ok(())
+                }
+                ["trace", ..] => {
+                    Err("client trace takes no positional arguments (use --last N)".into())
                 }
                 ["update", s_raw, t_raw, p_raw] => {
                     let parse_id = |raw: &str, what: &str| -> Result<u32, String> {
@@ -867,9 +959,11 @@ fn run(args: Vec<String>) -> Result<(), String> {
                     );
                     Ok(())
                 }
-                _ => Err("client needs <s> <t>, or one of: stats, ping, shutdown, \
-                     topk <s>, dquery <s> <t> <d>, update <s> <t> <prob>, reload"
-                    .into()),
+                _ => Err(
+                    "client needs <s> <t>, or one of: stats, metrics, trace, ping, \
+                     shutdown, topk <s>, dquery <s> <t> <d>, update <s> <t> <prob>, reload"
+                        .into(),
+                ),
             }
         }
         other => Err(format!("unknown command `{other}`")),
