@@ -8,11 +8,13 @@
 //!            [--min-ms F] [--report-only]
 //! ```
 //!
-//! Four row families are matched by name: per-estimator wall times
+//! Five row families are matched by name: per-estimator wall times
 //! (`estimators`), served-workload wall times (`workloads`, keyed by
 //! `workload/mode`), per-sample costs (`per_sample`, compared on
-//! `ns_per_sample`), and serve registry latency percentiles
-//! (`serve_metrics`, keyed by workload, compared on `p50_micros`).
+//! `ns_per_sample`), serve registry latency percentiles
+//! (`serve_metrics`, keyed by workload, compared on `p50_micros`), and
+//! cold-start rows (`cold_start`, keyed by `mode/{load,first_query,rss}`
+//! — load and first-query wall ms plus peak RSS in MiB).
 //! A row regresses when the fresh value exceeds
 //! `baseline * (1 + tolerance)`; wall-time rows faster than `--min-ms`
 //! in both runs are skipped as noise. `serve_metrics` rows are
@@ -202,6 +204,51 @@ fn collect_rows(base: &BenchSummary, fresh: &BenchSummary) -> Vec<DiffRow> {
             find(fresh),
             false,
             true,
+        );
+    }
+    let cold_keys: Vec<String> = {
+        let mut v: Vec<String> = base.cold_start.iter().map(|r| r.mode.clone()).collect();
+        for r in &fresh.cold_start {
+            if !v.contains(&r.mode) {
+                v.push(r.mode.clone());
+            }
+        }
+        v
+    };
+    for mode in cold_keys {
+        let metric = |f: fn(&relcomp_bench::summary::ColdStartRow) -> f64| {
+            let find = |s: &BenchSummary| s.cold_start.iter().find(|r| r.mode == mode).map(f);
+            (find(base), find(fresh))
+        };
+        let (b, f) = metric(|r| r.load_ms);
+        push(
+            "cold_start",
+            format!("{mode}/load"),
+            "ms",
+            b,
+            f,
+            true,
+            false,
+        );
+        let (b, f) = metric(|r| r.first_query_ms);
+        push(
+            "cold_start",
+            format!("{mode}/first_query"),
+            "ms",
+            b,
+            f,
+            true,
+            false,
+        );
+        let (b, f) = metric(|r| r.peak_rss_bytes as f64 / (1024.0 * 1024.0));
+        push(
+            "cold_start",
+            format!("{mode}/rss"),
+            "MiB",
+            b,
+            f,
+            false,
+            false,
         );
     }
     rows

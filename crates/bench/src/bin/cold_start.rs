@@ -1,0 +1,309 @@
+//! Cold-start bench: how fast is a graph usable after process start?
+//!
+//! Generates a BA graph once (streamed straight to a v2 file, plus a v1
+//! binary conversion), then spawns one fresh child process per load path
+//! — `mmap` (v2 zero-copy), `heap_v2` (v2 full parse), `v1_binary`
+//! (legacy bulk reader). Each child loads the file, answers one
+//! distance-constrained query, and reports load latency, first-query
+//! latency, and peak RSS (`VmHWM`). Generation happens before the
+//! children run, so every child sees the same warm page cache — the
+//! scenario the mmap path is built for (server restart on a box that
+//! already served the graph).
+//!
+//! Rows are merged into `BENCH_summary.json` (preserving rows an earlier
+//! `perf_probe`/`run_all` wrote) so `bench_diff` gates them against
+//! `BENCH_baseline.json` in CI.
+//!
+//! Usage: `cold_start [quick|paper] [--seed N] [--nodes N] [--dir PATH]`
+//! (plus the internal `--child MODE PATH` the parent uses to spawn
+//! measurement processes).
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use relcomp_bench::summary::{BenchSummary, ColdStartRow};
+use relcomp_core::SampleBudget;
+use relcomp_eval::RunProfile;
+use relcomp_ugraph::generators::{generate_v2_file, StreamSpec, StreamTopology};
+use relcomp_ugraph::io::{load_graph_binary, save_graph_binary};
+use relcomp_ugraph::{load_graph_v2, load_graph_v2_heap, NodeId, UncertainGraph};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Samples for the child's first query — small on purpose: the bench
+/// measures time-to-first-answer after restart, not sampling throughput.
+const FIRST_QUERY_SAMPLES: usize = 64;
+/// Hop bound of the first query; keeps its cost bounded by the 2-ball
+/// of the source rather than the giant component.
+const FIRST_QUERY_D: usize = 2;
+
+/// What a measurement child prints to stdout as one JSON line.
+#[derive(Serialize, Deserialize)]
+struct ChildReport {
+    load_ms: f64,
+    first_query_ms: f64,
+    peak_rss_bytes: u64,
+    /// Reliability estimate of the first query — crosses the parent
+    /// boundary so the load paths can be checked against each other.
+    reliability: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--child") {
+        let (mode, path) = (args[1].as_str(), Path::new(&args[2]));
+        run_child(mode, path);
+        return;
+    }
+    run_parent(args);
+}
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), 0 where procfs is unavailable.
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+/// Child: load `path` via `mode`, answer one query, print a JSON report.
+fn run_child(mode: &str, path: &Path) {
+    let load_start = Instant::now();
+    let graph: UncertainGraph = match mode {
+        "mmap" => {
+            let loaded = load_graph_v2(path).expect("child: load v2");
+            if !loaded.mmapped {
+                eprintln!("warning: mmap mode fell back to the heap path");
+            }
+            loaded.graph
+        }
+        "heap_v2" => load_graph_v2_heap(path).expect("child: load v2 (heap)"),
+        "v1_binary" => load_graph_binary(path).expect("child: load v1"),
+        other => {
+            eprintln!("unknown child mode: {other}");
+            std::process::exit(2);
+        }
+    };
+    let load_ms = load_start.elapsed().as_secs_f64() * 1e3;
+
+    // Query from the highest-numbered node: in the BA stream that is the
+    // last attached node, whose 2-ball is modest. Node 0 is the mega-hub
+    // — querying from it would measure hub traversal, not cold start.
+    let s = NodeId((graph.num_nodes() - 1) as u32);
+    let t = NodeId((graph.num_nodes() / 2) as u32);
+    let budget = SampleBudget::fixed(FIRST_QUERY_SAMPLES);
+    let mut rng = ChaCha8Rng::seed_from_u64(0xc01d);
+    let query_start = Instant::now();
+    let est = relcomp_core::distance_constrained::distance_constrained_with(
+        &graph,
+        s,
+        t,
+        FIRST_QUERY_D,
+        &budget,
+        &mut rng,
+    );
+    let first_query_ms = query_start.elapsed().as_secs_f64() * 1e3;
+
+    let report = ChildReport {
+        load_ms,
+        first_query_ms,
+        peak_rss_bytes: peak_rss_bytes(),
+        reliability: est.reliability,
+    };
+    println!(
+        "{}",
+        serde_json::to_string(&report).expect("serialize child report")
+    );
+}
+
+struct Options {
+    profile: RunProfile,
+    seed: u64,
+    nodes: Option<usize>,
+    dir: Option<PathBuf>,
+}
+
+fn parse_options(args: Vec<String>) -> Result<Options, String> {
+    let mut opts = Options {
+        profile: RunProfile::Quick,
+        seed: 42,
+        nodes: None,
+        dir: None,
+    };
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} requires a value"));
+        match arg.as_str() {
+            "--seed" => {
+                let v = value("--seed")?;
+                opts.seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
+            }
+            "--nodes" => {
+                let v = value("--nodes")?;
+                opts.nodes = Some(v.parse().map_err(|_| format!("bad node count: {v}"))?);
+            }
+            "--dir" => opts.dir = Some(PathBuf::from(value("--dir")?)),
+            other => {
+                opts.profile =
+                    RunProfile::parse(other).ok_or_else(|| format!("unknown argument: {other}"))?;
+            }
+        }
+    }
+    Ok(opts)
+}
+
+fn spawn_child(mode: &str, path: &Path) -> Option<ChildReport> {
+    let exe = std::env::current_exe().expect("current_exe");
+    let out = std::process::Command::new(exe)
+        .arg("--child")
+        .arg(mode)
+        .arg(path)
+        .output()
+        .expect("spawn cold-start child");
+    if !out.status.success() {
+        eprintln!(
+            "warning: child `{mode}` failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        return None;
+    }
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout.lines().last().unwrap_or("");
+    match serde_json::from_str::<ChildReport>(line) {
+        Ok(r) => Some(r),
+        Err(e) => {
+            eprintln!("warning: child `{mode}` wrote unparseable report ({e}): {line}");
+            None
+        }
+    }
+}
+
+fn run_parent(args: Vec<String>) {
+    let opts = parse_options(args).unwrap_or_else(|msg| {
+        eprintln!("{msg}");
+        eprintln!("usage: cold_start [quick|paper] [--seed N] [--nodes N] [--dir PATH]");
+        std::process::exit(2);
+    });
+    let nodes = opts.nodes.unwrap_or(match opts.profile {
+        RunProfile::Quick => 100_000,
+        RunProfile::Paper => 1_000_000,
+    });
+    let dir = opts
+        .dir
+        .unwrap_or_else(|| std::env::temp_dir().join("relcomp_cold_start"));
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+    let v2_path = dir.join(format!("ba_{nodes}.ug2"));
+    let v1_path = dir.join(format!("ba_{nodes}.ugb"));
+
+    eprintln!(">>> streaming BA graph ({nodes} nodes, attach 5) to v2 ...");
+    let gen_start = Instant::now();
+    let stats = generate_v2_file(
+        &StreamSpec {
+            topology: StreamTopology::BarabasiAlbert {
+                n: nodes,
+                m_attach: 5,
+            },
+            seed: opts.seed,
+            prob_low: 0.05,
+            prob_high: 0.5,
+        },
+        &v2_path,
+    )
+    .expect("generate v2 graph");
+    eprintln!(
+        "    {} nodes, {} edges, {:.1} MiB in {:.1} s",
+        stats.num_nodes,
+        stats.num_edges,
+        stats.file_bytes as f64 / (1024.0 * 1024.0),
+        gen_start.elapsed().as_secs_f64()
+    );
+
+    eprintln!(">>> converting to v1 binary (legacy-loader baseline) ...");
+    let graph = load_graph_v2(&v2_path)
+        .expect("reload v2 for conversion")
+        .graph;
+    save_graph_binary(&graph, &v1_path).expect("write v1 binary");
+    drop(graph);
+
+    let file_bytes = |p: &Path| std::fs::metadata(p).map(|m| m.len()).unwrap_or(0);
+    let modes: [(&str, &Path); 3] = [
+        ("mmap", &v2_path),
+        ("heap_v2", &v2_path),
+        ("v1_binary", &v1_path),
+    ];
+    let mut rows = Vec::new();
+    let mut reliabilities = Vec::new();
+    for (mode, path) in modes {
+        eprintln!(">>> cold start via {mode} ...");
+        let Some(r) = spawn_child(mode, path) else {
+            continue;
+        };
+        reliabilities.push((mode, r.reliability));
+        rows.push(ColdStartRow {
+            mode: mode.to_string(),
+            file_bytes: file_bytes(path),
+            load_ms: r.load_ms,
+            first_query_ms: r.first_query_ms,
+            peak_rss_bytes: r.peak_rss_bytes,
+        });
+    }
+    // The two v2 paths sample the same coin stream from the same bytes,
+    // so their first answers must agree exactly.
+    if let (Some((_, a)), Some((_, b))) = (
+        reliabilities.iter().find(|(m, _)| *m == "mmap"),
+        reliabilities.iter().find(|(m, _)| *m == "heap_v2"),
+    ) {
+        assert_eq!(a, b, "mmap and heap answers diverged");
+    }
+
+    let mut report = String::from("cold_start: first query after process restart\n\n");
+    report.push_str(&format!(
+        "{:<10} {:>10} {:>10} {:>12} {:>12} {:>9}\n",
+        "mode", "load", "query", "peak RSS", "file", "RSS/file"
+    ));
+    for row in &rows {
+        report.push_str(&format!(
+            "{:<10} {:>7.1} ms {:>7.1} ms {:>8.1} MiB {:>8.1} MiB {:>8.2}x\n",
+            row.mode,
+            row.load_ms,
+            row.first_query_ms,
+            row.peak_rss_bytes as f64 / (1024.0 * 1024.0),
+            row.file_bytes as f64 / (1024.0 * 1024.0),
+            row.peak_rss_bytes as f64 / row.file_bytes.max(1) as f64,
+        ));
+    }
+    relcomp_bench::emit("cold_start", &report);
+
+    // Merge into an existing summary so perf_probe rows survive; start a
+    // fresh probe-only summary when none exists.
+    let summary_path = relcomp_bench::repo_root().join("BENCH_summary.json");
+    let mut summary = relcomp_bench::summary::load(&summary_path).unwrap_or(BenchSummary {
+        profile: match opts.profile {
+            RunProfile::Quick => "quick".to_string(),
+            RunProfile::Paper => "paper".to_string(),
+        },
+        seed: opts.seed,
+        total_secs: 0.0,
+        jobs: Vec::new(),
+        estimators: Vec::new(),
+        workloads: Vec::new(),
+        per_sample: Vec::new(),
+        mc_packed_speedup: 0.0,
+        serve_metrics: Vec::new(),
+        cold_start: Vec::new(),
+    });
+    summary.cold_start = rows;
+    relcomp_bench::summary::write(&summary);
+}

@@ -81,5 +81,6 @@ fn main() {
         per_sample,
         mc_packed_speedup,
         serve_metrics,
+        cold_start: Vec::new(),
     });
 }

@@ -642,6 +642,27 @@ pub mod summary {
     use serde::{Deserialize, Serialize};
     use std::path::Path;
 
+    /// One cold-start measurement: a fresh child process loads a graph
+    /// file one way, answers one query, and reports its peak RSS.
+    #[derive(Clone, Debug, Serialize, Deserialize)]
+    pub struct ColdStartRow {
+        /// Load path measured: `mmap` (v2 zero-copy), `heap_v2` (v2
+        /// full parse), or `v1_binary` (legacy bulk reader).
+        pub mode: String,
+        /// Size of the graph file loaded, bytes.
+        pub file_bytes: u64,
+        /// Wall milliseconds from process start to a usable graph
+        /// (open + map/parse + validation).
+        pub load_ms: f64,
+        /// Wall milliseconds for the first query after load — the
+        /// restart-to-first-answer headline the CI gate tracks.
+        pub first_query_ms: f64,
+        /// Peak resident set size of the child process (`VmHWM`), bytes.
+        /// The mmap path should stay near `file_bytes`; a full parse
+        /// pays roughly double.
+        pub peak_rss_bytes: u64,
+    }
+
     /// One experiment binary's wall time.
     #[derive(Clone, Debug, Serialize, Deserialize)]
     pub struct JobTiming {
@@ -677,6 +698,10 @@ pub mod summary {
         /// serve metrics registry (informational in `bench_diff`: log2
         /// buckets quantize too coarsely to gate on).
         pub serve_metrics: Vec<ServeMetricRow>,
+        /// Cold-start rows from the `cold_start` bench (one per load
+        /// path), merged into the summary by that binary; empty until it
+        /// runs.
+        pub cold_start: Vec<ColdStartRow>,
     }
 
     /// Write `summary` to `BENCH_summary.json` at the repo root.

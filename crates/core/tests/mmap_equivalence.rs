@@ -1,0 +1,138 @@
+//! An mmap-backed graph must be indistinguishable from the heap-built
+//! graph it was serialized from: bit-identical MC, top-k, and R_d
+//! estimates under the same seed and budget, `same_topology` across the
+//! CoW prob overlay, and working update-then-query epochs on the mmap
+//! base. Property-tested over random digraphs so no fixed example hides
+//! an endianness, alignment, or ordering bug in the v2 round trip.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use relcomp_core::distance_constrained::distance_constrained_with;
+use relcomp_core::mc::McSampling;
+use relcomp_core::session::SampleBudget;
+use relcomp_core::Estimator;
+use relcomp_ugraph::{
+    load_graph_v2, write_graph_v2, EdgeId, EdgeUpdate, GraphBuilder, NodeId, UncertainGraph,
+};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Strategy: a random small digraph as (n, edge list) with valid probs.
+fn small_digraph() -> impl Strategy<Value = (usize, Vec<(u32, u32, f64)>)> {
+    (4usize..10).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32, 0.05f64..1.0);
+        (Just(n), proptest::collection::vec(edge, 1..16))
+    })
+}
+
+fn build(n: usize, edges: &[(u32, u32, f64)]) -> UncertainGraph {
+    let mut b = GraphBuilder::new(n).duplicate_policy(relcomp_ugraph::DuplicatePolicy::CombineOr);
+    for &(u, v, p) in edges {
+        if u != v {
+            b.add_edge(NodeId(u), NodeId(v), p).unwrap();
+        }
+    }
+    b.build()
+}
+
+/// Write `graph` to a fresh v2 file and load it back, returning the
+/// loaded graph and whether the load was zero-copy.
+fn round_trip(graph: &UncertainGraph, tag: u64) -> (UncertainGraph, bool) {
+    let dir = std::env::temp_dir().join("relcomp_mmap_equivalence");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path: PathBuf = dir.join(format!("case_{tag}_{}.ug2", std::process::id()));
+    write_graph_v2(graph, &path).unwrap();
+    let loaded = load_graph_v2(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    (loaded.graph, loaded.mmapped)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The same seed and fixed budget must produce bit-identical MC,
+    /// top-k, and R_d answers on the heap original and its mmap-loaded
+    /// round trip — the storage backend must be invisible to sampling.
+    #[test]
+    fn estimates_are_bit_identical_across_storage(
+        (n, edges) in small_digraph(),
+        seed in 0u64..200,
+        k in 32usize..256,
+    ) {
+        let heap = Arc::new(build(n, &edges));
+        let (mapped, mmapped) = round_trip(&heap, seed);
+        if cfg!(all(unix, target_endian = "little")) {
+            prop_assert!(mmapped, "expected the zero-copy path on unix LE");
+            prop_assert!(mapped.is_mapped());
+        }
+        let mapped = Arc::new(mapped);
+        let (s, t) = (NodeId(0), NodeId((n - 1) as u32));
+
+        let a = McSampling::new(Arc::clone(&heap))
+            .estimate(s, t, k, &mut ChaCha8Rng::seed_from_u64(seed));
+        let b = McSampling::new(Arc::clone(&mapped))
+            .estimate(s, t, k, &mut ChaCha8Rng::seed_from_u64(seed));
+        prop_assert_eq!(a.reliability.to_bits(), b.reliability.to_bits());
+        prop_assert_eq!(a.samples, b.samples);
+
+        let budget = SampleBudget::fixed(k);
+        let a = relcomp_core::topk::top_k_targets_with(
+            &heap, s, 3, &budget, &mut ChaCha8Rng::seed_from_u64(seed));
+        let b = relcomp_core::topk::top_k_targets_with(
+            &mapped, s, 3, &budget, &mut ChaCha8Rng::seed_from_u64(seed));
+        prop_assert_eq!(a.samples, b.samples);
+        prop_assert_eq!(a.scores.len(), b.scores.len());
+        for (x, y) in a.scores.iter().zip(&b.scores) {
+            prop_assert_eq!(x.node, y.node);
+            prop_assert_eq!(x.reliability.to_bits(), y.reliability.to_bits());
+        }
+
+        let a = distance_constrained_with(
+            &heap, s, t, 3, &budget, &mut ChaCha8Rng::seed_from_u64(seed));
+        let b = distance_constrained_with(
+            &mapped, s, t, 3, &budget, &mut ChaCha8Rng::seed_from_u64(seed));
+        prop_assert_eq!(a.reliability.to_bits(), b.reliability.to_bits());
+        prop_assert_eq!(a.samples, b.samples);
+    }
+
+    /// The CoW prob overlay works on an mmap base exactly as on heap:
+    /// the updated epoch shares topology with (and only re-probs) the
+    /// mapped graph, queries against it use the new probability, and the
+    /// mapped base itself is untouched.
+    #[test]
+    fn update_then_query_works_on_mmap_base(
+        (n, edges) in small_digraph(),
+        seed in 0u64..200,
+    ) {
+        // Guarantee at least one real edge so EdgeId(0) exists (the
+        // strategy may generate only self-loops, which build() drops).
+        let mut edges = edges;
+        edges.push((0, 1, 0.5));
+        let heap = Arc::new(build(n, &edges));
+        let (mapped, _) = round_trip(&heap, 1_000_000 + seed);
+        let mapped = Arc::new(mapped);
+        let base_prob = mapped.prob(EdgeId(0)).value();
+        let new_prob = if base_prob < 0.5 { 0.9 } else { 0.1 };
+
+        let updated = mapped.with_updated_probs(
+            &[EdgeUpdate::new(EdgeId(0), new_prob).unwrap()]);
+        prop_assert!(updated.same_topology(&mapped));
+        prop_assert!(!mapped.same_topology(&heap),
+            "independent loads must not report shared topology");
+        prop_assert_eq!(updated.prob(EdgeId(0)).value(), new_prob);
+        // The mapped base is immutable: the overlay must not leak back.
+        prop_assert_eq!(mapped.prob(EdgeId(0)).value(), base_prob);
+
+        // The updated epoch answers queries like a heap graph with the
+        // same probs — same coin stream, same answer.
+        let reference = build(n, &edges)
+            .with_updated_probs(&[EdgeUpdate::new(EdgeId(0), new_prob).unwrap()]);
+        let (s, t) = (NodeId(0), NodeId((n - 1) as u32));
+        let a = McSampling::new(reference)
+            .estimate(s, t, 128, &mut ChaCha8Rng::seed_from_u64(seed));
+        let b = McSampling::new(updated)
+            .estimate(s, t, 128, &mut ChaCha8Rng::seed_from_u64(seed));
+        prop_assert_eq!(a.reliability.to_bits(), b.reliability.to_bits());
+    }
+}

@@ -287,6 +287,11 @@ pub struct QueryEngine {
     /// File the graph was loaded from, if any — the default `reload`
     /// source.
     source: Mutex<Option<String>>,
+    /// How the served graph was last loaded from disk: `(mmapped,
+    /// micros)`. `None` until a load is recorded (e.g. a graph built in
+    /// memory). Surfaces in `stats` and `metrics` so a silent fallback
+    /// from the mmap path to a full heap parse is observable.
+    last_load: Mutex<Option<(bool, u64)>>,
     inflight: AtomicUsize,
     /// Per-engine metrics registry (counters, latency histograms, trace
     /// ring). `stats()` is a view over it; `metrics()` exposes all of it.
@@ -345,6 +350,7 @@ impl QueryEngine {
             config,
             threads,
             source: Mutex::new(None),
+            last_load: Mutex::new(None),
             inflight: AtomicUsize::new(0),
             obs: Registry::new(),
             started: Instant::now(),
@@ -375,6 +381,18 @@ impl QueryEngine {
     /// The recorded reload source, if any.
     pub fn source(&self) -> Option<String> {
         self.source.lock().expect("source poisoned").clone()
+    }
+
+    /// Record how the served graph was loaded from disk (zero-copy mmap
+    /// vs heap parse) and how long the load took. Called by `serve`
+    /// startup and every `reload`.
+    pub fn record_load(&self, mmapped: bool, micros: u64) {
+        *self.last_load.lock().expect("last_load poisoned") = Some((mmapped, micros));
+    }
+
+    /// The last recorded disk load, as `(mmapped, micros)`.
+    pub fn last_load(&self) -> Option<(bool, u64)> {
+        *self.last_load.lock().expect("last_load poisoned")
     }
 
     fn snapshot(&self) -> Snapshot {
@@ -1220,6 +1238,7 @@ impl QueryEngine {
         // Process-wide sampling-path counters: how many worlds went
         // through the packed 64-world kernel vs one-at-a-time BFS.
         let (packed_samples, scalar_samples) = relcomp_core::packed::sample_counts();
+        let last_load = self.last_load();
         StatsResponse {
             queries: self.obs.queries_total(),
             cache_hits: self.cache.hits(),
@@ -1235,6 +1254,12 @@ impl QueryEngine {
             resident_bytes,
             packed_samples,
             scalar_samples,
+            load_path: match last_load {
+                Some((true, _)) => "mmap".to_string(),
+                Some((false, _)) => "heap".to_string(),
+                None => String::new(),
+            },
+            load_micros: last_load.map_or(0, |(_, micros)| micros),
             uptime_micros: self.started.elapsed().as_micros() as u64,
         }
     }
@@ -1304,6 +1329,14 @@ impl QueryEngine {
             vec![],
             self.started.elapsed().as_micros() as u64,
         );
+        if let Some((mmapped, micros)) = self.last_load() {
+            let path = if mmapped { "mmap" } else { "heap" };
+            m.gauge(
+                "relcomp_graph_load_micros",
+                vec![("path", path.into())],
+                micros,
+            );
+        }
 
         for w in ObsWorkload::ALL {
             m.histogram(

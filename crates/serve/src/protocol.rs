@@ -481,6 +481,13 @@ pub struct StatsResponse {
     /// Worlds sampled one at a time (scalar BFS tails and sub-word
     /// budgets), process-wide.
     pub scalar_samples: u64,
+    /// How the served graph was last loaded from disk: `"mmap"`
+    /// (zero-copy view of a v2 binary), `"heap"` (parsed into owned
+    /// memory), or `""` when no disk load was recorded (e.g. the graph
+    /// was built in memory).
+    pub load_path: String,
+    /// Microseconds the last recorded disk load took (0 when none).
+    pub load_micros: u64,
     /// Microseconds since the engine started.
     pub uptime_micros: u64,
 }
@@ -1253,6 +1260,8 @@ impl Serialize for StatsResponse {
             ("resident_bytes", self.resident_bytes.to_value()),
             ("packed_samples", self.packed_samples.to_value()),
             ("scalar_samples", self.scalar_samples.to_value()),
+            ("load_path", self.load_path.to_value()),
+            ("load_micros", self.load_micros.to_value()),
             ("uptime_micros", self.uptime_micros.to_value()),
         ])
     }
@@ -1279,6 +1288,8 @@ impl Deserialize for StatsResponse {
             resident_bytes: de(f("resident_bytes")?)?,
             packed_samples: de(f("packed_samples")?)?,
             scalar_samples: de(f("scalar_samples")?)?,
+            load_path: de(f("load_path")?)?,
+            load_micros: de(f("load_micros")?)?,
             uptime_micros: de(f("uptime_micros")?)?,
         })
     }
@@ -1766,6 +1777,8 @@ mod tests {
             resident_bytes: 4096,
             packed_samples: 6400,
             scalar_samples: 36,
+            load_path: "mmap".into(),
+            load_micros: 1200,
             uptime_micros: 99,
         }));
     }
@@ -1980,6 +1993,8 @@ mod tests {
             resident_bytes: 0,
             packed_samples: 0,
             scalar_samples: 0,
+            load_path: String::new(),
+            load_micros: 0,
             uptime_micros: 0,
         };
         assert_eq!(s.hit_rate(), 0.0);

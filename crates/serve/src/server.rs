@@ -10,7 +10,7 @@
 use crate::engine::QueryEngine;
 use crate::protocol::{MetricsFormat, MetricsReport, ReloadResponse, Request, Response, TraceRow};
 use relcomp_obs::{render_prometheus, Span, Stage, TraceBuilder};
-use relcomp_ugraph::io::{load_graph, load_graph_binary};
+use relcomp_ugraph::io::load_graph_auto;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -251,20 +251,21 @@ fn execute_request(request: Request, engine: &QueryEngine) -> Response {
     }
 }
 
-/// Load a graph file (`.ugb` = binary, otherwise text) and swap it into
-/// the engine. Without an explicit `path`, re-reads the file the server
-/// was started from.
+/// Load a graph file (format sniffed from its magic bytes — v2 binary,
+/// v1 binary, or text) and swap it into the engine. Without an explicit
+/// `path`, re-reads the file the server was started from. Records the
+/// load path (mmap vs heap) and latency so `stats`/`metrics` reflect
+/// how the served graph got into memory.
 fn reload_from(path: Option<String>, engine: &QueryEngine) -> Result<ReloadResponse, String> {
     let path = path.or_else(|| engine.source()).ok_or_else(|| {
         "reload needs a `path` (this server was not started from a graph file)".to_owned()
     })?;
-    let graph = if path.ends_with(".ugb") {
-        load_graph_binary(&path)
-    } else {
-        load_graph(&path)
-    }
-    .map_err(|e| format!("cannot load `{path}`: {e}"))?;
+    let start = std::time::Instant::now();
+    let (graph, report) =
+        load_graph_auto(&path).map_err(|e| format!("cannot load `{path}`: {e}"))?;
+    let micros = start.elapsed().as_micros() as u64;
     let resp = engine.reload_graph(std::sync::Arc::new(graph));
+    engine.record_load(report.mmapped, micros);
     engine.set_source(path);
     Ok(resp)
 }
@@ -414,5 +415,41 @@ mod tests {
         assert!(bye && text.contains(r#""kind":"bye""#));
         let (text, bye) = dispatch_line("garbage", &e);
         assert!(!bye && text.contains("bad request"));
+    }
+
+    #[test]
+    fn reload_reports_load_path_and_latency() {
+        let dir = std::env::temp_dir().join("relcomp_serve_reload_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("graph.ug2");
+
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 0.8).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 0.8).unwrap();
+        relcomp_ugraph::write_graph_v2(&b.build(), &path).unwrap();
+
+        let e = engine();
+        // Nothing loaded from disk yet: stats report no load path.
+        let before = e.stats();
+        assert_eq!(before.load_path, "");
+        assert_eq!(before.load_micros, 0);
+
+        let req = format!(r#"{{"cmd":"reload","path":"{}"}}"#, path.display());
+        assert!(matches!(dispatch(&req, &e), Response::Reload(_)));
+
+        let after = e.stats();
+        let expect = if cfg!(all(unix, target_endian = "little")) {
+            "mmap"
+        } else {
+            "heap"
+        };
+        assert_eq!(after.load_path, expect);
+        assert!(after.load_micros > 0);
+        let metrics = e.metrics();
+        assert!(metrics.gauges.iter().any(|g| {
+            g.name == "relcomp_graph_load_micros"
+                && g.labels.iter().any(|(k, v)| *k == "path" && v == expect)
+        }));
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -32,6 +32,32 @@ pub enum GraphError {
         /// What went wrong.
         message: String,
     },
+    /// A binary graph file ended before the declared data did.
+    Truncated {
+        /// What was being read when the file ran out.
+        context: &'static str,
+        /// Bytes needed to finish reading it.
+        needed: u64,
+        /// Bytes actually available.
+        available: u64,
+    },
+    /// A binary graph file did not start with a known magic string.
+    BadMagic {
+        /// The first bytes actually found (up to 8).
+        found: Vec<u8>,
+    },
+    /// A binary graph file carried a version this build cannot read.
+    UnsupportedVersion {
+        /// Version number found in the header.
+        version: u32,
+    },
+    /// A v2 section offset was unaligned, out of order, or past the file end.
+    BadSection {
+        /// Name of the offending section.
+        section: &'static str,
+        /// What was wrong with it.
+        message: String,
+    },
     /// Underlying I/O failure.
     Io(std::io::Error),
 }
@@ -52,6 +78,25 @@ impl fmt::Display for GraphError {
             }
             GraphError::Parse { line, message } => {
                 write!(f, "parse error on line {line}: {message}")
+            }
+            GraphError::Truncated {
+                context,
+                needed,
+                available,
+            } => {
+                write!(
+                    f,
+                    "truncated graph file: {context} needs {needed} bytes but only {available} remain"
+                )
+            }
+            GraphError::BadMagic { found } => {
+                write!(f, "not a graph binary: bad magic {found:?}")
+            }
+            GraphError::UnsupportedVersion { version } => {
+                write!(f, "unsupported graph binary version {version}")
+            }
+            GraphError::BadSection { section, message } => {
+                write!(f, "bad section '{section}': {message}")
             }
             GraphError::Io(e) => write!(f, "i/o error: {e}"),
         }
@@ -102,6 +147,33 @@ mod tests {
         };
         assert!(e.to_string().contains("12"));
         assert!(e.to_string().contains("bad field"));
+    }
+
+    #[test]
+    fn binary_error_messages_mention_payload() {
+        let e = GraphError::Truncated {
+            context: "edge records",
+            needed: 160,
+            available: 40,
+        };
+        assert!(e.to_string().contains("edge records"));
+        assert!(e.to_string().contains("160"));
+        assert!(e.to_string().contains("40"));
+
+        let e = GraphError::BadMagic {
+            found: b"NOTAGRPH".to_vec(),
+        };
+        assert!(e.to_string().contains("bad magic"));
+
+        let e = GraphError::UnsupportedVersion { version: 99 };
+        assert!(e.to_string().contains("99"));
+
+        let e = GraphError::BadSection {
+            section: "out_targets",
+            message: "offset 13 not 64-byte aligned".into(),
+        };
+        assert!(e.to_string().contains("out_targets"));
+        assert!(e.to_string().contains("64-byte"));
     }
 
     #[test]

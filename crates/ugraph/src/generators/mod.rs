@@ -12,11 +12,13 @@
 mod ba;
 mod er;
 mod grid;
+pub mod stream;
 mod ws;
 
 pub use ba::barabasi_albert;
 pub use er::erdos_renyi;
 pub use grid::grid_lattice;
+pub use stream::{generate_v2_file, StreamSpec, StreamStats, StreamTopology};
 pub use ws::watts_strogatz;
 
 use crate::ids::NodeId;

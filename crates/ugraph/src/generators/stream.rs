@@ -1,0 +1,367 @@
+//! Streaming million-node generation straight into the v2 binary format.
+//!
+//! The classic generators return an edge-pair `Vec` that a
+//! `GraphBuilder` then re-sorts — two materializations of the whole edge
+//! list before anything hits disk, which caps practical sizes well below
+//! the million-node graphs the serve workloads need. This module instead
+//! runs the topology generator **twice with the same seed** (ChaCha is
+//! cheap and replay is exact): pass 1 only counts degrees, pass 2 places
+//! each edge directly into its final CSR slot via per-node cursors. The
+//! assembled column arrays go straight to
+//! [`write_v2_parts`](crate::format::write_v2_parts) — at no point does
+//! a `(u, v, p)` tuple list exist.
+//!
+//! Topologies are **bidirected**: each undirected pair becomes two
+//! directed edges carrying the same probability, matching how the CLI
+//! builds its dataset analogs.
+
+use crate::error::GraphError;
+use crate::ids::{EdgeId, NodeId};
+use crate::probability::Probability;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::path::Path;
+
+/// Topology family to stream.
+#[derive(Debug, Clone, Copy)]
+pub enum StreamTopology {
+    /// Barabási–Albert preferential attachment: ~`n * m_attach` pairs.
+    BarabasiAlbert {
+        /// Number of nodes.
+        n: usize,
+        /// Edges attached per new node.
+        m_attach: usize,
+    },
+    /// Erdős–Rényi G(n, m): exactly `m_pairs` distinct pairs.
+    ErdosRenyi {
+        /// Number of nodes.
+        n: usize,
+        /// Number of undirected pairs.
+        m_pairs: usize,
+    },
+}
+
+impl StreamTopology {
+    fn num_nodes(&self) -> usize {
+        match *self {
+            StreamTopology::BarabasiAlbert { n, .. } | StreamTopology::ErdosRenyi { n, .. } => n,
+        }
+    }
+}
+
+/// Full specification of a streamed graph: topology, seed, and the
+/// uniform probability range assigned per undirected pair.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamSpec {
+    /// Topology family and size.
+    pub topology: StreamTopology,
+    /// Seed for both generation passes (replayed exactly).
+    pub seed: u64,
+    /// Lower bound of the uniform edge-probability draw (> 0).
+    pub prob_low: f64,
+    /// Upper bound of the uniform edge-probability draw (≤ 1).
+    pub prob_high: f64,
+}
+
+/// What a streamed generation produced.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamStats {
+    /// Number of nodes.
+    pub num_nodes: usize,
+    /// Number of *directed* edges written (2× the undirected pairs).
+    pub num_edges: usize,
+    /// Size of the v2 file in bytes.
+    pub file_bytes: u64,
+}
+
+/// Probability draws come from their own ChaCha stream so that pass 1
+/// (which skips them) and pass 2 replay identical topology.
+const PROB_STREAM_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Run the topology generator once, emitting each undirected pair.
+/// Deterministic for a given spec, so two invocations see the same pairs
+/// in the same order.
+fn for_each_pair(topology: StreamTopology, seed: u64, mut emit: impl FnMut(u32, u32)) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    match topology {
+        StreamTopology::BarabasiAlbert { n, m_attach } => {
+            assert!(m_attach >= 1, "attachment degree must be >= 1");
+            assert!(
+                n > m_attach,
+                "need n > m_attach (got n = {n}, m_attach = {m_attach})"
+            );
+            // Same repeated-endpoint scheme as `barabasi_albert`; the
+            // endpoint pool is the generator's working set (2 × u32 per
+            // pair), not an edge-list materialization.
+            let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * m_attach);
+            for u in 0..=m_attach as u32 {
+                for v in (u + 1)..=m_attach as u32 {
+                    emit(u, v);
+                    endpoints.push(u);
+                    endpoints.push(v);
+                }
+            }
+            let mut targets: Vec<u32> = Vec::with_capacity(m_attach);
+            for new in (m_attach + 1)..n {
+                let new = new as u32;
+                targets.clear();
+                while targets.len() < m_attach {
+                    let t = endpoints[rng.gen_range(0..endpoints.len())];
+                    if !targets.contains(&t) {
+                        targets.push(t);
+                    }
+                }
+                for &t in &targets {
+                    emit(t, new);
+                    endpoints.push(t);
+                    endpoints.push(new);
+                }
+            }
+        }
+        StreamTopology::ErdosRenyi { n, m_pairs } => {
+            assert!(n >= 2 || m_pairs == 0, "need at least 2 nodes for any edge");
+            let max_pairs = n.saturating_mul(n.saturating_sub(1)) / 2;
+            assert!(
+                m_pairs <= max_pairs,
+                "requested {m_pairs} pairs but only {max_pairs} distinct pairs exist"
+            );
+            let mut seen = std::collections::HashSet::with_capacity(m_pairs * 2);
+            let mut emitted = 0usize;
+            while emitted < m_pairs {
+                let u = rng.gen_range(0..n) as u32;
+                let v = rng.gen_range(0..n) as u32;
+                if u == v {
+                    continue;
+                }
+                let key = if u < v { (u, v) } else { (v, u) };
+                if seen.insert(key) {
+                    emit(key.0, key.1);
+                    emitted += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Stream-generate a bidirected uncertain graph and write it to `path`
+/// as a v2 binary file.
+pub fn generate_v2_file(spec: &StreamSpec, path: &Path) -> Result<StreamStats, GraphError> {
+    assert!(
+        spec.prob_low > 0.0 && spec.prob_high <= 1.0 && spec.prob_low <= spec.prob_high,
+        "probability range must satisfy 0 < low <= high <= 1"
+    );
+    let n = spec.topology.num_nodes();
+    assert!(n < u32::MAX as usize, "node count exceeds 32-bit id space");
+
+    // Pass 1: degree counting only.
+    let mut deg = vec![0u32; n];
+    let mut pairs = 0usize;
+    for_each_pair(spec.topology, spec.seed, |u, v| {
+        deg[u as usize] += 1;
+        deg[v as usize] += 1;
+        pairs += 1;
+    });
+    let m = pairs * 2;
+    assert!(m <= u32::MAX as usize, "edge count exceeds 32-bit id space");
+
+    // Prefix sums -> forward CSR offsets.
+    let mut out_offsets = vec![0u32; n + 1];
+    for i in 0..n {
+        out_offsets[i + 1] = out_offsets[i] + deg[i];
+    }
+    drop(deg);
+
+    // Pass 2: replay the same pairs, placing both directions directly
+    // into their CSR slots. One probability draw per undirected pair,
+    // shared by both directions, from a dedicated stream.
+    let mut cursor: Vec<u32> = out_offsets[..n].to_vec();
+    let mut out_targets = vec![NodeId(0); m];
+    let mut probs = vec![Probability::ONE; m];
+    let mut prob_rng = ChaCha8Rng::seed_from_u64(spec.seed ^ PROB_STREAM_SALT);
+    let (lo, hi) = (spec.prob_low, spec.prob_high);
+    for_each_pair(spec.topology, spec.seed, |u, v| {
+        let p = if lo == hi {
+            lo
+        } else {
+            prob_rng.gen_range(lo..hi)
+        };
+        let p = Probability::clamped(p);
+        let su = cursor[u as usize] as usize;
+        cursor[u as usize] += 1;
+        out_targets[su] = NodeId(v);
+        probs[su] = p;
+        let sv = cursor[v as usize] as usize;
+        cursor[v as usize] += 1;
+        out_targets[sv] = NodeId(u);
+        probs[sv] = p;
+    });
+
+    // Per-node sort by target: `find_edge` binary-searches each CSR
+    // slice. Pairs are distinct, so targets within a node are unique.
+    let mut scratch: Vec<(NodeId, Probability)> = Vec::new();
+    for u in 0..n {
+        let lo = out_offsets[u] as usize;
+        let hi = out_offsets[u + 1] as usize;
+        if hi - lo < 2 {
+            continue;
+        }
+        scratch.clear();
+        scratch.extend(
+            out_targets[lo..hi]
+                .iter()
+                .copied()
+                .zip(probs[lo..hi].iter().copied()),
+        );
+        scratch.sort_unstable_by_key(|&(t, _)| t);
+        for (i, &(t, p)) in scratch.iter().enumerate() {
+            out_targets[lo + i] = t;
+            probs[lo + i] = p;
+        }
+    }
+
+    // Sources: a sequential expansion of the forward offsets.
+    let mut sources = vec![NodeId(0); m];
+    for u in 0..n {
+        for s in &mut sources[out_offsets[u] as usize..out_offsets[u + 1] as usize] {
+            *s = NodeId(u as u32);
+        }
+    }
+
+    // Reverse CSR by counting sort on targets (edge ids stay ascending
+    // within each target bucket, same as the builder produces).
+    let mut in_offsets = vec![0u32; n + 1];
+    for t in &out_targets {
+        in_offsets[t.index() + 1] += 1;
+    }
+    for i in 0..n {
+        in_offsets[i + 1] += in_offsets[i];
+    }
+    let mut in_cursor: Vec<u32> = in_offsets[..n].to_vec();
+    let mut in_edges = vec![EdgeId(0); m];
+    for (eid, t) in out_targets.iter().enumerate() {
+        let slot = in_cursor[t.index()] as usize;
+        in_cursor[t.index()] += 1;
+        in_edges[slot] = EdgeId::from_index(eid);
+    }
+    drop(in_cursor);
+    drop(cursor);
+
+    crate::format::write_v2_parts(
+        path,
+        &out_offsets,
+        &out_targets,
+        &sources,
+        &probs,
+        &in_offsets,
+        &in_edges,
+    )?;
+    let file_bytes = std::fs::metadata(path)?.len();
+    Ok(StreamStats {
+        num_nodes: n,
+        num_edges: m,
+        file_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::{load_graph_auto, GraphFormat};
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("relcomp_stream_{}_{tag}.ug2", std::process::id()))
+    }
+
+    #[test]
+    fn streamed_ba_matches_classic_generator_structure() {
+        let spec = StreamSpec {
+            topology: StreamTopology::BarabasiAlbert {
+                n: 300,
+                m_attach: 3,
+            },
+            seed: 42,
+            prob_low: 0.1,
+            prob_high: 0.9,
+        };
+        let path = temp_path("ba");
+        let stats = generate_v2_file(&spec, &path).unwrap();
+        let (g, report) = load_graph_auto(&path).unwrap();
+        assert_eq!(report.format, GraphFormat::BinaryV2);
+        assert_eq!(g.num_nodes(), 300);
+        assert_eq!(g.num_edges(), stats.num_edges);
+
+        // Bidirected: every edge has its reverse at the same probability.
+        for (e, u, v, p) in g.edges() {
+            let back = g.find_edge(v, u).expect("reverse edge present");
+            assert_eq!(g.prob(back).value().to_bits(), p.value().to_bits());
+            let _ = e;
+        }
+        // Pair count matches the classic BA formula.
+        let m_attach = 3;
+        let expected_pairs = (300 - m_attach - 1) * m_attach + m_attach * (m_attach + 1) / 2;
+        assert_eq!(g.num_edges(), expected_pairs * 2);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn streamed_er_has_exact_pair_count() {
+        let spec = StreamSpec {
+            topology: StreamTopology::ErdosRenyi {
+                n: 200,
+                m_pairs: 400,
+            },
+            seed: 7,
+            prob_low: 0.5,
+            prob_high: 0.5,
+        };
+        let path = temp_path("er");
+        let stats = generate_v2_file(&spec, &path).unwrap();
+        assert_eq!(stats.num_edges, 800);
+        let (g, _) = load_graph_auto(&path).unwrap();
+        assert_eq!(g.num_edges(), 800);
+        for (_, _, _, p) in g.edges() {
+            assert_eq!(p.value(), 0.5);
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn streaming_is_deterministic_per_seed() {
+        let spec = StreamSpec {
+            topology: StreamTopology::BarabasiAlbert {
+                n: 120,
+                m_attach: 2,
+            },
+            seed: 9,
+            prob_low: 0.2,
+            prob_high: 0.8,
+        };
+        let (p1, p2) = (temp_path("det1"), temp_path("det2"));
+        generate_v2_file(&spec, &p1).unwrap();
+        generate_v2_file(&spec, &p2).unwrap();
+        assert_eq!(std::fs::read(&p1).unwrap(), std::fs::read(&p2).unwrap());
+        std::fs::remove_file(p1).ok();
+        std::fs::remove_file(p2).ok();
+    }
+
+    #[test]
+    fn csr_slices_are_sorted_for_find_edge() {
+        let spec = StreamSpec {
+            topology: StreamTopology::ErdosRenyi {
+                n: 80,
+                m_pairs: 250,
+            },
+            seed: 3,
+            prob_low: 0.3,
+            prob_high: 0.7,
+        };
+        let path = temp_path("sorted");
+        generate_v2_file(&spec, &path).unwrap();
+        let (g, _) = load_graph_auto(&path).unwrap();
+        for v in g.nodes() {
+            let targets: Vec<_> = g.out_edges(v).map(|(_, t)| t).collect();
+            assert!(targets.windows(2).all(|w| w[0] < w[1]), "node {v} unsorted");
+        }
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -10,18 +10,33 @@
 //! direct index into any per-edge side array an estimator wants to keep
 //! (bit vectors, strata overlays, geometric counters, ...).
 //!
-//! Every array is held behind an [`Arc`], which makes **epoch snapshots**
-//! cheap: [`UncertainGraph::with_updated_probs`] produces a new graph that
-//! shares the (immutable) topology arrays with its parent and
-//! copy-on-writes only the probability array. A long-lived service can
-//! therefore keep several epochs of the same graph alive at once for the
-//! cost of one topology plus one `probs` array per epoch.
+//! Every array is held in an [`EdgeStorage`] — heap (`Arc<[T]>`) or a
+//! borrowed view into an `mmap`ed v2 file — which makes **epoch
+//! snapshots** cheap: [`UncertainGraph::with_updated_probs`] produces a
+//! new graph that shares the (immutable) topology arrays with its parent
+//! and copy-on-writes only the probability array, onto the heap. A
+//! long-lived service can therefore keep several epochs of the same
+//! graph alive at once for the cost of one topology plus one `probs`
+//! array per epoch — and the topology may be reclaimable page cache
+//! rather than process heap.
 
 use crate::error::GraphError;
 use crate::ids::{EdgeId, NodeId};
 use crate::probability::Probability;
+use crate::storage::EdgeStorage;
 use crate::update::EdgeUpdate;
 use std::sync::Arc;
+
+/// Borrowed CSR arrays in v2 file order:
+/// `(out_offsets, out_targets, sources, probs, in_offsets, in_edges)`.
+pub(crate) type CsrParts<'a> = (
+    &'a [u32],
+    &'a [NodeId],
+    &'a [NodeId],
+    &'a [Probability],
+    &'a [u32],
+    &'a [EdgeId],
+);
 
 /// A directed uncertain graph in CSR form. Immutable once built; construct
 /// via [`GraphBuilder`](crate::builder::GraphBuilder) and derive new
@@ -30,18 +45,18 @@ use std::sync::Arc;
 #[derive(Clone, Debug)]
 pub struct UncertainGraph {
     /// Forward CSR offsets, length `n + 1`.
-    out_offsets: Arc<[u32]>,
+    out_offsets: EdgeStorage<u32>,
     /// Forward CSR targets, length `m`; slot `i` is edge `EdgeId(i)`.
-    out_targets: Arc<[NodeId]>,
+    out_targets: EdgeStorage<NodeId>,
     /// Edge source per edge id (inverse of the forward CSR), length `m`.
-    sources: Arc<[NodeId]>,
+    sources: EdgeStorage<NodeId>,
     /// Edge probability per edge id, length `m`. The only array that
     /// differs between probability-update epochs.
-    probs: Arc<[Probability]>,
+    probs: EdgeStorage<Probability>,
     /// Reverse CSR offsets, length `n + 1`.
-    in_offsets: Arc<[u32]>,
+    in_offsets: EdgeStorage<u32>,
     /// Reverse CSR edge ids, length `m` (look up source via `sources`).
-    in_edges: Arc<[EdgeId]>,
+    in_edges: EdgeStorage<EdgeId>,
 }
 
 impl UncertainGraph {
@@ -100,6 +115,57 @@ impl UncertainGraph {
         }
     }
 
+    /// Assemble a graph directly from pre-built CSR arrays (heap or
+    /// mmap-backed). Used by the v2 binary loader and the streaming
+    /// generators; `pub(crate)` because the arrays must already satisfy
+    /// every CSR invariant (validated by the loader before this call).
+    pub(crate) fn from_parts(
+        out_offsets: EdgeStorage<u32>,
+        out_targets: EdgeStorage<NodeId>,
+        sources: EdgeStorage<NodeId>,
+        probs: EdgeStorage<Probability>,
+        in_offsets: EdgeStorage<u32>,
+        in_edges: EdgeStorage<EdgeId>,
+    ) -> Self {
+        debug_assert!(!out_offsets.is_empty());
+        debug_assert_eq!(out_offsets.len(), in_offsets.len());
+        debug_assert_eq!(out_targets.len(), probs.len());
+        debug_assert_eq!(out_targets.len(), sources.len());
+        debug_assert_eq!(out_targets.len(), in_edges.len());
+        UncertainGraph {
+            out_offsets,
+            out_targets,
+            sources,
+            probs,
+            in_offsets,
+            in_edges,
+        }
+    }
+
+    /// Raw CSR arrays in file order, for the v2 binary writer:
+    /// `(out_offsets, out_targets, sources, probs, in_offsets, in_edges)`.
+    pub(crate) fn csr_parts(&self) -> CsrParts<'_> {
+        (
+            &self.out_offsets,
+            &self.out_targets,
+            &self.sources,
+            &self.probs,
+            &self.in_offsets,
+            &self.in_edges,
+        )
+    }
+
+    /// True if any CSR array is a borrowed view into a memory-mapped v2
+    /// file rather than heap memory.
+    pub fn is_mapped(&self) -> bool {
+        self.out_offsets.is_mapped()
+            || self.out_targets.is_mapped()
+            || self.sources.is_mapped()
+            || self.probs.is_mapped()
+            || self.in_offsets.is_mapped()
+            || self.in_edges.is_mapped()
+    }
+
     /// Snapshot this graph with a batch of edge-probability updates
     /// applied: the new epoch's graph shares every topology array with
     /// `self` (Arc-cloned) and copy-on-writes only the `probs` array.
@@ -125,12 +191,12 @@ impl UncertainGraph {
             probs[u.edge.index()] = u.prob;
         }
         Arc::new(UncertainGraph {
-            out_offsets: Arc::clone(&self.out_offsets),
-            out_targets: Arc::clone(&self.out_targets),
-            sources: Arc::clone(&self.sources),
+            out_offsets: self.out_offsets.clone(),
+            out_targets: self.out_targets.clone(),
+            sources: self.sources.clone(),
             probs: probs.into(),
-            in_offsets: Arc::clone(&self.in_offsets),
-            in_edges: Arc::clone(&self.in_edges),
+            in_offsets: self.in_offsets.clone(),
+            in_edges: self.in_edges.clone(),
         })
     }
 
@@ -158,15 +224,15 @@ impl UncertainGraph {
         builder.try_build()
     }
 
-    /// True if `other` shares this graph's topology arrays (same `Arc`s,
+    /// True if `other` shares this graph's topology arrays (same memory,
     /// i.e. derived via [`UncertainGraph::with_updated_probs`] or a
-    /// clone). Incremental index maintenance requires this; graphs that
-    /// went through the [`UncertainGraph::with_edits`] rebuild path — or
-    /// were built independently — report `false` even if structurally
-    /// equal, and force a full index rebuild.
+    /// clone — whether that memory is a heap allocation or a view into
+    /// the same mapping). Incremental index maintenance requires this;
+    /// graphs that went through the [`UncertainGraph::with_edits`]
+    /// rebuild path — or were built independently — report `false` even
+    /// if structurally equal, and force a full index rebuild.
     pub fn same_topology(&self, other: &UncertainGraph) -> bool {
-        Arc::ptr_eq(&self.out_offsets, &other.out_offsets)
-            && Arc::ptr_eq(&self.out_targets, &other.out_targets)
+        self.out_offsets.ptr_eq(&other.out_offsets) && self.out_targets.ptr_eq(&other.out_targets)
     }
 
     /// Number of nodes `n`.

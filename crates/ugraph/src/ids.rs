@@ -14,6 +14,7 @@ use std::fmt;
 /// Node ids are dense: a graph with `n` nodes uses ids `0..n`.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
+#[repr(transparent)]
 pub struct NodeId(pub u32);
 
 /// Identifier of a directed edge in an [`UncertainGraph`](crate::graph::UncertainGraph).
@@ -23,6 +24,7 @@ pub struct NodeId(pub u32);
 /// geometric counters, inclusion/exclusion overlays) as flat vectors.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
+#[repr(transparent)]
 pub struct EdgeId(pub u32);
 
 impl NodeId {

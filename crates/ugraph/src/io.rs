@@ -254,38 +254,74 @@ pub fn write_graph_binary<W: Write>(graph: &UncertainGraph, out: W) -> Result<()
     Ok(())
 }
 
+/// Size of one v1 edge record: `u32 from`, `u32 to`, `f64 prob`.
+const V1_RECORD: usize = 16;
+
 /// Read a graph written by [`write_graph_binary`].
+///
+/// Edge records are consumed through a bulk block buffer (4 MiB per
+/// `read`), not three `read_exact` calls per edge — on large graphs the
+/// old pattern spent most of its time in `BufReader` bookkeeping.
 pub fn read_graph_binary<R: Read>(input: R) -> Result<UncertainGraph, GraphError> {
-    let mut r = BufReader::new(input);
+    let mut r = input;
     let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
+    read_exact_or_truncated(&mut r, &mut magic, "v1 magic")?;
     if &magic != BINARY_MAGIC {
-        return Err(GraphError::Parse {
-            line: 0,
-            message: "bad magic: not a binary uncertain-graph file".into(),
+        // A v2 file fed to the v1 reader deserves a precise error.
+        if &magic == crate::format::MAGIC_V2 {
+            return Err(GraphError::UnsupportedVersion { version: 2 });
+        }
+        return Err(GraphError::BadMagic {
+            found: magic.to_vec(),
         });
     }
-    let mut buf8 = [0u8; 8];
-    r.read_exact(&mut buf8)?;
-    let n = u64::from_le_bytes(buf8) as usize;
-    r.read_exact(&mut buf8)?;
-    let m = u64::from_le_bytes(buf8) as usize;
+    let mut counts = [0u8; 16];
+    read_exact_or_truncated(&mut r, &mut counts, "v1 header counts")?;
+    let n = u64::from_le_bytes(counts[0..8].try_into().unwrap()) as usize;
+    let m = u64::from_le_bytes(counts[8..16].try_into().unwrap()) as usize;
 
     let mut builder = GraphBuilder::new(n).with_edge_capacity(m);
-    let mut buf4 = [0u8; 4];
-    for i in 0..m {
-        r.read_exact(&mut buf4).map_err(|_| GraphError::Parse {
-            line: 0,
-            message: format!("truncated at edge record {i} of {m}"),
-        })?;
-        let u = u32::from_le_bytes(buf4);
-        r.read_exact(&mut buf4)?;
-        let v = u32::from_le_bytes(buf4);
-        r.read_exact(&mut buf8)?;
-        let p = f64::from_le_bytes(buf8);
-        builder.add_edge(NodeId(u), NodeId(v), p)?;
+    const BLOCK_RECORDS: usize = 256 * 1024; // 4 MiB per read
+    let mut block = vec![0u8; BLOCK_RECORDS * V1_RECORD];
+    let mut remaining = m;
+    while remaining > 0 {
+        let take = remaining.min(BLOCK_RECORDS);
+        let buf = &mut block[..take * V1_RECORD];
+        read_exact_or_truncated(&mut r, buf, "v1 edge records")?;
+        for rec in buf.chunks_exact(V1_RECORD) {
+            let u = u32::from_le_bytes(rec[0..4].try_into().unwrap());
+            let v = u32::from_le_bytes(rec[4..8].try_into().unwrap());
+            let p = f64::from_le_bytes(rec[8..16].try_into().unwrap());
+            builder.add_edge(NodeId(u), NodeId(v), p)?;
+        }
+        remaining -= take;
     }
     builder.try_build()
+}
+
+/// `read_exact` that reports how much data was missing as a structured
+/// [`GraphError::Truncated`] instead of a bare `UnexpectedEof`.
+fn read_exact_or_truncated<R: Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    context: &'static str,
+) -> Result<(), GraphError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(GraphError::Truncated {
+                    context,
+                    needed: buf.len() as u64,
+                    available: filled as u64,
+                })
+            }
+            Ok(k) => filled += k,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(())
 }
 
 /// Save a graph in binary format to `path`.
@@ -380,5 +416,168 @@ mod binary_tests {
         save_graph_binary(&g, &path).unwrap();
         let g2 = load_graph_binary(&path).unwrap();
         assert_eq!(g2.num_edges(), 2);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Format auto-detection
+// ---------------------------------------------------------------------
+
+/// Which on-disk graph format a file carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphFormat {
+    /// Whitespace edge-list text (`n m` header, `from to prob` lines).
+    Text,
+    /// `UGRAPHB1` record-per-edge binary.
+    BinaryV1,
+    /// `UGRAPHB2` fixed-layout mmap-able binary.
+    BinaryV2,
+}
+
+impl std::fmt::Display for GraphFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphFormat::Text => write!(f, "text"),
+            GraphFormat::BinaryV1 => write!(f, "binary-v1"),
+            GraphFormat::BinaryV2 => write!(f, "binary-v2"),
+        }
+    }
+}
+
+/// How a graph was loaded by [`load_graph_auto`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Detected on-disk format.
+    pub format: GraphFormat,
+    /// True when the CSR arrays are zero-copy views into a memory
+    /// mapping (v2 on Unix); false for any heap load path.
+    pub mmapped: bool,
+}
+
+/// Sniff a file's format from its first bytes (extension is ignored —
+/// magic strings are authoritative; anything without a known magic is
+/// treated as text).
+pub fn detect_format<P: AsRef<Path>>(path: P) -> Result<GraphFormat, GraphError> {
+    let mut file = std::fs::File::open(path)?;
+    let mut head = [0u8; 8];
+    let mut filled = 0;
+    while filled < head.len() {
+        match file.read(&mut head[filled..]) {
+            Ok(0) => break,
+            Ok(k) => filled += k,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(if &head == crate::format::MAGIC_V2 {
+        GraphFormat::BinaryV2
+    } else if &head == BINARY_MAGIC {
+        GraphFormat::BinaryV1
+    } else {
+        GraphFormat::Text
+    })
+}
+
+/// Load a graph in any supported format, auto-detected by magic bytes.
+/// v2 files take the zero-copy mmap path where available; v1 binary and
+/// text files parse onto the heap.
+pub fn load_graph_auto<P: AsRef<Path>>(
+    path: P,
+) -> Result<(UncertainGraph, LoadReport), GraphError> {
+    let path = path.as_ref();
+    match detect_format(path)? {
+        GraphFormat::BinaryV2 => {
+            let loaded = crate::format::load_graph_v2(path)?;
+            Ok((
+                loaded.graph,
+                LoadReport {
+                    format: GraphFormat::BinaryV2,
+                    mmapped: loaded.mmapped,
+                },
+            ))
+        }
+        GraphFormat::BinaryV1 => Ok((
+            load_graph_binary(path)?,
+            LoadReport {
+                format: GraphFormat::BinaryV1,
+                mmapped: false,
+            },
+        )),
+        GraphFormat::Text => Ok((
+            load_graph(path)?,
+            LoadReport {
+                format: GraphFormat::Text,
+                mmapped: false,
+            },
+        )),
+    }
+}
+
+#[cfg(test)]
+mod auto_tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn toy() -> UncertainGraph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 0.25).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn detects_and_loads_all_three_formats() {
+        let g = toy();
+        let dir = std::env::temp_dir().join("relcomp_io_auto_test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Deliberately mismatched extensions: magic bytes win.
+        let text = dir.join("toy_text.ugb");
+        save_graph(&g, &text).unwrap();
+        assert_eq!(detect_format(&text).unwrap(), GraphFormat::Text);
+
+        let v1 = dir.join("toy_v1.ug");
+        save_graph_binary(&g, &v1).unwrap();
+        assert_eq!(detect_format(&v1).unwrap(), GraphFormat::BinaryV1);
+
+        let v2 = dir.join("toy_v2.dat");
+        crate::format::write_graph_v2(&g, &v2).unwrap();
+        assert_eq!(detect_format(&v2).unwrap(), GraphFormat::BinaryV2);
+
+        for path in [&text, &v1, &v2] {
+            let (g2, report) = load_graph_auto(path).unwrap();
+            assert_eq!(g2.num_edges(), g.num_edges());
+            if report.format != GraphFormat::BinaryV2 {
+                assert!(!report.mmapped);
+            }
+        }
+        let (_, report) = load_graph_auto(&v2).unwrap();
+        assert_eq!(report.format, GraphFormat::BinaryV2);
+        #[cfg(unix)]
+        assert!(report.mmapped);
+    }
+
+    #[test]
+    fn v1_reader_identifies_v2_files() {
+        let g = toy();
+        let dir = std::env::temp_dir().join("relcomp_io_auto_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let v2 = dir.join("toy_for_v1.ug2");
+        crate::format::write_graph_v2(&g, &v2).unwrap();
+        let err = load_graph_binary(&v2).unwrap_err();
+        assert!(matches!(err, GraphError::UnsupportedVersion { version: 2 }));
+    }
+
+    #[test]
+    fn v1_truncation_is_structured() {
+        let g = toy();
+        let mut buf = Vec::new();
+        write_graph_binary(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() - 5);
+        let err = read_graph_binary(&buf[..]).unwrap_err();
+        assert!(matches!(err, GraphError::Truncated { .. }), "got {err}");
+        // Header-level truncation too.
+        let err = read_graph_binary(&buf[..4]).unwrap_err();
+        assert!(matches!(err, GraphError::Truncated { .. }));
     }
 }

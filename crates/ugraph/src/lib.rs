@@ -35,14 +35,17 @@ pub mod analysis;
 pub mod builder;
 pub mod datasets;
 pub mod error;
+pub mod format;
 pub mod generators;
 pub mod graph;
 pub mod ids;
 pub mod io;
+pub mod mmap;
 pub mod possible_world;
 pub mod probability;
 pub mod probmodel;
 pub mod stats;
+pub mod storage;
 pub mod subgraph;
 pub mod traversal;
 pub mod update;
@@ -50,7 +53,10 @@ pub mod update;
 pub use builder::{DuplicatePolicy, GraphBuilder};
 pub use datasets::{Dataset, DatasetProperties, DatasetSpec};
 pub use error::GraphError;
+pub use format::{load_graph_v2, load_graph_v2_heap, write_graph_v2};
 pub use graph::UncertainGraph;
 pub use ids::{EdgeId, NodeId};
+pub use io::{detect_format, load_graph_auto, GraphFormat, LoadReport};
 pub use probability::{Probability, ProbabilityError};
+pub use storage::EdgeStorage;
 pub use update::EdgeUpdate;

@@ -12,6 +12,7 @@ use std::fmt;
 /// An edge-existence probability in `(0, 1]`.
 #[derive(Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
 #[serde(transparent)]
+#[repr(transparent)]
 pub struct Probability(f64);
 
 /// Error returned when constructing a [`Probability`] out of range.

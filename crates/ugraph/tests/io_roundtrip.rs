@@ -6,10 +6,14 @@
 //!   exact bits.
 //! * Binary (`save_graph_binary`/`load_graph_binary`): raw
 //!   little-endian `f64`, bit-exact by construction.
+//! * v2 binary (`write_graph_v2`/`load_graph_v2`): the mmap-able CSR
+//!   image, bit-exact through both the zero-copy and heap load paths.
 
 use proptest::prelude::*;
 use relcomp_ugraph::io::{load_graph, load_graph_binary, save_graph, save_graph_binary};
-use relcomp_ugraph::{GraphBuilder, NodeId, UncertainGraph};
+use relcomp_ugraph::{
+    load_graph_v2, load_graph_v2_heap, write_graph_v2, GraphBuilder, NodeId, UncertainGraph,
+};
 use std::collections::HashSet;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -91,6 +95,29 @@ proptest! {
         let loaded = load_graph_binary(&path).expect("load binary");
         std::fs::remove_file(&path).ok();
         assert_graphs_identical(&graph, &loaded);
+    }
+
+    #[test]
+    fn v2_format_round_trips_via_both_load_paths(
+        (n, raw_edges) in (1usize..30).prop_flat_map(|n| {
+            (
+                Just(n),
+                collection::vec((0usize..30, 0usize..30, 0.001f64..1.0), 1..60),
+            )
+        })
+    ) {
+        let graph = build(n, &raw_edges);
+        let path = temp_path("v2");
+        write_graph_v2(&graph, &path).expect("write v2");
+        let loaded = load_graph_v2(&path).expect("load v2");
+        if cfg!(all(unix, target_endian = "little")) {
+            prop_assert!(loaded.mmapped, "expected zero-copy load on unix LE");
+        }
+        assert_graphs_identical(&graph, &loaded.graph);
+        // The forced heap decode must agree with the mapped view.
+        let heap = load_graph_v2_heap(&path).expect("load v2 heap");
+        std::fs::remove_file(&path).ok();
+        assert_graphs_identical(&graph, &heap);
     }
 
     #[test]

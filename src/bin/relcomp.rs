@@ -2,6 +2,9 @@
 //!
 //! ```text
 //! relcomp generate <dataset> --out FILE [--scale S] [--seed N]
+//! relcomp generate-stream ba|er --out FILE --nodes N [--attach M] [--pairs M]
+//!                 [--seed N] [--prob-low X] [--prob-high Y]
+//! relcomp convert <in> <out>
 //! relcomp stats <file>
 //! relcomp query <file> <s> <t> [--estimator NAME] [--samples N] [--seed N]
 //!                 [--eps E] [--confidence C] [--time-budget-ms MS]
@@ -26,7 +29,9 @@
 //! relcomp client stats|ping|shutdown [--addr HOST:PORT]
 //! ```
 //!
-//! Graph files use the text edge-list format of `relcomp_ugraph::io`.
+//! Graph files are loaded by sniffing their magic bytes (text, `UGRAPHB1`
+//! record binary, or mmap-able `UGRAPHB2`); when writing, the extension
+//! picks the format (`.ugb` = v1 binary, `.ug2` = v2 binary, else text).
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -38,7 +43,9 @@ use relcomp_serve::engine::{EngineConfig, QueryEngine};
 use relcomp_serve::protocol::{QueryRequest, DEFAULT_PORT};
 use relcomp_serve::{Client, Server};
 use relcomp_ugraph::analysis::{degree_stats, largest_component_size};
-use relcomp_ugraph::io::{load_graph, load_graph_binary, save_graph, save_graph_binary};
+use relcomp_ugraph::generators::{StreamSpec, StreamTopology};
+use relcomp_ugraph::io::{load_graph_auto, save_graph, save_graph_binary};
+use relcomp_ugraph::write_graph_v2;
 use std::collections::HashMap;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -59,6 +66,9 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 usage:
   relcomp generate <dataset> --out FILE [--scale S] [--seed N]
+  relcomp generate-stream ba|er --out FILE --nodes N [--attach M] [--pairs M]
+                  [--seed N] [--prob-low X] [--prob-high Y]
+  relcomp convert <in> <out>
   relcomp stats <file>
   relcomp query <file> <s> <t> [--estimator NAME] [--samples N] [--seed N]
                   [--eps E] [--confidence C] [--time-budget-ms MS]
@@ -237,18 +247,19 @@ fn parse_threads(opts: &HashMap<&str, &str>) -> Result<usize, String> {
     })
 }
 
-/// Load a graph, choosing the format by extension (`.ugb` = binary).
-fn load_any(path: &str) -> Result<UncertainGraph, String> {
-    if path.ends_with(".ugb") {
-        load_graph_binary(path).map_err(|e| e.to_string())
-    } else {
-        load_graph(path).map_err(|e| e.to_string())
-    }
+/// Load a graph in any format, auto-detected from its magic bytes
+/// (extension is irrelevant). v2 files come back as zero-copy mmap views
+/// where the platform allows.
+fn load_any(path: &str) -> Result<(UncertainGraph, relcomp_ugraph::LoadReport), String> {
+    load_graph_auto(path).map_err(|e| e.to_string())
 }
 
-/// Save a graph, choosing the format by extension (`.ugb` = binary).
+/// Save a graph, choosing the format by extension (`.ugb` = v1 binary,
+/// `.ug2` = v2 mmap-able binary, anything else = text).
 fn save_any(graph: &UncertainGraph, path: &str) -> Result<(), String> {
-    if path.ends_with(".ugb") {
+    if path.ends_with(".ug2") {
+        write_graph_v2(graph, std::path::Path::new(path)).map_err(|e| e.to_string())
+    } else if path.ends_with(".ugb") {
         save_graph_binary(graph, path).map_err(|e| e.to_string())
     } else {
         save_graph(graph, path).map_err(|e| e.to_string())
@@ -298,16 +309,117 @@ fn run(args: Vec<String>) -> Result<(), String> {
             );
             Ok(())
         }
+        "generate-stream" => {
+            check_options(
+                cmd,
+                &opts,
+                &[
+                    "out",
+                    "nodes",
+                    "attach",
+                    "pairs",
+                    "seed",
+                    "prob-low",
+                    "prob-high",
+                ],
+            )?;
+            let [family] = pos[..] else {
+                return Err("generate-stream needs a topology: ba or er".into());
+            };
+            let out = opts.get("out").ok_or("generate-stream needs --out FILE")?;
+            if !out.ends_with(".ug2") {
+                return Err("generate-stream writes v2 binaries; --out must end in .ug2".into());
+            }
+            let n: usize = opts
+                .get("nodes")
+                .ok_or("generate-stream needs --nodes N")?
+                .parse()
+                .map_err(|_| "bad --nodes")?;
+            let topology = match family {
+                "ba" => StreamTopology::BarabasiAlbert {
+                    n,
+                    m_attach: opts
+                        .get("attach")
+                        .map(|v| v.parse())
+                        .transpose()
+                        .map_err(|_| "bad --attach")?
+                        .unwrap_or(5),
+                },
+                "er" => StreamTopology::ErdosRenyi {
+                    n,
+                    m_pairs: opts
+                        .get("pairs")
+                        .map(|v| v.parse())
+                        .transpose()
+                        .map_err(|_| "bad --pairs")?
+                        .unwrap_or(n.saturating_mul(5)),
+                },
+                other => return Err(format!("unknown topology `{other}` (expected ba or er)")),
+            };
+            let spec = StreamSpec {
+                topology,
+                seed,
+                prob_low: opts
+                    .get("prob-low")
+                    .map(|v| v.parse())
+                    .transpose()
+                    .map_err(|_| "bad --prob-low")?
+                    .unwrap_or(0.05),
+                prob_high: opts
+                    .get("prob-high")
+                    .map(|v| v.parse())
+                    .transpose()
+                    .map_err(|_| "bad --prob-high")?
+                    .unwrap_or(0.5),
+            };
+            let start = std::time::Instant::now();
+            let stats =
+                relcomp_ugraph::generators::generate_v2_file(&spec, std::path::Path::new(out))
+                    .map_err(|e| e.to_string())?;
+            println!(
+                "wrote {} ({} nodes, {} directed edges, {:.1} MiB) in {:.2} s",
+                out,
+                stats.num_nodes,
+                stats.num_edges,
+                stats.file_bytes as f64 / (1024.0 * 1024.0),
+                start.elapsed().as_secs_f64()
+            );
+            Ok(())
+        }
+        "convert" => {
+            check_options(cmd, &opts, &[])?;
+            let [input, output] = pos[..] else {
+                return Err("convert needs <in> <out>".into());
+            };
+            let start = std::time::Instant::now();
+            let (graph, report) = load_any(input)?;
+            save_any(&graph, output)?;
+            let out_bytes = std::fs::metadata(output).map(|m| m.len()).unwrap_or(0);
+            println!(
+                "converted {input} ({}) -> {output} ({} nodes, {} edges, {:.1} MiB) in {:.2} s",
+                report.format,
+                graph.num_nodes(),
+                graph.num_edges(),
+                out_bytes as f64 / (1024.0 * 1024.0),
+                start.elapsed().as_secs_f64()
+            );
+            Ok(())
+        }
         "stats" => {
             check_options(cmd, &opts, &[])?;
             let [file] = pos[..] else {
                 return Err("stats needs <file>".into());
             };
-            let graph = load_any(file)?;
+            let (graph, report) = load_any(file)?;
             let props_probs: Vec<f64> = graph.edges().map(|(_, _, _, p)| p.value()).collect();
             let prob = relcomp_ugraph::stats::Summary::of(&props_probs);
             println!("nodes:  {}", graph.num_nodes());
             println!("edges:  {}", graph.num_edges());
+            println!(
+                "format: {} (loaded via {})",
+                report.format,
+                if report.mmapped { "mmap" } else { "heap" }
+            );
             if let Some(p) = prob {
                 println!(
                     "probability: mean {:.4} sd {:.4} quartiles {{{:.3}, {:.3}, {:.3}}}",
@@ -342,7 +454,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
             let [file, s_raw, t_raw] = pos[..] else {
                 return Err("query needs <file> <s> <t>".into());
             };
-            let graph = Arc::new(load_any(file)?);
+            let graph = Arc::new(load_any(file)?.0);
             let s = parse_node(&graph, s_raw, "source")?;
             let t = parse_node(&graph, t_raw, "target")?;
             let kind = parse_estimator(opts.get("estimator").copied().unwrap_or("probtree"))?;
@@ -402,7 +514,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
             let [file, s_raw, t_raw] = pos[..] else {
                 return Err("bounds needs <file> <s> <t>".into());
             };
-            let graph = load_any(file)?;
+            let (graph, _) = load_any(file)?;
             let s = parse_node(&graph, s_raw, "source")?;
             let t = parse_node(&graph, t_raw, "target")?;
             let b = reliability_bounds(&graph, s, t, 8);
@@ -419,7 +531,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
             let [file, s_raw, t_raw] = pos[..] else {
                 return Err("path needs <file> <s> <t>".into());
             };
-            let graph = load_any(file)?;
+            let (graph, _) = load_any(file)?;
             let s = parse_node(&graph, s_raw, "source")?;
             let t = parse_node(&graph, t_raw, "target")?;
             match most_reliable_path(&graph, s, t) {
@@ -452,7 +564,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
             let [file, s_raw] = pos[..] else {
                 return Err("topk needs <file> <s>".into());
             };
-            let graph = Arc::new(load_any(file)?);
+            let graph = Arc::new(load_any(file)?.0);
             let s = parse_node(&graph, s_raw, "source")?;
             let k: usize = opts
                 .get("k")
@@ -507,7 +619,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
             let [file, s_raw, t_raw, d_raw] = pos[..] else {
                 return Err("dquery needs <file> <s> <t> <d>".into());
             };
-            let graph = Arc::new(load_any(file)?);
+            let graph = Arc::new(load_any(file)?.0);
             let s = parse_node(&graph, s_raw, "source")?;
             let t = parse_node(&graph, t_raw, "target")?;
             let d: usize = d_raw
@@ -568,7 +680,10 @@ fn run(args: Vec<String>) -> Result<(), String> {
             let [file] = pos[..] else {
                 return Err("serve needs <file>".into());
             };
-            let graph = Arc::new(load_any(file)?);
+            let load_start = std::time::Instant::now();
+            let (graph, report) = load_any(file)?;
+            let load_micros = load_start.elapsed().as_micros() as u64;
+            let graph = Arc::new(graph);
             let port: u16 = opts
                 .get("port")
                 .map(|v| v.parse())
@@ -597,15 +712,18 @@ fn run(args: Vec<String>) -> Result<(), String> {
             // Remember the file so the `reload` protocol command can
             // re-read it without an explicit path.
             engine.set_source(file);
+            engine.record_load(report.mmapped, load_micros);
             let threads = engine.stats().threads;
             let server = Server::bind(("127.0.0.1", port), engine).map_err(|e| e.to_string())?;
             let addr = server.local_addr().map_err(|e| e.to_string())?;
             println!(
-                "serving {} ({} nodes, {} edges) on {addr}: {threads} sampling threads, \
-                 {cache_capacity}-entry cache",
+                "serving {} ({} nodes, {} edges; loaded via {} in {:.1} ms) on {addr}: \
+                 {threads} sampling threads, {cache_capacity}-entry cache",
                 file,
                 graph.num_nodes(),
-                graph.num_edges()
+                graph.num_edges(),
+                if report.mmapped { "mmap" } else { "heap" },
+                load_micros as f64 / 1e3
             );
             server.run().map_err(|e| e.to_string())
         }
@@ -698,6 +816,13 @@ fn run(args: Vec<String>) -> Result<(), String> {
                         "samples:       {} packed worlds, {} scalar worlds",
                         s.packed_samples, s.scalar_samples
                     );
+                    if !s.load_path.is_empty() {
+                        println!(
+                            "graph load:    via {} in {:.1} ms",
+                            s.load_path,
+                            s.load_micros as f64 / 1e3
+                        );
+                    }
                     println!("uptime:        {:.1} s", s.uptime_micros as f64 / 1e6);
                     Ok(())
                 }

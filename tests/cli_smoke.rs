@@ -324,6 +324,85 @@ fn topk_and_dquery_subcommands_cover_fixed_and_adaptive_budgets() {
 }
 
 #[test]
+fn generate_stream_convert_and_v2_round_trip() {
+    let v2 = temp_graph_path("stream.ug2");
+    let v1 = temp_graph_path("stream.ugb");
+    let txt = temp_graph_path("stream.txt");
+    let (v2_str, v1_str, txt_str) = (
+        v2.to_str().unwrap(),
+        v1.to_str().unwrap(),
+        txt.to_str().unwrap(),
+    );
+
+    // Stream a BA graph straight to the v2 binary.
+    let out = stdout(&relcomp(&[
+        "generate-stream",
+        "ba",
+        "--out",
+        v2_str,
+        "--nodes",
+        "2000",
+        "--attach",
+        "3",
+        "--seed",
+        "9",
+    ]));
+    assert!(out.contains("wrote"), "{out}");
+    assert!(out.contains("2000 nodes"), "{out}");
+
+    // The v2 output must only land in .ug2 files.
+    let bad = relcomp(&["generate-stream", "ba", "--out", txt_str, "--nodes", "100"]);
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains(".ug2"));
+
+    // stats reads v2 and reports the zero-copy load path.
+    let stats = stdout(&relcomp(&["stats", v2_str]));
+    assert!(stats.contains("binary-v2"), "{stats}");
+    if cfg!(all(unix, target_endian = "little")) {
+        assert!(stats.contains("via mmap"), "{stats}");
+    }
+
+    // Queries run directly against the mapped file, deterministically.
+    // (Cut the trailing `[...; N ms]` bracket: wall time varies per run.)
+    let query = |file: &str| {
+        let out = stdout(&relcomp(&[
+            "query",
+            file,
+            "7",
+            "42",
+            "--estimator",
+            "mc",
+            "--samples",
+            "1000",
+            "--seed",
+            "3",
+        ]));
+        out.split('[').next().unwrap_or("").to_owned()
+    };
+    let from_v2 = query(v2_str);
+    assert!(from_v2.contains("R(7, 42)"), "{from_v2}");
+
+    // convert: v2 -> v1 -> text, each readable, all giving the same
+    // estimate from the same seed.
+    let out = stdout(&relcomp(&["convert", v2_str, v1_str]));
+    assert!(out.contains("binary-v2"), "{out}");
+    let out = stdout(&relcomp(&["convert", v1_str, txt_str]));
+    assert!(out.contains("binary-v1"), "{out}");
+    assert_eq!(query(v1_str), query(txt_str));
+    assert_eq!(from_v2, query(v1_str));
+
+    // And text converts back up to v2 (the migration path README
+    // documents for v1 deployments).
+    let out = stdout(&relcomp(&["convert", txt_str, v2_str]));
+    assert!(out.contains("text"), "{out}");
+    assert_eq!(from_v2, query(v2_str));
+
+    for p in [&v2, &v1, &txt] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
 fn bad_usage_exits_nonzero_with_usage() {
     let out = relcomp(&["no-such-command"]);
     assert!(!out.status.success());
