@@ -8,13 +8,15 @@
 //!            [--min-ms F] [--report-only]
 //! ```
 //!
-//! Five row families are matched by name: per-estimator wall times
+//! Six row families are matched by name: per-estimator wall times
 //! (`estimators`), served-workload wall times (`workloads`, keyed by
 //! `workload/mode`), per-sample costs (`per_sample`, compared on
 //! `ns_per_sample`), serve registry latency percentiles
-//! (`serve_metrics`, keyed by workload, compared on `p50_micros`), and
-//! cold-start rows (`cold_start`, keyed by `mode/{load,first_query,rss}`
-//! — load and first-query wall ms plus peak RSS in MiB).
+//! (`serve_metrics`, keyed by workload, compared on `p50_micros`),
+//! connection-churn costs (`serve_conc`, keyed by `mode/c{connections}`,
+//! compared on `us_per_request`), and cold-start rows (`cold_start`,
+//! keyed by `mode/{load,first_query,rss}` — load and first-query wall ms
+//! plus peak RSS in MiB).
 //! A row regresses when the fresh value exceeds
 //! `baseline * (1 + tolerance)`; wall-time rows faster than `--min-ms`
 //! in both runs are skipped as noise. `serve_metrics` rows are
@@ -204,6 +206,44 @@ fn collect_rows(base: &BenchSummary, fresh: &BenchSummary) -> Vec<DiffRow> {
             find(fresh),
             false,
             true,
+        );
+    }
+    let churn_keys: Vec<String> = {
+        let key = relcomp_bench::serve_probe::concurrency_key;
+        let mut v: Vec<String> = base.serve_concurrency.iter().map(key).collect();
+        for r in &fresh.serve_concurrency {
+            let k = key(r);
+            if !v.contains(&k) {
+                v.push(k);
+            }
+        }
+        v
+    };
+    for name in churn_keys {
+        let find = |s: &BenchSummary| {
+            s.serve_concurrency
+                .iter()
+                .find(|r| relcomp_bench::serve_probe::concurrency_key(r) == name)
+                .map(|r| r.us_per_request)
+        };
+        // Per-request churn cost is microseconds-scale by design, so the
+        // wall-time noise floor (milliseconds) cannot apply. Threaded
+        // rows past the stock accept backlog (128) sit in the kernel's
+        // SYN-retransmit regime — wall time there is quantized by ~1 s
+        // timers, far too coarse to gate — so they are informational,
+        // kept for the reactor-vs-threaded headline comparison.
+        let info = name
+            .strip_prefix("threaded/c")
+            .and_then(|c| c.parse::<usize>().ok())
+            .is_some_and(|c| c > 128);
+        push(
+            "serve_conc",
+            name.clone(),
+            "us/req",
+            find(base),
+            find(fresh),
+            false,
+            info,
         );
     }
     let cold_keys: Vec<String> = {

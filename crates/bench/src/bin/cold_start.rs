@@ -302,6 +302,7 @@ fn run_parent(args: Vec<String>) {
         per_sample: Vec::new(),
         mc_packed_speedup: 0.0,
         serve_metrics: Vec::new(),
+        serve_concurrency: Vec::new(),
         cold_start: Vec::new(),
     });
     summary.cold_start = rows;

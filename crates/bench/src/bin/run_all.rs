@@ -67,6 +67,8 @@ fn main() {
     eprintln!("    packed MC speedup (geomean): {mc_packed_speedup:.2}x");
     eprintln!(">>> serve metrics probe (mixed st/topk/dquery, registry percentiles) ...");
     let serve_metrics = relcomp_bench::serve_probe::serve_metrics_probe(profile, seed);
+    eprintln!(">>> connection sweep (reactor vs threaded churn) ...");
+    let serve_concurrency = relcomp_bench::serve_probe::connection_sweep(profile, seed);
 
     relcomp_bench::summary::write(&BenchSummary {
         profile: match profile {
@@ -81,6 +83,7 @@ fn main() {
         per_sample,
         mc_packed_speedup,
         serve_metrics,
+        serve_concurrency,
         cold_start: Vec::new(),
     });
 }

@@ -546,9 +546,12 @@ pub mod serve_probe {
     use relcomp_eval::RunProfile;
     use relcomp_serve::engine::{EngineConfig, QueryEngine};
     use relcomp_serve::protocol::{DistanceQueryRequest, QueryRequest, TopKRequest};
+    use relcomp_serve::{Client, Server, ServerMode, ServerOptions, TenantRegistry};
     use relcomp_ugraph::Dataset;
     use serde::{Deserialize, Serialize};
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
+    use std::time::Instant;
 
     /// One per-workload latency row read from the serve registry.
     #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -562,6 +565,106 @@ pub mod serve_probe {
         pub p50_micros: f64,
         /// 99th-percentile server-side latency, microseconds.
         pub p99_micros: f64,
+    }
+
+    /// One connection-churn measurement: `connections` closed-loop
+    /// client threads race through a shared budget of
+    /// connect → one cached st query → disconnect rounds against a
+    /// server running in `mode`. Cached queries cost the engine nearly
+    /// nothing, so `us_per_request` isolates the per-connection price of
+    /// the connection-handling model (thread spawn/teardown for the
+    /// threaded server, accept + `epoll_ctl` for the reactor).
+    #[derive(Clone, Debug, Serialize, Deserialize)]
+    pub struct ServeConcurrencyRow {
+        /// Connection-handling model (`reactor` / `threaded`).
+        pub mode: String,
+        /// Concurrent closed-loop clients, each churning connections.
+        pub connections: usize,
+        /// Total requests answered at this sweep point.
+        pub requests: usize,
+        /// Mean wall microseconds per request (connect + query + close)
+        /// — the value the CI perf gate tracks per `mode/c{connections}`
+        /// row.
+        pub us_per_request: f64,
+        /// Requests per second across the point.
+        pub qps: f64,
+    }
+
+    /// Stable row name of a sweep point in `bench_diff` and reports.
+    pub fn concurrency_key(row: &ServeConcurrencyRow) -> String {
+        format!("{}/c{}", row.mode, row.connections)
+    }
+
+    /// Connection-churn sweep over both server modes: one server per
+    /// mode (result cache pre-warmed so every churned query is a hit),
+    /// then one [`ServeConcurrencyRow`] per connection count.
+    pub fn connection_sweep(profile: RunProfile, seed: u64) -> Vec<ServeConcurrencyRow> {
+        let counts: &[usize] = match profile {
+            RunProfile::Quick => &[1, 32, 256],
+            RunProfile::Paper => &[1, 32, 256, 512],
+        };
+        let graph = Arc::new(Dataset::LastFm.generate_with_scale(0.05, seed));
+        let warm = QueryRequest {
+            estimator: Some("mc".into()),
+            samples: Some(1000),
+            seed: Some(seed),
+            ..QueryRequest::new(0, 1)
+        };
+        let mut rows = Vec::new();
+        for (mode, label) in [
+            (ServerMode::Threaded, "threaded"),
+            (ServerMode::Reactor, "reactor"),
+        ] {
+            let engine = Arc::new(QueryEngine::new(
+                Arc::clone(&graph),
+                EngineConfig {
+                    threads: 1,
+                    default_seed: seed,
+                    ..Default::default()
+                },
+            ));
+            engine.execute(&warm).expect("cache-warming query");
+            let tenants = Arc::new(TenantRegistry::single(engine));
+            let server = Server::bind_with(
+                "127.0.0.1:0",
+                tenants,
+                ServerOptions {
+                    mode,
+                    ..Default::default()
+                },
+            )
+            .expect("bind sweep server");
+            let shutdown = server.shutdown_handle();
+            let (addr, thread) = server.spawn().expect("spawn sweep server");
+            for &connections in counts {
+                let total = (connections * 4).max(512);
+                let cursor = AtomicUsize::new(0);
+                let start = Instant::now();
+                std::thread::scope(|scope| {
+                    for _ in 0..connections {
+                        scope.spawn(|| loop {
+                            if cursor.fetch_add(1, Ordering::Relaxed) >= total {
+                                break;
+                            }
+                            let mut client = Client::connect(addr).expect("churn connect");
+                            let resp = client.query(warm.clone()).expect("churn query");
+                            assert!(resp.cached, "churned queries must be cache hits");
+                        });
+                    }
+                });
+                let wall = start.elapsed();
+                rows.push(ServeConcurrencyRow {
+                    mode: label.to_string(),
+                    connections,
+                    requests: total,
+                    us_per_request: wall.as_micros() as f64 / total as f64,
+                    qps: total as f64 / wall.as_secs_f64(),
+                });
+            }
+            shutdown.shutdown();
+            thread.join().expect("join sweep server").expect("serve");
+        }
+        rows
     }
 
     /// Run the mixed workload and return one row per latency histogram
@@ -638,7 +741,7 @@ pub mod serve_probe {
 /// `bench_diff` (baseline comparison).
 pub mod summary {
     use crate::adaptive::{EstimatorTiming, PerSampleRow, WorkloadTiming};
-    use crate::serve_probe::ServeMetricRow;
+    use crate::serve_probe::{ServeConcurrencyRow, ServeMetricRow};
     use serde::{Deserialize, Serialize};
     use std::path::Path;
 
@@ -698,6 +801,9 @@ pub mod summary {
         /// serve metrics registry (informational in `bench_diff`: log2
         /// buckets quantize too coarsely to gate on).
         pub serve_metrics: Vec<ServeMetricRow>,
+        /// Connection-churn sweep rows (reactor vs threaded server at
+        /// each connection count), gated row-wise on `us_per_request`.
+        pub serve_concurrency: Vec<ServeConcurrencyRow>,
         /// Cold-start rows from the `cold_start` bench (one per load
         /// path), merged into the summary by that binary; empty until it
         /// runs.

@@ -185,6 +185,23 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
     }
+
+    /// Snapshot every resident entry, most recently used first within
+    /// each shard. Does not touch recency or the hit/miss counters —
+    /// this is the export path for warm-cache persistence, not a read.
+    pub fn entries(&self) -> Vec<(K, V)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("cache shard poisoned");
+            let mut i = shard.head;
+            while i != NIL {
+                let slot = &shard.slots[i];
+                out.push((slot.key.clone(), slot.value.clone()));
+                i = slot.next;
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -261,6 +278,22 @@ mod tests {
         // ceil(64/8) entries per shard survive and total <= 64.
         assert!(c.len() <= 64);
         assert!(c.len() >= 8, "every shard should hold something");
+    }
+
+    #[test]
+    fn entries_snapshots_without_touching_recency() {
+        let c: ShardedLru<u64, u64> = ShardedLru::new(4, 1);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        let mut entries = c.entries();
+        entries.sort_unstable();
+        assert_eq!(entries, vec![(1, 10), (2, 20)]);
+        assert_eq!((c.hits(), c.misses()), (0, 0));
+        // LRU order unchanged: 1 is still the eviction candidate.
+        c.insert(3, 30);
+        c.insert(4, 40);
+        c.insert(5, 50);
+        assert_eq!(c.get(&1), None);
     }
 
     #[test]

@@ -2,9 +2,9 @@
 
 use crate::engine::BatchResults;
 use crate::protocol::{
-    DistanceQueryRequest, DistanceQueryResponse, EdgeProbUpdate, MetricsFormat, MetricsReport,
-    QueryRequest, QueryResponse, ReloadResponse, Request, Response, StatsResponse, TopKRequest,
-    TopKResponse, TraceRow, UpdateResponse,
+    DistanceQueryRequest, DistanceQueryResponse, EdgeProbUpdate, LoadResponse, MetricsFormat,
+    MetricsReport, QueryRequest, QueryResponse, ReloadResponse, Request, Response, StatsResponse,
+    TopKRequest, TopKResponse, TraceRow, UpdateResponse, UseResponse,
 };
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
@@ -154,6 +154,45 @@ impl Client {
             Response::Reload(r) => Ok(r),
             other => Err(ClientError::Protocol(format!(
                 "expected reload answer, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Make a graph file resident as a named tenant on the server.
+    pub fn load_graph(
+        &mut self,
+        name: impl Into<String>,
+        path: impl Into<String>,
+        quota: Option<usize>,
+    ) -> Result<LoadResponse, ClientError> {
+        match self.request(&Request::LoadGraph {
+            name: name.into(),
+            path: path.into(),
+            quota,
+        })? {
+            Response::Loaded(l) => Ok(l),
+            other => Err(ClientError::Protocol(format!(
+                "expected loaded answer, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Drop a named tenant server-wide.
+    pub fn unload_graph(&mut self, name: impl Into<String>) -> Result<(), ClientError> {
+        match self.request(&Request::UnloadGraph { name: name.into() })? {
+            Response::Unloaded { .. } => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "expected unloaded answer, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Point this connection at a different resident tenant.
+    pub fn use_graph(&mut self, name: impl Into<String>) -> Result<UseResponse, ClientError> {
+        match self.request(&Request::UseGraph { name: name.into() })? {
+            Response::Using(u) => Ok(u),
+            other => Err(ClientError::Protocol(format!(
+                "expected using answer, got {other:?}"
             ))),
         }
     }

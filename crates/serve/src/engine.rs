@@ -224,17 +224,17 @@ impl PlannedQuery {
 /// Per-query outcomes of a batch, in request order.
 pub type BatchResults = Vec<Result<QueryResponse, String>>;
 
-#[derive(Clone, Debug)]
-struct CachedAnswer {
-    reliability: f64,
-    samples: usize,
-    estimator: &'static str,
-    stop_reason: StopReason,
-    half_width: Option<f64>,
-    variance: Option<f64>,
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct CachedAnswer {
+    pub(crate) reliability: f64,
+    pub(crate) samples: usize,
+    pub(crate) estimator: &'static str,
+    pub(crate) stop_reason: StopReason,
+    pub(crate) half_width: Option<f64>,
+    pub(crate) variance: Option<f64>,
     /// Ranked `(node, reliability)` pairs for top-k answers; `None` for
     /// the single-value workloads.
-    targets: Option<Vec<(u32, f64)>>,
+    pub(crate) targets: Option<Vec<(u32, f64)>>,
 }
 
 /// The query raced an epoch swap; re-snapshot and retry.
@@ -393,6 +393,37 @@ impl QueryEngine {
     /// The last recorded disk load, as `(mmapped, micros)`.
     pub fn last_load(&self) -> Option<(bool, u64)> {
         *self.last_load.lock().expect("last_load poisoned")
+    }
+
+    /// Snapshot the result cache for persistence: the current epoch plus
+    /// every cached entry stamped with it. Entries from older epochs are
+    /// already unreachable (the epoch is part of the key) and are not
+    /// exported.
+    pub(crate) fn export_cache(&self) -> (u64, Vec<(QueryKey, CachedAnswer)>) {
+        let epoch = self.epoch();
+        let entries = self
+            .cache
+            .entries()
+            .into_iter()
+            .filter(|(k, _)| k.epoch == epoch)
+            .collect();
+        (epoch, entries)
+    }
+
+    /// Re-admit persisted entries, keeping only those stamped with the
+    /// engine's *current* epoch — a snapshot taken before an update the
+    /// engine has since replayed must not resurrect stale answers.
+    /// Returns how many entries were admitted.
+    pub(crate) fn import_cache(&self, entries: Vec<(QueryKey, CachedAnswer)>) -> usize {
+        let epoch = self.epoch();
+        let mut admitted = 0;
+        for (key, value) in entries {
+            if key.epoch == epoch {
+                self.cache.insert(key, value);
+                admitted += 1;
+            }
+        }
+        admitted
     }
 
     fn snapshot(&self) -> Snapshot {

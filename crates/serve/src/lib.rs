@@ -34,14 +34,20 @@
 pub mod cache;
 pub mod client;
 pub mod engine;
+pub mod persist;
 pub mod protocol;
+#[cfg(target_os = "linux")]
+mod reactor;
 pub mod server;
+pub mod tenants;
 
 pub use client::{Client, ClientError};
 pub use engine::{EngineConfig, QueryEngine};
+pub use persist::PersistConfig;
 pub use protocol::{
-    DistanceQueryRequest, DistanceQueryResponse, MetricsFormat, MetricsReport, QueryRequest,
-    QueryResponse, Request, Response, StatsResponse, TopKRequest, TopKResponse, TraceRow,
-    DEFAULT_PORT,
+    DistanceQueryRequest, DistanceQueryResponse, LoadResponse, MetricsFormat, MetricsReport,
+    QueryRequest, QueryResponse, Request, Response, StatsResponse, TopKRequest, TopKResponse,
+    TraceRow, UseResponse, DEFAULT_PORT,
 };
-pub use server::Server;
+pub use server::{Server, ServerMode, ServerOptions};
+pub use tenants::{TenantRegistry, DEFAULT_TENANT};

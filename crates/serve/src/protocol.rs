@@ -19,6 +19,9 @@
 //! {"cmd":"batch","queries":[{"s":0,"t":3},{"s":0,"t":5}]}
 //! {"cmd":"update","updates":[{"s":0,"t":3,"prob":0.25}]}
 //! {"cmd":"reload","path":"/data/graph.ug"}
+//! {"cmd":"load","name":"social","path":"/data/social.ug2","quota":64}
+//! {"cmd":"use","name":"social"}
+//! {"cmd":"unload","name":"social"}
 //! {"cmd":"stats"}
 //! {"cmd":"metrics"}
 //! {"cmd":"metrics","format":"prom"}
@@ -61,6 +64,31 @@
 //! score for `topk`), are cached under epoch-tagged keys covering the
 //! workload parameters (`k`/`d`) and the full budget, and go stale on
 //! `update`/`reload` exactly like s-t answers.
+//!
+//! ## Tenancy verbs
+//!
+//! The server holds a registry of named graphs ("tenants"), each a full
+//! engine with its own epoch, resident estimator indexes, result-cache
+//! shards, and admission quota. Every connection starts on the tenant
+//! named `default` (the graph from the `serve` command line) and can
+//! retarget itself:
+//!
+//! * `load` — read the graph file at `path` and make it resident as
+//!   tenant `name`. Optional `quota` caps that tenant's concurrent
+//!   queries (its `max_inflight`). Loading an already-resident name is
+//!   an error (`unload` it first). When warm-cache persistence is on,
+//!   `load` re-admits the tenant's validated on-disk snapshot, so the
+//!   `loaded` response reports `warm_entries`.
+//! * `use` — switch *this connection* to tenant `name`; other
+//!   connections are unaffected. Every subsequent query/update/stats/
+//!   metrics verb runs against that tenant.
+//! * `unload` — drop tenant `name` registry-wide (flushing a final warm
+//!   snapshot when persistence is on). In-flight queries finish; new
+//!   requests from connections still pointing at it fail until they
+//!   `use` a resident tenant.
+//!
+//! These three verbs exist at the *server* layer: dispatching them
+//! against a bare engine (no registry) answers an error.
 //!
 //! ## Observability verbs
 //!
@@ -107,6 +135,10 @@
 //! {"ok":true,"kind":"update","epoch":3,"edges_updated":1,
 //!  "migrated":[{"estimator":"ProbTree","mode":"incremental","touched":2}]}
 //! {"ok":true,"kind":"reload","epoch":4,"nodes":100,"edges":320}
+//! {"ok":true,"kind":"loaded","name":"social","nodes":100,"edges":320,"epoch":0,
+//!  "load_path":"mmap","load_micros":812,"warm_entries":17,"quota":64}
+//! {"ok":true,"kind":"using","name":"social","epoch":0,"nodes":100,"edges":320}
+//! {"ok":true,"kind":"unloaded","name":"social"}
 //! {"ok":true,"kind":"stats","queries":10,...}
 //! {"ok":true,"kind":"metrics","queries_total":10,"counters":[
 //!  {"name":"relcomp_queries_total","labels":{"workload":"st","outcome":"miss"},"value":7},...],
@@ -294,6 +326,28 @@ pub enum Request {
         /// Graph file to load (`.ugb` = binary, otherwise text).
         path: Option<String>,
     },
+    /// Make the graph file at `path` resident as tenant `name`
+    /// (server-layer verb; errors against a bare engine).
+    LoadGraph {
+        /// Tenant name to register the graph under.
+        name: String,
+        /// Graph file to load (any format `load`/`serve` accept).
+        path: String,
+        /// Per-tenant admission quota (`max_inflight`); `None` inherits
+        /// the server default.
+        quota: Option<usize>,
+    },
+    /// Drop tenant `name` registry-wide (server-layer verb).
+    UnloadGraph {
+        /// Tenant to unload.
+        name: String,
+    },
+    /// Point this connection's session at tenant `name` (server-layer
+    /// verb).
+    UseGraph {
+        /// Tenant to switch to.
+        name: String,
+    },
     /// Server / cache counters.
     Stats,
     /// Full metrics registry: counters, gauges, and latency histograms.
@@ -442,6 +496,41 @@ pub struct ReloadResponse {
     /// Nodes in the newly served graph.
     pub nodes: usize,
     /// Edges in the newly served graph.
+    pub edges: usize,
+}
+
+/// Successful answer to [`Request::LoadGraph`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoadResponse {
+    /// Tenant name the graph is now resident under.
+    pub name: String,
+    /// Nodes in the loaded graph.
+    pub nodes: usize,
+    /// Edges in the loaded graph.
+    pub edges: usize,
+    /// Epoch the tenant starts at (nonzero when a warm snapshot seeded
+    /// it).
+    pub epoch: u64,
+    /// How the file was loaded: `mmap` (zero-copy) or `heap`.
+    pub load_path: String,
+    /// Wall time of the disk load in microseconds.
+    pub load_micros: u64,
+    /// Cache entries re-admitted from the tenant's warm snapshot.
+    pub warm_entries: usize,
+    /// Effective admission quota (`max_inflight`) of the tenant.
+    pub quota: usize,
+}
+
+/// Successful answer to [`Request::UseGraph`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct UseResponse {
+    /// Tenant this connection now targets.
+    pub name: String,
+    /// The tenant's current epoch.
+    pub epoch: u64,
+    /// Nodes in the tenant's graph.
+    pub nodes: usize,
+    /// Edges in the tenant's graph.
     pub edges: usize,
 }
 
@@ -707,6 +796,15 @@ pub enum Response {
     Update(UpdateResponse),
     /// Answer to [`Request::Reload`].
     Reload(ReloadResponse),
+    /// Answer to [`Request::LoadGraph`].
+    Loaded(LoadResponse),
+    /// Answer to [`Request::UnloadGraph`].
+    Unloaded {
+        /// The tenant that was dropped.
+        name: String,
+    },
+    /// Answer to [`Request::UseGraph`].
+    Using(UseResponse),
     /// Answer to [`Request::Stats`].
     Stats(StatsResponse),
     /// Answer to [`Request::Metrics`] with [`MetricsFormat::Json`].
@@ -952,6 +1050,24 @@ impl Serialize for Request {
                 }
                 obj(fields)
             }
+            Request::LoadGraph { name, path, quota } => {
+                let mut fields = vec![
+                    ("cmd", "load".to_value()),
+                    ("name", name.to_value()),
+                    ("path", path.to_value()),
+                ];
+                if let Some(q) = quota {
+                    fields.push(("quota", q.to_value()));
+                }
+                obj(fields)
+            }
+            Request::UnloadGraph { name } => obj(vec![
+                ("cmd", "unload".to_value()),
+                ("name", name.to_value()),
+            ]),
+            Request::UseGraph { name } => {
+                obj(vec![("cmd", "use".to_value()), ("name", name.to_value())])
+            }
             Request::Stats => obj(vec![("cmd", "stats".to_value())]),
             Request::Metrics { format } => {
                 let mut fields = vec![("cmd", "metrics".to_value())];
@@ -987,6 +1103,17 @@ impl Deserialize for Request {
             "update" => Ok(Request::Update(de(required(fields, "updates", "update")?)?)),
             "reload" => Ok(Request::Reload {
                 path: lookup(fields, "path").map(de).transpose()?,
+            }),
+            "load" => Ok(Request::LoadGraph {
+                name: de(required(fields, "name", "load")?)?,
+                path: de(required(fields, "path", "load")?)?,
+                quota: lookup(fields, "quota").map(de).transpose()?,
+            }),
+            "unload" => Ok(Request::UnloadGraph {
+                name: de(required(fields, "name", "unload")?)?,
+            }),
+            "use" => Ok(Request::UseGraph {
+                name: de(required(fields, "name", "use")?)?,
             }),
             "stats" => Ok(Request::Stats),
             "metrics" => {
@@ -1237,6 +1364,68 @@ impl Deserialize for ReloadResponse {
             epoch: de(required(fields, "epoch", "reload response")?)?,
             nodes: de(required(fields, "nodes", "reload response")?)?,
             edges: de(required(fields, "edges", "reload response")?)?,
+        })
+    }
+}
+
+impl Serialize for LoadResponse {
+    fn to_value(&self) -> Value {
+        obj(vec![
+            ("ok", true.to_value()),
+            ("kind", "loaded".to_value()),
+            ("name", self.name.to_value()),
+            ("nodes", self.nodes.to_value()),
+            ("edges", self.edges.to_value()),
+            ("epoch", self.epoch.to_value()),
+            ("load_path", self.load_path.to_value()),
+            ("load_micros", self.load_micros.to_value()),
+            ("warm_entries", self.warm_entries.to_value()),
+            ("quota", self.quota.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for LoadResponse {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let fields = value
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", "loaded response", value))?;
+        Ok(LoadResponse {
+            name: de(required(fields, "name", "loaded response")?)?,
+            nodes: de(required(fields, "nodes", "loaded response")?)?,
+            edges: de(required(fields, "edges", "loaded response")?)?,
+            epoch: de(required(fields, "epoch", "loaded response")?)?,
+            load_path: de(required(fields, "load_path", "loaded response")?)?,
+            load_micros: de(required(fields, "load_micros", "loaded response")?)?,
+            warm_entries: de(required(fields, "warm_entries", "loaded response")?)?,
+            quota: de(required(fields, "quota", "loaded response")?)?,
+        })
+    }
+}
+
+impl Serialize for UseResponse {
+    fn to_value(&self) -> Value {
+        obj(vec![
+            ("ok", true.to_value()),
+            ("kind", "using".to_value()),
+            ("name", self.name.to_value()),
+            ("epoch", self.epoch.to_value()),
+            ("nodes", self.nodes.to_value()),
+            ("edges", self.edges.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for UseResponse {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let fields = value
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", "using response", value))?;
+        Ok(UseResponse {
+            name: de(required(fields, "name", "using response")?)?,
+            epoch: de(required(fields, "epoch", "using response")?)?,
+            nodes: de(required(fields, "nodes", "using response")?)?,
+            edges: de(required(fields, "edges", "using response")?)?,
         })
     }
 }
@@ -1496,6 +1685,13 @@ impl Serialize for Response {
             }
             Response::Update(u) => u.to_value(),
             Response::Reload(r) => r.to_value(),
+            Response::Loaded(l) => l.to_value(),
+            Response::Unloaded { name } => obj(vec![
+                ("ok", true.to_value()),
+                ("kind", "unloaded".to_value()),
+                ("name", name.to_value()),
+            ]),
+            Response::Using(u) => u.to_value(),
             Response::Stats(s) => s.to_value(),
             Response::Metrics(m) => m.to_value(),
             Response::MetricsText(text) => obj(vec![
@@ -1551,6 +1747,11 @@ impl Deserialize for Response {
             }
             "update" => Ok(Response::Update(UpdateResponse::from_value(value)?)),
             "reload" => Ok(Response::Reload(ReloadResponse::from_value(value)?)),
+            "loaded" => Ok(Response::Loaded(LoadResponse::from_value(value)?)),
+            "unloaded" => Ok(Response::Unloaded {
+                name: de(required(fields, "name", "unloaded response")?)?,
+            }),
+            "using" => Ok(Response::Using(UseResponse::from_value(value)?)),
             "stats" => Ok(Response::Stats(StatsResponse::from_value(value)?)),
             "metrics" => Ok(Response::Metrics(MetricsReport::from_value(value)?)),
             "metrics_text" => Ok(Response::MetricsText(de(required(
@@ -1623,6 +1824,63 @@ mod tests {
         round_trip(&Request::Reload {
             path: Some("/tmp/graph.ugb".into()),
         });
+    }
+
+    #[test]
+    fn tenancy_requests_round_trip() {
+        round_trip(&Request::LoadGraph {
+            name: "social".into(),
+            path: "/data/social.ug2".into(),
+            quota: Some(64),
+        });
+        round_trip(&Request::LoadGraph {
+            name: "g2".into(),
+            path: "/tmp/g2.ug".into(),
+            quota: None,
+        });
+        round_trip(&Request::UnloadGraph {
+            name: "social".into(),
+        });
+        round_trip(&Request::UseGraph {
+            name: "social".into(),
+        });
+        // Raw wire forms parse; `name` is required everywhere.
+        let req: Request =
+            serde_json::from_str(r#"{"cmd":"load","name":"g","path":"/tmp/g.ug2"}"#).unwrap();
+        assert_eq!(
+            req,
+            Request::LoadGraph {
+                name: "g".into(),
+                path: "/tmp/g.ug2".into(),
+                quota: None,
+            }
+        );
+        assert!(serde_json::from_str::<Request>(r#"{"cmd":"use"}"#).is_err());
+        assert!(serde_json::from_str::<Request>(r#"{"cmd":"unload"}"#).is_err());
+        assert!(serde_json::from_str::<Request>(r#"{"cmd":"load","name":"g"}"#).is_err());
+    }
+
+    #[test]
+    fn tenancy_responses_round_trip() {
+        round_trip(&Response::Loaded(LoadResponse {
+            name: "social".into(),
+            nodes: 100,
+            edges: 320,
+            epoch: 3,
+            load_path: "mmap".into(),
+            load_micros: 812,
+            warm_entries: 17,
+            quota: 64,
+        }));
+        round_trip(&Response::Unloaded {
+            name: "social".into(),
+        });
+        round_trip(&Response::Using(UseResponse {
+            name: "social".into(),
+            epoch: 3,
+            nodes: 100,
+            edges: 320,
+        }));
     }
 
     #[test]

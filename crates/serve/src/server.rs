@@ -1,35 +1,171 @@
 //! Line-delimited JSON server over `std::net::TcpListener`.
 //!
-//! One OS thread per connection (connections are long-lived query
-//! sessions, admission control bounds the *computation* concurrency in
-//! the engine, so a thread-per-connection model is plenty for the closed
-//! workloads this repo serves). Shutdown is cooperative: a `shutdown`
-//! request flips a flag and pokes the listener so the accept loop
-//! observes it.
+//! Two connection-handling models behind one API:
+//!
+//! - **Reactor** (Linux, the default): a single event-loop thread drives
+//!   every socket through raw `epoll` (`crate::reactor`), re-assembles
+//!   request lines from nonblocking reads, and hands them to a small
+//!   worker pool. Thousands of idle connections cost one thread.
+//! - **Threaded** (fallback everywhere, opt-in via
+//!   [`ServerMode::Threaded`]): one OS thread per connection, the
+//!   original model. Query answers are bit-identical across both.
+//!
+//! Every connection is a session against a [`TenantRegistry`] of named
+//! resident graphs: it starts pointed at the `default` tenant and can
+//! retarget with the `use` verb; `load`/`unload` manage the registry
+//! server-wide. Shutdown is cooperative and level-triggered: a
+//! `shutdown` request (or [`ShutdownHandle::shutdown`]) flips a flag
+//! that both serve loops re-check on every iteration, with an eventfd
+//! wakeup (reactor) or a nonblocking-listener downgrade plus poke
+//! connection (threaded) so the check happens promptly even when no
+//! traffic arrives.
 
 use crate::engine::QueryEngine;
-use crate::protocol::{MetricsFormat, MetricsReport, ReloadResponse, Request, Response, TraceRow};
-use relcomp_obs::{render_prometheus, Span, Stage, TraceBuilder};
+use crate::persist::{self, PersistConfig};
+use crate::protocol::{
+    MetricsFormat, MetricsReport, ReloadResponse, Request, Response, TraceRow, UseResponse,
+};
+use crate::tenants::TenantRegistry;
+use relcomp_obs::{render_prometheus, MetricsSnapshot, Span, Stage, TraceBuilder};
 use relcomp_ugraph::io::load_graph_auto;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
-/// A running (not yet accepting) query server.
+/// How connections are multiplexed onto threads.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ServerMode {
+    /// Reactor on Linux, threaded elsewhere.
+    #[default]
+    Auto,
+    /// The epoll event loop. Falls back to threaded off Linux (or if the
+    /// reactor's wakeup fd cannot be created).
+    Reactor,
+    /// One OS thread per connection.
+    Threaded,
+}
+
+impl ServerMode {
+    /// Parse a CLI-style mode name.
+    pub fn parse(name: &str) -> Result<ServerMode, String> {
+        match name {
+            "auto" => Ok(ServerMode::Auto),
+            "reactor" | "epoll" => Ok(ServerMode::Reactor),
+            "threaded" | "threads" => Ok(ServerMode::Threaded),
+            other => Err(format!(
+                "unknown server mode `{other}` (expected auto|reactor|threaded)"
+            )),
+        }
+    }
+}
+
+/// Everything configurable about a server beyond its listen address.
+#[derive(Clone, Debug, Default)]
+pub struct ServerOptions {
+    /// Connection-handling model (default: [`ServerMode::Auto`]).
+    pub mode: ServerMode,
+    /// Reactor worker threads (0 = derive from available parallelism).
+    /// Ignored in threaded mode.
+    pub workers: usize,
+    /// Warm-cache persistence: when set, a background thread flushes
+    /// every tenant's result cache to disk and `run` does a final flush
+    /// on the way out.
+    pub persist: Option<PersistConfig>,
+}
+
+/// Server-scoped gauges that no single engine can own.
+#[derive(Default)]
+pub(crate) struct ServerGauges {
+    connections_open: AtomicU64,
+}
+
+impl ServerGauges {
+    pub(crate) fn note_opened(&self) {
+        self.connections_open.fetch_add(1, Ordering::AcqRel);
+    }
+
+    pub(crate) fn note_closed(&self, n: u64) {
+        self.connections_open.fetch_sub(n, Ordering::AcqRel);
+    }
+
+    pub(crate) fn open(&self) -> u64 {
+        self.connections_open.load(Ordering::Acquire)
+    }
+}
+
+/// Shared server state every connection handler needs: the tenant
+/// registry plus server-wide gauges.
+#[derive(Clone)]
+pub(crate) struct ServeCtx {
+    pub(crate) tenants: Arc<TenantRegistry>,
+    pub(crate) gauges: Arc<ServerGauges>,
+}
+
+impl ServeCtx {
+    pub(crate) fn gauges(&self) -> &ServerGauges {
+        &self.gauges
+    }
+}
+
+/// Per-connection state: which tenant this session is pointed at.
+pub(crate) struct Session {
+    tenant: Mutex<String>,
+}
+
+impl Session {
+    pub(crate) fn new() -> Session {
+        Session {
+            tenant: Mutex::new(crate::tenants::DEFAULT_TENANT.to_owned()),
+        }
+    }
+
+    fn current(&self) -> String {
+        self.tenant.lock().expect("session poisoned").clone()
+    }
+
+    fn set(&self, name: &str) {
+        *self.tenant.lock().expect("session poisoned") = name.to_owned();
+    }
+}
+
+/// A bound (not yet accepting) query server.
 pub struct Server {
-    listener: TcpListener,
-    engine: Arc<QueryEngine>,
+    listener: Arc<TcpListener>,
+    tenants: Arc<TenantRegistry>,
+    options: ServerOptions,
     shutdown: Arc<AtomicBool>,
+    gauges: Arc<ServerGauges>,
+    #[cfg(target_os = "linux")]
+    waker: Option<Arc<crate::reactor::Waker>>,
 }
 
 impl Server {
-    /// Bind to `addr` (use port 0 for an ephemeral port in tests).
+    /// Bind to `addr` (use port 0 for an ephemeral port in tests) serving
+    /// one engine as the `default` tenant with default options.
     pub fn bind(addr: impl ToSocketAddrs, engine: Arc<QueryEngine>) -> std::io::Result<Server> {
+        Server::bind_with(
+            addr,
+            Arc::new(TenantRegistry::single(engine)),
+            ServerOptions::default(),
+        )
+    }
+
+    /// Bind to `addr` serving a full tenant registry.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        tenants: Arc<TenantRegistry>,
+        options: ServerOptions,
+    ) -> std::io::Result<Server> {
         Ok(Server {
-            listener: TcpListener::bind(addr)?,
-            engine,
+            listener: Arc::new(TcpListener::bind(addr)?),
+            tenants,
+            options,
             shutdown: Arc::new(AtomicBool::new(false)),
+            gauges: Arc::new(ServerGauges::default()),
+            #[cfg(target_os = "linux")]
+            waker: crate::reactor::Waker::new().ok().map(Arc::new),
         })
     }
 
@@ -38,39 +174,117 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// A handle that makes the accept loop exit: flips the shutdown flag
-    /// and unblocks the listener. Usable from other threads.
+    /// The tenant registry this server serves.
+    pub fn tenants(&self) -> &Arc<TenantRegistry> {
+        &self.tenants
+    }
+
+    /// A handle that makes the serve loop exit. Usable from other threads.
     pub fn shutdown_handle(&self) -> ShutdownHandle {
         ShutdownHandle {
             flag: Arc::clone(&self.shutdown),
             addr: self.listener.local_addr().ok(),
+            listener: Some(Arc::clone(&self.listener)),
+            #[cfg(target_os = "linux")]
+            waker: self.waker.clone(),
         }
     }
 
-    /// Accept connections until shutdown, spawning one handler thread per
-    /// connection.
+    /// Serve until shutdown. Starts the warm-cache flusher when
+    /// persistence is configured and does a final flush on the way out,
+    /// so a restart comes back warm.
     pub fn run(self) -> std::io::Result<()> {
-        let addr = self.listener.local_addr()?;
-        for conn in self.listener.incoming() {
+        let ctx = ServeCtx {
+            tenants: Arc::clone(&self.tenants),
+            gauges: Arc::clone(&self.gauges),
+        };
+        let flusher = self.options.persist.clone().map(|cfg| {
+            let stop = Arc::new(AtomicBool::new(false));
+            let handle =
+                persist::spawn_flusher(Arc::clone(&self.tenants), cfg.clone(), Arc::clone(&stop));
+            (stop, handle, cfg)
+        });
+        let result = self.serve(ctx);
+        if let Some((stop, handle, cfg)) = flusher {
+            stop.store(true, Ordering::Release);
+            let _ = handle.join();
+            persist::flush_all(&self.tenants, &cfg.dir);
+        }
+        result
+    }
+
+    fn serve(&self, ctx: ServeCtx) -> std::io::Result<()> {
+        match self.options.mode {
+            ServerMode::Threaded => self.run_threaded(ctx),
+            ServerMode::Auto | ServerMode::Reactor => {
+                #[cfg(target_os = "linux")]
+                {
+                    if let Some(waker) = &self.waker {
+                        return crate::reactor::run(
+                            Arc::clone(&self.listener),
+                            ctx,
+                            Arc::clone(&self.shutdown),
+                            Arc::clone(waker),
+                            self.resolved_workers(),
+                        );
+                    }
+                    self.run_threaded(ctx)
+                }
+                #[cfg(not(target_os = "linux"))]
+                {
+                    self.run_threaded(ctx)
+                }
+            }
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    fn resolved_workers(&self) -> usize {
+        if self.options.workers > 0 {
+            self.options.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .clamp(2, 8)
+        }
+    }
+
+    /// Thread-per-connection accept loop. Level-triggered against the
+    /// shutdown flag: the flag is re-checked around every accept *and*
+    /// whenever accept returns `WouldBlock` (a [`ShutdownHandle`] flips
+    /// the listener nonblocking on shutdown), so a poke connection that
+    /// gets lost in a full backlog under accept pressure cannot leave
+    /// the loop blocked with the flag already set.
+    fn run_threaded(&self, ctx: ServeCtx) -> std::io::Result<()> {
+        loop {
             if self.shutdown.load(Ordering::Acquire) {
                 break;
             }
-            let stream = match conn {
-                Ok(s) => s,
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if self.shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let ctx = ctx.clone();
+                    let shutdown = self.shutdown_handle();
+                    std::thread::spawn(move || handle_connection(stream, ctx, shutdown));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if self.shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 // Per-connection failures must not kill the server.
                 Err(_) => continue,
-            };
-            let engine = Arc::clone(&self.engine);
-            let shutdown = ShutdownHandle {
-                flag: Arc::clone(&self.shutdown),
-                addr: Some(addr),
-            };
-            std::thread::spawn(move || handle_connection(stream, engine, shutdown));
+            }
         }
         Ok(())
     }
 
-    /// Start the accept loop on a background thread; returns the bound
+    /// Start the serve loop on a background thread; returns the bound
     /// address and the thread handle. Convenience for tests and benches.
     pub fn spawn(
         self,
@@ -81,19 +295,32 @@ impl Server {
     }
 }
 
-/// Remote control for a running server's accept loop.
+/// Remote control for a running server's serve loop.
 #[derive(Clone)]
 pub struct ShutdownHandle {
     flag: Arc<AtomicBool>,
     addr: Option<SocketAddr>,
+    listener: Option<Arc<TcpListener>>,
+    #[cfg(target_os = "linux")]
+    waker: Option<Arc<crate::reactor::Waker>>,
 }
 
 impl ShutdownHandle {
-    /// Request shutdown and unblock the accept loop.
+    /// Request shutdown and unblock the serve loop.
     pub fn shutdown(&self) {
         self.flag.store(true, Ordering::Release);
-        // The accept loop only re-checks the flag after an accept; poke it
-        // with a throwaway connection so it wakes immediately.
+        // Reactor mode: the eventfd interrupts epoll_wait directly.
+        #[cfg(target_os = "linux")]
+        if let Some(waker) = &self.waker {
+            waker.wake();
+        }
+        // Threaded mode: downgrade the listener to nonblocking so the
+        // accept loop can never block again with the flag set (the poke
+        // below can be dropped by a full backlog under accept pressure),
+        // then poke it so an idle accept wakes immediately.
+        if let Some(listener) = &self.listener {
+            let _ = listener.set_nonblocking(true);
+        }
         if let Some(addr) = self.addr {
             let _ = TcpStream::connect(addr);
         }
@@ -105,9 +332,13 @@ impl ShutdownHandle {
     }
 }
 
-/// Serve one connection: read request lines, write response lines.
-fn handle_connection(stream: TcpStream, engine: Arc<QueryEngine>, shutdown: ShutdownHandle) {
+/// Serve one connection on its own thread (threaded mode): read request
+/// lines, write response lines.
+fn handle_connection(stream: TcpStream, ctx: ServeCtx, shutdown: ShutdownHandle) {
+    ctx.gauges.note_opened();
+    let session = Session::new();
     let Ok(write_half) = stream.try_clone() else {
+        ctx.gauges.note_closed(1);
         return;
     };
     let mut writer = std::io::BufWriter::new(write_half);
@@ -117,7 +348,7 @@ fn handle_connection(stream: TcpStream, engine: Arc<QueryEngine>, shutdown: Shut
         if line.trim().is_empty() {
             continue;
         }
-        let (text, is_bye) = dispatch_line(&line, &engine);
+        let (text, is_bye) = dispatch_session(&line, &ctx, &session);
         if write_line(&mut writer, &text).is_err() {
             break;
         }
@@ -126,6 +357,7 @@ fn handle_connection(stream: TcpStream, engine: Arc<QueryEngine>, shutdown: Shut
             break;
         }
     }
+    ctx.gauges.note_closed(1);
 }
 
 fn write_line<W: Write>(writer: &mut W, text: &str) -> std::io::Result<()> {
@@ -150,11 +382,14 @@ pub fn dispatch(line: &str, engine: &QueryEngine) -> Response {
     }
 }
 
-/// Serve one request line end to end — parse, execute, serialize — and
-/// return the serialized response plus whether it acknowledged a shutdown.
-/// Query workloads (`query` / `topk` / `dquery`) record a stage trace that
-/// additionally covers `parse` and `serialize`, the two wire stages only
-/// this layer can see.
+/// Serve one request line end to end against a single engine — parse,
+/// execute, serialize — and return the serialized response plus whether
+/// it acknowledged a shutdown. Query workloads (`query` / `topk` /
+/// `dquery`) record a stage trace that additionally covers `parse` and
+/// `serialize`, the two wire stages only this layer can see.
+///
+/// Tenancy verbs error here; connection handlers route through
+/// `dispatch_session`, which resolves them against the registry.
 pub fn dispatch_line(line: &str, engine: &QueryEngine) -> (String, bool) {
     let mut tb = TraceBuilder::new();
     let parsed: Result<Request, _> = {
@@ -206,6 +441,126 @@ pub fn dispatch_line(line: &str, engine: &QueryEngine) -> (String, bool) {
     (text, is_bye)
 }
 
+/// Serve one request line for a connection session: tenancy verbs and
+/// `metrics` resolve against the registry, everything else against the
+/// session's current tenant. This is the dispatch path both connection
+/// models use, so answers are identical across reactor and threaded.
+pub(crate) fn dispatch_session(line: &str, ctx: &ServeCtx, session: &Session) -> (String, bool) {
+    let mut tb = TraceBuilder::new();
+    let parsed: Result<Request, _> = {
+        let _span = Span::enter(&mut tb, Stage::Parse);
+        serde_json::from_str(line)
+    };
+    let request = match parsed {
+        Ok(r) => r,
+        Err(e) => {
+            return (
+                response_text(&Response::Error(format!("bad request: {e}"))),
+                false,
+            )
+        }
+    };
+    // Query workloads remember their engine so the trace (including the
+    // serialize span below) lands in the tenant that ran the query.
+    let mut trace_engine: Option<Arc<QueryEngine>> = None;
+    let response = match request {
+        Request::LoadGraph { name, path, quota } => match ctx.tenants.load(&name, &path, quota) {
+            Ok(resp) => Response::Loaded(resp),
+            Err(e) => Response::Error(e),
+        },
+        Request::UnloadGraph { name } => match ctx.tenants.unload(&name) {
+            Ok(()) => Response::Unloaded { name },
+            Err(e) => Response::Error(e),
+        },
+        Request::UseGraph { name } => match ctx.tenants.get(&name) {
+            Some(engine) => {
+                session.set(&name);
+                Response::Using(UseResponse {
+                    epoch: engine.epoch(),
+                    nodes: engine.graph().num_nodes(),
+                    edges: engine.graph().num_edges(),
+                    name,
+                })
+            }
+            None => Response::Error(format!("graph `{name}` is not loaded")),
+        },
+        // Metrics aggregate over every tenant (labelled per graph) plus
+        // the server-scoped gauges no single engine can see.
+        Request::Metrics { format } => {
+            let snap = server_metrics(ctx);
+            match format {
+                MetricsFormat::Json => Response::Metrics(MetricsReport::from(&snap)),
+                MetricsFormat::Prom => Response::MetricsText(render_prometheus(&snap)),
+            }
+        }
+        other => {
+            let tenant = session.current();
+            match ctx.tenants.get(&tenant) {
+                None => Response::Error(format!(
+                    "graph `{tenant}` is not loaded (`load` it again or `use` another)"
+                )),
+                Some(engine) => match other {
+                    Request::Query(q) => {
+                        trace_engine = Some(Arc::clone(&engine));
+                        match engine.execute_traced(&q, &mut tb) {
+                            Ok(resp) => Response::Query(resp),
+                            Err(e) => Response::Error(e),
+                        }
+                    }
+                    Request::TopK(q) => {
+                        trace_engine = Some(Arc::clone(&engine));
+                        match engine.execute_topk_traced(&q, &mut tb) {
+                            Ok(resp) => Response::TopK(resp),
+                            Err(e) => Response::Error(e),
+                        }
+                    }
+                    Request::DQuery(q) => {
+                        trace_engine = Some(Arc::clone(&engine));
+                        match engine.execute_dquery_traced(&q, &mut tb) {
+                            Ok(resp) => Response::DQuery(resp),
+                            Err(e) => Response::Error(e),
+                        }
+                    }
+                    o => execute_request(o, &engine),
+                },
+            }
+        }
+    };
+    let is_bye = matches!(response, Response::Bye);
+    let text = {
+        let _span = Span::enter(&mut tb, Stage::Serialize);
+        response_text(&response)
+    };
+    if let Some(engine) = trace_engine {
+        engine.record_trace(tb);
+    }
+    (text, is_bye)
+}
+
+/// Aggregate metrics across every tenant, labelling each sample with its
+/// graph name, plus server-scoped reactor gauges.
+fn server_metrics(ctx: &ServeCtx) -> MetricsSnapshot {
+    let mut merged = MetricsSnapshot::default();
+    for (name, engine) in ctx.tenants.snapshot() {
+        let snap = engine.metrics();
+        for mut c in snap.counters {
+            c.labels.insert(0, ("graph", name.clone()));
+            merged.counters.push(c);
+        }
+        for mut g in snap.gauges {
+            g.labels.insert(0, ("graph", name.clone()));
+            merged.gauges.push(g);
+        }
+        for mut h in snap.histograms {
+            h.labels.insert(0, ("graph", name.clone()));
+            merged.histograms.push(h);
+        }
+    }
+    merged.gauge("relcomp_tenants", Vec::new(), ctx.tenants.len() as u64);
+    merged.gauge("relcomp_connections_open", Vec::new(), ctx.gauges.open());
+    merged
+}
+
 /// Run one parsed request against the engine (query workloads take their
 /// untraced paths; [`dispatch_line`] routes them through the traced ones).
 fn execute_request(request: Request, engine: &QueryEngine) -> Response {
@@ -247,6 +602,14 @@ fn execute_request(request: Request, engine: &QueryEngine) -> Response {
                 .map(TraceRow::from)
                 .collect(),
         ),
+        // Tenancy verbs only make sense against a registry; a bare
+        // engine dispatch (tests, embedding) has none.
+        Request::LoadGraph { .. } | Request::UnloadGraph { .. } | Request::UseGraph { .. } => {
+            Response::Error(
+                "tenancy verbs (load/unload/use) need a server connection, not a bare engine"
+                    .to_owned(),
+            )
+        }
         Request::Shutdown => Response::Bye,
     }
 }
@@ -274,7 +637,7 @@ fn reload_from(path: Option<String>, engine: &QueryEngine) -> Result<ReloadRespo
 mod tests {
     use super::*;
     use crate::engine::EngineConfig;
-    use relcomp_ugraph::{GraphBuilder, NodeId};
+    use relcomp_ugraph::{write_graph_v2, GraphBuilder, NodeId};
 
     fn engine() -> Arc<QueryEngine> {
         let mut b = GraphBuilder::new(3);
@@ -287,6 +650,13 @@ mod tests {
                 ..Default::default()
             },
         ))
+    }
+
+    fn ctx() -> ServeCtx {
+        ServeCtx {
+            tenants: Arc::new(TenantRegistry::single(engine())),
+            gauges: Arc::new(ServerGauges::default()),
+        }
     }
 
     #[test]
@@ -353,6 +723,20 @@ mod tests {
             dispatch(r#"{"cmd":"stats"}"#, &e),
             Response::Stats(_)
         ));
+        // Tenancy verbs only work through a session dispatch; a bare
+        // engine answers with a pointer, not a panic.
+        assert!(matches!(
+            dispatch(r#"{"cmd":"use","name":"other"}"#, &e),
+            Response::Error(_)
+        ));
+        assert!(matches!(
+            dispatch(r#"{"cmd":"load","name":"g","path":"/tmp/x.ug2"}"#, &e),
+            Response::Error(_)
+        ));
+        assert!(matches!(
+            dispatch(r#"{"cmd":"unload","name":"g"}"#, &e),
+            Response::Error(_)
+        ));
         assert_eq!(dispatch(r#"{"cmd":"shutdown"}"#, &e), Response::Bye);
         assert!(matches!(dispatch("garbage", &e), Response::Error(_)));
         assert!(matches!(
@@ -415,6 +799,85 @@ mod tests {
         assert!(bye && text.contains(r#""kind":"bye""#));
         let (text, bye) = dispatch_line("garbage", &e);
         assert!(!bye && text.contains("bad request"));
+    }
+
+    #[test]
+    fn session_dispatch_answers_like_engine_dispatch() {
+        let c = ctx();
+        let s = Session::new();
+        let q = r#"{"cmd":"query","s":0,"t":2,"samples":500,"seed":1}"#;
+        let (session_text, _) = dispatch_session(q, &c, &s);
+        let (engine_text, _) = dispatch_line(q, &engine());
+        // Bit-identical reliability regardless of dispatch path: the
+        // session layer only routes, it never touches the math.
+        let parse = |t: &str| -> f64 {
+            match serde_json::from_str::<Response>(t).unwrap() {
+                Response::Query(q) => q.reliability,
+                other => panic!("expected query answer, got {other:?}"),
+            }
+        };
+        assert_eq!(
+            parse(&session_text).to_bits(),
+            parse(&engine_text).to_bits()
+        );
+    }
+
+    #[test]
+    fn session_dispatch_runs_the_tenant_lifecycle() {
+        let dir = std::env::temp_dir().join("relcomp_serve_session_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("alt.ug2");
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(1), 0.5).unwrap();
+        write_graph_v2(&b.build(), &path).unwrap();
+
+        let c = ctx();
+        let s = Session::new();
+
+        // Load a second tenant, point the session at it, query it.
+        let (text, _) = dispatch_session(
+            &format!(
+                r#"{{"cmd":"load","name":"alt","path":"{}"}}"#,
+                path.display()
+            ),
+            &c,
+            &s,
+        );
+        assert!(text.contains(r#""kind":"loaded""#), "{text}");
+        assert_eq!(c.tenants.len(), 2);
+        let (text, _) = dispatch_session(r#"{"cmd":"use","name":"alt"}"#, &c, &s);
+        assert!(text.contains(r#""kind":"using""#), "{text}");
+        let (text, _) = dispatch_session(
+            r#"{"cmd":"query","s":0,"t":1,"samples":400,"seed":7}"#,
+            &c,
+            &s,
+        );
+        assert!(text.contains(r#""kind":"query""#), "{text}");
+
+        // Metrics are labelled per graph and carry the server gauges.
+        // (The prom text arrives JSON-escaped inside the response line.)
+        let (text, _) = dispatch_session(r#"{"cmd":"metrics","format":"prom"}"#, &c, &s);
+        assert!(text.contains(r#"graph=\"alt\""#), "{text}");
+        assert!(text.contains(r#"graph=\"default\""#), "{text}");
+        assert!(text.contains("relcomp_tenants 2"), "{text}");
+        assert!(text.contains("relcomp_connections_open"), "{text}");
+
+        // Unload the tenant the session points at: later queries error
+        // with a recovery hint instead of panicking or misrouting.
+        let (text, _) = dispatch_session(r#"{"cmd":"unload","name":"alt"}"#, &c, &s);
+        assert!(text.contains(r#""kind":"unloaded""#), "{text}");
+        let (text, _) = dispatch_session(r#"{"cmd":"query","s":0,"t":1}"#, &c, &s);
+        assert!(text.contains("not loaded"), "{text}");
+        // `use` back to the default tenant recovers the session.
+        let (text, _) = dispatch_session(r#"{"cmd":"use","name":"default"}"#, &c, &s);
+        assert!(text.contains(r#""kind":"using""#), "{text}");
+
+        // Unknown tenants can't be used or unloaded.
+        let (text, _) = dispatch_session(r#"{"cmd":"use","name":"ghost"}"#, &c, &s);
+        assert!(text.contains("not loaded"), "{text}");
+        let (text, _) = dispatch_session(r#"{"cmd":"unload","name":"ghost"}"#, &c, &s);
+        assert!(text.contains("not loaded"), "{text}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -1,0 +1,340 @@
+//! Multi-graph tenancy: a registry of named, independently resident
+//! [`QueryEngine`]s.
+//!
+//! Each tenant is a full engine — its own graph lineage and epoch, its
+//! own resident estimator indexes, its own cache shard set, its own
+//! admission quota — so tenants cannot observe each other's answers or
+//! starve each other's caches. The wire verbs `load`/`unload`/`use`
+//! map 1:1 onto [`TenantRegistry::load`], [`TenantRegistry::unload`],
+//! and [`TenantRegistry::get`] plus a per-connection current-tenant
+//! name held by the session.
+//!
+//! When warm-cache persistence is configured, `load` first tries to
+//! re-admit the tenant's on-disk snapshot (fingerprint- and
+//! epoch-checked, see [`crate::persist`]) and `unload` flushes one last
+//! snapshot so the answers survive the tenancy gap.
+
+use crate::engine::{EngineConfig, QueryEngine};
+use crate::persist::{self, PersistConfig};
+use crate::protocol::LoadResponse;
+use relcomp_ugraph::io::load_graph_auto;
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+/// Name of the tenant every connection starts on (the graph given on
+/// the `serve` command line).
+pub const DEFAULT_TENANT: &str = "default";
+
+/// A registry of named resident graphs.
+pub struct TenantRegistry {
+    tenants: RwLock<HashMap<String, Arc<QueryEngine>>>,
+    /// Config newly loaded tenants inherit (quota may override
+    /// `max_inflight` per tenant).
+    template: EngineConfig,
+    persist: Option<PersistConfig>,
+}
+
+/// Tenant names double as snapshot file names and metric label values,
+/// so keep them to a conservative charset.
+fn validate_name(name: &str) -> Result<(), String> {
+    if name.is_empty() || name.len() > 64 {
+        return Err("tenant name must be 1..=64 characters".into());
+    }
+    if !name
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.'))
+    {
+        return Err(format!(
+            "tenant name `{name}` may only contain ASCII letters, digits, `_`, `-`, `.`"
+        ));
+    }
+    Ok(())
+}
+
+impl TenantRegistry {
+    /// An empty registry; tenants loaded later inherit `template`.
+    pub fn new(template: EngineConfig, persist: Option<PersistConfig>) -> Self {
+        TenantRegistry {
+            tenants: RwLock::new(HashMap::new()),
+            template,
+            persist,
+        }
+    }
+
+    /// Wrap one pre-built engine as the [`DEFAULT_TENANT`] — the
+    /// compatibility path for `Server::bind(addr, engine)` callers.
+    pub fn single(engine: Arc<QueryEngine>) -> Self {
+        let registry = TenantRegistry::new(*engine.config(), None);
+        registry
+            .insert(DEFAULT_TENANT, engine)
+            .expect("fresh registry accepts the default tenant");
+        registry
+    }
+
+    /// Register an already-built engine under `name`. Errors if the
+    /// name is taken or invalid.
+    pub fn insert(&self, name: &str, engine: Arc<QueryEngine>) -> Result<(), String> {
+        validate_name(name)?;
+        let mut tenants = self.tenants.write().expect("tenant registry poisoned");
+        if tenants.contains_key(name) {
+            return Err(format!(
+                "graph `{name}` is already loaded (unload it first)"
+            ));
+        }
+        tenants.insert(name.to_string(), engine);
+        Ok(())
+    }
+
+    /// Look up a tenant by name.
+    pub fn get(&self, name: &str) -> Option<Arc<QueryEngine>> {
+        self.tenants
+            .read()
+            .expect("tenant registry poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    /// Number of resident tenants.
+    pub fn len(&self) -> usize {
+        self.tenants.read().expect("tenant registry poisoned").len()
+    }
+
+    /// Whether no tenant is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Resident tenant names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .tenants
+            .read()
+            .expect("tenant registry poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// A point-in-time `(name, engine)` listing, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, Arc<QueryEngine>)> {
+        let mut all: Vec<(String, Arc<QueryEngine>)> = self
+            .tenants
+            .read()
+            .expect("tenant registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect();
+        all.sort_by(|a, b| a.0.cmp(&b.0));
+        all
+    }
+
+    /// Load the graph at `path` as tenant `name`.
+    ///
+    /// `quota` caps the tenant's concurrent queries (its engine's
+    /// `max_inflight`); `None` inherits the registry template. If warm
+    /// persistence is configured and a valid snapshot of this tenant
+    /// exists, the engine restarts at the snapshot epoch with its cache
+    /// re-admitted; an invalid snapshot is logged and ignored.
+    pub fn load(
+        &self,
+        name: &str,
+        path: &str,
+        quota: Option<usize>,
+    ) -> Result<LoadResponse, String> {
+        validate_name(name)?;
+        if self.get(name).is_some() {
+            return Err(format!(
+                "graph `{name}` is already loaded (unload it first)"
+            ));
+        }
+        if let Some(q) = quota {
+            if q == 0 {
+                return Err("quota must be positive".into());
+            }
+        }
+        let load_start = Instant::now();
+        let (graph, report) = load_graph_auto(path).map_err(|e| e.to_string())?;
+        let load_micros = load_start.elapsed().as_micros() as u64;
+        let graph = Arc::new(graph);
+
+        let mut config = self.template;
+        if let Some(q) = quota {
+            config.max_inflight = q;
+        }
+
+        let mut warm_entries = 0usize;
+        let engine = match self.persist.as_ref() {
+            Some(persist_cfg) => {
+                let snap_path = persist::snapshot_path(&persist_cfg.dir, name);
+                match persist::read_snapshot_for(&graph, &snap_path) {
+                    Ok((epoch, entries)) => {
+                        let engine = QueryEngine::with_epoch(Arc::clone(&graph), config, epoch);
+                        warm_entries = engine.import_cache(entries);
+                        eprintln!(
+                            "tenant `{name}`: warm cache re-admitted {warm_entries} entries at epoch {epoch}"
+                        );
+                        engine
+                    }
+                    Err(reason) => {
+                        if snap_path.exists() {
+                            eprintln!(
+                                "tenant `{name}`: warm cache rejected ({reason}); starting cold"
+                            );
+                        }
+                        QueryEngine::new(Arc::clone(&graph), config)
+                    }
+                }
+            }
+            None => QueryEngine::new(Arc::clone(&graph), config),
+        };
+        engine.set_source(path);
+        engine.record_load(report.mmapped, load_micros);
+        let response = LoadResponse {
+            name: name.to_string(),
+            nodes: graph.num_nodes(),
+            edges: graph.num_edges(),
+            epoch: engine.epoch(),
+            load_path: if report.mmapped { "mmap" } else { "heap" }.to_string(),
+            load_micros,
+            warm_entries,
+            quota: config.max_inflight,
+        };
+        // Double-checked under the write lock: a racing load of the same
+        // name may have won while we were reading the file.
+        self.insert(name, Arc::new(engine))?;
+        Ok(response)
+    }
+
+    /// Drop tenant `name`, flushing a final warm snapshot first when
+    /// persistence is on (so a later `load` of the same name restarts
+    /// warm). The engine itself dies when the last in-flight query
+    /// drops its `Arc`.
+    pub fn unload(&self, name: &str) -> Result<(), String> {
+        let engine = {
+            let mut tenants = self.tenants.write().expect("tenant registry poisoned");
+            tenants
+                .remove(name)
+                .ok_or_else(|| format!("graph `{name}` is not loaded"))?
+        };
+        if let Some(persist_cfg) = self.persist.as_ref() {
+            let snap_path = persist::snapshot_path(&persist_cfg.dir, name);
+            if let Err(e) = persist::flush_engine(&engine, &snap_path) {
+                eprintln!("tenant `{name}`: final warm-cache flush failed: {e}");
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::QueryRequest;
+    use relcomp_ugraph::{write_graph_v2, GraphBuilder, NodeId};
+
+    fn diamond_file(tag: &str) -> std::path::PathBuf {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1), 0.9).unwrap();
+        b.add_edge(NodeId(0), NodeId(2), 0.8).unwrap();
+        b.add_edge(NodeId(1), NodeId(3), 0.7).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), 0.6).unwrap();
+        let path =
+            std::env::temp_dir().join(format!("relcomp_tenants_{}_{tag}.ug2", std::process::id()));
+        write_graph_v2(&b.build(), &path).unwrap();
+        path
+    }
+
+    fn config() -> EngineConfig {
+        EngineConfig {
+            threads: 1,
+            ..EngineConfig::default()
+        }
+    }
+
+    #[test]
+    fn load_use_unload_lifecycle() {
+        let path = diamond_file("lifecycle");
+        let reg = TenantRegistry::new(config(), None);
+        let resp = reg.load("g1", path.to_str().unwrap(), None).unwrap();
+        assert_eq!((resp.nodes, resp.edges), (4, 4));
+        assert_eq!(resp.warm_entries, 0);
+        assert!(reg.get("g1").is_some());
+        assert_eq!(reg.names(), vec!["g1".to_string()]);
+
+        // Same name again: refused until unloaded.
+        let err = reg.load("g1", path.to_str().unwrap(), None).unwrap_err();
+        assert!(err.contains("already loaded"), "unexpected: {err}");
+
+        reg.unload("g1").unwrap();
+        assert!(reg.get("g1").is_none());
+        assert!(reg.unload("g1").is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn tenant_caches_are_isolated() {
+        let path = diamond_file("isolated");
+        let reg = TenantRegistry::new(config(), None);
+        reg.load("a", path.to_str().unwrap(), None).unwrap();
+        reg.load("b", path.to_str().unwrap(), None).unwrap();
+        let a = reg.get("a").unwrap();
+        let b = reg.get("b").unwrap();
+        let first = a.execute(&QueryRequest::new(0, 3)).unwrap();
+        assert!(!first.cached);
+        // Tenant b never saw the query: its cache must miss even though
+        // the graphs are identical.
+        let other = b.execute(&QueryRequest::new(0, 3)).unwrap();
+        assert!(!other.cached, "tenant caches must not be shared");
+        // Determinism still holds across tenants of the same graph.
+        assert_eq!(first.reliability.to_bits(), other.reliability.to_bits());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn quota_overrides_max_inflight() {
+        let path = diamond_file("quota");
+        let reg = TenantRegistry::new(config(), None);
+        let resp = reg.load("q", path.to_str().unwrap(), Some(2)).unwrap();
+        assert_eq!(resp.quota, 2);
+        assert_eq!(reg.get("q").unwrap().config().max_inflight, 2);
+        assert!(reg.load("z", path.to_str().unwrap(), Some(0)).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bad_names_are_rejected() {
+        let reg = TenantRegistry::new(config(), None);
+        for name in ["", "../evil", "a b", "x/y", &"n".repeat(65)] {
+            assert!(reg.load(name, "/nonexistent", None).is_err(), "{name:?}");
+        }
+    }
+
+    #[test]
+    fn warm_snapshot_survives_unload_load() {
+        let path = diamond_file("warm");
+        let dir = std::env::temp_dir().join(format!("relcomp_tenants_warm_{}", std::process::id()));
+        let reg = TenantRegistry::new(config(), Some(PersistConfig::new(&dir)));
+        reg.load("w", path.to_str().unwrap(), None).unwrap();
+        let first = reg
+            .get("w")
+            .unwrap()
+            .execute(&QueryRequest::new(0, 3))
+            .unwrap();
+        reg.unload("w").unwrap();
+
+        let resp = reg.load("w", path.to_str().unwrap(), None).unwrap();
+        assert_eq!(resp.warm_entries, 1, "snapshot should re-admit the entry");
+        let warm = reg
+            .get("w")
+            .unwrap()
+            .execute(&QueryRequest::new(0, 3))
+            .unwrap();
+        assert!(warm.cached);
+        assert_eq!(warm.reliability.to_bits(), first.reliability.to_bits());
+        std::fs::remove_file(path).ok();
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

@@ -4,8 +4,8 @@
 
 use relcomp_serve::engine::{EngineConfig, QueryEngine};
 use relcomp_serve::protocol::{DistanceQueryRequest, EdgeProbUpdate, QueryRequest, TopKRequest};
-use relcomp_serve::{Client, Server};
-use relcomp_ugraph::{Dataset, GraphBuilder, NodeId, UncertainGraph};
+use relcomp_serve::{Client, PersistConfig, Server, ServerMode, ServerOptions, TenantRegistry};
+use relcomp_ugraph::{write_graph_v2, Dataset, GraphBuilder, NodeId, UncertainGraph};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -294,16 +294,23 @@ fn metrics_and_traces_reflect_a_query_burst() {
         .expect("hit counter");
     assert_eq!(hit.value, 1);
 
-    // Latency histograms moved, per workload and merged.
+    // Latency histograms moved, per workload and merged. Server-side
+    // metrics carry the tenant's graph label.
     let st = after
-        .histogram("relcomp_query_latency_micros", &[("workload", "st")])
+        .histogram(
+            "relcomp_query_latency_micros",
+            &[("graph", "default"), ("workload", "st")],
+        )
         .expect("st histogram");
     assert_eq!(st.count, 4);
     assert!(st.p50 > 0);
     assert!(st.p99 >= st.p50);
     for (workload, count) in [("topk", 1), ("dquery", 1), ("all", 6)] {
         let h = after
-            .histogram("relcomp_query_latency_micros", &[("workload", workload)])
+            .histogram(
+                "relcomp_query_latency_micros",
+                &[("graph", "default"), ("workload", workload)],
+            )
             .unwrap_or_else(|| panic!("{workload} histogram"));
         assert_eq!(h.count, count, "{workload}");
     }
@@ -356,12 +363,236 @@ fn metrics_and_traces_reflect_a_query_burst() {
     assert_eq!(post.queries_total, 6);
     assert_eq!(post.counter_total("relcomp_updates_total"), 1);
     let st_post = post
-        .histogram("relcomp_query_latency_micros", &[("workload", "st")])
+        .histogram(
+            "relcomp_query_latency_micros",
+            &[("graph", "default"), ("workload", "st")],
+        )
         .expect("st histogram after update");
     assert_eq!(st_post.count, 4);
     assert_eq!(st_post.sum, st.sum);
 
     client.shutdown().expect("shutdown");
+}
+
+/// Spawn a server in an explicit mode over a single default-tenant
+/// engine; returns the address and the serve-loop thread handle.
+fn start_mode(
+    graph: UncertainGraph,
+    mode: ServerMode,
+) -> (
+    std::net::SocketAddr,
+    relcomp_serve::server::ShutdownHandle,
+    std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    let engine = Arc::new(QueryEngine::new(
+        Arc::new(graph),
+        EngineConfig {
+            threads: 2,
+            ..Default::default()
+        },
+    ));
+    let server = Server::bind_with(
+        "127.0.0.1:0",
+        Arc::new(TenantRegistry::single(engine)),
+        ServerOptions {
+            mode,
+            ..Default::default()
+        },
+    )
+    .expect("bind");
+    let shutdown = server.shutdown_handle();
+    let (addr, handle) = server.spawn().expect("spawn");
+    (addr, shutdown, handle)
+}
+
+#[test]
+fn reactor_and_threaded_answers_are_bit_identical() {
+    // The connection model must never touch the math: the same wire
+    // query against both serve loops returns the same bits, including
+    // across pipelined requests on one connection.
+    let answers: Vec<(u64, bool, u64)> = [ServerMode::Reactor, ServerMode::Threaded]
+        .into_iter()
+        .map(|mode| {
+            let (addr, _shutdown, handle) = start_mode(diamond(), mode);
+            let mut client = connect(addr);
+            let q = QueryRequest {
+                estimator: Some("mc".into()),
+                samples: Some(3000),
+                seed: Some(11),
+                ..QueryRequest::new(0, 3)
+            };
+            let first = client.query(q.clone()).expect("first");
+            let again = client.query(q).expect("repeat");
+            let topk = client
+                .topk(TopKRequest {
+                    k: Some(2),
+                    samples: Some(1000),
+                    seed: Some(2),
+                    ..TopKRequest::new(0)
+                })
+                .expect("topk");
+            client.shutdown().expect("shutdown");
+            handle.join().expect("serve thread").expect("serve result");
+            (
+                first.reliability.to_bits(),
+                again.cached,
+                topk.targets[0].reliability.to_bits(),
+            )
+        })
+        .collect();
+    assert_eq!(answers[0].0, answers[1].0, "st reliability differs");
+    assert!(answers[0].1 && answers[1].1, "repeat must hit the cache");
+    assert_eq!(answers[0].2, answers[1].2, "topk reliability differs");
+}
+
+#[test]
+fn shutdown_lands_under_accept_pressure() {
+    // Regression for the shutdown race: with a stream of connections
+    // hammering accept, the poke connection can be lost in the backlog.
+    // The level-triggered loops (both modes) must still exit promptly.
+    for mode in [ServerMode::Reactor, ServerMode::Threaded] {
+        let (addr, shutdown, handle) = start_mode(diamond(), mode);
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let hammers: Vec<_> = (0..4)
+            .map(|_| {
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                        // Churn: connect, maybe ping, drop.
+                        let _ = std::net::TcpStream::connect(addr);
+                    }
+                })
+            })
+            .collect();
+        // Let the pressure build, then pull the plug.
+        std::thread::sleep(Duration::from_millis(50));
+        shutdown.shutdown();
+
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            tx.send(handle.join()).ok();
+        });
+        let joined = rx.recv_timeout(Duration::from_secs(10));
+        stop.store(true, std::sync::atomic::Ordering::Release);
+        for h in hammers {
+            h.join().expect("hammer thread");
+        }
+        joined
+            .unwrap_or_else(|_| panic!("{mode:?} serve loop hung after shutdown"))
+            .expect("serve thread")
+            .expect("serve result");
+    }
+}
+
+#[test]
+fn tenancy_and_warm_cache_survive_a_restart() {
+    let dir = std::env::temp_dir().join(format!("relcomp_e2e_warm_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph_path = dir.join("served.ug2");
+    write_graph_v2(&diamond(), &graph_path).unwrap();
+    let persist = PersistConfig::new(dir.join("warm"));
+
+    let template = EngineConfig {
+        threads: 2,
+        ..Default::default()
+    };
+    let q = QueryRequest {
+        estimator: Some("mc".into()),
+        samples: Some(4000),
+        seed: Some(21),
+        ..QueryRequest::new(0, 3)
+    };
+
+    // First server lifetime: load a tenant over the wire, warm its
+    // cache, shut down (which flushes the final snapshot).
+    let first_reliability;
+    {
+        let tenants = Arc::new(TenantRegistry::new(template, Some(persist.clone())));
+        let server = Server::bind_with(
+            "127.0.0.1:0",
+            tenants,
+            ServerOptions {
+                persist: Some(persist.clone()),
+                ..Default::default()
+            },
+        )
+        .expect("bind");
+        let (addr, handle) = server.spawn().expect("spawn");
+        let mut client = connect(addr);
+
+        let loaded = client
+            .load_graph("social", graph_path.to_str().unwrap(), Some(8))
+            .expect("load");
+        assert_eq!(loaded.nodes, 4);
+        assert_eq!(loaded.quota, 8);
+        assert_eq!(loaded.warm_entries, 0, "first boot is cold");
+        let using = client.use_graph("social").expect("use");
+        assert_eq!(using.nodes, 4);
+
+        let first = client.query(q.clone()).expect("query");
+        assert!(!first.cached);
+        first_reliability = first.reliability;
+        assert!(client.query(q.clone()).expect("repeat").cached);
+
+        // A second tenant over the same file keeps an isolated cache:
+        // the identical query misses there.
+        client
+            .load_graph("staging", graph_path.to_str().unwrap(), None)
+            .expect("load staging");
+        let mut other = connect(addr);
+        other.use_graph("staging").expect("use staging");
+        assert!(
+            !other.query(q.clone()).expect("staging query").cached,
+            "tenant caches must be isolated"
+        );
+        other.unload_graph("staging").expect("unload staging");
+        assert!(
+            other.use_graph("staging").is_err(),
+            "unloaded tenant is gone"
+        );
+
+        client.shutdown().expect("shutdown");
+        handle.join().expect("serve thread").expect("serve result");
+    }
+
+    // Second lifetime: same persist dir, fresh registry. Loading the
+    // tenant re-admits the snapshot and the warm query is a bit-identical
+    // cache hit without recomputing.
+    {
+        let tenants = Arc::new(TenantRegistry::new(template, Some(persist.clone())));
+        let server = Server::bind_with(
+            "127.0.0.1:0",
+            tenants,
+            ServerOptions {
+                persist: Some(persist),
+                ..Default::default()
+            },
+        )
+        .expect("rebind");
+        let (addr, handle) = server.spawn().expect("respawn");
+        let mut client = connect(addr);
+
+        let loaded = client
+            .load_graph("social", graph_path.to_str().unwrap(), None)
+            .expect("reload tenant");
+        assert!(
+            loaded.warm_entries >= 1,
+            "snapshot must re-admit the cached answer, got {}",
+            loaded.warm_entries
+        );
+        client.use_graph("social").expect("use");
+        let warm = client.query(q).expect("warm query");
+        assert!(warm.cached, "restart must serve from the warm cache");
+        assert_eq!(
+            warm.reliability.to_bits(),
+            first_reliability.to_bits(),
+            "warm answer must be bit-identical across the restart"
+        );
+
+        client.shutdown().expect("shutdown");
+        handle.join().expect("serve thread").expect("serve result");
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -431,6 +431,10 @@ pub fn load_graph_v2_heap(path: &Path) -> Result<UncertainGraph, GraphError> {
 
 /// Zero-copy path: every f64-prob section becomes a view into `map`.
 fn load_mapped(map: Arc<Mmap>) -> Result<LoadedV2, GraphError> {
+    // The validation pass below touches every section sequentially, so
+    // ask the kernel to start readahead now instead of faulting one
+    // page at a time. Hints are advisory; failures are ignored.
+    let _ = map.advise(crate::mmap::Advice::WillNeed);
     let header = parse_header(map.as_slice())?;
     let (n, m) = (header.n, header.m);
     let s = &header.sections;
@@ -472,6 +476,9 @@ fn load_mapped(map: Arc<Mmap>) -> Result<LoadedV2, GraphError> {
             &in_edges,
         ),
     )?;
+    // Validation is done; from here on access is point lookups driven
+    // by sampling, so readahead would only drag in untouched pages.
+    let _ = map.advise(crate::mmap::Advice::Random);
     Ok(LoadedV2 {
         graph: UncertainGraph::from_parts(
             out_offsets,

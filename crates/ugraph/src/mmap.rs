@@ -22,6 +22,10 @@ mod sys {
     pub const PROT_READ: c_int = 0x1;
     /// `MAP_PRIVATE` — copy-on-write private mapping (we never write).
     pub const MAP_PRIVATE: c_int = 0x2;
+    /// `MADV_RANDOM` — expect random page references; disable readahead.
+    pub const MADV_RANDOM: c_int = 1;
+    /// `MADV_WILLNEED` — expect access soon; start readahead now.
+    pub const MADV_WILLNEED: c_int = 3;
 
     extern "C" {
         pub fn mmap(
@@ -33,7 +37,22 @@ mod sys {
             offset: i64,
         ) -> *mut c_void;
         pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+        pub fn madvise(addr: *mut c_void, len: usize, advice: c_int) -> c_int;
     }
+}
+
+/// Access-pattern hints forwarded to `madvise(2)`.
+///
+/// Hints are best-effort: the kernel may ignore them, and a failed
+/// `madvise` never affects the validity of the mapping itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Advice {
+    /// The mapping will be read soon — kick off readahead so a
+    /// sequential scan (e.g. checksum validation) hits warm pages.
+    WillNeed,
+    /// Accesses will be random — stop readahead so point queries don't
+    /// drag neighbouring pages into memory.
+    Random,
 }
 
 /// A read-only memory mapping of an entire file.
@@ -133,6 +152,33 @@ impl Mmap {
     pub(crate) fn as_ptr(&self) -> *const u8 {
         self.ptr.as_ptr()
     }
+
+    /// Hint the expected access pattern for the whole mapping.
+    ///
+    /// Returns the raw OS error when the syscall rejects the hint;
+    /// callers treat that as advisory and carry on (the mapping stays
+    /// fully usable either way).
+    #[cfg(unix)]
+    pub fn advise(&self, advice: Advice) -> io::Result<()> {
+        let advice = match advice {
+            Advice::WillNeed => sys::MADV_WILLNEED,
+            Advice::Random => sys::MADV_RANDOM,
+        };
+        // SAFETY: ptr/len describe a live mapping owned by self;
+        // madvise does not invalidate or move it.
+        let rc = unsafe { sys::madvise(self.ptr.as_ptr().cast(), self.len, advice) };
+        if rc == 0 {
+            Ok(())
+        } else {
+            Err(io::Error::last_os_error())
+        }
+    }
+
+    /// No-op stub for non-Unix targets (hints have nowhere to go).
+    #[cfg(not(unix))]
+    pub fn advise(&self, _advice: Advice) -> io::Result<()> {
+        Ok(())
+    }
 }
 
 impl Drop for Mmap {
@@ -177,6 +223,19 @@ mod tests {
         let path = temp_file("empty", b"");
         let file = File::open(&path).unwrap();
         assert!(Mmap::map_file(&file).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    #[cfg(unix)]
+    fn advise_accepts_both_hints() {
+        let path = temp_file("advise", &[7u8; 8192]);
+        let file = File::open(&path).unwrap();
+        let map = Mmap::map_file(&file).unwrap();
+        map.advise(Advice::WillNeed).unwrap();
+        map.advise(Advice::Random).unwrap();
+        // Hints must not disturb the mapped contents.
+        assert!(map.as_slice().iter().all(|&b| b == 7));
         std::fs::remove_file(path).ok();
     }
 

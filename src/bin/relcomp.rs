@@ -39,9 +39,11 @@ use relcomp::prelude::*;
 use relcomp_core::bounds::reliability_bounds;
 use relcomp_core::paths::most_reliable_path;
 use relcomp_eval::recommend::{recommend, MemoryBudget, SpeedNeed, VarianceNeed};
-use relcomp_serve::engine::{EngineConfig, QueryEngine};
+use relcomp_serve::engine::EngineConfig;
 use relcomp_serve::protocol::{QueryRequest, DEFAULT_PORT};
-use relcomp_serve::{Client, Server};
+use relcomp_serve::{
+    Client, PersistConfig, Server, ServerMode, ServerOptions, TenantRegistry, DEFAULT_TENANT,
+};
 use relcomp_ugraph::analysis::{degree_stats, largest_component_size};
 use relcomp_ugraph::generators::{StreamSpec, StreamTopology};
 use relcomp_ugraph::io::{load_graph_auto, save_graph, save_graph_binary};
@@ -80,12 +82,17 @@ usage:
                  [--eps E] [--confidence C] [--time-budget-ms MS]
   relcomp recommend --memory smaller|larger --variance lower|slight|higher --speed faster|slower
   relcomp serve <file> [--port P] [--threads N] [--cache N] [--seed N]
+                  [--mode auto|reactor|threaded] [--workers N]
+                  [--warm-cache DIR] [--flush-ms MS]
   relcomp client <s> <t> [--addr HOST:PORT] [--estimator NAME] [--samples N] [--seed N]
                    [--eps E] [--confidence C] [--time-budget-ms MS]
   relcomp client topk <s> [--k N] [--addr HOST:PORT] [--samples N] [--seed N]
                    [--eps E] [--confidence C] [--time-budget-ms MS]
   relcomp client dquery <s> <t> <d> [--addr HOST:PORT] [--samples N] [--seed N]
                    [--eps E] [--confidence C] [--time-budget-ms MS]
+  relcomp client load <name> <path> [--quota N] [--addr HOST:PORT]
+  relcomp client unload <name> [--addr HOST:PORT]
+  relcomp client use <name> [--addr HOST:PORT]
   relcomp client update <s> <t> <prob> [--addr HOST:PORT]
   relcomp client reload [--path FILE] [--addr HOST:PORT]
   relcomp client metrics [--format json|prom] [--addr HOST:PORT]
@@ -676,14 +683,23 @@ fn run(args: Vec<String>) -> Result<(), String> {
             Ok(())
         }
         "serve" => {
-            check_options(cmd, &opts, &["port", "threads", "cache", "seed"])?;
+            check_options(
+                cmd,
+                &opts,
+                &[
+                    "port",
+                    "threads",
+                    "cache",
+                    "seed",
+                    "mode",
+                    "workers",
+                    "warm-cache",
+                    "flush-ms",
+                ],
+            )?;
             let [file] = pos[..] else {
                 return Err("serve needs <file>".into());
             };
-            let load_start = std::time::Instant::now();
-            let (graph, report) = load_any(file)?;
-            let load_micros = load_start.elapsed().as_micros() as u64;
-            let graph = Arc::new(graph);
             let port: u16 = opts
                 .get("port")
                 .map(|v| v.parse())
@@ -702,28 +718,72 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 .transpose()
                 .map_err(|_| "bad --cache")?
                 .unwrap_or(EngineConfig::default().cache_capacity);
+            let mode = opts
+                .get("mode")
+                .map(|v| ServerMode::parse(v))
+                .transpose()?
+                .unwrap_or_default();
+            let workers: usize = opts
+                .get("workers")
+                .map(|v| v.parse())
+                .transpose()
+                .map_err(|_| "bad --workers")?
+                .unwrap_or(0); // 0 = derive from available parallelism
+            let persist = match (opts.get("warm-cache"), opts.get("flush-ms")) {
+                (None, Some(_)) => {
+                    return Err("--flush-ms needs --warm-cache DIR".into());
+                }
+                (None, None) => None,
+                (Some(dir), flush_ms) => {
+                    let mut cfg = PersistConfig::new(*dir);
+                    if let Some(ms) = flush_ms {
+                        let ms: u64 = ms.parse().map_err(|_| "bad --flush-ms")?;
+                        if ms == 0 {
+                            return Err("--flush-ms must be at least 1".into());
+                        }
+                        cfg.flush_interval = std::time::Duration::from_millis(ms);
+                    }
+                    Some(cfg)
+                }
+            };
             let config = EngineConfig {
                 threads,
                 cache_capacity,
                 default_seed: seed,
                 ..Default::default()
             };
-            let engine = Arc::new(QueryEngine::new(Arc::clone(&graph), config));
-            // Remember the file so the `reload` protocol command can
-            // re-read it without an explicit path.
-            engine.set_source(file);
-            engine.record_load(report.mmapped, load_micros);
-            let threads = engine.stats().threads;
-            let server = Server::bind(("127.0.0.1", port), engine).map_err(|e| e.to_string())?;
+            // The registry owns graph loading: the default tenant gets
+            // the file from the command line (with a warm-cache restore
+            // when persistence is on); further graphs arrive over the
+            // wire via `client load`.
+            let tenants = Arc::new(TenantRegistry::new(config, persist.clone()));
+            let loaded = tenants.load(DEFAULT_TENANT, file, None)?;
+            let threads = tenants
+                .get(DEFAULT_TENANT)
+                .expect("default tenant just loaded")
+                .stats()
+                .threads;
+            let options = ServerOptions {
+                mode,
+                workers,
+                persist,
+            };
+            let server = Server::bind_with(("127.0.0.1", port), Arc::clone(&tenants), options)
+                .map_err(|e| e.to_string())?;
             let addr = server.local_addr().map_err(|e| e.to_string())?;
+            let warm = if loaded.warm_entries > 0 {
+                format!("; {} warm cache entries", loaded.warm_entries)
+            } else {
+                String::new()
+            };
             println!(
-                "serving {} ({} nodes, {} edges; loaded via {} in {:.1} ms) on {addr}: \
-                 {threads} sampling threads, {cache_capacity}-entry cache",
+                "serving {} ({} nodes, {} edges; loaded via {} in {:.1} ms{warm}) on {addr}: \
+                 {threads} sampling threads, {cache_capacity}-entry cache, {mode:?} mode",
                 file,
-                graph.num_nodes(),
-                graph.num_edges(),
-                if report.mmapped { "mmap" } else { "heap" },
-                load_micros as f64 / 1e3
+                loaded.nodes,
+                loaded.edges,
+                loaded.load_path,
+                loaded.load_micros as f64 / 1e3
             );
             server.run().map_err(|e| e.to_string())
         }
@@ -737,6 +797,9 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 ["ping"] | ["stats"] | ["shutdown"] => {
                     check_options(&format!("client {}", pos[0]), &opts, &["addr"])?
                 }
+                ["load", ..] => check_options("client load", &opts, &["addr", "quota"])?,
+                ["unload", ..] => check_options("client unload", &opts, &["addr"])?,
+                ["use", ..] => check_options("client use", &opts, &["addr"])?,
                 ["update", ..] => check_options("client update", &opts, &["addr"])?,
                 ["reload", ..] => check_options("client reload", &opts, &["addr", "path"])?,
                 ["metrics", ..] => check_options("client metrics", &opts, &["addr", "format"])?,
@@ -912,6 +975,48 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 ["trace", ..] => {
                     Err("client trace takes no positional arguments (use --last N)".into())
                 }
+                ["load", name, path] => {
+                    let quota = opts
+                        .get("quota")
+                        .map(|v| v.parse().map_err(|_| "bad --quota"))
+                        .transpose()?;
+                    let r = client
+                        .load_graph(name, path, quota)
+                        .map_err(|e| e.to_string())?;
+                    let warm = if r.warm_entries > 0 {
+                        format!(", {} warm cache entries", r.warm_entries)
+                    } else {
+                        String::new()
+                    };
+                    println!(
+                        "loaded `{}`: {} nodes, {} edges via {} in {:.1} ms \
+                         (epoch {}, quota {}{warm})",
+                        r.name,
+                        r.nodes,
+                        r.edges,
+                        r.load_path,
+                        r.load_micros as f64 / 1e3,
+                        r.epoch,
+                        r.quota
+                    );
+                    Ok(())
+                }
+                ["load", ..] => Err("client load needs <name> <path>".into()),
+                ["unload", name] => {
+                    client.unload_graph(name).map_err(|e| e.to_string())?;
+                    println!("unloaded `{name}`");
+                    Ok(())
+                }
+                ["unload", ..] => Err("client unload needs <name>".into()),
+                ["use", name] => {
+                    let r = client.use_graph(name).map_err(|e| e.to_string())?;
+                    println!(
+                        "using `{}`: {} nodes, {} edges (epoch {})",
+                        r.name, r.nodes, r.edges, r.epoch
+                    );
+                    Ok(())
+                }
+                ["use", ..] => Err("client use needs <name>".into()),
                 ["update", s_raw, t_raw, p_raw] => {
                     let parse_id = |raw: &str, what: &str| -> Result<u32, String> {
                         raw.parse()
