@@ -59,13 +59,13 @@ fn main() {
     let mut env = ExperimentEnv::prepare(Dataset::LastFm, profile, 2, seed);
     env.workload.pairs.truncate(10);
     let estimators = timing_probe(&env, 1000);
-    eprintln!(">>> workload probe (topk / dquery, fixed vs eps-adaptive) ...");
+    eprintln!(">>> workload probe (topk / dquery / maximize, fixed vs eps-adaptive) ...");
     let workloads = workload_probe(&env, 10_000, 0.05, 50_000);
     eprintln!(">>> per-sample probe (scalar vs packed sampling, five datasets) ...");
     let per_sample = per_sample_probe(profile, seed, 10_000);
     let mc_packed_speedup = packed_speedup(&per_sample).unwrap_or(0.0);
     eprintln!("    packed MC speedup (geomean): {mc_packed_speedup:.2}x");
-    eprintln!(">>> serve metrics probe (mixed st/topk/dquery, registry percentiles) ...");
+    eprintln!(">>> serve metrics probe (mixed st/topk/dquery/maximize, registry percentiles) ...");
     let serve_metrics = relcomp_bench::serve_probe::serve_metrics_probe(profile, seed);
     eprintln!(">>> connection sweep (reactor vs threaded churn) ...");
     let serve_concurrency = relcomp_bench::serve_probe::connection_sweep(profile, seed);

@@ -103,7 +103,8 @@ pub mod adaptive {
     use rand::RngCore;
     use relcomp_core::mc::McSampling;
     use relcomp_core::{
-        Estimator, EstimatorKind, PackedMcSampling, ParallelSampler, SampleBudget, StopReason,
+        Estimator, EstimatorKind, MaximizeOptions, PackedMcSampling, ParallelSampler, SampleBudget,
+        StopReason,
     };
     use relcomp_eval::{ExperimentEnv, RunProfile};
     use relcomp_ugraph::Dataset;
@@ -304,6 +305,22 @@ pub mod adaptive {
             adaptive.elapsed.as_secs_f64() * 1e3,
             adaptive.stop_reason,
         ));
+        // The greedy write-path workload: two upgrades under the same
+        // adaptive budget. Deterministic in the seed, so the wall time
+        // is the cross-commit perf signal for the maximize serving path.
+        let mut mopts = MaximizeOptions::new(2, 0.95, budget);
+        mopts.threads = 2;
+        mopts.seed = 0xA0;
+        let start = std::time::Instant::now();
+        let greedy = relcomp_core::maximize::maximize(&env.graph, s, t, &mopts)
+            .expect("probe inputs are valid");
+        out.push(WorkloadTiming {
+            workload: "maximize_probe".to_string(),
+            mode: "adaptive".to_string(),
+            samples: greedy.samples,
+            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+            stop_reason: format!("k{}", greedy.chosen.len()),
+        });
         out
     }
 
@@ -545,7 +562,9 @@ pub mod serve_probe {
     use rand_chacha::ChaCha8Rng;
     use relcomp_eval::RunProfile;
     use relcomp_serve::engine::{EngineConfig, QueryEngine};
-    use relcomp_serve::protocol::{DistanceQueryRequest, QueryRequest, TopKRequest};
+    use relcomp_serve::protocol::{
+        DistanceQueryRequest, MaximizeRequest, QueryRequest, TopKRequest,
+    };
     use relcomp_serve::{Client, Server, ServerMode, ServerOptions, TenantRegistry};
     use relcomp_ugraph::Dataset;
     use serde::{Deserialize, Serialize};
@@ -668,7 +687,7 @@ pub mod serve_probe {
     }
 
     /// Run the mixed workload and return one row per latency histogram
-    /// series (`st`, `topk`, `dquery`, and the merged `all`).
+    /// series (`st`, `topk`, `dquery`, `maximize`, and the merged `all`).
     pub fn serve_metrics_probe(profile: RunProfile, seed: u64) -> Vec<ServeMetricRow> {
         let (scale, rounds, samples) = match profile {
             RunProfile::Quick => (0.05, 8, 1000),
@@ -715,6 +734,15 @@ pub mod serve_probe {
                     ..DistanceQueryRequest::new(s, t, 4)
                 })
                 .expect("dquery");
+            engine
+                .execute_maximize(&MaximizeRequest {
+                    k: Some(1),
+                    candidates: Some(8),
+                    samples: Some(samples / 2),
+                    seed: Some(seed),
+                    ..MaximizeRequest::new(s, t)
+                })
+                .expect("maximize");
         }
         engine
             .metrics()

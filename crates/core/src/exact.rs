@@ -6,7 +6,7 @@
 
 use relcomp_ugraph::possible_world::enumerate_worlds;
 use relcomp_ugraph::traversal::{bfs_reaches, BfsWorkspace};
-use relcomp_ugraph::{NodeId, UncertainGraph};
+use relcomp_ugraph::{EdgeId, EdgeUpdate, NodeId, UncertainGraph};
 
 /// Compute `R(s, t)` exactly by summing `Pr(G)` over all worlds where `t`
 /// is reachable from `s`.
@@ -29,6 +29,61 @@ pub fn exact_reliability(graph: &UncertainGraph, s: NodeId, t: NodeId) -> f64 {
         }
     }
     total
+}
+
+/// Exhaustively search every size-`k` subset of `candidates` for the one
+/// whose application maximizes exact `R(s, t)` — the oracle the greedy
+/// [`maximize`](crate::maximize) optimizer is validated against.
+///
+/// Subsets are enumerated in lexicographic candidate order and ties keep
+/// the first (lexicographically smallest) maximizer, so the answer is
+/// deterministic. Returns the winning candidates' edge ids (in candidate
+/// order) and the exact reliability with them applied. `k` larger than
+/// the pool clamps to the whole pool; `k == 0` returns the unmodified
+/// graph's reliability and an empty set.
+///
+/// # Panics
+/// Panics if the graph has more than 26 edges (each subset costs a full
+/// `2^m` world enumeration) — this is a small-instance test oracle.
+pub fn exact_best_upgrade_set(
+    graph: &UncertainGraph,
+    s: NodeId,
+    t: NodeId,
+    candidates: &[EdgeUpdate],
+    k: usize,
+) -> (Vec<EdgeId>, f64) {
+    let k = k.min(candidates.len());
+    if k == 0 {
+        return (Vec::new(), exact_reliability(graph, s, t));
+    }
+    // Lexicographic combination walk over candidate indices.
+    let mut idx: Vec<usize> = (0..k).collect();
+    let mut best_set: Vec<EdgeId> = Vec::new();
+    let mut best_rel = f64::NEG_INFINITY;
+    loop {
+        let updates: Vec<EdgeUpdate> = idx.iter().map(|&i| candidates[i]).collect();
+        let upgraded = graph.with_updated_probs(&updates);
+        let rel = exact_reliability(&upgraded, s, t);
+        if rel > best_rel {
+            best_rel = rel;
+            best_set = updates.iter().map(|u| u.edge).collect();
+        }
+        // Advance to the next combination, rightmost index first.
+        let mut pos = k;
+        while pos > 0 {
+            pos -= 1;
+            if idx[pos] < candidates.len() - (k - pos) {
+                idx[pos] += 1;
+                for later in pos + 1..k {
+                    idx[later] = idx[later - 1] + 1;
+                }
+                break;
+            }
+            if pos == 0 {
+                return (best_set, best_rel);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -82,6 +137,32 @@ mod tests {
         b.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
         let g = b.build();
         assert!((exact_reliability(&g, NodeId(0), NodeId(1)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_upgrade_set_prefers_the_series_pair() {
+        // Chain 0 -> 1 -> 3 (p = 0.1, 0.1) vs direct 0 -> 3 (p = 0.3):
+        // the best 2-upgrade set to certainty is the chain (R = 1.0),
+        // which no greedy-by-single-gain order would rank first.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1), 0.1).unwrap();
+        b.add_edge(NodeId(1), NodeId(3), 0.1).unwrap();
+        b.add_edge(NodeId(0), NodeId(3), 0.3).unwrap();
+        let g = b.build();
+        let cands: Vec<EdgeUpdate> = g
+            .edges()
+            .map(|(e, _, _, _)| EdgeUpdate::new(e, 1.0).unwrap())
+            .collect();
+        let (set, rel) = exact_best_upgrade_set(&g, NodeId(0), NodeId(3), &cands, 2);
+        assert_eq!(set, vec![EdgeId(0), EdgeId(1)]);
+        assert!((rel - 1.0).abs() < 1e-12);
+        // k = 0 is the plain exact answer; k beyond the pool clamps.
+        let (empty, base) = exact_best_upgrade_set(&g, NodeId(0), NodeId(3), &cands, 0);
+        assert!(empty.is_empty());
+        assert!((base - exact_reliability(&g, NodeId(0), NodeId(3))).abs() < 1e-12);
+        let (all, full) = exact_best_upgrade_set(&g, NodeId(0), NodeId(3), &cands, 9);
+        assert_eq!(all.len(), 3);
+        assert!((full - 1.0).abs() < 1e-12);
     }
 
     #[test]

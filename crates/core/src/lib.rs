@@ -43,6 +43,7 @@ pub mod distance_constrained;
 pub mod estimator;
 pub mod exact;
 pub mod lazy;
+pub mod maximize;
 pub mod mc;
 pub mod memory;
 pub mod metrics;
@@ -59,6 +60,7 @@ pub mod suite;
 pub mod topk;
 
 pub use estimator::{Estimate, Estimator, UpdateOutcome};
+pub use maximize::{maximize, MaximizeOptions, MaximizeResult};
 pub use packed::{PackedMcSampling, PackedWorkspace};
 pub use parallel::ParallelSampler;
 pub use session::{Convergence, EstimationSession, SampleBudget, StopReason};

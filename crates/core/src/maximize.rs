@@ -1,0 +1,553 @@
+//! Reliability maximization: greedy edge upgrades under a budget.
+//!
+//! The serving-side companion problem to estimation (Ke et al.,
+//! arXiv:1903.08587): given a source `s`, a target `t`, and a budget of
+//! `k` upgrades, pick the `k` edges whose existence probabilities should
+//! be boosted to maximize `R(s, t)`. Exact maximization inherits the
+//! `#P`-hardness of reliability itself, so this module implements the
+//! standard sampling-based greedy:
+//!
+//! 1. **Candidate pool** — every edge with headroom below the boost
+//!    target, ranked by headroom and capped at
+//!    [`MaximizeOptions::max_candidates`].
+//! 2. **Greedy rounds** — each round scores candidates by *marginal*
+//!    estimated gain: the candidate's upgrade is applied on a
+//!    copy-on-write [`UncertainGraph::with_updated_probs`] snapshot (the
+//!    same epoch machinery the serve layer's `update` verb uses) and
+//!    `R(s, t)` is re-estimated on it with the thread-count-invariant
+//!    [`ParallelSampler`].
+//! 3. **Lazy-forward re-evaluation** — gains only shrink as upgrades
+//!    accumulate (diminishing returns), so each round re-scores
+//!    candidates in stale-gain order and stops as soon as the best
+//!    fresh gain dominates every stale bound, instead of rescoring the
+//!    full pool.
+//! 4. **CI separation** — a round accepts its winner once the winner's
+//!    confidence interval separates from the runner-up's; while they
+//!    overlap, both are re-scored under an escalated budget (doubled
+//!    cap, halved `eps`), up to [`MaximizeOptions::max_escalations`]
+//!    times.
+//!
+//! Every estimate seed is derived deterministically from `(master seed,
+//! round, edge, escalation)`, and the sampler is bit-identical across
+//! thread counts, so the chosen upgrade set — and every reported
+//! estimate — is reproducible for any `threads` value (budgets with a
+//! wall-time limit excepted, since their stopping point is clock-driven).
+
+use crate::parallel::ParallelSampler;
+use crate::session::SampleBudget;
+use relcomp_ugraph::{EdgeId, EdgeUpdate, NodeId, UncertainGraph};
+use std::fmt;
+use std::sync::Arc;
+
+/// Default candidate-pool cap: the `max_candidates` used when callers
+/// pass zero.
+pub const DEFAULT_MAX_CANDIDATES: usize = 64;
+
+/// Default number of CI-separation budget escalations per greedy round.
+pub const DEFAULT_MAX_ESCALATIONS: u32 = 3;
+
+/// Knobs for one [`maximize`] run.
+#[derive(Clone, Debug)]
+pub struct MaximizeOptions {
+    /// Number of edge upgrades to pick (clamped to the pool size).
+    pub k: usize,
+    /// Probability each chosen edge is upgraded to, in `(0, 1]`. Edges
+    /// already at or above the boost are not candidates.
+    pub boost: f64,
+    /// Per-evaluation sampling budget (fixed or adaptive); escalated
+    /// rounds derive doubled-cap/halved-eps variants from it.
+    pub budget: SampleBudget,
+    /// Sampler worker threads (result is identical for any value).
+    pub threads: usize,
+    /// Master seed; every evaluation derives its own stream from it.
+    pub seed: u64,
+    /// Candidate-pool cap: edges are ranked by upgrade headroom
+    /// (`boost - p`, ties to the lower edge id) and the top
+    /// `max_candidates` form the pool. Zero means
+    /// [`DEFAULT_MAX_CANDIDATES`].
+    pub max_candidates: usize,
+    /// How many times a round may escalate the budget chasing CI
+    /// separation before accepting the current leader.
+    pub max_escalations: u32,
+}
+
+impl MaximizeOptions {
+    /// Options for `k` upgrades to probability `boost` under `budget`.
+    pub fn new(k: usize, boost: f64, budget: SampleBudget) -> Self {
+        MaximizeOptions {
+            k,
+            boost,
+            budget,
+            threads: 1,
+            seed: 42,
+            max_candidates: DEFAULT_MAX_CANDIDATES,
+            max_escalations: DEFAULT_MAX_ESCALATIONS,
+        }
+    }
+}
+
+/// One upgrade the greedy picked, in pick order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChosenUpgrade {
+    /// The upgraded edge.
+    pub edge: EdgeId,
+    /// Source endpoint of the edge.
+    pub from: NodeId,
+    /// Target endpoint of the edge.
+    pub to: NodeId,
+    /// The edge's probability before the upgrade.
+    pub old_prob: f64,
+    /// The probability the edge was boosted to.
+    pub new_prob: f64,
+    /// Estimated marginal reliability gain at pick time.
+    pub gain: f64,
+    /// Estimated `R(s, t)` after this upgrade is applied.
+    pub reliability: f64,
+}
+
+/// The result of one greedy [`maximize`] run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MaximizeResult {
+    /// Estimated `R(s, t)` before any upgrade.
+    pub base_reliability: f64,
+    /// Estimated `R(s, t)` with every chosen upgrade applied.
+    pub reliability: f64,
+    /// `reliability - base_reliability`.
+    pub gain: f64,
+    /// The picked upgrades, in greedy order.
+    pub chosen: Vec<ChosenUpgrade>,
+    /// Candidate-pool size after ranking and capping.
+    pub candidates: usize,
+    /// Candidate evaluations performed (the lazy-forward saving shows
+    /// as `evaluations` well below `candidates * chosen.len()`).
+    pub evaluations: usize,
+    /// Total worlds sampled across all evaluations (including the base
+    /// estimate).
+    pub samples: usize,
+    /// Rounds whose winner separated from the runner-up within the
+    /// escalation allowance (the rest accepted an overlapping leader).
+    pub separated_rounds: usize,
+}
+
+/// Why a [`maximize`] call was rejected before any sampling.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MaximizeError {
+    /// `s` or `t` is out of range for the graph.
+    NodeOutOfRange {
+        /// `"source"` or `"target"`.
+        what: &'static str,
+        /// The offending node id.
+        node: u32,
+        /// The graph's node count.
+        nodes: usize,
+    },
+    /// `k` was zero.
+    ZeroK,
+    /// The boost target was outside `(0, 1]`.
+    BadBoost(f64),
+}
+
+impl fmt::Display for MaximizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MaximizeError::NodeOutOfRange { what, node, nodes } => {
+                write!(
+                    f,
+                    "{what} node {node} out of range (graph has {nodes} nodes)"
+                )
+            }
+            MaximizeError::ZeroK => write!(f, "k must be positive"),
+            MaximizeError::BadBoost(b) => {
+                write!(f, "boost must be a probability in (0, 1], got {b}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MaximizeError {}
+
+/// SplitMix64 finalizer: the per-evaluation seed derivation.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The seed for evaluating `edge` in `round` at escalation level `esc`.
+/// Distinct `(round, edge, esc)` triples get distinct streams, so
+/// escalated re-evaluations draw fresh worlds instead of replaying the
+/// same noise.
+fn eval_seed(master: u64, round: usize, edge: EdgeId, esc: u32) -> u64 {
+    mix(master ^ mix(((round as u64) << 40) ^ ((esc as u64) << 32) ^ edge.0 as u64))
+}
+
+/// Derive the escalation-level-`esc` budget: cap doubled per level and,
+/// for adaptive budgets, `eps` halved per level so the session actually
+/// buys narrower intervals instead of stopping at the old target.
+fn escalated(base: &SampleBudget, esc: u32) -> SampleBudget {
+    if esc == 0 {
+        return *base;
+    }
+    let factor = 1usize << esc.min(16);
+    let cap = base.max_samples().saturating_mul(factor);
+    let mut b = match base.eps() {
+        Some(e) => SampleBudget::adaptive(e / factor as f64, cap),
+        None => SampleBudget::fixed(cap),
+    }
+    .with_confidence(base.confidence())
+    .with_batch(base.batch());
+    if let Some(limit) = base.time_limit() {
+        b = b.with_time_limit(limit);
+    }
+    b
+}
+
+/// One candidate's freshest evaluation this round.
+#[derive(Clone, Copy)]
+struct Eval {
+    gain: f64,
+    reliability: f64,
+    half_width: f64,
+}
+
+struct Candidate {
+    edge: EdgeId,
+    update: EdgeUpdate,
+    /// Stale gain bound from the last round that evaluated this
+    /// candidate (`f64::INFINITY` before the first): under diminishing
+    /// returns, an upper bound on its current marginal gain.
+    bound: f64,
+    /// This round's evaluation, if any.
+    fresh: Option<Eval>,
+    taken: bool,
+}
+
+impl Candidate {
+    /// The lazy-greedy priority: fresh gain when evaluated this round,
+    /// the stale bound otherwise.
+    fn value(&self) -> f64 {
+        self.fresh.map_or(self.bound, |e| e.gain)
+    }
+}
+
+/// Greedily pick up to `opts.k` edge upgrades maximizing estimated
+/// `R(s, t)` — see the module docs for the algorithm. Deterministic in
+/// `(graph, s, t, opts)` for any `opts.threads` as long as the budget
+/// carries no wall-time limit.
+pub fn maximize(
+    graph: &Arc<UncertainGraph>,
+    s: NodeId,
+    t: NodeId,
+    opts: &MaximizeOptions,
+) -> Result<MaximizeResult, MaximizeError> {
+    for (what, node) in [("source", s), ("target", t)] {
+        if !graph.contains_node(node) {
+            return Err(MaximizeError::NodeOutOfRange {
+                what,
+                node: node.0,
+                nodes: graph.num_nodes(),
+            });
+        }
+    }
+    if opts.k == 0 {
+        return Err(MaximizeError::ZeroK);
+    }
+    if !(opts.boost.is_finite() && opts.boost > 0.0 && opts.boost <= 1.0) {
+        return Err(MaximizeError::BadBoost(opts.boost));
+    }
+
+    // Rank candidates by upgrade headroom, ties to the lower edge id,
+    // and cap the pool.
+    let cap = if opts.max_candidates == 0 {
+        DEFAULT_MAX_CANDIDATES
+    } else {
+        opts.max_candidates
+    };
+    let mut ranked: Vec<(f64, EdgeId)> = graph
+        .edges()
+        .filter_map(|(e, _, _, p)| {
+            let headroom = opts.boost - p.value();
+            (headroom > 0.0).then_some((headroom, e))
+        })
+        .collect();
+    ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+    ranked.truncate(cap);
+    // Evaluation order within equal priorities follows edge id, so the
+    // pool order itself must be deterministic — it is, by the sort above.
+    let mut pool: Vec<Candidate> = ranked
+        .into_iter()
+        .map(|(_, edge)| Candidate {
+            edge,
+            update: EdgeUpdate::new(edge, opts.boost).expect("boost validated above"),
+            bound: f64::INFINITY,
+            fresh: None,
+            taken: false,
+        })
+        .collect();
+    let candidates = pool.len();
+
+    let mut samples = 0usize;
+    let mut evaluations = 0usize;
+    let mut separated_rounds = 0usize;
+
+    let base_est = ParallelSampler::new(Arc::clone(graph), opts.threads).estimate_mc_with(
+        s,
+        t,
+        &opts.budget,
+        eval_seed(opts.seed, usize::MAX, EdgeId(u32::MAX), 0),
+    );
+    samples += base_est.samples;
+    let base_reliability = base_est.reliability;
+
+    let mut current: Arc<UncertainGraph> = Arc::new((**graph).clone());
+    let mut current_rel = base_reliability;
+    let mut chosen = Vec::new();
+
+    let rounds = opts.k.min(candidates);
+    for round in 0..rounds {
+        for c in pool.iter_mut() {
+            c.fresh = None;
+        }
+        // Evaluate `edge`'s upgrade on a CoW snapshot of the current
+        // graph; gains compare estimates from the same budget family, so
+        // the ranking is thread-count invariant.
+        let evaluate = |c: &mut Candidate, esc: u32, samples: &mut usize, evals: &mut usize| {
+            let snap = current.with_updated_probs(std::slice::from_ref(&c.update));
+            let est = ParallelSampler::new(snap, opts.threads).estimate_mc_with(
+                s,
+                t,
+                &escalated(&opts.budget, esc),
+                eval_seed(opts.seed, round, c.edge, esc),
+            );
+            *samples += est.samples;
+            *evals += 1;
+            c.fresh = Some(Eval {
+                gain: est.reliability - current_rel,
+                reliability: est.reliability,
+                half_width: est.half_width.unwrap_or(0.0),
+            });
+            c.bound = est.reliability - current_rel;
+        };
+
+        // Index of the open candidate with the highest priority (fresh
+        // gain or stale bound), ties to the lower edge id — `pool` is in
+        // ranking order, but ids decide, so scan explicitly.
+        let top_index = |pool: &[Candidate]| {
+            let mut best: Option<usize> = None;
+            for (i, c) in pool.iter().enumerate() {
+                if c.taken {
+                    continue;
+                }
+                best = match best {
+                    None => Some(i),
+                    Some(j) => {
+                        let (a, b) = (c.value(), pool[j].value());
+                        if a > b || (a == b && c.edge < pool[j].edge) {
+                            Some(i)
+                        } else {
+                            Some(j)
+                        }
+                    }
+                };
+            }
+            best
+        };
+
+        let mut esc = 0u32;
+        let winner = loop {
+            // Lazy-forward: chase the priority queue until the leader's
+            // value is a fresh (this-round) gain.
+            loop {
+                let i = top_index(&pool).expect("rounds <= pool size");
+                if pool[i].fresh.is_some() {
+                    break;
+                }
+                evaluate(&mut pool[i], esc, &mut samples, &mut evaluations);
+            }
+            let leader = top_index(&pool).expect("rounds <= pool size");
+            // Runner-up: best value among the rest (fresh or stale).
+            let runner = pool
+                .iter()
+                .enumerate()
+                .filter(|(i, c)| *i != leader && !c.taken)
+                .max_by(|(_, a), (_, b)| {
+                    a.value()
+                        .partial_cmp(&b.value())
+                        .unwrap()
+                        .then(b.edge.cmp(&a.edge))
+                })
+                .map(|(i, _)| i);
+            let Some(runner) = runner else {
+                // Only one candidate left: trivially separated.
+                separated_rounds += 1;
+                break leader;
+            };
+            let lead = pool[leader].fresh.expect("leader is fresh");
+            // A gain difference is a reliability difference (the shared
+            // baseline cancels), so separation only needs the two
+            // reliability half-widths.
+            let separated = match pool[runner].fresh {
+                Some(r) => lead.gain - lead.half_width > r.gain + r.half_width,
+                // Stale runner: its bound is already an upper bound on
+                // its gain, no interval to add.
+                None => lead.gain - lead.half_width > pool[runner].bound,
+            };
+            if separated {
+                separated_rounds += 1;
+                break leader;
+            }
+            if esc >= opts.max_escalations {
+                // Out of escalations: accept the current leader (ties
+                // this close are a coin flip either way, and the choice
+                // is still deterministic).
+                break leader;
+            }
+            // Re-score the overlapping pair under a bigger budget; the
+            // leader may swap, so loop back through the lazy pass.
+            esc += 1;
+            evaluate(&mut pool[leader], esc, &mut samples, &mut evaluations);
+            evaluate(&mut pool[runner], esc, &mut samples, &mut evaluations);
+        };
+
+        let win_eval = pool[winner].fresh.expect("winner is fresh");
+        let (from, to) = graph.endpoints(pool[winner].edge);
+        chosen.push(ChosenUpgrade {
+            edge: pool[winner].edge,
+            from,
+            to,
+            old_prob: current.prob(pool[winner].edge).value(),
+            new_prob: opts.boost,
+            gain: win_eval.gain,
+            reliability: win_eval.reliability,
+        });
+        current = current.with_updated_probs(std::slice::from_ref(&pool[winner].update));
+        current_rel = win_eval.reliability;
+        pool[winner].taken = true;
+    }
+
+    Ok(MaximizeResult {
+        base_reliability,
+        reliability: current_rel,
+        gain: current_rel - base_reliability,
+        chosen,
+        candidates,
+        evaluations,
+        samples,
+        separated_rounds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::{exact_best_upgrade_set, exact_reliability};
+    use relcomp_ugraph::GraphBuilder;
+
+    fn opts(k: usize, boost: f64) -> MaximizeOptions {
+        MaximizeOptions {
+            threads: 2,
+            seed: 7,
+            ..MaximizeOptions::new(k, boost, SampleBudget::adaptive(0.02, 40_000))
+        }
+    }
+
+    /// Two parallel 2-hop paths, one much weaker than the other.
+    fn two_paths() -> Arc<UncertainGraph> {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1), 0.9).unwrap();
+        b.add_edge(NodeId(1), NodeId(3), 0.2).unwrap();
+        b.add_edge(NodeId(0), NodeId(2), 0.1).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), 0.1).unwrap();
+        Arc::new(b.build())
+    }
+
+    #[test]
+    fn picks_the_bottleneck_edge() {
+        let g = two_paths();
+        let r = maximize(&g, NodeId(0), NodeId(3), &opts(1, 1.0)).unwrap();
+        assert_eq!(r.chosen.len(), 1);
+        // Upgrading 1 -> 3 to certainty yields R ~ 0.9 + spare; every
+        // other single upgrade stays under 0.5.
+        assert_eq!(
+            (r.chosen[0].from, r.chosen[0].to),
+            (NodeId(1), NodeId(3)),
+            "greedy must fix the strong path's bottleneck"
+        );
+        assert!(r.gain > 0.5, "gain {} too small", r.gain);
+        assert!(r.samples > 0 && r.evaluations >= r.candidates);
+    }
+
+    #[test]
+    fn matches_exact_oracle_on_small_instances() {
+        let g = two_paths();
+        for k in 1..=3 {
+            let got = maximize(&g, NodeId(0), NodeId(3), &opts(k, 1.0)).unwrap();
+            let cands: Vec<EdgeUpdate> = g
+                .edges()
+                .map(|(e, _, _, _)| EdgeUpdate::new(e, 1.0).unwrap())
+                .collect();
+            let (best_set, best_rel) = exact_best_upgrade_set(&g, NodeId(0), NodeId(3), &cands, k);
+            assert_eq!(best_set.len(), k);
+            // Evaluate the greedy's chosen set exactly and compare gains.
+            let ups: Vec<EdgeUpdate> = got
+                .chosen
+                .iter()
+                .map(|c| EdgeUpdate::new(c.edge, c.new_prob).unwrap())
+                .collect();
+            let greedy_exact = exact_reliability(&g.with_updated_probs(&ups), NodeId(0), NodeId(3));
+            assert!(
+                (greedy_exact - best_rel).abs() < 1e-9,
+                "k={k}: greedy exact {greedy_exact} vs oracle {best_rel}"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_identical_across_thread_counts() {
+        let g = two_paths();
+        let runs: Vec<MaximizeResult> = [1, 2, 4]
+            .iter()
+            .map(|&threads| {
+                let o = MaximizeOptions {
+                    threads,
+                    ..opts(2, 0.95)
+                };
+                maximize(&g, NodeId(0), NodeId(3), &o).unwrap()
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[1], runs[2]);
+    }
+
+    #[test]
+    fn k_clamps_to_pool_and_skips_full_edges() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 0.5).unwrap();
+        let g = Arc::new(b.build());
+        let r = maximize(&g, NodeId(0), NodeId(2), &opts(5, 1.0)).unwrap();
+        // Only the 0.5 edge has headroom.
+        assert_eq!(r.candidates, 1);
+        assert_eq!(r.chosen.len(), 1);
+        assert_eq!(r.chosen[0].old_prob, 0.5);
+        assert_eq!(r.chosen[0].new_prob, 1.0);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let g = two_paths();
+        assert!(matches!(
+            maximize(&g, NodeId(9), NodeId(3), &opts(1, 1.0)),
+            Err(MaximizeError::NodeOutOfRange { what: "source", .. })
+        ));
+        assert!(matches!(
+            maximize(&g, NodeId(0), NodeId(3), &opts(0, 1.0)),
+            Err(MaximizeError::ZeroK)
+        ));
+        assert!(matches!(
+            maximize(&g, NodeId(0), NodeId(3), &opts(1, 1.5)),
+            Err(MaximizeError::BadBoost(_))
+        ));
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests for the greedy reliability maximizer: on small random
+//! digraphs the greedy pick is sandwiched between the unmodified graph
+//! and the exhaustive oracle's exact optimum, its estimates track the
+//! exact reliability of whatever it picked, and the whole result is
+//! bit-identical across sampler thread counts.
+
+use proptest::prelude::*;
+use relcomp_core::exact::{exact_best_upgrade_set, exact_reliability};
+use relcomp_core::maximize::{maximize, MaximizeOptions};
+use relcomp_core::session::SampleBudget;
+use relcomp_ugraph::{EdgeUpdate, GraphBuilder, NodeId, UncertainGraph};
+use std::sync::Arc;
+
+/// Strategy: a random small digraph as (n, edge list) with valid probs.
+/// Edge counts stay single-digit so the exhaustive oracle (per-subset
+/// `2^m` world enumeration) stays cheap.
+fn small_digraph() -> impl Strategy<Value = (usize, Vec<(u32, u32, f64)>)> {
+    (4usize..11).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32, 0.05f64..1.0);
+        (Just(n), proptest::collection::vec(edge, 1..10))
+    })
+}
+
+fn build(n: usize, edges: &[(u32, u32, f64)]) -> UncertainGraph {
+    let mut b = GraphBuilder::new(n).duplicate_policy(relcomp_ugraph::DuplicatePolicy::CombineOr);
+    for &(u, v, p) in edges {
+        if u != v {
+            b.add_edge(NodeId(u), NodeId(v), p).unwrap();
+        }
+    }
+    b.build()
+}
+
+/// The full upgrade pool the greedy ranks from: every edge with headroom
+/// below `boost`, as an oracle-ready update list.
+fn headroom_pool(graph: &UncertainGraph, boost: f64) -> Vec<EdgeUpdate> {
+    graph
+        .edges()
+        .filter(|(_, _, _, p)| p.value() < boost)
+        .map(|(e, _, _, _)| EdgeUpdate::new(e, boost).unwrap())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The exact reliability of the greedy's chosen set can never beat
+    /// the oracle's exact optimum, never falls below the unmodified
+    /// graph (upgrades are monotone), and the greedy's own sampled
+    /// estimates stay within Monte Carlo tolerance of the exact value
+    /// of what it actually picked.
+    #[test]
+    fn greedy_is_sandwiched_and_tracks_its_own_pick(
+        (n, edges) in small_digraph(),
+        seed in 0u64..200,
+        k in 1usize..4,
+    ) {
+        let g = Arc::new(build(n, &edges));
+        let (s, t) = (NodeId(0), NodeId((n - 1) as u32));
+        let boost = 0.9;
+
+        let mut opts = MaximizeOptions::new(k, boost, SampleBudget::adaptive(0.05, 20_000));
+        opts.seed = seed;
+        let result = maximize(&g, s, t, &opts).expect("valid inputs");
+
+        let base_exact = exact_reliability(&g, s, t);
+        let updates: Vec<EdgeUpdate> = result
+            .chosen
+            .iter()
+            .map(|c| EdgeUpdate::new(c.edge, c.new_prob).unwrap())
+            .collect();
+        let chosen_exact = if updates.is_empty() {
+            base_exact
+        } else {
+            exact_reliability(&g.with_updated_probs(&updates), s, t)
+        };
+
+        // Sandwich against the exhaustive oracle over the same pool.
+        let pool = headroom_pool(&g, boost);
+        let (_, oracle_rel) = exact_best_upgrade_set(&g, s, t, &pool, k);
+        prop_assert!(chosen_exact <= oracle_rel + 1e-9,
+            "greedy's true value {chosen_exact} beats the oracle {oracle_rel}");
+        prop_assert!(chosen_exact >= base_exact - 1e-9,
+            "upgrades are monotone but {chosen_exact} < base {base_exact}");
+
+        // The estimates describe the pick: five worst-case Bernoulli
+        // standard deviations at the adaptive cap, plus slack for the
+        // final short confirmation rounds.
+        let tol = 0.06;
+        prop_assert!((result.base_reliability - base_exact).abs() <= tol,
+            "base estimate {} vs exact {base_exact}", result.base_reliability);
+        prop_assert!((result.reliability - chosen_exact).abs() <= tol,
+            "final estimate {} vs exact of pick {chosen_exact}", result.reliability);
+        prop_assert!((result.gain - (result.reliability - result.base_reliability)).abs() <= 1e-12);
+
+        // Structural invariants of the pick itself.
+        prop_assert!(result.chosen.len() <= k.min(pool.len()));
+        let mut seen = std::collections::HashSet::new();
+        for c in &result.chosen {
+            prop_assert!(seen.insert(c.edge), "edge {:?} picked twice", c.edge);
+            prop_assert!(c.old_prob < boost && (c.new_prob - boost).abs() < 1e-15);
+        }
+    }
+
+    /// The entire greedy result — estimates, pick order, evaluation and
+    /// sample counts — is bit-identical for 1, 2, and 4 sampler threads.
+    #[test]
+    fn greedy_is_bit_identical_across_thread_counts(
+        (n, edges) in small_digraph(),
+        seed in 0u64..200,
+        k in 1usize..4,
+    ) {
+        let g = Arc::new(build(n, &edges));
+        let (s, t) = (NodeId(0), NodeId((n - 1) as u32));
+        let runs: Vec<_> = [1usize, 2, 4]
+            .into_iter()
+            .map(|threads| {
+                let mut opts =
+                    MaximizeOptions::new(k, 0.9, SampleBudget::adaptive(0.05, 20_000));
+                opts.seed = seed;
+                opts.threads = threads;
+                maximize(&g, s, t, &opts).expect("valid inputs")
+            })
+            .collect();
+        for other in &runs[1..] {
+            prop_assert_eq!(runs[0].base_reliability.to_bits(), other.base_reliability.to_bits());
+            prop_assert_eq!(runs[0].reliability.to_bits(), other.reliability.to_bits());
+            prop_assert_eq!(runs[0].gain.to_bits(), other.gain.to_bits());
+            prop_assert_eq!(&runs[0].chosen, &other.chosen);
+            prop_assert_eq!(runs[0].candidates, other.candidates);
+            prop_assert_eq!(runs[0].evaluations, other.evaluations);
+            prop_assert_eq!(runs[0].samples, other.samples);
+            prop_assert_eq!(runs[0].separated_rounds, other.separated_rounds);
+        }
+    }
+}

@@ -21,16 +21,24 @@ pub enum Workload {
     TopK,
     /// Distance-constrained reliability R_d.
     Distance,
+    /// Greedy reliability maximization (edge-upgrade search).
+    Maximize,
 }
 
 impl Workload {
-    pub const ALL: [Workload; 3] = [Workload::St, Workload::TopK, Workload::Distance];
+    pub const ALL: [Workload; 4] = [
+        Workload::St,
+        Workload::TopK,
+        Workload::Distance,
+        Workload::Maximize,
+    ];
 
     pub fn label(self) -> &'static str {
         match self {
             Workload::St => "st",
             Workload::TopK => "topk",
             Workload::Distance => "dquery",
+            Workload::Maximize => "maximize",
         }
     }
 
@@ -40,6 +48,7 @@ impl Workload {
             Workload::St => 0,
             Workload::TopK => 1,
             Workload::Distance => 2,
+            Workload::Maximize => 3,
         }
     }
 }
@@ -115,11 +124,11 @@ fn estimator_idx(label: &str) -> usize {
 #[derive(Debug, Default)]
 pub struct Registry {
     /// `queries[workload][outcome]`.
-    queries: [[AtomicU64; 4]; 3],
+    queries: [[AtomicU64; 4]; 4],
     /// Completed (hit or miss) queries per estimator display name.
     by_estimator: [AtomicU64; ESTIMATOR_LABELS.len()],
     /// End-to-end latency in microseconds, per workload.
-    latency: [Histogram; 3],
+    latency: [Histogram; 4],
     updates: AtomicU64,
     /// Ring buffer of recent per-query stage traces.
     pub traces: TraceRing,

@@ -2,9 +2,10 @@
 
 use crate::engine::BatchResults;
 use crate::protocol::{
-    DistanceQueryRequest, DistanceQueryResponse, EdgeProbUpdate, LoadResponse, MetricsFormat,
-    MetricsReport, QueryRequest, QueryResponse, ReloadResponse, Request, Response, StatsResponse,
-    TopKRequest, TopKResponse, TraceRow, UpdateResponse, UseResponse,
+    DistanceQueryRequest, DistanceQueryResponse, EdgeProbUpdate, LoadResponse, MaximizeRequest,
+    MaximizeResponse, MetricsFormat, MetricsReport, QueryRequest, QueryResponse, ReloadResponse,
+    Request, Response, StatsResponse, TopKRequest, TopKResponse, TraceRow, UpdateResponse,
+    UseResponse,
 };
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
@@ -122,6 +123,17 @@ impl Client {
             Response::DQuery(r) => Ok(r),
             other => Err(ClientError::Protocol(format!(
                 "expected dquery answer, got {other:?}"
+            ))),
+        }
+    }
+
+    /// One greedy reliability maximization (optionally committing the
+    /// chosen upgrades when the request sets `apply`).
+    pub fn maximize(&mut self, request: MaximizeRequest) -> Result<MaximizeResponse, ClientError> {
+        match self.request(&Request::Maximize(request))? {
+            Response::Maximize(r) => Ok(r),
+            other => Err(ClientError::Protocol(format!(
+                "expected maximize answer, got {other:?}"
             ))),
         }
     }

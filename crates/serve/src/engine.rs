@@ -45,12 +45,13 @@
 
 use crate::cache::ShardedLru;
 use crate::protocol::{
-    DistanceQueryRequest, DistanceQueryResponse, EdgeProbUpdate, MigratedResident, QueryRequest,
-    QueryResponse, ReloadResponse, StatsResponse, TargetEntry, TopKRequest, TopKResponse,
-    UpdateResponse,
+    DistanceQueryRequest, DistanceQueryResponse, EdgeProbUpdate, MaximizeRequest, MaximizeResponse,
+    MigratedResident, QueryRequest, QueryResponse, ReloadResponse, StatsResponse, TargetEntry,
+    TopKRequest, TopKResponse, UpdateResponse, UpgradeRow,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use relcomp_core::maximize::{MaximizeOptions, DEFAULT_MAX_CANDIDATES};
 use relcomp_core::metrics::take_thread_session_stats;
 use relcomp_core::parallel::{shard_rng, ParallelSampler};
 use relcomp_core::session::{
@@ -102,6 +103,13 @@ pub struct EngineConfig {
     pub auto_eps: f64,
     /// `k` used when a `topk` request does not specify one.
     pub default_top_k: usize,
+    /// `k` used when a `maximize` request does not specify one.
+    pub default_maximize_k: usize,
+    /// Admission control: largest accepted `maximize` candidate pool —
+    /// each greedy round may evaluate the whole pool, so this bounds
+    /// the cost multiplier over a plain query. Also the default when a
+    /// request does not specify `candidates`.
+    pub max_maximize_candidates: usize,
     /// `estimator:"auto"` policy: memory budget handed to Fig. 18.
     pub memory: MemoryBudget,
     /// `estimator:"auto"` policy: variance need handed to Fig. 18.
@@ -126,6 +134,8 @@ impl Default for EngineConfig {
             adaptive_max_samples: DEFAULT_ADAPTIVE_CAP,
             auto_eps: 0.01,
             default_top_k: 10,
+            default_maximize_k: 1,
+            max_maximize_candidates: DEFAULT_MAX_CANDIDATES,
             memory: MemoryBudget::Larger,
             variance: VarianceNeed::Higher,
             speed: SpeedNeed::Faster,
@@ -150,6 +160,17 @@ pub enum WorkloadKind {
     Distance {
         /// Hop bound `d`.
         d: usize,
+    },
+    /// Greedy reliability maximization (`maximize`). Report-only
+    /// answers cache; `apply` runs bump the epoch and never cache.
+    Maximize {
+        /// Number of upgrades requested.
+        k: usize,
+        /// Boost probability (`f64::to_bits` — it shapes every
+        /// candidate, so two boosts are different computations).
+        boost_bits: u64,
+        /// Candidate-pool cap.
+        candidates: usize,
     },
 }
 
@@ -235,6 +256,19 @@ pub(crate) struct CachedAnswer {
     /// Ranked `(node, reliability)` pairs for top-k answers; `None` for
     /// the single-value workloads.
     pub(crate) targets: Option<Vec<(u32, f64)>>,
+    /// Greedy-search payload for maximize answers; `None` otherwise.
+    pub(crate) upgrades: Option<MaximizeAnswer>,
+}
+
+/// The maximize-specific half of a cached answer: everything beyond the
+/// final reliability that `CachedAnswer` already carries.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct MaximizeAnswer {
+    pub(crate) base_reliability: f64,
+    pub(crate) gain: f64,
+    pub(crate) chosen: Vec<UpgradeRow>,
+    pub(crate) candidates: usize,
+    pub(crate) evaluations: usize,
 }
 
 /// The query raced an epoch swap; re-snapshot and retry.
@@ -637,6 +671,34 @@ impl QueryEngine {
         }
     }
 
+    fn respond_maximize(
+        &self,
+        req: &MaximizeRequest,
+        k: usize,
+        a: &CachedAnswer,
+        cached: bool,
+        applied_epoch: Option<u64>,
+        start: Instant,
+    ) -> MaximizeResponse {
+        let micros = self.observe(ObsWorkload::Maximize, a.estimator, cached, start);
+        let m = a.upgrades.as_ref().expect("maximize answer payload");
+        MaximizeResponse {
+            s: req.s,
+            t: req.t,
+            k,
+            base_reliability: m.base_reliability,
+            reliability: a.reliability,
+            gain: m.gain,
+            chosen: m.chosen.clone(),
+            candidates: m.candidates,
+            evaluations: m.evaluations,
+            samples: a.samples,
+            micros,
+            cached,
+            applied_epoch,
+        }
+    }
+
     /// Fetch (building on first use) the shared estimator cell for
     /// `kind` at the snapshot's epoch. The registry lock is held only
     /// for the map lookup/insert; queries then contend on the per-kind
@@ -692,6 +754,7 @@ impl QueryEngine {
             half_width: est.half_width,
             variance: est.variance,
             targets: None,
+            upgrades: None,
         };
         match p.kind {
             EstimatorKind::Mc => {
@@ -934,6 +997,7 @@ impl QueryEngine {
                     .map(|ts| (ts.node.0, ts.reliability))
                     .collect(),
             ),
+            upgrades: None,
         };
         self.cache.insert(key, answer.clone());
         Ok(self.respond_topk(req.s, k, &answer, false, start))
@@ -1039,9 +1103,188 @@ impl QueryEngine {
             half_width: est.half_width,
             variance: est.variance,
             targets: None,
+            upgrades: None,
         };
         self.cache.insert(key, answer.clone());
         Ok(self.respond_dquery(req, &answer, false, start))
+    }
+
+    /// Answer one reliability-maximization request: greedily pick the
+    /// `k` edge upgrades (probability boosts to `boost`) that maximize
+    /// `R(s, t)`, scoring candidates by marginal gain on copy-on-write
+    /// snapshots of the served graph (see [`relcomp_core::maximize`]).
+    ///
+    /// Report-only answers share the epoch/budget cache-key semantics of
+    /// every other workload. `apply` requests additionally commit the
+    /// chosen boosts through [`QueryEngine::apply_updates`] — the same
+    /// write path as the `update` verb, bumping the epoch and migrating
+    /// resident estimators — and are never cached (their answer is tied
+    /// to the epoch they retired).
+    pub fn execute_maximize(&self, req: &MaximizeRequest) -> Result<MaximizeResponse, String> {
+        let mut tb = TraceBuilder::new();
+        let out = self.execute_maximize_traced(req, &mut tb);
+        self.record_trace(tb);
+        out
+    }
+
+    /// [`QueryEngine::execute_maximize`] with caller-supplied stage
+    /// tracing (see [`QueryEngine::execute_traced`]).
+    pub fn execute_maximize_traced(
+        &self,
+        req: &MaximizeRequest,
+        tb: &mut TraceBuilder,
+    ) -> Result<MaximizeResponse, String> {
+        tb.set_workload(ObsWorkload::Maximize.label());
+        tb.set_pair(req.s as u64, req.t as u64);
+        match self.maximize_inner(req, tb) {
+            Ok(resp) => {
+                tb.set_outcome(true, resp.cached);
+                Ok(resp)
+            }
+            Err(f) => {
+                tb.set_outcome(false, false);
+                Err(self.fail(ObsWorkload::Maximize, f))
+            }
+        }
+    }
+
+    fn maximize_inner(
+        &self,
+        req: &MaximizeRequest,
+        tb: &mut TraceBuilder,
+    ) -> Result<MaximizeResponse, Fail> {
+        let _guard = {
+            let _span = Span::enter(tb, Stage::Admission);
+            self.admit()?
+        };
+        let snap = self.snapshot();
+        let start = Instant::now();
+        let (k, boost, candidates, samples, confidence, seed) = {
+            let _span = Span::enter(tb, Stage::Plan);
+            for (what, id) in [("source", req.s), ("target", req.t)] {
+                if !snap.graph.contains_node(NodeId(id)) {
+                    return Err(Fail::Error(format!(
+                        "{what} node {id} out of range (graph has {} nodes)",
+                        snap.graph.num_nodes()
+                    )));
+                }
+            }
+            let k = req.k.unwrap_or(self.config.default_maximize_k);
+            if k == 0 {
+                return Err(Fail::Error("k must be positive".into()));
+            }
+            let boost = req.boost.unwrap_or(1.0);
+            if !(boost > 0.0 && boost <= 1.0) {
+                return Err(Fail::Error(format!("boost {boost} out of range (0, 1]")));
+            }
+            let candidates = req
+                .candidates
+                .unwrap_or(self.config.max_maximize_candidates);
+            if candidates == 0 {
+                return Err(Fail::Error("candidates must be positive".into()));
+            }
+            if candidates > self.config.max_maximize_candidates {
+                return Err(Fail::Rejected(format!(
+                    "candidate pool {candidates} exceeds the admission limit {}",
+                    self.config.max_maximize_candidates
+                )));
+            }
+            let (samples, confidence) =
+                self.resolve_budget(req.samples, req.eps, req.confidence, req.time_budget_ms)?;
+            (
+                k,
+                boost,
+                candidates,
+                samples,
+                confidence,
+                req.seed.unwrap_or(self.config.default_seed),
+            )
+        };
+        let key = QueryKey {
+            workload: WorkloadKind::Maximize {
+                k,
+                boost_bits: boost.to_bits(),
+                candidates,
+            },
+            epoch: snap.epoch,
+            s: req.s,
+            t: req.t,
+            kind: EstimatorKind::Mc,
+            samples,
+            seed,
+            eps_bits: req.eps.map(f64::to_bits),
+            confidence_bits: Some(confidence.to_bits()),
+            time_budget_ms: req.time_budget_ms,
+        };
+        if !req.apply {
+            let hit = {
+                let _span = Span::enter(tb, Stage::CacheLookup);
+                self.cache.get(&key)
+            };
+            if let Some(hit) = hit {
+                return Ok(self.respond_maximize(req, k, &hit, true, None, start));
+            }
+        }
+        let budget = SampleBudget::assemble(samples, req.eps, confidence, req.time_budget_ms);
+        let mut opts = MaximizeOptions::new(k, boost, budget);
+        opts.threads = self.threads;
+        opts.seed = seed;
+        opts.max_candidates = candidates;
+        let result = self
+            .sample_span(tb, || {
+                relcomp_core::maximize::maximize(&snap.graph, NodeId(req.s), NodeId(req.t), &opts)
+            })
+            .map_err(|e| Fail::Error(e.to_string()))?;
+        let answer = CachedAnswer {
+            reliability: result.reliability,
+            samples: result.samples,
+            estimator: "MC",
+            stop_reason: StopReason::FixedK,
+            half_width: None,
+            variance: None,
+            targets: None,
+            upgrades: Some(MaximizeAnswer {
+                base_reliability: result.base_reliability,
+                gain: result.gain,
+                chosen: result
+                    .chosen
+                    .iter()
+                    .map(|c| UpgradeRow {
+                        s: c.from.0,
+                        t: c.to.0,
+                        old_prob: c.old_prob,
+                        new_prob: c.new_prob,
+                        gain: c.gain,
+                        reliability: c.reliability,
+                    })
+                    .collect(),
+                candidates: result.candidates,
+                evaluations: result.evaluations,
+            }),
+        };
+        let applied_epoch = if req.apply {
+            let updates: Vec<EdgeProbUpdate> = result
+                .chosen
+                .iter()
+                .map(|c| EdgeProbUpdate {
+                    s: c.from.0,
+                    t: c.to.0,
+                    prob: c.new_prob,
+                })
+                .collect();
+            if updates.is_empty() {
+                // Nothing to upgrade (e.g. every candidate already at
+                // the boost): an apply run with no picks commits nothing.
+                None
+            } else {
+                let committed = self.apply_updates(&updates).map_err(Fail::Error)?;
+                Some(committed.epoch)
+            }
+        } else {
+            self.cache.insert(key, answer.clone());
+            None
+        };
+        Ok(self.respond_maximize(req, k, &answer, false, applied_epoch, start))
     }
 
     /// Answer a batch in one pass, amortizing MC world sampling across
@@ -1133,6 +1376,7 @@ impl QueryEngine {
                     half_width: est.half_width,
                     variance: est.variance,
                     targets: None,
+                    upgrades: None,
                 };
                 self.cache
                     .insert(Self::key(snap.epoch, &plan), answer.clone());
@@ -1461,6 +1705,85 @@ mod tests {
 
     fn upd(s: u32, t: u32, prob: f64) -> EdgeProbUpdate {
         EdgeProbUpdate { s, t, prob }
+    }
+
+    #[test]
+    fn maximize_reports_caches_and_applies() {
+        let e = engine();
+        let req = MaximizeRequest {
+            k: Some(2),
+            samples: Some(4000),
+            seed: Some(7),
+            ..MaximizeRequest::new(0, 3)
+        };
+        let first = e.execute_maximize(&req).unwrap();
+        assert!(!first.cached);
+        assert_eq!(first.k, 2);
+        assert_eq!(first.chosen.len(), 2);
+        assert!(first.gain > 0.0);
+        assert!((first.reliability - first.base_reliability - first.gain).abs() < 1e-12);
+        assert!(first.applied_epoch.is_none());
+        // Report-only answers cache like any read.
+        let second = e.execute_maximize(&req).unwrap();
+        assert!(second.cached);
+        assert_eq!(first.reliability.to_bits(), second.reliability.to_bits());
+        assert_eq!(first.chosen.len(), second.chosen.len());
+        // `apply` bypasses the cache, commits through the update path,
+        // and bumps the epoch.
+        let applied = e
+            .execute_maximize(&MaximizeRequest {
+                apply: true,
+                ..req.clone()
+            })
+            .unwrap();
+        assert!(!applied.cached);
+        assert_eq!(applied.applied_epoch, Some(1));
+        assert_eq!(e.stats().epoch, 1);
+        // The committed boosts are live: the chosen edges now carry
+        // their new probabilities.
+        let g = e.graph();
+        for row in &applied.chosen {
+            let edge = g.find_edge(NodeId(row.s), NodeId(row.t)).unwrap();
+            assert_eq!(g.prob(edge).value().to_bits(), row.new_prob.to_bits());
+        }
+        assert_eq!(e.registry().count(ObsWorkload::Maximize, Outcome::Hit), 1);
+        assert_eq!(e.registry().count(ObsWorkload::Maximize, Outcome::Miss), 2);
+    }
+
+    #[test]
+    fn maximize_validates_inputs() {
+        let e = engine();
+        let bad_k = MaximizeRequest {
+            k: Some(0),
+            ..MaximizeRequest::new(0, 3)
+        };
+        assert!(e.execute_maximize(&bad_k).unwrap_err().contains("k must"));
+        let bad_boost = MaximizeRequest {
+            boost: Some(1.5),
+            ..MaximizeRequest::new(0, 3)
+        };
+        assert!(e
+            .execute_maximize(&bad_boost)
+            .unwrap_err()
+            .contains("boost"));
+        let bad_node = MaximizeRequest::new(0, 99);
+        assert!(e
+            .execute_maximize(&bad_node)
+            .unwrap_err()
+            .contains("out of range"));
+        let too_many = MaximizeRequest {
+            candidates: Some(1_000_000),
+            ..MaximizeRequest::new(0, 3)
+        };
+        assert!(e
+            .execute_maximize(&too_many)
+            .unwrap_err()
+            .contains("admission limit"));
+        assert_eq!(e.registry().count(ObsWorkload::Maximize, Outcome::Error), 3);
+        assert_eq!(
+            e.registry().count(ObsWorkload::Maximize, Outcome::Rejected),
+            1
+        );
     }
 
     #[test]

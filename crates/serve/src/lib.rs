@@ -45,9 +45,9 @@ pub use client::{Client, ClientError};
 pub use engine::{EngineConfig, QueryEngine};
 pub use persist::PersistConfig;
 pub use protocol::{
-    DistanceQueryRequest, DistanceQueryResponse, LoadResponse, MetricsFormat, MetricsReport,
-    QueryRequest, QueryResponse, Request, Response, StatsResponse, TopKRequest, TopKResponse,
-    TraceRow, UseResponse, DEFAULT_PORT,
+    DistanceQueryRequest, DistanceQueryResponse, LoadResponse, MaximizeRequest, MaximizeResponse,
+    MetricsFormat, MetricsReport, QueryRequest, QueryResponse, Request, Response, StatsResponse,
+    TopKRequest, TopKResponse, TraceRow, UpgradeRow, UseResponse, DEFAULT_PORT,
 };
 pub use server::{Server, ServerMode, ServerOptions};
 pub use tenants::{TenantRegistry, DEFAULT_TENANT};

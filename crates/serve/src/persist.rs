@@ -15,7 +15,8 @@
 //! rewrites each tenant's snapshot on a fixed interval and once more on
 //! shutdown.
 
-use crate::engine::{CachedAnswer, QueryEngine, QueryKey, WorkloadKind};
+use crate::engine::{CachedAnswer, MaximizeAnswer, QueryEngine, QueryKey, WorkloadKind};
+use crate::protocol::UpgradeRow;
 use crate::tenants::TenantRegistry;
 use relcomp_core::{EstimatorKind, StopReason};
 use relcomp_ugraph::UncertainGraph;
@@ -245,6 +246,16 @@ fn encode_entry(buf: &mut Vec<u8>, key: &QueryKey, answer: &CachedAnswer) {
             put_u8(buf, 2);
             put_u64(buf, d as u64);
         }
+        WorkloadKind::Maximize {
+            k,
+            boost_bits,
+            candidates,
+        } => {
+            put_u8(buf, 3);
+            put_u64(buf, k as u64);
+            put_u64(buf, boost_bits);
+            put_u64(buf, candidates as u64);
+        }
     }
     put_u64(buf, key.epoch);
     put_u32(buf, key.s);
@@ -275,6 +286,29 @@ fn encode_entry(buf: &mut Vec<u8>, key: &QueryKey, answer: &CachedAnswer) {
             }
         }
     }
+    // The maximize payload trails the entry only for maximize keys, so
+    // files written before the workload existed still decode byte-for-
+    // byte (and old readers reject new files at the workload tag, never
+    // mid-entry).
+    if matches!(key.workload, WorkloadKind::Maximize { .. }) {
+        let m = answer
+            .upgrades
+            .as_ref()
+            .expect("maximize entries carry their payload");
+        put_f64(buf, m.base_reliability);
+        put_f64(buf, m.gain);
+        put_u64(buf, m.candidates as u64);
+        put_u64(buf, m.evaluations as u64);
+        put_u32(buf, m.chosen.len() as u32);
+        for row in &m.chosen {
+            put_u32(buf, row.s);
+            put_u32(buf, row.t);
+            put_f64(buf, row.old_prob);
+            put_f64(buf, row.new_prob);
+            put_f64(buf, row.gain);
+            put_f64(buf, row.reliability);
+        }
+    }
 }
 
 fn decode_entry(r: &mut Reader<'_>) -> Result<(QueryKey, CachedAnswer), String> {
@@ -288,6 +322,11 @@ fn decode_entry(r: &mut Reader<'_>) -> Result<(QueryKey, CachedAnswer), String> 
         },
         2 => WorkloadKind::Distance {
             d: r.u64()? as usize,
+        },
+        3 => WorkloadKind::Maximize {
+            k: r.u64()? as usize,
+            boost_bits: r.u64()?,
+            candidates: r.u64()? as usize,
         },
         t => return Err(format!("bad workload tag {t}")),
     };
@@ -337,6 +376,33 @@ fn decode_entry(r: &mut Reader<'_>) -> Result<(QueryKey, CachedAnswer), String> 
         }
         t => return Err(format!("bad targets tag {t}")),
     };
+    let upgrades = if matches!(key.workload, WorkloadKind::Maximize { .. }) {
+        let base_reliability = r.f64()?;
+        let gain = r.f64()?;
+        let candidates = r.u64()? as usize;
+        let evaluations = r.u64()? as usize;
+        let n = r.u32()? as usize;
+        let mut chosen = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            chosen.push(UpgradeRow {
+                s: r.u32()?,
+                t: r.u32()?,
+                old_prob: r.f64()?,
+                new_prob: r.f64()?,
+                gain: r.f64()?,
+                reliability: r.f64()?,
+            });
+        }
+        Some(MaximizeAnswer {
+            base_reliability,
+            gain,
+            chosen,
+            candidates,
+            evaluations,
+        })
+    } else {
+        None
+    };
     Ok((
         key,
         CachedAnswer {
@@ -347,6 +413,7 @@ fn decode_entry(r: &mut Reader<'_>) -> Result<(QueryKey, CachedAnswer), String> 
             half_width,
             variance,
             targets,
+            upgrades,
         },
     ))
 }
@@ -615,13 +682,18 @@ mod tests {
         // bit-for-bit, including every optional field shape.
         let mut rng = ChaCha8Rng::seed_from_u64(0x9e3779b97f4a7c15);
         for _ in 0..500 {
-            let workload = match rng.next_u32() % 3 {
+            let workload = match rng.next_u32() % 4 {
                 0 => WorkloadKind::St,
                 1 => WorkloadKind::TopK {
                     k: (rng.next_u32() % 100) as usize,
                 },
-                _ => WorkloadKind::Distance {
+                2 => WorkloadKind::Distance {
                     d: (rng.next_u32() % 16) as usize,
+                },
+                _ => WorkloadKind::Maximize {
+                    k: (rng.next_u32() % 8) as usize,
+                    boost_bits: rng.next_u64(),
+                    candidates: (rng.next_u32() % 64) as usize,
                 },
             };
             let kind = KIND_TAGS[(rng.next_u32() % 10) as usize];
@@ -644,6 +716,25 @@ mod tests {
                     .map(|_| (rng.next_u32(), rng.next_u64() as f64 / u64::MAX as f64))
                     .collect::<Vec<_>>()
             });
+            let upgrades = matches!(workload, WorkloadKind::Maximize { .. }).then(|| {
+                let unit = |rng: &mut ChaCha8Rng| rng.next_u64() as f64 / u64::MAX as f64;
+                MaximizeAnswer {
+                    base_reliability: unit(&mut rng),
+                    gain: unit(&mut rng),
+                    chosen: (0..rng.next_u32() % 5)
+                        .map(|_| UpgradeRow {
+                            s: rng.next_u32(),
+                            t: rng.next_u32(),
+                            old_prob: unit(&mut rng),
+                            new_prob: unit(&mut rng),
+                            gain: unit(&mut rng),
+                            reliability: unit(&mut rng),
+                        })
+                        .collect(),
+                    candidates: (rng.next_u32() % 64) as usize,
+                    evaluations: (rng.next_u32() % 512) as usize,
+                }
+            });
             let answer = CachedAnswer {
                 reliability: rng.next_u64() as f64 / u64::MAX as f64,
                 samples: rng.next_u32() as usize,
@@ -652,6 +743,7 @@ mod tests {
                 half_width: maybe_u64(&mut rng).map(|v| v as f64 / u64::MAX as f64),
                 variance: maybe_u64(&mut rng).map(|v| v as f64 / u64::MAX as f64),
                 targets,
+                upgrades,
             };
             let mut buf = Vec::new();
             encode_entry(&mut buf, &key, &answer);

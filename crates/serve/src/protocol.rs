@@ -16,6 +16,8 @@
 //! {"cmd":"topk","s":0,"k":10,"eps":0.05,"samples":50000}
 //! {"cmd":"dquery","s":0,"t":3,"d":4,"samples":2000,"seed":7}
 //! {"cmd":"dquery","s":0,"t":3,"d":4,"eps":0.01,"time_budget_ms":50}
+//! {"cmd":"maximize","s":0,"t":3,"k":2,"boost":0.95,"eps":0.02,"seed":7}
+//! {"cmd":"maximize","s":0,"t":3,"k":1,"apply":true,"samples":5000}
 //! {"cmd":"batch","queries":[{"s":0,"t":3},{"s":0,"t":5}]}
 //! {"cmd":"update","updates":[{"s":0,"t":3,"prob":0.25}]}
 //! {"cmd":"reload","path":"/data/graph.ug"}
@@ -64,6 +66,24 @@
 //! score for `topk`), are cached under epoch-tagged keys covering the
 //! workload parameters (`k`/`d`) and the full budget, and go stale on
 //! `update`/`reload` exactly like s-t answers.
+//!
+//! ## Reliability maximization
+//!
+//! `maximize` greedily picks the `k` edge upgrades (probability boosts
+//! to `boost`, default 1.0) that maximize `R(s, t)`, scoring candidates
+//! by marginal gain on copy-on-write snapshots with lazy-forward
+//! re-evaluation; each greedy round escalates its sample budget until
+//! the leader's confidence interval separates from the runner-up's. The
+//! budget fields bound every candidate evaluation: `samples` is the
+//! per-evaluation count (or cap, when `eps` is present), and `eps`/
+//! `confidence` set the CI target. `candidates` caps the pool (edges
+//! ranked by upgrade headroom). Report-only by default; `"apply":true`
+//! additionally commits the chosen boosts through the live-update path,
+//! bumping the epoch (the response then carries `applied_epoch`).
+//! Report-only answers are cached like any read; `apply` runs never
+//! cache. With the same `seed` the chosen set is bit-identical for any
+//! server thread count (unless `time_budget_ms` is set — wall-clock
+//! stopping is not deterministic).
 //!
 //! ## Tenancy verbs
 //!
@@ -285,6 +305,58 @@ impl DistanceQueryRequest {
     }
 }
 
+/// One reliability-maximization request as sent on the wire
+/// (`"cmd":"maximize"`): greedily pick `k` edge upgrades (probability
+/// boosts to `boost`) maximizing `R(s, t)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MaximizeRequest {
+    /// Source node id.
+    pub s: u32,
+    /// Target node id.
+    pub t: u32,
+    /// Upgrades to pick; `None` = server default (1).
+    pub k: Option<usize>,
+    /// Probability chosen edges are boosted to, in `(0, 1]`; `None` = 1.0.
+    pub boost: Option<f64>,
+    /// Candidate-pool cap (edges ranked by upgrade headroom); `None` =
+    /// server default.
+    pub candidates: Option<usize>,
+    /// Commit the chosen upgrades through the live update path (bumps
+    /// the graph epoch) instead of only reporting them.
+    pub apply: bool,
+    /// Per-evaluation sample budget (exact count for fixed, cap when
+    /// adaptive); `None` = server default.
+    pub samples: Option<usize>,
+    /// Master seed; `None` = server default. Part of the cache key.
+    pub seed: Option<u64>,
+    /// Relative half-width target for each evaluation.
+    pub eps: Option<f64>,
+    /// Confidence level for the half-width target.
+    pub confidence: Option<f64>,
+    /// Wall-time cap in milliseconds per evaluation (breaks
+    /// thread-count determinism).
+    pub time_budget_ms: Option<u64>,
+}
+
+impl MaximizeRequest {
+    /// A maximization with all optional fields left to server defaults.
+    pub fn new(s: u32, t: u32) -> Self {
+        MaximizeRequest {
+            s,
+            t,
+            k: None,
+            boost: None,
+            candidates: None,
+            apply: false,
+            samples: None,
+            seed: None,
+            eps: None,
+            confidence: None,
+            time_budget_ms: None,
+        }
+    }
+}
+
 /// One edge-probability update as sent on the wire: the existing edge
 /// `s -> t` gets existence probability `prob` in the next epoch.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -308,6 +380,8 @@ pub enum Request {
     TopK(TopKRequest),
     /// Distance-constrained reliability query `R_d(s, t)`.
     DQuery(DistanceQueryRequest),
+    /// Greedy reliability maximization: pick `k` edge upgrades.
+    Maximize(MaximizeRequest),
     /// Several queries answered in one round trip; the server amortizes
     /// possible-world sampling across MC queries sharing a source (one
     /// shared world stream answers the whole group). A grouped answer is
@@ -461,6 +535,56 @@ pub struct DistanceQueryResponse {
     pub half_width: Option<f64>,
     /// Estimated variance of the reported reliability.
     pub variance: Option<f64>,
+}
+
+/// One upgrade a [`MaximizeResponse`] picked, in greedy order.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct UpgradeRow {
+    /// Source node of the upgraded edge.
+    pub s: u32,
+    /// Target node of the upgraded edge.
+    pub t: u32,
+    /// The edge's probability before the upgrade.
+    pub old_prob: f64,
+    /// The probability the edge was boosted to.
+    pub new_prob: f64,
+    /// Estimated marginal reliability gain at pick time.
+    pub gain: f64,
+    /// Estimated `R(s, t)` after this upgrade.
+    pub reliability: f64,
+}
+
+/// Successful answer to one reliability maximization.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MaximizeResponse {
+    /// Echoed source node.
+    pub s: u32,
+    /// Echoed target node.
+    pub t: u32,
+    /// The `k` that was answered (after defaulting).
+    pub k: usize,
+    /// Estimated `R(s, t)` before any upgrade.
+    pub base_reliability: f64,
+    /// Estimated `R(s, t)` with every chosen upgrade applied.
+    pub reliability: f64,
+    /// `reliability - base_reliability`.
+    pub gain: f64,
+    /// The picked upgrades, best-marginal-gain first.
+    pub chosen: Vec<UpgradeRow>,
+    /// Candidate-pool size the greedy searched.
+    pub candidates: usize,
+    /// Candidate evaluations performed (lazy-forward re-evaluation keeps
+    /// this below `candidates * k` after the first round).
+    pub evaluations: usize,
+    /// Total possible worlds sampled across all evaluations.
+    pub samples: usize,
+    /// Server-side wall time of this answer in microseconds.
+    pub micros: u64,
+    /// Whether the answer came from the result cache.
+    pub cached: bool,
+    /// The epoch the upgrades were committed at when the request set
+    /// `apply`; absent for report-only runs.
+    pub applied_epoch: Option<u64>,
 }
 
 /// How one resident estimator survived an epoch swap (part of
@@ -790,6 +914,8 @@ pub enum Response {
     TopK(TopKResponse),
     /// Answer to [`Request::DQuery`].
     DQuery(DistanceQueryResponse),
+    /// Answer to [`Request::Maximize`].
+    Maximize(MaximizeResponse),
     /// Answer to [`Request::Batch`]: one entry per query, in order.
     Batch(Vec<Result<QueryResponse, String>>),
     /// Answer to [`Request::Update`].
@@ -987,6 +1113,60 @@ impl Deserialize for DistanceQueryRequest {
     }
 }
 
+impl Serialize for MaximizeRequest {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("s".to_owned(), self.s.to_value()),
+            ("t".to_owned(), self.t.to_value()),
+        ];
+        if let Some(k) = self.k {
+            fields.push(("k".to_owned(), k.to_value()));
+        }
+        if let Some(b) = self.boost {
+            fields.push(("boost".to_owned(), b.to_value()));
+        }
+        if let Some(c) = self.candidates {
+            fields.push(("candidates".to_owned(), c.to_value()));
+        }
+        if self.apply {
+            fields.push(("apply".to_owned(), true.to_value()));
+        }
+        push_budget_fields(
+            &mut fields,
+            self.samples,
+            self.seed,
+            self.eps,
+            self.confidence,
+            self.time_budget_ms,
+        );
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for MaximizeRequest {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let fields = value
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", "maximize", value))?;
+        Ok(MaximizeRequest {
+            s: de(required(fields, "s", "maximize")?)?,
+            t: de(required(fields, "t", "maximize")?)?,
+            k: lookup(fields, "k").map(de).transpose()?,
+            boost: lookup(fields, "boost").map(de).transpose()?,
+            candidates: lookup(fields, "candidates").map(de).transpose()?,
+            apply: lookup(fields, "apply")
+                .map(de)
+                .transpose()?
+                .unwrap_or(false),
+            samples: lookup(fields, "samples").map(de).transpose()?,
+            seed: lookup(fields, "seed").map(de).transpose()?,
+            eps: lookup(fields, "eps").map(de).transpose()?,
+            confidence: lookup(fields, "confidence").map(de).transpose()?,
+            time_budget_ms: lookup(fields, "time_budget_ms").map(de).transpose()?,
+        })
+    }
+}
+
 impl Serialize for EdgeProbUpdate {
     fn to_value(&self) -> Value {
         obj(vec![
@@ -1030,6 +1210,13 @@ impl Serialize for Request {
             }
             Request::DQuery(q) => {
                 let mut fields = vec![("cmd".to_owned(), "dquery".to_value())];
+                if let Value::Object(rest) = q.to_value() {
+                    fields.extend(rest);
+                }
+                Value::Object(fields)
+            }
+            Request::Maximize(q) => {
+                let mut fields = vec![("cmd".to_owned(), "maximize".to_value())];
                 if let Value::Object(rest) = q.to_value() {
                     fields.extend(rest);
                 }
@@ -1099,6 +1286,7 @@ impl Deserialize for Request {
             "query" => Ok(Request::Query(QueryRequest::from_value(value)?)),
             "topk" => Ok(Request::TopK(TopKRequest::from_value(value)?)),
             "dquery" => Ok(Request::DQuery(DistanceQueryRequest::from_value(value)?)),
+            "maximize" => Ok(Request::Maximize(MaximizeRequest::from_value(value)?)),
             "batch" => Ok(Request::Batch(de(required(fields, "queries", "batch")?)?)),
             "update" => Ok(Request::Update(de(required(fields, "updates", "update")?)?)),
             "reload" => Ok(Request::Reload {
@@ -1291,6 +1479,86 @@ impl Deserialize for DistanceQueryResponse {
             stop_reason: de(required(fields, "stop_reason", "dquery response")?)?,
             half_width: lookup(fields, "half_width").map(de).transpose()?,
             variance: lookup(fields, "variance").map(de).transpose()?,
+        })
+    }
+}
+
+impl Serialize for UpgradeRow {
+    fn to_value(&self) -> Value {
+        obj(vec![
+            ("s", self.s.to_value()),
+            ("t", self.t.to_value()),
+            ("old_prob", self.old_prob.to_value()),
+            ("new_prob", self.new_prob.to_value()),
+            ("gain", self.gain.to_value()),
+            ("reliability", self.reliability.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for UpgradeRow {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let fields = value
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", "upgrade row", value))?;
+        Ok(UpgradeRow {
+            s: de(required(fields, "s", "upgrade row")?)?,
+            t: de(required(fields, "t", "upgrade row")?)?,
+            old_prob: de(required(fields, "old_prob", "upgrade row")?)?,
+            new_prob: de(required(fields, "new_prob", "upgrade row")?)?,
+            gain: de(required(fields, "gain", "upgrade row")?)?,
+            reliability: de(required(fields, "reliability", "upgrade row")?)?,
+        })
+    }
+}
+
+impl Serialize for MaximizeResponse {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("ok".to_owned(), true.to_value()),
+            ("kind".to_owned(), "maximize".to_value()),
+            ("s".to_owned(), self.s.to_value()),
+            ("t".to_owned(), self.t.to_value()),
+            ("k".to_owned(), self.k.to_value()),
+            (
+                "base_reliability".to_owned(),
+                self.base_reliability.to_value(),
+            ),
+            ("reliability".to_owned(), self.reliability.to_value()),
+            ("gain".to_owned(), self.gain.to_value()),
+            ("chosen".to_owned(), self.chosen.to_value()),
+            ("candidates".to_owned(), self.candidates.to_value()),
+            ("evaluations".to_owned(), self.evaluations.to_value()),
+            ("samples".to_owned(), self.samples.to_value()),
+            ("micros".to_owned(), self.micros.to_value()),
+            ("cached".to_owned(), self.cached.to_value()),
+        ];
+        if let Some(epoch) = self.applied_epoch {
+            fields.push(("applied_epoch".to_owned(), epoch.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for MaximizeResponse {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let fields = value
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", "maximize response", value))?;
+        Ok(MaximizeResponse {
+            s: de(required(fields, "s", "maximize response")?)?,
+            t: de(required(fields, "t", "maximize response")?)?,
+            k: de(required(fields, "k", "maximize response")?)?,
+            base_reliability: de(required(fields, "base_reliability", "maximize response")?)?,
+            reliability: de(required(fields, "reliability", "maximize response")?)?,
+            gain: de(required(fields, "gain", "maximize response")?)?,
+            chosen: de(required(fields, "chosen", "maximize response")?)?,
+            candidates: de(required(fields, "candidates", "maximize response")?)?,
+            evaluations: de(required(fields, "evaluations", "maximize response")?)?,
+            samples: de(required(fields, "samples", "maximize response")?)?,
+            micros: de(required(fields, "micros", "maximize response")?)?,
+            cached: de(required(fields, "cached", "maximize response")?)?,
+            applied_epoch: lookup(fields, "applied_epoch").map(de).transpose()?,
         })
     }
 }
@@ -1669,6 +1937,7 @@ impl Serialize for Response {
             Response::Query(q) => q.to_value(),
             Response::TopK(q) => q.to_value(),
             Response::DQuery(q) => q.to_value(),
+            Response::Maximize(q) => q.to_value(),
             Response::Batch(results) => {
                 let items: Vec<Value> = results
                     .iter()
@@ -1725,6 +1994,7 @@ impl Deserialize for Response {
             "query" => Ok(Response::Query(QueryResponse::from_value(value)?)),
             "topk" => Ok(Response::TopK(TopKResponse::from_value(value)?)),
             "dquery" => Ok(Response::DQuery(DistanceQueryResponse::from_value(value)?)),
+            "maximize" => Ok(Response::Maximize(MaximizeResponse::from_value(value)?)),
             "batch" => {
                 let items = required(fields, "results", "batch response")?
                     .as_array()
@@ -1924,6 +2194,87 @@ mod tests {
         );
         assert!(serde_json::from_str::<Request>(r#"{"cmd":"dquery","s":0,"t":3}"#).is_err());
         assert!(serde_json::from_str::<Request>(r#"{"cmd":"topk"}"#).is_err());
+    }
+
+    #[test]
+    fn maximize_requests_round_trip() {
+        round_trip(&Request::Maximize(MaximizeRequest::new(0, 3)));
+        round_trip(&Request::Maximize(MaximizeRequest {
+            k: Some(2),
+            boost: Some(0.95),
+            candidates: Some(16),
+            apply: true,
+            samples: Some(5000),
+            seed: Some(7),
+            eps: Some(0.02),
+            confidence: Some(0.99),
+            time_budget_ms: Some(250),
+            ..MaximizeRequest::new(1, 9)
+        }));
+        // Hand-written wire text parses; `apply` defaults to false.
+        let req: Request =
+            serde_json::from_str(r#"{"cmd":"maximize","s":0,"t":3,"k":2,"eps":0.05}"#).unwrap();
+        assert_eq!(
+            req,
+            Request::Maximize(MaximizeRequest {
+                k: Some(2),
+                eps: Some(0.05),
+                ..MaximizeRequest::new(0, 3)
+            })
+        );
+        assert!(serde_json::from_str::<Request>(r#"{"cmd":"maximize","s":0}"#).is_err());
+    }
+
+    #[test]
+    fn maximize_responses_round_trip() {
+        round_trip(&Response::Maximize(MaximizeResponse {
+            s: 0,
+            t: 3,
+            k: 2,
+            base_reliability: 0.4,
+            reliability: 0.93,
+            gain: 0.53,
+            chosen: vec![
+                UpgradeRow {
+                    s: 0,
+                    t: 1,
+                    old_prob: 0.2,
+                    new_prob: 1.0,
+                    gain: 0.4,
+                    reliability: 0.8,
+                },
+                UpgradeRow {
+                    s: 1,
+                    t: 3,
+                    old_prob: 0.5,
+                    new_prob: 1.0,
+                    gain: 0.13,
+                    reliability: 0.93,
+                },
+            ],
+            candidates: 4,
+            evaluations: 7,
+            samples: 140_000,
+            micros: 812,
+            cached: false,
+            applied_epoch: Some(5),
+        }));
+        // Empty chosen sets and absent epochs survive the wire.
+        round_trip(&Response::Maximize(MaximizeResponse {
+            s: 2,
+            t: 2,
+            k: 0,
+            base_reliability: 1.0,
+            reliability: 1.0,
+            gain: 0.0,
+            chosen: vec![],
+            candidates: 0,
+            evaluations: 0,
+            samples: 0,
+            micros: 3,
+            cached: true,
+            applied_epoch: None,
+        }));
     }
 
     #[test]

@@ -211,6 +211,10 @@ struct Conn {
     closing: bool,
     /// Whether the socket is currently registered for EPOLLOUT.
     want_write: bool,
+    /// A final error line to send after the in-flight response (a fatal
+    /// protocol violation noticed mid-request); closes the connection
+    /// once written.
+    farewell: Option<String>,
 }
 
 /// A parsed request line travelling to the worker pool.
@@ -370,6 +374,7 @@ impl LoopState {
                 inflight: false,
                 closing: false,
                 want_write: false,
+                farewell: None,
             };
             let index = match self.free.pop() {
                 Some(i) => {
@@ -446,7 +451,32 @@ impl LoopState {
             conn.read_buf.drain(..start);
         }
         if conn.read_buf.len() > MAX_LINE_BYTES {
-            return false;
+            // Tell the peer *why* before closing instead of silently
+            // dropping the connection: queue a structured error line and
+            // let the normal write path flush it, closing after the
+            // drain. Anything pipelined behind the oversized line can no
+            // longer be trusted (we are mid-frame), so it is dropped;
+            // an in-flight request still answers first (responses stay
+            // in request order), then the error goes out and the
+            // connection closes.
+            conn.read_buf.clear();
+            conn.read_buf.shrink_to_fit();
+            conn.pending.clear();
+            let error = crate::protocol::Response::Error(format!(
+                "request line exceeds the {} MiB limit",
+                MAX_LINE_BYTES >> 20
+            ));
+            let text = serde_json::to_string(&error)
+                .unwrap_or_else(|_| r#"{"ok":false,"error":"request line too long"}"#.into());
+            if conn.inflight {
+                conn.farewell = Some(text);
+            } else {
+                conn.write_buf.extend_from_slice(text.as_bytes());
+                conn.write_buf.push(b'\n');
+                conn.closing = true;
+                self.flush_writes(index);
+            }
+            return true;
         }
         self.submit_next(index);
         true
@@ -487,6 +517,14 @@ impl LoopState {
         conn.inflight = false;
         conn.write_buf.extend_from_slice(completion.text.as_bytes());
         conn.write_buf.push(b'\n');
+        // A fatal protocol error noticed while this request was in
+        // flight (e.g. an oversized next line) goes out right after the
+        // answer, then the connection closes.
+        if let Some(farewell) = conn.farewell.take() {
+            conn.write_buf.extend_from_slice(farewell.as_bytes());
+            conn.write_buf.push(b'\n');
+            conn.closing = true;
+        }
         if completion.is_bye {
             // Flush the farewell, then close; the flag stops the loop on
             // its next iteration (level-triggered, so no wakeup race).

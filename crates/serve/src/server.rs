@@ -257,6 +257,13 @@ impl Server {
     /// gets lost in a full backlog under accept pressure cannot leave
     /// the loop blocked with the flag already set.
     fn run_threaded(&self, ctx: ServeCtx) -> std::io::Result<()> {
+        // Live connection threads plus a second handle to each socket.
+        // Shutdown closes the read halves so every thread finishes its
+        // in-flight request (the response still goes out), hits EOF, and
+        // exits; they are all joined before this returns, so the final
+        // warm-cache flush in `run` can never race a cache insert still
+        // happening on a connection thread.
+        let mut live: Vec<(std::thread::JoinHandle<()>, TcpStream)> = Vec::new();
         loop {
             if self.shutdown.load(Ordering::Acquire) {
                 break;
@@ -266,9 +273,15 @@ impl Server {
                     if self.shutdown.load(Ordering::Acquire) {
                         break;
                     }
+                    live.retain(|(handle, _)| !handle.is_finished());
+                    let reader = stream.try_clone().ok();
                     let ctx = ctx.clone();
                     let shutdown = self.shutdown_handle();
-                    std::thread::spawn(move || handle_connection(stream, ctx, shutdown));
+                    let handle =
+                        std::thread::spawn(move || handle_connection(stream, ctx, shutdown));
+                    if let Some(reader) = reader {
+                        live.push((handle, reader));
+                    }
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     if self.shutdown.load(Ordering::Acquire) {
@@ -280,6 +293,14 @@ impl Server {
                 // Per-connection failures must not kill the server.
                 Err(_) => continue,
             }
+        }
+        // Graceful drain: stop further reads, let in-flight requests
+        // answer, and wait for every connection thread to finish.
+        for (_, stream) in &live {
+            let _ = stream.shutdown(std::net::Shutdown::Read);
+        }
+        for (handle, _) in live {
+            let _ = handle.join();
         }
         Ok(())
     }
@@ -428,6 +449,13 @@ pub fn dispatch_line(line: &str, engine: &QueryEngine) -> (String, bool) {
             },
             true,
         ),
+        Request::Maximize(q) => (
+            match engine.execute_maximize_traced(&q, &mut tb) {
+                Ok(resp) => Response::Maximize(resp),
+                Err(e) => Response::Error(e),
+            },
+            true,
+        ),
         other => (execute_request(other, engine), false),
     };
     let is_bye = matches!(response, Response::Bye);
@@ -521,6 +549,13 @@ pub(crate) fn dispatch_session(line: &str, ctx: &ServeCtx, session: &Session) ->
                             Err(e) => Response::Error(e),
                         }
                     }
+                    Request::Maximize(q) => {
+                        trace_engine = Some(Arc::clone(&engine));
+                        match engine.execute_maximize_traced(&q, &mut tb) {
+                            Ok(resp) => Response::Maximize(resp),
+                            Err(e) => Response::Error(e),
+                        }
+                    }
                     o => execute_request(o, &engine),
                 },
             }
@@ -576,6 +611,10 @@ fn execute_request(request: Request, engine: &QueryEngine) -> Response {
         },
         Request::DQuery(q) => match engine.execute_dquery(&q) {
             Ok(resp) => Response::DQuery(resp),
+            Err(e) => Response::Error(e),
+        },
+        Request::Maximize(q) => match engine.execute_maximize(&q) {
+            Ok(resp) => Response::Maximize(resp),
             Err(e) => Response::Error(e),
         },
         Request::Batch(queries) => match engine.execute_batch(&queries) {

@@ -613,3 +613,197 @@ fn malformed_and_unknown_requests_get_errors_not_disconnects() {
     client.ping().expect("connection survives errors");
     client.shutdown().expect("shutdown");
 }
+
+#[test]
+fn unload_while_in_use_yields_clean_errors_in_both_modes() {
+    // Regression: a connection `use`-ing a tenant that another
+    // connection unloads must get a clean `not loaded` protocol error on
+    // its next query — not a panic, a hang, or a dropped connection —
+    // and must be able to re-point itself at a live tenant afterwards.
+    let dir = std::env::temp_dir().join(format!("relcomp_e2e_unload_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph_path = dir.join("served.ug2");
+    write_graph_v2(&diamond(), &graph_path).unwrap();
+
+    for mode in [ServerMode::Reactor, ServerMode::Threaded] {
+        let (addr, _shutdown, handle) = start_mode(diamond(), mode);
+        let mut victim = connect(addr);
+        let mut admin = connect(addr);
+
+        admin
+            .load_graph("social", graph_path.to_str().unwrap(), None)
+            .expect("load");
+        victim.use_graph("social").expect("use");
+        assert!(!victim.query(QueryRequest::new(0, 3)).expect("query").cached);
+
+        // The rug-pull: admin unloads the tenant the victim is using.
+        admin.unload_graph("social").expect("unload");
+
+        let err = victim
+            .query(QueryRequest::new(0, 3))
+            .expect_err("query against a dead tenant must fail cleanly");
+        match &err {
+            relcomp_serve::ClientError::Server(msg) => {
+                assert!(
+                    msg.contains("not loaded"),
+                    "{mode:?}: unexpected error {msg}"
+                )
+            }
+            other => panic!("{mode:?}: expected a protocol error, got {other:?}"),
+        }
+
+        // The connection survives and can re-point at a live tenant.
+        victim.use_graph("default").expect("use default");
+        assert!(
+            victim
+                .query(QueryRequest::new(0, 3))
+                .expect("recovery query")
+                .samples
+                > 0
+        );
+
+        victim.shutdown().expect("shutdown");
+        handle.join().expect("serve thread").expect("serve result");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn final_flush_covers_a_query_in_flight_at_shutdown() {
+    // Regression: threaded-mode connection threads were detached, so a
+    // shutdown arriving on one connection let the final warm-cache flush
+    // run while another connection was still mid-query. That answer was
+    // served to its client but silently missing after a clean restart.
+    let dir = std::env::temp_dir().join(format!("relcomp_e2e_drain_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph_path = dir.join("served.ug2");
+    // A long chain makes the fixed-budget query slow enough (hundreds of
+    // milliseconds) that the shutdown reliably lands mid-query.
+    let chain = {
+        let n = 1500;
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n - 1 {
+            b.add_edge(NodeId(i as u32), NodeId(i as u32 + 1), 0.999)
+                .unwrap();
+        }
+        b.build()
+    };
+    let last = chain.num_nodes() as u32 - 1;
+    write_graph_v2(&chain, &graph_path).unwrap();
+    let persist = PersistConfig::new(dir.join("warm"));
+    let template = EngineConfig {
+        threads: 2,
+        ..Default::default()
+    };
+    let slow = QueryRequest {
+        estimator: Some("mc".into()),
+        samples: Some(400_000),
+        seed: Some(9),
+        ..QueryRequest::new(0, last)
+    };
+
+    let first_bits;
+    {
+        let tenants = Arc::new(TenantRegistry::new(template, Some(persist.clone())));
+        let server = Server::bind_with(
+            "127.0.0.1:0",
+            tenants,
+            ServerOptions {
+                mode: ServerMode::Threaded,
+                persist: Some(persist.clone()),
+                ..Default::default()
+            },
+        )
+        .expect("bind");
+        let shutdown = server.shutdown_handle();
+        let (addr, handle) = server.spawn().expect("spawn");
+
+        let mut loader = connect(addr);
+        loader
+            .load_graph("social", graph_path.to_str().unwrap(), None)
+            .expect("load");
+
+        // One connection fires a slow query; another pulls the plug
+        // while it is still sampling. The in-flight query must both
+        // answer its client and land in the final snapshot.
+        let slow_q = slow.clone();
+        let worker = std::thread::spawn(move || {
+            let mut b = connect(addr);
+            b.use_graph("social").expect("use");
+            b.query(slow_q).expect("in-flight query still answers")
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        shutdown.shutdown();
+        let answer = worker.join().expect("worker thread");
+        handle.join().expect("serve thread").expect("serve result");
+        assert!(!answer.cached);
+        first_bits = answer.reliability.to_bits();
+    }
+
+    // Restart from the same persist dir: the in-flight answer is warm.
+    {
+        let tenants = Arc::new(TenantRegistry::new(template, Some(persist.clone())));
+        let server = Server::bind_with(
+            "127.0.0.1:0",
+            tenants,
+            ServerOptions {
+                mode: ServerMode::Threaded,
+                persist: Some(persist),
+                ..Default::default()
+            },
+        )
+        .expect("rebind");
+        let (addr, handle) = server.spawn().expect("respawn");
+        let mut client = connect(addr);
+        let loaded = client
+            .load_graph("social", graph_path.to_str().unwrap(), None)
+            .expect("reload tenant");
+        assert!(
+            loaded.warm_entries >= 1,
+            "the in-flight answer was lost by the final flush, warm={}",
+            loaded.warm_entries
+        );
+        client.use_graph("social").expect("use");
+        let warm = client.query(slow).expect("warm query");
+        assert!(warm.cached, "restart must serve the drained answer warm");
+        assert_eq!(warm.reliability.to_bits(), first_bits);
+        client.shutdown().expect("shutdown");
+        handle.join().expect("serve thread").expect("serve result");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn oversized_request_line_gets_a_structured_error_before_close() {
+    // Regression: the reactor used to drop a connection silently the
+    // moment a request line crossed MAX_LINE_BYTES. The client must
+    // instead receive one structured JSON error line, then a clean close.
+    use std::io::{Read, Write};
+    let (addr, shutdown, handle) = start_mode(diamond(), ServerMode::Reactor);
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    // Exactly one byte past the 16 MiB line limit, never
+    // newline-terminated. Sending limit+1 bytes means the server can
+    // only trip the check after reading everything, so the error line
+    // cannot race a reset triggered by unread bytes.
+    let chunk = vec![b'x'; 1 << 20];
+    for _ in 0..16 {
+        stream.write_all(&chunk).expect("write chunk");
+    }
+    stream.write_all(b"x").expect("write final byte");
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).expect("read farewell");
+    assert!(
+        reply.contains(r#""ok":false"#) && reply.contains("16 MiB limit"),
+        "expected a structured oversize error, got {reply:?}"
+    );
+
+    // The offender is gone but the server itself must keep serving.
+    let mut client = connect(addr);
+    client.ping().expect("server survives an oversized line");
+    drop(client);
+    shutdown.shutdown();
+    handle.join().expect("serve thread").expect("serve result");
+}

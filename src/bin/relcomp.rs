@@ -14,6 +14,9 @@
 //!                [--eps E] [--confidence C] [--time-budget-ms MS]
 //! relcomp dquery <file> <s> <t> <d> [--samples N] [--seed N] [--threads N]
 //!                [--eps E] [--confidence C] [--time-budget-ms MS]
+//! relcomp maximize <file> <s> <t> [--k N] [--boost P] [--candidates N]
+//!                [--samples N] [--seed N] [--threads N]
+//!                [--eps E] [--confidence C] [--time-budget-ms MS]
 //! relcomp recommend --memory smaller|larger --variance lower|slight|higher --speed faster|slower
 //! relcomp serve <file> [--port P] [--threads N] [--cache N] [--seed N]
 //! relcomp client <s> <t> [--addr HOST:PORT] [--estimator NAME] [--samples N] [--seed N]
@@ -21,6 +24,9 @@
 //! relcomp client topk <s> [--k N] [--addr HOST:PORT] [--samples N] [--seed N]
 //!                  [--eps E] [--confidence C] [--time-budget-ms MS]
 //! relcomp client dquery <s> <t> <d> [--addr HOST:PORT] [--samples N] [--seed N]
+//!                  [--eps E] [--confidence C] [--time-budget-ms MS]
+//! relcomp client maximize <s> <t> [--k N] [--boost P] [--candidates N] [--apply]
+//!                  [--addr HOST:PORT] [--samples N] [--seed N]
 //!                  [--eps E] [--confidence C] [--time-budget-ms MS]
 //! relcomp client update <s> <t> <prob> [--addr HOST:PORT]
 //! relcomp client reload [--path FILE] [--addr HOST:PORT]
@@ -80,6 +86,9 @@ usage:
                  [--eps E] [--confidence C] [--time-budget-ms MS]
   relcomp dquery <file> <s> <t> <d> [--samples N] [--seed N] [--threads N]
                  [--eps E] [--confidence C] [--time-budget-ms MS]
+  relcomp maximize <file> <s> <t> [--k N] [--boost P] [--candidates N]
+                 [--samples N] [--seed N] [--threads N]
+                 [--eps E] [--confidence C] [--time-budget-ms MS]
   relcomp recommend --memory smaller|larger --variance lower|slight|higher --speed faster|slower
   relcomp serve <file> [--port P] [--threads N] [--cache N] [--seed N]
                   [--mode auto|reactor|threaded] [--workers N]
@@ -89,6 +98,9 @@ usage:
   relcomp client topk <s> [--k N] [--addr HOST:PORT] [--samples N] [--seed N]
                    [--eps E] [--confidence C] [--time-budget-ms MS]
   relcomp client dquery <s> <t> <d> [--addr HOST:PORT] [--samples N] [--seed N]
+                   [--eps E] [--confidence C] [--time-budget-ms MS]
+  relcomp client maximize <s> <t> [--k N] [--boost P] [--candidates N] [--apply]
+                   [--addr HOST:PORT] [--samples N] [--seed N]
                    [--eps E] [--confidence C] [--time-budget-ms MS]
   relcomp client load <name> <path> [--quota N] [--addr HOST:PORT]
   relcomp client unload <name> [--addr HOST:PORT]
@@ -102,8 +114,12 @@ usage:
 datasets:   lastfm nethept as_topology dblp02 dblp005 biomine
 estimators: mc bfs_sharing probtree lp+ lp rhh rss probtree+lp+ probtree+rhh probtree+rss";
 
+/// Flags that stand alone (`--apply`), not `--flag value` pairs.
+const BOOLEAN_FLAGS: &[&str] = &["apply"];
+
 /// Parse `--flag value` options out of an argument list; returns
-/// (positional, options).
+/// (positional, options). [`BOOLEAN_FLAGS`] take no value and read as
+/// `"true"`.
 fn split_options(args: &[String]) -> Result<(Vec<&str>, HashMap<&str, &str>), String> {
     let mut positional = Vec::new();
     let mut options = HashMap::new();
@@ -111,6 +127,11 @@ fn split_options(args: &[String]) -> Result<(Vec<&str>, HashMap<&str, &str>), St
     while i < args.len() {
         let a = args[i].as_str();
         if let Some(name) = a.strip_prefix("--") {
+            if BOOLEAN_FLAGS.contains(&name) {
+                options.insert(name, "true");
+                i += 1;
+                continue;
+            }
             let value = args
                 .get(i + 1)
                 .ok_or_else(|| format!("--{name} requires a value"))?;
@@ -184,7 +205,7 @@ impl BudgetFlags {
                 .get("samples")
                 .map(|v| v.parse())
                 .transpose()
-                .map_err(|_| "bad --samples")?,
+                .map_err(|_| "bad --samples (expected a positive integer)")?,
             eps: opts
                 .get("eps")
                 .map(|v| v.parse())
@@ -201,6 +222,13 @@ impl BudgetFlags {
                 .transpose()
                 .map_err(|_| "bad --time-budget-ms")?,
         };
+        // Zero is rejected here at parse time — not deep in a sampler
+        // panic, and not only after a round trip for the client forms
+        // (the server rejects it too, but a usage error should never
+        // need a connection to surface).
+        if flags.samples == Some(0) {
+            return Err("--samples must be positive".into());
+        }
         // A bad value is a usage error, not a panic (the rule set is the
         // serve engine's, so the two entry points cannot drift).
         relcomp_core::session::validate_budget_fields(flags.eps, flags.confidence, flags.time_ms)
@@ -237,6 +265,21 @@ impl BudgetFlags {
             self.time_ms,
         )
     }
+}
+
+/// Parse a `--quota N` flag: a per-tenant in-flight limit must be a
+/// positive integer, and zero is rejected here at parse time rather
+/// than after a round trip to the server (which enforces the same rule).
+fn parse_quota(opts: &HashMap<&str, &str>) -> Result<Option<usize>, String> {
+    let quota: Option<usize> = opts
+        .get("quota")
+        .map(|v| v.parse())
+        .transpose()
+        .map_err(|_| "bad --quota (expected a positive integer)")?;
+    if quota == Some(0) {
+        return Err("--quota must be positive (0 would admit no queries at all)".into());
+    }
+    Ok(quota)
 }
 
 /// Resolve a `--threads` flag (0 or absent = all available cores).
@@ -655,6 +698,82 @@ fn run(args: Vec<String>) -> Result<(), String> {
             );
             Ok(())
         }
+        "maximize" => {
+            check_options(
+                cmd,
+                &opts,
+                &[
+                    "k",
+                    "boost",
+                    "candidates",
+                    "samples",
+                    "seed",
+                    "threads",
+                    "eps",
+                    "confidence",
+                    "time-budget-ms",
+                ],
+            )?;
+            let [file, s_raw, t_raw] = pos[..] else {
+                return Err("maximize needs <file> <s> <t>".into());
+            };
+            let graph = Arc::new(load_any(file)?.0);
+            let s = parse_node(&graph, s_raw, "source")?;
+            let t = parse_node(&graph, t_raw, "target")?;
+            let k: usize = opts
+                .get("k")
+                .map(|v| v.parse())
+                .transpose()
+                .map_err(|_| "bad --k")?
+                .unwrap_or(1);
+            if k == 0 {
+                return Err("--k must be positive".into());
+            }
+            let boost: f64 = opts
+                .get("boost")
+                .map(|v| v.parse())
+                .transpose()
+                .map_err(|_| "bad --boost")?
+                .unwrap_or(1.0);
+            let flags = BudgetFlags::parse(&opts)?;
+            let samples = flags.resolve_samples(2000)?;
+            let budget = flags.budget(samples);
+            let mut mopts = relcomp_core::MaximizeOptions::new(k, boost, budget);
+            mopts.threads = parse_threads(&opts)?;
+            mopts.seed = seed;
+            if let Some(c) = opts
+                .get("candidates")
+                .map(|v| v.parse())
+                .transpose()
+                .map_err(|_| "bad --candidates")?
+            {
+                if c == 0 {
+                    return Err("--candidates must be positive".into());
+                }
+                mopts.max_candidates = c;
+            }
+            let start = std::time::Instant::now();
+            let result = relcomp_core::maximize(&graph, s, t, &mopts).map_err(|e| e.to_string())?;
+            println!(
+                "maximize R({s}, {t}): {:.6} -> {:.6} (gain {:+.6}) with {} upgrade(s)   \
+                 [{} candidates, {} evaluations, K = {}; {:.2} ms]",
+                result.base_reliability,
+                result.reliability,
+                result.gain,
+                result.chosen.len(),
+                result.candidates,
+                result.evaluations,
+                result.samples,
+                start.elapsed().as_secs_f64() * 1e3
+            );
+            for c in &result.chosen {
+                println!(
+                    "  edge {} -> {}: p {:.4} -> {:.4} (gain {:+.6}, R ≈ {:.6})",
+                    c.from, c.to, c.old_prob, c.new_prob, c.gain, c.reliability
+                );
+            }
+            Ok(())
+        }
         "recommend" => {
             check_options(cmd, &opts, &["memory", "variance", "speed"])?;
             let memory = match opts.get("memory").copied().unwrap_or("larger") {
@@ -829,6 +948,22 @@ fn run(args: Vec<String>) -> Result<(), String> {
                         "time-budget-ms",
                     ],
                 )?,
+                ["maximize", ..] => check_options(
+                    "client maximize",
+                    &opts,
+                    &[
+                        "addr",
+                        "k",
+                        "boost",
+                        "candidates",
+                        "apply",
+                        "samples",
+                        "seed",
+                        "eps",
+                        "confidence",
+                        "time-budget-ms",
+                    ],
+                )?,
                 _ => check_options(
                     cmd,
                     &opts,
@@ -976,10 +1111,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
                     Err("client trace takes no positional arguments (use --last N)".into())
                 }
                 ["load", name, path] => {
-                    let quota = opts
-                        .get("quota")
-                        .map(|v| v.parse().map_err(|_| "bad --quota"))
-                        .transpose()?;
+                    let quota = parse_quota(&opts)?;
                     let r = client
                         .load_graph(name, path, quota)
                         .map_err(|e| e.to_string())?;
@@ -1149,6 +1281,63 @@ fn run(args: Vec<String>) -> Result<(), String> {
                     Ok(())
                 }
                 ["dquery", ..] => Err("client dquery needs <s> <t> <d>".into()),
+                ["maximize", s_raw, t_raw] => {
+                    let parse_id = |raw: &str, what: &str| -> Result<u32, String> {
+                        raw.parse()
+                            .map_err(|_| format!("cannot parse {what} node `{raw}`"))
+                    };
+                    let flags = BudgetFlags::parse(&opts)?;
+                    let request = relcomp_serve::protocol::MaximizeRequest {
+                        s: parse_id(s_raw, "source")?,
+                        t: parse_id(t_raw, "target")?,
+                        k: opts
+                            .get("k")
+                            .map(|v| v.parse().map_err(|_| "bad --k"))
+                            .transpose()?,
+                        boost: opts
+                            .get("boost")
+                            .map(|v| v.parse().map_err(|_| "bad --boost"))
+                            .transpose()?,
+                        candidates: opts
+                            .get("candidates")
+                            .map(|v| v.parse().map_err(|_| "bad --candidates"))
+                            .transpose()?,
+                        apply: opts.contains_key("apply"),
+                        samples: flags.samples,
+                        seed: opts.contains_key("seed").then_some(seed),
+                        eps: flags.eps,
+                        confidence: flags.confidence,
+                        time_budget_ms: flags.time_ms,
+                    };
+                    let r = client.maximize(request).map_err(|e| e.to_string())?;
+                    let applied = match r.applied_epoch {
+                        Some(epoch) => format!("; applied, epoch {epoch}"),
+                        None => String::new(),
+                    };
+                    println!(
+                        "maximize R({}, {}): {:.6} -> {:.6} (gain {:+.6}) with {} upgrade(s)   \
+                         [{} candidates, {} evaluations, K = {}; {:.2} ms{}{applied}]",
+                        r.s,
+                        r.t,
+                        r.base_reliability,
+                        r.reliability,
+                        r.gain,
+                        r.chosen.len(),
+                        r.candidates,
+                        r.evaluations,
+                        r.samples,
+                        r.micros as f64 / 1e3,
+                        if r.cached { "; cached" } else { "" }
+                    );
+                    for c in &r.chosen {
+                        println!(
+                            "  edge {} -> {}: p {:.4} -> {:.4} (gain {:+.6}, R ≈ {:.6})",
+                            c.s, c.t, c.old_prob, c.new_prob, c.gain, c.reliability
+                        );
+                    }
+                    Ok(())
+                }
+                ["maximize", ..] => Err("client maximize needs <s> <t>".into()),
                 [s_raw, t_raw] => {
                     let parse_id = |raw: &str, what: &str| -> Result<u32, String> {
                         raw.parse()
@@ -1191,11 +1380,63 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 }
                 _ => Err(
                     "client needs <s> <t>, or one of: stats, metrics, trace, ping, \
-                     shutdown, topk <s>, dquery <s> <t> <d>, update <s> <t> <prob>, reload"
+                     shutdown, topk <s>, dquery <s> <t> <d>, maximize <s> <t>, \
+                     update <s> <t> <prob>, reload"
                         .into(),
                 ),
             }
         }
         other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts<'a>(pairs: &[(&'a str, &'a str)]) -> HashMap<&'a str, &'a str> {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn zero_samples_is_a_parse_error() {
+        let err = BudgetFlags::parse(&opts(&[("samples", "0")])).unwrap_err();
+        assert!(err.contains("--samples must be positive"), "{err}");
+        // Negative and garbage values fail at the same point, with the
+        // flag named.
+        for bad in ["-5", "many"] {
+            let err = BudgetFlags::parse(&opts(&[("samples", bad)])).unwrap_err();
+            assert!(err.contains("--samples"), "{err}");
+        }
+        assert_eq!(
+            BudgetFlags::parse(&opts(&[("samples", "100")]))
+                .unwrap()
+                .samples,
+            Some(100)
+        );
+    }
+
+    #[test]
+    fn zero_quota_is_a_parse_error() {
+        let err = parse_quota(&opts(&[("quota", "0")])).unwrap_err();
+        assert!(err.contains("--quota must be positive"), "{err}");
+        for bad in ["-1", "lots"] {
+            let err = parse_quota(&opts(&[("quota", bad)])).unwrap_err();
+            assert!(err.contains("--quota"), "{err}");
+        }
+        assert_eq!(parse_quota(&opts(&[("quota", "8")])).unwrap(), Some(8));
+        assert_eq!(parse_quota(&opts(&[])).unwrap(), None);
+    }
+
+    #[test]
+    fn apply_is_a_bare_flag() {
+        let args: Vec<String> = ["maximize", "0", "3", "--apply", "--k", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (pos, options) = split_options(&args).unwrap();
+        assert_eq!(pos, vec!["maximize", "0", "3"]);
+        assert_eq!(options.get("apply"), Some(&"true"));
+        assert_eq!(options.get("k"), Some(&"2"));
     }
 }
